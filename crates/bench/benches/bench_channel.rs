@@ -1,0 +1,60 @@
+//! Criterion: middleware costs — binary codec throughput and the
+//! simulated UDP channel/switcher hot paths.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use lgv_middleware::{from_bytes, to_bytes, Bus, TopicName};
+use lgv_net::channel::UdpChannel;
+use lgv_net::signal::{SignalModel, WirelessConfig};
+use lgv_types::prelude::*;
+use std::hint::black_box;
+
+fn scan() -> LaserScan {
+    LaserScan {
+        stamp: SimTime::EPOCH,
+        angle_min: 0.0,
+        angle_increment: std::f64::consts::TAU / 360.0,
+        range_max: 3.5,
+        ranges: (0..360).map(|i| (i % 35) as f64 * 0.1).collect(),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let s = scan();
+    c.bench_function("codec_encode_scan", |b| b.iter(|| black_box(to_bytes(&s).unwrap())));
+    let encoded = to_bytes(&s).unwrap();
+    c.bench_function("codec_decode_scan", |b| {
+        b.iter(|| black_box(from_bytes::<LaserScan>(&encoded).unwrap()))
+    });
+}
+
+fn bench_bus(c: &mut Criterion) {
+    let bus = Bus::new();
+    let sub = bus.subscribe(TopicName::SCAN, 1);
+    let s = scan();
+    c.bench_function("bus_publish_recv_scan", |b| {
+        b.iter(|| {
+            bus.publish(TopicName::SCAN, &s).unwrap();
+            black_box(sub.recv::<LaserScan>().unwrap());
+        })
+    });
+}
+
+fn bench_udp_channel(c: &mut Criterion) {
+    let sm = SignalModel::new(WirelessConfig::default(), Point2::new(0.0, 0.0));
+    let mut ch = UdpChannel::new(sm, Duration::ZERO, SimRng::seed_from_u64(1));
+    let payload = Bytes::from(vec![0u8; 2940]);
+    let pos = Point2::new(2.0, 0.0);
+    let mut t = SimTime::EPOCH;
+    c.bench_function("udp_send_tick_recv", |b| {
+        b.iter(|| {
+            t += Duration::from_millis(1);
+            ch.send(t, pos, payload.clone());
+            ch.tick(t + Duration::from_millis(10), pos);
+            black_box(ch.recv());
+        })
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_bus, bench_udp_channel);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion: A* vs Dijkstra on the preset maps, plus AMCL and the
+//! frontier detector — the light planning-side nodes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lgv_nav::costmap::{Costmap, CostmapConfig};
+use lgv_nav::frontier::{FrontierConfig, FrontierExplorer};
+use lgv_nav::global_planner::{GlobalPlanner, PlannerAlgorithm, PlannerConfig};
+use lgv_nav::{Amcl, AmclConfig};
+use lgv_sim::world::presets;
+use lgv_sim::{Lidar, LidarConfig};
+use lgv_types::prelude::*;
+use std::hint::black_box;
+
+fn bench_global_planners(c: &mut Criterion) {
+    let map = presets::intel_like().to_map_msg(SimTime::EPOCH);
+    let cm = Costmap::from_map(CostmapConfig::default(), &map);
+    let start = presets::intel_start().position();
+    let goal = Point2::new(16.0, 2.5);
+    for (name, alg) in
+        [("astar_intel", PlannerAlgorithm::AStar), ("dijkstra_intel", PlannerAlgorithm::Dijkstra)]
+    {
+        let planner = GlobalPlanner::new(PlannerConfig { algorithm: alg, ..Default::default() });
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(planner.plan(&cm, start, goal, SimTime::EPOCH).unwrap()))
+        });
+    }
+}
+
+fn bench_amcl_update(c: &mut Criterion) {
+    let world = presets::lab();
+    let map = world.to_map_msg(SimTime::EPOCH);
+    let pose = presets::lab_start();
+    let mut lidar = Lidar::new(LidarConfig::default(), SimRng::seed_from_u64(3));
+    let scan = lidar.scan(&world, pose, SimTime::EPOCH);
+    let odom = OdometryMsg { stamp: SimTime::EPOCH, pose, twist: Twist::STOP };
+    c.bench_function("amcl_update_lab", |b| {
+        let mut amcl = Amcl::new(AmclConfig::default(), &map, pose, SimRng::seed_from_u64(4));
+        b.iter(|| black_box(amcl.process(&odom, &scan)));
+    });
+}
+
+fn bench_frontier_detection(c: &mut Criterion) {
+    // Half-known intel-like map.
+    let mut map = presets::intel_like().to_map_msg(SimTime::EPOCH);
+    let w = map.dims.width as usize;
+    for (i, cell) in map.cells.iter_mut().enumerate() {
+        if i % w > w / 2 {
+            *cell = MapMsg::UNKNOWN;
+        }
+    }
+    let explorer = FrontierExplorer::new(FrontierConfig::default());
+    c.bench_function("frontier_intel_half_known", |b| {
+        b.iter(|| {
+            black_box(explorer.select_goal(&map, Point2::new(1.0, 7.0), SimTime::EPOCH))
+        })
+    });
+}
+
+criterion_group!(benches, bench_global_planners, bench_amcl_update, bench_frontier_detection);
+criterion_main!(benches);

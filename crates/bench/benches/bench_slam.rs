@@ -1,0 +1,86 @@
+//! Criterion: real wall-clock scaling of the parallel scanMatch
+//! (paper Fig. 6 / Fig. 9's mechanism, measured on the host CPU).
+//!
+//! Note: the thread sweeps only show wall-clock speedup on multi-core
+//! hosts — on a single-CPU container every thread count measures the
+//! same. Correctness of the parallel path (identical results at any
+//! thread count) is asserted by the unit/property tests; the *paper's*
+//! scaling figures come from the calibrated platform model, not from
+//! host wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgv_bench::ScanStream;
+use lgv_sim::world::presets;
+use lgv_slam::{GMapping, SlamConfig};
+use lgv_types::prelude::*;
+use std::hint::black_box;
+
+fn bench_scan_match_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slam_process_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let world = presets::intel_like();
+                // Enough per-scan work (48 particles) that the pool's
+                // spawn cost is amortized and real scaling shows.
+                let cfg = SlamConfig {
+                    num_particles: 48,
+                    threads,
+                    map_dims: *world.dims(),
+                    ..SlamConfig::default()
+                };
+                let mut slam =
+                    GMapping::new(cfg, presets::intel_start(), SimRng::seed_from_u64(1));
+                let mut stream = ScanStream::new(world, presets::intel_start(), 2);
+                // Prime the maps so scan matching has structure.
+                for _ in 0..3 {
+                    let (odom, scan) = stream.next_pair();
+                    slam.process(&odom, &scan);
+                }
+                b.iter(|| {
+                    let (odom, scan) = stream.next_pair();
+                    black_box(slam.process(&odom, &scan));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_particle_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slam_process_particles");
+    group.sample_size(10);
+    for &particles in &[8usize, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(particles),
+            &particles,
+            |b, &particles| {
+                let world = presets::intel_like();
+                let cfg = SlamConfig {
+                    num_particles: particles,
+                    threads: 4,
+                    map_dims: *world.dims(),
+                    ..SlamConfig::default()
+                };
+                let mut slam =
+                    GMapping::new(cfg, presets::intel_start(), SimRng::seed_from_u64(1));
+                let mut stream = ScanStream::new(world, presets::intel_start(), 2);
+                for _ in 0..3 {
+                    let (odom, scan) = stream.next_pair();
+                    slam.process(&odom, &scan);
+                }
+                b.iter(|| {
+                    let (odom, scan) = stream.next_pair();
+                    black_box(slam.process(&odom, &scan));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_match_threads, bench_particle_counts);
+criterion_main!(benches);

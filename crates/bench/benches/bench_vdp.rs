@@ -1,0 +1,69 @@
+//! Criterion: real wall-clock cost of the VDP nodes — costmap update
+//! and DWA trajectory scoring with thread/sample sweeps (Fig. 5 /
+//! Fig. 10's mechanism, measured on the host CPU).
+//!
+//! Note: thread sweeps only show wall-clock speedup on multi-core
+//! hosts — on a single-CPU container every thread count measures the
+//! same. The paper's scaling figures come from the calibrated platform
+//! model, not from host wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lgv_nav::costmap::{Costmap, CostmapConfig};
+use lgv_nav::dwa::{DwaConfig, DwaPlanner};
+use lgv_sim::world::presets;
+use lgv_sim::{Lidar, LidarConfig};
+use lgv_types::prelude::*;
+use std::hint::black_box;
+
+fn setup() -> (Costmap, MapMsg, LaserScan, Pose2D, PathMsg, Point2) {
+    let world = presets::lab();
+    let map = world.to_map_msg(SimTime::EPOCH);
+    let cm = Costmap::from_map(CostmapConfig::default(), &map);
+    let pose = presets::lab_start();
+    let mut lidar = Lidar::new(LidarConfig::default(), SimRng::seed_from_u64(7));
+    let scan = lidar.scan(&world, pose, SimTime::EPOCH);
+    let goal = presets::lab_goal();
+    let path = PathMsg { stamp: SimTime::EPOCH, waypoints: vec![pose.position(), goal] };
+    (cm, map, scan, pose, path, goal)
+}
+
+fn bench_costmap_update(c: &mut Criterion) {
+    let (mut cm, map, scan, pose, _, _) = setup();
+    c.bench_function("costmap_update_lab", |b| {
+        b.iter(|| {
+            let mut meter = WorkMeter::new();
+            cm.update(&map, pose, &scan, &mut meter);
+            black_box(meter.finish());
+        })
+    });
+}
+
+fn bench_dwa_samples(c: &mut Criterion) {
+    let (cm, _, _, pose, path, goal) = setup();
+    let mut group = c.benchmark_group("dwa_samples");
+    group.sample_size(20);
+    for &samples in &[100u32, 500, 1000, 2000] {
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &samples| {
+            let mut dwa = DwaPlanner::new(DwaConfig { samples, ..DwaConfig::default() });
+            b.iter(|| black_box(dwa.compute(&cm, pose, &path, goal)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dwa_threads(c: &mut Criterion) {
+    let (cm, _, _, pose, path, goal) = setup();
+    let mut group = c.benchmark_group("dwa_threads_2000_samples");
+    group.sample_size(20);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let mut dwa =
+                DwaPlanner::new(DwaConfig { samples: 2000, threads, ..DwaConfig::default() });
+            b.iter(|| black_box(dwa.compute(&cm, pose, &path, goal)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_costmap_update, bench_dwa_samples, bench_dwa_threads);
+criterion_main!(benches);

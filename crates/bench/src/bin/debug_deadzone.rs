@@ -1,0 +1,45 @@
+//! Scratch diagnostics for the dead-zone scenario (mirrors the
+//! `dead_zone_static_policy_stalls_adaptive_recovers` e2e test).
+
+use lgv_net::signal::WirelessConfig;
+use lgv_offload::deploy::Deployment;
+use lgv_offload::mission::{self, MissionConfig, Workload};
+use lgv_offload::model::{Goal, VelocityModel};
+use lgv_offload::strategy::PinPolicy;
+use lgv_sim::world::WorldBuilder;
+use lgv_types::prelude::*;
+
+fn main() {
+    let world = WorldBuilder::new(18.0, 4.0, 0.05).walls().build();
+    let cfg = MissionConfig {
+        workload: Workload::Navigation,
+        deployment: Deployment::cloud_12t(),
+        goal: Goal::MissionTime,
+        adaptive: true,
+        adaptive_parallelism: false,
+        pins: PinPolicy::none(),
+        seed: 99,
+        world,
+        start: Pose2D::new(1.0, 2.0, 0.0),
+        nav_goal: Point2::new(16.5, 2.0),
+        wap: Point2::new(1.0, 3.5),
+        wireless: WirelessConfig::default().with_weak_radius(7.0),
+        wan_latency_override: None,
+        max_time: Duration::from_secs(200),
+        dwa_samples: 600,
+        slam_particles: 8,
+        velocity: VelocityModel::default(),
+        battery_wh: None,
+        lidar: lgv_sim::LidarConfig::default(),
+        exploration_speed_cap: 0.3,
+        record_traces: true,
+    };
+    let report = mission::run(cfg);
+    println!("completed {} ({}), switches {}", report.completed, report.reason, report.net_switches);
+    for (v, n) in report.velocity_trace.iter().zip(&report.net_trace).step_by(10) {
+        println!(
+            "t={:6.1} pos=({:5.2},{:4.2}) v={:.3} vmax={:.3} bw={:4.1} dir={:+.2} remote={}",
+            v.t, v.position.x, v.position.y, v.actual, v.vmax, n.bandwidth, n.direction, n.remote_active
+        );
+    }
+}

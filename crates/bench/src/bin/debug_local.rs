@@ -1,0 +1,32 @@
+//! Scratch diagnostics: watch a mission's pose/velocity over time.
+//! Not part of the figure set. `cargo run --release -p lgv-bench --bin
+//! debug_local [deployment]`.
+
+use lgv_offload::deploy::Deployment;
+use lgv_offload::mission::{self, MissionConfig};
+use lgv_types::prelude::*;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "local".into());
+    let explore = std::env::args().nth(2).is_some();
+    let d = match arg.as_str() {
+        "edge" => Deployment::edge_8t(),
+        "cloud" => Deployment::cloud_12t(),
+        _ => Deployment::local(),
+    };
+    let mut cfg = if explore {
+        MissionConfig::exploration_lab(d)
+    } else {
+        MissionConfig::navigation_lab(d)
+    };
+    if !explore {
+        cfg.max_time = Duration::from_secs(240);
+    }
+    let report = mission::run(cfg);
+    println!("completed: {} ({})", report.completed, report.reason);
+    println!("distance: {:.2} m, time {:.0}s, standby {:.0}s",
+        report.distance, report.time.total().as_secs_f64(), report.time.standby.as_secs_f64());
+    for s in report.velocity_trace.iter().step_by(25) {
+        println!("t={:6.1}  vmax={:.3}  v={:.3}  pos=({:.2},{:.2})", s.t, s.vmax, s.actual, s.position.x, s.position.y);
+    }
+}

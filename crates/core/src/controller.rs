@@ -1,0 +1,269 @@
+//! The runtime Controller (paper §VII).
+//!
+//! "This specifies the configuration parameters of functional worker
+//! nodes for computation offloading and robustness at runtime … it
+//! exposes interfaces of decision accuracy and maximum velocity
+//! adjustment … and uses profiling data to make corresponding actions
+//! based on our strategies."
+//!
+//! [`Controller`] composes Algorithm 1 ([`OffloadStrategy`]),
+//! Algorithm 2 ([`NetControl`]), and the derived actuation limits into
+//! one evaluation per control cycle. The mission engine drives it; a
+//! library user embedding the framework on their own robot stack calls
+//! exactly the same API.
+
+use crate::classify::Classification;
+use crate::model::VelocityModel;
+use crate::netctl::{NetControl, NetControlConfig, NetDecision};
+use crate::strategy::{OffloadStrategy, PlacementPlan};
+use lgv_types::prelude::*;
+
+/// Measurements the Controller consumes each cycle (from the Profiler
+/// and the switcher).
+#[derive(Debug, Clone, Copy)]
+pub struct ControlInputs {
+    /// `T_l^v`: VDP makespan with the VDP local.
+    pub local_vdp: Duration,
+    /// `T_c`: VDP makespan with T3 offloaded, network included.
+    pub cloud_vdp: Duration,
+    /// Packet bandwidth `r_t` (packets/s).
+    pub bandwidth: f64,
+    /// Signal direction `d_t` (positive = approaching the WAP).
+    pub direction: f64,
+    /// Whether offloading is currently active.
+    pub remote_enabled: bool,
+    /// Whether freshly-migrated nodes still lack their state.
+    pub cold_state: bool,
+    /// Exploration safety cap (None for known-map navigation).
+    pub exploration_cap: Option<f64>,
+}
+
+/// The Controller's per-cycle outputs: what to configure where.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlDecision {
+    /// Algorithm 1's placement plan.
+    pub plan: PlacementPlan,
+    /// Whether the VDP actually runs remotely this cycle.
+    pub vdp_remote: bool,
+    /// The makespan in force (drives Eq. 2c and the mux timeout).
+    pub makespan: Duration,
+    /// Maximum linear velocity (Eq. 2c, all caps applied).
+    pub max_linear: f64,
+    /// Maximum angular velocity (rotational analogue of Eq. 2c).
+    pub max_angular: f64,
+    /// Velocity-mux staleness timeout matched to the pipeline rate.
+    pub mux_timeout: Duration,
+    /// Algorithm 2's verdict for this cycle.
+    pub net_decision: NetDecision,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Eq. 2c parameters.
+    pub velocity: VelocityModel,
+    /// Algorithm 2 parameters.
+    pub netctl: NetControlConfig,
+    /// Heading-error budget per reaction interval (rad) for the
+    /// angular-velocity cap.
+    pub heading_budget: f64,
+    /// Velocity cap while node state is still migrating.
+    pub cold_state_cap: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            velocity: VelocityModel::default(),
+            netctl: NetControlConfig::default(),
+            heading_budget: 0.35,
+            cold_state_cap: 0.15,
+        }
+    }
+}
+
+/// The runtime Controller.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    strategy: OffloadStrategy,
+    netctl: NetControl,
+    offloaded_deployment: bool,
+    adaptive: bool,
+}
+
+impl Controller {
+    /// Build a Controller around an Algorithm 1 strategy.
+    ///
+    /// * `offloaded` — whether the deployment has a remote host at all;
+    /// * `adaptive` — whether Algorithm 2 may switch placements.
+    pub fn new(
+        cfg: ControllerConfig,
+        strategy: OffloadStrategy,
+        offloaded: bool,
+        adaptive: bool,
+    ) -> Self {
+        let netctl = NetControl::new(cfg.netctl);
+        Controller { cfg, strategy, netctl, offloaded_deployment: offloaded, adaptive }
+    }
+
+    /// Algorithm 2 switches performed so far.
+    pub fn net_switches(&self) -> u64 {
+        self.netctl.switches
+    }
+
+    /// Evaluate one control cycle.
+    pub fn evaluate(
+        &mut self,
+        now: SimTime,
+        class: &Classification,
+        inputs: ControlInputs,
+    ) -> ControlDecision {
+        // Algorithm 1: placement plan from the two makespans.
+        let plan = self.strategy.decide(class, inputs.local_vdp, inputs.cloud_vdp);
+        let vdp_remote = self.offloaded_deployment
+            && inputs.remote_enabled
+            && plan.remote.contains(NodeKind::PathTracking);
+        let makespan = if vdp_remote { inputs.cloud_vdp } else { inputs.local_vdp };
+
+        // Eq. 2c velocity with the safety and cold-state caps.
+        let mut max_linear = self.cfg.velocity.vmax(makespan);
+        if let Some(cap) = inputs.exploration_cap {
+            max_linear = max_linear.min(cap);
+        }
+        if inputs.cold_state {
+            max_linear = max_linear.min(self.cfg.cold_state_cap);
+        }
+
+        // Rotational budget and pipeline-matched staleness timeout.
+        let max_angular =
+            (self.cfg.heading_budget / makespan.as_secs_f64().max(0.05)).clamp(0.4, 2.84);
+        let mux_timeout = Duration::from_millis(600).max(makespan * 2.5);
+
+        // Algorithm 2.
+        let net_decision = if self.adaptive && self.offloaded_deployment {
+            self.netctl.decide(now, inputs.bandwidth, inputs.direction, inputs.remote_enabled)
+        } else {
+            NetDecision::Keep
+        };
+
+        ControlDecision {
+            plan,
+            vdp_remote,
+            makespan,
+            max_linear,
+            max_angular,
+            mux_timeout,
+            net_decision,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{classify, table2_with_map};
+    use crate::model::Goal;
+
+    fn controller(adaptive: bool) -> Controller {
+        Controller::new(
+            ControllerConfig::default(),
+            OffloadStrategy::new(Goal::MissionTime),
+            true,
+            adaptive,
+        )
+    }
+
+    fn inputs(local_ms: u64, cloud_ms: u64, remote: bool) -> ControlInputs {
+        ControlInputs {
+            local_vdp: Duration::from_millis(local_ms),
+            cloud_vdp: Duration::from_millis(cloud_ms),
+            bandwidth: 5.0,
+            direction: 0.1,
+            remote_enabled: remote,
+            cold_state: false,
+            exploration_cap: None,
+        }
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::EPOCH + Duration::from_secs(s)
+    }
+
+    #[test]
+    fn good_network_runs_vdp_remotely_and_fast() {
+        let mut c = controller(true);
+        let class = classify(&table2_with_map());
+        let d = c.evaluate(t(10), &class, inputs(600, 60, true));
+        assert!(d.vdp_remote);
+        assert_eq!(d.makespan, Duration::from_millis(60));
+        assert!(d.max_linear > 0.4);
+        assert!(d.max_angular > 2.0);
+    }
+
+    #[test]
+    fn bad_network_pulls_vdp_back_and_slows() {
+        let mut c = controller(true);
+        let class = classify(&table2_with_map());
+        let d = c.evaluate(t(10), &class, inputs(600, 900, true));
+        assert!(!d.vdp_remote, "MCT must migrate T3 back");
+        assert_eq!(d.makespan, Duration::from_millis(600));
+        assert!(d.max_linear < 0.25);
+        assert!(d.max_angular < 1.0, "slow pipeline must bound turn rate");
+        assert!(d.mux_timeout >= Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn cold_state_caps_velocity() {
+        let mut c = controller(true);
+        let class = classify(&table2_with_map());
+        let mut i = inputs(600, 60, true);
+        i.cold_state = true;
+        let d = c.evaluate(t(10), &class, i);
+        assert!(d.max_linear <= 0.15 + 1e-12);
+    }
+
+    #[test]
+    fn exploration_cap_applies() {
+        let mut c = controller(true);
+        let class = classify(&table2_with_map());
+        let mut i = inputs(600, 40, true);
+        i.exploration_cap = Some(0.3);
+        let d = c.evaluate(t(10), &class, i);
+        assert!(d.max_linear <= 0.3 + 1e-12);
+    }
+
+    #[test]
+    fn non_adaptive_controller_never_switches() {
+        let mut c = controller(false);
+        let class = classify(&table2_with_map());
+        let mut i = inputs(600, 60, true);
+        i.bandwidth = 0.0;
+        i.direction = -0.5;
+        for k in 0..20 {
+            let d = c.evaluate(t(k), &class, i);
+            assert_eq!(d.net_decision, NetDecision::Keep);
+        }
+        assert_eq!(c.net_switches(), 0);
+    }
+
+    #[test]
+    fn adaptive_controller_switches_in_dead_zone() {
+        let mut c = controller(true);
+        let class = classify(&table2_with_map());
+        let mut i = inputs(600, 60, true);
+        i.bandwidth = 0.5;
+        i.direction = -0.5;
+        let mut switched = false;
+        for k in 0..20 {
+            let d = c.evaluate(t(k), &class, i);
+            if d.net_decision == NetDecision::InvokeLocal {
+                switched = true;
+                // The caller applies the decision.
+                i.remote_enabled = false;
+            }
+        }
+        assert!(switched);
+        assert_eq!(c.net_switches(), 1, "conditions stay local: no flapping");
+    }
+}

@@ -1,0 +1,50 @@
+//! # lgv-offload
+//!
+//! The paper's primary contribution: a practical, adaptive
+//! cloud-offloading framework for Low-cost Ground Vehicle workloads.
+//!
+//! * [`model`] — the analytical model of §III: energy (Eq. 1a–1d) and
+//!   mission-completion time (Eq. 2a–2c), including the
+//!   obstacle-avoidance maximum velocity `velocityOA`.
+//! * [`classify`] — bottleneck identification (§IV-A): Energy-Critical
+//!   Nodes, the Velocity-Dependent Path, and the T1–T4 quadrants of
+//!   Fig. 4.
+//! * [`strategy`] — Algorithm 1: the fine-grained migration policy for
+//!   the EC (energy) and MCT (mission-completion-time) goals, with the
+//!   safety-critical pinning extension of §IX.
+//! * [`netctl`] — Algorithm 2: offload network-quality control from
+//!   packet bandwidth + signal direction (and the latency-only
+//!   baseline it replaces, for the ablation).
+//! * [`profiler`] — the Profiler thread of §VII: per-node processing
+//!   times, RTT, and the VDP makespan.
+//! * [`deploy`] — the five evaluation deployments of §VIII (local /
+//!   gateway / gateway+8T / cloud / cloud+12T).
+//! * [`mission`] — end-to-end virtual-time mission runner for the two
+//!   standard workloads (Navigation with a map, Exploration without),
+//!   wiring the whole stack together: simulated vehicle + sensors,
+//!   middleware, network, remote platforms, energy ledger, and the
+//!   runtime Controller applying both algorithms.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod controller;
+pub mod deploy;
+pub mod governor;
+pub mod migration;
+pub mod mission;
+pub mod model;
+pub mod netctl;
+pub mod profiler;
+pub mod strategy;
+
+pub use classify::{classify, Classification, NodeProfile};
+pub use controller::{ControlDecision, ControlInputs, Controller, ControllerConfig};
+pub use deploy::Deployment;
+pub use governor::{GovernorConfig, ThreadGovernor};
+pub use migration::{MigrationManager, MigrationTicket};
+pub use mission::{MissionConfig, MissionReport, Workload};
+pub use model::{max_velocity_oa, Goal, VelocityModel};
+pub use netctl::{NetControl, NetControlConfig, NetDecision};
+pub use profiler::Profiler;
+pub use strategy::{OffloadStrategy, PlacementPlan};

@@ -1,0 +1,222 @@
+//! Node state migration (paper §VI-A / §VII).
+//!
+//! When Algorithm 2 moves nodes between hosts, their *state* has to
+//! follow: "the LGV will invoke offloaded computation nodes locally
+//! and migrate related states back from the cloud". State transfer is
+//! control traffic — it must arrive completely — so it rides the
+//! reliable [`TcpChannel`] rather than the freshness-first UDP paths.
+//!
+//! Until the state lands, the freshly-invoked node runs *cold*
+//! (costmap without its obstacle history, path tracker without its
+//! dynamic-window context), and the Controller caps the velocity — the
+//! "spend much time to restart mission without state migration"
+//! failure the paper warns about is exactly what this machinery
+//! avoids.
+
+use lgv_net::signal::SignalModel;
+use lgv_net::TcpChannel;
+use lgv_types::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Estimated wire size of a node's migratable state (bytes).
+///
+/// CostmapGen carries its obstacle-layer marks; PathTracking its
+/// dynamic-window context; SLAM dominates with per-particle poses,
+/// weights, and the delta of its occupancy maps.
+pub fn state_size_bytes(kind: NodeKind, slam_particles: usize) -> usize {
+    match kind {
+        NodeKind::CostmapGen => 20 * 1024,
+        NodeKind::PathTracking => 256,
+        NodeKind::VelocityMux => 64,
+        NodeKind::Slam => slam_particles * 2 * 1024,
+        NodeKind::Localization => 4 * 1024,
+        NodeKind::PathPlanning | NodeKind::Exploration => 128,
+    }
+}
+
+/// A migration in progress.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationTicket {
+    /// Which nodes are moving.
+    pub nodes: NodeSet,
+    /// When the transfer started.
+    pub started: SimTime,
+    /// Total bytes being shipped.
+    pub bytes: usize,
+}
+
+/// Outcome of a completed migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationDone {
+    /// The ticket that completed.
+    pub ticket: MigrationTicket,
+    /// How long the transfer took.
+    pub elapsed: Duration,
+    /// Transmission attempts used (> segments ⇒ retransmissions).
+    pub attempts: u64,
+}
+
+/// Ships node state over a reliable channel during placement switches.
+#[derive(Debug)]
+pub struct MigrationManager {
+    tcp: TcpChannel,
+    active: Option<(MigrationTicket, u64)>,
+    /// Completed migrations (diagnostics).
+    pub completed: u64,
+    segment_bytes: usize,
+}
+
+impl MigrationManager {
+    /// Build over the mission's radio model; `wan_latency` as for the
+    /// data links.
+    pub fn new(signal: SignalModel, wan_latency: Duration, rng: SimRng) -> Self {
+        MigrationManager {
+            tcp: TcpChannel::new(signal, wan_latency, rng),
+            active: None,
+            completed: 0,
+            segment_bytes: 1400, // one MTU-ish segment
+        }
+    }
+
+    /// Is a transfer currently in flight?
+    pub fn in_progress(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Begin migrating the state of `nodes` at `now`. Returns `None`
+    /// (and does nothing) if a transfer is already running — the
+    /// Controller's dwell time makes back-to-back switches rare, and
+    /// the newest placement wins once the current transfer lands.
+    pub fn begin(
+        &mut self,
+        now: SimTime,
+        nodes: NodeSet,
+        slam_particles: usize,
+    ) -> Option<MigrationTicket> {
+        if self.active.is_some() || nodes.is_empty() {
+            return None;
+        }
+        let bytes: usize = nodes.iter().map(|k| state_size_bytes(k, slam_particles)).sum();
+        let ticket = MigrationTicket { nodes, started: now, bytes };
+        let segments = bytes.div_ceil(self.segment_bytes).max(1);
+        let mut last_seq = 0;
+        for i in 0..segments {
+            let len = self.segment_bytes.min(bytes - i * self.segment_bytes);
+            last_seq = self.tcp.send(now, bytes::Bytes::from(vec![0u8; len]));
+        }
+        self.active = Some((ticket, last_seq));
+        Some(ticket)
+    }
+
+    /// Abandon the in-flight transfer (the destination will rebuild
+    /// state from fresh sensor data instead — the paper's "restart
+    /// mission without state migration" fallback).
+    pub fn abort(&mut self) {
+        self.active = None;
+    }
+
+    /// Advance the transfer; returns the completion record when the
+    /// last segment has been delivered.
+    pub fn tick(&mut self, now: SimTime, robot: Point2) -> Option<MigrationDone> {
+        self.tcp.tick(now, robot);
+        let (ticket, last_seq) = self.active?;
+        let mut done = false;
+        while let Some((seq, _, _)) = self.tcp.recv() {
+            if seq == last_seq {
+                done = true;
+            }
+        }
+        if !done {
+            return None;
+        }
+        self.active = None;
+        self.completed += 1;
+        Some(MigrationDone {
+            ticket,
+            elapsed: now.saturating_since(ticket.started),
+            attempts: self.tcp.stats().attempts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgv_net::signal::WirelessConfig;
+
+    fn manager() -> MigrationManager {
+        let cfg = WirelessConfig { jitter: Duration::ZERO, ..WirelessConfig::default() }
+            .with_weak_radius(25.0);
+        let sm = SignalModel::new(cfg, Point2::new(0.0, 0.0));
+        MigrationManager::new(sm, Duration::from_millis(12), SimRng::seed_from_u64(5))
+    }
+
+    fn drive(m: &mut MigrationManager, from_ms: u64, pos: Point2, limit_s: u64) -> Option<(MigrationDone, SimTime)> {
+        let mut t = SimTime::EPOCH + Duration::from_millis(from_ms);
+        for _ in 0..(limit_s * 100) {
+            t += Duration::from_millis(10);
+            if let Some(done) = m.tick(t, pos) {
+                return Some((done, t));
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn state_sizes_are_ordered_sensibly() {
+        assert!(state_size_bytes(NodeKind::Slam, 30) > state_size_bytes(NodeKind::CostmapGen, 30));
+        assert!(
+            state_size_bytes(NodeKind::CostmapGen, 30) > state_size_bytes(NodeKind::PathTracking, 30)
+        );
+        // SLAM state scales with the particle count.
+        assert_eq!(
+            state_size_bytes(NodeKind::Slam, 60),
+            2 * state_size_bytes(NodeKind::Slam, 30)
+        );
+    }
+
+    #[test]
+    fn vdp_state_migrates_quickly_near_the_wap() {
+        let mut m = manager();
+        let nodes = NodeSet::from_iter([NodeKind::CostmapGen, NodeKind::PathTracking]);
+        let ticket = m.begin(SimTime::EPOCH, nodes, 30).expect("ticket");
+        assert!(ticket.bytes > 20_000);
+        assert!(m.in_progress());
+        let (done, _) = drive(&mut m, 0, Point2::new(1.0, 0.0), 30).expect("completes");
+        assert_eq!(done.ticket.nodes, nodes);
+        assert!(
+            done.elapsed < Duration::from_secs(2),
+            "near-WAP migration took {}",
+            done.elapsed
+        );
+        assert!(!m.in_progress());
+    }
+
+    #[test]
+    fn slam_state_takes_longer_than_vdp_state() {
+        let mut a = manager();
+        a.begin(SimTime::EPOCH, NodeSet::single(NodeKind::PathTracking), 30);
+        let (fast, _) = drive(&mut a, 0, Point2::new(1.0, 0.0), 30).unwrap();
+        let mut b = manager();
+        b.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30);
+        let (slow, _) = drive(&mut b, 0, Point2::new(1.0, 0.0), 60).unwrap();
+        assert!(slow.elapsed > fast.elapsed, "{} vs {}", slow.elapsed, fast.elapsed);
+    }
+
+    #[test]
+    fn migration_survives_a_lossy_link() {
+        let mut m = manager();
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30);
+        // Lossy but not dead (the robot is walking back into range).
+        let (done, _) = drive(&mut m, 0, Point2::new(20.0, 0.0), 120).expect("eventually lands");
+        assert!(done.attempts as usize > done.ticket.bytes / 1400, "retransmissions expected");
+    }
+
+    #[test]
+    fn only_one_migration_at_a_time() {
+        let mut m = manager();
+        assert!(m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30).is_some());
+        assert!(m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30).is_none());
+        assert!(m.begin(SimTime::EPOCH, NodeSet::EMPTY, 30).is_none());
+    }
+}

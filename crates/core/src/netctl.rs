@@ -1,0 +1,282 @@
+//! Algorithm 2: offload network quality control (paper §VI-A).
+//!
+//! Latency statistics lie over VDP-style UDP links (Fig. 7): packets
+//! silently discarded at the sender never appear in any percentile,
+//! so the tail looks healthy precisely while the link starves. The
+//! paper's controller therefore watches two robust signals:
+//!
+//! * `r_t` — **packet bandwidth**: the receive rate over a window;
+//!   with a fixed 5 Hz send rate it directly exposes loss;
+//! * `d_t` — **signal direction**: whether the LGV is moving towards
+//!   (+) or away from (−) the WAP, from its internal world model.
+//!
+//! The decision rule is exactly Algorithm 2, plus a dwell time so the
+//! system cannot flap when hovering at the threshold:
+//!
+//! ```text
+//! if r_t < threshold and d_t < 0 → invoke nodes locally
+//! if r_t > threshold and d_t > 0 → invoke nodes remotely
+//! otherwise                      → keep the current placement
+//! ```
+//!
+//! A latency-threshold baseline ([`LatencyOnlyControl`]) is included
+//! for the ablation benches — it demonstrates the Fig. 7/11 failure.
+
+use lgv_types::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// What Algorithm 2 wants done with the currently-offloaded node set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetDecision {
+    /// Migrate the offloaded nodes back onto the LGV.
+    InvokeLocal,
+    /// (Re-)offload the nodes to the remote server.
+    InvokeRemote,
+    /// No change.
+    Keep,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetControlConfig {
+    /// Bandwidth threshold (packets/s). The paper uses 4 of a 5 Hz
+    /// send rate (§VIII-C).
+    pub bandwidth_threshold: f64,
+    /// Minimum time between switches (hysteresis dwell).
+    pub min_dwell: Duration,
+    /// Ignore measurements this long after startup (the bandwidth
+    /// window and direction estimator need to fill).
+    pub warmup: Duration,
+    /// Direction magnitudes below this count as "not moving" (neither
+    /// branch of Algorithm 2 fires).
+    pub direction_deadband: f64,
+    /// Extension beyond the paper's Algorithm 2: if the bandwidth has
+    /// been below threshold for this long while offloaded, invoke the
+    /// nodes locally regardless of signal direction. The paper's two
+    /// rules only cover the *mobility* cases; a stationary robot in a
+    /// total outage would otherwise deadlock (it cannot move without
+    /// commands, and it cannot switch without moving).
+    pub outage_timeout: Duration,
+}
+
+impl Default for NetControlConfig {
+    fn default() -> Self {
+        NetControlConfig {
+            bandwidth_threshold: 4.0,
+            min_dwell: Duration::from_millis(1500),
+            warmup: Duration::from_secs(2),
+            direction_deadband: 0.02,
+            outage_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Algorithm 2 with switch-dwell hysteresis.
+#[derive(Debug, Clone)]
+pub struct NetControl {
+    cfg: NetControlConfig,
+    last_switch: Option<SimTime>,
+    started: Option<SimTime>,
+    starved_since: Option<SimTime>,
+    /// Switches performed (diagnostics).
+    pub switches: u64,
+}
+
+impl NetControl {
+    /// Build with config.
+    pub fn new(cfg: NetControlConfig) -> Self {
+        NetControl { cfg, last_switch: None, started: None, starved_since: None, switches: 0 }
+    }
+
+    /// Evaluate the rule at `now` given the measured packet bandwidth
+    /// `r_t` (packets/s), the signal direction `d_t` (positive =
+    /// approaching the WAP), and whether the nodes currently run
+    /// remotely.
+    pub fn decide(&mut self, now: SimTime, r_t: f64, d_t: f64, remote_active: bool) -> NetDecision {
+        let started = *self.started.get_or_insert(now);
+        if now.saturating_since(started) < self.cfg.warmup {
+            return NetDecision::Keep;
+        }
+        if let Some(last) = self.last_switch {
+            if now.saturating_since(last) < self.cfg.min_dwell {
+                return NetDecision::Keep;
+            }
+        }
+        // Outage watchdog (extension; see `NetControlConfig`).
+        if remote_active && r_t < self.cfg.bandwidth_threshold {
+            let since = *self.starved_since.get_or_insert(now);
+            if now.saturating_since(since) >= self.cfg.outage_timeout {
+                self.starved_since = None;
+                self.last_switch = Some(now);
+                self.switches += 1;
+                return NetDecision::InvokeLocal;
+            }
+        } else {
+            self.starved_since = None;
+        }
+
+        let db = self.cfg.direction_deadband;
+        let decision = if r_t < self.cfg.bandwidth_threshold && d_t < -db && remote_active {
+            NetDecision::InvokeLocal
+        } else if r_t > self.cfg.bandwidth_threshold && d_t > db && !remote_active {
+            NetDecision::InvokeRemote
+        } else {
+            NetDecision::Keep
+        };
+        if decision != NetDecision::Keep {
+            self.last_switch = Some(now);
+            self.switches += 1;
+        }
+        decision
+    }
+}
+
+/// The naive latency-threshold controller Algorithm 2 replaces. Used
+/// by the ablation benches to reproduce the Fig. 7 failure: under
+/// weak signal the observed latency stays healthy (survivor bias), so
+/// this controller never reacts.
+#[derive(Debug, Clone)]
+pub struct LatencyOnlyControl {
+    /// Switch local when observed tail latency exceeds this.
+    pub latency_threshold: Duration,
+}
+
+impl LatencyOnlyControl {
+    /// Evaluate on the latest observed (survivor) latency; `None`
+    /// means no packet arrived — which this naive controller treats
+    /// as "no news is good news", exactly its failure mode.
+    pub fn decide(&self, observed: Option<Duration>, remote_active: bool) -> NetDecision {
+        match observed {
+            Some(lat) if lat > self.latency_threshold && remote_active => {
+                NetDecision::InvokeLocal
+            }
+            _ => NetDecision::Keep,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::EPOCH + Duration::from_millis(ms)
+    }
+
+    /// A controller whose warm-up has already elapsed (first decide
+    /// call pins the start time).
+    fn warmed() -> NetControl {
+        let mut c = NetControl::new(NetControlConfig::default());
+        assert_eq!(c.decide(t(0), 5.0, 0.0, true), NetDecision::Keep);
+        c
+    }
+
+    #[test]
+    fn warmup_suppresses_early_decisions() {
+        let mut c = NetControl::new(NetControlConfig::default());
+        // Clear "go local" conditions, but inside the warm-up window.
+        assert_eq!(c.decide(t(0), 0.0, -0.5, true), NetDecision::Keep);
+        assert_eq!(c.decide(t(1000), 0.0, -0.5, true), NetDecision::Keep);
+        assert_eq!(c.decide(t(2500), 0.0, -0.5, true), NetDecision::InvokeLocal);
+    }
+
+    #[test]
+    fn weak_and_retreating_goes_local() {
+        let mut c = warmed();
+        assert_eq!(c.decide(t(3000), 1.0, -0.5, true), NetDecision::InvokeLocal);
+    }
+
+    #[test]
+    fn strong_and_approaching_goes_remote() {
+        let mut c = warmed();
+        assert_eq!(c.decide(t(3000), 5.0, 0.5, false), NetDecision::InvokeRemote);
+    }
+
+    #[test]
+    fn mixed_signals_keep() {
+        let mut c = warmed();
+        // Weak but approaching: the link is about to recover — keep.
+        assert_eq!(c.decide(t(3000), 1.0, 0.5, true), NetDecision::Keep);
+        // Strong but retreating: still fine for now — keep.
+        assert_eq!(c.decide(t(3010), 5.0, -0.5, true), NetDecision::Keep);
+    }
+
+    #[test]
+    fn idempotent_states_keep() {
+        let mut c = warmed();
+        // Already local, weak signal: nothing to do.
+        assert_eq!(c.decide(t(3000), 1.0, -0.5, false), NetDecision::Keep);
+        // Already remote, strong signal: nothing to do.
+        assert_eq!(c.decide(t(3010), 5.0, 0.5, true), NetDecision::Keep);
+    }
+
+    #[test]
+    fn dwell_prevents_flapping() {
+        let mut c = warmed();
+        assert_eq!(c.decide(t(3000), 1.0, -0.5, true), NetDecision::InvokeLocal);
+        // Immediately after, conditions say "go remote" — suppressed.
+        assert_eq!(c.decide(t(3200), 5.0, 0.5, false), NetDecision::Keep);
+        // After the dwell expires the switch is allowed.
+        assert_eq!(c.decide(t(5000), 5.0, 0.5, false), NetDecision::InvokeRemote);
+        assert_eq!(c.switches, 2);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let mut c = warmed();
+        // Exactly at the threshold: neither branch fires.
+        assert_eq!(c.decide(t(3000), 4.0, -0.5, true), NetDecision::Keep);
+        assert_eq!(c.decide(t(3010), 4.0, 0.5, false), NetDecision::Keep);
+    }
+
+    #[test]
+    fn outage_watchdog_fires_without_motion() {
+        // Stationary robot, dead link: the mobility rules can never
+        // fire (direction ≈ 0), but the watchdog must.
+        let mut c = warmed();
+        let mut fired = false;
+        for k in 0..15 {
+            let d = c.decide(t(3000 + k * 1000), 0.0, 0.0, true);
+            if d == NetDecision::InvokeLocal {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "watchdog should invoke local during a total outage");
+    }
+
+    #[test]
+    fn watchdog_resets_when_bandwidth_recovers() {
+        let mut c = warmed();
+        // 3 s starved, then healthy again: no switch.
+        assert_eq!(c.decide(t(3000), 0.0, 0.0, true), NetDecision::Keep);
+        assert_eq!(c.decide(t(6000), 0.0, 0.0, true), NetDecision::Keep);
+        assert_eq!(c.decide(t(7000), 5.0, 0.0, true), NetDecision::Keep);
+        // Starvation clock restarted: 4 s more of starvation is short
+        // of the 5 s timeout.
+        assert_eq!(c.decide(t(8000), 0.0, 0.0, true), NetDecision::Keep);
+        assert_eq!(c.decide(t(11_000), 0.0, 0.0, true), NetDecision::Keep);
+        assert_eq!(c.switches, 0);
+    }
+
+    #[test]
+    fn direction_deadband_suppresses_jitter() {
+        let mut c = warmed();
+        assert_eq!(c.decide(t(3000), 1.0, -0.005, true), NetDecision::Keep);
+        assert_eq!(c.decide(t(3010), 5.0, 0.005, false), NetDecision::Keep);
+    }
+
+    #[test]
+    fn latency_only_controller_misses_silent_loss() {
+        let c = LatencyOnlyControl { latency_threshold: Duration::from_millis(100) };
+        // Survivor packets look healthy → Keep, even though the link
+        // is actually starving (no packets at all → also Keep).
+        assert_eq!(c.decide(Some(Duration::from_millis(8)), true), NetDecision::Keep);
+        assert_eq!(c.decide(None, true), NetDecision::Keep);
+        // It only reacts to a latency it can *see*.
+        assert_eq!(
+            c.decide(Some(Duration::from_millis(500)), true),
+            NetDecision::InvokeLocal
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! In-process topic bus.
+//!
+//! Publishers serialize messages once through the [`crate::codec`] and
+//! fan the bytes out to every subscriber queue. Queues are bounded;
+//! when full, the **oldest** message is dropped — the freshness-over-
+//! completeness policy the paper's VDP links rely on (a queue capacity
+//! of 1 is exactly the "one-length queue" of §VI).
+
+use crate::codec::{from_bytes, to_bytes, CodecError};
+use crate::topic::TopicName;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct SubQueue {
+    cap: usize,
+    queue: Mutex<VecDeque<Bytes>>,
+    dropped: Mutex<u64>,
+}
+
+impl SubQueue {
+    fn push(&self, b: Bytes) {
+        let mut q = self.queue.lock();
+        if q.len() == self.cap {
+            q.pop_front();
+            *self.dropped.lock() += 1;
+        }
+        q.push_back(b);
+    }
+}
+
+#[derive(Debug, Default)]
+struct TopicState {
+    subs: Vec<Arc<SubQueue>>,
+    latest: Option<Bytes>,
+    publish_count: u64,
+}
+
+#[derive(Debug, Default)]
+struct BusInner {
+    topics: HashMap<TopicName, TopicState>,
+}
+
+/// A shared in-process message bus (one per host: the LGV runs one,
+/// each remote VM runs one).
+#[derive(Debug, Clone, Default)]
+pub struct Bus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+impl Bus {
+    /// Fresh, empty bus.
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Create a publisher handle for a topic.
+    pub fn publisher(&self, topic: TopicName) -> Publisher {
+        Publisher { bus: self.clone(), topic }
+    }
+
+    /// Subscribe to a topic with a bounded queue of `cap` messages.
+    pub fn subscribe(&self, topic: TopicName, cap: usize) -> Subscriber {
+        assert!(cap > 0, "queue capacity must be at least 1");
+        let q = Arc::new(SubQueue {
+            cap,
+            queue: Mutex::new(VecDeque::with_capacity(cap)),
+            dropped: Mutex::new(0),
+        });
+        self.inner.lock().topics.entry(topic).or_default().subs.push(q.clone());
+        Subscriber { queue: q, topic }
+    }
+
+    /// Publish raw bytes to a topic.
+    pub fn publish_bytes(&self, topic: TopicName, bytes: Bytes) {
+        let mut inner = self.inner.lock();
+        let state = inner.topics.entry(topic).or_default();
+        state.publish_count += 1;
+        state.latest = Some(bytes.clone());
+        for s in &state.subs {
+            s.push(bytes.clone());
+        }
+    }
+
+    /// Serialize and publish a message.
+    pub fn publish<T: Serialize>(&self, topic: TopicName, msg: &T) -> Result<(), CodecError> {
+        let b = to_bytes(msg)?;
+        self.publish_bytes(topic, b);
+        Ok(())
+    }
+
+    /// The most recently published bytes on a topic ("latched" read,
+    /// like a ROS latched topic), regardless of subscriptions.
+    pub fn latest_bytes(&self, topic: TopicName) -> Option<Bytes> {
+        self.inner.lock().topics.get(&topic).and_then(|t| t.latest.clone())
+    }
+
+    /// Decode the most recent message on a topic.
+    pub fn latest<T: DeserializeOwned>(&self, topic: TopicName) -> Option<T> {
+        self.latest_bytes(topic).and_then(|b| from_bytes(&b).ok())
+    }
+
+    /// Total messages ever published on a topic.
+    pub fn publish_count(&self, topic: TopicName) -> u64 {
+        self.inner.lock().topics.get(&topic).map_or(0, |t| t.publish_count)
+    }
+}
+
+/// A typed publishing handle.
+#[derive(Debug, Clone)]
+pub struct Publisher {
+    bus: Bus,
+    topic: TopicName,
+}
+
+impl Publisher {
+    /// Publish one message.
+    pub fn send<T: Serialize>(&self, msg: &T) -> Result<(), CodecError> {
+        self.bus.publish(self.topic, msg)
+    }
+
+    /// The topic this handle publishes to.
+    pub fn topic(&self) -> TopicName {
+        self.topic
+    }
+}
+
+/// A subscription handle with its own bounded queue.
+#[derive(Debug, Clone)]
+pub struct Subscriber {
+    queue: Arc<SubQueue>,
+    topic: TopicName,
+}
+
+impl Subscriber {
+    /// Pop the oldest queued raw message.
+    pub fn recv_bytes(&self) -> Option<Bytes> {
+        self.queue.queue.lock().pop_front()
+    }
+
+    /// Pop and decode the oldest queued message.
+    pub fn recv<T: DeserializeOwned>(&self) -> Result<Option<T>, CodecError> {
+        match self.recv_bytes() {
+            None => Ok(None),
+            Some(b) => from_bytes(&b).map(Some),
+        }
+    }
+
+    /// Drain the queue, returning only the newest message (the common
+    /// freshness pattern for one-length control queues).
+    pub fn recv_latest<T: DeserializeOwned>(&self) -> Result<Option<T>, CodecError> {
+        let mut last = None;
+        while let Some(b) = self.recv_bytes() {
+            last = Some(b);
+        }
+        match last {
+            None => Ok(None),
+            Some(b) => from_bytes(&b).map(Some),
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.queue.lock().len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Messages dropped from this queue because it was full.
+    pub fn dropped(&self) -> u64 {
+        *self.queue.dropped.lock()
+    }
+
+    /// The subscribed topic.
+    pub fn topic(&self) -> TopicName {
+        self.topic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgv_types::prelude::*;
+
+    #[test]
+    fn pub_sub_roundtrip() {
+        let bus = Bus::new();
+        let sub = bus.subscribe(TopicName::CMD_VEL, 4);
+        bus.publish(TopicName::CMD_VEL, &Twist::new(0.1, 0.2)).unwrap();
+        let t: Twist = sub.recv().unwrap().expect("message queued");
+        assert_eq!(t, Twist::new(0.1, 0.2));
+        assert!(sub.recv::<Twist>().unwrap().is_none());
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_a_copy() {
+        let bus = Bus::new();
+        let a = bus.subscribe(TopicName::SCAN, 2);
+        let b = bus.subscribe(TopicName::SCAN, 2);
+        bus.publish(TopicName::SCAN, &7u32).unwrap();
+        assert_eq!(a.recv::<u32>().unwrap(), Some(7));
+        assert_eq!(b.recv::<u32>().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn one_length_queue_keeps_freshest() {
+        let bus = Bus::new();
+        let sub = bus.subscribe(TopicName::CMD_VEL, 1);
+        for i in 0..5u32 {
+            bus.publish(TopicName::CMD_VEL, &i).unwrap();
+        }
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.recv::<u32>().unwrap(), Some(4));
+        assert_eq!(sub.dropped(), 4);
+    }
+
+    #[test]
+    fn recv_latest_drains() {
+        let bus = Bus::new();
+        let sub = bus.subscribe(TopicName::POSE, 8);
+        for i in 0..5u32 {
+            bus.publish(TopicName::POSE, &i).unwrap();
+        }
+        assert_eq!(sub.recv_latest::<u32>().unwrap(), Some(4));
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn latched_latest_without_subscription() {
+        let bus = Bus::new();
+        bus.publish(TopicName::MAP, &42u64).unwrap();
+        assert_eq!(bus.latest::<u64>(TopicName::MAP), Some(42));
+        assert_eq!(bus.latest::<u64>(TopicName::PLAN), None);
+        assert_eq!(bus.publish_count(TopicName::MAP), 1);
+    }
+
+    #[test]
+    fn subscription_only_sees_later_messages() {
+        let bus = Bus::new();
+        bus.publish(TopicName::ODOM, &1u32).unwrap();
+        let sub = bus.subscribe(TopicName::ODOM, 4);
+        assert!(sub.is_empty());
+        bus.publish(TopicName::ODOM, &2u32).unwrap();
+        assert_eq!(sub.recv::<u32>().unwrap(), Some(2));
+    }
+
+    #[test]
+    fn bus_clones_share_state() {
+        let bus = Bus::new();
+        let bus2 = bus.clone();
+        let sub = bus.subscribe(TopicName::GOAL, 2);
+        bus2.publish(TopicName::GOAL, &9u8).unwrap();
+        assert_eq!(sub.recv::<u8>().unwrap(), Some(9));
+    }
+}

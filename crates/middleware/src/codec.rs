@@ -1,0 +1,691 @@
+//! Compact binary serde codec.
+//!
+//! The paper serializes ROS messages with protobuf for efficient
+//! transmission (§VII); protobuf is outside our allowed dependency
+//! set, so this module implements an equivalent little-endian,
+//! non-self-describing wire format directly against the `serde` data
+//! model:
+//!
+//! * fixed-width little-endian integers and floats;
+//! * `u64` length prefixes for strings, byte arrays, sequences, maps;
+//! * one byte for `bool` / `Option` tags;
+//! * `u32` variant indices for enums;
+//! * struct fields in declaration order, no field names on the wire.
+//!
+//! Because the format is non-self-describing, both ends must agree on
+//! the message type — which the topic name guarantees, as in ROS.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Encoding/decoding failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        CodecError(msg.to_string())
+    }
+}
+
+/// Serialize a value into bytes.
+///
+/// ```
+/// use lgv_middleware::{to_bytes, from_bytes};
+/// use lgv_types::Twist;
+///
+/// let cmd = Twist::new(0.22, -0.8);
+/// let wire = to_bytes(&cmd).unwrap();
+/// let back: Twist = from_bytes(&wire).unwrap();
+/// assert_eq!(back, cmd);
+/// ```
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Bytes, CodecError> {
+    let mut ser = BinSerializer { out: BytesMut::with_capacity(128) };
+    value.serialize(&mut ser)?;
+    Ok(ser.out.freeze())
+}
+
+/// Deserialize a value from bytes, requiring the buffer to be fully
+/// consumed (trailing garbage indicates a framing bug).
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut de = BinDeserializer { input: bytes };
+    let v = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(CodecError(format!("{} trailing bytes", de.input.len())));
+    }
+    Ok(v)
+}
+
+struct BinSerializer {
+    out: BytesMut,
+}
+
+impl ser::Serializer for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.put_u8(v as u8);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.out.put_i8(v);
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.out.put_i16_le(v);
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.out.put_i32_le(v);
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.out.put_i64_le(v);
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.out.put_u8(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.out.put_u16_le(v);
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.out.put_u32_le(v);
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.out.put_u64_le(v);
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.out.put_f32_le(v);
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.out.put_f64_le(v);
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.out.put_u32_le(v as u32);
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.serialize_bytes(v.as_bytes())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.out.put_u64_le(v.len() as u64);
+        self.out.put_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.put_u8(0);
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, v: &T) -> Result<(), CodecError> {
+        self.out.put_u8(1);
+        v.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+    ) -> Result<(), CodecError> {
+        self.out.put_u32_le(idx);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), CodecError> {
+        v.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), CodecError> {
+        self.out.put_u32_le(idx);
+        v.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError("sequences need a known length".into()))?;
+        self.out.put_u64_le(len as u64);
+        Ok(self)
+    }
+    fn serialize_tuple(self, _: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _: &'static str, _: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self, CodecError> {
+        self.out.put_u32_le(idx);
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError("maps need a known length".into()))?;
+        self.out.put_u64_le(len as u64);
+        Ok(self)
+    }
+    fn serialize_struct(self, _: &'static str, _: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self, CodecError> {
+        self.out.put_u32_le(idx);
+        Ok(self)
+    }
+}
+
+macro_rules! impl_seq_like {
+    ($trait:path, $method:ident) => {
+        impl $trait for &mut BinSerializer {
+            type Ok = ();
+            type Error = CodecError;
+            fn $method<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), CodecError> {
+                v.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_seq_like!(ser::SerializeSeq, serialize_element);
+impl_seq_like!(ser::SerializeTuple, serialize_element);
+impl_seq_like!(ser::SerializeTupleStruct, serialize_field);
+impl_seq_like!(ser::SerializeTupleVariant, serialize_field);
+
+impl ser::SerializeMap for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, k: &T) -> Result<(), CodecError> {
+        k.serialize(&mut **self)
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), CodecError> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), CodecError> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), CodecError> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+struct BinDeserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> BinDeserializer<'de> {
+    fn need(&self, n: usize) -> Result<(), CodecError> {
+        if self.input.remaining() < n {
+            Err(CodecError(format!("unexpected EOF: need {n}, have {}", self.input.len())))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn take_len(&mut self) -> Result<usize, CodecError> {
+        self.need(8)?;
+        let n = self.input.get_u64_le();
+        if n > self.input.len() as u64 {
+            return Err(CodecError(format!("length {n} exceeds remaining input")));
+        }
+        Ok(n as usize)
+    }
+}
+
+macro_rules! de_prim {
+    ($fn:ident, $visit:ident, $get:ident, $n:expr) => {
+        fn $fn<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            self.need($n)?;
+            visitor.$visit(self.input.$get())
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, CodecError> {
+        Err(CodecError("format is not self-describing".into()))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.need(1)?;
+        match self.input.get_u8() {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(CodecError(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    de_prim!(deserialize_i8, visit_i8, get_i8, 1);
+    de_prim!(deserialize_i16, visit_i16, get_i16_le, 2);
+    de_prim!(deserialize_i32, visit_i32, get_i32_le, 4);
+    de_prim!(deserialize_i64, visit_i64, get_i64_le, 8);
+    de_prim!(deserialize_u8, visit_u8, get_u8, 1);
+    de_prim!(deserialize_u16, visit_u16, get_u16_le, 2);
+    de_prim!(deserialize_u32, visit_u32, get_u32_le, 4);
+    de_prim!(deserialize_u64, visit_u64, get_u64_le, 8);
+    de_prim!(deserialize_f32, visit_f32, get_f32_le, 4);
+    de_prim!(deserialize_f64, visit_f64, get_f64_le, 8);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.need(4)?;
+        let c = self.input.get_u32_le();
+        visitor.visit_char(char::from_u32(c).ok_or_else(|| CodecError(format!("bad char {c}")))?)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let n = self.take_len()?;
+        let (s, rest) = self.input.split_at(n);
+        self.input = rest;
+        visitor.visit_str(
+            std::str::from_utf8(s).map_err(|e| CodecError(format!("invalid utf8: {e}")))?,
+        )
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let n = self.take_len()?;
+        let (b, rest) = self.input.split_at(n);
+        self.input = rest;
+        visitor.visit_bytes(b)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.need(1)?;
+        match self.input.get_u8() {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(CodecError(format!("invalid option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let n = self.take_len()?;
+        visitor.visit_seq(CountedSeq { de: self, remaining: n })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(CountedSeq { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let n = self.take_len()?;
+        visitor.visit_map(CountedMap { de: self, remaining: n })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        _: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _: V) -> Result<V::Value, CodecError> {
+        Err(CodecError("identifiers are not encoded".into()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, CodecError> {
+        Err(CodecError("cannot skip values in a non-self-describing format".into()))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct CountedSeq<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for CountedSeq<'a, 'de> {
+    type Error = CodecError;
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct CountedMap<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'a, 'de> de::MapAccess<'de> for CountedMap<'a, 'de> {
+    type Error = CodecError;
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = CodecError;
+    type Variant = Self;
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), CodecError> {
+        self.de.need(4)?;
+        let idx = self.de.input.get_u32_le();
+        let v = seed.deserialize(idx.into_deserializer())?;
+        Ok((v, self))
+    }
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = CodecError;
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lgv_types::prelude::*;
+    use serde::Deserialize;
+    use std::collections::BTreeMap;
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + fmt::Debug>(v: &T) {
+        let b = to_bytes(v).expect("serialize");
+        let back: T = from_bytes(&b).expect("deserialize");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&-7i8);
+        roundtrip(&123456789i64);
+        roundtrip(&1.2345678f64);
+        roundtrip(&'λ');
+        roundtrip(&"hello world".to_string());
+        roundtrip(&Some(42u32));
+        roundtrip(&Option::<u32>::None);
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(&vec![1u32, 2, 3]);
+        roundtrip(&Vec::<f64>::new());
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u8);
+        m.insert("b".to_string(), 2u8);
+        roundtrip(&m);
+        roundtrip(&(1u8, "two".to_string(), 3.0f32));
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, Deserialize)]
+    enum TestEnum {
+        Unit,
+        Newtype(u32),
+        Tuple(u8, u8),
+        Struct { a: f64, b: String },
+    }
+
+    #[test]
+    fn enums_roundtrip() {
+        roundtrip(&TestEnum::Unit);
+        roundtrip(&TestEnum::Newtype(9));
+        roundtrip(&TestEnum::Tuple(1, 2));
+        roundtrip(&TestEnum::Struct { a: 1.5, b: "x".into() });
+    }
+
+    #[test]
+    fn message_types_roundtrip() {
+        roundtrip(&Pose2D::new(1.0, -2.0, 0.7));
+        roundtrip(&Twist::new(0.22, -1.1));
+        let scan = LaserScan {
+            stamp: SimTime::from_nanos(123456),
+            angle_min: 0.0,
+            angle_increment: 0.0175,
+            range_max: 3.5,
+            ranges: (0..360).map(|i| i as f64 * 0.01).collect(),
+        };
+        roundtrip(&scan);
+        let cmd = VelocityCmd {
+            stamp: SimTime::from_nanos(99),
+            twist: Twist::new(0.1, 0.2),
+            source: VelocitySource::SafetyController,
+        };
+        roundtrip(&cmd);
+        let map = MapMsg {
+            stamp: SimTime::EPOCH,
+            dims: GridDims::new(4, 3, 0.5, Point2::new(-1.0, 2.0)),
+            cells: vec![-1, 0, 100, 0, -1, 0, 100, 0, -1, 0, 100, 0],
+        };
+        roundtrip(&map);
+    }
+
+    #[test]
+    fn scan_wire_size_is_compact() {
+        let scan = LaserScan {
+            stamp: SimTime::EPOCH,
+            angle_min: 0.0,
+            angle_increment: 0.0175,
+            range_max: 3.5,
+            ranges: vec![1.0; 360],
+        };
+        let b = to_bytes(&scan).unwrap();
+        // stamp + 3 floats + len + 360 doubles ≈ 2.9 KB: matches the
+        // paper's 2.94 KB laser-scan transmission size.
+        assert!(b.len() < 3000, "wire size {}", b.len());
+        assert!(b.len() > 2880);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let b = to_bytes(&12345u64).unwrap();
+        let r: Result<u64, _> = from_bytes(&b[..4]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let mut b = to_bytes(&1u32).unwrap().to_vec();
+        b.push(0xFF);
+        let r: Result<u32, _> = from_bytes(&b);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn corrupt_bool_errors() {
+        let r: Result<bool, _> = from_bytes(&[7]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_errors() {
+        // Claims a 10^12-byte string in a 9-byte buffer.
+        let mut b = vec![];
+        b.extend_from_slice(&(1_000_000_000_000u64).to_le_bytes());
+        b.push(b'x');
+        let r: Result<String, _> = from_bytes(&b);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_errors() {
+        let mut b = vec![];
+        b.extend_from_slice(&2u64.to_le_bytes());
+        b.extend_from_slice(&[0xFF, 0xFE]);
+        let r: Result<String, _> = from_bytes(&b);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the middleware: codec roundtrips over
+//! arbitrary data and bus queue invariants.
+
+use lgv_middleware::{from_bytes, to_bytes, Bus, TopicName};
+use lgv_types::prelude::*;
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Nested {
+    a: Option<i32>,
+    b: Vec<u16>,
+    c: String,
+}
+
+fn nested_strategy() -> impl Strategy<Value = Nested> {
+    (
+        proptest::option::of(any::<i32>()),
+        proptest::collection::vec(any::<u16>(), 0..16),
+        ".{0,24}",
+    )
+        .prop_map(|(a, b, c)| Nested { a, b, c })
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips_primitives(
+        x in any::<i64>(), y in any::<f64>(), s in ".{0,64}", b in any::<bool>(),
+    ) {
+        prop_assume!(!y.is_nan());
+        let v = (x, y, s.clone(), b);
+        let bytes = to_bytes(&v).unwrap();
+        let back: (i64, f64, String, bool) = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn codec_roundtrips_collections(
+        v in proptest::collection::vec(any::<u32>(), 0..64),
+        m in proptest::collection::btree_map(any::<u16>(), any::<i8>(), 0..32),
+    ) {
+        let bytes = to_bytes(&(v.clone(), m.clone())).unwrap();
+        let back: (Vec<u32>, BTreeMap<u16, i8>) = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.0, v);
+        prop_assert_eq!(back.1, m);
+    }
+
+    #[test]
+    fn codec_roundtrips_derived_struct(n in nested_strategy()) {
+        let bytes = to_bytes(&n).unwrap();
+        let back: Nested = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, n);
+    }
+
+    #[test]
+    fn codec_roundtrips_scan(ranges in proptest::collection::vec(0.0f64..3.5, 0..400)) {
+        let scan = LaserScan {
+            stamp: SimTime::from_nanos(123),
+            angle_min: 0.0,
+            angle_increment: 0.0175,
+            range_max: 3.5,
+            ranges,
+        };
+        let bytes = to_bytes(&scan).unwrap();
+        let back: LaserScan = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, scan);
+    }
+
+    #[test]
+    fn codec_rejects_random_garbage_as_scan(junk in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Decoding random bytes must never panic — only `Err` or, for
+        // the rare structurally-valid prefix, a full consume.
+        let _ = from_bytes::<LaserScan>(&junk);
+    }
+
+    #[test]
+    fn bounded_queue_keeps_newest(cap in 1usize..8, n in 1usize..32) {
+        let bus = Bus::new();
+        let sub = bus.subscribe(TopicName::SCAN, cap);
+        for i in 0..n as u32 {
+            bus.publish(TopicName::SCAN, &i).unwrap();
+        }
+        let kept = sub.len();
+        prop_assert_eq!(kept, cap.min(n));
+        // Queue holds exactly the newest `kept` messages in order.
+        let mut expected = (n as u32 - kept as u32)..n as u32;
+        while let Ok(Some(v)) = sub.recv::<u32>() {
+            prop_assert_eq!(Some(v), expected.next());
+        }
+        prop_assert_eq!(sub.dropped(), (n - kept) as u64);
+    }
+
+    #[test]
+    fn publish_count_is_exact(n in 0usize..64) {
+        let bus = Bus::new();
+        for i in 0..n as u64 {
+            bus.publish(TopicName::ODOM, &i).unwrap();
+        }
+        prop_assert_eq!(bus.publish_count(TopicName::ODOM), n as u64);
+        if n > 0 {
+            prop_assert_eq!(bus.latest::<u64>(TopicName::ODOM), Some(n as u64 - 1));
+        }
+    }
+}

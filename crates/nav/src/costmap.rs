@@ -1,0 +1,455 @@
+//! Multi-layer costmap (the CostmapGen node).
+//!
+//! Mirrors ROS `costmap_2d`: a static layer seeded from the map, an
+//! obstacle layer maintained from laser scans (mark hits, ray-clear
+//! free space), and an inflation layer spreading cost outward from
+//! lethal cells so planners keep clearance. CostmapGen is both an ECN
+//! and the first node of the VDP (paper Table II / Fig. 4), so its
+//! cycle accounting matters: the per-update work is dominated by the
+//! full-grid inflation pass.
+
+use lgv_types::prelude::*;
+
+/// Cost of a lethal (obstacle) cell.
+pub const COST_LETHAL: u8 = 254;
+/// Cost of a cell inside the inscribed radius of an obstacle.
+pub const COST_INSCRIBED: u8 = 253;
+/// Largest cost considered traversable by planners.
+pub const COST_FREE_MAX: u8 = 127;
+/// Cost assigned to completely unknown cells.
+pub const COST_UNKNOWN: u8 = 128;
+
+/// Cycle-cost constants for the costmap work model, calibrated so the
+/// lab-map navigation workload draws ≈ 0.86 Gcycles/s (Table II,
+/// CostmapGen with a map) at the 5 Hz update rate.
+pub mod cost {
+    /// Cycles per cell touched in the inflation/refresh pass.
+    pub const CYCLES_PER_REFRESH_CELL: f64 = 3200.0;
+    /// Cycles per cell traced by the obstacle layer's ray clearing.
+    pub const CYCLES_PER_RAY_CELL: f64 = 220.0;
+}
+
+/// Costmap configuration.
+#[derive(Debug, Clone)]
+pub struct CostmapConfig {
+    /// Robot (inscribed) radius in metres.
+    pub inscribed_radius: f64,
+    /// Inflation radius in metres (cost decays to zero here).
+    pub inflation_radius: f64,
+    /// Exponential decay rate of inflated cost.
+    pub cost_scaling: f64,
+    /// Obstacle persistence: marks older than this many updates decay.
+    pub mark_ttl_updates: u32,
+}
+
+impl Default for CostmapConfig {
+    fn default() -> Self {
+        CostmapConfig {
+            inscribed_radius: 0.11,
+            inflation_radius: 0.45,
+            cost_scaling: 8.0,
+            mark_ttl_updates: 25,
+        }
+    }
+}
+
+/// The multi-layer costmap.
+#[derive(Debug, Clone)]
+pub struct Costmap {
+    cfg: CostmapConfig,
+    dims: GridDims,
+    /// Static layer: lethal where the a-priori map is occupied.
+    static_lethal: Vec<bool>,
+    /// Obstacle layer: update index when each cell was last marked
+    /// (0 = never).
+    marked_at: Vec<u32>,
+    /// Combined + inflated master grid.
+    master: Vec<u8>,
+    updates: u32,
+}
+
+impl Costmap {
+    /// Build from a static map message (all `OCCUPIED` cells become
+    /// lethal; `UNKNOWN` stays unknown until observed).
+    pub fn from_map(cfg: CostmapConfig, map: &MapMsg) -> Self {
+        let dims = map.dims;
+        let static_lethal = map.cells.iter().map(|&c| c == MapMsg::OCCUPIED).collect();
+        let mut cm = Costmap {
+            cfg,
+            dims,
+            static_lethal,
+            marked_at: vec![0; dims.len()],
+            master: vec![COST_UNKNOWN; dims.len()],
+            updates: 0,
+        };
+        let mut meter = WorkMeter::new();
+        cm.refresh(map, None, &mut meter);
+        cm
+    }
+
+    /// Build over an empty (all-unknown) static layer, for the
+    /// exploration workload where SLAM supplies the map incrementally.
+    pub fn empty(cfg: CostmapConfig, dims: GridDims) -> Self {
+        Costmap {
+            cfg,
+            dims,
+            static_lethal: vec![false; dims.len()],
+            marked_at: vec![0; dims.len()],
+            master: vec![COST_UNKNOWN; dims.len()],
+            updates: 0,
+        }
+    }
+
+    /// Grid geometry.
+    pub fn dims(&self) -> &GridDims {
+        &self.dims
+    }
+
+    /// Master-grid cost of a cell; out of bounds is lethal.
+    pub fn cost(&self, idx: GridIndex) -> u8 {
+        if self.dims.contains(idx) {
+            self.master[self.dims.flat(idx)]
+        } else {
+            COST_LETHAL
+        }
+    }
+
+    /// Is the cell traversable for planning (known and sub-inscribed)?
+    pub fn traversable(&self, idx: GridIndex) -> bool {
+        let c = self.cost(idx);
+        c < COST_INSCRIBED && c != COST_UNKNOWN
+    }
+
+    /// Is the disc of radius `r` centred at `p` in collision with a
+    /// lethal cell (used for trajectory feasibility)?
+    pub fn footprint_collides(&self, p: Point2, r: f64) -> bool {
+        let lo = self.dims.world_to_grid(Point2::new(p.x - r, p.y - r));
+        let hi = self.dims.world_to_grid(Point2::new(p.x + r, p.y + r));
+        for row in lo.row..=hi.row {
+            for col in lo.col..=hi.col {
+                let idx = GridIndex::new(col, row);
+                if self.cost(idx) >= COST_INSCRIBED {
+                    let c = self.dims.grid_to_world(idx);
+                    if c.distance(p) <= r + self.dims.resolution * 0.71 {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Replace the static layer (exploration: SLAM publishes a fresh
+    /// map).
+    pub fn set_static_map(&mut self, map: &MapMsg) {
+        assert_eq!(map.dims, self.dims, "map geometry must match");
+        for (dst, &c) in self.static_lethal.iter_mut().zip(&map.cells) {
+            *dst = c == MapMsg::OCCUPIED;
+        }
+    }
+
+    /// Update the obstacle layer from a scan taken at `pose`, then
+    /// rebuild the master grid (static ∪ obstacles, inflated). This is
+    /// one CostmapGen activation; `map` is the current known map used
+    /// to distinguish free from unknown.
+    pub fn update(&mut self, map: &MapMsg, pose: Pose2D, scan: &LaserScan, meter: &mut WorkMeter) {
+        self.updates += 1;
+        let origin = pose.position();
+        let mut ray_cells = 0u64;
+        for i in 0..scan.len() {
+            let endpoint = scan.beam_endpoint(pose, i);
+            let end_cell = self.dims.world_to_grid(endpoint);
+            // Clear along the beam.
+            for cell in GridRay::new(&self.dims, origin, endpoint) {
+                ray_cells += 1;
+                if cell == end_cell {
+                    break;
+                }
+                if self.dims.contains(cell) {
+                    let flat = self.dims.flat(cell);
+                    self.marked_at[flat] = 0;
+                }
+            }
+            // Mark the hit.
+            if scan.is_hit(i) && self.dims.contains(end_cell) {
+                let flat = self.dims.flat(end_cell);
+                self.marked_at[flat] = self.updates;
+            }
+        }
+        meter.serial_ops(ray_cells, cost::CYCLES_PER_RAY_CELL);
+        self.refresh(map, Some(pose.position()), meter);
+    }
+
+    /// Rebuild the master grid: combine layers and run the inflation
+    /// pass (a two-sweep chamfer distance transform). When the robot
+    /// pose is known, its footprint is cleared afterwards — the ROS
+    /// `costmap_2d` footprint-clearing behaviour that prevents phantom
+    /// marks (SLAM pose jitter, stale readings) from trapping the
+    /// robot inside its own inscribed zone.
+    fn refresh(&mut self, map: &MapMsg, robot: Option<Point2>, meter: &mut WorkMeter) {
+        let (w, h) = (self.dims.width as usize, self.dims.height as usize);
+        let n = w * h;
+        debug_assert_eq!(map.cells.len(), n);
+
+        // Distance (in metres) to the nearest lethal cell, via a
+        // two-pass chamfer transform.
+        let res = self.dims.resolution;
+        let big = 1e9f32;
+        let mut dist = vec![big; n];
+        #[allow(clippy::needless_range_loop)] // two parallel arrays
+        for i in 0..n {
+            let lethal = self.static_lethal[i]
+                || (self.marked_at[i] != 0
+                    && self.updates - self.marked_at[i] < self.cfg.mark_ttl_updates);
+            if lethal {
+                dist[i] = 0.0;
+            }
+        }
+        let (orth, diag) = (res as f32, res as f32 * std::f32::consts::SQRT_2);
+        // Forward sweep.
+        for row in 0..h {
+            for col in 0..w {
+                let i = row * w + col;
+                let mut d = dist[i];
+                if col > 0 {
+                    d = d.min(dist[i - 1] + orth);
+                }
+                if row > 0 {
+                    d = d.min(dist[i - w] + orth);
+                    if col > 0 {
+                        d = d.min(dist[i - w - 1] + diag);
+                    }
+                    if col + 1 < w {
+                        d = d.min(dist[i - w + 1] + diag);
+                    }
+                }
+                dist[i] = d;
+            }
+        }
+        // Backward sweep.
+        for row in (0..h).rev() {
+            for col in (0..w).rev() {
+                let i = row * w + col;
+                let mut d = dist[i];
+                if col + 1 < w {
+                    d = d.min(dist[i + 1] + orth);
+                }
+                if row + 1 < h {
+                    d = d.min(dist[i + w] + orth);
+                    if col > 0 {
+                        d = d.min(dist[i + w - 1] + diag);
+                    }
+                    if col + 1 < w {
+                        d = d.min(dist[i + w + 1] + diag);
+                    }
+                }
+                dist[i] = d;
+            }
+        }
+
+        // Master grid from distance + known/unknown state.
+        let inscribed = self.cfg.inscribed_radius as f32;
+        let inflate = self.cfg.inflation_radius as f32;
+        #[allow(clippy::needless_range_loop)] // reads dist, writes master
+        for i in 0..n {
+            let d = dist[i];
+            self.master[i] = if d <= 0.0 {
+                COST_LETHAL
+            } else if d <= inscribed {
+                COST_INSCRIBED
+            } else if d <= inflate {
+                let factor =
+                    (-(self.cfg.cost_scaling as f32) * (d - inscribed)).exp().clamp(0.0, 1.0);
+                (factor * COST_FREE_MAX as f32) as u8
+            } else if map.cells[i] == MapMsg::UNKNOWN && self.marked_at[i] == 0 {
+                COST_UNKNOWN
+            } else {
+                0
+            };
+        }
+        // Footprint clearing around the robot.
+        if let Some(p) = robot {
+            let clear_r = self.cfg.inscribed_radius + 0.06;
+            let lo = self.dims.world_to_grid(Point2::new(p.x - clear_r, p.y - clear_r));
+            let hi = self.dims.world_to_grid(Point2::new(p.x + clear_r, p.y + clear_r));
+            for row in lo.row..=hi.row {
+                for col in lo.col..=hi.col {
+                    let idx = GridIndex::new(col, row);
+                    if self.dims.contains(idx)
+                        && self.dims.grid_to_world(idx).distance(p) <= clear_r
+                    {
+                        let flat = self.dims.flat(idx);
+                        self.master[flat] = self.master[flat].min(COST_FREE_MAX);
+                        self.marked_at[flat] = 0;
+                    }
+                }
+            }
+        }
+
+        // The refresh pass is data-parallel over cell stripes (the
+        // paper's Fig. 5 parallelizes the costmap update together with
+        // trajectory scoring); a serial residue covers the sweep
+        // dependencies of the distance transform.
+        let total = n as f64 * cost::CYCLES_PER_REFRESH_CELL;
+        meter.serial_ops(1, total * 0.1);
+        meter.parallel_ops(1, total * 0.9, 512);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn empty_map(w: u32, h: u32) -> MapMsg {
+        MapMsg {
+            stamp: SimTime::EPOCH,
+            dims: GridDims::new(w, h, 0.05, Point2::ORIGIN),
+            cells: vec![MapMsg::FREE; (w * h) as usize],
+        }
+    }
+
+    fn map_with_block(w: u32, h: u32) -> MapMsg {
+        let mut m = empty_map(w, h);
+        // Block at cells cols 40..=44, rows 40..=44 (world ≈ 2.0–2.25).
+        for row in 40..=44 {
+            for col in 40..=44 {
+                m.cells[(row * w + col) as usize] = MapMsg::OCCUPIED;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn static_obstacles_are_lethal_and_inflated() {
+        let m = map_with_block(100, 100);
+        let cm = Costmap::from_map(CostmapConfig::default(), &m);
+        assert_eq!(cm.cost(GridIndex::new(42, 42)), COST_LETHAL);
+        // A cell just outside the block but within the inscribed
+        // radius is inscribed.
+        assert_eq!(cm.cost(GridIndex::new(45, 42)), COST_INSCRIBED);
+        // Within the inflation radius: nonzero but traversable.
+        let c = cm.cost(GridIndex::new(49, 42));
+        assert!(c > 0 && c < COST_INSCRIBED, "cost {c}");
+        // Far away: free.
+        assert_eq!(cm.cost(GridIndex::new(90, 90)), 0);
+    }
+
+    #[test]
+    fn inflation_cost_decreases_with_distance() {
+        let m = map_with_block(100, 100);
+        let cm = Costmap::from_map(CostmapConfig::default(), &m);
+        let mut prev = COST_LETHAL;
+        for col in 45..55 {
+            let c = cm.cost(GridIndex::new(col, 42));
+            assert!(c <= prev, "cost must not increase moving away: {c} > {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_is_lethal() {
+        let cm = Costmap::from_map(CostmapConfig::default(), &empty_map(20, 20));
+        assert_eq!(cm.cost(GridIndex::new(-1, 5)), COST_LETHAL);
+        assert_eq!(cm.cost(GridIndex::new(5, 999)), COST_LETHAL);
+    }
+
+    #[test]
+    fn scan_marks_new_obstacles() {
+        let m = empty_map(100, 100);
+        let mut cm = Costmap::from_map(CostmapConfig::default(), &m);
+        // Robot at (1, 2.5) facing +x; beam 0 hits at 1 m → (2, 2.5).
+        let scan = LaserScan {
+            stamp: SimTime::EPOCH,
+            angle_min: 0.0,
+            angle_increment: 2.0 * PI / 4.0,
+            range_max: 3.5,
+            ranges: vec![1.0, 3.5, 3.5, 3.5],
+        };
+        let mut meter = WorkMeter::new();
+        cm.update(&m, Pose2D::new(1.0, 2.5, 0.0), &scan, &mut meter);
+        let hit = cm.dims().world_to_grid(Point2::new(2.0, 2.5));
+        assert_eq!(cm.cost(hit), COST_LETHAL);
+        assert!(meter.finish().total_cycles() > 0.0);
+    }
+
+    #[test]
+    fn ray_clearing_removes_stale_marks() {
+        let m = empty_map(100, 100);
+        let mut cm = Costmap::from_map(CostmapConfig::default(), &m);
+        let pose = Pose2D::new(1.0, 2.5, 0.0);
+        let hit_scan = LaserScan {
+            stamp: SimTime::EPOCH,
+            angle_min: 0.0,
+            angle_increment: 2.0 * PI / 4.0,
+            range_max: 3.5,
+            ranges: vec![1.0, 3.5, 3.5, 3.5],
+        };
+        let clear_scan = LaserScan { ranges: vec![2.0, 3.5, 3.5, 3.5], ..hit_scan.clone() };
+        let mut meter = WorkMeter::new();
+        cm.update(&m, pose, &hit_scan, &mut meter);
+        let old_hit = cm.dims().world_to_grid(Point2::new(2.0, 2.5));
+        assert_eq!(cm.cost(old_hit), COST_LETHAL);
+        // Next scan sees through that cell: it must clear.
+        cm.update(&m, pose, &clear_scan, &mut meter);
+        assert!(cm.cost(old_hit) < COST_INSCRIBED, "stale mark should clear");
+    }
+
+    #[test]
+    fn unknown_cells_stay_unknown_until_observed() {
+        let mut m = empty_map(60, 60);
+        m.cells.iter_mut().for_each(|c| *c = MapMsg::UNKNOWN);
+        let cm = Costmap::from_map(CostmapConfig::default(), &m);
+        assert_eq!(cm.cost(GridIndex::new(30, 30)), COST_UNKNOWN);
+        assert!(!cm.traversable(GridIndex::new(30, 30)));
+    }
+
+    #[test]
+    fn footprint_collision_detection() {
+        let m = map_with_block(100, 100);
+        let cm = Costmap::from_map(CostmapConfig::default(), &m);
+        // Block spans roughly [2.0, 2.25]².
+        assert!(cm.footprint_collides(Point2::new(2.1, 2.1), 0.11));
+        assert!(cm.footprint_collides(Point2::new(2.35, 2.1), 0.11));
+        assert!(!cm.footprint_collides(Point2::new(4.0, 4.0), 0.11));
+    }
+
+    #[test]
+    fn work_scales_with_grid_size() {
+        let small = empty_map(50, 50);
+        let large = empty_map(200, 200);
+        let mut cs = Costmap::from_map(CostmapConfig::default(), &small);
+        let mut cl = Costmap::from_map(CostmapConfig::default(), &large);
+        let scan = LaserScan {
+            stamp: SimTime::EPOCH,
+            angle_min: 0.0,
+            angle_increment: 0.5,
+            range_max: 3.5,
+            ranges: vec![1.0; 12],
+        };
+        let mut ms = WorkMeter::new();
+        let mut ml = WorkMeter::new();
+        cs.update(&small, Pose2D::new(1.2, 1.2, 0.0), &scan, &mut ms);
+        cl.update(&large, Pose2D::new(1.2, 1.2, 0.0), &scan, &mut ml);
+        assert!(ml.finish().total_cycles() > 10.0 * ms.finish().total_cycles());
+    }
+
+    #[test]
+    fn table2_costmap_cycle_anchor() {
+        // Lab-scale map (12×10 m at 5 cm): one update should cost
+        // ≈ 0.86/5 ≈ 0.17 Gcycles (Table II, CostmapGen with a map).
+        let m = empty_map(240, 200);
+        let mut cm = Costmap::from_map(CostmapConfig::default(), &m);
+        let scan = LaserScan {
+            stamp: SimTime::EPOCH,
+            angle_min: 0.0,
+            angle_increment: 2.0 * PI / 360.0,
+            range_max: 3.5,
+            ranges: vec![2.0; 360],
+        };
+        let mut meter = WorkMeter::new();
+        cm.update(&m, Pose2D::new(6.0, 5.0, 0.0), &scan, &mut meter);
+        let g = meter.finish().total_cycles() / 1e9;
+        assert!((0.12..0.25).contains(&g), "per-update Gcycles {g}");
+    }
+}

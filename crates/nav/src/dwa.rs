@@ -1,0 +1,493 @@
+//! Dynamic-Window / Trajectory-Rollout local planner (PathTracking).
+//!
+//! Exactly the structure the paper accelerates (Fig. 5): sample a
+//! window of admissible `(v, w)` pairs around the current velocity,
+//! forward-simulate each candidate trajectory, score it on path
+//! adherence / goal progress / obstacle clearance / oscillation,
+//! discard colliding candidates, and emit the velocity of the best
+//! survivor. The scoring loop is the "sequentially performed
+//! duplicated scoring work" the paper parallelizes; we distribute the
+//! `M` trajectories over `N` threads with the same [`ParallelExecutor`]
+//! SLAM uses.
+
+use crate::costmap::Costmap;
+use lgv_slam::pool::ParallelExecutor;
+use lgv_types::prelude::*;
+
+/// Cycle-cost constants: calibrated so the default navigation
+/// configuration draws ≈ 1.39 Gcycles/s (Table II, PathTracking) at
+/// the 5 Hz control rate.
+pub mod cost {
+    /// Cycles per forward-simulation step of one trajectory (pose
+    /// integration + footprint cost lookups + partial scores).
+    pub const CYCLES_PER_TRAJ_STEP: f64 = 18_000.0;
+    /// Serial cycles per activation (window computation, reduction).
+    pub const CYCLES_SERIAL_BASE: f64 = 2.0e6;
+}
+
+/// DWA configuration.
+#[derive(Debug, Clone)]
+pub struct DwaConfig {
+    /// Linear velocity bounds (m/s).
+    pub max_linear: f64,
+    /// Angular velocity bound (rad/s).
+    pub max_angular: f64,
+    /// Linear acceleration bound (m/s²).
+    pub max_lin_accel: f64,
+    /// Angular acceleration bound (rad/s²).
+    pub max_ang_accel: f64,
+    /// Number of sampled trajectories `M` (the paper sweeps
+    /// 100–2000 in Fig. 10). Split ≈ 1:3 between linear and angular
+    /// sample axes.
+    pub samples: u32,
+    /// Forward-simulation horizon (s).
+    pub sim_horizon: f64,
+    /// Forward-simulation step (s).
+    pub sim_dt: f64,
+    /// Robot footprint radius (m).
+    pub footprint_radius: f64,
+    /// Score weight: distance to the global path.
+    pub w_path: f64,
+    /// Score weight: progress towards the goal.
+    pub w_goal: f64,
+    /// Score weight: obstacle clearance.
+    pub w_clear: f64,
+    /// Score weight: velocity magnitude (favours making progress).
+    pub w_speed: f64,
+    /// Carrot lookahead distance along the global path (m). Progress
+    /// is scored towards this local target, not the final goal —
+    /// otherwise trajectories can "hover" beside the path at places
+    /// where following it momentarily increases the Euclidean goal
+    /// distance (doorways, switchbacks).
+    pub lookahead: f64,
+    /// Thread count `N` for parallel scoring.
+    pub threads: usize,
+}
+
+impl Default for DwaConfig {
+    fn default() -> Self {
+        DwaConfig {
+            max_linear: 0.22,
+            max_angular: 2.84,
+            max_lin_accel: 2.5,
+            max_ang_accel: 3.2,
+            samples: 400,
+            sim_horizon: 1.6,
+            sim_dt: 0.1,
+            footprint_radius: 0.11,
+            w_path: 0.8,
+            w_goal: 1.2,
+            w_clear: 0.4,
+            w_speed: 0.3,
+            lookahead: 0.9,
+            threads: 1,
+        }
+    }
+}
+
+/// One PathTracking activation's output.
+#[derive(Debug, Clone)]
+pub struct DwaResult {
+    /// Best velocity command (STOP when nothing is feasible).
+    pub twist: Twist,
+    /// Best trajectory score (NaN-free; −∞ when none feasible).
+    pub score: f64,
+    /// Trajectories simulated.
+    pub evaluated: u32,
+    /// Trajectories discarded for collision.
+    pub discarded: u32,
+    /// Cycle demand of this activation.
+    pub work: Work,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    v: f64,
+    w: f64,
+    score: f64,
+    feasible: bool,
+    steps: u32,
+}
+
+/// The local planner.
+#[derive(Debug)]
+pub struct DwaPlanner {
+    cfg: DwaConfig,
+    executor: ParallelExecutor,
+    /// Previous command (dynamic-window centre).
+    last: Twist,
+}
+
+impl DwaPlanner {
+    /// Build with config.
+    pub fn new(cfg: DwaConfig) -> Self {
+        let executor = ParallelExecutor::new(cfg.threads);
+        DwaPlanner { cfg, executor, last: Twist::STOP }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &DwaConfig {
+        &self.cfg
+    }
+
+    /// Change the parallelism degree at runtime.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.cfg.threads = threads.max(1);
+        self.executor = ParallelExecutor::new(self.cfg.threads);
+    }
+
+    /// Cap the linear velocity (the Controller applies Eq. 2c's
+    /// `velocityOA` here).
+    pub fn set_max_linear(&mut self, v: f64) {
+        self.cfg.max_linear = v.clamp(0.0, 0.22_f64.max(v));
+    }
+
+    /// Cap the angular velocity. The Controller scales this with the
+    /// pipeline reaction time: a command that will be executed
+    /// open-loop for the whole VDP makespan must not rotate the robot
+    /// past its heading-error budget (the rotational analogue of
+    /// Eq. 2c).
+    pub fn set_max_angular(&mut self, w: f64) {
+        self.cfg.max_angular = w.max(0.1);
+    }
+
+    /// Reset the dynamic-window centre (e.g. after a teleport or when
+    /// tracking restarts).
+    pub fn reset(&mut self) {
+        self.last = Twist::STOP;
+    }
+
+    /// Compute a velocity command.
+    ///
+    /// * `pose` — current estimated pose;
+    /// * `path` — global plan to follow;
+    /// * `goal` — final goal (for progress scoring);
+    /// * `cm` — current costmap.
+    pub fn compute(
+        &mut self,
+        cm: &Costmap,
+        pose: Pose2D,
+        path: &PathMsg,
+        goal: Point2,
+    ) -> DwaResult {
+        let cfg = &self.cfg;
+        let dt_cycle = 0.2; // command period the window opens over (5 Hz)
+        let v_lo = (self.last.linear - cfg.max_lin_accel * dt_cycle).max(0.0);
+        let v_hi = (self.last.linear + cfg.max_lin_accel * dt_cycle).min(cfg.max_linear);
+        let w_lo = (self.last.angular - cfg.max_ang_accel * dt_cycle).max(-cfg.max_angular);
+        let w_hi = (self.last.angular + cfg.max_ang_accel * dt_cycle).min(cfg.max_angular);
+
+        // Sample grid: keep samples ≈ nv × nw with nw ≈ 3 nv.
+        let nv = ((cfg.samples as f64 / 3.0).sqrt().round() as u32).max(2);
+        let nw = (cfg.samples / nv).max(2);
+        let mut candidates: Vec<Candidate> = Vec::with_capacity((nv * nw) as usize);
+        for i in 0..nv {
+            let v = v_lo + (v_hi - v_lo) * i as f64 / (nv - 1) as f64;
+            for j in 0..nw {
+                let w = w_lo + (w_hi - w_lo) * j as f64 / (nw - 1) as f64;
+                candidates.push(Candidate { v, w, score: f64::NEG_INFINITY, feasible: false, steps: 0 });
+            }
+        }
+
+        // Local target: a carrot on the global path ~lookahead ahead
+        // of the robot's projection (falls back to the final goal).
+        let target = carrot_point(path, pose.position(), cfg.lookahead, goal);
+
+        // Parallel scoring (paper Fig. 5): each thread takes a chunk.
+        let steps = (cfg.sim_horizon / cfg.sim_dt).round() as u32;
+        let cfg_ref = &self.cfg;
+        self.executor.run_chunks(&mut candidates, |chunk| {
+            for c in chunk.iter_mut() {
+                *c = score_trajectory(cfg_ref, cm, pose, path, target, c.v, c.w, steps);
+            }
+        });
+
+        let evaluated = candidates.len() as u32;
+        let discarded = candidates.iter().filter(|c| !c.feasible).count() as u32;
+        let total_steps: u64 = candidates.iter().map(|c| c.steps as u64).sum();
+
+        let best = candidates
+            .iter()
+            .filter(|c| c.feasible)
+            .max_by(|a, b| a.score.total_cmp(&b.score));
+
+        let twist = match best {
+            Some(c) => Twist::new(c.v, c.w),
+            None => {
+                // Nothing feasible: rotate in place towards the path.
+                Twist::new(0.0, cfg.max_angular * 0.3)
+            }
+        };
+        self.last = twist;
+
+        let work = Work::with_parallel(
+            cost::CYCLES_SERIAL_BASE,
+            total_steps as f64 * cost::CYCLES_PER_TRAJ_STEP,
+            evaluated,
+        );
+        DwaResult {
+            twist,
+            score: best.map_or(f64::NEG_INFINITY, |c| c.score),
+            evaluated,
+            discarded,
+            work,
+        }
+    }
+}
+
+/// Forward-simulate one `(v, w)` candidate and score it.
+#[allow(clippy::too_many_arguments)]
+fn score_trajectory(
+    cfg: &DwaConfig,
+    cm: &Costmap,
+    pose: Pose2D,
+    path: &PathMsg,
+    goal: Point2,
+    v: f64,
+    w: f64,
+    steps: u32,
+) -> Candidate {
+    let mut p = pose;
+    let mut min_clearance = f64::INFINITY;
+    let mut executed = 0u32;
+    for _ in 0..steps {
+        p = p.integrate(Twist::new(v, w), cfg.sim_dt);
+        executed += 1;
+        if cm.footprint_collides(p.position(), cfg.footprint_radius) {
+            return Candidate { v, w, score: f64::NEG_INFINITY, feasible: false, steps: executed };
+        }
+        let c = cm.cost(cm.dims().world_to_grid(p.position()));
+        min_clearance = min_clearance.min(1.0 - c.min(253) as f64 / 253.0);
+    }
+
+    let end = p.position();
+    let path_dist = nearest_path_distance(path, end);
+    let goal_dist = end.distance(goal);
+    let start_goal_dist = pose.position().distance(goal);
+    let progress = start_goal_dist - goal_dist;
+
+    let score = -cfg.w_path * path_dist + cfg.w_goal * progress
+        + cfg.w_clear * min_clearance.clamp(0.0, 1.0)
+        + cfg.w_speed * (v / cfg.max_linear.max(1e-9));
+    Candidate { v, w, score, feasible: true, steps: executed }
+}
+
+/// A "carrot" target: project `p` onto the path, then walk
+/// `lookahead` metres further along it. Returns `fallback` when the
+/// path is degenerate.
+fn carrot_point(path: &PathMsg, p: Point2, lookahead: f64, fallback: Point2) -> Point2 {
+    let wps = &path.waypoints;
+    if wps.len() < 2 {
+        return fallback;
+    }
+    // Closest segment and the projected point on it.
+    let mut best = (0usize, wps[0], f64::INFINITY);
+    for i in 0..wps.len() - 1 {
+        let (a, b) = (wps[i], wps[i + 1]);
+        let ab = b - a;
+        let denom = ab.norm_sq();
+        let t = if denom < 1e-12 { 0.0 } else { ((p - a).dot(ab) / denom).clamp(0.0, 1.0) };
+        let q = a.lerp(b, t);
+        let d = p.distance(q);
+        if d < best.2 {
+            best = (i, q, d);
+        }
+    }
+    // Walk forward along the remaining path.
+    let (mut i, mut cur, _) = best;
+    let mut remaining = lookahead;
+    loop {
+        let seg_end = wps[i + 1];
+        let d = cur.distance(seg_end);
+        if remaining <= d || d < 1e-12 {
+            if d < 1e-12 {
+                return seg_end;
+            }
+            return cur.lerp(seg_end, remaining / d);
+        }
+        remaining -= d;
+        cur = seg_end;
+        i += 1;
+        if i + 1 >= wps.len() {
+            return *wps.last().unwrap();
+        }
+    }
+}
+
+/// Distance from a point to the closest waypoint segment of the path.
+fn nearest_path_distance(path: &PathMsg, p: Point2) -> f64 {
+    if path.waypoints.is_empty() {
+        return 0.0;
+    }
+    if path.waypoints.len() == 1 {
+        return p.distance(path.waypoints[0]);
+    }
+    path.waypoints
+        .windows(2)
+        .map(|seg| point_segment_distance(p, seg[0], seg[1]))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn point_segment_distance(p: Point2, a: Point2, b: Point2) -> f64 {
+    let ab = b - a;
+    let denom = ab.norm_sq();
+    if denom < 1e-12 {
+        return p.distance(a);
+    }
+    let t = ((p - a).dot(ab) / denom).clamp(0.0, 1.0);
+    p.distance(a.lerp(b, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmap::CostmapConfig;
+
+    fn open_map(w: u32, h: u32) -> MapMsg {
+        MapMsg {
+            stamp: SimTime::EPOCH,
+            dims: GridDims::new(w, h, 0.05, Point2::ORIGIN),
+            cells: vec![MapMsg::FREE; (w * h) as usize],
+        }
+    }
+
+    fn straight_path(y: f64) -> PathMsg {
+        PathMsg {
+            stamp: SimTime::EPOCH,
+            waypoints: vec![Point2::new(1.0, y), Point2::new(5.0, y)],
+        }
+    }
+
+    #[test]
+    fn drives_towards_goal_in_open_space() {
+        let cm = Costmap::from_map(CostmapConfig::default(), &open_map(120, 120));
+        let mut dwa = DwaPlanner::new(DwaConfig::default());
+        let pose = Pose2D::new(1.0, 2.0, 0.0);
+        let r = dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0));
+        assert!(r.twist.linear > 0.05, "should move forward, got {:?}", r.twist);
+        assert!(r.twist.angular.abs() < 1.0, "roughly straight, got {:?}", r.twist);
+        assert!(r.score > f64::NEG_INFINITY);
+        assert_eq!(r.discarded, 0);
+    }
+
+    #[test]
+    fn avoids_obstacle_ahead() {
+        let mut m = open_map(120, 120);
+        // Wall segment directly ahead at x ≈ 1.8, y ∈ [1.5, 2.5].
+        for row in 30..=50 {
+            m.cells[row * 120 + 36] = MapMsg::OCCUPIED;
+        }
+        let cm = Costmap::from_map(CostmapConfig::default(), &m);
+        let mut dwa = DwaPlanner::new(DwaConfig::default());
+        // Close enough that full-speed candidates reach the inflated
+        // wall within the simulation horizon.
+        let pose = Pose2D::new(1.45, 2.0, 0.0);
+        let r = dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0));
+        assert!(r.discarded > 0, "straight-ahead candidates must be discarded");
+        // The chosen command curves or slows rather than ramming.
+        let end = {
+            let mut p = pose;
+            for _ in 0..16 {
+                p = p.integrate(r.twist, 0.1);
+            }
+            p.position()
+        };
+        assert!(
+            !cm.footprint_collides(end, 0.11),
+            "chosen trajectory endpoint collides: {end:?}"
+        );
+    }
+
+    #[test]
+    fn fully_blocked_returns_recovery_rotation() {
+        let mut m = open_map(60, 60);
+        // Box the robot in tightly.
+        for row in 0..60 {
+            for col in 0..60 {
+                let x = col as f64 * 0.05;
+                let y = row as f64 * 0.05;
+                let dx = (x - 1.5f64).abs();
+                let dy = (y - 1.5f64).abs();
+                if dx.max(dy) > 0.15 && dx.max(dy) < 0.3 {
+                    m.cells[row * 60 + col] = MapMsg::OCCUPIED;
+                }
+            }
+        }
+        let cm = Costmap::from_map(CostmapConfig::default(), &m);
+        let mut dwa = DwaPlanner::new(DwaConfig::default());
+        let pose = Pose2D::new(1.5, 1.5, 0.0);
+        let r = dwa.compute(&cm, pose, &straight_path(1.5), Point2::new(2.5, 1.5));
+        assert_eq!(r.twist.linear, 0.0, "boxed in: no forward motion");
+        assert!(r.twist.angular != 0.0, "recovery rotation expected");
+    }
+
+    #[test]
+    fn respects_velocity_cap() {
+        let cm = Costmap::from_map(CostmapConfig::default(), &open_map(120, 120));
+        let mut dwa = DwaPlanner::new(DwaConfig::default());
+        dwa.set_max_linear(0.05);
+        let pose = Pose2D::new(1.0, 2.0, 0.0);
+        // Run a few cycles so the window converges upward.
+        let mut r = dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0));
+        for _ in 0..5 {
+            r = dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0));
+        }
+        assert!(r.twist.linear <= 0.05 + 1e-9, "cap violated: {}", r.twist.linear);
+    }
+
+    #[test]
+    fn window_limits_acceleration() {
+        let cm = Costmap::from_map(CostmapConfig::default(), &open_map(120, 120));
+        let mut dwa = DwaPlanner::new(DwaConfig::default());
+        let pose = Pose2D::new(1.0, 2.0, 0.0);
+        let r = dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0));
+        // From rest, one 0.2 s window at 2.5 m/s² allows ≤ 0.5 m/s
+        // (and the hard cap is 0.22).
+        assert!(r.twist.linear <= 0.22 + 1e-9);
+    }
+
+    #[test]
+    fn work_scales_with_samples() {
+        let cm = Costmap::from_map(CostmapConfig::default(), &open_map(120, 120));
+        let pose = Pose2D::new(1.0, 2.0, 0.0);
+        let mut small = DwaPlanner::new(DwaConfig { samples: 100, ..Default::default() });
+        let mut large = DwaPlanner::new(DwaConfig { samples: 2000, ..Default::default() });
+        let ws = small.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0)).work;
+        let wl = large.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0)).work;
+        let ratio = wl.parallel_cycles / ws.parallel_cycles;
+        assert!(ratio > 10.0, "work should scale ≈ 20×, got {ratio}");
+        assert!(wl.parallel_items >= 1500);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let cm = Costmap::from_map(CostmapConfig::default(), &open_map(120, 120));
+        let pose = Pose2D::new(1.0, 2.0, 0.3);
+        let run = |threads: usize| {
+            let mut dwa = DwaPlanner::new(DwaConfig { threads, ..Default::default() });
+            dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.5)).twist
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn table2_pathtracking_cycle_anchor() {
+        // Default config at 5 Hz should land near 1.39 Gcycles/s
+        // (Table II, PathTracking with a map): ≈ 0.28 G per activation.
+        let cm = Costmap::from_map(CostmapConfig::default(), &open_map(240, 200));
+        let mut dwa = DwaPlanner::new(DwaConfig { samples: 1000, ..Default::default() });
+        let pose = Pose2D::new(1.0, 2.0, 0.0);
+        let r = dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0));
+        let g = r.work.total_cycles() / 1e9;
+        assert!((0.15..0.45).contains(&g), "per-activation Gcycles {g}");
+    }
+
+    #[test]
+    fn nearest_path_distance_math() {
+        let path = straight_path(2.0);
+        assert!((nearest_path_distance(&path, Point2::new(3.0, 2.5)) - 0.5).abs() < 1e-9);
+        assert!((nearest_path_distance(&path, Point2::new(0.0, 2.0)) - 1.0).abs() < 1e-9);
+        let empty = PathMsg { stamp: SimTime::EPOCH, waypoints: vec![] };
+        assert_eq!(nearest_path_distance(&empty, Point2::new(1.0, 1.0)), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Priority-based velocity multiplexer (the VelocityMux node).
+//!
+//! Modelled on Yujin Robot's `yocs_cmd_vel_mux`, the implementation
+//! the paper uses: each velocity source has a priority and a timeout;
+//! the multiplexer forwards the highest-priority source that has
+//! published recently, falling back to a stop command when everything
+//! has expired. It is the last hop of the VDP (Fig. 2, node 7) and
+//! computationally negligible (Table II lists no cycles for it).
+
+use lgv_types::prelude::*;
+use std::collections::HashMap;
+
+/// Multiplexer configuration.
+#[derive(Debug, Clone)]
+pub struct MuxConfig {
+    /// A source's command expires after this long without refresh.
+    pub timeout: Duration,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig { timeout: Duration::from_millis(600) }
+    }
+}
+
+/// The multiplexer.
+#[derive(Debug, Clone)]
+pub struct VelocityMux {
+    cfg: MuxConfig,
+    latest: HashMap<VelocitySource, VelocityCmd>,
+}
+
+impl VelocityMux {
+    /// Build with config.
+    pub fn new(cfg: MuxConfig) -> Self {
+        VelocityMux { cfg, latest: HashMap::new() }
+    }
+
+    /// Adjust the staleness timeout at runtime (the mission Controller
+    /// tracks the VDP makespan: a slow pipeline legitimately delivers
+    /// commands at a lower rate).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.cfg.timeout = timeout;
+    }
+
+    /// Accept a command from a source.
+    pub fn submit(&mut self, cmd: VelocityCmd) {
+        self.latest.insert(cmd.source, cmd);
+    }
+
+    /// Select the active command at `now`: the freshest command of the
+    /// highest-priority non-expired source. Returns a STOP command
+    /// (Navigation-sourced) when everything has expired.
+    pub fn select(&mut self, now: SimTime) -> VelocityCmd {
+        // Evict expired entries.
+        let timeout = self.cfg.timeout;
+        self.latest.retain(|_, c| now.saturating_since(c.stamp) <= timeout);
+
+        let best = self
+            .latest
+            .values()
+            .max_by_key(|c| c.source)
+            .copied();
+        best.unwrap_or(VelocityCmd {
+            stamp: now,
+            twist: Twist::STOP,
+            source: VelocitySource::Navigation,
+        })
+    }
+
+    /// The per-activation cycle demand (constant and tiny).
+    pub fn work(&self) -> Work {
+        Work::serial(5_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(ms: u64, v: f64, source: VelocitySource) -> VelocityCmd {
+        VelocityCmd {
+            stamp: SimTime::EPOCH + Duration::from_millis(ms),
+            twist: Twist::new(v, 0.0),
+            source,
+        }
+    }
+
+    #[test]
+    fn forwards_single_source() {
+        let mut mux = VelocityMux::new(MuxConfig::default());
+        mux.submit(cmd(0, 0.2, VelocitySource::Navigation));
+        let out = mux.select(SimTime::EPOCH + Duration::from_millis(100));
+        assert_eq!(out.twist.linear, 0.2);
+        assert_eq!(out.source, VelocitySource::Navigation);
+    }
+
+    #[test]
+    fn higher_priority_wins() {
+        let mut mux = VelocityMux::new(MuxConfig::default());
+        mux.submit(cmd(0, 0.2, VelocitySource::Navigation));
+        mux.submit(cmd(10, 0.0, VelocitySource::SafetyController));
+        mux.submit(cmd(5, 0.1, VelocitySource::Joystick));
+        let out = mux.select(SimTime::EPOCH + Duration::from_millis(100));
+        assert_eq!(out.source, VelocitySource::SafetyController);
+        assert_eq!(out.twist, Twist::STOP);
+    }
+
+    #[test]
+    fn expired_source_falls_through() {
+        let mut mux = VelocityMux::new(MuxConfig::default());
+        mux.submit(cmd(0, 0.0, VelocitySource::SafetyController));
+        mux.submit(cmd(800, 0.2, VelocitySource::Navigation));
+        // At t=1s the safety command (stamped t=0) has expired.
+        let out = mux.select(SimTime::EPOCH + Duration::from_millis(1000));
+        assert_eq!(out.source, VelocitySource::Navigation);
+        assert_eq!(out.twist.linear, 0.2);
+    }
+
+    #[test]
+    fn all_expired_yields_stop() {
+        let mut mux = VelocityMux::new(MuxConfig::default());
+        mux.submit(cmd(0, 0.2, VelocitySource::Navigation));
+        let out = mux.select(SimTime::EPOCH + Duration::from_secs(5));
+        assert!(out.twist.is_stop());
+    }
+
+    #[test]
+    fn refresh_keeps_source_alive() {
+        let mut mux = VelocityMux::new(MuxConfig::default());
+        for k in 0..10 {
+            mux.submit(cmd(k * 200, 0.15, VelocitySource::Navigation));
+        }
+        let out = mux.select(SimTime::EPOCH + Duration::from_millis(2000));
+        assert_eq!(out.twist.linear, 0.15);
+    }
+
+    #[test]
+    fn work_is_negligible() {
+        let mux = VelocityMux::new(MuxConfig::default());
+        assert!(mux.work().total_cycles() < 1e5);
+    }
+}

@@ -1,0 +1,307 @@
+//! Reliable, in-order channel (the "TCP" of the paper's §VII: "each
+//! VM is connected to an LGV via TCP/UDP").
+//!
+//! Control traffic — node migration commands, state transfer during an
+//! Algorithm 2 switch, map uploads — must arrive completely and in
+//! order, unlike the freshness-first VDP streams. [`TcpChannel`]
+//! provides that over the same lossy radio: stop-and-wait
+//! retransmission with a retransmission timeout, cumulative in-order
+//! delivery, and head-of-line blocking (the defining behavioural
+//! difference from [`crate::channel::UdpChannel`] — *latency spikes
+//! instead of loss*).
+//!
+//! The window is deliberately 1 segment (stop-and-wait): control
+//! traffic is tiny, and the simple protocol keeps the simulation
+//! exactly analysable in tests.
+
+use crate::signal::SignalModel;
+use bytes::Bytes;
+use lgv_types::prelude::*;
+use std::collections::VecDeque;
+
+/// Channel statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Segments accepted from the application.
+    pub queued: u64,
+    /// Transmission attempts (including retransmissions).
+    pub attempts: u64,
+    /// Segments lost in the air (recovered by retransmission).
+    pub losses: u64,
+    /// Segments fully delivered to the receiver.
+    pub delivered: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    seq: u64,
+    payload: Bytes,
+    queued_at: SimTime,
+}
+
+/// Reliable in-order channel over the radio model.
+#[derive(Debug, Clone)]
+pub struct TcpChannel {
+    signal: SignalModel,
+    wan_latency: Duration,
+    rto: Duration,
+    rng: SimRng,
+    next_seq: u64,
+    /// Unsent + unacknowledged segments, in order.
+    send_queue: VecDeque<Segment>,
+    /// Head-of-queue state: when the in-flight copy (if any) will be
+    /// acknowledged, or when to retransmit.
+    in_flight: Option<InFlight>,
+    /// Delivered segments awaiting the application.
+    rx_queue: VecDeque<(u64, Bytes, SimTime)>,
+    stats: TcpStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    /// When the receiver gets the segment (None = this copy was lost).
+    arrives: Option<SimTime>,
+    /// When the sender sees the cumulative ack (success path).
+    acked: Option<SimTime>,
+    /// When the retransmission timer fires.
+    rto_at: SimTime,
+}
+
+impl TcpChannel {
+    /// Build a reliable channel over `signal`, with an extra wired
+    /// segment of `wan_latency` and a fixed retransmission timeout.
+    pub fn new(signal: SignalModel, wan_latency: Duration, rng: SimRng) -> Self {
+        TcpChannel {
+            signal,
+            wan_latency,
+            rto: Duration::from_millis(200),
+            rng,
+            next_seq: 0,
+            send_queue: VecDeque::new(),
+            in_flight: None,
+            rx_queue: VecDeque::new(),
+            stats: TcpStats::default(),
+        }
+    }
+
+    /// Override the retransmission timeout.
+    pub fn set_rto(&mut self, rto: Duration) {
+        assert!(rto > Duration::ZERO);
+        self.rto = rto;
+    }
+
+    /// Queue a payload for reliable delivery. Never drops; large
+    /// backlogs simply take longer (head-of-line blocking).
+    pub fn send(&mut self, now: SimTime, payload: Bytes) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.queued += 1;
+        self.send_queue.push_back(Segment { seq, payload, queued_at: now });
+        seq
+    }
+
+    fn launch_head(&mut self, now: SimTime, robot: Point2) {
+        let Some(head) = self.send_queue.front() else { return };
+        self.stats.attempts += 1;
+        let lost = self.rng.chance(self.signal.loss_prob(robot))
+            || self.signal.is_weak(robot) && self.rng.chance(0.5);
+        let one_way = self.signal.tx_delay(head.payload.len())
+            + self.wan_latency
+            + self.signal.config().jitter * self.rng.uniform();
+        if lost {
+            self.stats.losses += 1;
+            self.in_flight = Some(InFlight { arrives: None, acked: None, rto_at: now + self.rto });
+        } else {
+            let arrives = now + one_way;
+            // Ack is small: base latency + WAN back.
+            let acked = arrives + self.signal.tx_delay(16) + self.wan_latency;
+            self.in_flight =
+                Some(InFlight { arrives: Some(arrives), acked: Some(acked), rto_at: now + self.rto });
+        }
+    }
+
+    /// Advance the protocol to `now` with the robot at `robot`.
+    pub fn tick(&mut self, now: SimTime, robot: Point2) {
+        loop {
+            match self.in_flight {
+                None => {
+                    if self.send_queue.is_empty() {
+                        return;
+                    }
+                    self.launch_head(now, robot);
+                    // Protocol events for the launched copy resolve on
+                    // later ticks (or below if already due).
+                }
+                Some(f) => {
+                    // Delivery event.
+                    if let (Some(arrives), Some(acked)) = (f.arrives, f.acked) {
+                        if acked <= now {
+                            let seg = self.send_queue.pop_front().expect("in-flight head");
+                            self.rx_queue.push_back((seg.seq, seg.payload, arrives));
+                            self.stats.delivered += 1;
+                            self.in_flight = None;
+                            continue; // launch the next segment
+                        }
+                        return; // waiting on the ack
+                    }
+                    // Lost copy: retransmit at RTO.
+                    if f.rto_at <= now {
+                        self.launch_head(now, robot);
+                        continue;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Receive the next in-order payload, with its sequence number and
+    /// arrival time.
+    pub fn recv(&mut self) -> Option<(u64, Bytes, SimTime)> {
+        self.rx_queue.pop_front()
+    }
+
+    /// Segments queued but not yet delivered.
+    pub fn backlog(&self) -> usize {
+        self.send_queue.len()
+    }
+
+    /// Protocol statistics.
+    pub fn stats(&self) -> TcpStats {
+        self.stats
+    }
+
+    /// Age of the oldest undelivered segment (how far behind the
+    /// reliable stream is — the head-of-line blocking observable).
+    pub fn head_age(&self, now: SimTime) -> Option<Duration> {
+        self.send_queue.front().map(|s| now.saturating_since(s.queued_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::WirelessConfig;
+
+    fn channel(loss_mid_shift: f64) -> TcpChannel {
+        let cfg = WirelessConfig {
+            loss_mid_dbm: -76.0 + loss_mid_shift,
+            jitter: Duration::ZERO,
+            ..WirelessConfig::default()
+        }
+        .with_weak_radius(25.0);
+        let sm = SignalModel::new(cfg, Point2::new(0.0, 0.0));
+        TcpChannel::new(sm, Duration::from_millis(10), SimRng::seed_from_u64(3))
+    }
+
+    fn near() -> Point2 {
+        Point2::new(1.0, 0.0)
+    }
+
+    #[test]
+    fn delivers_in_order_without_loss() {
+        let mut ch = channel(0.0);
+        for i in 0..5u8 {
+            ch.send(SimTime::EPOCH + Duration::from_millis(i as u64), Bytes::from(vec![i]));
+        }
+        let mut t = SimTime::EPOCH;
+        let mut got = vec![];
+        for _ in 0..100 {
+            t += Duration::from_millis(10);
+            ch.tick(t, near());
+            while let Some((seq, payload, _)) = ch.recv() {
+                got.push((seq, payload[0]));
+            }
+        }
+        assert_eq!(got, vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+        assert_eq!(ch.backlog(), 0);
+        assert_eq!(ch.stats().delivered, 5);
+    }
+
+    #[test]
+    fn retransmits_through_a_lossy_zone() {
+        // Loss midpoint shifted so the test position is very lossy but
+        // not "weak" (driver never blocks TCP — it just retries).
+        let mut ch = channel(12.0);
+        let pos = Point2::new(18.0, 0.0);
+        for i in 0..10u8 {
+            ch.send(SimTime::EPOCH, Bytes::from(vec![i]));
+        }
+        let mut t = SimTime::EPOCH;
+        let mut got = 0;
+        for _ in 0..3000 {
+            t += Duration::from_millis(20);
+            ch.tick(t, pos);
+            while ch.recv().is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 10, "reliable channel must deliver everything");
+        let s = ch.stats();
+        assert!(s.losses > 0, "expected losses to be exercised");
+        assert!(s.attempts > s.delivered, "retransmissions happened");
+    }
+
+    #[test]
+    fn head_of_line_blocking_shows_as_latency() {
+        let mut ch = channel(12.0);
+        let lossy = Point2::new(18.0, 0.0);
+        ch.send(SimTime::EPOCH, Bytes::from_static(b"head"));
+        ch.send(SimTime::EPOCH, Bytes::from_static(b"tail"));
+        let mut t = SimTime::EPOCH;
+        let mut worst_age = Duration::ZERO;
+        while ch.backlog() > 0 {
+            t += Duration::from_millis(20);
+            ch.tick(t, lossy);
+            if let Some(age) = ch.head_age(t) {
+                worst_age = worst_age.max(age);
+            }
+            assert!(t < SimTime::EPOCH + Duration::from_secs(120), "livelock");
+            while ch.recv().is_some() {}
+        }
+        // Unlike UDP (which would have silently dropped), the reliable
+        // stream fell behind instead.
+        assert!(worst_age >= Duration::from_millis(200), "head age {worst_age}");
+    }
+
+    #[test]
+    fn weak_signal_does_not_silently_drop() {
+        let mut ch = channel(0.0);
+        let weak = Point2::new(120.0, 0.0); // loss probability ~1 out here
+        ch.send(SimTime::EPOCH, Bytes::from_static(b"state"));
+        // Deep in the dead zone nothing gets through…
+        let mut t = SimTime::EPOCH;
+        for _ in 0..50 {
+            t += Duration::from_millis(50);
+            ch.tick(t, weak);
+        }
+        assert_eq!(ch.backlog(), 1, "segment still queued, not dropped");
+        // …and delivery resumes when the robot returns.
+        for _ in 0..100 {
+            t += Duration::from_millis(50);
+            ch.tick(t, near());
+        }
+        assert!(ch.recv().is_some(), "segment delivered after recovery");
+    }
+
+    #[test]
+    fn arrival_times_are_monotone() {
+        let mut ch = channel(6.0);
+        for i in 0..8u8 {
+            ch.send(SimTime::EPOCH, Bytes::from(vec![i]));
+        }
+        let mut t = SimTime::EPOCH;
+        let mut last = SimTime::EPOCH;
+        let mut n = 0;
+        for _ in 0..2000 {
+            t += Duration::from_millis(10);
+            ch.tick(t, Point2::new(10.0, 0.0));
+            while let Some((_, _, arrived)) = ch.recv() {
+                assert!(arrived >= last, "in-order arrival");
+                last = arrived;
+                n += 1;
+            }
+        }
+        assert_eq!(n, 8);
+    }
+}

@@ -1,0 +1,33 @@
+//! # lgv-sim
+//!
+//! Simulation substrate replacing the paper's physical testbed:
+//!
+//! * [`world`] — 2-D occupancy worlds with preset floorplans and exact
+//!   ray casting (stands in for the lab / Intel Research Lab dataset).
+//! * [`vehicle`] — differential-drive kinematics with acceleration
+//!   limits and drifting odometry (stands in for the Turtlebot3 base).
+//! * [`lidar`] — a 360° laser distance sensor model (LDS-01).
+//! * [`platform`] — cycle-level compute platform models for the three
+//!   tiers of Table III (Turtlebot3 / edge gateway / cloud server),
+//!   including the Amdahl-plus-dispatch-overhead parallel scaling that
+//!   produces the shapes of Figures 9 and 10.
+//! * [`power`], [`energy`], [`battery`] — the paper's analytical energy
+//!   model (Eq. 1a–1d, Table I constants) integrated over virtual time.
+
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod energy;
+pub mod lidar;
+pub mod platform;
+pub mod power;
+pub mod vehicle;
+pub mod world;
+
+pub use battery::Battery;
+pub use energy::{Component, EnergyLedger, EnergyReport};
+pub use lidar::{Lidar, LidarConfig};
+pub use platform::{Platform, PlatformKind};
+pub use power::{LgvProfile, MotorModel, PowerDraw};
+pub use vehicle::{Vehicle, VehicleConfig};
+pub use world::{World, WorldBuilder};

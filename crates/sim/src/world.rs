@@ -1,0 +1,280 @@
+//! Ground-truth 2-D worlds.
+//!
+//! A [`World`] is an immutable boolean occupancy grid representing the
+//! true environment the LGV operates in. It provides exact ray casting
+//! for the laser sensor and collision queries for the vehicle. The
+//! [`presets`] module ships deterministic floorplans that stand in for
+//! the paper's lab environment and the Intel Research Lab dataset.
+
+use lgv_types::prelude::*;
+
+pub mod generator;
+pub mod presets;
+
+/// Immutable ground-truth occupancy world.
+#[derive(Debug, Clone)]
+pub struct World {
+    dims: GridDims,
+    /// Row-major occupancy; `true` = solid.
+    occ: Vec<bool>,
+}
+
+impl World {
+    /// Grid geometry.
+    pub fn dims(&self) -> &GridDims {
+        &self.dims
+    }
+
+    /// Is the cell occupied? Out-of-bounds counts as occupied (walls
+    /// of the universe).
+    pub fn occupied(&self, idx: GridIndex) -> bool {
+        if !self.dims.contains(idx) {
+            return true;
+        }
+        self.occ[self.dims.flat(idx)]
+    }
+
+    /// Is the world-frame point inside a solid cell?
+    pub fn occupied_at(&self, p: Point2) -> bool {
+        self.occupied(self.dims.world_to_grid(p))
+    }
+
+    /// Fraction of in-bounds cells that are free.
+    pub fn free_fraction(&self) -> f64 {
+        if self.occ.is_empty() {
+            return 0.0;
+        }
+        let free = self.occ.iter().filter(|&&o| !o).count();
+        free as f64 / self.occ.len() as f64
+    }
+
+    /// Cast a ray from `from` at absolute angle `angle` and return the
+    /// distance to the first solid cell, capped at `max_range`.
+    ///
+    /// This is the ground-truth geometry the simulated lidar samples.
+    pub fn raycast(&self, from: Point2, angle: f64, max_range: f64) -> f64 {
+        let to = Point2::new(from.x + max_range * angle.cos(), from.y + max_range * angle.sin());
+        for cell in GridRay::new(&self.dims, from, to) {
+            if self.occupied(cell) {
+                // Distance to the hit cell centre, clamped into range.
+                let hit = self.dims.grid_to_world(cell);
+                let d = from.distance(hit);
+                return d.min(max_range);
+            }
+        }
+        max_range
+    }
+
+    /// Would a disc of radius `r` centred at `p` collide with any
+    /// solid cell? Conservative circle-vs-grid test used by the
+    /// vehicle simulator.
+    pub fn collides_disc(&self, p: Point2, r: f64) -> bool {
+        let lo = self.dims.world_to_grid(Point2::new(p.x - r, p.y - r));
+        let hi = self.dims.world_to_grid(Point2::new(p.x + r, p.y + r));
+        for row in lo.row..=hi.row {
+            for col in lo.col..=hi.col {
+                let idx = GridIndex::new(col, row);
+                if self.occupied(idx) {
+                    let c = self.dims.grid_to_world(idx);
+                    let half = self.dims.resolution / 2.0;
+                    // Closest point on the cell square to p.
+                    let cx = p.x.clamp(c.x - half, c.x + half);
+                    let cy = p.y.clamp(c.y - half, c.y + half);
+                    if p.distance(Point2::new(cx, cy)) <= r {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Snapshot the world as a ground-truth [`MapMsg`] (used to seed
+    /// the "known map" navigation workload).
+    pub fn to_map_msg(&self, stamp: SimTime) -> MapMsg {
+        MapMsg {
+            stamp,
+            dims: self.dims,
+            cells: self
+                .occ
+                .iter()
+                .map(|&o| if o { MapMsg::OCCUPIED } else { MapMsg::FREE })
+                .collect(),
+        }
+    }
+}
+
+/// Builder assembling a world from geometric primitives.
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    dims: GridDims,
+    occ: Vec<bool>,
+}
+
+impl WorldBuilder {
+    /// Empty (all free) world of `width × height` metres at the given
+    /// resolution, origin at (0, 0).
+    pub fn new(width_m: f64, height_m: f64, resolution: f64) -> Self {
+        let w = (width_m / resolution).round() as u32;
+        let h = (height_m / resolution).round() as u32;
+        let dims = GridDims::new(w, h, resolution, Point2::ORIGIN);
+        WorldBuilder { dims, occ: vec![false; dims.len()] }
+    }
+
+    /// Surround the world with solid boundary walls.
+    pub fn walls(mut self) -> Self {
+        let (w, h) = (self.dims.width as i32, self.dims.height as i32);
+        for col in 0..w {
+            self.set(GridIndex::new(col, 0), true);
+            self.set(GridIndex::new(col, h - 1), true);
+        }
+        for row in 0..h {
+            self.set(GridIndex::new(0, row), true);
+            self.set(GridIndex::new(w - 1, row), true);
+        }
+        self
+    }
+
+    /// Fill an axis-aligned rectangle (world metres) with solid cells.
+    pub fn rect(mut self, min: Point2, max: Point2) -> Self {
+        let lo = self.dims.world_to_grid(min);
+        let hi = self.dims.world_to_grid(max);
+        for row in lo.row..=hi.row {
+            for col in lo.col..=hi.col {
+                self.set(GridIndex::new(col, row), true);
+            }
+        }
+        self
+    }
+
+    /// Fill a disc (world metres) with solid cells.
+    pub fn disc(mut self, centre: Point2, radius: f64) -> Self {
+        let lo = self.dims.world_to_grid(Point2::new(centre.x - radius, centre.y - radius));
+        let hi = self.dims.world_to_grid(Point2::new(centre.x + radius, centre.y + radius));
+        for row in lo.row..=hi.row {
+            for col in lo.col..=hi.col {
+                let idx = GridIndex::new(col, row);
+                if self.dims.contains(idx)
+                    && self.dims.grid_to_world(idx).distance(centre) <= radius
+                {
+                    self.set(idx, true);
+                }
+            }
+        }
+        self
+    }
+
+    /// Carve a free rectangle (e.g. a doorway through a wall).
+    pub fn carve(mut self, min: Point2, max: Point2) -> Self {
+        let lo = self.dims.world_to_grid(min);
+        let hi = self.dims.world_to_grid(max);
+        for row in lo.row..=hi.row {
+            for col in lo.col..=hi.col {
+                self.set(GridIndex::new(col, row), false);
+            }
+        }
+        self
+    }
+
+    fn set(&mut self, idx: GridIndex, v: bool) {
+        if self.dims.contains(idx) {
+            let flat = self.dims.flat(idx);
+            self.occ[flat] = v;
+        }
+    }
+
+    /// Finish building.
+    pub fn build(self) -> World {
+        World { dims: self.dims, occ: self.occ }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_room() -> World {
+        WorldBuilder::new(10.0, 8.0, 0.1).walls().build()
+    }
+
+    #[test]
+    fn bounds_are_occupied() {
+        let w = empty_room();
+        assert!(w.occupied(GridIndex::new(-1, 0)));
+        assert!(w.occupied(GridIndex::new(0, 0))); // boundary wall
+        assert!(!w.occupied(GridIndex::new(50, 40))); // interior
+    }
+
+    #[test]
+    fn raycast_hits_wall_at_expected_distance() {
+        let w = empty_room();
+        let from = Point2::new(5.0, 4.0);
+        // Ray towards +x: wall cells start at col 99 (x ∈ [9.9, 10.0]).
+        let d = w.raycast(from, 0.0, 20.0);
+        assert!((d - 4.95).abs() < 0.1, "d = {d}");
+        // Ray towards -x: wall at x ∈ [0, 0.1].
+        let d = w.raycast(from, std::f64::consts::PI, 20.0);
+        assert!((d - 4.95).abs() < 0.1, "d = {d}");
+    }
+
+    #[test]
+    fn raycast_respects_max_range() {
+        let w = empty_room();
+        let d = w.raycast(Point2::new(5.0, 4.0), 0.0, 2.0);
+        assert_eq!(d, 2.0);
+    }
+
+    #[test]
+    fn raycast_sees_obstacle() {
+        let w = WorldBuilder::new(10.0, 8.0, 0.1)
+            .walls()
+            .rect(Point2::new(6.0, 3.0), Point2::new(6.5, 5.0))
+            .build();
+        let d = w.raycast(Point2::new(5.0, 4.0), 0.0, 20.0);
+        assert!((d - 1.0).abs() < 0.15, "d = {d}");
+    }
+
+    #[test]
+    fn disc_obstacle_marks_cells() {
+        let w = WorldBuilder::new(10.0, 8.0, 0.1).disc(Point2::new(5.0, 4.0), 0.5).build();
+        assert!(w.occupied_at(Point2::new(5.0, 4.0)));
+        assert!(w.occupied_at(Point2::new(5.4, 4.0)));
+        assert!(!w.occupied_at(Point2::new(5.7, 4.0)));
+    }
+
+    #[test]
+    fn carve_opens_doorway() {
+        let w = WorldBuilder::new(10.0, 8.0, 0.1)
+            .rect(Point2::new(5.0, 0.0), Point2::new(5.1, 8.0))
+            .carve(Point2::new(5.0, 3.5), Point2::new(5.1, 4.5))
+            .build();
+        assert!(w.occupied_at(Point2::new(5.05, 1.0)));
+        assert!(!w.occupied_at(Point2::new(5.05, 4.0)));
+    }
+
+    #[test]
+    fn collision_disc() {
+        let w = empty_room();
+        assert!(!w.collides_disc(Point2::new(5.0, 4.0), 0.2));
+        // Touching the +x wall (wall occupies x ≥ 9.9).
+        assert!(w.collides_disc(Point2::new(9.8, 4.0), 0.2));
+        assert!(w.collides_disc(Point2::new(0.3, 0.3), 0.25));
+    }
+
+    #[test]
+    fn free_fraction_sane() {
+        let w = empty_room();
+        let f = w.free_fraction();
+        assert!(f > 0.9 && f < 1.0, "{f}");
+    }
+
+    #[test]
+    fn map_msg_roundtrip_values() {
+        let w = WorldBuilder::new(2.0, 2.0, 0.5).walls().build();
+        let m = w.to_map_msg(SimTime::EPOCH);
+        assert_eq!(m.cells.len(), 16);
+        assert_eq!(m.cells[0], MapMsg::OCCUPIED);
+        assert_eq!(m.cells[5], MapMsg::FREE);
+        assert_eq!(m.known_fraction(), 1.0);
+    }
+}

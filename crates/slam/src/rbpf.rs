@@ -1,0 +1,478 @@
+//! The Rao-Blackwellized particle filter (GMapping).
+//!
+//! Pipeline per scan (paper Fig. 6):
+//!
+//! 1. **propagate** every particle through the odometry motion model
+//!    (serial, cheap);
+//! 2. **scanMatch** every particle against its own map and integrate
+//!    the scan — the 98 %-of-compute phase, distributed `M/N` particles
+//!    per thread by the [`ParallelExecutor`];
+//! 3. **updateTreeWeights** — normalize weights, compute `N_eff`
+//!    (serial, main thread);
+//! 4. **resample** with the low-variance sampler when `N_eff` drops
+//!    below the threshold (serial; clones particle maps).
+//!
+//! Every phase tallies cycles into a [`Work`] record with the correct
+//! serial/parallel split, which is what the platform model in
+//! `lgv-sim` prices for Figures 9 and 13.
+
+use crate::map::OccupancyGrid;
+use crate::motion::{MotionModel, MotionNoise};
+use crate::pool::ParallelExecutor;
+use crate::scan_match::{ScanMatcher, ScanMatcherConfig};
+use lgv_types::prelude::*;
+use lgv_types::rng::low_variance_resample;
+
+/// Cycle-cost constants for SLAM work accounting.
+///
+/// Calibrated so the default configuration (30 particles, 360-beam
+/// LDS-01 at 5 Hz) demands ≈ 3.3 Gcycles/s — the paper's Table II
+/// "without a map" Localization (SLAM) figure — with ≈ 98 % of it in
+/// `scanMatch`, matching the paper's timestamp measurement (§V).
+pub mod cost {
+    /// Cycles per beam-likelihood evaluation inside `scanMatch`
+    /// (9 grid reads, a world→grid transform, trig). Calibrated so a
+    /// 30-particle filter over LDS-01 scans in the lab demands
+    /// ≈ 3.3 Gcycles/s at 5 Hz (Table II) — in open rooms roughly half
+    /// of all beams are max-range misses that skip evaluation, which
+    /// this constant absorbs.
+    pub const CYCLES_PER_BEAM_EVAL: f64 = 6000.0;
+    /// Cycles per occupancy-grid cell update during scan integration.
+    pub const CYCLES_PER_MAP_CELL_UPDATE: f64 = 50.0;
+    /// Cycles to draw one motion-model sample.
+    pub const CYCLES_PER_MOTION_SAMPLE: f64 = 800.0;
+    /// Cycles per particle for weight normalization / N_eff.
+    pub const CYCLES_PER_WEIGHT_UPDATE: f64 = 300.0;
+    /// Cycles per map cell copied during resampling.
+    pub const CYCLES_PER_CELL_COPY: f64 = 1.0;
+}
+
+/// Filter configuration.
+#[derive(Debug, Clone)]
+pub struct SlamConfig {
+    /// Particle count `M` (the paper sweeps 10–100 in Fig. 9).
+    pub num_particles: usize,
+    /// Thread count `N` for the parallel scanMatch (Fig. 6).
+    pub threads: usize,
+    /// Geometry of each particle's map.
+    pub map_dims: GridDims,
+    /// Scan-matcher tuning.
+    pub matcher: ScanMatcherConfig,
+    /// Motion-model noise.
+    pub motion: MotionNoise,
+    /// Resample when `N_eff < frac · M`.
+    pub resample_neff_frac: f64,
+    /// Weight-update gain applied to match scores.
+    pub score_gain: f64,
+}
+
+impl Default for SlamConfig {
+    fn default() -> Self {
+        SlamConfig {
+            num_particles: 30,
+            threads: 1,
+            map_dims: GridDims::new(400, 400, 0.05, Point2::ORIGIN),
+            matcher: ScanMatcherConfig::default(),
+            motion: MotionNoise::default(),
+            resample_neff_frac: 0.5,
+            score_gain: 0.05,
+        }
+    }
+}
+
+/// One filter update's outputs.
+#[derive(Debug, Clone)]
+pub struct SlamOutput {
+    /// Best-particle pose estimate.
+    pub pose: PoseEstimate,
+    /// Cycle demand of this update (serial + parallel split).
+    pub work: Work,
+    /// Effective sample size after the weight update.
+    pub neff: f64,
+    /// Whether resampling fired.
+    pub resampled: bool,
+    /// Best particle's match score.
+    pub best_score: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Particle {
+    pose: Pose2D,
+    log_weight: f64,
+    map: OccupancyGrid,
+    rng: SimRng,
+}
+
+/// The GMapping filter.
+#[derive(Debug)]
+pub struct GMapping {
+    cfg: SlamConfig,
+    particles: Vec<Particle>,
+    matcher: ScanMatcher,
+    motion: MotionModel,
+    executor: ParallelExecutor,
+    last_odom: Option<Pose2D>,
+    rng: SimRng,
+    best: usize,
+    /// Scans processed so far.
+    pub scans_processed: u64,
+    /// Resampling events so far.
+    pub resample_count: u64,
+}
+
+impl GMapping {
+    /// Build a filter with all particles at `start`.
+    pub fn new(cfg: SlamConfig, start: Pose2D, mut rng: SimRng) -> Self {
+        assert!(cfg.num_particles > 0, "need at least one particle");
+        let particles = (0..cfg.num_particles)
+            .map(|i| Particle {
+                pose: start,
+                log_weight: 0.0,
+                map: OccupancyGrid::new(cfg.map_dims),
+                rng: rng.fork(i as u64),
+            })
+            .collect();
+        let matcher = ScanMatcher::new(cfg.matcher.clone());
+        let motion = MotionModel::new(cfg.motion);
+        let executor = ParallelExecutor::new(cfg.threads);
+        GMapping {
+            cfg,
+            particles,
+            matcher,
+            motion,
+            executor,
+            last_odom: None,
+            rng,
+            best: 0,
+            scans_processed: 0,
+            resample_count: 0,
+        }
+    }
+
+    /// Particle count.
+    pub fn num_particles(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Change the parallelism degree at runtime (the Controller does
+    /// this when migrating the node between platforms).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.executor = ParallelExecutor::new(threads);
+    }
+
+    /// Current best-particle pose.
+    pub fn best_pose(&self) -> Pose2D {
+        self.particles[self.best].pose
+    }
+
+    /// Current best-particle map.
+    pub fn best_map(&self, stamp: SimTime) -> MapMsg {
+        self.particles[self.best].map.to_map_msg(stamp)
+    }
+
+    /// Direct access to the best particle's grid (for costmap seeding).
+    pub fn best_grid(&self) -> &OccupancyGrid {
+        &self.particles[self.best].map
+    }
+
+    /// Process one odometry + scan pair.
+    pub fn process(&mut self, odom: &OdometryMsg, scan: &LaserScan) -> SlamOutput {
+        let delta = match self.last_odom {
+            Some(last) => last.between(odom.pose),
+            None => Pose2D::default(),
+        };
+        self.last_odom = Some(odom.pose);
+        self.scans_processed += 1;
+
+        let m = self.particles.len();
+        let mut meter = WorkMeter::new();
+
+        // 1. Propagate (serial).
+        for p in &mut self.particles {
+            p.pose = self.motion.sample(p.pose, delta, &mut p.rng);
+        }
+        meter.serial_ops(m as u64, cost::CYCLES_PER_MOTION_SAMPLE);
+
+        // 2. Parallel scanMatch + map integration (Fig. 6: each thread
+        //    handles M/N particles).
+        let matcher = &self.matcher;
+        let gain = self.cfg.score_gain;
+        let chunk_stats = self.executor.run_chunks(&mut self.particles, |chunk| {
+            let mut beam_evals = 0u64;
+            let mut map_cycles = 0.0f64;
+            let mut best_local = f64::NEG_INFINITY;
+            for p in chunk.iter_mut() {
+                let r = matcher.optimize(&p.map, p.pose, scan);
+                p.pose = r.pose;
+                p.log_weight += r.score * gain;
+                best_local = best_local.max(r.score);
+                beam_evals += r.beam_evals;
+                let mut local = WorkMeter::new();
+                p.map.integrate_scan(p.pose, scan, &mut local);
+                map_cycles += local.finish().total_cycles();
+            }
+            (beam_evals, map_cycles, best_local)
+        });
+        let total_evals: u64 = chunk_stats.iter().map(|c| c.0).sum();
+        let total_map_cycles: f64 = chunk_stats.iter().map(|c| c.1).sum();
+        let best_score =
+            chunk_stats.iter().map(|c| c.2).fold(f64::NEG_INFINITY, f64::max).max(0.0);
+        meter.parallel_ops(total_evals, cost::CYCLES_PER_BEAM_EVAL, m as u32);
+        meter.parallel_ops(1, total_map_cycles, m as u32);
+
+        // 3. updateTreeWeights (serial, main thread).
+        let (weights, neff) = self.update_tree_weights();
+        meter.serial_ops(m as u64, cost::CYCLES_PER_WEIGHT_UPDATE);
+
+        // 4. Resample (serial, main thread).
+        let resampled = neff < self.cfg.resample_neff_frac * m as f64;
+        if resampled {
+            let copied_cells = self.resample(&weights);
+            self.resample_count += 1;
+            meter.serial_ops(copied_cells, cost::CYCLES_PER_CELL_COPY);
+        }
+
+        // Best particle by weight.
+        self.best = self
+            .particles
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.log_weight.total_cmp(&b.1.log_weight))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        let confidence = (neff / m as f64).clamp(0.0, 1.0);
+        SlamOutput {
+            pose: PoseEstimate { stamp: scan.stamp, pose: self.best_pose(), confidence },
+            work: meter.finish(),
+            neff,
+            resampled,
+            best_score,
+        }
+    }
+
+    /// Normalize log-weights into linear weights; returns the weights
+    /// and the effective sample size `N_eff = 1 / Σ wᵢ²`.
+    fn update_tree_weights(&mut self) -> (Vec<f64>, f64) {
+        let max_lw =
+            self.particles.iter().map(|p| p.log_weight).fold(f64::NEG_INFINITY, f64::max);
+        let mut weights: Vec<f64> =
+            self.particles.iter().map(|p| (p.log_weight - max_lw).exp()).collect();
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 || !sum.is_finite() {
+            let u = 1.0 / weights.len() as f64;
+            weights.iter_mut().for_each(|w| *w = u);
+        } else {
+            weights.iter_mut().for_each(|w| *w /= sum);
+        }
+        let neff = 1.0 / weights.iter().map(|w| w * w).sum::<f64>();
+        (weights, neff)
+    }
+
+    /// Low-variance resampling; returns the number of map cells copied
+    /// (the dominant resampling cost in real gmapping).
+    fn resample(&mut self, weights: &[f64]) -> u64 {
+        let m = self.particles.len();
+        let picks = low_variance_resample(&mut self.rng, weights, m);
+        let mut copied = 0u64;
+        let new_particles: Vec<Particle> = picks
+            .iter()
+            .enumerate()
+            .map(|(slot, &i)| {
+                copied += self.particles[i].map.dims().len() as u64;
+                let mut p = self.particles[i].clone();
+                p.log_weight = 0.0;
+                // Re-fork the RNG so duplicated particles diverge.
+                p.rng = self.rng.fork(slot as u64);
+                p
+            })
+            .collect();
+        self.particles = new_particles;
+        copied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn small_cfg(particles: usize, threads: usize) -> SlamConfig {
+        SlamConfig {
+            num_particles: particles,
+            threads,
+            map_dims: GridDims::new(160, 160, 0.05, Point2::ORIGIN),
+            ..Default::default()
+        }
+    }
+
+    /// A synthetic "room" scan: constant-range walls all around.
+    /// Only valid for a *stationary* robot (the scan is independent of
+    /// position); moving tests use [`room_scan`].
+    fn scan_at(stamp_ms: u64, range: f64) -> LaserScan {
+        let beams = 120;
+        LaserScan {
+            stamp: SimTime::EPOCH + Duration::from_millis(stamp_ms),
+            angle_min: 0.0,
+            angle_increment: 2.0 * PI / beams as f64,
+            range_max: 3.5,
+            ranges: vec![range; beams],
+        }
+    }
+
+    /// Exact ranges from `pose` to the walls of a fixed box room
+    /// `[1,6] × [1.5,6.5]` — a position-dependent scan stream, like a
+    /// real environment.
+    fn room_scan(stamp_ms: u64, pose: Pose2D) -> LaserScan {
+        let (xmin, xmax, ymin, ymax) = (1.0, 6.0, 1.5, 6.5);
+        let beams = 120;
+        let inc = 2.0 * PI / beams as f64;
+        let ranges = (0..beams)
+            .map(|i| {
+                let a = pose.theta + i as f64 * inc;
+                let (c, s) = (a.cos(), a.sin());
+                let tx = if c > 1e-12 {
+                    (xmax - pose.x) / c
+                } else if c < -1e-12 {
+                    (xmin - pose.x) / c
+                } else {
+                    f64::INFINITY
+                };
+                let ty = if s > 1e-12 {
+                    (ymax - pose.y) / s
+                } else if s < -1e-12 {
+                    (ymin - pose.y) / s
+                } else {
+                    f64::INFINITY
+                };
+                tx.min(ty).min(3.5)
+            })
+            .collect();
+        LaserScan {
+            stamp: SimTime::EPOCH + Duration::from_millis(stamp_ms),
+            angle_min: 0.0,
+            angle_increment: inc,
+            range_max: 3.5,
+            ranges,
+        }
+    }
+
+    fn odom_at(stamp_ms: u64, pose: Pose2D) -> OdometryMsg {
+        OdometryMsg {
+            stamp: SimTime::EPOCH + Duration::from_millis(stamp_ms),
+            pose,
+            twist: Twist::STOP,
+        }
+    }
+
+    #[test]
+    fn first_update_builds_a_map() {
+        let mut slam =
+            GMapping::new(small_cfg(5, 1), Pose2D::new(4.0, 4.0, 0.0), SimRng::seed_from_u64(1));
+        let out = slam.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0));
+        assert_eq!(slam.scans_processed, 1);
+        assert!(out.work.total_cycles() > 0.0);
+        assert!(out.work.parallel_fraction() > 0.9, "scanMatch dominates");
+        let map = slam.best_map(SimTime::EPOCH);
+        assert!(map.known_fraction() > 0.0);
+    }
+
+    #[test]
+    fn stationary_robot_keeps_pose() {
+        let start = Pose2D::new(4.0, 4.0, 0.0);
+        let mut slam = GMapping::new(small_cfg(10, 1), start, SimRng::seed_from_u64(2));
+        for k in 0..8 {
+            slam.process(&odom_at(k * 200, start), &scan_at(k * 200, 2.0));
+        }
+        let err = slam.best_pose().distance(start);
+        assert!(err < 0.15, "pose drifted {err} m while stationary");
+    }
+
+    #[test]
+    fn tracks_odometry_motion() {
+        // The robot steps forward 5 cm per scan; SLAM should follow.
+        let mut slam =
+            GMapping::new(small_cfg(10, 1), Pose2D::new(3.0, 4.0, 0.0), SimRng::seed_from_u64(3));
+        let mut pose = Pose2D::new(3.0, 4.0, 0.0);
+        for k in 0..10 {
+            slam.process(&odom_at(k * 200, pose), &room_scan(k * 200, pose));
+            pose = Pose2D::new(pose.x + 0.05, pose.y, 0.0);
+        }
+        // Final odom pose was 3.45; estimate within tolerance.
+        let est = slam.best_pose();
+        assert!((est.x - 3.45).abs() < 0.25, "x = {}", est.x);
+        assert!((est.y - 4.0).abs() < 0.2, "y = {}", est.y);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        // scanMatch is deterministic per particle and motion noise uses
+        // per-particle RNGs, so thread count must not change results.
+        let run = |threads: usize| {
+            let mut slam = GMapping::new(
+                small_cfg(8, threads),
+                Pose2D::new(4.0, 4.0, 0.0),
+                SimRng::seed_from_u64(7),
+            );
+            let mut pose = Pose2D::new(4.0, 4.0, 0.0);
+            for k in 0..5 {
+                slam.process(&odom_at(k * 200, pose), &scan_at(k * 200, 2.0));
+                pose = Pose2D::new(pose.x + 0.04, pose.y, 0.0);
+            }
+            slam.best_pose()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn work_scales_with_particles() {
+        let mut small =
+            GMapping::new(small_cfg(5, 1), Pose2D::new(4.0, 4.0, 0.0), SimRng::seed_from_u64(4));
+        let mut large =
+            GMapping::new(small_cfg(20, 1), Pose2D::new(4.0, 4.0, 0.0), SimRng::seed_from_u64(4));
+        let w_small =
+            small.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0)).work;
+        let w_large =
+            large.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0)).work;
+        let ratio = w_large.parallel_cycles / w_small.parallel_cycles;
+        assert!((3.0..5.5).contains(&ratio), "ratio {ratio} should be ≈ 4");
+        assert_eq!(w_large.parallel_items, 20);
+    }
+
+    #[test]
+    fn neff_stays_within_bounds_and_resampling_fires_eventually() {
+        let cfg = SlamConfig { score_gain: 0.3, ..small_cfg(12, 1) };
+        let mut slam =
+            GMapping::new(cfg, Pose2D::new(3.0, 4.0, 0.0), SimRng::seed_from_u64(5));
+        let mut pose = Pose2D::new(3.0, 4.0, 0.0);
+        let mut any_resample = false;
+        for k in 0..30 {
+            let out = slam.process(&odom_at(k * 200, pose), &room_scan(k * 200, pose));
+            assert!(out.neff >= 1.0 - 1e-9 && out.neff <= 12.0 + 1e-9, "neff {}", out.neff);
+            any_resample |= out.resampled;
+            pose = Pose2D::new(pose.x + 0.05, pose.y, 0.0);
+        }
+        assert!(any_resample, "weights should eventually degenerate");
+        assert!(slam.resample_count > 0);
+    }
+
+    #[test]
+    fn confidence_tracks_neff() {
+        let mut slam =
+            GMapping::new(small_cfg(10, 1), Pose2D::new(4.0, 4.0, 0.0), SimRng::seed_from_u64(6));
+        let out = slam.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0));
+        assert!((0.0..=1.0).contains(&out.pose.confidence));
+    }
+
+    #[test]
+    fn set_threads_changes_executor() {
+        let mut slam =
+            GMapping::new(small_cfg(4, 1), Pose2D::new(4.0, 4.0, 0.0), SimRng::seed_from_u64(8));
+        slam.set_threads(8);
+        // Still functions after the switch.
+        let out = slam.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0));
+        assert!(out.work.total_cycles() > 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the SLAM stack: map-update invariants,
+//! scan-matcher behaviour, and filter conservation laws.
+
+use lgv_slam::map::OccupancyGrid;
+use lgv_slam::motion::{MotionModel, MotionNoise};
+use lgv_slam::pool::ParallelExecutor;
+use lgv_slam::scan_match::ScanMatcher;
+use lgv_slam::{GMapping, SlamConfig};
+use lgv_types::prelude::*;
+use proptest::prelude::*;
+use std::f64::consts::PI;
+
+fn box_scan(pose: Pose2D, beams: usize) -> LaserScan {
+    let (xmin, xmax, ymin, ymax) = (0.5, 7.5, 0.5, 7.5);
+    let inc = 2.0 * PI / beams as f64;
+    let ranges = (0..beams)
+        .map(|i| {
+            let a = pose.theta + i as f64 * inc;
+            let (c, s) = (a.cos(), a.sin());
+            let tx = if c > 1e-12 {
+                (xmax - pose.x) / c
+            } else if c < -1e-12 {
+                (xmin - pose.x) / c
+            } else {
+                f64::INFINITY
+            };
+            let ty = if s > 1e-12 {
+                (ymax - pose.y) / s
+            } else if s < -1e-12 {
+                (ymin - pose.y) / s
+            } else {
+                f64::INFINITY
+            };
+            tx.min(ty).min(3.5)
+        })
+        .collect();
+    LaserScan { stamp: SimTime::EPOCH, angle_min: 0.0, angle_increment: inc, range_max: 3.5, ranges }
+}
+
+proptest! {
+    #[test]
+    fn occupancy_probabilities_stay_valid(
+        px in 1.5f64..6.5, py in 1.5f64..6.5, th in -PI..PI, repeats in 1usize..6,
+    ) {
+        let dims = GridDims::new(160, 160, 0.05, Point2::ORIGIN);
+        let mut map = OccupancyGrid::new(dims);
+        let pose = Pose2D::new(px, py, th);
+        let scan = box_scan(pose, 90);
+        let mut meter = WorkMeter::new();
+        for _ in 0..repeats {
+            map.integrate_scan(pose, &scan, &mut meter);
+        }
+        for col in (0..160).step_by(7) {
+            for row in (0..160).step_by(7) {
+                let p = map.occ_prob(GridIndex::new(col, row));
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn sensor_origin_cell_is_never_occupied(
+        px in 1.5f64..6.5, py in 1.5f64..6.5, repeats in 2usize..6,
+    ) {
+        let dims = GridDims::new(160, 160, 0.05, Point2::ORIGIN);
+        let mut map = OccupancyGrid::new(dims);
+        let pose = Pose2D::new(px, py, 0.0);
+        let scan = box_scan(pose, 90);
+        let mut meter = WorkMeter::new();
+        for _ in 0..repeats {
+            map.integrate_scan(pose, &scan, &mut meter);
+        }
+        // The robot stands in free space; repeated integration must
+        // never mark its own cell occupied.
+        prop_assert!(!map.is_occupied(dims.world_to_grid(pose.position())));
+    }
+
+    #[test]
+    fn scan_matcher_score_is_maximal_near_truth(
+        dx in -0.15f64..0.15, dy in -0.15f64..0.15,
+    ) {
+        prop_assume!(dx.abs() + dy.abs() > 0.08);
+        let dims = GridDims::new(160, 160, 0.05, Point2::ORIGIN);
+        let mut map = OccupancyGrid::new(dims);
+        let truth = Pose2D::new(4.0, 4.0, 0.0);
+        let scan = box_scan(truth, 180);
+        let mut meter = WorkMeter::new();
+        for _ in 0..4 {
+            map.integrate_scan(truth, &scan, &mut meter);
+        }
+        let sm = ScanMatcher::default();
+        let (s_true, _) = sm.score(&map, truth, &scan);
+        let (s_off, _) =
+            sm.score(&map, Pose2D::new(truth.x + dx, truth.y + dy, 0.0), &scan);
+        prop_assert!(s_true >= s_off, "true {s_true} vs offset {s_off}");
+    }
+
+    #[test]
+    fn motion_model_is_finite(
+        dx in -0.5f64..0.5, dy in -0.5f64..0.5, dth in -1.0f64..1.0, seed in 0u64..100,
+    ) {
+        let m = MotionModel::new(MotionNoise::default());
+        let mut rng = SimRng::seed_from_u64(seed);
+        let q = m.sample(Pose2D::new(1.0, 1.0, 0.3), Pose2D::new(dx, dy, dth), &mut rng);
+        prop_assert!(q.x.is_finite() && q.y.is_finite() && q.theta.is_finite());
+        prop_assert!(q.theta > -PI && q.theta <= PI);
+    }
+
+    #[test]
+    fn executor_chunk_results_cover_input(threads in 1usize..9, n in 0usize..200) {
+        let ex = ParallelExecutor::new(threads);
+        let mut items: Vec<u64> = (0..n as u64).collect();
+        let sums = ex.run_chunks(&mut items, |c| c.iter().sum::<u64>());
+        prop_assert_eq!(
+            sums.iter().sum::<u64>(),
+            (0..n as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn slam_update_work_is_positive_and_mostly_parallel(
+        particles in 2usize..12, seed in 0u64..50,
+    ) {
+        let cfg = SlamConfig {
+            num_particles: particles,
+            threads: 1,
+            map_dims: GridDims::new(160, 160, 0.05, Point2::ORIGIN),
+            ..SlamConfig::default()
+        };
+        let start = Pose2D::new(4.0, 4.0, 0.0);
+        let mut slam = GMapping::new(cfg, start, SimRng::seed_from_u64(seed));
+        let odom = OdometryMsg { stamp: SimTime::EPOCH, pose: start, twist: Twist::STOP };
+        // First update builds maps; second does real matching.
+        slam.process(&odom, &box_scan(start, 90));
+        let out = slam.process(&odom, &box_scan(start, 90));
+        prop_assert!(out.work.total_cycles() > 0.0);
+        prop_assert!(out.work.parallel_fraction() > 0.5);
+        prop_assert_eq!(out.work.parallel_items as usize, particles);
+        prop_assert!(out.neff >= 1.0 - 1e-9);
+        prop_assert!(out.neff <= particles as f64 + 1e-9);
+    }
+
+    #[test]
+    fn slam_thread_count_does_not_change_estimates(
+        threads in 2usize..6, seed in 0u64..30,
+    ) {
+        let mk = |threads: usize| {
+            let cfg = SlamConfig {
+                num_particles: 6,
+                threads,
+                map_dims: GridDims::new(160, 160, 0.05, Point2::ORIGIN),
+                ..SlamConfig::default()
+            };
+            let start = Pose2D::new(4.0, 4.0, 0.0);
+            let mut slam = GMapping::new(cfg, start, SimRng::seed_from_u64(seed));
+            let mut pose = start;
+            for i in 0..4 {
+                let odom = OdometryMsg {
+                    stamp: SimTime::EPOCH + Duration::from_millis(200 * i),
+                    pose,
+                    twist: Twist::STOP,
+                };
+                slam.process(&odom, &box_scan(pose, 90));
+                pose = Pose2D::new(pose.x + 0.03, pose.y, 0.0);
+            }
+            slam.best_pose()
+        };
+        prop_assert_eq!(mk(1), mk(threads));
+    }
+}

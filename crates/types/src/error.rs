@@ -1,0 +1,72 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by the cloud-lgv stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LgvError {
+    /// A planner could not find a path between two points.
+    NoPath {
+        /// Human-readable context (start/goal description).
+        context: String,
+    },
+    /// A requested pose or cell lies outside the map.
+    OutOfBounds {
+        /// Human-readable context.
+        context: String,
+    },
+    /// A network channel is closed or the peer is unreachable.
+    Disconnected {
+        /// Which link failed.
+        link: String,
+    },
+    /// Message (de)serialization failed.
+    Codec {
+        /// Decoder/encoder detail.
+        detail: String,
+    },
+    /// A configuration value is invalid.
+    InvalidConfig {
+        /// Which parameter and why.
+        detail: String,
+    },
+    /// A mission aborted (stuck, battery empty, …).
+    MissionFailed {
+        /// Why the mission could not complete.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LgvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LgvError::NoPath { context } => write!(f, "no path found: {context}"),
+            LgvError::OutOfBounds { context } => write!(f, "out of bounds: {context}"),
+            LgvError::Disconnected { link } => write!(f, "link disconnected: {link}"),
+            LgvError::Codec { detail } => write!(f, "codec error: {detail}"),
+            LgvError::InvalidConfig { detail } => write!(f, "invalid config: {detail}"),
+            LgvError::MissionFailed { reason } => write!(f, "mission failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for LgvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LgvError::NoPath { context: "A->B".into() };
+        assert_eq!(e.to_string(), "no path found: A->B");
+        let e = LgvError::Disconnected { link: "wifi".into() };
+        assert!(e.to_string().contains("wifi"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LgvError::Codec { detail: "truncated".into() });
+    }
+}

@@ -1,0 +1,50 @@
+//! # lgv-types
+//!
+//! Foundation types shared by every crate in the `cloud-lgv` workspace:
+//! planar geometry, angle arithmetic, occupancy-grid indexing, virtual
+//! (simulated) time, deterministic random sampling, cycle-level work
+//! accounting, and the message vocabulary exchanged between robotic
+//! computation nodes.
+//!
+//! Everything in this crate is deterministic and allocation-conscious;
+//! the heavier simulation substrates build on top of it.
+
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod error;
+pub mod geometry;
+pub mod grid;
+pub mod msg;
+pub mod node;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod work;
+
+pub use angle::{normalize_angle, Angle};
+pub use error::LgvError;
+pub use geometry::{Point2, Pose2D, Twist, Vec2};
+pub use grid::{GridDims, GridIndex, GridRay};
+pub use msg::{
+    GoalMsg, LaserScan, MapMsg, OdometryMsg, PathMsg, PoseEstimate, VelocityCmd, VelocitySource,
+};
+pub use node::{NodeKind, NodeSet, Placement, Stage};
+pub use rng::SimRng;
+pub use stats::Summary;
+pub use time::{Duration, Rate, SimTime};
+pub use work::{Work, WorkMeter};
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::angle::{normalize_angle, Angle};
+    pub use crate::error::LgvError;
+    pub use crate::geometry::{Point2, Pose2D, Twist, Vec2};
+    pub use crate::grid::{GridDims, GridIndex, GridRay};
+    pub use crate::msg::*;
+    pub use crate::node::{NodeKind, NodeSet, Placement, Stage};
+    pub use crate::rng::SimRng;
+    pub use crate::stats::Summary;
+    pub use crate::time::{Duration, Rate, SimTime};
+    pub use crate::work::{Work, WorkMeter};
+}

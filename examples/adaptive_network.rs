@@ -1,0 +1,60 @@
+//! Demonstrate the real-time adjustment strategy (Algorithm 2): a
+//! navigation mission whose goal lies in a radio dead zone. With a
+//! *static* offloading policy the velocity commands stop arriving and
+//! the robot stalls; with the adaptive policy the framework detects
+//! the bandwidth collapse (while observed latency still looks fine!)
+//! and migrates the VDP nodes back on-board.
+//!
+//! ```bash
+//! cargo run --release --example adaptive_network
+//! ```
+
+use cloud_lgv::offload::deploy::Deployment;
+use cloud_lgv::offload::mission::{self, MissionConfig, Workload};
+use cloud_lgv::prelude::*;
+use cloud_lgv::sim::world::WorldBuilder;
+use lgv_net::signal::WirelessConfig;
+
+fn config(adaptive: bool) -> MissionConfig {
+    // A long corridor: the WAP sits at the start; the goal is ~17 m
+    // out, well past the 8 m weak-signal radius.
+    let world = WorldBuilder::new(20.0, 4.0, 0.05).walls().build();
+    let mut cfg = MissionConfig::navigation_lab(Deployment::cloud_12t());
+    cfg.workload = Workload::Navigation;
+    cfg.world = world;
+    cfg.start = Pose2D::new(1.0, 2.0, 0.0);
+    cfg.nav_goal = Point2::new(18.5, 2.0);
+    cfg.wap = Point2::new(1.0, 3.5);
+    cfg.wireless = WirelessConfig::default().with_weak_radius(8.0);
+    cfg.adaptive = adaptive;
+    cfg.max_time = Duration::from_secs(240);
+    cfg
+}
+
+fn main() {
+    for (label, adaptive) in [("static offloading", false), ("adaptive (Algorithm 2)", true)] {
+        let report = mission::run(config(adaptive));
+        println!("--- {label} ---");
+        println!(
+            "  completed: {:<5}  time: {:>6.1} s  standby: {:>6.1} s  switches: {}",
+            report.completed,
+            report.time.total().as_secs_f64(),
+            report.time.standby.as_secs_f64(),
+            report.net_switches
+        );
+        // Show what the robot saw around the dead-zone boundary.
+        if let Some(s) = report
+            .net_trace
+            .iter()
+            .find(|s| s.bandwidth < 1.0 && s.t > 5.0)
+        {
+            println!(
+                "  first starved sample: t={:.1}s bandwidth={:.1} pkt/s rtt={:.0} ms (looks healthy!) remote={}",
+                s.t, s.bandwidth, s.rtt_ms, s.remote_active
+            );
+        }
+        println!();
+    }
+    println!("The static policy stalls in the dead zone (standby dominates); the");
+    println!("adaptive policy switches the VDP local and finishes the mission.");
+}

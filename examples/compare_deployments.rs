@@ -1,0 +1,38 @@
+//! Compare the five deployment strategies of the paper's evaluation
+//! (Fig. 13) on the navigation workload: local vs edge vs cloud, with
+//! and without cloud acceleration.
+//!
+//! ```bash
+//! cargo run --release --example compare_deployments
+//! ```
+
+use cloud_lgv::offload::deploy::Deployment;
+use cloud_lgv::offload::mission::{self, MissionConfig};
+use cloud_lgv::sim::energy::Component;
+
+fn main() {
+    println!(
+        "{:<12} {:>8} {:>9} {:>9} {:>10} {:>8}",
+        "deployment", "time(s)", "total(J)", "EC(J)", "motor(J)", "done"
+    );
+    let mut baseline: Option<(f64, f64)> = None;
+    for d in Deployment::evaluation_set() {
+        let mut cfg = MissionConfig::navigation_lab(d);
+        cfg.record_traces = false;
+        let r = mission::run(cfg);
+        let secs = r.time.total().as_secs_f64();
+        let total = r.energy.total_joules();
+        let (t0, e0) = *baseline.get_or_insert((secs, total));
+        println!(
+            "{:<12} {:>8.1} {:>9.1} {:>9.1} {:>10.1} {:>8}   ({:.2}x faster, {:.2}x less energy)",
+            d.label,
+            secs,
+            total,
+            r.energy.joules(Component::EmbeddedComputer),
+            r.energy.joules(Component::Motor),
+            r.completed,
+            t0 / secs,
+            e0 / total,
+        );
+    }
+}

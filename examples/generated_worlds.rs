@@ -1,0 +1,65 @@
+//! Generalization check: does the offloading win hold beyond the two
+//! hand-built evaluation worlds? Sweep seeded procedural floorplans
+//! and compare local vs offloaded navigation on each.
+//!
+//! ```bash
+//! cargo run --release --example generated_worlds
+//! ```
+
+use cloud_lgv::offload::deploy::Deployment;
+use cloud_lgv::offload::mission::{self, MissionConfig, Workload};
+use cloud_lgv::prelude::*;
+use cloud_lgv::sim::world::generator::{generate, FloorplanConfig};
+
+fn main() {
+    let gen_cfg = FloorplanConfig {
+        rooms_x: 3,
+        rooms_y: 2,
+        room_size: 4.5,
+        door: 1.3,
+        ..Default::default()
+    };
+    println!(
+        "{:<6} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "seed", "path", "local (s)", "edge8t (s)", "speedup", "E ratio"
+    );
+    let mut wins = 0;
+    let seeds = [1u64, 2, 3, 4, 5];
+    for &seed in &seeds {
+        let plan = generate(&gen_cfg, seed);
+        let run_one = |deployment| {
+            let mut cfg = MissionConfig::navigation_lab(deployment);
+            cfg.workload = Workload::Navigation;
+            cfg.world = plan.world.clone();
+            cfg.start = plan.start;
+            cfg.nav_goal = plan.goal;
+            // WAP over the middle room: whole floor in range.
+            cfg.wap = Point2::new(
+                gen_cfg.rooms_x as f64 * gen_cfg.room_size / 2.0,
+                gen_cfg.rooms_y as f64 * gen_cfg.room_size / 2.0,
+            );
+            cfg.record_traces = false;
+            cfg.max_time = Duration::from_secs(600);
+            mission::run(cfg)
+        };
+        let local = run_one(Deployment::local());
+        let edge = run_one(Deployment::edge_8t());
+        let speedup = local.time.total().as_secs_f64() / edge.time.total().as_secs_f64();
+        let e_ratio = local.energy.total_joules() / edge.energy.total_joules();
+        if edge.completed && local.completed && speedup > 1.0 && e_ratio > 1.0 {
+            wins += 1;
+        }
+        println!(
+            "{:<6} {:>8.1}m {:>10.1} {:>10.1} {:>7.2}x {:>7.2}x{}",
+            seed,
+            plan.start.position().distance(plan.goal),
+            local.time.total().as_secs_f64(),
+            edge.time.total().as_secs_f64(),
+            speedup,
+            e_ratio,
+            if local.completed && edge.completed { "" } else { "  (!)" },
+        );
+    }
+    println!();
+    println!("offloading won on {wins}/{} generated floorplans", seeds.len());
+}

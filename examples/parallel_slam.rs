@@ -1,0 +1,81 @@
+//! Drive the SLAM substrate directly: map a synthetic multi-room
+//! world with the GMapping-style particle filter and show the cloud-
+//! acceleration effect — real wall-clock thread scaling of the
+//! parallel scanMatch (paper Fig. 6) plus the priced processing times
+//! on the three paper platforms (Fig. 9's mechanism).
+//!
+//! ```bash
+//! cargo run --release --example parallel_slam
+//! ```
+
+use cloud_lgv::prelude::*;
+use cloud_lgv::sim::platform::Platform;
+use cloud_lgv::sim::world::presets;
+use cloud_lgv::sim::{Lidar, LidarConfig, Vehicle, VehicleConfig};
+use cloud_lgv::slam::{GMapping, SlamConfig};
+use std::time::Instant;
+
+fn main() {
+    let world = presets::intel_like();
+    let start = presets::intel_start();
+
+    for &threads in &[1usize, 2, 4] {
+        let cfg = SlamConfig {
+            num_particles: 24,
+            threads,
+            map_dims: *world.dims(),
+            ..SlamConfig::default()
+        };
+        let mut rng = SimRng::seed_from_u64(7);
+        let mut slam = GMapping::new(cfg, start, rng.fork(1));
+        let mut vehicle = Vehicle::new(VehicleConfig::default(), start, rng.fork(2));
+        let mut lidar = Lidar::new(LidarConfig::default(), rng.fork(3));
+
+        // Drive a scripted loop through the corridor, mapping as we go.
+        vehicle.command(Twist::new(0.2, 0.0));
+        let mut now = SimTime::EPOCH;
+        let wall = Instant::now();
+        let mut avg_work = Work::ZERO;
+        let scans = 60;
+        for k in 0..scans {
+            // Steer gently; bounce off obstacles.
+            let steer = if vehicle.bumped() { 1.2 } else { 0.3 * ((k as f64) * 0.15).sin() };
+            vehicle.command(Twist::new(0.2, steer));
+            for _ in 0..8 {
+                vehicle.step(&world, Duration::from_millis(25));
+            }
+            now += Duration::from_millis(200);
+            let scan = lidar.scan(&world, vehicle.true_pose(), now);
+            let odom = vehicle.odometry(now);
+            let out = slam.process(&odom, &scan);
+            avg_work += out.work;
+        }
+        let elapsed = wall.elapsed();
+        let map = slam.best_map(now);
+        let err = slam.best_pose().distance(vehicle.true_pose());
+
+        let per_scan = Work {
+            serial_cycles: avg_work.serial_cycles / scans as f64,
+            parallel_cycles: avg_work.parallel_cycles / scans as f64,
+            parallel_items: avg_work.parallel_items,
+        };
+        println!("--- {threads} thread(s) ---");
+        println!(
+            "  wall-clock: {:>6.2?} for {scans} scans   map known: {:>4.1} %   pose error: {:.2} m",
+            elapsed,
+            map.known_fraction() * 100.0,
+            err
+        );
+        println!(
+            "  priced per-scan time: Turtlebot3 {:>7.1} ms | gateway {:>6.1} ms | cloud {:>6.1} ms",
+            Platform::turtlebot3().exec_time(&per_scan, threads as u32).as_millis_f64(),
+            Platform::edge_gateway().exec_time(&per_scan, threads as u32).as_millis_f64(),
+            Platform::cloud_server().exec_time(&per_scan, threads as u32).as_millis_f64(),
+        );
+    }
+    println!();
+    println!("Thread count never changes the SLAM estimates — the parallel scanMatch");
+    println!("partitions particles, it does not reorder them. Wall-clock speedup");
+    println!("appears on multi-core hosts; the priced per-scan times above show what");
+    println!("the same work costs on the paper's three platforms.");
+}

@@ -1,0 +1,32 @@
+//! Quickstart: run one navigation mission with cloud offloading and
+//! print the mission report.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use cloud_lgv::offload::deploy::Deployment;
+use cloud_lgv::offload::mission::{self, MissionConfig};
+
+fn main() {
+    // The paper's lab navigation workload, offloaded to the edge
+    // gateway with 8-thread parallelization (the best Fig. 13 case).
+    let config = MissionConfig::navigation_lab(Deployment::edge_8t());
+    println!("running navigation mission on deployment `{}` ...", config.deployment.label);
+
+    let report = mission::run(config);
+
+    println!();
+    println!("completed : {} ({})", report.completed, report.reason);
+    println!("distance  : {:.2} m", report.distance);
+    println!(
+        "time      : {:.1} s  (standby {:.1} s + moving {:.1} s)",
+        report.time.total().as_secs_f64(),
+        report.time.standby.as_secs_f64(),
+        report.time.moving.as_secs_f64()
+    );
+    println!("avg VDP makespan: {}", report.avg_vdp_makespan);
+    println!();
+    println!("energy breakdown (Eq. 1a):");
+    println!("{}", report.energy);
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Plot the CSVs the figure binaries export to target/figures/.
+
+Usage:
+    # 1. regenerate the data
+    cargo run --release -p lgv-bench --bin fig9   # …and the others
+    # 2. plot everything found
+    python3 scripts/plot_figures.py [target/figures] [out_dir]
+
+Requires matplotlib (`pip install matplotlib`). The Rust side never
+depends on this script — it is a convenience for eyeballing the shapes
+against the paper's figures.
+"""
+
+import csv
+import pathlib
+import sys
+
+
+def read(path):
+    with open(path, newline="") as fh:
+        rows = list(csv.reader(fh))
+    return rows[0], rows[1:]
+
+
+def numeric(cell):
+    try:
+        return float(cell.rstrip("x%"))
+    except ValueError:
+        return None
+
+
+def plot_matrix(ax, header, rows, title):
+    """Thread × sweep matrices (fig9/fig10): one line per column."""
+    xs = [numeric(r[0]) for r in rows]
+    for col in range(1, len(header)):
+        ys = [numeric(r[col]) for r in rows]
+        if any(y is None for y in ys):
+            continue
+        ax.plot(xs, ys, marker="o", label=header[col])
+    ax.set_xlabel(header[0])
+    ax.set_yscale("log")
+    ax.set_title(title)
+    ax.legend(fontsize=7)
+
+
+def plot_trace(ax, header, rows, title, x_col, y_cols):
+    xs = [numeric(r[x_col]) for r in rows]
+    for col in y_cols:
+        ys = [numeric(r[col]) for r in rows]
+        pairs = [(x, y) for x, y in zip(xs, ys) if x is not None and y is not None]
+        if not pairs:
+            continue
+        ax.plot([p[0] for p in pairs], [p[1] for p in pairs], label=header[col])
+    ax.set_xlabel(header[x_col])
+    ax.set_title(title)
+    ax.legend(fontsize=7)
+
+
+def main():
+    src = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "target/figures")
+    out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else src)
+    if not src.is_dir():
+        sys.exit(f"no CSV directory at {src}; run the figure binaries first")
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    made = []
+    for path in sorted(src.glob("*.csv")):
+        header, rows = read(path)
+        if not rows:
+            continue
+        fig, ax = plt.subplots(figsize=(6, 4), dpi=120)
+        name = path.stem
+        if name.startswith(("fig9", "fig10")):
+            plot_matrix(ax, header, rows, name)
+        elif name == "fig11_trace":
+            plot_trace(ax, header, rows, name, 0, [2, 3])
+        elif name == "fig12_vmax_series":
+            plot_trace(ax, header, rows, name, 0, list(range(1, len(header))))
+        else:
+            # Generic: bar chart of the first numeric column per row.
+            labels = [r[0] for r in rows]
+            col = next(
+                (c for c in range(1, len(header)) if numeric(rows[0][c]) is not None),
+                None,
+            )
+            if col is None:
+                plt.close(fig)
+                continue
+            ax.bar(labels, [numeric(r[col]) or 0.0 for r in rows])
+            ax.set_ylabel(header[col])
+            ax.set_title(name)
+            ax.tick_params(axis="x", rotation=45, labelsize=7)
+        fig.tight_layout()
+        target = out / f"{name}.png"
+        fig.savefig(target)
+        plt.close(fig)
+        made.append(target)
+
+    for p in made:
+        print(p)
+    if not made:
+        print("no plottable CSVs found")
+
+
+if __name__ == "__main__":
+    main()

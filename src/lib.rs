@@ -1,0 +1,16 @@
+//! # cloud-lgv
+//!
+//! Facade crate for the reproduction of *Towards Practical Cloud
+//! Offloading for Low-cost Ground Vehicle Workloads* (IPDPS 2021).
+//! Re-exports the public API of every workspace crate; see the README
+//! and `DESIGN.md` for the architecture.
+
+pub use lgv_middleware as middleware;
+pub use lgv_nav as nav;
+pub use lgv_net as net;
+pub use lgv_offload as offload;
+pub use lgv_sim as sim;
+pub use lgv_slam as slam;
+pub use lgv_types as types;
+
+pub use lgv_types::prelude;

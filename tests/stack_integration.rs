@@ -1,0 +1,177 @@
+//! Cross-crate integration below the mission level: the navigation
+//! stack against the simulation substrate, and the middleware over the
+//! simulated radio — without the mission engine orchestrating.
+
+use bytes::Bytes;
+use cloud_lgv::middleware::{Bus, Switcher, SwitcherConfig, TopicName};
+use cloud_lgv::nav::costmap::{Costmap, CostmapConfig};
+use cloud_lgv::nav::dwa::{DwaConfig, DwaPlanner};
+use cloud_lgv::nav::global_planner::{GlobalPlanner, PlannerConfig};
+use cloud_lgv::nav::{Amcl, AmclConfig};
+use cloud_lgv::net::link::{DuplexLink, LinkConfig, RemoteSite};
+use cloud_lgv::net::signal::WirelessConfig;
+use cloud_lgv::prelude::*;
+use cloud_lgv::sim::world::{presets, WorldBuilder};
+use cloud_lgv::sim::{Lidar, LidarConfig, Vehicle, VehicleConfig};
+use cloud_lgv::slam::{GMapping, SlamConfig};
+
+/// Closed-loop AMCL + planner + DWA drive in a plain room, no
+/// offloading machinery: the stack itself must navigate.
+#[test]
+fn nav_stack_drives_to_goal_closed_loop() {
+    let world = WorldBuilder::new(8.0, 6.0, 0.05)
+        .walls()
+        .disc(Point2::new(4.0, 3.2), 0.3)
+        .build();
+    let map = world.to_map_msg(SimTime::EPOCH);
+    let start = Pose2D::new(1.0, 3.0, 0.0);
+    let goal = Point2::new(7.0, 3.0);
+
+    let mut rng = SimRng::seed_from_u64(5);
+    let mut vehicle = Vehicle::new(VehicleConfig::default(), start, rng.fork(1));
+    let mut lidar = Lidar::new(LidarConfig::default(), rng.fork(2));
+    let mut amcl = Amcl::new(AmclConfig::default(), &map, start, rng.fork(3));
+    let mut costmap = Costmap::from_map(CostmapConfig::default(), &map);
+    let planner = GlobalPlanner::new(PlannerConfig::default());
+    let mut dwa = DwaPlanner::new(DwaConfig { samples: 150, ..Default::default() });
+
+    let mut now = SimTime::EPOCH;
+    let mut path = PathMsg { stamp: now, waypoints: vec![] };
+    let mut meter = WorkMeter::new();
+    for cycle in 0..600 {
+        let scan = lidar.scan(&world, vehicle.true_pose(), now);
+        let odom = vehicle.odometry(now);
+        let est = amcl.process(&odom, &scan).pose.pose;
+        costmap.update(&map, est, &scan, &mut meter);
+        if cycle % 5 == 0 {
+            if let Ok(r) = planner.plan(&costmap, est.position(), goal, now) {
+                path = r.path;
+            }
+        }
+        let cmd = dwa.compute(&costmap, est, &path, goal);
+        vehicle.command(cmd.twist);
+        for _ in 0..8 {
+            vehicle.step(&world, Duration::from_millis(25));
+        }
+        now += Duration::from_millis(200);
+        if vehicle.true_pose().position().distance(goal) < 0.3 {
+            return; // success
+        }
+    }
+    panic!(
+        "stack failed to reach the goal; ended at {:?}",
+        vehicle.true_pose().position()
+    );
+}
+
+/// SLAM maps a driven loop accurately enough that a planner can run on
+/// the resulting map.
+#[test]
+fn slam_map_is_plannable() {
+    let world = presets::intel_like();
+    let start = presets::intel_start();
+    let mut rng = SimRng::seed_from_u64(6);
+    let cfg = SlamConfig {
+        num_particles: 10,
+        threads: 2,
+        map_dims: *world.dims(),
+        ..SlamConfig::default()
+    };
+    let mut slam = GMapping::new(cfg, start, rng.fork(1));
+    let mut vehicle = Vehicle::new(VehicleConfig::default(), start, rng.fork(2));
+    let mut lidar = Lidar::new(LidarConfig::default(), rng.fork(3));
+
+    let mut now = SimTime::EPOCH;
+    for k in 0..120 {
+        let steer = if vehicle.bumped() { 1.2 } else { 0.2 * ((k as f64) * 0.11).sin() };
+        vehicle.command(Twist::new(0.2, steer));
+        for _ in 0..8 {
+            vehicle.step(&world, Duration::from_millis(25));
+        }
+        now += Duration::from_millis(200);
+        let scan = lidar.scan(&world, vehicle.true_pose(), now);
+        slam.process(&vehicle.odometry(now), &scan);
+    }
+
+    let map = slam.best_map(now);
+    assert!(map.known_fraction() > 0.1, "mapped {}", map.known_fraction());
+    // Pose estimate stays within a sane bound of ground truth.
+    let err = slam.best_pose().distance(vehicle.true_pose());
+    assert!(err < 0.6, "SLAM pose error {err} m");
+
+    // The SLAM map supports planning inside the explored region.
+    let costmap = Costmap::from_map(CostmapConfig::default(), &map);
+    let planner = GlobalPlanner::new(PlannerConfig { allow_unknown: true, ..Default::default() });
+    let est = slam.best_pose().position();
+    let nearby = Point2::new(est.x + 1.0, est.y);
+    assert!(
+        planner.plan_near(&costmap, est, nearby, 0.6, now).is_ok(),
+        "planning on the SLAM map failed"
+    );
+}
+
+/// Middleware over the radio: a scan published on the robot bus
+/// arrives on the remote bus with identical content, and the paper's
+/// 2.94 KB wire size is honoured end to end.
+#[test]
+fn scan_roundtrips_through_switcher_bit_exact() {
+    let mut rng = SimRng::seed_from_u64(9);
+    let mut link_cfg = LinkConfig::new(RemoteSite::CloudServer, Point2::new(0.0, 0.0));
+    link_cfg.wireless = WirelessConfig::default().with_weak_radius(25.0);
+    let link = DuplexLink::new(link_cfg, &mut rng);
+    let robot = Bus::new();
+    let remote = Bus::new();
+    let mut sw = Switcher::new(
+        link,
+        robot.clone(),
+        remote.clone(),
+        &SwitcherConfig { up_topics: vec![(TopicName::SCAN, 1)], down_topics: vec![] },
+    );
+    let remote_sub = remote.subscribe(TopicName::SCAN, 1);
+
+    let world = presets::lab();
+    let mut lidar = Lidar::new(LidarConfig::default(), SimRng::seed_from_u64(10));
+    let scan = lidar.scan(&world, presets::lab_start(), SimTime::EPOCH);
+
+    robot.publish(TopicName::SCAN, &scan).unwrap();
+    let pos = Point2::new(2.0, 0.0);
+    for k in 0..8 {
+        sw.tick(SimTime::EPOCH + Duration::from_millis(25 * k), pos);
+    }
+    let received: LaserScan = remote_sub.recv_latest().unwrap().expect("scan delivered");
+    assert_eq!(received, scan, "scan must roundtrip bit-exact");
+    assert!(
+        sw.uplink_bytes_sent > 2_800 && sw.uplink_bytes_sent < 3_300,
+        "wire size {} should be ≈ 2.94 KB",
+        sw.uplink_bytes_sent
+    );
+    // The delivery produced an RTT sample via the immediate ack.
+    assert!(sw.rtt().latest().is_some());
+}
+
+/// Raw channel behaviour composes with serialized velocity commands:
+/// under weak signal the newest command wins and stale ones vanish.
+#[test]
+fn command_stream_freshness_over_lossy_link() {
+    let mut rng = SimRng::seed_from_u64(11);
+    let mut link_cfg = LinkConfig::new(RemoteSite::EdgeGateway, Point2::new(0.0, 0.0));
+    link_cfg.wireless = WirelessConfig::default().with_weak_radius(25.0);
+    let mut link = DuplexLink::new(link_cfg, &mut rng);
+    let pos = Point2::new(2.0, 0.0);
+    // Burst of 5 commands inside one tick window: one-length queue
+    // keeps only the freshest at the receiver.
+    for i in 0..5u64 {
+        let cmd = VelocityCmd {
+            stamp: SimTime::EPOCH + Duration::from_millis(i),
+            twist: Twist::new(i as f64 * 0.05, 0.0),
+            source: VelocitySource::Navigation,
+        };
+        let bytes = lgv_middleware::to_bytes(&cmd).unwrap();
+        link.send_down(SimTime::EPOCH + Duration::from_millis(i), pos, Bytes::from(bytes.to_vec()));
+    }
+    link.tick(SimTime::EPOCH + Duration::from_millis(200), pos);
+    let pkt = link.recv_at_robot().expect("freshest command arrives");
+    let cmd: VelocityCmd = lgv_middleware::from_bytes(&pkt.payload).unwrap();
+    assert_eq!(cmd.twist.linear, 0.2, "one-length queue keeps the newest command");
+    assert!(link.recv_at_robot().is_none());
+}
