@@ -10,7 +10,7 @@
 //! Algorithm 2 (threshold 4 packets/s + signal direction) switches the
 //! nodes local on the way out and back to the cloud on the return.
 
-use lgv_bench::{banner, TablePrinter};
+use lgv_bench::{banner, tracer_from_args, TablePrinter};
 use lgv_middleware::{Bus, Switcher, SwitcherConfig, TopicName};
 use lgv_net::link::{DuplexLink, LinkConfig, RemoteSite};
 use lgv_net::measure::SignalDirectionEstimator;
@@ -46,6 +46,12 @@ fn main() {
     let cmd_sub = robot_bus.subscribe(TopicName::CMD_VEL_NAV, 1);
     let remote_scan_sub = remote_bus.subscribe(TopicName::SCAN, 1);
 
+    // `--trace <path>`: stream bus/channel/RTT events as JSONL.
+    let tracer = tracer_from_args();
+    switcher.set_tracer(tracer.clone());
+    robot_bus.set_tracer(tracer.clone());
+    remote_bus.set_tracer(tracer.clone());
+
     let mut direction = SignalDirectionEstimator::new(wap);
     let mut netctl = NetControl::new(NetControlConfig::default());
     let mut remote_active = true;
@@ -64,6 +70,7 @@ fn main() {
     let mut delivered_cmds = 0u64;
 
     for step in 0..(total_secs * 5) {
+        tracer.set_time_ns(now.as_nanos());
         let secs = step as f64 * 0.2;
         let x = if secs < leg_secs {
             a.x + speed * secs
@@ -127,6 +134,7 @@ fn main() {
     }
     t.print();
     t.save_csv("fig11_trace");
+    tracer.flush();
 
     let stats = switcher.stats();
     println!();

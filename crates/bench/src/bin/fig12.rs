@@ -7,7 +7,7 @@
 //! maximum velocity by 4–5x, and offloaded curves fluctuate with
 //! network latency while the local curve is steady.
 
-use lgv_bench::{banner, quick_mode, TablePrinter};
+use lgv_bench::{banner, quick_mode, tracer_from_args, TablePrinter};
 use lgv_offload::deploy::Deployment;
 use lgv_offload::mission::{self, MissionConfig, Workload};
 use lgv_types::prelude::*;
@@ -18,6 +18,10 @@ fn main() {
         "no offloading is slow and steady; offloading + parallelization raises \
          max velocity 4-5x with network-induced fluctuation",
     );
+
+    // `--trace <path>`: one JSONL stream, concatenated across the five
+    // missions (split on `mission_start`).
+    let tracer = tracer_from_args();
 
     let deployments = Deployment::evaluation_set();
     let mut traces: Vec<(String, Vec<f64>)> = Vec::new();
@@ -32,7 +36,7 @@ fn main() {
         if quick_mode() {
             cfg.max_time = Duration::from_secs(60);
         }
-        let report = mission::run(cfg);
+        let report = mission::run_traced(cfg, tracer.clone());
         // 1 Hz samples of the in-force maximum velocity.
         let series: Vec<f64> = report
             .velocity_trace

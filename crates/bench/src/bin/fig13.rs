@@ -9,13 +9,20 @@
 //! faster mission burns the same joules in less time); the embedded-
 //! computer bar is where offloading pays.
 
-use lgv_bench::{banner, quick_mode, TablePrinter};
+use lgv_bench::{banner, quick_mode, tracer_from_args, TablePrinter};
 use lgv_offload::deploy::Deployment;
 use lgv_offload::mission::{self, MissionConfig, Workload};
 use lgv_sim::energy::Component;
+use lgv_trace::Tracer;
 use lgv_types::prelude::*;
 
-fn run_workload(workload: Workload, label: &str, paper_energy: f64, paper_time: f64) {
+fn run_workload(
+    workload: Workload,
+    label: &str,
+    paper_energy: f64,
+    paper_time: f64,
+    tracer: &Tracer,
+) {
     println!("({}) {:?} workload", label, workload);
     // Exploration tours vary with frontier-selection timing, so that
     // workload is averaged over several seeds (the paper averages over
@@ -55,7 +62,7 @@ fn run_workload(workload: Workload, label: &str, paper_energy: f64, paper_time: 
             if quick_mode() {
                 cfg.max_time = Duration::from_secs(60);
             }
-            let report = mission::run(cfg);
+            let report = mission::run_traced(cfg, tracer.clone());
             for (i, c) in Component::ALL.iter().enumerate() {
                 joules[i] += report.energy.joules(*c) / seeds.len() as f64;
             }
@@ -95,6 +102,11 @@ fn main() {
         "energy reduced 1.61x (map) / 2.12x (no map); time reduced 2.53x (map) / \
          1.6x (no map); motor energy ~unchanged; EC energy is the win",
     );
-    run_workload(Workload::Navigation, "a", 1.61, 2.53);
-    run_workload(Workload::Exploration, "b", 2.12, 1.6);
+    // `--trace <path>`: one JSONL stream, concatenated across every
+    // mission of both workloads (split on `mission_start`); the Fig. 13
+    // bars can be recomputed from the `energy_delta` events alone (see
+    // docs/OBSERVABILITY.md).
+    let tracer = tracer_from_args();
+    run_workload(Workload::Navigation, "a", 1.61, 2.53, &tracer);
+    run_workload(Workload::Exploration, "b", 2.12, 1.6, &tracer);
 }

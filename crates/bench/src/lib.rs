@@ -7,6 +7,7 @@
 //! vs measured values.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 use lgv_sim::world::World;
 use lgv_sim::{Lidar, LidarConfig};
@@ -15,6 +16,38 @@ use lgv_types::prelude::*;
 /// Quick mode: set `LGV_BENCH_QUICK=1` to shrink sweeps for smoke runs.
 pub fn quick_mode() -> bool {
     std::env::var("LGV_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Build a [`lgv_trace::Tracer`] from the process arguments: passing
+/// `--trace <path>` to a figure binary attaches a JSONL file sink (one
+/// event per line, stamped with virtual time — see
+/// `docs/OBSERVABILITY.md`). Without the flag the returned tracer is
+/// disabled and adds zero overhead. With several missions per binary
+/// the streams are concatenated in run order; split on the
+/// `mission_start` events to separate them.
+pub fn tracer_from_args() -> lgv_trace::Tracer {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            let Some(path) = args.next() else {
+                eprintln!("warning: --trace requires a file path; tracing disabled");
+                return lgv_trace::Tracer::disabled();
+            };
+            match lgv_trace::JsonlSink::create(&path) {
+                Ok(sink) => {
+                    let tracer = lgv_trace::Tracer::enabled();
+                    tracer.attach(sink);
+                    println!("(trace: {path})");
+                    return tracer;
+                }
+                Err(e) => {
+                    eprintln!("warning: cannot create trace file {path}: {e}; tracing disabled");
+                    return lgv_trace::Tracer::disabled();
+                }
+            }
+        }
+    }
+    lgv_trace::Tracer::disabled()
 }
 
 /// A deterministic scan/odometry stream: a scripted tour through a

@@ -16,6 +16,7 @@ use crate::classify::Classification;
 use crate::model::VelocityModel;
 use crate::netctl::{NetControl, NetControlConfig, NetDecision};
 use crate::strategy::{OffloadStrategy, PlacementPlan};
+use lgv_trace::{TraceEvent, Tracer};
 use lgv_types::prelude::*;
 
 /// Measurements the Controller consumes each cycle (from the Profiler
@@ -90,6 +91,7 @@ pub struct Controller {
     netctl: NetControl,
     offloaded_deployment: bool,
     adaptive: bool,
+    tracer: Tracer,
 }
 
 impl Controller {
@@ -104,7 +106,19 @@ impl Controller {
         adaptive: bool,
     ) -> Self {
         let netctl = NetControl::new(cfg.netctl);
-        Controller { cfg, strategy, netctl, offloaded_deployment: offloaded, adaptive }
+        Controller {
+            cfg,
+            strategy,
+            netctl,
+            offloaded_deployment: offloaded,
+            adaptive,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Route per-cycle control decisions to `tracer`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Algorithm 2 switches performed so far.
@@ -146,6 +160,20 @@ impl Controller {
         } else {
             NetDecision::Keep
         };
+
+        self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ControlDecision {
+            local_vdp_ns: inputs.local_vdp.as_nanos(),
+            cloud_vdp_ns: inputs.cloud_vdp.as_nanos(),
+            bandwidth: inputs.bandwidth,
+            direction: inputs.direction,
+            vdp_remote,
+            max_linear,
+            net_decision: match net_decision {
+                NetDecision::Keep => "keep".to_string(),
+                NetDecision::InvokeLocal => "invoke_local".to_string(),
+                NetDecision::InvokeRemote => "invoke_remote".to_string(),
+            },
+        });
 
         ControlDecision {
             plan,

@@ -4,9 +4,9 @@
 //! maximum on straight stretches; in obstacle-dense or turning phases
 //! the gap `v_max − v_real` widens, and the extra cloud parallelism
 //! that bought the high `v_max` is wasted. The paper suggests
-//! "adopt[ing] the optimal offloading policy which has a minimum gap
+//! "adopt\[ing\] the optimal offloading policy which has a minimum gap
 //! based on different phases of environment — if there are more
-//! obstacles … reduce the parallelization … [to] save the financial
+//! obstacles … reduce the parallelization … \[to\] save the financial
 //! cost and resource usage on the cloud servers."
 //!
 //! [`ThreadGovernor`] implements that policy: it tracks the recent
@@ -15,6 +15,7 @@
 //! using the speed, scaled down when the environment is the binding
 //! constraint.
 
+use lgv_trace::{TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use std::collections::VecDeque;
 
@@ -44,13 +45,20 @@ pub struct ThreadGovernor {
     cfg: GovernorConfig,
     max_threads: u32,
     samples: VecDeque<f64>,
+    tracer: Tracer,
 }
 
 impl ThreadGovernor {
     /// Governor for a deployment allowed up to `max_threads`.
     pub fn new(cfg: GovernorConfig, max_threads: u32) -> Self {
         assert!(max_threads >= 1);
-        ThreadGovernor { cfg, max_threads, samples: VecDeque::new() }
+        ThreadGovernor { cfg, max_threads, samples: VecDeque::new(), tracer: Tracer::disabled() }
+    }
+
+    /// Route governor decisions to `tracer` (timestamps come from the
+    /// tracer's shared virtual clock).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Record one control cycle's `(v_max, v_real)` pair.
@@ -76,6 +84,15 @@ impl ThreadGovernor {
     /// Recommended thread count: linear interpolation between the
     /// deployment maximum (gap ≤ low) and the minimum (gap ≥ high).
     pub fn recommend(&self) -> u32 {
+        let threads = self.recommend_inner();
+        self.tracer.emit_with(|| TraceEvent::GovernorDecision {
+            mean_gap: self.mean_gap(),
+            threads,
+        });
+        threads
+    }
+
+    fn recommend_inner(&self) -> u32 {
         // Be generous until the window has real data.
         if self.samples.len() < self.cfg.window / 2 {
             return self.max_threads;

@@ -6,7 +6,7 @@
 //! * [`model`] — the analytical model of §III: energy (Eq. 1a–1d) and
 //!   mission-completion time (Eq. 2a–2c), including the
 //!   obstacle-avoidance maximum velocity `velocityOA`.
-//! * [`classify`] — bottleneck identification (§IV-A): Energy-Critical
+//! * [`mod@classify`] — bottleneck identification (§IV-A): Energy-Critical
 //!   Nodes, the Velocity-Dependent Path, and the T1–T4 quadrants of
 //!   Fig. 4.
 //! * [`strategy`] — Algorithm 1: the fine-grained migration policy for
@@ -26,6 +26,7 @@
 //!   runtime Controller applying both algorithms.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod classify;
 pub mod controller;

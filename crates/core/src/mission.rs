@@ -46,6 +46,7 @@ use lgv_sim::power::{LgvProfile, TransmitModel};
 use lgv_sim::world::{presets, World};
 use lgv_sim::{Battery, Lidar, LidarConfig, Vehicle, VehicleConfig};
 use lgv_slam::{GMapping, SlamConfig};
+use lgv_trace::{TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use std::collections::HashMap;
 
@@ -219,7 +220,16 @@ impl MissionReport {
 
 /// Run a mission to completion (or to the time cap).
 pub fn run(cfg: MissionConfig) -> MissionReport {
-    Engine::new(cfg).run()
+    Engine::new(cfg, Tracer::disabled()).run()
+}
+
+/// Run a mission with a [`Tracer`] wired into every subsystem: the
+/// buses, the switcher and its link, the Controller, the governor, the
+/// Profiler and the energy ledger. The engine drives the tracer's
+/// shared virtual clock, so every event is stamped with simulation
+/// time and the stream is byte-for-byte deterministic per seed.
+pub fn run_traced(cfg: MissionConfig, tracer: Tracer) -> MissionReport {
+    Engine::new(cfg, tracer).run()
 }
 
 const CONTROL_PERIOD: Duration = Duration::from_millis(200);
@@ -296,10 +306,11 @@ struct Engine {
     velocity_trace: Vec<VelocitySample>,
     net_trace: Vec<NetSample>,
     vmax_now: f64,
+    tracer: Tracer,
 }
 
 impl Engine {
-    fn new(cfg: MissionConfig) -> Self {
+    fn new(cfg: MissionConfig, tracer: Tracer) -> Self {
         let mut rng = SimRng::seed_from_u64(cfg.seed);
         let vehicle_cfg = VehicleConfig { max_linear: cfg.velocity.hw_cap, ..VehicleConfig::default() };
         let vehicle = Vehicle::new(vehicle_cfg, cfg.start, rng.fork(1));
@@ -353,7 +364,7 @@ impl Engine {
         };
         let cmd_sub = robot_bus.subscribe(TopicName::CMD_VEL_NAV, 1);
         let remote_scan_sub = remote_bus.subscribe(TopicName::SCAN, 1);
-        let switcher = if cfg.deployment.offloaded() {
+        let mut switcher = if cfg.deployment.offloaded() {
             let mut link_cfg = LinkConfig::new(cfg.deployment.site.unwrap(), cfg.wap);
             link_cfg.wireless = cfg.wireless.clone();
             link_cfg.wan_latency = cfg.wan_latency_override;
@@ -363,6 +374,20 @@ impl Engine {
             None
         };
 
+        // Wire the tracer into every subsystem that emits events.
+        robot_bus.set_tracer(tracer.clone());
+        remote_bus.set_tracer(tracer.clone());
+        if let Some(sw) = switcher.as_mut() {
+            sw.set_tracer(tracer.clone());
+        }
+        let mut profiler = Profiler::new();
+        profiler.set_tracer(tracer.clone());
+        let mut governor =
+            ThreadGovernor::new(GovernorConfig::default(), cfg.deployment.threads.max(1));
+        governor.set_tracer(tracer.clone());
+        let mut ledger = EnergyLedger::new();
+        ledger.set_tracer(tracer.clone());
+
         let profile = LgvProfile::turtlebot3();
         let battery = Battery::new_wh(cfg.battery_wh.unwrap_or(profile.battery_wh));
         let transmit = TransmitModel { power_w: profile.trans_power_w };
@@ -370,12 +395,13 @@ impl Engine {
         let remote = cfg.deployment.remote_platform();
 
         let strategy = OffloadStrategy { goal: cfg.goal, velocity: cfg.velocity, pins: cfg.pins };
-        let controller = Controller::new(
+        let mut controller = Controller::new(
             ControllerConfig { velocity: cfg.velocity, ..ControllerConfig::default() },
             strategy,
             cfg.deployment.offloaded(),
             cfg.adaptive,
         );
+        controller.set_tracer(tracer.clone());
         let plan = PlacementPlan {
             remote: if cfg.deployment.offloaded() { class.ecn } else { NodeSet::EMPTY },
             expected_vdp: Duration::from_millis(600),
@@ -399,9 +425,9 @@ impl Engine {
             frontier: FrontierExplorer::new(FrontierConfig::default()),
             tb3,
             remote,
-            profiler: Profiler::new(),
+            profiler,
             controller,
-            governor: ThreadGovernor::new(GovernorConfig::default(), cfg.deployment.threads.max(1)),
+            governor,
             migration: if cfg.deployment.offloaded() {
                 let sm = SignalModel::new(cfg.wireless.clone(), cfg.wap);
                 let wan = cfg
@@ -441,7 +467,7 @@ impl Engine {
             plan_failures: 0,
             profile,
             battery,
-            ledger: EnergyLedger::new(),
+            ledger,
             drained_j: 0.0,
             transmit,
             prev_uplink_bytes: 0,
@@ -454,6 +480,7 @@ impl Engine {
             net_trace: Vec::new(),
             vmax_now: 0.15,
             now: SimTime::EPOCH,
+            tracer,
             cfg,
         }
     }
@@ -630,6 +657,7 @@ impl Engine {
     /// One 200 ms control cycle.
     fn cycle(&mut self) {
         let cycle_start = self.now;
+        self.tracer.set_time_ns(cycle_start.as_nanos());
         let true_pose = self.vehicle.true_pose();
         let scan = self.lidar.scan(&self.cfg.world, true_pose, cycle_start);
         let odom = self.vehicle.odometry(cycle_start);
@@ -665,13 +693,20 @@ impl Engine {
         match decision.net_decision {
             d @ (NetDecision::InvokeLocal | NetDecision::InvokeRemote) => {
                 self.remote_enabled = d == NetDecision::InvokeRemote;
+                self.tracer.emit_at(
+                    cycle_start.as_nanos(),
+                    TraceEvent::NetSwitch { to_remote: self.remote_enabled },
+                );
                 // Ship the switched nodes' state (paper §VI-A); they
                 // run cold until it lands.
                 if let Some(mig) = self.migration.as_mut() {
-                    if mig
-                        .begin(cycle_start, self.plan.remote, self.cfg.slam_particles)
-                        .is_some()
+                    if let Some(ticket) =
+                        mig.begin(cycle_start, self.plan.remote, self.cfg.slam_particles)
                     {
+                        self.tracer.emit_at(
+                            cycle_start.as_nanos(),
+                            TraceEvent::MigrationStart { bytes: ticket.bytes as u64 },
+                        );
                         self.cold_state = true;
                         self.cold_since = cycle_start;
                     }
@@ -708,6 +743,7 @@ impl Engine {
         for _ in 0..substeps {
             self.substep(vdp_remote);
         }
+        self.tracer.set_time_ns(self.now.as_nanos());
 
         // End-of-cycle measurements for Algorithm 2.
         let pos = self.vehicle.true_pose().position();
@@ -737,6 +773,16 @@ impl Engine {
                 remote_active: self.remote_enabled,
             });
         }
+
+        self.tracer.emit_with(|| TraceEvent::MissionProgress {
+            x: pos.x,
+            y: pos.y,
+            goal_x: self.current_goal.x,
+            goal_y: self.current_goal.y,
+            goal_dist: pos.distance(self.current_goal),
+            battery_soc: self.battery.soc(),
+        });
+        self.ledger.trace_flush();
     }
 
     /// Estimate the VDP makespan for both worlds from the profiler
@@ -774,6 +820,7 @@ impl Engine {
 
     fn substep(&mut self, vdp_remote: bool) {
         let t = self.now;
+        self.tracer.set_time_ns(t.as_nanos());
         let pos = self.vehicle.true_pose().position();
 
         // Network relay.
@@ -796,10 +843,18 @@ impl Engine {
         // after ~5 s anyway).
         if self.cold_state {
             if let Some(mig) = self.migration.as_mut() {
-                if mig.tick(t, pos).is_some() {
+                if let Some(done) = mig.tick(t, pos) {
+                    self.tracer.emit_at(
+                        t.as_nanos(),
+                        TraceEvent::MigrationCommit {
+                            elapsed_ns: done.elapsed.as_nanos(),
+                            attempts: done.attempts,
+                        },
+                    );
                     self.cold_state = false;
                 } else if t.saturating_since(self.cold_since) > Duration::from_secs(8) {
                     mig.abort();
+                    self.tracer.emit_at(t.as_nanos(), TraceEvent::MigrationAbort);
                     self.cold_state = false;
                 }
             }
@@ -900,6 +955,12 @@ impl Engine {
     }
 
     fn run(mut self) -> MissionReport {
+        self.tracer.set_time_ns(self.now.as_nanos());
+        self.tracer.emit_with(|| TraceEvent::MissionStart {
+            workload: format!("{:?}", self.cfg.workload),
+            deployment: self.cfg.deployment.label.to_string(),
+            seed: self.cfg.seed,
+        });
         let mut completed = false;
         let mut reason = String::new();
         while self.now.as_nanos() < self.cfg.max_time.as_nanos() {
@@ -926,6 +987,12 @@ impl Engine {
         if !completed && reason.is_empty() {
             reason = format!("time cap {} expired", self.cfg.max_time);
         }
+        self.ledger.trace_flush();
+        self.tracer.emit_with(|| TraceEvent::MissionEnd {
+            completed,
+            reason: reason.clone(),
+        });
+        self.tracer.flush();
 
         let total = self.standby + self.moving;
         let mut node_gcycles: Vec<(NodeKind, f64)> =

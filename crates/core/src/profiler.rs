@@ -12,10 +12,30 @@
 //! "the sum of received cloud processing time, subscribed local
 //! processing time and RTT".
 
+use lgv_trace::{TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use std::collections::HashMap;
 
 /// Rolling per-node time statistics + network measurements.
+///
+/// ```
+/// use lgv_offload::profiler::Profiler;
+/// use lgv_types::prelude::*;
+///
+/// let mut p = Profiler::new();
+/// p.record_local(NodeKind::CostmapGen, Duration::from_millis(240));
+/// p.record_local(NodeKind::PathTracking, Duration::from_millis(400));
+/// p.record_local(NodeKind::VelocityMux, Duration::from_millis(1));
+/// // T_l^v: sum of the VDP nodes' local times, no RTT term.
+/// assert_eq!(p.local_vdp_time(), Duration::from_millis(641));
+///
+/// // Offload the two heavy nodes: cloud times + RTT.
+/// p.record_remote(NodeKind::CostmapGen, Duration::from_millis(14));
+/// p.record_remote(NodeKind::PathTracking, Duration::from_millis(16));
+/// p.record_rtt(Duration::from_millis(20));
+/// let remote = NodeSet::from_iter([NodeKind::CostmapGen, NodeKind::PathTracking]);
+/// assert_eq!(p.cloud_vdp_time(remote), Duration::from_millis(51));
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct Profiler {
     local_times: HashMap<NodeKind, Duration>,
@@ -23,6 +43,7 @@ pub struct Profiler {
     rtt: Option<Duration>,
     bandwidth: f64,
     signal_direction: f64,
+    tracer: Tracer,
 }
 
 impl Profiler {
@@ -31,13 +52,29 @@ impl Profiler {
         Profiler::default()
     }
 
+    /// Route per-node processing-time samples to `tracer` (timestamps
+    /// come from the tracer's shared virtual clock).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// Record a local node's processing time.
     pub fn record_local(&mut self, node: NodeKind, time: Duration) {
+        self.tracer.emit_with(|| TraceEvent::ProfileSample {
+            node: format!("{node:?}"),
+            remote: false,
+            nanos: time.as_nanos(),
+        });
         self.local_times.insert(node, time);
     }
 
     /// Record a remote node's processing time (piggybacked).
     pub fn record_remote(&mut self, node: NodeKind, time: Duration) {
+        self.tracer.emit_with(|| TraceEvent::ProfileSample {
+            node: format!("{node:?}"),
+            remote: true,
+            nanos: time.as_nanos(),
+        });
         self.remote_times.insert(node, time);
     }
 

@@ -9,6 +9,7 @@
 use crate::codec::{from_bytes, to_bytes, CodecError};
 use crate::topic::TopicName;
 use bytes::Bytes;
+use lgv_trace::{TraceEvent, Tracer};
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -23,13 +24,16 @@ struct SubQueue {
 }
 
 impl SubQueue {
-    fn push(&self, b: Bytes) {
+    /// Enqueue; returns `true` when a full queue dropped its oldest.
+    fn push(&self, b: Bytes) -> bool {
         let mut q = self.queue.lock();
-        if q.len() == self.cap {
+        let dropped = q.len() == self.cap;
+        if dropped {
             q.pop_front();
             *self.dropped.lock() += 1;
         }
         q.push_back(b);
+        dropped
     }
 }
 
@@ -43,6 +47,7 @@ struct TopicState {
 #[derive(Debug, Default)]
 struct BusInner {
     topics: HashMap<TopicName, TopicState>,
+    tracer: Tracer,
 }
 
 /// A shared in-process message bus (one per host: the LGV runs one,
@@ -75,14 +80,33 @@ impl Bus {
         Subscriber { queue: q, topic }
     }
 
+    /// Route this bus's publish/drop events to `tracer` (timestamps
+    /// come from the tracer's shared virtual clock).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.lock().tracer = tracer;
+    }
+
     /// Publish raw bytes to a topic.
     pub fn publish_bytes(&self, topic: TopicName, bytes: Bytes) {
         let mut inner = self.inner.lock();
+        let len = bytes.len() as u64;
         let state = inner.topics.entry(topic).or_default();
         state.publish_count += 1;
         state.latest = Some(bytes.clone());
+        let mut drops = 0u32;
         for s in &state.subs {
-            s.push(bytes.clone());
+            if s.push(bytes.clone()) {
+                drops += 1;
+            }
+        }
+        let fanout = state.subs.len() as u32;
+        inner.tracer.emit_with(|| TraceEvent::BusPublish {
+            topic: topic.as_str().to_string(),
+            bytes: len,
+            fanout,
+        });
+        for _ in 0..drops {
+            inner.tracer.emit_with(|| TraceEvent::BusDrop { topic: topic.as_str().to_string() });
         }
     }
 

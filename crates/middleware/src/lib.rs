@@ -17,6 +17,7 @@
 //!   threads do.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bus;
 pub mod codec;

@@ -22,6 +22,7 @@ use crate::topic::TopicName;
 use lgv_net::channel::SendOutcome;
 use lgv_net::measure::{BandwidthMeter, RttTracker};
 use lgv_net::DuplexLink;
+use lgv_trace::{TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -106,6 +107,7 @@ pub struct Switcher {
     /// Bytes pushed into the uplink radio (for Eq. 1b energy).
     pub uplink_bytes_sent: u64,
     stats: SwitcherStats,
+    tracer: Tracer,
 }
 
 impl Switcher {
@@ -130,7 +132,15 @@ impl Switcher {
             pending_proc: Vec::new(),
             uplink_bytes_sent: 0,
             stats: SwitcherStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Route relay events (RTT samples) and the underlying link's
+    /// channel events to `tracer`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.link.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Remote-side hook: report a node's processing time so it is
@@ -250,7 +260,10 @@ impl Switcher {
             self.latest_down_stamp =
                 Some(self.latest_down_stamp.map_or(env.sent_at, |s| s.max(env.sent_at)));
             if let Some(echo) = env.echo_stamp {
-                self.rtt.record(now.saturating_since(echo));
+                let rtt = now.saturating_since(echo);
+                self.rtt.record(rtt);
+                self.tracer
+                    .emit_at(now.as_nanos(), TraceEvent::RttSample { rtt_ns: rtt.as_nanos() });
             }
             for (node, t) in &env.proc_times {
                 self.remote_proc.insert(*node, *t);

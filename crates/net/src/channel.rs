@@ -25,6 +25,7 @@
 
 use crate::signal::SignalModel;
 use bytes::Bytes;
+use lgv_trace::{SendKind, TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use std::collections::BinaryHeap;
 
@@ -114,6 +115,9 @@ pub struct UdpChannel {
     /// One-length receive queue.
     rx_slot: Option<Packet>,
     stats: ChannelStats,
+    tracer: Tracer,
+    /// Direction label stamped on trace events (`up` / `down`).
+    trace_dir: &'static str,
 }
 
 impl UdpChannel {
@@ -130,7 +134,16 @@ impl UdpChannel {
             in_flight: BinaryHeap::new(),
             rx_slot: None,
             stats: ChannelStats::default(),
+            tracer: Tracer::disabled(),
+            trace_dir: "link",
         }
+    }
+
+    /// Route this channel's send/loss events to `tracer`, labelled
+    /// with the direction `dir` (`"up"` / `"down"`).
+    pub fn set_tracer(&mut self, tracer: Tracer, dir: &'static str) {
+        self.tracer = tracer;
+        self.trace_dir = dir;
     }
 
     /// The underlying signal model.
@@ -147,6 +160,10 @@ impl UdpChannel {
         self.stats.transmitted += 1;
         if self.rng.chance(self.signal.loss_prob(pos)) {
             self.stats.radio_losses += 1;
+            self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
+                dir: self.trace_dir.to_string(),
+                seq,
+            });
             return;
         }
         let jitter = self.signal.config().jitter * self.rng.uniform();
@@ -158,17 +175,30 @@ impl UdpChannel {
     pub fn send(&mut self, now: SimTime, pos: Point2, payload: Bytes) -> SendOutcome {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let bytes = payload.len() as u64;
+
+        let trace_send = |ch: &UdpChannel, kind: SendKind| {
+            ch.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelSend {
+                dir: ch.trace_dir.to_string(),
+                seq,
+                bytes,
+                outcome: kind,
+            });
+        };
 
         if self.signal.is_weak(pos) {
             if self.kernel_buffer.is_some() {
                 self.stats.sender_discards += 1;
+                trace_send(self, SendKind::Discarded);
                 return SendOutcome::DiscardedFullBuffer;
             }
             self.kernel_buffer = Some((now, payload, seq));
+            trace_send(self, SendKind::Held);
             return SendOutcome::HeldInKernelBuffer;
         }
 
         // Strong signal: the driver first flushes anything it held.
+        trace_send(self, SendKind::Transmitted);
         if let Some((held_at, held, held_seq)) = self.kernel_buffer.take() {
             self.transmit(held_at, now, held, held_seq, pos);
         }

@@ -75,6 +75,13 @@ impl DuplexLink {
         }
     }
 
+    /// Route both directions' channel events to `tracer` (uplink
+    /// events labelled `up`, downlink events labelled `down`).
+    pub fn set_tracer(&mut self, tracer: lgv_trace::Tracer) {
+        self.uplink.set_tracer(tracer.clone(), "up");
+        self.downlink.set_tracer(tracer, "down");
+    }
+
     /// The remote endpoint of this link.
     pub fn site(&self) -> RemoteSite {
         self.site

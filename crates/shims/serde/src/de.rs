@@ -1,0 +1,1033 @@
+//! Deserialization half of the serde data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error raised by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A value of the wrong data-model type was encountered.
+    fn invalid_type(unexp: Unexpected, exp: &dyn Expected) -> Self {
+        Self::custom(format!("invalid type: {unexp}, expected {exp}"))
+    }
+
+    /// A value of the right type but invalid content was encountered.
+    fn invalid_value(unexp: Unexpected, exp: &dyn Expected) -> Self {
+        Self::custom(format!("invalid value: {unexp}, expected {exp}"))
+    }
+
+    /// A sequence or map had the wrong number of elements.
+    fn invalid_length(len: usize, exp: &dyn Expected) -> Self {
+        Self::custom(format!("invalid length {len}, expected {exp}"))
+    }
+
+    /// An enum variant name/index was not recognised.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format!("unknown variant `{variant}`, expected one of {expected:?}"))
+    }
+
+    /// A struct field name was not recognised.
+    fn unknown_field(field: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format!("unknown field `{field}`, expected one of {expected:?}"))
+    }
+
+    /// A required struct field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+
+    /// A struct field appeared twice.
+    fn duplicate_field(field: &'static str) -> Self {
+        Self::custom(format!("duplicate field `{field}`"))
+    }
+}
+
+/// What a [`Visitor`] expected, for error messages.
+pub trait Expected {
+    /// Format the expectation (e.g. "struct Pose2D").
+    fn fmt(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+}
+
+impl Expected for &str {
+    fn fmt(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str(self)
+    }
+}
+
+impl Expected for String {
+    fn fmt(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str(self)
+    }
+}
+
+impl Display for dyn Expected + '_ {
+    fn fmt(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        Expected::fmt(self, formatter)
+    }
+}
+
+/// A value of an unexpected data-model type, for error messages.
+#[derive(Debug, Clone, Copy)]
+pub enum Unexpected<'a> {
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    Unsigned(u64),
+    /// A signed integer.
+    Signed(i64),
+    /// A float.
+    Float(f64),
+    /// A character.
+    Char(char),
+    /// A string.
+    Str(&'a str),
+    /// Raw bytes.
+    Bytes(&'a [u8]),
+    /// A unit value.
+    Unit,
+    /// An `Option`.
+    Option,
+    /// A newtype struct.
+    NewtypeStruct,
+    /// A sequence.
+    Seq,
+    /// A map.
+    Map,
+    /// An enum.
+    Enum,
+    /// Anything else.
+    Other(&'a str),
+}
+
+impl Display for Unexpected<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        match self {
+            Unexpected::Bool(b) => write!(f, "boolean `{b}`"),
+            Unexpected::Unsigned(v) => write!(f, "integer `{v}`"),
+            Unexpected::Signed(v) => write!(f, "integer `{v}`"),
+            Unexpected::Float(v) => write!(f, "floating point `{v}`"),
+            Unexpected::Char(c) => write!(f, "character `{c}`"),
+            Unexpected::Str(s) => write!(f, "string {s:?}"),
+            Unexpected::Bytes(_) => write!(f, "byte array"),
+            Unexpected::Unit => write!(f, "unit value"),
+            Unexpected::Option => write!(f, "Option value"),
+            Unexpected::NewtypeStruct => write!(f, "newtype struct"),
+            Unexpected::Seq => write!(f, "sequence"),
+            Unexpected::Map => write!(f, "map"),
+            Unexpected::Enum => write!(f, "enum"),
+            Unexpected::Other(s) => f.write_str(s),
+        }
+    }
+}
+
+/// Renders a visitor's `expecting` message as `Display`, for the
+/// default error paths below.
+struct Expecting<'a, V>(&'a V);
+
+impl<'de, V: Visitor<'de>> Display for Expecting<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        self.0.expecting(f)
+    }
+}
+
+/// A data structure that can be deserialized from any serde format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value with the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// A stateful deserialization hook; the stateless case is
+/// `PhantomData<T>`, which forwards to `T::deserialize`.
+pub trait DeserializeSeed<'de>: Sized {
+    /// Value produced.
+    type Value;
+    /// Run the deserialization.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+macro_rules! visit_default {
+    ($(#[$doc:meta] $fn:ident : $ty:ty => $unexp:path;)*) => {
+        $(
+            #[$doc]
+            fn $fn<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+                Err(E::invalid_type($unexp(v), &format!("{}", Expecting(&self)).as_str()))
+            }
+        )*
+    };
+}
+
+/// Drives construction of a value from deserializer callbacks.
+///
+/// Every `visit_*` method has a default that errors with an
+/// "invalid type" message built from [`Visitor::expecting`];
+/// implementations override the ones their type supports.
+pub trait Visitor<'de>: Sized {
+    /// Value built by this visitor.
+    type Value;
+
+    /// Write what this visitor expects (e.g. "struct Pose2D").
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result;
+
+    visit_default! {
+        /// Input contained a bool.
+        visit_bool: bool => Unexpected::Bool;
+        /// Input contained an i64.
+        visit_i64: i64 => Unexpected::Signed;
+        /// Input contained a u64.
+        visit_u64: u64 => Unexpected::Unsigned;
+        /// Input contained an f64.
+        visit_f64: f64 => Unexpected::Float;
+        /// Input contained a char.
+        visit_char: char => Unexpected::Char;
+    }
+
+    /// Input contained an i8 (defaults to [`Visitor::visit_i64`]).
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Input contained an i16 (defaults to [`Visitor::visit_i64`]).
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Input contained an i32 (defaults to [`Visitor::visit_i64`]).
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Input contained a u8 (defaults to [`Visitor::visit_u64`]).
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Input contained a u16 (defaults to [`Visitor::visit_u64`]).
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Input contained a u32 (defaults to [`Visitor::visit_u64`]).
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Input contained an f32 (defaults to [`Visitor::visit_f64`]).
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+
+    /// Input contained a string slice.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Str(v), &format!("{}", Expecting(&self)).as_str()))
+    }
+    /// Input contained a string borrowed from the input itself.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Input contained an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Input contained raw bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Bytes(v), &format!("{}", Expecting(&self)).as_str()))
+    }
+    /// Input contained bytes borrowed from the input itself.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Input contained an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+
+    /// Input contained `None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Option, &format!("{}", Expecting(&self)).as_str()))
+    }
+    /// Input contained `Some(value)`.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::invalid_type(
+            Unexpected::Option,
+            &format!("{}", Expecting(&self)).as_str(),
+        ))
+    }
+    /// Input contained a unit value.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Unit, &format!("{}", Expecting(&self)).as_str()))
+    }
+    /// Input contained a newtype struct wrapping a value.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(D::Error::invalid_type(
+            Unexpected::NewtypeStruct,
+            &format!("{}", Expecting(&self)).as_str(),
+        ))
+    }
+    /// Input contained a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(A::Error::invalid_type(Unexpected::Seq, &format!("{}", Expecting(&self)).as_str()))
+    }
+    /// Input contained a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(A::Error::invalid_type(Unexpected::Map, &format!("{}", Expecting(&self)).as_str()))
+    }
+    /// Input contained an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(A::Error::invalid_type(Unexpected::Enum, &format!("{}", Expecting(&self)).as_str()))
+    }
+}
+
+/// A serde input format.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserialize whatever the input contains (self-describing formats
+    /// only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect raw bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a variable-length sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a fixed-length tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a multi-field tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Expect a struct with the given fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Expect a struct field name / enum variant tag.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Skip over whatever value comes next.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    /// Whether the format is human readable. Binary formats override
+    /// this to `false`.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Access to the elements of a sequence.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserialize the next element, or `None` at the end.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Stateless form of [`SeqAccess::next_element_seed`].
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Remaining elements, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserialize the next key, or `None` at the end.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserialize the value paired with the last key.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Stateless form of [`MapAccess::next_key_seed`].
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Stateless form of [`MapAccess::next_value_seed`].
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Deserialize the next key-value pair, or `None` at the end.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Remaining entries, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Gives access to the variant's contents after tag dispatch.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Deserialize the variant tag.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Stateless form of [`EnumAccess::variant_seed`].
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the contents of one enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// The variant carries no data.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// The variant carries one value.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Stateless form of [`VariantAccess::newtype_variant_seed`].
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// The variant carries a tuple of values.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// The variant carries named fields.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Turns primitives into ready-made deserializers (used for enum
+/// variant tags).
+pub trait IntoDeserializer<'de, E: Error = value::Error> {
+    /// The deserializer produced.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Convert into a deserializer.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// Ready-made deserializers over primitive values.
+pub mod value {
+    use super::*;
+
+    /// Plain string error for the ready-made deserializers.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl super::Error for Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    impl crate::ser::Error for Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    macro_rules! primitive_deserializer {
+        ($(#[$doc:meta] $name:ident : $ty:ty => $visit:ident),* $(,)?) => {
+            $(
+                #[$doc]
+                pub struct $name<E> {
+                    value: $ty,
+                    marker: PhantomData<E>,
+                }
+
+                impl<E> $name<E> {
+                    /// Wrap a value.
+                    pub fn new(value: $ty) -> Self {
+                        $name { value, marker: PhantomData }
+                    }
+                }
+
+                impl<'de, E: super::Error> Deserializer<'de> for $name<E> {
+                    type Error = E;
+
+                    fn deserialize_any<V: Visitor<'de>>(
+                        self,
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        visitor.$visit(self.value)
+                    }
+
+                    forward_to_any! {
+                        deserialize_bool deserialize_i8 deserialize_i16 deserialize_i32
+                        deserialize_i64 deserialize_u8 deserialize_u16 deserialize_u32
+                        deserialize_u64 deserialize_f32 deserialize_f64 deserialize_char
+                        deserialize_str deserialize_string deserialize_bytes
+                        deserialize_byte_buf deserialize_option deserialize_unit
+                        deserialize_seq deserialize_map deserialize_identifier
+                        deserialize_ignored_any
+                    }
+
+                    fn deserialize_unit_struct<V: Visitor<'de>>(
+                        self,
+                        _name: &'static str,
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+
+                    fn deserialize_newtype_struct<V: Visitor<'de>>(
+                        self,
+                        _name: &'static str,
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+
+                    fn deserialize_tuple<V: Visitor<'de>>(
+                        self,
+                        _len: usize,
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+
+                    fn deserialize_tuple_struct<V: Visitor<'de>>(
+                        self,
+                        _name: &'static str,
+                        _len: usize,
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+
+                    fn deserialize_struct<V: Visitor<'de>>(
+                        self,
+                        _name: &'static str,
+                        _fields: &'static [&'static str],
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+
+                    fn deserialize_enum<V: Visitor<'de>>(
+                        self,
+                        _name: &'static str,
+                        _variants: &'static [&'static str],
+                        visitor: V,
+                    ) -> Result<V::Value, E> {
+                        self.deserialize_any(visitor)
+                    }
+                }
+            )*
+        };
+    }
+
+    macro_rules! forward_to_any {
+        ($($method:ident)*) => {
+            $(
+                fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    self.deserialize_any(visitor)
+                }
+            )*
+        };
+    }
+
+    primitive_deserializer! {
+        /// Deserializer yielding a fixed `u8`.
+        U8Deserializer: u8 => visit_u8,
+        /// Deserializer yielding a fixed `u16`.
+        U16Deserializer: u16 => visit_u16,
+        /// Deserializer yielding a fixed `u32`.
+        U32Deserializer: u32 => visit_u32,
+        /// Deserializer yielding a fixed `u64`.
+        U64Deserializer: u64 => visit_u64,
+        /// Deserializer yielding a fixed `usize` (as `u64`).
+        UsizeDeserializer: u64 => visit_u64,
+    }
+
+    macro_rules! into_deserializer {
+        ($($ty:ty => $de:ident),* $(,)?) => {
+            $(impl<'de, E: super::Error> IntoDeserializer<'de, E> for $ty {
+                type Deserializer = $de<E>;
+                fn into_deserializer(self) -> $de<E> {
+                    $de::new(self)
+                }
+            })*
+        };
+    }
+
+    into_deserializer! {
+        u8 => U8Deserializer,
+        u16 => U16Deserializer,
+        u32 => U32Deserializer,
+        u64 => U64Deserializer,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types.
+
+macro_rules! de_prim {
+    ($($ty:ty : $deserialize:ident => $visit:ident ( $visit_ty:ty )),* $(,)?) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                        f.write_str(stringify!($ty))
+                    }
+                    fn $visit<E: Error>(self, v: $visit_ty) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                }
+                deserializer.$deserialize(V)
+            }
+        })*
+    };
+}
+
+de_prim! {
+    i8: deserialize_i8 => visit_i8(i8),
+    i16: deserialize_i16 => visit_i16(i16),
+    i32: deserialize_i32 => visit_i32(i32),
+    i64: deserialize_i64 => visit_i64(i64),
+    u8: deserialize_u8 => visit_u8(u8),
+    u16: deserialize_u16 => visit_u16(u16),
+    u32: deserialize_u32 => visit_u32(u32),
+    u64: deserialize_u64 => visit_u64(u64),
+    f32: deserialize_f32 => visit_f32(f32),
+    f64: deserialize_f64 => visit_f64(f64),
+    usize: deserialize_u64 => visit_u64(u64),
+    isize: deserialize_i64 => visit_i64(i64),
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("bool")
+            }
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("char")
+            }
+            fn visit_char<E: Error>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::invalid_value(Unexpected::Str(v), &"a single character")),
+                }
+            }
+        }
+        deserializer.deserialize_char(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+/// Intern a string, leaking at most one copy per distinct content.
+///
+/// This backs `Deserialize for &str`: unlike real serde, which borrows
+/// from the input (and therefore cannot produce `&'static str` fields),
+/// this shim returns an interned `&'static str`. The leak is bounded by
+/// the set of distinct strings ever deserialized — topic names and
+/// deployment labels here, a few dozen short strings.
+fn intern(s: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let set = INTERNED.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut guard = set.lock().unwrap_or_else(|p| p.into_inner());
+    match guard.get(s) {
+        Some(&existing) => existing,
+        None => {
+            let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+            guard.insert(leaked);
+            leaked
+        }
+    }
+}
+
+impl<'de, 'a> Deserialize<'de> for &'a str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = &'static str;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<&'static str, E> {
+                Ok(intern(v))
+            }
+        }
+        deserializer.deserialize_str(V).map(|s| s as &'a str)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("an Option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for V<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(N);
+                for i in 0..N {
+                    match seq.next_element()? {
+                        Some(item) => out.push(item),
+                        None => {
+                            return Err(A::Error::invalid_length(
+                                i,
+                                &format!("an array of length {N}").as_str(),
+                            ))
+                        }
+                    }
+                }
+                out.try_into()
+                    .map_err(|_| A::Error::custom("array length mismatch"))
+            }
+        }
+        deserializer.deserialize_tuple(N, V::<T, N>(PhantomData))
+    }
+}
+
+macro_rules! de_tuple {
+    ($($len:literal => ($($name:ident),+))*) => {
+        $(impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                struct V<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for V<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                        write!(f, "a tuple of length {}", $len)
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<AC: SeqAccess<'de>>(
+                        self,
+                        mut seq: AC,
+                    ) -> Result<Self::Value, AC::Error> {
+                        let mut taken = 0usize;
+                        $(
+                            let $name = match seq.next_element()? {
+                                Some(v) => v,
+                                None => return Err(AC::Error::invalid_length(
+                                    taken,
+                                    &format!("a tuple of length {}", $len).as_str(),
+                                )),
+                            };
+                            taken += 1;
+                        )+
+                        let _ = taken;
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, V(PhantomData))
+            }
+        })*
+    };
+}
+
+de_tuple! {
+    1 => (A)
+    2 => (A, B)
+    3 => (A, B, C)
+    4 => (A, B, C, D)
+    5 => (A, B, C, D, E)
+    6 => (A, B, C, D, E, F)
+    7 => (A, B, C, D, E, F, G)
+    8 => (A, B, C, D, E, F, G, H)
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for Vis<K, V> {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V, S>(PhantomData<(K, V, S)>);
+        impl<'de, K, V, S> Visitor<'de> for Vis<K, V, S>
+        where
+            K: Deserialize<'de> + Eq + std::hash::Hash,
+            V: Deserialize<'de>,
+            S: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, S>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out =
+                    std::collections::HashMap::with_capacity_and_hasher(0, S::default());
+                while let Some((k, v)) = map.next_entry()? {
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for V<T> {
+            type Value = std::collections::BTreeSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeSet::new();
+                while let Some(item) = seq.next_element()? {
+                    out.insert(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}

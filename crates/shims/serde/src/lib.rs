@@ -1,0 +1,29 @@
+//! In-tree subset of the `serde` crate.
+//!
+//! Implements the serde data model — the [`ser`] and [`de`] trait
+//! families plus impls for the std types this workspace serializes —
+//! against the exact surface exercised by `lgv-middleware`'s binary
+//! codec and the derive macros in the sibling `serde_derive` shim.
+//!
+//! Known deviations from the real crate, all irrelevant to this
+//! workspace but documented for honesty:
+//!
+//! * deserializing `&str` always returns an interned leaked copy
+//!   rather than borrowing from the input, so `&'static str` struct
+//!   fields (`TopicName`, `Deployment::label`, `LgvProfile::name`)
+//!   deserialize without a `'de: 'static` bound;
+//! * `i128`/`u128` are unsupported;
+//! * self-describing-format hooks (`deserialize_any` content buffering,
+//!   untagged enums, serde attributes) are absent.
+
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

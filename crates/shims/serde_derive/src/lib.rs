@@ -1,0 +1,602 @@
+//! In-tree subset of the `serde_derive` proc-macro crate.
+//!
+//! Hand-parses the item's token stream (no `syn`/`quote`, keeping the
+//! shim dependency-free) and emits impls tailored to the binary codec
+//! in `lgv-middleware`: structs serialize as flat field sequences and
+//! enums as a `u32` variant index followed by the variant's fields, so
+//! the generated `Deserialize` visitors are sequence-only and dispatch
+//! variants by index. Serde field/variant attributes (`#[serde(...)]`)
+//! are not supported; generic enums are rejected.
+
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::ser::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim emitted invalid Serialize impl")
+}
+
+/// Derive `serde::de::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim emitted invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+
+struct Item {
+    name: String,
+    /// Type-parameter names (lifetimes and const params unsupported).
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+type PeekIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip any `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(iter: &mut PeekIter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+
+    let mut generics = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1u32;
+        let mut expect_name = true;
+        while depth > 0 {
+            match iter.next().expect("serde_derive shim: unclosed generics") {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_name = true,
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expect_name = false,
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    iter.next(); // lifetime name; not a type parameter
+                    expect_name = false;
+                }
+                TokenTree::Ident(id) if expect_name => {
+                    if id.to_string() == "const" {
+                        panic!("serde_derive shim: const generics are not supported");
+                    }
+                    generics.push(id.to_string());
+                    expect_name = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            Some(TokenTree::Ident(id)) if id.to_string() == "where" => {
+                panic!("serde_derive shim: `where` clauses are not supported")
+            }
+            other => panic!("serde_derive shim: unexpected struct body: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+
+    Item { name, generics, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive shim: expected `:` after field, got {other:?}"),
+                }
+                // Skip the type; only `<`/`>` nest at this level
+                // (parenthesized types arrive as atomic groups).
+                let mut depth = 0i32;
+                loop {
+                    match iter.next() {
+                        None => break,
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                        Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                        Some(_) => {}
+                    }
+                }
+            }
+            other => panic!("serde_derive shim: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut item_open = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                item_open = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if item_open {
+                    count += 1;
+                    item_open = false;
+                }
+            }
+            _ => item_open = true,
+        }
+    }
+    if item_open {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let shape = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        iter.next();
+                        Shape::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        iter.next();
+                        Shape::Struct(fields)
+                    }
+                    _ => Shape::Unit,
+                };
+                // Skip to the separating comma (covers `= discr` too).
+                for tt in iter.by_ref() {
+                    if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+                variants.push(Variant { name, shape });
+            }
+            other => panic!("serde_derive shim: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+
+fn join(parts: &[String], sep: &str) -> String {
+    parts.join(sep)
+}
+
+/// `(impl_generics, ty_generics)` for a `Serialize` impl.
+fn ser_generics(generics: &[String]) -> (String, String) {
+    if generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounded: Vec<String> = generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::ser::Serialize"))
+            .collect();
+        (
+            format!("<{}>", join(&bounded, ", ")),
+            format!("<{}>", join(generics, ", ")),
+        )
+    }
+}
+
+/// `(impl_generics_with_de, ty_generics)` for a `Deserialize` impl.
+fn de_generics(generics: &[String]) -> (String, String) {
+    if generics.is_empty() {
+        ("<'de>".to_string(), String::new())
+    } else {
+        let bounded: Vec<String> = generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::de::Deserialize<'de>"))
+            .collect();
+        (
+            format!("<'de, {}>", join(&bounded, ", ")),
+            format!("<{}>", join(generics, ", ")),
+        )
+    }
+}
+
+fn quoted_list(names: &[String]) -> String {
+    let quoted: Vec<String> = names.iter().map(|n| format!("\"{n}\"")).collect();
+    join(&quoted, ", ")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let (ig, tg) = ser_generics(&item.generics);
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut lines = String::new();
+            for f in fields {
+                lines.push_str(&format!(
+                    "        __st.serialize_field(\"{f}\", &self.{f})?;\n"
+                ));
+            }
+            format!(
+                "        use ::serde::ser::SerializeStruct as _;\n\
+                 \x20       let mut __st = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {n}usize)?;\n\
+                 {lines}\
+                 \x20       __st.end()\n",
+                n = fields.len()
+            )
+        }
+        Kind::TupleStruct(0) | Kind::UnitStruct => format!(
+            "        ::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")\n"
+        ),
+        Kind::TupleStruct(1) => format!(
+            "        ::serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)\n"
+        ),
+        Kind::TupleStruct(n) => {
+            let mut lines = String::new();
+            for i in 0..*n {
+                lines.push_str(&format!("        __st.serialize_field(&self.{i})?;\n"));
+            }
+            format!(
+                "        use ::serde::ser::SerializeTupleStruct as _;\n\
+                 \x20       let mut __st = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n}usize)?;\n\
+                 {lines}\
+                 \x20       __st.end()\n"
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (i, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "            {name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {i}u32, \"{vname}\"),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "            {name}::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {i}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut lines = String::new();
+                        for b in &binds {
+                            lines.push_str(&format!(
+                                "                __st.serialize_field({b})?;\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "            {name}::{vname}({binds}) => {{\n\
+                             \x20               use ::serde::ser::SerializeTupleVariant as _;\n\
+                             \x20               let mut __st = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {i}u32, \"{vname}\", {n}usize)?;\n\
+                             {lines}\
+                             \x20               __st.end()\n\
+                             \x20           }}\n",
+                            binds = join(&binds, ", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let mut lines = String::new();
+                        for f in fields {
+                            lines.push_str(&format!(
+                                "                __st.serialize_field(\"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "            {name}::{vname} {{ {binds} }} => {{\n\
+                             \x20               use ::serde::ser::SerializeStructVariant as _;\n\
+                             \x20               let mut __st = ::serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {i}u32, \"{vname}\", {n}usize)?;\n\
+                             {lines}\
+                             \x20               __st.end()\n\
+                             \x20           }}\n",
+                            binds = join(fields, ", "),
+                            n = fields.len()
+                        ));
+                    }
+                }
+            }
+            format!("        match self {{\n{arms}        }}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} ::serde::ser::Serialize for {name}{tg} {{\n\
+         \x20   fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\
+         \x20   }}\n\
+         }}\n"
+    )
+}
+
+/// One `let __fieldN = …` line for a sequence-driven visitor.
+fn seq_field_let(i: usize, expected: &str) -> String {
+    format!(
+        "                let __field{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+         \x20                   ::core::option::Option::Some(__v) => __v,\n\
+         \x20                   ::core::option::Option::None => return ::core::result::Result::Err(<__A::Error as ::serde::de::Error>::invalid_length({i}usize, &\"{expected}\")),\n\
+         \x20               }};\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let (ig, tg) = de_generics(&item.generics);
+    let (visitor_decl, visitor_ty, visitor_init) = if item.generics.is_empty() {
+        (
+            "struct __Visitor;".to_string(),
+            "__Visitor".to_string(),
+            "__Visitor".to_string(),
+        )
+    } else {
+        let params = join(&item.generics, ", ");
+        (
+            format!("struct __Visitor<{params}>(::core::marker::PhantomData<({params})>);"),
+            format!("__Visitor<{params}>"),
+            "__Visitor(::core::marker::PhantomData)".to_string(),
+        )
+    };
+
+    let (visitor_body, driver) = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let n = fields.len();
+            let expected = format!("struct {name} with {n} elements");
+            let mut lets = String::new();
+            let mut inits = Vec::new();
+            for (i, f) in fields.iter().enumerate() {
+                lets.push_str(&seq_field_let(i, &expected));
+                inits.push(format!("{f}: __field{i}"));
+            }
+            let body = format!(
+                "            fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 \x20               __f.write_str(\"struct {name}\")\n\
+                 \x20           }}\n\
+                 \x20           fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 {lets}\
+                 \x20               ::core::result::Result::Ok({name} {{ {inits} }})\n\
+                 \x20           }}\n",
+                inits = join(&inits, ", ")
+            );
+            let driver = format!(
+                "        ::serde::de::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{fields}], {visitor_init})\n",
+                fields = quoted_list(fields)
+            );
+            (body, driver)
+        }
+        Kind::TupleStruct(0) | Kind::UnitStruct => {
+            let body = format!(
+                "            fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 \x20               __f.write_str(\"unit struct {name}\")\n\
+                 \x20           }}\n\
+                 \x20           fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> {{\n\
+                 \x20               ::core::result::Result::Ok({name})\n\
+                 \x20           }}\n"
+            );
+            let driver = format!(
+                "        ::serde::de::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", {visitor_init})\n"
+            );
+            (body, driver)
+        }
+        Kind::TupleStruct(1) => {
+            let body = format!(
+                "            fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 \x20               __f.write_str(\"newtype struct {name}\")\n\
+                 \x20           }}\n\
+                 \x20           fn visit_newtype_struct<__D2: ::serde::de::Deserializer<'de>>(self, __d: __D2) -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+                 \x20               ::core::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__d)?))\n\
+                 \x20           }}\n"
+            );
+            let driver = format!(
+                "        ::serde::de::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", {visitor_init})\n"
+            );
+            (body, driver)
+        }
+        Kind::TupleStruct(n) => {
+            let expected = format!("tuple struct {name} with {n} elements");
+            let mut lets = String::new();
+            let mut inits = Vec::new();
+            for i in 0..*n {
+                lets.push_str(&seq_field_let(i, &expected));
+                inits.push(format!("__field{i}"));
+            }
+            let body = format!(
+                "            fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 \x20               __f.write_str(\"tuple struct {name}\")\n\
+                 \x20           }}\n\
+                 \x20           fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 {lets}\
+                 \x20               ::core::result::Result::Ok({name}({inits}))\n\
+                 \x20           }}\n",
+                inits = join(&inits, ", ")
+            );
+            let driver = format!(
+                "        ::serde::de::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {n}usize, {visitor_init})\n"
+            );
+            (body, driver)
+        }
+        Kind::Enum(variants) => {
+            if !item.generics.is_empty() {
+                panic!("serde_derive shim: generic enums are not supported");
+            }
+            let vnames: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+            let mut arms = String::new();
+            for (i, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "                    {i}u32 => {{\n\
+                         \x20                       ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         \x20                       ::core::result::Result::Ok({name}::{vname})\n\
+                         \x20                   }}\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "                    {i}u32 => ::core::result::Result::Ok({name}::{vname}(::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let expected = format!("tuple variant {name}::{vname} with {n} elements");
+                        let mut lets = String::new();
+                        let mut inits = Vec::new();
+                        for k in 0..*n {
+                            lets.push_str(&seq_field_let(k, &expected));
+                            inits.push(format!("__field{k}"));
+                        }
+                        arms.push_str(&format!(
+                            "                    {i}u32 => {{\n\
+                             \x20                       struct __TupleVisitor{i};\n\
+                             \x20                       impl<'de> ::serde::de::Visitor<'de> for __TupleVisitor{i} {{\n\
+                             \x20                           type Value = {name};\n\
+                             \x20                           fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                             \x20                               __f.write_str(\"tuple variant {name}::{vname}\")\n\
+                             \x20                           }}\n\
+                             \x20                           fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                             {lets}\
+                             \x20                               ::core::result::Result::Ok({name}::{vname}({inits}))\n\
+                             \x20                           }}\n\
+                             \x20                       }}\n\
+                             \x20                       ::serde::de::VariantAccess::tuple_variant(__variant, {n}usize, __TupleVisitor{i})\n\
+                             \x20                   }}\n",
+                            inits = join(&inits, ", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let n = fields.len();
+                        let expected =
+                            format!("struct variant {name}::{vname} with {n} elements");
+                        let mut lets = String::new();
+                        let mut inits = Vec::new();
+                        for (k, f) in fields.iter().enumerate() {
+                            lets.push_str(&seq_field_let(k, &expected));
+                            inits.push(format!("{f}: __field{k}"));
+                        }
+                        arms.push_str(&format!(
+                            "                    {i}u32 => {{\n\
+                             \x20                       struct __StructVisitor{i};\n\
+                             \x20                       impl<'de> ::serde::de::Visitor<'de> for __StructVisitor{i} {{\n\
+                             \x20                           type Value = {name};\n\
+                             \x20                           fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                             \x20                               __f.write_str(\"struct variant {name}::{vname}\")\n\
+                             \x20                           }}\n\
+                             \x20                           fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                             {lets}\
+                             \x20                               ::core::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                             \x20                           }}\n\
+                             \x20                       }}\n\
+                             \x20                       ::serde::de::VariantAccess::struct_variant(__variant, &[{fields}], __StructVisitor{i})\n\
+                             \x20                   }}\n",
+                            inits = join(&inits, ", "),
+                            fields = quoted_list(fields)
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "            fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                 \x20               __f.write_str(\"enum {name}\")\n\
+                 \x20           }}\n\
+                 \x20           fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 \x20               let (__idx, __variant): (u32, _) = ::serde::de::EnumAccess::variant(__data)?;\n\
+                 \x20               match __idx {{\n\
+                 {arms}\
+                 \x20                   _ => ::core::result::Result::Err(<__A::Error as ::serde::de::Error>::unknown_variant(&::std::string::ToString::to_string(&__idx), &[{vlist}])),\n\
+                 \x20               }}\n\
+                 \x20           }}\n",
+                vlist = quoted_list(&vnames)
+            );
+            let driver = format!(
+                "        ::serde::de::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{vlist}], {visitor_init})\n",
+                vlist = quoted_list(&vnames)
+            );
+            (body, driver)
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{ig} ::serde::de::Deserialize<'de> for {name}{tg} {{\n\
+         \x20   fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+         \x20       {visitor_decl}\n\
+         \x20       impl{ig} ::serde::de::Visitor<'de> for {visitor_ty} {{\n\
+         \x20           type Value = {name}{tg};\n\
+         {visitor_body}\
+         \x20       }}\n\
+         {driver}\
+         \x20   }}\n\
+         }}\n"
+    )
+}

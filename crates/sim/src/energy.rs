@@ -4,6 +4,7 @@
 //! time and produces the [`EnergyReport`] breakdown that Fig. 13 plots
 //! (motor / sensor / microcontroller / embedded computer / wireless).
 
+use lgv_trace::{TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -49,12 +50,41 @@ impl Component {
 #[derive(Debug, Clone, Default)]
 pub struct EnergyLedger {
     joules: [f64; 5],
+    traced: [f64; 5],
+    tracer: Tracer,
 }
 
 impl EnergyLedger {
     /// Fresh, empty ledger.
     pub fn new() -> Self {
         EnergyLedger::default()
+    }
+
+    /// Route energy deltas to `tracer`. Deltas are only emitted by
+    /// [`EnergyLedger::trace_flush`], so the caller controls the event
+    /// rate (the mission engine flushes once per control cycle rather
+    /// than per integration substep).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Emit one [`TraceEvent::EnergyDelta`] per component that gained
+    /// energy since the previous flush.
+    pub fn trace_flush(&mut self) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        for c in Component::ALL {
+            let i = Self::slot(c);
+            let delta = self.joules[i] - self.traced[i];
+            if delta > 0.0 {
+                self.tracer.emit(TraceEvent::EnergyDelta {
+                    component: c.name().to_string(),
+                    joules: delta,
+                });
+                self.traced[i] = self.joules[i];
+            }
+        }
     }
 
     fn slot(c: Component) -> usize {

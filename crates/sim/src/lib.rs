@@ -15,6 +15,7 @@
 //!   model (Eq. 1a–1d, Table I constants) integrated over virtual time.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod battery;
 pub mod energy;

@@ -145,7 +145,7 @@ impl Platform {
 
     /// Effective parallel speedup of `threads` workers over `items`
     /// independent pieces: capped by hardware threads and by the item
-    /// count, with SMT siblings contributing [`SMT_YIELD`] each.
+    /// count, with SMT siblings contributing `SMT_YIELD` (0.3) each.
     pub fn effective_parallelism(&self, threads: u32, items: u32) -> f64 {
         let t = threads.clamp(1, self.hw_threads).min(items.max(1));
         if t <= self.cores {

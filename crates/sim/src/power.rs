@@ -1,6 +1,6 @@
 //! Component power models (paper Eq. 1 and Table I).
 //!
-//! * Motor: `P_m = P_l + m(a + gμ)v` (Eq. 1d, from Mei et al. [34]).
+//! * Motor: `P_m = P_l + m(a + gμ)v` (Eq. 1d, from Mei et al. \[34\]).
 //! * Embedded computer: `E_ec = k · L · f²` (Eq. 1c) plus an idle
 //!   floor; `k` is calibrated so full utilization hits the Table I
 //!   maximum.

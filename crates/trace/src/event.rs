@@ -1,0 +1,516 @@
+//! Trace event vocabulary and the deterministic JSON encoding.
+//!
+//! Every observable action in the stack maps to exactly one
+//! [`TraceEvent`] variant. Variants are grouped into coarse
+//! [`EventCategory`] buckets (one per instrumented subsystem) so tests
+//! and dashboards can assert coverage without enumerating every kind.
+//!
+//! The JSON encoding is hand-rolled (this crate has no dependencies)
+//! and **byte-for-byte deterministic**: field order is fixed by the
+//! code below, integers print in decimal, and floats print via Rust's
+//! shortest-roundtrip `{:?}` formatting. See `docs/OBSERVABILITY.md`
+//! for the full schema reference.
+
+use std::fmt::Write as _;
+
+/// What happened to a simulated UDP `send` (mirrors the outcome enum
+/// of the network layer without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendKind {
+    /// Handed to the radio (may still be lost in the air).
+    Transmitted,
+    /// Held in the one-slot kernel buffer (weak-signal blocking).
+    Held,
+    /// Silently dropped at the sender: kernel buffer already full.
+    Discarded,
+}
+
+impl SendKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SendKind::Transmitted => "transmitted",
+            SendKind::Held => "held",
+            SendKind::Discarded => "discarded",
+        }
+    }
+}
+
+/// Coarse event grouping, one per instrumented subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventCategory {
+    /// Mission lifecycle and per-cycle progress.
+    Mission,
+    /// Pub/sub bus activity (publishes, queue drops).
+    Bus,
+    /// Simulated UDP channel activity (sends, radio losses).
+    Channel,
+    /// Round-trip-time samples from echoed stamps.
+    Rtt,
+    /// Per-node processing-time samples from the Profiler.
+    Profile,
+    /// Runtime Controller decisions (Algorithm 1 + Algorithm 2).
+    Control,
+    /// Thread-governor recommendations (§VIII-E).
+    Governor,
+    /// Energy-ledger deltas (Eq. 1a components).
+    Energy,
+    /// Placement switches and node-state migration transfers.
+    Migration,
+}
+
+impl EventCategory {
+    /// Every category, in a fixed documentation order.
+    pub const ALL: [EventCategory; 9] = [
+        EventCategory::Mission,
+        EventCategory::Bus,
+        EventCategory::Channel,
+        EventCategory::Rtt,
+        EventCategory::Profile,
+        EventCategory::Control,
+        EventCategory::Governor,
+        EventCategory::Energy,
+        EventCategory::Migration,
+    ];
+
+    /// Stable lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventCategory::Mission => "mission",
+            EventCategory::Bus => "bus",
+            EventCategory::Channel => "channel",
+            EventCategory::Rtt => "rtt",
+            EventCategory::Profile => "profile",
+            EventCategory::Control => "control",
+            EventCategory::Governor => "governor",
+            EventCategory::Energy => "energy",
+            EventCategory::Migration => "migration",
+        }
+    }
+}
+
+/// One structured observation from the instrumented stack.
+///
+/// All timestamps and durations are virtual-time nanoseconds (`u64`),
+/// never wall-clock — traces replay identically for a given seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A mission began.
+    MissionStart {
+        /// Workload name (`Navigation` / `Exploration`).
+        workload: String,
+        /// Deployment label (Fig. 12/13 scenario).
+        deployment: String,
+        /// Master seed (replays of the same seed produce identical
+        /// traces).
+        seed: u64,
+    },
+    /// One control cycle's position/goal/battery snapshot.
+    MissionProgress {
+        /// Ground-truth x (m).
+        x: f64,
+        /// Ground-truth y (m).
+        y: f64,
+        /// Current goal x (m).
+        goal_x: f64,
+        /// Current goal y (m).
+        goal_y: f64,
+        /// Straight-line distance to the goal (m).
+        goal_dist: f64,
+        /// Battery state of charge in [0, 1].
+        battery_soc: f64,
+    },
+    /// The mission ended.
+    MissionEnd {
+        /// Whether the goal was achieved within the caps.
+        completed: bool,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A message was published on a bus topic.
+    BusPublish {
+        /// Topic name.
+        topic: String,
+        /// Serialized payload size.
+        bytes: u64,
+        /// Number of subscriber queues the bytes fanned out to.
+        fanout: u32,
+    },
+    /// A full bounded subscriber queue dropped its oldest message
+    /// (the freshness-over-completeness policy in action).
+    BusDrop {
+        /// Topic name.
+        topic: String,
+    },
+    /// A datagram was offered to a simulated UDP channel.
+    ChannelSend {
+        /// Channel direction label (`up` / `down` / `tcp`).
+        dir: String,
+        /// Channel sequence number.
+        seq: u64,
+        /// Payload size.
+        bytes: u64,
+        /// What the driver did with it.
+        outcome: SendKind,
+    },
+    /// A transmitted datagram was lost in the air.
+    ChannelLoss {
+        /// Channel direction label.
+        dir: String,
+        /// Channel sequence number.
+        seq: u64,
+    },
+    /// A round-trip-time sample from an echoed stamp.
+    RttSample {
+        /// The measured RTT.
+        rtt_ns: u64,
+    },
+    /// The Profiler recorded a node's processing time.
+    ProfileSample {
+        /// Node name.
+        node: String,
+        /// Whether the node ran on the remote platform.
+        remote: bool,
+        /// Processing time.
+        nanos: u64,
+    },
+    /// One runtime-Controller evaluation: the Algorithm 1 makespan
+    /// inputs, the Algorithm 2 network inputs, and the outputs.
+    ControlDecision {
+        /// `T_l^v`: all-local VDP makespan estimate.
+        local_vdp_ns: u64,
+        /// `T_c`: offloaded VDP makespan estimate (network included).
+        cloud_vdp_ns: u64,
+        /// Packet bandwidth `r_t` (packets/s).
+        bandwidth: f64,
+        /// Signal direction `d_t` (positive = approaching the WAP).
+        direction: f64,
+        /// Whether the VDP runs remotely this cycle.
+        vdp_remote: bool,
+        /// Eq. 2c maximum linear velocity in force.
+        max_linear: f64,
+        /// Algorithm 2 verdict (`keep` / `invoke_local` /
+        /// `invoke_remote`).
+        net_decision: String,
+    },
+    /// A thread-governor recommendation (§VIII-E).
+    GovernorDecision {
+        /// Mean velocity-gap ratio over the window.
+        mean_gap: f64,
+        /// Recommended remote thread count.
+        threads: u32,
+    },
+    /// Energy accumulated by one component since the previous delta.
+    EnergyDelta {
+        /// Component name (Fig. 13 bar).
+        component: String,
+        /// Joules added.
+        joules: f64,
+    },
+    /// Algorithm 2 switched the placement.
+    NetSwitch {
+        /// `true` = nodes now invoked remotely, `false` = locally.
+        to_remote: bool,
+    },
+    /// A node-state migration transfer started.
+    MigrationStart {
+        /// Total state bytes being shipped.
+        bytes: u64,
+    },
+    /// The in-flight migration delivered its last segment.
+    MigrationCommit {
+        /// Transfer duration.
+        elapsed_ns: u64,
+        /// Cumulative reliable-channel transmission attempts.
+        attempts: u64,
+    },
+    /// The in-flight migration was abandoned (state rebuilt from
+    /// fresh sensor data instead).
+    MigrationAbort,
+}
+
+impl TraceEvent {
+    /// Stable snake-case kind name (the JSON `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::MissionStart { .. } => "mission_start",
+            TraceEvent::MissionProgress { .. } => "mission_progress",
+            TraceEvent::MissionEnd { .. } => "mission_end",
+            TraceEvent::BusPublish { .. } => "bus_publish",
+            TraceEvent::BusDrop { .. } => "bus_drop",
+            TraceEvent::ChannelSend { .. } => "channel_send",
+            TraceEvent::ChannelLoss { .. } => "channel_loss",
+            TraceEvent::RttSample { .. } => "rtt_sample",
+            TraceEvent::ProfileSample { .. } => "profile_sample",
+            TraceEvent::ControlDecision { .. } => "control_decision",
+            TraceEvent::GovernorDecision { .. } => "governor_decision",
+            TraceEvent::EnergyDelta { .. } => "energy_delta",
+            TraceEvent::NetSwitch { .. } => "net_switch",
+            TraceEvent::MigrationStart { .. } => "migration_start",
+            TraceEvent::MigrationCommit { .. } => "migration_commit",
+            TraceEvent::MigrationAbort => "migration_abort",
+        }
+    }
+
+    /// The coarse subsystem bucket this event belongs to.
+    pub fn category(&self) -> EventCategory {
+        match self {
+            TraceEvent::MissionStart { .. }
+            | TraceEvent::MissionProgress { .. }
+            | TraceEvent::MissionEnd { .. } => EventCategory::Mission,
+            TraceEvent::BusPublish { .. } | TraceEvent::BusDrop { .. } => EventCategory::Bus,
+            TraceEvent::ChannelSend { .. } | TraceEvent::ChannelLoss { .. } => {
+                EventCategory::Channel
+            }
+            TraceEvent::RttSample { .. } => EventCategory::Rtt,
+            TraceEvent::ProfileSample { .. } => EventCategory::Profile,
+            TraceEvent::ControlDecision { .. } => EventCategory::Control,
+            TraceEvent::GovernorDecision { .. } => EventCategory::Governor,
+            TraceEvent::EnergyDelta { .. } => EventCategory::Energy,
+            TraceEvent::NetSwitch { .. }
+            | TraceEvent::MigrationStart { .. }
+            | TraceEvent::MigrationCommit { .. }
+            | TraceEvent::MigrationAbort => EventCategory::Migration,
+        }
+    }
+
+    /// Append this event's fields (past `kind`) to a JSON object body.
+    fn write_fields(&self, out: &mut String) {
+        match self {
+            TraceEvent::MissionStart { workload, deployment, seed } => {
+                field_str(out, "workload", workload);
+                field_str(out, "deployment", deployment);
+                field_u64(out, "seed", *seed);
+            }
+            TraceEvent::MissionProgress { x, y, goal_x, goal_y, goal_dist, battery_soc } => {
+                field_f64(out, "x", *x);
+                field_f64(out, "y", *y);
+                field_f64(out, "goal_x", *goal_x);
+                field_f64(out, "goal_y", *goal_y);
+                field_f64(out, "goal_dist", *goal_dist);
+                field_f64(out, "battery_soc", *battery_soc);
+            }
+            TraceEvent::MissionEnd { completed, reason } => {
+                field_bool(out, "completed", *completed);
+                field_str(out, "reason", reason);
+            }
+            TraceEvent::BusPublish { topic, bytes, fanout } => {
+                field_str(out, "topic", topic);
+                field_u64(out, "bytes", *bytes);
+                field_u64(out, "fanout", u64::from(*fanout));
+            }
+            TraceEvent::BusDrop { topic } => {
+                field_str(out, "topic", topic);
+            }
+            TraceEvent::ChannelSend { dir, seq, bytes, outcome } => {
+                field_str(out, "dir", dir);
+                field_u64(out, "seq", *seq);
+                field_u64(out, "bytes", *bytes);
+                field_str(out, "outcome", outcome.as_str());
+            }
+            TraceEvent::ChannelLoss { dir, seq } => {
+                field_str(out, "dir", dir);
+                field_u64(out, "seq", *seq);
+            }
+            TraceEvent::RttSample { rtt_ns } => {
+                field_u64(out, "rtt_ns", *rtt_ns);
+            }
+            TraceEvent::ProfileSample { node, remote, nanos } => {
+                field_str(out, "node", node);
+                field_bool(out, "remote", *remote);
+                field_u64(out, "nanos", *nanos);
+            }
+            TraceEvent::ControlDecision {
+                local_vdp_ns,
+                cloud_vdp_ns,
+                bandwidth,
+                direction,
+                vdp_remote,
+                max_linear,
+                net_decision,
+            } => {
+                field_u64(out, "local_vdp_ns", *local_vdp_ns);
+                field_u64(out, "cloud_vdp_ns", *cloud_vdp_ns);
+                field_f64(out, "bandwidth", *bandwidth);
+                field_f64(out, "direction", *direction);
+                field_bool(out, "vdp_remote", *vdp_remote);
+                field_f64(out, "max_linear", *max_linear);
+                field_str(out, "net_decision", net_decision);
+            }
+            TraceEvent::GovernorDecision { mean_gap, threads } => {
+                field_f64(out, "mean_gap", *mean_gap);
+                field_u64(out, "threads", u64::from(*threads));
+            }
+            TraceEvent::EnergyDelta { component, joules } => {
+                field_str(out, "component", component);
+                field_f64(out, "joules", *joules);
+            }
+            TraceEvent::NetSwitch { to_remote } => {
+                field_bool(out, "to_remote", *to_remote);
+            }
+            TraceEvent::MigrationStart { bytes } => {
+                field_u64(out, "bytes", *bytes);
+            }
+            TraceEvent::MigrationCommit { elapsed_ns, attempts } => {
+                field_u64(out, "elapsed_ns", *elapsed_ns);
+                field_u64(out, "attempts", *attempts);
+            }
+            TraceEvent::MigrationAbort => {}
+        }
+    }
+}
+
+/// A timestamped, sequenced trace event — one JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time of the emission (nanoseconds since the epoch).
+    pub t_ns: u64,
+    /// Monotone per-tracer emission counter (total order within a
+    /// run, including events sharing a timestamp).
+    pub seq: u64,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Encode as one deterministic JSON object (no trailing newline).
+    ///
+    /// ```
+    /// use lgv_trace::{TraceEvent, TraceRecord};
+    ///
+    /// let rec = TraceRecord {
+    ///     t_ns: 200_000_000,
+    ///     seq: 3,
+    ///     event: TraceEvent::RttSample { rtt_ns: 24_000_000 },
+    /// };
+    /// assert_eq!(
+    ///     rec.to_json(),
+    ///     r#"{"t_ns":200000000,"seq":3,"kind":"rtt_sample","rtt_ns":24000000}"#
+    /// );
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push('{');
+        let _ = write!(out, "\"t_ns\":{},\"seq\":{}", self.t_ns, self.seq);
+        field_str(&mut out, "kind", self.event.kind());
+        self.event.write_fields(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+fn field_u64(out: &mut String, name: &str, v: u64) {
+    let _ = write!(out, ",\"{name}\":{v}");
+}
+
+fn field_bool(out: &mut String, name: &str, v: bool) {
+    let _ = write!(out, ",\"{name}\":{v}");
+}
+
+/// Floats print via `{:?}` (shortest round-trip form, deterministic);
+/// non-finite values — impossible in healthy traces — encode as
+/// `null`, keeping every line valid JSON.
+fn field_f64(out: &mut String, name: &str, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, ",\"{name}\":{v:?}");
+    } else {
+        let _ = write!(out, ",\"{name}\":null");
+    }
+}
+
+fn field_str(out: &mut String, name: &str, v: &str) {
+    let _ = write!(out, ",\"{name}\":\"");
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_categories_are_consistent() {
+        let events = [
+            TraceEvent::MissionStart {
+                workload: "Navigation".into(),
+                deployment: "edge-8t".into(),
+                seed: 42,
+            },
+            TraceEvent::BusPublish { topic: "scan".into(), bytes: 10, fanout: 2 },
+            TraceEvent::ChannelSend {
+                dir: "up".into(),
+                seq: 0,
+                bytes: 4,
+                outcome: SendKind::Transmitted,
+            },
+            TraceEvent::RttSample { rtt_ns: 1 },
+            TraceEvent::ProfileSample { node: "Slam".into(), remote: true, nanos: 7 },
+            TraceEvent::ControlDecision {
+                local_vdp_ns: 1,
+                cloud_vdp_ns: 2,
+                bandwidth: 5.0,
+                direction: 0.1,
+                vdp_remote: true,
+                max_linear: 0.6,
+                net_decision: "keep".into(),
+            },
+            TraceEvent::GovernorDecision { mean_gap: 0.2, threads: 8 },
+            TraceEvent::EnergyDelta { component: "motor".into(), joules: 0.5 },
+            TraceEvent::MigrationAbort,
+        ];
+        for e in &events {
+            assert!(!e.kind().is_empty());
+            assert!(EventCategory::ALL.contains(&e.category()));
+        }
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let rec = TraceRecord {
+            t_ns: 0,
+            seq: 0,
+            event: TraceEvent::MissionEnd {
+                completed: false,
+                reason: "a \"quoted\"\nline\\end".into(),
+            },
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"t_ns":0,"seq":0,"kind":"mission_end","completed":false,"reason":"a \"quoted\"\nline\\end"}"#
+        );
+    }
+
+    #[test]
+    fn json_floats_roundtrip_and_nonfinite_is_null() {
+        let rec = TraceRecord {
+            t_ns: 1,
+            seq: 2,
+            event: TraceEvent::EnergyDelta { component: "motor".into(), joules: 0.1 },
+        };
+        assert!(rec.to_json().contains("\"joules\":0.1"));
+        let bad = TraceRecord {
+            t_ns: 1,
+            seq: 3,
+            event: TraceEvent::EnergyDelta { component: "motor".into(), joules: f64::NAN },
+        };
+        assert!(bad.to_json().contains("\"joules\":null"));
+    }
+
+    #[test]
+    fn unit_variant_encodes_without_fields() {
+        let rec = TraceRecord { t_ns: 9, seq: 1, event: TraceEvent::MigrationAbort };
+        assert_eq!(rec.to_json(), r#"{"t_ns":9,"seq":1,"kind":"migration_abort"}"#);
+    }
+}

@@ -1,0 +1,253 @@
+//! # lgv-trace
+//!
+//! Virtual-time observability for the LGV offloading stack: structured
+//! trace events, pluggable sinks, and a metrics registry — with **no
+//! dependencies** (not even on `lgv-types`), so every crate in the
+//! workspace can emit events without dependency cycles.
+//!
+//! ## Design
+//!
+//! The central handle is the [`Tracer`]: a cheap, cloneable object
+//! every instrumented component holds. All clones share
+//!
+//! * one **virtual clock** (nanoseconds, set by whoever advances
+//!   simulation time — the mission engine in practice), so components
+//!   whose APIs carry no time parameter (e.g. the bus publish path)
+//!   still emit correctly-timestamped events, and
+//! * one **sink list**, so a single JSONL file or metrics registry
+//!   sees the interleaved stream of the whole stack in emission order.
+//!
+//! A disabled tracer (the [`Tracer::default`]) is a no-op: emission
+//! sites pay one `Option` check and, via [`Tracer::emit_with`], build
+//! no event at all.
+//!
+//! ## Determinism
+//!
+//! Timestamps are virtual time, the emission sequence is a plain
+//! counter, and the JSON encoding is fixed-order with shortest-
+//! round-trip floats — so for a fixed mission seed the JSONL output is
+//! **byte-for-byte identical** across runs. See `docs/OBSERVABILITY.md`
+//! for the schema and the replay workflow built on that guarantee.
+//!
+//! ```
+//! use lgv_trace::{RingBufferSink, TraceEvent, Tracer};
+//!
+//! let tracer = Tracer::enabled();
+//! let ring = tracer.attach(RingBufferSink::new(16));
+//!
+//! tracer.set_time_ns(200_000_000); // the engine advances the clock
+//! tracer.emit(TraceEvent::RttSample { rtt_ns: 24_000_000 });
+//!
+//! let ring = ring.lock().unwrap();
+//! let rec = ring.records().next().unwrap();
+//! assert_eq!(rec.t_ns, 200_000_000);
+//! assert_eq!(rec.event, TraceEvent::RttSample { rtt_ns: 24_000_000 });
+//! ```
+
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod event;
+mod metrics;
+mod sink;
+
+pub use event::{EventCategory, SendKind, TraceEvent, TraceRecord};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A sink shared between the tracer and the code that inspects it
+/// after the run.
+pub type SharedSink = Arc<Mutex<dyn TraceSink + Send>>;
+
+struct TracerInner {
+    /// Virtual time in nanoseconds, shared by every clone.
+    clock_ns: AtomicU64,
+    /// Emission counter (total order over the whole run).
+    seq: AtomicU64,
+    sinks: Mutex<Vec<SharedSink>>,
+}
+
+/// The cloneable tracing handle held by every instrumented component.
+///
+/// See the [crate docs](crate) for the sharing model. A default
+/// tracer is disabled; [`Tracer::enabled`] plus [`Tracer::attach`]
+/// turns tracing on.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Tracer")
+                .field("time_ns", &inner.clock_ns.load(Ordering::Relaxed))
+                .field("events", &inner.seq.load(Ordering::Relaxed))
+                .finish(),
+            None => write!(f, "Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer: every emission is a no-op. This is the
+    /// default every component starts with.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with an empty sink list and the clock at 0.
+    pub fn enabled() -> Self {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                clock_ns: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                sinks: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// Whether emissions go anywhere at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attach a sink, returning a shared handle for later inspection
+    /// (e.g. reading a ring buffer or dumping metrics after the run).
+    ///
+    /// On a disabled tracer the sink is still returned but will never
+    /// receive events.
+    pub fn attach<S: TraceSink + Send + 'static>(&self, sink: S) -> Arc<Mutex<S>> {
+        let shared = Arc::new(Mutex::new(sink));
+        self.add_sink(shared.clone());
+        shared
+    }
+
+    /// Attach an already-shared sink.
+    pub fn add_sink(&self, sink: SharedSink) {
+        if let Some(inner) = &self.inner {
+            inner.sinks.lock().unwrap().push(sink);
+        }
+    }
+
+    /// Advance the shared virtual clock (nanoseconds since the
+    /// simulation epoch). Called by whoever owns time — the mission
+    /// engine — so that emission sites without a time parameter stamp
+    /// correctly.
+    pub fn set_time_ns(&self, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.clock_ns.store(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// The current virtual time (0 when disabled).
+    pub fn time_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock_ns.load(Ordering::Relaxed))
+    }
+
+    /// Emit an event stamped with the shared clock.
+    pub fn emit(&self, event: TraceEvent) {
+        if self.inner.is_some() {
+            let t_ns = self.time_ns();
+            self.emit_record(t_ns, event);
+        }
+    }
+
+    /// Emit an event stamped with an explicit virtual time — for call
+    /// sites that already receive `now` as a parameter.
+    pub fn emit_at(&self, t_ns: u64, event: TraceEvent) {
+        if self.inner.is_some() {
+            self.emit_record(t_ns, event);
+        }
+    }
+
+    /// Emit lazily: the event (and any `String` it allocates) is only
+    /// built when the tracer is enabled. Use on hot paths.
+    pub fn emit_with<F: FnOnce() -> TraceEvent>(&self, f: F) {
+        if self.inner.is_some() {
+            let t_ns = self.time_ns();
+            self.emit_record(t_ns, f());
+        }
+    }
+
+    /// Like [`Tracer::emit_with`] with an explicit timestamp.
+    pub fn emit_with_at<F: FnOnce() -> TraceEvent>(&self, t_ns: u64, f: F) {
+        if self.inner.is_some() {
+            self.emit_record(t_ns, f());
+        }
+    }
+
+    fn emit_record(&self, t_ns: u64, event: TraceEvent) {
+        let inner = self.inner.as_ref().expect("checked by callers");
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        let rec = TraceRecord { t_ns, seq, event };
+        for sink in inner.sinks.lock().unwrap().iter() {
+            sink.lock().unwrap().record(&rec);
+        }
+    }
+
+    /// Flush every attached sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in inner.sinks.lock().unwrap().iter() {
+                sink.lock().unwrap().flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_a_cheap_noop() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.set_time_ns(5);
+        assert_eq!(t.time_ns(), 0);
+        t.emit(TraceEvent::MigrationAbort);
+        t.emit_with(|| panic!("must not be built"));
+        t.flush();
+    }
+
+    #[test]
+    fn clones_share_clock_and_sinks() {
+        let a = Tracer::enabled();
+        let b = a.clone();
+        let ring = a.attach(RingBufferSink::new(8));
+        b.set_time_ns(42);
+        assert_eq!(a.time_ns(), 42);
+        b.emit(TraceEvent::NetSwitch { to_remote: true });
+        a.emit(TraceEvent::NetSwitch { to_remote: false });
+        let ring = ring.lock().unwrap();
+        let recs: Vec<_> = ring.records().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].t_ns, 42);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[1].seq, 1);
+    }
+
+    #[test]
+    fn emit_at_overrides_the_clock() {
+        let t = Tracer::enabled();
+        let ring = t.attach(RingBufferSink::new(4));
+        t.set_time_ns(100);
+        t.emit_at(7, TraceEvent::MigrationAbort);
+        assert_eq!(ring.lock().unwrap().records().next().unwrap().t_ns, 7);
+    }
+
+    #[test]
+    fn multiple_sinks_all_see_the_stream() {
+        let t = Tracer::enabled();
+        let ring = t.attach(RingBufferSink::new(4));
+        let metrics = t.attach(MetricsRegistry::new());
+        t.emit(TraceEvent::RttSample { rtt_ns: 1_000_000 });
+        assert_eq!(ring.lock().unwrap().len(), 1);
+        assert_eq!(metrics.lock().unwrap().counter("events.rtt_sample"), 1);
+    }
+}

@@ -10,6 +10,7 @@
 //! the heavier simulation substrates build on top of it.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod angle;
 pub mod error;

@@ -80,7 +80,7 @@ pub struct PoseEstimate {
     pub stamp: SimTime,
     /// Estimated pose in the map frame.
     pub pose: Pose2D,
-    /// Scalar confidence in [0, 1] (1 = fully converged).
+    /// Scalar confidence in `[0, 1]` (1 = fully converged).
     pub confidence: f64,
 }
 

@@ -56,7 +56,7 @@ impl SimRng {
         self.inner.random_range(0..n)
     }
 
-    /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
         if p <= 0.0 {

@@ -3,18 +3,58 @@
 //!
 //! ```bash
 //! cargo run --release --example quickstart
+//! # with a structured event trace (see docs/OBSERVABILITY.md):
+//! cargo run --release --example quickstart -- --trace /tmp/mission.jsonl
 //! ```
 
 use cloud_lgv::offload::deploy::Deployment;
 use cloud_lgv::offload::mission::{self, MissionConfig};
+use cloud_lgv::trace::{JsonlSink, MetricsRegistry, Tracer};
+
+/// `--trace <path>` from the command line, if present.
+fn trace_path_from_args() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            let path = args.next();
+            if path.is_none() {
+                eprintln!("error: --trace requires a file path");
+                std::process::exit(2);
+            }
+            return path;
+        }
+    }
+    None
+}
 
 fn main() {
+    // Optional observability: `--trace <path>` streams every mission
+    // event as one JSON line stamped with virtual time, and aggregates
+    // the same stream into a metrics registry.
+    let trace_path = trace_path_from_args();
+    let tracer = match &trace_path {
+        Some(path) => {
+            let sink = match JsonlSink::create(path) {
+                Ok(sink) => sink,
+                Err(e) => {
+                    eprintln!("error: cannot create trace file {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let tracer = Tracer::enabled();
+            tracer.attach(sink);
+            tracer
+        }
+        None => Tracer::disabled(),
+    };
+    let metrics = tracer.is_enabled().then(|| tracer.attach(MetricsRegistry::new()));
+
     // The paper's lab navigation workload, offloaded to the edge
     // gateway with 8-thread parallelization (the best Fig. 13 case).
     let config = MissionConfig::navigation_lab(Deployment::edge_8t());
     println!("running navigation mission on deployment `{}` ...", config.deployment.label);
 
-    let report = mission::run(config);
+    let report = mission::run_traced(config, tracer);
 
     println!();
     println!("completed : {} ({})", report.completed, report.reason);
@@ -29,4 +69,12 @@ fn main() {
     println!();
     println!("energy breakdown (Eq. 1a):");
     println!("{}", report.energy);
+
+    if let Some(metrics) = metrics {
+        println!();
+        println!("metrics aggregated from the trace stream:");
+        print!("{}", metrics.lock().unwrap().dump());
+        println!();
+        println!("trace written to {}", trace_path.unwrap());
+    }
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Documentation gate: the API docs must build without a single rustdoc
+# warning (broken intra-doc links are denied per-crate, everything else
+# via RUSTDOCFLAGS), and every doctest must pass.
+#
+# Usage: ./scripts/check_docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo doc (warnings denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo
+echo "== cargo test --doc =="
+cargo test --doc --workspace
+
+echo
+echo "docs OK"

@@ -5,12 +5,16 @@
 //! Re-exports the public API of every workspace crate; see the README
 //! and `DESIGN.md` for the architecture.
 
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use lgv_middleware as middleware;
 pub use lgv_nav as nav;
 pub use lgv_net as net;
 pub use lgv_offload as offload;
 pub use lgv_sim as sim;
 pub use lgv_slam as slam;
+pub use lgv_trace as trace;
 pub use lgv_types as types;
 
 pub use lgv_types::prelude;

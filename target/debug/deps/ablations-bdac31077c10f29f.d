@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-bdac31077c10f29f.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-bdac31077c10f29f: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-c8e7563065886175.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-c8e7563065886175: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

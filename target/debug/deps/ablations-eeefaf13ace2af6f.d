@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-eeefaf13ace2af6f.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-eeefaf13ace2af6f: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

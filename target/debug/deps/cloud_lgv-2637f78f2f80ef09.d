@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cloud_lgv-2637f78f2f80ef09.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcloud_lgv-2637f78f2f80ef09.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcloud_lgv-2637f78f2f80ef09.rmeta: src/lib.rs
+
+src/lib.rs:

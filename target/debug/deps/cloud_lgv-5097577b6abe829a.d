@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cloud_lgv-5097577b6abe829a.d: src/lib.rs
+
+/root/repo/target/debug/deps/cloud_lgv-5097577b6abe829a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cloud_lgv-cf6f15036c1f3a0a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcloud_lgv-cf6f15036c1f3a0a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcloud_lgv-cf6f15036c1f3a0a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-0b6141f738b7d193.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0b6141f738b7d193.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0b6141f738b7d193.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-ec8537ae32f02706.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-ec8537ae32f02706: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_deadzone-6de2b9e30bd83aeb.d: crates/bench/src/bin/debug_deadzone.rs
+
+/root/repo/target/debug/deps/debug_deadzone-6de2b9e30bd83aeb: crates/bench/src/bin/debug_deadzone.rs
+
+crates/bench/src/bin/debug_deadzone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_deadzone-9b2c17ba279aa432.d: crates/bench/src/bin/debug_deadzone.rs
+
+/root/repo/target/debug/deps/debug_deadzone-9b2c17ba279aa432: crates/bench/src/bin/debug_deadzone.rs
+
+crates/bench/src/bin/debug_deadzone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_deadzone-b846a2f497b9d9f4.d: crates/bench/src/bin/debug_deadzone.rs
+
+/root/repo/target/debug/deps/debug_deadzone-b846a2f497b9d9f4: crates/bench/src/bin/debug_deadzone.rs
+
+crates/bench/src/bin/debug_deadzone.rs:

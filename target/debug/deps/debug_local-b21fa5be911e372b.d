@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_local-b21fa5be911e372b.d: crates/bench/src/bin/debug_local.rs
+
+/root/repo/target/debug/deps/debug_local-b21fa5be911e372b: crates/bench/src/bin/debug_local.rs
+
+crates/bench/src/bin/debug_local.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_local-b6021f2d061fc24e.d: crates/bench/src/bin/debug_local.rs
+
+/root/repo/target/debug/deps/debug_local-b6021f2d061fc24e: crates/bench/src/bin/debug_local.rs
+
+crates/bench/src/bin/debug_local.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_local-e37089edb6a08eb7.d: crates/bench/src/bin/debug_local.rs
+
+/root/repo/target/debug/deps/debug_local-e37089edb6a08eb7: crates/bench/src/bin/debug_local.rs
+
+crates/bench/src/bin/debug_local.rs:

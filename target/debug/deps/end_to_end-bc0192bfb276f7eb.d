@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-bc0192bfb276f7eb.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-bc0192bfb276f7eb: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_integration-be066695b764e106.d: crates/sim/tests/energy_integration.rs
+
+/root/repo/target/debug/deps/energy_integration-be066695b764e106: crates/sim/tests/energy_integration.rs
+
+crates/sim/tests/energy_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-d6e8aa2c2d38bc27.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-d6e8aa2c2d38bc27: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-074927e8e6722e51.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-074927e8e6722e51: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

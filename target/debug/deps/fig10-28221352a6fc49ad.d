@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-28221352a6fc49ad.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-28221352a6fc49ad: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

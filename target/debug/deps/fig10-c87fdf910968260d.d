@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c87fdf910968260d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c87fdf910968260d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-12f241f4b1695d18.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-12f241f4b1695d18: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-19a3257c13fe0c4d.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-19a3257c13fe0c4d: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-b9c5db620b1bf68b.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-b9c5db620b1bf68b: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

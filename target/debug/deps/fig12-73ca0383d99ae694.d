@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-73ca0383d99ae694.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-73ca0383d99ae694: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

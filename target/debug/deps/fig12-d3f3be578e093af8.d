@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-d3f3be578e093af8.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-d3f3be578e093af8: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

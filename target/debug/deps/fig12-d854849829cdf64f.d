@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-d854849829cdf64f.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-d854849829cdf64f: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

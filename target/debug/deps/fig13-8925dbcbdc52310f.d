@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-8925dbcbdc52310f.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-8925dbcbdc52310f: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

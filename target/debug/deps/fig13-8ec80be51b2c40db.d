@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-8ec80be51b2c40db.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-8ec80be51b2c40db: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-de12287d5a92a081.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-de12287d5a92a081: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-236ad278f07805ea.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-236ad278f07805ea: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-517631f4f4fdec6c.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-517631f4f4fdec6c: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

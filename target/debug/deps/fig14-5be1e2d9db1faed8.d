@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-5be1e2d9db1faed8.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-5be1e2d9db1faed8: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

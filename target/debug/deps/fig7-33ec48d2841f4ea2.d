@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-33ec48d2841f4ea2.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-33ec48d2841f4ea2: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3fff50c855373024.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-3fff50c855373024: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

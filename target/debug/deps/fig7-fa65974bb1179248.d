@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-fa65974bb1179248.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-fa65974bb1179248: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

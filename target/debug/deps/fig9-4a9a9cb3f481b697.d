@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-4a9a9cb3f481b697.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-4a9a9cb3f481b697: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-6ea006c288c35706.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-6ea006c288c35706: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

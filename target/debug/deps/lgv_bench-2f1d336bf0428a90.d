@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lgv_bench-2f1d336bf0428a90.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblgv_bench-2f1d336bf0428a90.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lgv_bench-7b52abd149f5a080.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblgv_bench-7b52abd149f5a080.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblgv_bench-7b52abd149f5a080.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lgv_bench-8c86cf687192ee0c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/lgv_bench-8c86cf687192ee0c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

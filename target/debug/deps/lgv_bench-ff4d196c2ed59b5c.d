@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lgv_bench-ff4d196c2ed59b5c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblgv_bench-ff4d196c2ed59b5c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/liblgv_bench-ff4d196c2ed59b5c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

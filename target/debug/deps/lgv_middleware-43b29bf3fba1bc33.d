@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgv_middleware-43b29bf3fba1bc33.d: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+/root/repo/target/debug/deps/liblgv_middleware-43b29bf3fba1bc33.rlib: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+/root/repo/target/debug/deps/liblgv_middleware-43b29bf3fba1bc33.rmeta: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/bus.rs:
+crates/middleware/src/codec.rs:
+crates/middleware/src/service.rs:
+crates/middleware/src/switcher.rs:
+crates/middleware/src/topic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgv_middleware-50b171bdb2c6f008.d: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+/root/repo/target/debug/deps/lgv_middleware-50b171bdb2c6f008: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/bus.rs:
+crates/middleware/src/codec.rs:
+crates/middleware/src/service.rs:
+crates/middleware/src/switcher.rs:
+crates/middleware/src/topic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgv_middleware-7b105120f25a8c91.d: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+/root/repo/target/debug/deps/liblgv_middleware-7b105120f25a8c91.rlib: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+/root/repo/target/debug/deps/liblgv_middleware-7b105120f25a8c91.rmeta: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/bus.rs:
+crates/middleware/src/codec.rs:
+crates/middleware/src/service.rs:
+crates/middleware/src/switcher.rs:
+crates/middleware/src/topic.rs:

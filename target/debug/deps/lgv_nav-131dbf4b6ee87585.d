@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lgv_nav-131dbf4b6ee87585.d: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+/root/repo/target/debug/deps/liblgv_nav-131dbf4b6ee87585.rlib: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+/root/repo/target/debug/deps/liblgv_nav-131dbf4b6ee87585.rmeta: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/amcl.rs:
+crates/nav/src/costmap.rs:
+crates/nav/src/dwa.rs:
+crates/nav/src/frontier.rs:
+crates/nav/src/global_planner.rs:
+crates/nav/src/velocity_mux.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lgv_nav-c70b9744d44a0015.d: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+/root/repo/target/debug/deps/lgv_nav-c70b9744d44a0015: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/amcl.rs:
+crates/nav/src/costmap.rs:
+crates/nav/src/dwa.rs:
+crates/nav/src/frontier.rs:
+crates/nav/src/global_planner.rs:
+crates/nav/src/velocity_mux.rs:

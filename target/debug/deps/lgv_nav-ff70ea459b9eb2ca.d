@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lgv_nav-ff70ea459b9eb2ca.d: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+/root/repo/target/debug/deps/liblgv_nav-ff70ea459b9eb2ca.rmeta: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/amcl.rs:
+crates/nav/src/costmap.rs:
+crates/nav/src/dwa.rs:
+crates/nav/src/frontier.rs:
+crates/nav/src/global_planner.rs:
+crates/nav/src/velocity_mux.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgv_net-62c438d68cb0de93.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+/root/repo/target/debug/deps/lgv_net-62c438d68cb0de93: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/link.rs:
+crates/net/src/measure.rs:
+crates/net/src/signal.rs:
+crates/net/src/tcp.rs:

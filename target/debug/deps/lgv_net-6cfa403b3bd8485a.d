@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgv_net-6cfa403b3bd8485a.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+/root/repo/target/debug/deps/liblgv_net-6cfa403b3bd8485a.rlib: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+/root/repo/target/debug/deps/liblgv_net-6cfa403b3bd8485a.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/link.rs:
+crates/net/src/measure.rs:
+crates/net/src/signal.rs:
+crates/net/src/tcp.rs:

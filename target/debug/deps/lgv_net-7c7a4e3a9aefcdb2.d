@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgv_net-7c7a4e3a9aefcdb2.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+/root/repo/target/debug/deps/liblgv_net-7c7a4e3a9aefcdb2.rlib: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+/root/repo/target/debug/deps/liblgv_net-7c7a4e3a9aefcdb2.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/link.rs:
+crates/net/src/measure.rs:
+crates/net/src/signal.rs:
+crates/net/src/tcp.rs:

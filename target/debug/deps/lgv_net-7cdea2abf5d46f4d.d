@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgv_net-7cdea2abf5d46f4d.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+/root/repo/target/debug/deps/liblgv_net-7cdea2abf5d46f4d.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/link.rs:
+crates/net/src/measure.rs:
+crates/net/src/signal.rs:
+crates/net/src/tcp.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lgv_offload-a80699798a8484a3.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/controller.rs crates/core/src/deploy.rs crates/core/src/governor.rs crates/core/src/migration.rs crates/core/src/mission.rs crates/core/src/model.rs crates/core/src/netctl.rs crates/core/src/profiler.rs crates/core/src/strategy.rs
+
+/root/repo/target/debug/deps/liblgv_offload-a80699798a8484a3.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/controller.rs crates/core/src/deploy.rs crates/core/src/governor.rs crates/core/src/migration.rs crates/core/src/mission.rs crates/core/src/model.rs crates/core/src/netctl.rs crates/core/src/profiler.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/controller.rs:
+crates/core/src/deploy.rs:
+crates/core/src/governor.rs:
+crates/core/src/migration.rs:
+crates/core/src/mission.rs:
+crates/core/src/model.rs:
+crates/core/src/netctl.rs:
+crates/core/src/profiler.rs:
+crates/core/src/strategy.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lgv_sim-4cc5f69244462b68.d: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/energy.rs crates/sim/src/lidar.rs crates/sim/src/platform.rs crates/sim/src/power.rs crates/sim/src/vehicle.rs crates/sim/src/world.rs crates/sim/src/world/generator.rs crates/sim/src/world/presets.rs
+
+/root/repo/target/debug/deps/liblgv_sim-4cc5f69244462b68.rlib: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/energy.rs crates/sim/src/lidar.rs crates/sim/src/platform.rs crates/sim/src/power.rs crates/sim/src/vehicle.rs crates/sim/src/world.rs crates/sim/src/world/generator.rs crates/sim/src/world/presets.rs
+
+/root/repo/target/debug/deps/liblgv_sim-4cc5f69244462b68.rmeta: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/energy.rs crates/sim/src/lidar.rs crates/sim/src/platform.rs crates/sim/src/power.rs crates/sim/src/vehicle.rs crates/sim/src/world.rs crates/sim/src/world/generator.rs crates/sim/src/world/presets.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/battery.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/lidar.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/power.rs:
+crates/sim/src/vehicle.rs:
+crates/sim/src/world.rs:
+crates/sim/src/world/generator.rs:
+crates/sim/src/world/presets.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lgv_sim-e0f8051ace644f92.d: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/energy.rs crates/sim/src/lidar.rs crates/sim/src/platform.rs crates/sim/src/power.rs crates/sim/src/vehicle.rs crates/sim/src/world.rs crates/sim/src/world/generator.rs crates/sim/src/world/presets.rs
+
+/root/repo/target/debug/deps/liblgv_sim-e0f8051ace644f92.rmeta: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/energy.rs crates/sim/src/lidar.rs crates/sim/src/platform.rs crates/sim/src/power.rs crates/sim/src/vehicle.rs crates/sim/src/world.rs crates/sim/src/world/generator.rs crates/sim/src/world/presets.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/battery.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/lidar.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/power.rs:
+crates/sim/src/vehicle.rs:
+crates/sim/src/world.rs:
+crates/sim/src/world/generator.rs:
+crates/sim/src/world/presets.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lgv_sim-f5093dde8894faee.d: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/energy.rs crates/sim/src/lidar.rs crates/sim/src/platform.rs crates/sim/src/power.rs crates/sim/src/vehicle.rs crates/sim/src/world.rs crates/sim/src/world/generator.rs crates/sim/src/world/presets.rs
+
+/root/repo/target/debug/deps/lgv_sim-f5093dde8894faee: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/energy.rs crates/sim/src/lidar.rs crates/sim/src/platform.rs crates/sim/src/power.rs crates/sim/src/vehicle.rs crates/sim/src/world.rs crates/sim/src/world/generator.rs crates/sim/src/world/presets.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/battery.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/lidar.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/power.rs:
+crates/sim/src/vehicle.rs:
+crates/sim/src/world.rs:
+crates/sim/src/world/generator.rs:
+crates/sim/src/world/presets.rs:

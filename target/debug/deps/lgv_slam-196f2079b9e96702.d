@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lgv_slam-196f2079b9e96702.d: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+/root/repo/target/debug/deps/liblgv_slam-196f2079b9e96702.rlib: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+/root/repo/target/debug/deps/liblgv_slam-196f2079b9e96702.rmeta: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+crates/slam/src/lib.rs:
+crates/slam/src/map.rs:
+crates/slam/src/motion.rs:
+crates/slam/src/pool.rs:
+crates/slam/src/rbpf.rs:
+crates/slam/src/scan_match.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgv_slam-24f94b00f5db67a0.d: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+/root/repo/target/debug/deps/lgv_slam-24f94b00f5db67a0: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+crates/slam/src/lib.rs:
+crates/slam/src/map.rs:
+crates/slam/src/motion.rs:
+crates/slam/src/pool.rs:
+crates/slam/src/rbpf.rs:
+crates/slam/src/scan_match.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lgv_trace-2eb60e71c42425ac.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/liblgv_trace-2eb60e71c42425ac.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lgv_trace-c4c2e445060c8a3c.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/lgv_trace-c4c2e445060c8a3c: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lgv_trace-c9dcbd6a5240a242.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/liblgv_trace-c9dcbd6a5240a242.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/liblgv_trace-c9dcbd6a5240a242.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lgv_types-50e29cddb97c7c14.d: crates/types/src/lib.rs crates/types/src/angle.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/grid.rs crates/types/src/msg.rs crates/types/src/node.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs crates/types/src/work.rs
+
+/root/repo/target/debug/deps/liblgv_types-50e29cddb97c7c14.rlib: crates/types/src/lib.rs crates/types/src/angle.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/grid.rs crates/types/src/msg.rs crates/types/src/node.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs crates/types/src/work.rs
+
+/root/repo/target/debug/deps/liblgv_types-50e29cddb97c7c14.rmeta: crates/types/src/lib.rs crates/types/src/angle.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/grid.rs crates/types/src/msg.rs crates/types/src/node.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs crates/types/src/work.rs
+
+crates/types/src/lib.rs:
+crates/types/src/angle.rs:
+crates/types/src/error.rs:
+crates/types/src/geometry.rs:
+crates/types/src/grid.rs:
+crates/types/src/msg.rs:
+crates/types/src/node.rs:
+crates/types/src/rng.rs:
+crates/types/src/stats.rs:
+crates/types/src/time.rs:
+crates/types/src/work.rs:

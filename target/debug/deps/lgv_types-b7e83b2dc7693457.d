@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lgv_types-b7e83b2dc7693457.d: crates/types/src/lib.rs crates/types/src/angle.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/grid.rs crates/types/src/msg.rs crates/types/src/node.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs crates/types/src/work.rs
+
+/root/repo/target/debug/deps/lgv_types-b7e83b2dc7693457: crates/types/src/lib.rs crates/types/src/angle.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/grid.rs crates/types/src/msg.rs crates/types/src/node.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs crates/types/src/work.rs
+
+crates/types/src/lib.rs:
+crates/types/src/angle.rs:
+crates/types/src/error.rs:
+crates/types/src/geometry.rs:
+crates/types/src/grid.rs:
+crates/types/src/msg.rs:
+crates/types/src/node.rs:
+crates/types/src/rng.rs:
+crates/types/src/stats.rs:
+crates/types/src/time.rs:
+crates/types/src/work.rs:

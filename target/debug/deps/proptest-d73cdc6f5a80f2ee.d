@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-d73cdc6f5a80f2ee.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs crates/shims/proptest/src/arbitrary.rs
+
+/root/repo/target/debug/deps/proptest-d73cdc6f5a80f2ee: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs crates/shims/proptest/src/arbitrary.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/strategy.rs:
+crates/shims/proptest/src/test_runner.rs:
+crates/shims/proptest/src/arbitrary.rs:

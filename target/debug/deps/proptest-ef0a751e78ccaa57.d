@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-ef0a751e78ccaa57.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs crates/shims/proptest/src/arbitrary.rs
+
+/root/repo/target/debug/deps/libproptest-ef0a751e78ccaa57.rlib: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs crates/shims/proptest/src/arbitrary.rs
+
+/root/repo/target/debug/deps/libproptest-ef0a751e78ccaa57.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs crates/shims/proptest/src/arbitrary.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/strategy.rs:
+crates/shims/proptest/src/test_runner.rs:
+crates/shims/proptest/src/arbitrary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1fb52db25be00eff.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1fb52db25be00eff: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

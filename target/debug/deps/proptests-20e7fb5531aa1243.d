@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-20e7fb5531aa1243.d: crates/slam/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-20e7fb5531aa1243: crates/slam/tests/proptests.rs
+
+crates/slam/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-2f0e0bb44d352cbc.d: crates/types/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-2f0e0bb44d352cbc: crates/types/tests/proptests.rs
+
+crates/types/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3f5c862b14eaa0d3.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3f5c862b14eaa0d3: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

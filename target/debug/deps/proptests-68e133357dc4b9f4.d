@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-68e133357dc4b9f4.d: crates/middleware/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-68e133357dc4b9f4: crates/middleware/tests/proptests.rs
+
+crates/middleware/tests/proptests.rs:

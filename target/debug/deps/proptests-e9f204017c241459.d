@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e9f204017c241459.d: crates/net/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e9f204017c241459: crates/net/tests/proptests.rs
+
+crates/net/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ee7cb55477c0fd28.d: crates/nav/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ee7cb55477c0fd28: crates/nav/tests/proptests.rs
+
+crates/nav/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2c1d2b7863f12db8.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-2c1d2b7863f12db8: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

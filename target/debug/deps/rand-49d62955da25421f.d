@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-49d62955da25421f.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-49d62955da25421f.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-49d62955da25421f.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

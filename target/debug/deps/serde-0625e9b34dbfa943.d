@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-0625e9b34dbfa943.d: crates/shims/serde/src/lib.rs crates/shims/serde/src/de.rs crates/shims/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-0625e9b34dbfa943.rlib: crates/shims/serde/src/lib.rs crates/shims/serde/src/de.rs crates/shims/serde/src/ser.rs
+
+/root/repo/target/debug/deps/libserde-0625e9b34dbfa943.rmeta: crates/shims/serde/src/lib.rs crates/shims/serde/src/de.rs crates/shims/serde/src/ser.rs
+
+crates/shims/serde/src/lib.rs:
+crates/shims/serde/src/de.rs:
+crates/shims/serde/src/ser.rs:

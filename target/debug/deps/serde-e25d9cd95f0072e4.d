@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-e25d9cd95f0072e4.d: crates/shims/serde/src/lib.rs crates/shims/serde/src/de.rs crates/shims/serde/src/ser.rs
+
+/root/repo/target/debug/deps/serde-e25d9cd95f0072e4: crates/shims/serde/src/lib.rs crates/shims/serde/src/de.rs crates/shims/serde/src/ser.rs
+
+crates/shims/serde/src/lib.rs:
+crates/shims/serde/src/de.rs:
+crates/shims/serde/src/ser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_integration-b12a3fa7ffd3b129.d: tests/stack_integration.rs
+
+/root/repo/target/debug/deps/stack_integration-b12a3fa7ffd3b129: tests/stack_integration.rs
+
+tests/stack_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-288fa3888d200ac6.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-288fa3888d200ac6: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

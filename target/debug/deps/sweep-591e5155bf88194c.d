@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-591e5155bf88194c.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-591e5155bf88194c: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

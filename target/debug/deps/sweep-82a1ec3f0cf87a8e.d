@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-82a1ec3f0cf87a8e.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-82a1ec3f0cf87a8e: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-41ed2d17d934ac85.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-41ed2d17d934ac85: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

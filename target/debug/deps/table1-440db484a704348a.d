@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-440db484a704348a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-440db484a704348a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-988714ef078a3900.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-988714ef078a3900: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3c45aab8d283216c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3c45aab8d283216c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

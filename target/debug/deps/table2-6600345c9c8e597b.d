@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-6600345c9c8e597b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-6600345c9c8e597b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

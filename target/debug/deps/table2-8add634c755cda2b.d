@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8add634c755cda2b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-8add634c755cda2b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_observability-238b736b0f8a4e37.d: tests/trace_observability.rs
+
+/root/repo/target/debug/deps/trace_observability-238b736b0f8a4e37: tests/trace_observability.rs
+
+tests/trace_observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_network-bf62deb7d428c701.d: examples/adaptive_network.rs
+
+/root/repo/target/debug/examples/adaptive_network-bf62deb7d428c701: examples/adaptive_network.rs
+
+examples/adaptive_network.rs:

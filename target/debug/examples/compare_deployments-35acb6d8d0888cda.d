@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compare_deployments-35acb6d8d0888cda.d: examples/compare_deployments.rs
+
+/root/repo/target/debug/examples/compare_deployments-35acb6d8d0888cda: examples/compare_deployments.rs
+
+examples/compare_deployments.rs:

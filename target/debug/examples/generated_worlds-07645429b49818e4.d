@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/generated_worlds-07645429b49818e4.d: examples/generated_worlds.rs
+
+/root/repo/target/debug/examples/generated_worlds-07645429b49818e4: examples/generated_worlds.rs
+
+examples/generated_worlds.rs:

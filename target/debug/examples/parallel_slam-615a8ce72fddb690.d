@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_slam-615a8ce72fddb690.d: examples/parallel_slam.rs
+
+/root/repo/target/debug/examples/parallel_slam-615a8ce72fddb690: examples/parallel_slam.rs
+
+examples/parallel_slam.rs:

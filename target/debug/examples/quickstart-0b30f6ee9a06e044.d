@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0b30f6ee9a06e044.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0b30f6ee9a06e044: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/liblgv_trace.rlib: /root/repo/crates/trace/src/event.rs /root/repo/crates/trace/src/lib.rs /root/repo/crates/trace/src/metrics.rs /root/repo/crates/trace/src/sink.rs

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["lgv_middleware",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"lgv_middleware/codec/struct.CodecError.html\" title=\"struct lgv_middleware::codec::CodecError\">CodecError</a>",0]]],["lgv_types",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"lgv_types/error/enum.LgvError.html\" title=\"enum lgv_types::error::LgvError\">LgvError</a>",0]]],["serde",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"struct\" href=\"serde/de/value/struct.Error.html\" title=\"struct serde::de::value::Error\">Error</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[308,282,274]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["lgv_types",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/collect/trait.FromIterator.html\" title=\"trait core::iter::traits::collect::FromIterator\">FromIterator</a>&lt;<a class=\"enum\" href=\"lgv_types/node/enum.NodeKind.html\" title=\"enum lgv_types::node::NodeKind\">NodeKind</a>&gt; for <a class=\"struct\" href=\"lgv_types/node/struct.NodeSet.html\" title=\"struct lgv_types::node::NodeSet\">NodeSet</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[455]}

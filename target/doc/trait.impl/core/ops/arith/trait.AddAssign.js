@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["lgv_types",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.AddAssign.html\" title=\"trait core::ops::arith::AddAssign\">AddAssign</a> for <a class=\"struct\" href=\"lgv_types/time/struct.Duration.html\" title=\"struct lgv_types::time::Duration\">Duration</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.AddAssign.html\" title=\"trait core::ops::arith::AddAssign\">AddAssign</a> for <a class=\"struct\" href=\"lgv_types/work/struct.Work.html\" title=\"struct lgv_types::work::Work\">Work</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.AddAssign.html\" title=\"trait core::ops::arith::AddAssign\">AddAssign</a>&lt;<a class=\"struct\" href=\"lgv_types/time/struct.Duration.html\" title=\"struct lgv_types::time::Duration\">Duration</a>&gt; for <a class=\"struct\" href=\"lgv_types/time/struct.SimTime.html\" title=\"struct lgv_types::time::SimTime\">SimTime</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[1001]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["lgv_types",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Neg.html\" title=\"trait core::ops::arith::Neg\">Neg</a> for <a class=\"struct\" href=\"lgv_types/angle/struct.Angle.html\" title=\"struct lgv_types::angle::Angle\">Angle</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.Neg.html\" title=\"trait core::ops::arith::Neg\">Neg</a> for <a class=\"struct\" href=\"lgv_types/geometry/struct.Vec2.html\" title=\"struct lgv_types::geometry::Vec2\">Vec2</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[550]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["proptest",[["impl Rng for <a class=\"struct\" href=\"proptest/test_runner/struct.TestRng.html\" title=\"struct proptest::test_runner::TestRng\">TestRng</a>",0]]],["rand",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[163,12]}

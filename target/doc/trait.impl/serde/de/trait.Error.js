@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["lgv_middleware",[["impl Error for <a class=\"struct\" href=\"lgv_middleware/codec/struct.CodecError.html\" title=\"struct lgv_middleware::codec::CodecError\">CodecError</a>",0]]],["serde",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[180,13]}

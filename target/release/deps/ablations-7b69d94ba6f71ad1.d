@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-7b69d94ba6f71ad1.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-7b69d94ba6f71ad1: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-5677ffea4e5e8f75.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-5677ffea4e5e8f75: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cloud_lgv-1477539f4ee0ba25.d: src/lib.rs
+
+/root/repo/target/release/deps/libcloud_lgv-1477539f4ee0ba25.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcloud_lgv-1477539f4ee0ba25.rmeta: src/lib.rs
+
+src/lib.rs:

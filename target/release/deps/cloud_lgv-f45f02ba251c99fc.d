@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cloud_lgv-f45f02ba251c99fc.d: src/lib.rs
+
+/root/repo/target/release/deps/cloud_lgv-f45f02ba251c99fc: src/lib.rs
+
+src/lib.rs:

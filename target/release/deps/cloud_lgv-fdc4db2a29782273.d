@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cloud_lgv-fdc4db2a29782273.d: src/lib.rs
+
+/root/repo/target/release/deps/libcloud_lgv-fdc4db2a29782273.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcloud_lgv-fdc4db2a29782273.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-0b7bc2120589e043.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-0b7bc2120589e043: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b3d84d8c190bfdfe.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b3d84d8c190bfdfe.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b3d84d8c190bfdfe.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

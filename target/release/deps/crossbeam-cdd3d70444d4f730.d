@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-cdd3d70444d4f730.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-cdd3d70444d4f730: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

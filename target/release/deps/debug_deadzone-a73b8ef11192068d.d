@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_deadzone-a73b8ef11192068d.d: crates/bench/src/bin/debug_deadzone.rs
+
+/root/repo/target/release/deps/debug_deadzone-a73b8ef11192068d: crates/bench/src/bin/debug_deadzone.rs
+
+crates/bench/src/bin/debug_deadzone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/debug_local-62966fe504c9b702.d: crates/bench/src/bin/debug_local.rs
+
+/root/repo/target/release/deps/debug_local-62966fe504c9b702: crates/bench/src/bin/debug_local.rs
+
+crates/bench/src/bin/debug_local.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-3ea14be7837bcc69.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-3ea14be7837bcc69: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/energy_integration-e3faa8d4f9382fb6.d: crates/sim/tests/energy_integration.rs
+
+/root/repo/target/release/deps/energy_integration-e3faa8d4f9382fb6: crates/sim/tests/energy_integration.rs
+
+crates/sim/tests/energy_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-144d5c7b940bbcf2.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-144d5c7b940bbcf2: tests/failure_injection.rs
+
+tests/failure_injection.rs:

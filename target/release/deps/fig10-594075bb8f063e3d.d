@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-594075bb8f063e3d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-594075bb8f063e3d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

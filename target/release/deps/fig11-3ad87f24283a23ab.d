@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-3ad87f24283a23ab.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-3ad87f24283a23ab: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

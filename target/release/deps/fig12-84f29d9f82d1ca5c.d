@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-84f29d9f82d1ca5c.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-84f29d9f82d1ca5c: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-c98739ea0255189f.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-c98739ea0255189f: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-d68f0ef9cb13d323.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-d68f0ef9cb13d323: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-5162274a8b2c2113.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-5162274a8b2c2113: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

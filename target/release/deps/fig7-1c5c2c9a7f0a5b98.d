@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-1c5c2c9a7f0a5b98.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-1c5c2c9a7f0a5b98: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

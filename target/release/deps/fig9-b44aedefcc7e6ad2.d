@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-b44aedefcc7e6ad2.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-b44aedefcc7e6ad2: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lgv_bench-324661d994755ca8.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/lgv_bench-324661d994755ca8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

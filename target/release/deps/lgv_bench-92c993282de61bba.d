@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lgv_bench-92c993282de61bba.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblgv_bench-92c993282de61bba.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblgv_bench-92c993282de61bba.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lgv_bench-ab2117b9c31e8602.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblgv_bench-ab2117b9c31e8602.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/liblgv_bench-ab2117b9c31e8602.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lgv_middleware-39ff6250817968d0.d: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+/root/repo/target/release/deps/liblgv_middleware-39ff6250817968d0.rlib: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+/root/repo/target/release/deps/liblgv_middleware-39ff6250817968d0.rmeta: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/bus.rs:
+crates/middleware/src/codec.rs:
+crates/middleware/src/service.rs:
+crates/middleware/src/switcher.rs:
+crates/middleware/src/topic.rs:

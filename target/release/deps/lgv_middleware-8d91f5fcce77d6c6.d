@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lgv_middleware-8d91f5fcce77d6c6.d: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+/root/repo/target/release/deps/liblgv_middleware-8d91f5fcce77d6c6.rlib: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+/root/repo/target/release/deps/liblgv_middleware-8d91f5fcce77d6c6.rmeta: crates/middleware/src/lib.rs crates/middleware/src/bus.rs crates/middleware/src/codec.rs crates/middleware/src/service.rs crates/middleware/src/switcher.rs crates/middleware/src/topic.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/bus.rs:
+crates/middleware/src/codec.rs:
+crates/middleware/src/service.rs:
+crates/middleware/src/switcher.rs:
+crates/middleware/src/topic.rs:

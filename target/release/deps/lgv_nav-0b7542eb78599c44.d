@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/lgv_nav-0b7542eb78599c44.d: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+/root/repo/target/release/deps/lgv_nav-0b7542eb78599c44: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/amcl.rs:
+crates/nav/src/costmap.rs:
+crates/nav/src/dwa.rs:
+crates/nav/src/frontier.rs:
+crates/nav/src/global_planner.rs:
+crates/nav/src/velocity_mux.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lgv_nav-cf54c84dd43ed835.d: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+/root/repo/target/release/deps/liblgv_nav-cf54c84dd43ed835.rlib: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+/root/repo/target/release/deps/liblgv_nav-cf54c84dd43ed835.rmeta: crates/nav/src/lib.rs crates/nav/src/amcl.rs crates/nav/src/costmap.rs crates/nav/src/dwa.rs crates/nav/src/frontier.rs crates/nav/src/global_planner.rs crates/nav/src/velocity_mux.rs
+
+crates/nav/src/lib.rs:
+crates/nav/src/amcl.rs:
+crates/nav/src/costmap.rs:
+crates/nav/src/dwa.rs:
+crates/nav/src/frontier.rs:
+crates/nav/src/global_planner.rs:
+crates/nav/src/velocity_mux.rs:

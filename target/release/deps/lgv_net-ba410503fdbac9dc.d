@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lgv_net-ba410503fdbac9dc.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+/root/repo/target/release/deps/lgv_net-ba410503fdbac9dc: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/link.rs crates/net/src/measure.rs crates/net/src/signal.rs crates/net/src/tcp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/channel.rs:
+crates/net/src/link.rs:
+crates/net/src/measure.rs:
+crates/net/src/signal.rs:
+crates/net/src/tcp.rs:

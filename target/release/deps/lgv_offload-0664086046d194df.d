@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/lgv_offload-0664086046d194df.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/controller.rs crates/core/src/deploy.rs crates/core/src/governor.rs crates/core/src/migration.rs crates/core/src/mission.rs crates/core/src/model.rs crates/core/src/netctl.rs crates/core/src/profiler.rs crates/core/src/strategy.rs
+
+/root/repo/target/release/deps/liblgv_offload-0664086046d194df.rlib: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/controller.rs crates/core/src/deploy.rs crates/core/src/governor.rs crates/core/src/migration.rs crates/core/src/mission.rs crates/core/src/model.rs crates/core/src/netctl.rs crates/core/src/profiler.rs crates/core/src/strategy.rs
+
+/root/repo/target/release/deps/liblgv_offload-0664086046d194df.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/controller.rs crates/core/src/deploy.rs crates/core/src/governor.rs crates/core/src/migration.rs crates/core/src/mission.rs crates/core/src/model.rs crates/core/src/netctl.rs crates/core/src/profiler.rs crates/core/src/strategy.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/controller.rs:
+crates/core/src/deploy.rs:
+crates/core/src/governor.rs:
+crates/core/src/migration.rs:
+crates/core/src/mission.rs:
+crates/core/src/model.rs:
+crates/core/src/netctl.rs:
+crates/core/src/profiler.rs:
+crates/core/src/strategy.rs:

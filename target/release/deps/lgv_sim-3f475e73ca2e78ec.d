@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lgv_sim-3f475e73ca2e78ec.d: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/energy.rs crates/sim/src/lidar.rs crates/sim/src/platform.rs crates/sim/src/power.rs crates/sim/src/vehicle.rs crates/sim/src/world.rs crates/sim/src/world/generator.rs crates/sim/src/world/presets.rs
+
+/root/repo/target/release/deps/liblgv_sim-3f475e73ca2e78ec.rlib: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/energy.rs crates/sim/src/lidar.rs crates/sim/src/platform.rs crates/sim/src/power.rs crates/sim/src/vehicle.rs crates/sim/src/world.rs crates/sim/src/world/generator.rs crates/sim/src/world/presets.rs
+
+/root/repo/target/release/deps/liblgv_sim-3f475e73ca2e78ec.rmeta: crates/sim/src/lib.rs crates/sim/src/battery.rs crates/sim/src/energy.rs crates/sim/src/lidar.rs crates/sim/src/platform.rs crates/sim/src/power.rs crates/sim/src/vehicle.rs crates/sim/src/world.rs crates/sim/src/world/generator.rs crates/sim/src/world/presets.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/battery.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/lidar.rs:
+crates/sim/src/platform.rs:
+crates/sim/src/power.rs:
+crates/sim/src/vehicle.rs:
+crates/sim/src/world.rs:
+crates/sim/src/world/generator.rs:
+crates/sim/src/world/presets.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lgv_slam-35ab3dd70b6e32f9.d: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+/root/repo/target/release/deps/lgv_slam-35ab3dd70b6e32f9: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+crates/slam/src/lib.rs:
+crates/slam/src/map.rs:
+crates/slam/src/motion.rs:
+crates/slam/src/pool.rs:
+crates/slam/src/rbpf.rs:
+crates/slam/src/scan_match.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lgv_slam-5eda40be587a78c9.d: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+/root/repo/target/release/deps/liblgv_slam-5eda40be587a78c9.rlib: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+/root/repo/target/release/deps/liblgv_slam-5eda40be587a78c9.rmeta: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+crates/slam/src/lib.rs:
+crates/slam/src/map.rs:
+crates/slam/src/motion.rs:
+crates/slam/src/pool.rs:
+crates/slam/src/rbpf.rs:
+crates/slam/src/scan_match.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/lgv_slam-a717d468ff4d1b12.d: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+/root/repo/target/release/deps/liblgv_slam-a717d468ff4d1b12.rlib: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+/root/repo/target/release/deps/liblgv_slam-a717d468ff4d1b12.rmeta: crates/slam/src/lib.rs crates/slam/src/map.rs crates/slam/src/motion.rs crates/slam/src/pool.rs crates/slam/src/rbpf.rs crates/slam/src/scan_match.rs
+
+crates/slam/src/lib.rs:
+crates/slam/src/map.rs:
+crates/slam/src/motion.rs:
+crates/slam/src/pool.rs:
+crates/slam/src/rbpf.rs:
+crates/slam/src/scan_match.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lgv_trace-88e3f858d0f0e8a8.d: crates/trace/src/lib.rs
+
+/root/repo/target/release/deps/lgv_trace-88e3f858d0f0e8a8: crates/trace/src/lib.rs
+
+crates/trace/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lgv_trace-a0cf03fb59439cce.d: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/liblgv_trace-a0cf03fb59439cce.rlib: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+/root/repo/target/release/deps/liblgv_trace-a0cf03fb59439cce.rmeta: crates/trace/src/lib.rs crates/trace/src/event.rs crates/trace/src/metrics.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/event.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/sink.rs:

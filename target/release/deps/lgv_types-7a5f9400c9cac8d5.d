@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/lgv_types-7a5f9400c9cac8d5.d: crates/types/src/lib.rs crates/types/src/angle.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/grid.rs crates/types/src/msg.rs crates/types/src/node.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs crates/types/src/work.rs
+
+/root/repo/target/release/deps/liblgv_types-7a5f9400c9cac8d5.rlib: crates/types/src/lib.rs crates/types/src/angle.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/grid.rs crates/types/src/msg.rs crates/types/src/node.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs crates/types/src/work.rs
+
+/root/repo/target/release/deps/liblgv_types-7a5f9400c9cac8d5.rmeta: crates/types/src/lib.rs crates/types/src/angle.rs crates/types/src/error.rs crates/types/src/geometry.rs crates/types/src/grid.rs crates/types/src/msg.rs crates/types/src/node.rs crates/types/src/rng.rs crates/types/src/stats.rs crates/types/src/time.rs crates/types/src/work.rs
+
+crates/types/src/lib.rs:
+crates/types/src/angle.rs:
+crates/types/src/error.rs:
+crates/types/src/geometry.rs:
+crates/types/src/grid.rs:
+crates/types/src/msg.rs:
+crates/types/src/node.rs:
+crates/types/src/rng.rs:
+crates/types/src/stats.rs:
+crates/types/src/time.rs:
+crates/types/src/work.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-8ac7b53ced1561da.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-8ac7b53ced1561da: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-115576988741f37c.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs crates/shims/proptest/src/arbitrary.rs
+
+/root/repo/target/release/deps/proptest-115576988741f37c: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs crates/shims/proptest/src/arbitrary.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/strategy.rs:
+crates/shims/proptest/src/test_runner.rs:
+crates/shims/proptest/src/arbitrary.rs:

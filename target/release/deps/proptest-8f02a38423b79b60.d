@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/proptest-8f02a38423b79b60.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs crates/shims/proptest/src/arbitrary.rs
+
+/root/repo/target/release/deps/libproptest-8f02a38423b79b60.rlib: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs crates/shims/proptest/src/arbitrary.rs
+
+/root/repo/target/release/deps/libproptest-8f02a38423b79b60.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs crates/shims/proptest/src/arbitrary.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/strategy.rs:
+crates/shims/proptest/src/test_runner.rs:
+crates/shims/proptest/src/arbitrary.rs:

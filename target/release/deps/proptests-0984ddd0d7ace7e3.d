@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-0984ddd0d7ace7e3.d: crates/middleware/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-0984ddd0d7ace7e3: crates/middleware/tests/proptests.rs
+
+crates/middleware/tests/proptests.rs:

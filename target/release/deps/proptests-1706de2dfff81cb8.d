@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-1706de2dfff81cb8.d: crates/nav/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-1706de2dfff81cb8: crates/nav/tests/proptests.rs
+
+crates/nav/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-3d2075abc3287774.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-3d2075abc3287774: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-52a5c5c4e617c031.d: crates/types/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-52a5c5c4e617c031: crates/types/tests/proptests.rs
+
+crates/types/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-7bee054c13d55586.d: crates/net/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-7bee054c13d55586: crates/net/tests/proptests.rs
+
+crates/net/tests/proptests.rs:

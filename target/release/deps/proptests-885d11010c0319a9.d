@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-885d11010c0319a9.d: crates/slam/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-885d11010c0319a9: crates/slam/tests/proptests.rs
+
+crates/slam/tests/proptests.rs:

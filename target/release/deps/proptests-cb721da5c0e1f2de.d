@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-cb721da5c0e1f2de.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-cb721da5c0e1f2de: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

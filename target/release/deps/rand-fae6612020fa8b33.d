@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-fae6612020fa8b33.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-fae6612020fa8b33: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-95a12ff5d129292a.d: crates/shims/serde/src/lib.rs crates/shims/serde/src/de.rs crates/shims/serde/src/ser.rs
+
+/root/repo/target/release/deps/serde-95a12ff5d129292a: crates/shims/serde/src/lib.rs crates/shims/serde/src/de.rs crates/shims/serde/src/ser.rs
+
+crates/shims/serde/src/lib.rs:
+crates/shims/serde/src/de.rs:
+crates/shims/serde/src/ser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-bd4b4e945ab4d43c.d: crates/shims/serde/src/lib.rs crates/shims/serde/src/de.rs crates/shims/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-bd4b4e945ab4d43c.rlib: crates/shims/serde/src/lib.rs crates/shims/serde/src/de.rs crates/shims/serde/src/ser.rs
+
+/root/repo/target/release/deps/libserde-bd4b4e945ab4d43c.rmeta: crates/shims/serde/src/lib.rs crates/shims/serde/src/de.rs crates/shims/serde/src/ser.rs
+
+crates/shims/serde/src/lib.rs:
+crates/shims/serde/src/de.rs:
+crates/shims/serde/src/ser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-df03cdb3afb4c3f5.d: crates/shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-df03cdb3afb4c3f5: crates/shims/serde_derive/src/lib.rs
+
+crates/shims/serde_derive/src/lib.rs:

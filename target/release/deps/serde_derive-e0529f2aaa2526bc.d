@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-e0529f2aaa2526bc.d: crates/shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-e0529f2aaa2526bc.so: crates/shims/serde_derive/src/lib.rs
+
+crates/shims/serde_derive/src/lib.rs:

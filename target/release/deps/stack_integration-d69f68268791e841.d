@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stack_integration-d69f68268791e841.d: tests/stack_integration.rs
+
+/root/repo/target/release/deps/stack_integration-d69f68268791e841: tests/stack_integration.rs
+
+tests/stack_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-e9148cd35bf5eaa5.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-e9148cd35bf5eaa5: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-6c16e2e2f8e5cc1b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-6c16e2e2f8e5cc1b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

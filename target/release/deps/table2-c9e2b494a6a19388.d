@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-c9e2b494a6a19388.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-c9e2b494a6a19388: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_network-1d5674306bbbf81b.d: examples/adaptive_network.rs
+
+/root/repo/target/release/examples/adaptive_network-1d5674306bbbf81b: examples/adaptive_network.rs
+
+examples/adaptive_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/compare_deployments-f32355276647bd06.d: examples/compare_deployments.rs
+
+/root/repo/target/release/examples/compare_deployments-f32355276647bd06: examples/compare_deployments.rs
+
+examples/compare_deployments.rs:

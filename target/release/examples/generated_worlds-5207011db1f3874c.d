@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/generated_worlds-5207011db1f3874c.d: examples/generated_worlds.rs
+
+/root/repo/target/release/examples/generated_worlds-5207011db1f3874c: examples/generated_worlds.rs
+
+examples/generated_worlds.rs:

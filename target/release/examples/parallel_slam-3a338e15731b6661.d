@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_slam-3a338e15731b6661.d: examples/parallel_slam.rs
+
+/root/repo/target/release/examples/parallel_slam-3a338e15731b6661: examples/parallel_slam.rs
+
+examples/parallel_slam.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2c71a10cf4a73923.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2c71a10cf4a73923: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-48642ddeedda98db.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-48642ddeedda98db: examples/quickstart.rs
+
+examples/quickstart.rs:
