@@ -1,0 +1,71 @@
+//! Offline trace analysis: reconstruct message journeys and control
+//! cycles from a `lgv-trace` JSONL file and print a deterministic
+//! report (latency waterfall, critical-path attribution, drop/loss
+//! lineage, and §V "lying RTT" anomalies).
+//!
+//! ```text
+//! cargo run --release -p lgv-bench --bin trace_report -- /tmp/mission.jsonl
+//! ```
+//!
+//! A file may hold several missions back to back (each starts with a
+//! `mission_start` record); the report prints one section per mission.
+//! Output depends only on the file's bytes, so re-running on the same
+//! trace is byte-for-byte identical.
+
+use lgv_trace::{TraceEvent, TraceReader, TraceRecord};
+use std::process::ExitCode;
+
+/// Split a record stream into missions at `mission_start` boundaries.
+/// Records before the first `mission_start` (e.g. a concatenated tail
+/// from a crashed run) form their own leading segment.
+fn split_missions(records: Vec<TraceRecord>) -> Vec<Vec<TraceRecord>> {
+    let mut missions: Vec<Vec<TraceRecord>> = Vec::new();
+    for rec in records {
+        let boundary = matches!(rec.event, TraceEvent::MissionStart { .. });
+        if boundary || missions.is_empty() {
+            missions.push(Vec::new());
+        }
+        missions.last_mut().expect("segment exists").push(rec);
+    }
+    missions
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_report <trace.jsonl>");
+        eprintln!("  analyse a virtual-time trace produced with --trace <path>");
+        return ExitCode::from(2);
+    };
+    if args.next().is_some() {
+        eprintln!("usage: trace_report <trace.jsonl> (exactly one argument)");
+        return ExitCode::from(2);
+    }
+
+    let records = match TraceReader::read_file(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace_report: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if records.is_empty() {
+        eprintln!("trace_report: {path}: no records");
+        return ExitCode::from(2);
+    }
+
+    let missions = split_missions(records);
+    let many = missions.len() > 1;
+    for (i, mission) in missions.iter().enumerate() {
+        if many {
+            println!("==== mission {} of {} ====", i + 1, missions.len());
+            println!();
+        }
+        let analysis = lgv_trace::TraceAnalysis::from_records(mission);
+        print!("{}", analysis.render_report());
+        if many && i + 1 < missions.len() {
+            println!();
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -15,6 +15,7 @@
 
 use lgv_net::signal::SignalModel;
 use lgv_net::TcpChannel;
+use lgv_trace::Tracer;
 use lgv_types::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -64,6 +65,7 @@ pub struct MigrationManager {
     /// Completed migrations (diagnostics).
     pub completed: u64,
     segment_bytes: usize,
+    tracer: Tracer,
 }
 
 impl MigrationManager {
@@ -75,7 +77,16 @@ impl MigrationManager {
             active: None,
             completed: 0,
             segment_bytes: 1400, // one MTU-ish segment
+            tracer: Tracer::default(),
         }
+    }
+
+    /// Route the reliable channel's send/loss/deliver events to
+    /// `tracer` (direction label `tcp`); segments of one migration all
+    /// share a single lineage id allocated at [`Self::begin`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tcp.set_tracer(tracer.clone(), "tcp");
+        self.tracer = tracer;
     }
 
     /// Is a transfer currently in flight?
@@ -99,10 +110,11 @@ impl MigrationManager {
         let bytes: usize = nodes.iter().map(|k| state_size_bytes(k, slam_particles)).sum();
         let ticket = MigrationTicket { nodes, started: now, bytes };
         let segments = bytes.div_ceil(self.segment_bytes).max(1);
+        let msg = self.tracer.alloc_msg();
         let mut last_seq = 0;
         for i in 0..segments {
             let len = self.segment_bytes.min(bytes - i * self.segment_bytes);
-            last_seq = self.tcp.send(now, bytes::Bytes::from(vec![0u8; len]));
+            last_seq = self.tcp.send_tagged(now, bytes::Bytes::from(vec![0u8; len]), msg);
         }
         self.active = Some((ticket, last_seq));
         Some(ticket)

@@ -46,7 +46,7 @@ use lgv_sim::power::{LgvProfile, TransmitModel};
 use lgv_sim::world::{presets, World};
 use lgv_sim::{Battery, Lidar, LidarConfig, Vehicle, VehicleConfig};
 use lgv_slam::{GMapping, SlamConfig};
-use lgv_trace::{TraceEvent, Tracer};
+use lgv_trace::{MsgId, TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use std::collections::HashMap;
 
@@ -276,7 +276,7 @@ struct Engine {
     local_busy_until: SimTime,
     local_pending: Option<(SimTime, VelocityCmd)>,
     remote_busy_until: SimTime,
-    remote_pending: Option<(SimTime, VelocityCmd)>,
+    remote_pending: Option<(SimTime, VelocityCmd, MsgId)>,
     slam_busy_until: SimTime,
     pose_est: Pose2D,
     pose_conf: f64,
@@ -307,6 +307,12 @@ struct Engine {
     net_trace: Vec<NetSample>,
     vmax_now: f64,
     tracer: Tracer,
+    /// Monotone index of the current 200 ms control cycle (span name
+    /// `cycle`, one span per iteration).
+    cycle_index: u64,
+    /// Lineage id of the scan message currently driving computation
+    /// (`NONE` outside remote VDP activations).
+    trace_msg: MsgId,
 }
 
 impl Engine {
@@ -433,7 +439,9 @@ impl Engine {
                 let wan = cfg
                     .wan_latency_override
                     .unwrap_or_else(|| cfg.deployment.site.unwrap().wan_latency());
-                Some(MigrationManager::new(sm, wan, rng.fork(0xC3)))
+                let mut mig = MigrationManager::new(sm, wan, rng.fork(0xC3));
+                mig.set_tracer(tracer.clone());
+                Some(mig)
             } else {
                 None
             },
@@ -481,6 +489,8 @@ impl Engine {
             vmax_now: 0.15,
             now: SimTime::EPOCH,
             tracer,
+            cycle_index: 0,
+            trace_msg: MsgId::NONE,
             cfg,
         }
     }
@@ -492,11 +502,11 @@ impl Engine {
             let model = self.profile.compute_model(&self.tb3);
             self.ledger.add(Component::EmbeddedComputer, model.dynamic_energy(work.total_cycles()));
             let t = self.tb3.exec_time(work, 1);
-            self.profiler.record_local(kind, t);
+            self.profiler.record_local_msg(kind, t, self.trace_msg);
             t
         } else {
             let t = self.remote.exec_time(work, self.effective_threads);
-            self.profiler.record_remote(kind, t);
+            self.profiler.record_remote_msg(kind, t, self.trace_msg);
             if let Some(sw) = self.switcher.as_mut() {
                 sw.report_remote_proc_time(kind, t);
             }
@@ -658,6 +668,8 @@ impl Engine {
     fn cycle(&mut self) {
         let cycle_start = self.now;
         self.tracer.set_time_ns(cycle_start.as_nanos());
+        let span = self.tracer.span_begin("cycle", self.cycle_index);
+        self.cycle_index += 1;
         let true_pose = self.vehicle.true_pose();
         let scan = self.lidar.scan(&self.cfg.world, true_pose, cycle_start);
         let odom = self.vehicle.odometry(cycle_start);
@@ -783,6 +795,7 @@ impl Engine {
             battery_soc: self.battery.soc(),
         });
         self.ledger.trace_flush();
+        self.tracer.span_end(span);
     }
 
     /// Estimate the VDP makespan for both worlds from the profiler
@@ -864,11 +877,13 @@ impl Engine {
         // activate on scan delivery.
         if vdp_remote {
             self.flush_remote_pending(t);
-            if let Ok(Some(scan)) = self.remote_scan_sub.recv_latest::<LaserScan>() {
+            if let Ok(Some((scan, msg))) = self.remote_scan_sub.recv_latest_tagged::<LaserScan>() {
                 if t >= self.remote_busy_until {
+                    self.trace_msg = msg;
                     let (cmd, dur) = self.run_vdp(&scan, false);
+                    self.trace_msg = MsgId::NONE;
                     self.remote_busy_until = t + dur;
-                    self.remote_pending = Some((t + dur, cmd));
+                    self.remote_pending = Some((t + dur, cmd, msg));
                     self.flush_remote_pending(t);
                 }
             }
@@ -936,10 +951,10 @@ impl Engine {
     /// Publish a completed remote VDP command whose ready time has
     /// passed (stamped at production time; the switcher ships it).
     fn flush_remote_pending(&mut self, now: SimTime) {
-        if let Some((ready, mut cmd)) = self.remote_pending {
+        if let Some((ready, mut cmd, parent)) = self.remote_pending {
             if now >= ready {
                 cmd.stamp = ready;
-                let _ = self.remote_bus.publish(TopicName::CMD_VEL_NAV, &cmd);
+                let _ = self.remote_bus.publish_from(TopicName::CMD_VEL_NAV, &cmd, parent);
                 self.remote_pending = None;
             }
         }

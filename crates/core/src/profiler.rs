@@ -12,7 +12,7 @@
 //! "the sum of received cloud processing time, subscribed local
 //! processing time and RTT".
 
-use lgv_trace::{TraceEvent, Tracer};
+use lgv_trace::{MsgId, TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use std::collections::HashMap;
 
@@ -60,20 +60,34 @@ impl Profiler {
 
     /// Record a local node's processing time.
     pub fn record_local(&mut self, node: NodeKind, time: Duration) {
+        self.record_local_msg(node, time, MsgId::NONE);
+    }
+
+    /// Record a local node's processing time attributed to the bus
+    /// message (lineage id) that triggered the computation.
+    pub fn record_local_msg(&mut self, node: NodeKind, time: Duration, msg: MsgId) {
         self.tracer.emit_with(|| TraceEvent::ProfileSample {
             node: format!("{node:?}"),
             remote: false,
             nanos: time.as_nanos(),
+            msg,
         });
         self.local_times.insert(node, time);
     }
 
     /// Record a remote node's processing time (piggybacked).
     pub fn record_remote(&mut self, node: NodeKind, time: Duration) {
+        self.record_remote_msg(node, time, MsgId::NONE);
+    }
+
+    /// Record a remote node's processing time attributed to the bus
+    /// message (lineage id) that triggered the computation.
+    pub fn record_remote_msg(&mut self, node: NodeKind, time: Duration, msg: MsgId) {
         self.tracer.emit_with(|| TraceEvent::ProfileSample {
             node: format!("{node:?}"),
             remote: true,
             nanos: time.as_nanos(),
+            msg,
         });
         self.remote_times.insert(node, time);
     }

@@ -9,7 +9,7 @@
 use crate::codec::{from_bytes, to_bytes, CodecError};
 use crate::topic::TopicName;
 use bytes::Bytes;
-use lgv_trace::{TraceEvent, Tracer};
+use lgv_trace::{MsgId, TraceEvent, Tracer};
 use parking_lot::Mutex;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -19,20 +19,24 @@ use std::sync::Arc;
 #[derive(Debug)]
 struct SubQueue {
     cap: usize,
-    queue: Mutex<VecDeque<Bytes>>,
+    /// Payload plus the lineage id of its publish.
+    queue: Mutex<VecDeque<(Bytes, MsgId)>>,
     dropped: Mutex<u64>,
 }
 
 impl SubQueue {
-    /// Enqueue; returns `true` when a full queue dropped its oldest.
-    fn push(&self, b: Bytes) -> bool {
+    /// Enqueue; returns the lineage id of the oldest message when a
+    /// full queue dropped it.
+    fn push(&self, b: Bytes, msg: MsgId) -> Option<MsgId> {
         let mut q = self.queue.lock();
-        let dropped = q.len() == self.cap;
-        if dropped {
-            q.pop_front();
+        let dropped = if q.len() == self.cap {
+            let (_, old) = q.pop_front().expect("cap > 0");
             *self.dropped.lock() += 1;
-        }
-        q.push_back(b);
+            Some(old)
+        } else {
+            None
+        };
+        q.push_back((b, msg));
         dropped
     }
 }
@@ -86,17 +90,27 @@ impl Bus {
         self.inner.lock().tracer = tracer;
     }
 
-    /// Publish raw bytes to a topic.
-    pub fn publish_bytes(&self, topic: TopicName, bytes: Bytes) {
+    /// Publish raw bytes to a topic, returning the lineage id
+    /// allocated to the message ([`MsgId::NONE`] when untraced).
+    pub fn publish_bytes(&self, topic: TopicName, bytes: Bytes) -> MsgId {
+        self.publish_bytes_from(topic, bytes, MsgId::NONE)
+    }
+
+    /// Like [`Bus::publish_bytes`], but records `parent` as the
+    /// message's lineage origin — used when relaying a message that
+    /// was first published on a peer host's bus, so traces chain the
+    /// re-publication back to the original publish.
+    pub fn publish_bytes_from(&self, topic: TopicName, bytes: Bytes, parent: MsgId) -> MsgId {
         let mut inner = self.inner.lock();
         let len = bytes.len() as u64;
+        let msg = inner.tracer.alloc_msg();
         let state = inner.topics.entry(topic).or_default();
         state.publish_count += 1;
         state.latest = Some(bytes.clone());
-        let mut drops = 0u32;
+        let mut drops = Vec::new();
         for s in &state.subs {
-            if s.push(bytes.clone()) {
-                drops += 1;
+            if let Some(old) = s.push(bytes.clone(), msg) {
+                drops.push(old);
             }
         }
         let fanout = state.subs.len() as u32;
@@ -104,17 +118,33 @@ impl Bus {
             topic: topic.as_str().to_string(),
             bytes: len,
             fanout,
+            msg,
+            parent,
         });
-        for _ in 0..drops {
-            inner.tracer.emit_with(|| TraceEvent::BusDrop { topic: topic.as_str().to_string() });
+        for old in drops {
+            inner.tracer.emit_with(|| TraceEvent::BusDrop {
+                topic: topic.as_str().to_string(),
+                msg: old,
+            });
         }
+        msg
     }
 
-    /// Serialize and publish a message.
-    pub fn publish<T: Serialize>(&self, topic: TopicName, msg: &T) -> Result<(), CodecError> {
+    /// Serialize and publish a message, returning its lineage id.
+    pub fn publish<T: Serialize>(&self, topic: TopicName, msg: &T) -> Result<MsgId, CodecError> {
         let b = to_bytes(msg)?;
-        self.publish_bytes(topic, b);
-        Ok(())
+        Ok(self.publish_bytes(topic, b))
+    }
+
+    /// Serialize and publish with an explicit lineage parent.
+    pub fn publish_from<T: Serialize>(
+        &self,
+        topic: TopicName,
+        msg: &T,
+        parent: MsgId,
+    ) -> Result<MsgId, CodecError> {
+        let b = to_bytes(msg)?;
+        Ok(self.publish_bytes_from(topic, b, parent))
     }
 
     /// The most recently published bytes on a topic ("latched" read,
@@ -142,8 +172,8 @@ pub struct Publisher {
 }
 
 impl Publisher {
-    /// Publish one message.
-    pub fn send<T: Serialize>(&self, msg: &T) -> Result<(), CodecError> {
+    /// Publish one message, returning its lineage id.
+    pub fn send<T: Serialize>(&self, msg: &T) -> Result<MsgId, CodecError> {
         self.bus.publish(self.topic, msg)
     }
 
@@ -163,6 +193,11 @@ pub struct Subscriber {
 impl Subscriber {
     /// Pop the oldest queued raw message.
     pub fn recv_bytes(&self) -> Option<Bytes> {
+        self.recv_bytes_tagged().map(|(b, _)| b)
+    }
+
+    /// Pop the oldest queued raw message with its lineage id.
+    pub fn recv_bytes_tagged(&self) -> Option<(Bytes, MsgId)> {
         self.queue.queue.lock().pop_front()
     }
 
@@ -177,13 +212,21 @@ impl Subscriber {
     /// Drain the queue, returning only the newest message (the common
     /// freshness pattern for one-length control queues).
     pub fn recv_latest<T: DeserializeOwned>(&self) -> Result<Option<T>, CodecError> {
+        Ok(self.recv_latest_tagged()?.map(|(msg, _)| msg))
+    }
+
+    /// Like [`Subscriber::recv_latest`], keeping the lineage id so the
+    /// consumer can attribute downstream work to the message.
+    pub fn recv_latest_tagged<T: DeserializeOwned>(
+        &self,
+    ) -> Result<Option<(T, MsgId)>, CodecError> {
         let mut last = None;
-        while let Some(b) = self.recv_bytes() {
-            last = Some(b);
+        while let Some(pair) = self.recv_bytes_tagged() {
+            last = Some(pair);
         }
         match last {
             None => Ok(None),
-            Some(b) => from_bytes(&b).map(Some),
+            Some((b, id)) => Ok(Some((from_bytes(&b)?, id))),
         }
     }
 
@@ -273,6 +316,39 @@ mod tests {
         assert!(sub.is_empty());
         bus.publish(TopicName::ODOM, &2u32).unwrap();
         assert_eq!(sub.recv::<u32>().unwrap(), Some(2));
+    }
+
+    #[test]
+    fn traced_publishes_carry_lineage() {
+        use lgv_trace::RingBufferSink;
+        let bus = Bus::new();
+        let tracer = Tracer::enabled();
+        let ring = tracer.attach(RingBufferSink::new(16));
+        bus.set_tracer(tracer);
+        let sub = bus.subscribe(TopicName::SCAN, 1);
+        let m1 = bus.publish(TopicName::SCAN, &1u32).unwrap();
+        let m2 = bus.publish_from(TopicName::SCAN, &2u32, m1).unwrap();
+        assert_eq!(m1, MsgId(1));
+        assert_eq!(m2, MsgId(2));
+        // The one-length queue kept the fresh message, tagged with m2.
+        assert_eq!(sub.recv_latest_tagged::<u32>().unwrap(), Some((2, m2)));
+        let ring = ring.lock().unwrap();
+        let parents: Vec<MsgId> = ring
+            .records()
+            .filter_map(|r| match &r.event {
+                TraceEvent::BusPublish { parent, .. } => Some(*parent),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(parents, vec![MsgId::NONE, m1]);
+        let drops: Vec<MsgId> = ring
+            .records()
+            .filter_map(|r| match &r.event {
+                TraceEvent::BusDrop { msg, .. } => Some(*msg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops, vec![m1]);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::topic::TopicName;
 use lgv_net::channel::SendOutcome;
 use lgv_net::measure::{BandwidthMeter, RttTracker};
 use lgv_net::DuplexLink;
-use lgv_trace::{TraceEvent, Tracer};
+use lgv_trace::{MsgId, TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -40,6 +40,10 @@ pub struct Envelope {
     pub echo_stamp: Option<SimTime>,
     /// Remote node processing times piggybacked on this envelope.
     pub proc_times: Vec<(NodeKind, Duration)>,
+    /// Lineage id of the bus message inside (0 = untraced/control),
+    /// carried across the wire so the receiving side can chain its
+    /// re-publication back to the original publish.
+    pub msg: u64,
     /// The serialized inner message.
     pub payload: Vec<u8>,
 }
@@ -175,7 +179,7 @@ impl Switcher {
         &self.link
     }
 
-    fn envelope(&mut self, topic: TopicName, payload: &[u8], now: SimTime) -> Envelope {
+    fn envelope(&mut self, topic: TopicName, payload: &[u8], now: SimTime, msg: MsgId) -> Envelope {
         let seq = self.seq;
         self.seq += 1;
         Envelope {
@@ -184,6 +188,7 @@ impl Switcher {
             sent_at: now,
             echo_stamp: None,
             proc_times: Vec::new(),
+            msg: msg.0,
             payload: payload.to_vec(),
         }
     }
@@ -193,13 +198,15 @@ impl Switcher {
     pub fn tick(&mut self, now: SimTime, robot_pos: Point2) {
         // Robot → server.
         for i in 0..self.up_subs.len() {
-            while let Some(bytes) = self.up_subs[i].recv_bytes() {
+            while let Some((bytes, msg)) = self.up_subs[i].recv_bytes_tagged() {
                 let topic = self.up_subs[i].topic();
-                let env = self.envelope(topic, &bytes, now);
+                let env = self.envelope(topic, &bytes, now, msg);
                 let wire = to_bytes(&env).expect("envelope serializes");
                 self.uplink_bytes_sent += wire.len() as u64;
                 self.stats.up_sent += 1;
-                if self.link.send_up(now, robot_pos, wire) == SendOutcome::DiscardedFullBuffer {
+                if self.link.send_up_tagged(now, robot_pos, wire, msg)
+                    == SendOutcome::DiscardedFullBuffer
+                {
                     self.stats.up_discarded += 1;
                 }
             }
@@ -207,12 +214,14 @@ impl Switcher {
 
         // Server → robot.
         for i in 0..self.down_subs.len() {
-            while let Some(bytes) = self.down_subs[i].recv_bytes() {
+            while let Some((bytes, msg)) = self.down_subs[i].recv_bytes_tagged() {
                 let topic = self.down_subs[i].topic();
-                let env = self.envelope(topic, &bytes, now);
+                let env = self.envelope(topic, &bytes, now, msg);
                 let wire = to_bytes(&env).expect("envelope serializes");
                 self.stats.down_sent += 1;
-                if self.link.send_down(now, robot_pos, wire) == SendOutcome::DiscardedFullBuffer {
+                if self.link.send_down_tagged(now, robot_pos, wire, msg)
+                    == SendOutcome::DiscardedFullBuffer
+                {
                     self.stats.down_discarded += 1;
                 }
             }
@@ -238,10 +247,11 @@ impl Switcher {
                 sent_at: now,
                 echo_stamp: Some(env.sent_at),
                 proc_times: std::mem::take(&mut self.pending_proc),
+                msg: 0,
                 payload: Vec::new(),
             });
             if let Some(topic) = TopicName::resolve(&env.topic) {
-                self.remote_bus.publish_bytes(topic, env.payload.into());
+                self.remote_bus.publish_bytes_from(topic, env.payload.into(), MsgId(env.msg));
                 self.stats.up_delivered += 1;
             }
         }
@@ -273,7 +283,7 @@ impl Switcher {
             }
             self.bandwidth.record(pkt.arrived_at);
             if let Some(topic) = TopicName::resolve(&env.topic) {
-                self.robot_bus.publish_bytes(topic, env.payload.into());
+                self.robot_bus.publish_bytes_from(topic, env.payload.into(), MsgId(env.msg));
                 self.stats.down_delivered += 1;
             }
         }

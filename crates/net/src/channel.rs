@@ -25,7 +25,7 @@
 
 use crate::signal::SignalModel;
 use bytes::Bytes;
-use lgv_trace::{SendKind, TraceEvent, Tracer};
+use lgv_trace::{MsgId, SendKind, TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use std::collections::BinaryHeap;
 
@@ -40,6 +40,9 @@ pub struct Packet {
     pub arrived_at: SimTime,
     /// Payload bytes.
     pub payload: Bytes,
+    /// Lineage id of the bus message inside the datagram
+    /// ([`MsgId::NONE`] for untraced or control traffic).
+    pub msg: MsgId,
 }
 
 impl Packet {
@@ -109,8 +112,9 @@ pub struct UdpChannel {
     wan_latency: Duration,
     rng: SimRng,
     next_seq: u64,
-    /// One-slot kernel buffer (Fig. 7's blocked driver state).
-    kernel_buffer: Option<(SimTime, Bytes, u64)>,
+    /// One-slot kernel buffer (Fig. 7's blocked driver state):
+    /// `(sent_at, payload, seq, lineage id)`.
+    kernel_buffer: Option<(SimTime, Bytes, u64, MsgId)>,
     in_flight: BinaryHeap<InFlight>,
     /// One-length receive queue.
     rx_slot: Option<Packet>,
@@ -156,23 +160,46 @@ impl UdpChannel {
         self.stats
     }
 
-    fn transmit(&mut self, sent_at: SimTime, now: SimTime, payload: Bytes, seq: u64, pos: Point2) {
+    fn transmit(
+        &mut self,
+        sent_at: SimTime,
+        now: SimTime,
+        payload: Bytes,
+        seq: u64,
+        msg: MsgId,
+        pos: Point2,
+    ) {
         self.stats.transmitted += 1;
         if self.rng.chance(self.signal.loss_prob(pos)) {
             self.stats.radio_losses += 1;
             self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
                 dir: self.trace_dir.to_string(),
                 seq,
+                msg,
             });
             return;
         }
         let jitter = self.signal.config().jitter * self.rng.uniform();
         let arrival = now + self.signal.tx_delay(payload.len()) + self.wan_latency + jitter;
-        self.in_flight.push(InFlight { arrival, packet: Packet { seq, sent_at, arrived_at: arrival, payload } });
+        self.in_flight
+            .push(InFlight { arrival, packet: Packet { seq, sent_at, arrived_at: arrival, payload, msg } });
     }
 
     /// Send a datagram from the robot at position `pos` at time `now`.
     pub fn send(&mut self, now: SimTime, pos: Point2, payload: Bytes) -> SendOutcome {
+        self.send_tagged(now, pos, payload, MsgId::NONE)
+    }
+
+    /// Like [`UdpChannel::send`], carrying the lineage id of the bus
+    /// message inside the datagram so trace analysis can follow it
+    /// across the channel.
+    pub fn send_tagged(
+        &mut self,
+        now: SimTime,
+        pos: Point2,
+        payload: Bytes,
+        msg: MsgId,
+    ) -> SendOutcome {
         let seq = self.next_seq;
         self.next_seq += 1;
         let bytes = payload.len() as u64;
@@ -183,6 +210,7 @@ impl UdpChannel {
                 seq,
                 bytes,
                 outcome: kind,
+                msg,
             });
         };
 
@@ -192,17 +220,17 @@ impl UdpChannel {
                 trace_send(self, SendKind::Discarded);
                 return SendOutcome::DiscardedFullBuffer;
             }
-            self.kernel_buffer = Some((now, payload, seq));
+            self.kernel_buffer = Some((now, payload, seq, msg));
             trace_send(self, SendKind::Held);
             return SendOutcome::HeldInKernelBuffer;
         }
 
         // Strong signal: the driver first flushes anything it held.
         trace_send(self, SendKind::Transmitted);
-        if let Some((held_at, held, held_seq)) = self.kernel_buffer.take() {
-            self.transmit(held_at, now, held, held_seq, pos);
+        if let Some((held_at, held, held_seq, held_msg)) = self.kernel_buffer.take() {
+            self.transmit(held_at, now, held, held_seq, held_msg, pos);
         }
-        self.transmit(now, now, payload, seq, pos);
+        self.transmit(now, now, payload, seq, msg, pos);
         SendOutcome::Transmitted
     }
 
@@ -211,8 +239,8 @@ impl UdpChannel {
     /// into the one-length receive queue.
     pub fn tick(&mut self, now: SimTime, pos: Point2) {
         if !self.signal.is_weak(pos) {
-            if let Some((held_at, held, held_seq)) = self.kernel_buffer.take() {
-                self.transmit(held_at, now, held, held_seq, pos);
+            if let Some((held_at, held, held_seq, held_msg)) = self.kernel_buffer.take() {
+                self.transmit(held_at, now, held, held_seq, held_msg, pos);
             }
         }
         while let Some(f) = self.in_flight.peek() {
@@ -220,6 +248,15 @@ impl UdpChannel {
                 break;
             }
             let pkt = self.in_flight.pop().unwrap().packet;
+            // Emitted at the tick that observes the arrival (keeping
+            // trace timestamps non-decreasing); the true channel
+            // latency rides in `latency_ns`.
+            self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelDeliver {
+                dir: self.trace_dir.to_string(),
+                seq: pkt.seq,
+                msg: pkt.msg,
+                latency_ns: pkt.latency().as_nanos(),
+            });
             if self.rx_slot.replace(pkt).is_some() {
                 self.stats.overwritten += 1;
             }
@@ -375,6 +412,35 @@ mod tests {
         ch.tick(SimTime::EPOCH + Duration::from_millis(30), strong_pos());
         let p = ch.recv().unwrap();
         assert!(p.latency() >= Duration::from_millis(17));
+    }
+
+    #[test]
+    fn deliver_events_carry_lineage_and_true_latency() {
+        use lgv_trace::{RingBufferSink, TraceEvent, Tracer};
+        let mut ch = channel();
+        let tracer = Tracer::enabled();
+        let ring = tracer.attach(RingBufferSink::new(16));
+        ch.set_tracer(tracer, "up");
+        let t0 = SimTime::EPOCH;
+        // Held under weak signal, flushed 3 s later on recovery: the
+        // deliver event must carry the full buffered latency.
+        ch.send_tagged(t0, weak_pos(), payload(48), MsgId(7));
+        let t1 = t0 + Duration::from_secs(3);
+        ch.tick(t1, strong_pos());
+        ch.tick(t1 + Duration::from_millis(50), strong_pos());
+        assert!(ch.recv().is_some());
+        let ring = ring.lock().unwrap();
+        let deliver = ring
+            .records()
+            .find_map(|r| match &r.event {
+                TraceEvent::ChannelDeliver { msg, latency_ns, .. } => Some((*msg, *latency_ns, r.t_ns)),
+                _ => None,
+            })
+            .expect("deliver event emitted");
+        assert_eq!(deliver.0, MsgId(7));
+        assert!(deliver.1 >= 3_000_000_000, "latency {} includes buffering", deliver.1);
+        // Stamped at the observing tick, not the (earlier) arrival.
+        assert!(deliver.2 >= t1.as_nanos());
     }
 
     #[test]

@@ -98,10 +98,33 @@ impl DuplexLink {
         self.uplink.send(now, robot, payload)
     }
 
+    /// Send robot → server carrying the lineage id of the bus message
+    /// inside the datagram.
+    pub fn send_up_tagged(
+        &mut self,
+        now: SimTime,
+        robot: Point2,
+        payload: Bytes,
+        msg: lgv_trace::MsgId,
+    ) -> SendOutcome {
+        self.uplink.send_tagged(now, robot, payload, msg)
+    }
+
     /// Send server → robot (the server is fixed; radio quality is
     /// still governed by the robot's position, passed at tick time).
     pub fn send_down(&mut self, now: SimTime, robot: Point2, payload: Bytes) -> SendOutcome {
         self.downlink.send(now, robot, payload)
+    }
+
+    /// Send server → robot with the message's lineage id.
+    pub fn send_down_tagged(
+        &mut self,
+        now: SimTime,
+        robot: Point2,
+        payload: Bytes,
+        msg: lgv_trace::MsgId,
+    ) -> SendOutcome {
+        self.downlink.send_tagged(now, robot, payload, msg)
     }
 
     /// Advance both directions to `now` with the robot at `robot`.

@@ -16,6 +16,7 @@
 
 use crate::signal::SignalModel;
 use bytes::Bytes;
+use lgv_trace::{MsgId, SendKind, TraceEvent, Tracer};
 use lgv_types::prelude::*;
 use std::collections::VecDeque;
 
@@ -37,6 +38,9 @@ struct Segment {
     seq: u64,
     payload: Bytes,
     queued_at: SimTime,
+    /// Lineage id of the logical message the segment belongs to
+    /// ([`MsgId::NONE`] for untagged traffic).
+    msg: MsgId,
 }
 
 /// Reliable in-order channel over the radio model.
@@ -55,6 +59,9 @@ pub struct TcpChannel {
     /// Delivered segments awaiting the application.
     rx_queue: VecDeque<(u64, Bytes, SimTime)>,
     stats: TcpStats,
+    tracer: Tracer,
+    /// Direction label stamped on trace events (`tcp` by default).
+    trace_dir: &'static str,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -81,7 +88,17 @@ impl TcpChannel {
             in_flight: None,
             rx_queue: VecDeque::new(),
             stats: TcpStats::default(),
+            tracer: Tracer::disabled(),
+            trace_dir: "tcp",
         }
+    }
+
+    /// Route this channel's send/loss/deliver events to `tracer`,
+    /// labelled with the direction `dir` (`"tcp"` for the shared
+    /// control channel).
+    pub fn set_tracer(&mut self, tracer: Tracer, dir: &'static str) {
+        self.tracer = tracer;
+        self.trace_dir = dir;
     }
 
     /// Override the retransmission timeout.
@@ -93,10 +110,24 @@ impl TcpChannel {
     /// Queue a payload for reliable delivery. Never drops; large
     /// backlogs simply take longer (head-of-line blocking).
     pub fn send(&mut self, now: SimTime, payload: Bytes) -> u64 {
+        self.send_tagged(now, payload, MsgId::NONE)
+    }
+
+    /// Like [`TcpChannel::send`], carrying the lineage id of the
+    /// logical message the segment belongs to.
+    pub fn send_tagged(&mut self, now: SimTime, payload: Bytes, msg: MsgId) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.queued += 1;
-        self.send_queue.push_back(Segment { seq, payload, queued_at: now });
+        let bytes = payload.len() as u64;
+        self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelSend {
+            dir: self.trace_dir.to_string(),
+            seq,
+            bytes,
+            outcome: SendKind::Transmitted,
+            msg,
+        });
+        self.send_queue.push_back(Segment { seq, payload, queued_at: now, msg });
         seq
     }
 
@@ -110,6 +141,12 @@ impl TcpChannel {
             + self.signal.config().jitter * self.rng.uniform();
         if lost {
             self.stats.losses += 1;
+            let (seq, msg) = (head.seq, head.msg);
+            self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
+                dir: self.trace_dir.to_string(),
+                seq,
+                msg,
+            });
             self.in_flight = Some(InFlight { arrives: None, acked: None, rto_at: now + self.rto });
         } else {
             let arrives = now + one_way;
@@ -137,6 +174,18 @@ impl TcpChannel {
                     if let (Some(arrives), Some(acked)) = (f.arrives, f.acked) {
                         if acked <= now {
                             let seg = self.send_queue.pop_front().expect("in-flight head");
+                            // Stamped at the observing tick; the true
+                            // queue-to-receiver latency rides along.
+                            let (seq, msg) = (seg.seq, seg.msg);
+                            let latency = arrives.saturating_since(seg.queued_at);
+                            self.tracer.emit_with_at(now.as_nanos(), || {
+                                TraceEvent::ChannelDeliver {
+                                    dir: self.trace_dir.to_string(),
+                                    seq,
+                                    msg,
+                                    latency_ns: latency.as_nanos(),
+                                }
+                            });
                             self.rx_queue.push_back((seg.seq, seg.payload, arrives));
                             self.stats.delivered += 1;
                             self.in_flight = None;
@@ -282,6 +331,43 @@ mod tests {
             ch.tick(t, near());
         }
         assert!(ch.recv().is_some(), "segment delivered after recovery");
+    }
+
+    #[test]
+    fn trace_covers_send_loss_and_deliver() {
+        use lgv_trace::{RingBufferSink, Tracer};
+        let mut ch = channel(12.0);
+        let tracer = Tracer::enabled();
+        let ring = tracer.attach(RingBufferSink::new(256));
+        ch.set_tracer(tracer, "tcp");
+        let pos = Point2::new(18.0, 0.0);
+        ch.send_tagged(SimTime::EPOCH, Bytes::from_static(b"state"), MsgId(9));
+        let mut t = SimTime::EPOCH;
+        while ch.stats().delivered == 0 {
+            t += Duration::from_millis(20);
+            ch.tick(t, pos);
+            assert!(t < SimTime::EPOCH + Duration::from_secs(120), "livelock");
+        }
+        let ring = ring.lock().unwrap();
+        let mut saw_send = false;
+        let mut saw_deliver = false;
+        for r in ring.records() {
+            match &r.event {
+                TraceEvent::ChannelSend { dir, msg, .. } => {
+                    assert_eq!(dir, "tcp");
+                    assert_eq!(*msg, MsgId(9));
+                    saw_send = true;
+                }
+                TraceEvent::ChannelDeliver { dir, msg, .. } => {
+                    assert_eq!(dir, "tcp");
+                    assert_eq!(*msg, MsgId(9));
+                    saw_deliver = true;
+                }
+                TraceEvent::ChannelLoss { msg, .. } => assert_eq!(*msg, MsgId(9)),
+                _ => {}
+            }
+        }
+        assert!(saw_send && saw_deliver);
     }
 
     #[test]

@@ -1,0 +1,833 @@
+//! Trace analysis: turn a flat record stream back into explanations.
+//!
+//! [`TraceAnalysis`] reconstructs, from the records of **one mission**:
+//!
+//! * **per-message journeys** — lineage chains rooted at a fresh
+//!   `bus_publish` (`parent == 0`), followed through channel sends,
+//!   deliveries, remote compute samples, and re-publications;
+//! * **per-cycle span trees** — every record carries the span of its
+//!   200 ms control cycle, so events group under cycles exactly;
+//! * a **latency waterfall** over the complete offload journeys
+//!   (publish → uplink queue → uplink air → cloud compute → downlink
+//!   air → delivery), with exact percentiles per stage;
+//! * **critical-path attribution** — which stage dominated each
+//!   journey's end-to-end latency;
+//! * **drop/loss lineage** — where the journeys that never delivered
+//!   actually died (sender discard, radio loss, bus drop, in flight);
+//! * the §V **"lying RTT" anomaly** — windows of virtual time where
+//!   the sender discards datagrams (kernel buffer full behind a weak
+//!   signal) while the last measured RTT still looks healthy, i.e. the
+//!   RTT metric actively misleads.
+//!
+//! [`TraceAnalysis::render_report`] prints all of the above as
+//! fixed-precision text that is byte-for-byte deterministic for a
+//! given record stream — the `trace_report` binary in `lgv-bench` is a
+//! thin CLI over this module.
+
+use crate::event::{SendKind, TraceEvent, TraceRecord};
+use crate::metrics::Histogram;
+use crate::span::{MsgId, SpanId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Virtual-time window width for the lying-RTT detector (1 s).
+const ANOMALY_WINDOW_NS: u64 = 1_000_000_000;
+/// Discards per window required to call the window anomalous.
+const ANOMALY_MIN_DISCARDS: u64 = 3;
+/// An RTT at or below this still "looks healthy" to a naive monitor.
+const HEALTHY_RTT_MS: f64 = 100.0;
+
+/// Where a journey's story ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Fate {
+    /// Delivered back to the robot bus (complete waterfall).
+    Delivered,
+    /// Never left the robot: every send was discarded at the sender.
+    Discarded,
+    /// Transmitted but lost in the air.
+    Lost,
+    /// Evicted from a bounded subscriber queue.
+    BusDropped,
+    /// Never touched a channel (the VDP ran locally that cycle).
+    Local,
+    /// Still somewhere between hosts when the trace ended.
+    InFlight,
+}
+
+impl Fate {
+    fn as_str(self) -> &'static str {
+        match self {
+            Fate::Delivered => "delivered",
+            Fate::Discarded => "discarded at sender",
+            Fate::Lost => "lost in the air",
+            Fate::BusDropped => "dropped on a bus queue",
+            Fate::Local => "handled locally",
+            Fate::InFlight => "in flight at trace end",
+        }
+    }
+}
+
+/// The five waterfall stages of a complete offload journey, in
+/// pipeline order.
+const STAGES: [&str; 5] =
+    ["publish->uplink", "uplink air", "cloud compute", "downlink air", "delivery"];
+
+/// One reconstructed lineage chain rooted at a fresh publish.
+#[derive(Debug, Clone)]
+struct Journey {
+    root: MsgId,
+    topic: String,
+    span: SpanId,
+    t_publish: u64,
+    /// Stage durations in ns, indexed like [`STAGES`]; `None` when the
+    /// journey never reached that stage.
+    stages: [Option<u64>; 5],
+    /// Root publish → last chain event (ns).
+    end_to_end: Option<u64>,
+    fate: Fate,
+}
+
+impl Journey {
+    /// Index into [`STAGES`] of the longest stage, for complete
+    /// journeys.
+    fn critical_stage(&self) -> Option<usize> {
+        if self.fate != Fate::Delivered {
+            return None;
+        }
+        let mut best: Option<(usize, u64)> = None;
+        for (i, d) in self.stages.iter().enumerate() {
+            if let Some(d) = d {
+                // Strict `>` keeps the earliest stage on ties, which
+                // is deterministic and favours upstream causes.
+                if best.map_or(true, |(_, b)| *d > b) {
+                    best = Some((i, *d));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// One flagged lying-RTT window.
+#[derive(Debug, Clone)]
+struct Anomaly {
+    window_start_ns: u64,
+    discards: u64,
+    last_rtt_ms: f64,
+    /// Virtual age of that RTT sample at the window's last discard.
+    rtt_age_ns: u64,
+}
+
+/// Aggregated view of one mission's trace: reconstructed message
+/// journeys, per-cycle span statistics, drop/loss lineage, and §V
+/// "lying RTT" anomaly windows.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    workload: String,
+    deployment: String,
+    seed: u64,
+    completed: Option<(bool, String)>,
+    first_t_ns: u64,
+    last_t_ns: u64,
+    records: usize,
+    cycles: u64,
+    events_per_cycle: Histogram,
+    journeys: Vec<Journey>,
+    /// Sender discards per channel direction.
+    discards: BTreeMap<String, u64>,
+    /// Radio losses per channel direction.
+    losses: BTreeMap<String, u64>,
+    /// Queue drops per bus topic.
+    bus_drops: BTreeMap<String, u64>,
+    anomalies: Vec<Anomaly>,
+    total_rtt_samples: u64,
+}
+
+impl TraceAnalysis {
+    /// Reconstruct journeys, spans, and anomalies from one mission's
+    /// records (emission order expected, as read from a trace file).
+    pub fn from_records(records: &[TraceRecord]) -> TraceAnalysis {
+        let mut a = TraceAnalysis {
+            workload: String::new(),
+            deployment: String::new(),
+            seed: 0,
+            completed: None,
+            first_t_ns: records.first().map_or(0, |r| r.t_ns),
+            last_t_ns: records.last().map_or(0, |r| r.t_ns),
+            records: records.len(),
+            cycles: 0,
+            events_per_cycle: Histogram::default(),
+            journeys: Vec::new(),
+            discards: BTreeMap::new(),
+            losses: BTreeMap::new(),
+            bus_drops: BTreeMap::new(),
+            anomalies: Vec::new(),
+            total_rtt_samples: 0,
+        };
+
+        // ---- single pass: index lineage + spans + anomaly windows.
+        struct MsgInfo {
+            t_publish: u64,
+            topic: String,
+            span: SpanId,
+            parent: MsgId,
+            children: Vec<MsgId>,
+            first_up_send: Option<u64>,
+            up_deliver: Option<(u64, u64)>,   // (observed_t, latency)
+            down_deliver: Option<(u64, u64)>, // (observed_t, latency)
+            compute_ns: u64,
+            discarded: bool,
+            transmitted: bool,
+            lost: bool,
+            bus_dropped: bool,
+        }
+        impl MsgInfo {
+            fn new(t: u64, topic: String, span: SpanId, parent: MsgId) -> MsgInfo {
+                MsgInfo {
+                    t_publish: t,
+                    topic,
+                    span,
+                    parent,
+                    children: Vec::new(),
+                    first_up_send: None,
+                    up_deliver: None,
+                    down_deliver: None,
+                    compute_ns: 0,
+                    discarded: false,
+                    transmitted: false,
+                    lost: false,
+                    bus_dropped: false,
+                }
+            }
+        }
+        let mut msgs: BTreeMap<u64, MsgInfo> = BTreeMap::new();
+        let mut span_events: BTreeMap<u64, u64> = BTreeMap::new();
+
+        // Lying-RTT window state.
+        let mut last_rtt: Option<(u64, u64)> = None; // (t_ns, rtt_ns)
+        let mut window: Option<Anomaly> = None;
+
+        for rec in records {
+            if !rec.span.is_none() {
+                *span_events.entry(rec.span.0).or_insert(0) += 1;
+            }
+            match &rec.event {
+                TraceEvent::MissionStart { workload, deployment, seed } => {
+                    a.workload = workload.clone();
+                    a.deployment = deployment.clone();
+                    a.seed = *seed;
+                }
+                TraceEvent::MissionEnd { completed, reason } => {
+                    a.completed = Some((*completed, reason.clone()));
+                }
+                TraceEvent::SpanBegin { name, .. } => {
+                    if name == "cycle" {
+                        a.cycles += 1;
+                    }
+                }
+                TraceEvent::BusPublish { topic, msg, parent, .. } => {
+                    if !msg.is_none() {
+                        msgs.entry(msg.0).or_insert_with(|| {
+                            MsgInfo::new(rec.t_ns, topic.clone(), rec.span, *parent)
+                        });
+                        if !parent.is_none() {
+                            if let Some(p) = msgs.get_mut(&parent.0) {
+                                p.children.push(*msg);
+                            }
+                        }
+                    }
+                }
+                TraceEvent::BusDrop { topic, msg } => {
+                    *a.bus_drops.entry(topic.clone()).or_insert(0) += 1;
+                    if let Some(m) = msgs.get_mut(&msg.0) {
+                        m.bus_dropped = true;
+                    }
+                }
+                TraceEvent::ChannelSend { dir, outcome, msg, .. } => {
+                    match outcome {
+                        SendKind::Discarded => {
+                            *a.discards.entry(dir.clone()).or_insert(0) += 1;
+                            if let Some(m) = msgs.get_mut(&msg.0) {
+                                m.discarded = true;
+                            }
+                            // One more silent discard: extend (or open)
+                            // the current anomaly window.
+                            let w_start =
+                                rec.t_ns / ANOMALY_WINDOW_NS * ANOMALY_WINDOW_NS;
+                            let fresh = match &window {
+                                Some(w) => w.window_start_ns != w_start,
+                                None => true,
+                            };
+                            if fresh {
+                                if let Some(w) = window.take() {
+                                    a.anomalies.push(w);
+                                }
+                                window = Some(Anomaly {
+                                    window_start_ns: w_start,
+                                    discards: 0,
+                                    last_rtt_ms: f64::NAN,
+                                    rtt_age_ns: 0,
+                                });
+                            }
+                            let w = window.as_mut().expect("window just ensured");
+                            w.discards += 1;
+                            if let Some((t, rtt)) = last_rtt {
+                                w.last_rtt_ms = rtt as f64 / 1e6;
+                                w.rtt_age_ns = rec.t_ns.saturating_sub(t);
+                            }
+                        }
+                        SendKind::Transmitted | SendKind::Held => {
+                            if let Some(m) = msgs.get_mut(&msg.0) {
+                                m.transmitted = true;
+                                if dir == "up" && m.first_up_send.is_none() {
+                                    m.first_up_send = Some(rec.t_ns);
+                                }
+                            }
+                        }
+                    }
+                }
+                TraceEvent::ChannelLoss { msg, dir, .. } => {
+                    *a.losses.entry(dir.clone()).or_insert(0) += 1;
+                    if let Some(m) = msgs.get_mut(&msg.0) {
+                        m.lost = true;
+                    }
+                }
+                TraceEvent::ChannelDeliver { dir, msg, latency_ns, .. } => {
+                    if let Some(m) = msgs.get_mut(&msg.0) {
+                        let slot = if dir == "down" {
+                            &mut m.down_deliver
+                        } else {
+                            &mut m.up_deliver
+                        };
+                        if slot.is_none() {
+                            *slot = Some((rec.t_ns, *latency_ns));
+                        }
+                    }
+                }
+                TraceEvent::ProfileSample { remote, nanos, msg, .. } => {
+                    if *remote {
+                        if let Some(m) = msgs.get_mut(&msg.0) {
+                            m.compute_ns += nanos;
+                        }
+                    }
+                }
+                TraceEvent::RttSample { rtt_ns } => {
+                    a.total_rtt_samples += 1;
+                    last_rtt = Some((rec.t_ns, *rtt_ns));
+                }
+                _ => {}
+            }
+        }
+        if let Some(w) = window.take() {
+            a.anomalies.push(w);
+        }
+        a.anomalies.retain(|w| {
+            w.discards >= ANOMALY_MIN_DISCARDS
+                && w.last_rtt_ms.is_finite()
+                && w.last_rtt_ms <= HEALTHY_RTT_MS
+        });
+
+        for count in span_events.values() {
+            a.events_per_cycle.observe(*count as f64);
+        }
+
+        // ---- fold lineage chains into journeys (roots in id order).
+        let roots: Vec<u64> = msgs
+            .iter()
+            .filter(|(_, m)| m.parent.is_none())
+            .map(|(id, _)| *id)
+            .collect();
+        for root in roots {
+            // Walk the chain breadth-first, aggregating per-stage data.
+            let mut chain = vec![root];
+            let mut i = 0;
+            while i < chain.len() {
+                let kids: Vec<u64> =
+                    msgs[&chain[i]].children.iter().map(|c| c.0).collect();
+                chain.extend(kids);
+                i += 1;
+            }
+            let rootinfo = &msgs[&root];
+            let (t0, topic, span) =
+                (rootinfo.t_publish, rootinfo.topic.clone(), rootinfo.span);
+
+            let mut first_up_send = None;
+            let mut up_deliver = None;
+            let mut down_deliver = None;
+            let mut compute_ns = 0u64;
+            let mut last_publish = t0;
+            let mut any_send = false;
+            let mut discarded = false;
+            let mut lost = false;
+            let mut bus_dropped = false;
+            let mut transmitted = false;
+            for id in &chain {
+                let m = &msgs[id];
+                any_send |= m.transmitted || m.discarded;
+                discarded |= m.discarded;
+                transmitted |= m.transmitted;
+                lost |= m.lost;
+                bus_dropped |= m.bus_dropped;
+                compute_ns += m.compute_ns;
+                last_publish = last_publish.max(m.t_publish);
+                if first_up_send.is_none() {
+                    first_up_send = m.first_up_send;
+                }
+                if up_deliver.is_none() {
+                    up_deliver = m.up_deliver;
+                }
+                if down_deliver.is_none() {
+                    down_deliver = m.down_deliver;
+                }
+            }
+
+            let complete = down_deliver.is_some_and(|(t, _)| last_publish >= t);
+            let fate = if complete {
+                Fate::Delivered
+            } else if !any_send && chain.len() == 1 {
+                Fate::Local
+            } else if lost {
+                Fate::Lost
+            } else if bus_dropped {
+                Fate::BusDropped
+            } else if discarded && !transmitted {
+                Fate::Discarded
+            } else {
+                Fate::InFlight
+            };
+
+            let mut stages = [None; 5];
+            if complete {
+                let (down_t, down_lat) = down_deliver.expect("complete implies down");
+                stages[0] = first_up_send.map(|t| t.saturating_sub(t0));
+                stages[1] = up_deliver.map(|(_, lat)| lat);
+                stages[2] = Some(compute_ns);
+                stages[3] = Some(down_lat);
+                stages[4] = Some(last_publish.saturating_sub(down_t));
+            }
+            let end_to_end = complete.then(|| last_publish.saturating_sub(t0));
+
+            a.journeys.push(Journey {
+                root: MsgId(root),
+                topic,
+                span,
+                t_publish: t0,
+                stages,
+                end_to_end,
+                fate,
+            });
+        }
+
+        a
+    }
+
+    /// Total reconstructed journeys (lineage roots).
+    pub fn journey_count(&self) -> usize {
+        self.journeys.len()
+    }
+
+    /// Journeys that delivered all the way back to the robot bus.
+    pub fn complete_count(&self) -> usize {
+        self.journeys.iter().filter(|j| j.fate == Fate::Delivered).count()
+    }
+
+    /// Flagged lying-RTT windows.
+    pub fn anomaly_count(&self) -> usize {
+        self.anomalies.len()
+    }
+
+    /// Control cycles seen (span_begin records named `cycle`).
+    pub fn cycle_count(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Render the full deterministic text report.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        let span_s = (self.last_t_ns.saturating_sub(self.first_t_ns)) as f64 / 1e9;
+        let _ = writeln!(out, "=== trace report ===");
+        if self.workload.is_empty() {
+            let _ = writeln!(out, "mission: (no mission_start record)");
+        } else {
+            let _ = writeln!(
+                out,
+                "mission: {} on {} (seed {})",
+                self.workload, self.deployment, self.seed
+            );
+        }
+        if let Some((ok, reason)) = &self.completed {
+            let _ = writeln!(out, "outcome: {} ({})", if *ok { "completed" } else { "failed" }, reason);
+        }
+        let _ = writeln!(
+            out,
+            "records: {} spanning {:.1} s of virtual time",
+            self.records, span_s
+        );
+        let _ = writeln!(
+            out,
+            "cycles: {}   events/cycle: mean {:.1}, p95 {:.0}, max {:.0}",
+            self.cycles,
+            self.events_per_cycle.mean(),
+            self.events_per_cycle.percentile(95.0),
+            self.events_per_cycle.max()
+        );
+        let complete = self.complete_count();
+        let _ = writeln!(
+            out,
+            "journeys: {} reconstructed, {} delivered end-to-end",
+            self.journey_count(),
+            complete
+        );
+
+        // ---- waterfall.
+        let _ = writeln!(out);
+        let _ = writeln!(out, "--- latency waterfall ({complete} delivered journeys) ---");
+        if complete == 0 {
+            let _ = writeln!(out, "(no journey delivered end-to-end; nothing to decompose)");
+        } else {
+            let mut hists: Vec<Histogram> = vec![Histogram::default(); STAGES.len() + 1];
+            for j in &self.journeys {
+                if j.fate != Fate::Delivered {
+                    continue;
+                }
+                for (i, d) in j.stages.iter().enumerate() {
+                    if let Some(d) = d {
+                        hists[i].observe(*d as f64 / 1e6);
+                    }
+                }
+                if let Some(e) = j.end_to_end {
+                    hists[STAGES.len()].observe(e as f64 / 1e6);
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>9} {:>9} {:>9} {:>9}",
+                "stage", "count", "mean_ms", "p50_ms", "p95_ms", "max_ms"
+            );
+            for (i, name) in STAGES.iter().chain(["end-to-end"].iter()).enumerate() {
+                let h = &hists[i];
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.percentile(50.0),
+                    h.percentile(95.0),
+                    h.max()
+                );
+            }
+        }
+
+        // ---- critical path.
+        let _ = writeln!(out);
+        let _ = writeln!(out, "--- critical path (which stage dominated each delivered journey) ---");
+        if complete == 0 {
+            let _ = writeln!(out, "(no delivered journeys)");
+        } else {
+            let mut dominated = [0u64; 5];
+            for j in &self.journeys {
+                if let Some(i) = j.critical_stage() {
+                    dominated[i] += 1;
+                }
+            }
+            let total: u64 = dominated.iter().sum();
+            let _ = writeln!(out, "{:<16} {:>9} {:>7}", "stage", "dominated", "share");
+            for (i, name) in STAGES.iter().enumerate() {
+                let share = if total == 0 {
+                    0.0
+                } else {
+                    dominated[i] as f64 * 100.0 / total as f64
+                };
+                let _ =
+                    writeln!(out, "{:<16} {:>9} {:>6.1}%", name, dominated[i], share);
+            }
+        }
+
+        // ---- drop & loss lineage.
+        let _ = writeln!(out);
+        let _ = writeln!(out, "--- drop & loss lineage ---");
+        let fmt_map = |map: &BTreeMap<String, u64>| -> String {
+            if map.is_empty() {
+                "none".to_string()
+            } else {
+                map.iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+        };
+        let _ = writeln!(out, "sender discards: {}", fmt_map(&self.discards));
+        let _ = writeln!(out, "radio losses:    {}", fmt_map(&self.losses));
+        let _ = writeln!(out, "bus queue drops: {}", fmt_map(&self.bus_drops));
+        let mut fates: BTreeMap<Fate, u64> = BTreeMap::new();
+        for j in &self.journeys {
+            *fates.entry(j.fate).or_insert(0) += 1;
+        }
+        let fate_line = if fates.is_empty() {
+            "none".to_string()
+        } else {
+            fates
+                .iter()
+                .map(|(f, n)| format!("{}={n}", f.as_str()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "journey fates:   {fate_line}");
+        // The undelivered journeys, each with its root and fate — the
+        // lineage answer to "where did my message go?".
+        for j in &self.journeys {
+            if matches!(j.fate, Fate::Discarded | Fate::Lost | Fate::BusDropped) {
+                let _ = writeln!(
+                    out,
+                    "  {} `{}` published at {:.3} s in {} -> {}",
+                    j.root,
+                    j.topic,
+                    j.t_publish as f64 / 1e9,
+                    j.span,
+                    j.fate.as_str()
+                );
+            }
+        }
+
+        // ---- anomalies.
+        let _ = writeln!(out);
+        let _ = writeln!(out, "--- anomalies: lying-RTT windows (rtt healthy while sender discards) ---");
+        if self.anomalies.is_empty() {
+            let _ = writeln!(out, "none detected");
+        } else {
+            for w in &self.anomalies {
+                let t0 = w.window_start_ns as f64 / 1e9;
+                let _ = writeln!(
+                    out,
+                    "[{:6.1} s, {:6.1} s): {} datagrams discarded while last RTT reads {:.1} ms \
+                     ({:.1} s stale) -> RTT metric lies",
+                    t0,
+                    t0 + ANOMALY_WINDOW_NS as f64 / 1e9,
+                    w.discards,
+                    w.last_rtt_ms,
+                    w.rtt_age_ns as f64 / 1e9
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{} window(s) where RTT telemetry ({} samples total) hid sender-side loss",
+                self.anomalies.len(),
+                self.total_rtt_samples
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ms: u64, seq: u64, span: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { t_ns: t_ms * 1_000_000, seq, span: SpanId(span), event }
+    }
+
+    fn publish(topic: &str, msg: u64, parent: u64) -> TraceEvent {
+        TraceEvent::BusPublish {
+            topic: topic.into(),
+            bytes: 100,
+            fanout: 1,
+            msg: MsgId(msg),
+            parent: MsgId(parent),
+        }
+    }
+
+    /// One complete offload journey: scan publish -> uplink -> remote
+    /// republish -> remote compute -> cmd publish -> downlink ->
+    /// robot republish.
+    fn complete_journey() -> Vec<TraceRecord> {
+        vec![
+            rec(0, 0, 1, TraceEvent::SpanBegin { span: SpanId(1), name: "cycle".into(), index: 0 }),
+            rec(0, 1, 1, publish("scan", 1, 0)),
+            rec(
+                1,
+                2,
+                1,
+                TraceEvent::ChannelSend {
+                    dir: "up".into(),
+                    seq: 0,
+                    bytes: 100,
+                    outcome: SendKind::Transmitted,
+                    msg: MsgId(1),
+                },
+            ),
+            rec(
+                13,
+                3,
+                1,
+                TraceEvent::ChannelDeliver {
+                    dir: "up".into(),
+                    seq: 0,
+                    msg: MsgId(1),
+                    latency_ns: 12_000_000,
+                },
+            ),
+            rec(13, 4, 1, publish("scan", 2, 1)),
+            rec(
+                53,
+                5,
+                1,
+                TraceEvent::ProfileSample {
+                    node: "Slam".into(),
+                    remote: true,
+                    nanos: 40_000_000,
+                    msg: MsgId(2),
+                },
+            ),
+            rec(53, 6, 1, publish("cmd_vel", 3, 2)),
+            rec(
+                54,
+                7,
+                1,
+                TraceEvent::ChannelSend {
+                    dir: "down".into(),
+                    seq: 0,
+                    bytes: 20,
+                    outcome: SendKind::Transmitted,
+                    msg: MsgId(3),
+                },
+            ),
+            rec(
+                64,
+                8,
+                1,
+                TraceEvent::ChannelDeliver {
+                    dir: "down".into(),
+                    seq: 0,
+                    msg: MsgId(3),
+                    latency_ns: 10_000_000,
+                },
+            ),
+            rec(65, 9, 1, publish("cmd_vel", 4, 3)),
+            rec(200, 10, 1, TraceEvent::SpanEnd { span: SpanId(1) }),
+        ]
+    }
+
+    #[test]
+    fn reconstructs_a_complete_journey() {
+        let a = TraceAnalysis::from_records(&complete_journey());
+        assert_eq!(a.journey_count(), 1);
+        assert_eq!(a.complete_count(), 1);
+        assert_eq!(a.cycle_count(), 1);
+        let j = &a.journeys[0];
+        assert_eq!(j.fate, Fate::Delivered);
+        assert_eq!(j.stages[0], Some(1_000_000)); // publish->uplink
+        assert_eq!(j.stages[1], Some(12_000_000)); // uplink air
+        assert_eq!(j.stages[2], Some(40_000_000)); // cloud compute
+        assert_eq!(j.stages[3], Some(10_000_000)); // downlink air
+        assert_eq!(j.stages[4], Some(1_000_000)); // delivery
+        assert_eq!(j.end_to_end, Some(65_000_000));
+        assert_eq!(j.critical_stage(), Some(2)); // compute dominates
+        let report = a.render_report();
+        assert!(report.contains("cloud compute"));
+        assert!(report.contains("none detected"));
+    }
+
+    #[test]
+    fn classifies_discard_and_loss_fates() {
+        let mut records = vec![
+            rec(0, 0, 0, publish("scan", 1, 0)),
+            rec(
+                1,
+                1,
+                0,
+                TraceEvent::ChannelSend {
+                    dir: "up".into(),
+                    seq: 0,
+                    bytes: 100,
+                    outcome: SendKind::Discarded,
+                    msg: MsgId(1),
+                },
+            ),
+            rec(10, 2, 0, publish("scan", 2, 0)),
+            rec(
+                11,
+                3,
+                0,
+                TraceEvent::ChannelSend {
+                    dir: "up".into(),
+                    seq: 1,
+                    bytes: 100,
+                    outcome: SendKind::Transmitted,
+                    msg: MsgId(2),
+                },
+            ),
+            rec(12, 4, 0, TraceEvent::ChannelLoss { dir: "up".into(), seq: 1, msg: MsgId(2) }),
+            rec(20, 5, 0, publish("scan", 3, 0)),
+        ];
+        records.sort_by_key(|r| r.seq);
+        let a = TraceAnalysis::from_records(&records);
+        assert_eq!(a.journey_count(), 3);
+        assert_eq!(a.complete_count(), 0);
+        let fates: Vec<Fate> = a.journeys.iter().map(|j| j.fate).collect();
+        assert_eq!(fates, vec![Fate::Discarded, Fate::Lost, Fate::Local]);
+        let report = a.render_report();
+        assert!(report.contains("sender discards: up=1"));
+        assert!(report.contains("radio losses:    up=1"));
+        assert!(report.contains("msg#1 `scan`"));
+    }
+
+    #[test]
+    fn lying_rtt_needs_healthy_rtt_and_enough_discards() {
+        let discard = |seq: u64, t_ms: u64, msg: u64| {
+            rec(
+                t_ms,
+                seq,
+                0,
+                TraceEvent::ChannelSend {
+                    dir: "up".into(),
+                    seq,
+                    bytes: 100,
+                    outcome: SendKind::Discarded,
+                    msg: MsgId(msg),
+                },
+            )
+        };
+        // Healthy RTT then a burst of discards in one window: flagged.
+        let mut records = vec![rec(100, 0, 0, TraceEvent::RttSample { rtt_ns: 24_000_000 })];
+        for i in 0..4 {
+            records.push(discard(i + 1, 1_200 + i * 10, i + 1));
+        }
+        let a = TraceAnalysis::from_records(&records);
+        assert_eq!(a.anomaly_count(), 1);
+        let report = a.render_report();
+        assert!(report.contains("RTT metric lies"));
+        assert!(report.contains("24.0 ms"));
+
+        // Too few discards: not flagged.
+        let few = vec![
+            rec(100, 0, 0, TraceEvent::RttSample { rtt_ns: 24_000_000 }),
+            discard(1, 1_200, 1),
+            discard(2, 1_210, 2),
+        ];
+        assert_eq!(TraceAnalysis::from_records(&few).anomaly_count(), 0);
+
+        // Unhealthy RTT (the monitor already sees trouble): not lying.
+        let honest = vec![
+            rec(100, 0, 0, TraceEvent::RttSample { rtt_ns: 900_000_000 }),
+            discard(1, 1_200, 1),
+            discard(2, 1_210, 2),
+            discard(3, 1_220, 3),
+            discard(4, 1_230, 4),
+        ];
+        assert_eq!(TraceAnalysis::from_records(&honest).anomaly_count(), 0);
+
+        // No RTT sample at all: nothing to lie.
+        let blind = vec![discard(0, 1_200, 1), discard(1, 1_210, 2), discard(2, 1_220, 3)];
+        assert_eq!(TraceAnalysis::from_records(&blind).anomaly_count(), 0);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let records = complete_journey();
+        let a = TraceAnalysis::from_records(&records).render_report();
+        let b = TraceAnalysis::from_records(&records).render_report();
+        assert_eq!(a, b);
+    }
+}

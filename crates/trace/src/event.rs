@@ -11,6 +11,7 @@
 //! shortest-roundtrip `{:?}` formatting. See `docs/OBSERVABILITY.md`
 //! for the full schema reference.
 
+use crate::span::{MsgId, SpanId};
 use std::fmt::Write as _;
 
 /// What happened to a simulated UDP `send` (mirrors the outcome enum
@@ -41,6 +42,8 @@ impl SendKind {
 pub enum EventCategory {
     /// Mission lifecycle and per-cycle progress.
     Mission,
+    /// Causal span boundaries (one span per control cycle).
+    Span,
     /// Pub/sub bus activity (publishes, queue drops).
     Bus,
     /// Simulated UDP channel activity (sends, radio losses).
@@ -61,8 +64,9 @@ pub enum EventCategory {
 
 impl EventCategory {
     /// Every category, in a fixed documentation order.
-    pub const ALL: [EventCategory; 9] = [
+    pub const ALL: [EventCategory; 10] = [
         EventCategory::Mission,
+        EventCategory::Span,
         EventCategory::Bus,
         EventCategory::Channel,
         EventCategory::Rtt,
@@ -77,6 +81,7 @@ impl EventCategory {
     pub fn as_str(self) -> &'static str {
         match self {
             EventCategory::Mission => "mission",
+            EventCategory::Span => "span",
             EventCategory::Bus => "bus",
             EventCategory::Channel => "channel",
             EventCategory::Rtt => "rtt",
@@ -127,6 +132,21 @@ pub enum TraceEvent {
         /// Human-readable reason.
         reason: String,
     },
+    /// A causal span opened (one per 200 ms control cycle).
+    SpanBegin {
+        /// The span's id; every record emitted until the matching
+        /// [`TraceEvent::SpanEnd`] carries it in its envelope.
+        span: SpanId,
+        /// Span name (`cycle` for control cycles).
+        name: String,
+        /// Ordinal of this span among same-named spans (cycle number).
+        index: u64,
+    },
+    /// A causal span closed.
+    SpanEnd {
+        /// The span that closed.
+        span: SpanId,
+    },
     /// A message was published on a bus topic.
     BusPublish {
         /// Topic name.
@@ -135,12 +155,19 @@ pub enum TraceEvent {
         bytes: u64,
         /// Number of subscriber queues the bytes fanned out to.
         fanout: u32,
+        /// Lineage id allocated to this message.
+        msg: MsgId,
+        /// Origin message when this publish relays another message
+        /// across hosts ([`MsgId::NONE`] for fresh publishes).
+        parent: MsgId,
     },
     /// A full bounded subscriber queue dropped its oldest message
     /// (the freshness-over-completeness policy in action).
     BusDrop {
         /// Topic name.
         topic: String,
+        /// Lineage id of the dropped (oldest) message.
+        msg: MsgId,
     },
     /// A datagram was offered to a simulated UDP channel.
     ChannelSend {
@@ -152,6 +179,9 @@ pub enum TraceEvent {
         bytes: u64,
         /// What the driver did with it.
         outcome: SendKind,
+        /// Lineage id of the bus message inside the datagram
+        /// ([`MsgId::NONE`] for control chatter such as acks).
+        msg: MsgId,
     },
     /// A transmitted datagram was lost in the air.
     ChannelLoss {
@@ -159,6 +189,21 @@ pub enum TraceEvent {
         dir: String,
         /// Channel sequence number.
         seq: u64,
+        /// Lineage id of the lost datagram's message.
+        msg: MsgId,
+    },
+    /// A datagram reached the receive queue (emitted at the tick that
+    /// observed the arrival; `latency_ns` is the true channel latency
+    /// including any time parked in the kernel buffer).
+    ChannelDeliver {
+        /// Channel direction label.
+        dir: String,
+        /// Channel sequence number.
+        seq: u64,
+        /// Lineage id of the delivered message.
+        msg: MsgId,
+        /// `arrived_at - sent_at` for the datagram.
+        latency_ns: u64,
     },
     /// A round-trip-time sample from an echoed stamp.
     RttSample {
@@ -173,6 +218,9 @@ pub enum TraceEvent {
         remote: bool,
         /// Processing time.
         nanos: u64,
+        /// Lineage id of the message the activation consumed
+        /// ([`MsgId::NONE`] when the input did not ride the bus).
+        msg: MsgId,
     },
     /// One runtime-Controller evaluation: the Algorithm 1 makespan
     /// inputs, the Algorithm 2 network inputs, and the outputs.
@@ -236,10 +284,13 @@ impl TraceEvent {
             TraceEvent::MissionStart { .. } => "mission_start",
             TraceEvent::MissionProgress { .. } => "mission_progress",
             TraceEvent::MissionEnd { .. } => "mission_end",
+            TraceEvent::SpanBegin { .. } => "span_begin",
+            TraceEvent::SpanEnd { .. } => "span_end",
             TraceEvent::BusPublish { .. } => "bus_publish",
             TraceEvent::BusDrop { .. } => "bus_drop",
             TraceEvent::ChannelSend { .. } => "channel_send",
             TraceEvent::ChannelLoss { .. } => "channel_loss",
+            TraceEvent::ChannelDeliver { .. } => "channel_deliver",
             TraceEvent::RttSample { .. } => "rtt_sample",
             TraceEvent::ProfileSample { .. } => "profile_sample",
             TraceEvent::ControlDecision { .. } => "control_decision",
@@ -258,10 +309,11 @@ impl TraceEvent {
             TraceEvent::MissionStart { .. }
             | TraceEvent::MissionProgress { .. }
             | TraceEvent::MissionEnd { .. } => EventCategory::Mission,
+            TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } => EventCategory::Span,
             TraceEvent::BusPublish { .. } | TraceEvent::BusDrop { .. } => EventCategory::Bus,
-            TraceEvent::ChannelSend { .. } | TraceEvent::ChannelLoss { .. } => {
-                EventCategory::Channel
-            }
+            TraceEvent::ChannelSend { .. }
+            | TraceEvent::ChannelLoss { .. }
+            | TraceEvent::ChannelDeliver { .. } => EventCategory::Channel,
             TraceEvent::RttSample { .. } => EventCategory::Rtt,
             TraceEvent::ProfileSample { .. } => EventCategory::Profile,
             TraceEvent::ControlDecision { .. } => EventCategory::Control,
@@ -294,31 +346,51 @@ impl TraceEvent {
                 field_bool(out, "completed", *completed);
                 field_str(out, "reason", reason);
             }
-            TraceEvent::BusPublish { topic, bytes, fanout } => {
+            TraceEvent::SpanBegin { span, name, index } => {
+                field_u64(out, "span_id", span.0);
+                field_str(out, "name", name);
+                field_u64(out, "index", *index);
+            }
+            TraceEvent::SpanEnd { span } => {
+                field_u64(out, "span_id", span.0);
+            }
+            TraceEvent::BusPublish { topic, bytes, fanout, msg, parent } => {
                 field_str(out, "topic", topic);
                 field_u64(out, "bytes", *bytes);
                 field_u64(out, "fanout", u64::from(*fanout));
+                field_u64(out, "msg", msg.0);
+                field_u64(out, "parent", parent.0);
             }
-            TraceEvent::BusDrop { topic } => {
+            TraceEvent::BusDrop { topic, msg } => {
                 field_str(out, "topic", topic);
+                field_u64(out, "msg", msg.0);
             }
-            TraceEvent::ChannelSend { dir, seq, bytes, outcome } => {
+            TraceEvent::ChannelSend { dir, seq, bytes, outcome, msg } => {
                 field_str(out, "dir", dir);
                 field_u64(out, "seq", *seq);
                 field_u64(out, "bytes", *bytes);
                 field_str(out, "outcome", outcome.as_str());
+                field_u64(out, "msg", msg.0);
             }
-            TraceEvent::ChannelLoss { dir, seq } => {
+            TraceEvent::ChannelLoss { dir, seq, msg } => {
                 field_str(out, "dir", dir);
                 field_u64(out, "seq", *seq);
+                field_u64(out, "msg", msg.0);
+            }
+            TraceEvent::ChannelDeliver { dir, seq, msg, latency_ns } => {
+                field_str(out, "dir", dir);
+                field_u64(out, "seq", *seq);
+                field_u64(out, "msg", msg.0);
+                field_u64(out, "latency_ns", *latency_ns);
             }
             TraceEvent::RttSample { rtt_ns } => {
                 field_u64(out, "rtt_ns", *rtt_ns);
             }
-            TraceEvent::ProfileSample { node, remote, nanos } => {
+            TraceEvent::ProfileSample { node, remote, nanos, msg } => {
                 field_str(out, "node", node);
                 field_bool(out, "remote", *remote);
                 field_u64(out, "nanos", *nanos);
+                field_u64(out, "msg", msg.0);
             }
             TraceEvent::ControlDecision {
                 local_vdp_ns,
@@ -368,6 +440,9 @@ pub struct TraceRecord {
     /// Monotone per-tracer emission counter (total order within a
     /// run, including events sharing a timestamp).
     pub seq: u64,
+    /// The causal span open at emission time ([`SpanId::NONE`] when
+    /// the event fired outside any control cycle).
+    pub span: SpanId,
     /// The event payload.
     pub event: TraceEvent,
 }
@@ -376,22 +451,23 @@ impl TraceRecord {
     /// Encode as one deterministic JSON object (no trailing newline).
     ///
     /// ```
-    /// use lgv_trace::{TraceEvent, TraceRecord};
+    /// use lgv_trace::{SpanId, TraceEvent, TraceRecord};
     ///
     /// let rec = TraceRecord {
     ///     t_ns: 200_000_000,
     ///     seq: 3,
+    ///     span: SpanId(1),
     ///     event: TraceEvent::RttSample { rtt_ns: 24_000_000 },
     /// };
     /// assert_eq!(
     ///     rec.to_json(),
-    ///     r#"{"t_ns":200000000,"seq":3,"kind":"rtt_sample","rtt_ns":24000000}"#
+    ///     r#"{"t_ns":200000000,"seq":3,"span":1,"kind":"rtt_sample","rtt_ns":24000000}"#
     /// );
     /// ```
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);
         out.push('{');
-        let _ = write!(out, "\"t_ns\":{},\"seq\":{}", self.t_ns, self.seq);
+        let _ = write!(out, "\"t_ns\":{},\"seq\":{},\"span\":{}", self.t_ns, self.seq, self.span.0);
         field_str(&mut out, "kind", self.event.kind());
         self.event.write_fields(&mut out);
         out.push('}');
@@ -448,15 +524,25 @@ mod tests {
                 deployment: "edge-8t".into(),
                 seed: 42,
             },
-            TraceEvent::BusPublish { topic: "scan".into(), bytes: 10, fanout: 2 },
+            TraceEvent::SpanBegin { span: SpanId(1), name: "cycle".into(), index: 0 },
+            TraceEvent::SpanEnd { span: SpanId(1) },
+            TraceEvent::BusPublish {
+                topic: "scan".into(),
+                bytes: 10,
+                fanout: 2,
+                msg: MsgId(1),
+                parent: MsgId::NONE,
+            },
             TraceEvent::ChannelSend {
                 dir: "up".into(),
                 seq: 0,
                 bytes: 4,
                 outcome: SendKind::Transmitted,
+                msg: MsgId(1),
             },
+            TraceEvent::ChannelDeliver { dir: "up".into(), seq: 0, msg: MsgId(1), latency_ns: 5 },
             TraceEvent::RttSample { rtt_ns: 1 },
-            TraceEvent::ProfileSample { node: "Slam".into(), remote: true, nanos: 7 },
+            TraceEvent::ProfileSample { node: "Slam".into(), remote: true, nanos: 7, msg: MsgId(1) },
             TraceEvent::ControlDecision {
                 local_vdp_ns: 1,
                 cloud_vdp_ns: 2,
@@ -481,6 +567,7 @@ mod tests {
         let rec = TraceRecord {
             t_ns: 0,
             seq: 0,
+            span: SpanId::NONE,
             event: TraceEvent::MissionEnd {
                 completed: false,
                 reason: "a \"quoted\"\nline\\end".into(),
@@ -488,7 +575,7 @@ mod tests {
         };
         assert_eq!(
             rec.to_json(),
-            r#"{"t_ns":0,"seq":0,"kind":"mission_end","completed":false,"reason":"a \"quoted\"\nline\\end"}"#
+            r#"{"t_ns":0,"seq":0,"span":0,"kind":"mission_end","completed":false,"reason":"a \"quoted\"\nline\\end"}"#
         );
     }
 
@@ -497,12 +584,14 @@ mod tests {
         let rec = TraceRecord {
             t_ns: 1,
             seq: 2,
+            span: SpanId::NONE,
             event: TraceEvent::EnergyDelta { component: "motor".into(), joules: 0.1 },
         };
         assert!(rec.to_json().contains("\"joules\":0.1"));
         let bad = TraceRecord {
             t_ns: 1,
             seq: 3,
+            span: SpanId::NONE,
             event: TraceEvent::EnergyDelta { component: "motor".into(), joules: f64::NAN },
         };
         assert!(bad.to_json().contains("\"joules\":null"));
@@ -510,7 +599,8 @@ mod tests {
 
     #[test]
     fn unit_variant_encodes_without_fields() {
-        let rec = TraceRecord { t_ns: 9, seq: 1, event: TraceEvent::MigrationAbort };
-        assert_eq!(rec.to_json(), r#"{"t_ns":9,"seq":1,"kind":"migration_abort"}"#);
+        let rec =
+            TraceRecord { t_ns: 9, seq: 1, span: SpanId(2), event: TraceEvent::MigrationAbort };
+        assert_eq!(rec.to_json(), r#"{"t_ns":9,"seq":1,"span":2,"kind":"migration_abort"}"#);
     }
 }

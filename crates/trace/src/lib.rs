@@ -47,13 +47,19 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod analyze;
 mod event;
 mod metrics;
+mod reader;
 mod sink;
+mod span;
 
+pub use analyze::TraceAnalysis;
 pub use event::{EventCategory, SendKind, TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use reader::{ParseError, TraceReader};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};
+pub use span::{MsgId, SpanId};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -67,6 +73,13 @@ struct TracerInner {
     clock_ns: AtomicU64,
     /// Emission counter (total order over the whole run).
     seq: AtomicU64,
+    /// Next message-lineage id (ids start at 1; 0 is [`MsgId::NONE`]).
+    next_msg: AtomicU64,
+    /// Next span id (ids start at 1; 0 is [`SpanId::NONE`]).
+    next_span: AtomicU64,
+    /// The span currently open (0 when none). The mission loop is
+    /// single-threaded, so a single cell — not a stack — suffices.
+    current_span: AtomicU64,
     sinks: Mutex<Vec<SharedSink>>,
 }
 
@@ -106,6 +119,9 @@ impl Tracer {
             inner: Some(Arc::new(TracerInner {
                 clock_ns: AtomicU64::new(0),
                 seq: AtomicU64::new(0),
+                next_msg: AtomicU64::new(1),
+                next_span: AtomicU64::new(1),
+                current_span: AtomicU64::new(0),
                 sinks: Mutex::new(Vec::new()),
             })),
         }
@@ -184,10 +200,51 @@ impl Tracer {
     fn emit_record(&self, t_ns: u64, event: TraceEvent) {
         let inner = self.inner.as_ref().expect("checked by callers");
         let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-        let rec = TraceRecord { t_ns, seq, event };
+        let span = SpanId(inner.current_span.load(Ordering::Relaxed));
+        let rec = TraceRecord { t_ns, seq, span, event };
         for sink in inner.sinks.lock().unwrap().iter() {
             sink.lock().unwrap().record(&rec);
         }
+    }
+
+    /// Allocate a fresh message-lineage id ([`MsgId::NONE`] when
+    /// disabled, so untraced runs carry no ids and pay one load).
+    pub fn alloc_msg(&self) -> MsgId {
+        match &self.inner {
+            Some(inner) => MsgId(inner.next_msg.fetch_add(1, Ordering::Relaxed)),
+            None => MsgId::NONE,
+        }
+    }
+
+    /// Open a causal span: allocates an id, makes it the current span
+    /// (stamped into every subsequent record's envelope), and emits a
+    /// [`TraceEvent::SpanBegin`] — which itself already carries the new
+    /// id, so the begin record nests under its own span.
+    pub fn span_begin(&self, name: &str, index: u64) -> SpanId {
+        match &self.inner {
+            Some(inner) => {
+                let span = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
+                inner.current_span.store(span.0, Ordering::Relaxed);
+                self.emit(TraceEvent::SpanBegin { span, name: name.to_string(), index });
+                span
+            }
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Close a span: emits [`TraceEvent::SpanEnd`] (still stamped with
+    /// the span, so the end record nests under it too) and clears the
+    /// current span.
+    pub fn span_end(&self, span: SpanId) {
+        if let Some(inner) = &self.inner {
+            self.emit(TraceEvent::SpanEnd { span });
+            inner.current_span.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// The span currently open ([`SpanId::NONE`] when none/disabled).
+    pub fn current_span(&self) -> SpanId {
+        self.inner.as_ref().map_or(SpanId::NONE, |i| SpanId(i.current_span.load(Ordering::Relaxed)))
     }
 
     /// Flush every attached sink.
@@ -239,6 +296,29 @@ mod tests {
         t.set_time_ns(100);
         t.emit_at(7, TraceEvent::MigrationAbort);
         assert_eq!(ring.lock().unwrap().records().next().unwrap().t_ns, 7);
+    }
+
+    #[test]
+    fn spans_stamp_the_envelope_and_msgs_count_up() {
+        let t = Tracer::enabled();
+        let ring = t.attach(RingBufferSink::new(8));
+        assert_eq!(t.alloc_msg(), MsgId(1));
+        assert_eq!(t.alloc_msg(), MsgId(2));
+        t.emit(TraceEvent::MigrationAbort); // outside any span
+        let span = t.span_begin("cycle", 0);
+        assert_eq!(span, SpanId(1));
+        assert_eq!(t.current_span(), span);
+        t.emit(TraceEvent::RttSample { rtt_ns: 5 });
+        t.span_end(span);
+        assert_eq!(t.current_span(), SpanId::NONE);
+        t.emit(TraceEvent::MigrationAbort); // outside again
+        let ring = ring.lock().unwrap();
+        let spans: Vec<_> = ring.records().map(|r| r.span).collect();
+        assert_eq!(spans, vec![SpanId(0), SpanId(1), SpanId(1), SpanId(1), SpanId(0)]);
+
+        let off = Tracer::disabled();
+        assert_eq!(off.alloc_msg(), MsgId::NONE);
+        assert_eq!(off.span_begin("cycle", 0), SpanId::NONE);
     }
 
     #[test]

@@ -12,12 +12,19 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Running summary of an observed value series.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// Keeps every sample (sorted) so exact percentiles are available —
+/// the series here are per-mission, small enough that an exact answer
+/// beats a sketch.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+    /// All observations, kept sorted ascending (insertion point found
+    /// by binary search, so `observe` is O(log n) + shift).
+    samples: Vec<f64>,
 }
 
 impl Histogram {
@@ -32,6 +39,32 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += v;
+        let at = self.samples.partition_point(|s| *s < v);
+        self.samples.insert(at, v);
+    }
+
+    /// Exact nearest-rank percentile: the smallest sample such that at
+    /// least `p`% of observations are ≤ it. `p` is clamped to
+    /// `[0, 100]`; an empty histogram reports 0 (like `min`/`max`).
+    ///
+    /// ```
+    /// use lgv_trace::Histogram;
+    ///
+    /// let mut h = Histogram::default();
+    /// for v in [10.0, 20.0, 30.0, 40.0] {
+    ///     h.observe(v);
+    /// }
+    /// assert_eq!(h.percentile(50.0), 20.0);
+    /// assert_eq!(h.percentile(95.0), 40.0);
+    /// assert_eq!(h.percentile(0.0), 10.0);
+    /// ```
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.max(1) - 1]
     }
 
     /// Number of observations.
@@ -154,10 +187,13 @@ impl MetricsRegistry {
         for (name, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "hist {name} count={} min={:?} mean={:?} max={:?}",
+                "hist {name} count={} min={:?} mean={:?} p50={:?} p95={:?} p99={:?} max={:?}",
                 h.count(),
                 h.min(),
                 h.mean(),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
                 h.max()
             );
         }
@@ -173,12 +209,16 @@ impl TraceSink for MetricsRegistry {
     fn record(&mut self, rec: &TraceRecord) {
         self.inc_by(&format!("events.{}", rec.event.kind()), 1);
         match &rec.event {
-            TraceEvent::BusDrop { topic } => self.inc_by(&format!("bus.drops.{topic}"), 1),
+            TraceEvent::BusDrop { topic, .. } => self.inc_by(&format!("bus.drops.{topic}"), 1),
             TraceEvent::ChannelSend { dir, outcome, .. } => {
                 self.inc_by(&format!("channel.{dir}.{}", outcome.as_str()), 1)
             }
             TraceEvent::ChannelLoss { dir, .. } => {
                 self.inc_by(&format!("channel.{dir}.radio_loss"), 1)
+            }
+            TraceEvent::ChannelDeliver { dir, latency_ns, .. } => {
+                self.inc_by(&format!("channel.{dir}.delivered"), 1);
+                self.observe(&format!("latency_ms.{dir}"), *latency_ns as f64 / 1e6);
             }
             TraceEvent::RttSample { rtt_ns } => {
                 self.observe("rtt_ms", *rtt_ns as f64 / 1e6);
@@ -222,6 +262,26 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let empty = Histogram::default();
+        assert_eq!(empty.percentile(50.0), 0.0);
+
+        let mut h = Histogram::default();
+        // Insert out of order to exercise the sorted-insert path.
+        for v in [50.0, 10.0, 40.0, 20.0, 30.0, 60.0, 90.0, 70.0, 100.0, 80.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(50.0), 50.0);
+        assert_eq!(h.percentile(95.0), 100.0);
+        assert_eq!(h.percentile(99.0), 100.0);
+        assert_eq!(h.percentile(10.0), 10.0);
+        assert_eq!(h.percentile(0.0), 10.0);
+        assert_eq!(h.percentile(100.0), 100.0);
+        assert_eq!(h.percentile(-5.0), 10.0);
+        assert_eq!(h.percentile(250.0), 100.0);
+    }
+
+    #[test]
     fn dump_is_sorted_and_complete() {
         let mut m = MetricsRegistry::new();
         m.inc("z.last");
@@ -233,14 +293,15 @@ mod tests {
         let z = d.find("counter z.last").unwrap();
         assert!(a < z);
         assert!(d.contains("gauge mid 1.5"));
-        assert!(d.contains("hist h count=1 min=3.0 mean=3.0 max=3.0"));
+        assert!(d.contains("hist h count=1 min=3.0 mean=3.0 p50=3.0 p95=3.0 p99=3.0 max=3.0"));
     }
 
     #[test]
     fn registry_aggregates_events_as_a_sink() {
         use crate::event::SendKind;
+        use crate::span::{MsgId, SpanId};
         let mut m = MetricsRegistry::new();
-        let mk = |seq, event| TraceRecord { t_ns: 0, seq, event };
+        let mk = |seq, event| TraceRecord { t_ns: 0, seq, span: SpanId::NONE, event };
         m.record(&mk(0, TraceEvent::RttSample { rtt_ns: 2_000_000 }));
         m.record(&mk(
             1,
@@ -249,12 +310,19 @@ mod tests {
                 seq: 0,
                 bytes: 8,
                 outcome: SendKind::Discarded,
+                msg: MsgId(1),
             },
         ));
-        m.record(&mk(2, TraceEvent::BusDrop { topic: "scan".into() }));
+        m.record(&mk(2, TraceEvent::BusDrop { topic: "scan".into(), msg: MsgId(1) }));
+        m.record(&mk(
+            3,
+            TraceEvent::ChannelDeliver { dir: "up".into(), seq: 1, msg: MsgId(2), latency_ns: 3_000_000 },
+        ));
         assert_eq!(m.counter("events.rtt_sample"), 1);
         assert_eq!(m.counter("channel.up.discarded"), 1);
         assert_eq!(m.counter("bus.drops.scan"), 1);
+        assert_eq!(m.counter("channel.up.delivered"), 1);
         assert_eq!(m.histogram("rtt_ms").unwrap().max(), 2.0);
+        assert_eq!(m.histogram("latency_ms.up").unwrap().max(), 3.0);
     }
 }

@@ -22,7 +22,7 @@ use std::path::Path;
 /// contract.
 ///
 /// ```
-/// use lgv_trace::{TraceEvent, TraceRecord, TraceSink};
+/// use lgv_trace::{SpanId, TraceEvent, TraceRecord, TraceSink};
 ///
 /// /// A sink that just counts records.
 /// struct Counter(u64);
@@ -33,7 +33,12 @@ use std::path::Path;
 /// }
 ///
 /// let mut sink = Counter(0);
-/// sink.record(&TraceRecord { t_ns: 0, seq: 0, event: TraceEvent::MigrationAbort });
+/// sink.record(&TraceRecord {
+///     t_ns: 0,
+///     seq: 0,
+///     span: SpanId::NONE,
+///     event: TraceEvent::MigrationAbort,
+/// });
 /// assert_eq!(sink.0, 1);
 /// ```
 pub trait TraceSink {
@@ -156,7 +161,12 @@ mod tests {
     use crate::event::TraceEvent;
 
     fn rec(seq: u64) -> TraceRecord {
-        TraceRecord { t_ns: seq * 10, seq, event: TraceEvent::MigrationAbort }
+        TraceRecord {
+            t_ns: seq * 10,
+            seq,
+            span: crate::span::SpanId::NONE,
+            event: TraceEvent::MigrationAbort,
+        }
     }
 
     #[test]

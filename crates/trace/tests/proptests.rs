@@ -1,0 +1,112 @@
+//! Property-based round-trip tests: every [`TraceEvent`] kind, filled
+//! with arbitrary values, must survive `to_json` → [`TraceReader`]
+//! parse → `to_json` byte-identically. Floats are generated from raw
+//! bits so the non-finite → `null` → NaN path is exercised too.
+
+use lgv_trace::{MsgId, SendKind, SpanId, TraceEvent, TraceReader, TraceRecord};
+use proptest::prelude::*;
+
+/// One event of every kind built from the given sample values.
+fn all_kinds(s: &str, a: u64, b: u32, f: f64, flag: bool) -> Vec<TraceEvent> {
+    let msg = MsgId(a % 1000);
+    let parent = MsgId(b as u64);
+    let outcome = match a % 3 {
+        0 => SendKind::Transmitted,
+        1 => SendKind::Held,
+        _ => SendKind::Discarded,
+    };
+    vec![
+        TraceEvent::MissionStart {
+            workload: s.to_string(),
+            deployment: s.to_string(),
+            seed: a,
+        },
+        TraceEvent::MissionProgress {
+            x: f,
+            y: -f,
+            goal_x: f * 2.0,
+            goal_y: 0.0,
+            goal_dist: f.abs(),
+            battery_soc: 0.5,
+        },
+        TraceEvent::MissionEnd { completed: flag, reason: s.to_string() },
+        TraceEvent::SpanBegin { span: SpanId(a), name: s.to_string(), index: b as u64 },
+        TraceEvent::SpanEnd { span: SpanId(a) },
+        TraceEvent::BusPublish {
+            topic: s.to_string(),
+            bytes: a,
+            fanout: b,
+            msg,
+            parent,
+        },
+        TraceEvent::BusDrop { topic: s.to_string(), msg },
+        TraceEvent::ChannelSend { dir: s.to_string(), seq: a, bytes: b as u64, outcome, msg },
+        TraceEvent::ChannelLoss { dir: s.to_string(), seq: a, msg },
+        TraceEvent::ChannelDeliver { dir: s.to_string(), seq: a, msg, latency_ns: b as u64 },
+        TraceEvent::RttSample { rtt_ns: a },
+        TraceEvent::ProfileSample { node: s.to_string(), remote: flag, nanos: a, msg },
+        TraceEvent::ControlDecision {
+            local_vdp_ns: a,
+            cloud_vdp_ns: b as u64,
+            bandwidth: f,
+            direction: -f,
+            vdp_remote: flag,
+            max_linear: 0.15,
+            net_decision: s.to_string(),
+        },
+        TraceEvent::GovernorDecision { mean_gap: f, threads: b },
+        TraceEvent::EnergyDelta { component: s.to_string(), joules: f },
+        TraceEvent::NetSwitch { to_remote: flag },
+        TraceEvent::MigrationStart { bytes: a },
+        TraceEvent::MigrationCommit { elapsed_ns: a, attempts: b as u64 },
+        TraceEvent::MigrationAbort,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn every_kind_roundtrips_byte_identically(
+        t_ns in 0u64..4_000_000_000_000,
+        seq in 0u64..1_000_000,
+        span in 0u64..100_000,
+        a in 0u64..1_000_000_000_000,
+        b in 0u32..1_000_000,
+        bits in 0u64..u64::MAX,
+        flag in any::<bool>(),
+        s in ".{0,12}",
+    ) {
+        // Raw bits cover NaN / ±inf / subnormals alongside normals.
+        let f = f64::from_bits(bits);
+        for event in all_kinds(&s, a, b, f, flag) {
+            let rec = TraceRecord { t_ns, seq, span: SpanId(span), event };
+            let line = rec.to_json();
+            let parsed = TraceReader::parse_line(&line)
+                .unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
+            prop_assert_eq!(
+                &line,
+                &parsed.to_json(),
+                "re-encode differs for kind {}", rec.event.kind()
+            );
+            prop_assert_eq!(parsed.t_ns, t_ns);
+            prop_assert_eq!(parsed.seq, seq);
+            prop_assert_eq!(parsed.span, SpanId(span));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_truncated_lines(
+        cut in 1usize..40,
+        a in 0u64..1_000_000,
+    ) {
+        let rec = TraceRecord {
+            t_ns: a,
+            seq: 1,
+            span: SpanId::NONE,
+            event: TraceEvent::RttSample { rtt_ns: a },
+        };
+        let line = rec.to_json();
+        prop_assume!(cut < line.len());
+        let truncated = &line[..line.len() - cut];
+        prop_assert!(TraceReader::parse_line(truncated).is_err());
+    }
+}

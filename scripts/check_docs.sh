@@ -15,4 +15,20 @@ echo "== cargo test --doc =="
 cargo test --doc --workspace
 
 echo
+echo "== trace schema drift (event.rs vs OBSERVABILITY.md) =="
+# Kinds the code can emit: the match arms of TraceEvent::kind().
+code_kinds=$(sed -n '/fn kind(/,/^    }$/p' crates/trace/src/event.rs \
+    | grep -oE '=> "[a-z_]+"' | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+# Kinds documented in the event-schema tables (first backticked cell
+# of each row between the Event schema and Metrics registry headings).
+doc_kinds=$(sed -n '/^## Event schema/,/^## Metrics registry/p' docs/OBSERVABILITY.md \
+    | grep -oE '^\| `[a-z_]+` \|' | grep -oE '`[a-z_]+`' | tr -d '`' | sort -u)
+if ! diff <(echo "$code_kinds") <(echo "$doc_kinds") >/dev/null; then
+    echo "event kinds out of sync (< code only, > docs only):"
+    diff <(echo "$code_kinds") <(echo "$doc_kinds") | grep '^[<>]' || true
+    exit 1
+fi
+echo "$(echo "$code_kinds" | wc -l) kinds documented, no drift"
+
+echo
 echo "docs OK"
