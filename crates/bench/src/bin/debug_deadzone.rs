@@ -33,6 +33,7 @@ fn main() {
         lidar: lgv_sim::LidarConfig::default(),
         exploration_speed_cap: 0.3,
         record_traces: true,
+        faults: lgv_net::FaultSchedule::none(),
     };
     let report = mission::run(cfg);
     println!("completed {} ({}), switches {}", report.completed, report.reason, report.net_switches);

@@ -14,7 +14,7 @@
 
 use crate::classify::Classification;
 use crate::model::VelocityModel;
-use crate::netctl::{NetControl, NetControlConfig, NetDecision};
+use crate::netctl::{NetControl, NetControlConfig, NetDecision, NetInputs, SwitchCause};
 use crate::strategy::{OffloadStrategy, PlacementPlan};
 use lgv_trace::{TraceEvent, Tracer};
 use lgv_types::prelude::*;
@@ -37,6 +37,14 @@ pub struct ControlInputs {
     pub cold_state: bool,
     /// Exploration safety cap (None for known-map navigation).
     pub exploration_cap: Option<f64>,
+    /// Virtual age of the last downlink arrival at the robot (`None`
+    /// until the remote has been heard from) — the cloud-liveness
+    /// heartbeat's input.
+    pub since_downlink: Option<Duration>,
+    /// The robot's own radio diagnostics: weak signal or scripted
+    /// blackout right now. Suppresses the heartbeat (a silent
+    /// downlink behind a weak radio is an outage, not a crash).
+    pub radio_weak: bool,
 }
 
 /// The Controller's per-cycle outputs: what to configure where.
@@ -56,6 +64,10 @@ pub struct ControlDecision {
     pub mux_timeout: Duration,
     /// Algorithm 2's verdict for this cycle.
     pub net_decision: NetDecision,
+    /// Why the verdict (meaningful when `net_decision != Keep`): the
+    /// engine reacts differently to a heartbeat miss (remote dead —
+    /// skip migration, rebuild cold) than to a rule switch.
+    pub net_cause: SwitchCause,
 }
 
 /// Controller configuration.
@@ -126,6 +138,13 @@ impl Controller {
         self.netctl.switches
     }
 
+    /// Record a failed offload the network controller cannot observe
+    /// itself (e.g. a migration deadline expiry): the next re-offload
+    /// is gated behind an exponential backoff.
+    pub fn record_offload_failure(&mut self, now: SimTime) {
+        self.netctl.record_failure(now);
+    }
+
     /// Evaluate one control cycle.
     pub fn evaluate(
         &mut self,
@@ -154,12 +173,39 @@ impl Controller {
             (self.cfg.heading_budget / makespan.as_secs_f64().max(0.05)).clamp(0.4, 2.84);
         let mux_timeout = Duration::from_millis(600).max(makespan * 2.5);
 
-        // Algorithm 2.
-        let net_decision = if self.adaptive && self.offloaded_deployment {
-            self.netctl.decide(now, inputs.bandwidth, inputs.direction, inputs.remote_enabled)
+        // Algorithm 2 + liveness heartbeat + re-offload backoff.
+        let verdict = if self.adaptive && self.offloaded_deployment {
+            self.netctl.evaluate(
+                now,
+                NetInputs {
+                    bandwidth: inputs.bandwidth,
+                    direction: inputs.direction,
+                    remote_active: inputs.remote_enabled,
+                    since_downlink: inputs.since_downlink,
+                    radio_weak: inputs.radio_weak,
+                },
+            )
         } else {
-            NetDecision::Keep
+            crate::netctl::NetVerdict {
+                decision: NetDecision::Keep,
+                cause: SwitchCause::Rule,
+                backoff_armed: None,
+            }
         };
+        let net_decision = verdict.decision;
+        if verdict.cause == SwitchCause::HeartbeatMiss {
+            let silence = inputs.since_downlink.unwrap_or(Duration::ZERO);
+            self.tracer.emit_at(
+                now.as_nanos(),
+                TraceEvent::HeartbeatMiss { silence_ns: silence.as_nanos() },
+            );
+        }
+        if let Some((wait, failures)) = verdict.backoff_armed {
+            self.tracer.emit_at(
+                now.as_nanos(),
+                TraceEvent::ReoffloadBackoff { wait_ns: wait.as_nanos(), failures },
+            );
+        }
 
         self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ControlDecision {
             local_vdp_ns: inputs.local_vdp.as_nanos(),
@@ -183,6 +229,7 @@ impl Controller {
             max_angular,
             mux_timeout,
             net_decision,
+            net_cause: verdict.cause,
         }
     }
 }
@@ -211,6 +258,8 @@ mod tests {
             remote_enabled: remote,
             cold_state: false,
             exploration_cap: None,
+            since_downlink: None,
+            radio_weak: false,
         }
     }
 
@@ -273,6 +322,24 @@ mod tests {
             assert_eq!(d.net_decision, NetDecision::Keep);
         }
         assert_eq!(c.net_switches(), 0);
+    }
+
+    #[test]
+    fn heartbeat_miss_reaches_the_decision() {
+        let mut c = controller(true);
+        let class = classify(&table2_with_map());
+        let mut i = inputs(600, 60, true);
+        // Prime past the network controller's warmup with a healthy
+        // downlink first.
+        i.since_downlink = Some(Duration::from_millis(100));
+        c.evaluate(t(1), &class, i);
+        // Radio healthy, downlink silent past the 1.5 s timeout: the
+        // controller reports the crash cause so the engine can skip
+        // migration and rebuild cold.
+        i.since_downlink = Some(Duration::from_millis(1700));
+        let d = c.evaluate(t(10), &class, i);
+        assert_eq!(d.net_decision, NetDecision::InvokeLocal);
+        assert_eq!(d.net_cause, SwitchCause::HeartbeatMiss);
     }
 
     #[test]

@@ -57,6 +57,44 @@ pub struct MigrationDone {
     pub attempts: u64,
 }
 
+/// Why [`MigrationManager::begin`] refused to start a transfer. The
+/// two cases need different reactions: `Busy` means try again after
+/// the in-flight transfer resolves; `EmptyNodeSet` means the caller
+/// asked to move nothing and no transfer will ever be needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeginError {
+    /// A transfer is already in flight — the newest placement wins
+    /// once it resolves.
+    Busy,
+    /// The requested node set is empty; there is no state to move.
+    EmptyNodeSet,
+}
+
+impl std::fmt::Display for BeginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BeginError::Busy => write!(f, "a migration is already in flight"),
+            BeginError::EmptyNodeSet => write!(f, "the node set is empty"),
+        }
+    }
+}
+
+/// What [`MigrationManager::tick`] observed this step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MigrationEvent {
+    /// The last segment landed; state is live at the destination.
+    Done(MigrationDone),
+    /// The transfer blew its deadline and was aborted — all queued
+    /// and in-flight segments were cancelled. The destination must
+    /// rebuild state cold.
+    TimedOut {
+        /// The abandoned transfer.
+        ticket: MigrationTicket,
+        /// How long it had been running.
+        elapsed: Duration,
+    },
+}
+
 /// Ships node state over a reliable channel during placement switches.
 #[derive(Debug)]
 pub struct MigrationManager {
@@ -64,7 +102,12 @@ pub struct MigrationManager {
     active: Option<(MigrationTicket, u64)>,
     /// Completed migrations (diagnostics).
     pub completed: u64,
+    /// Deadline-aborted migrations (diagnostics).
+    pub timed_out: u64,
     segment_bytes: usize,
+    /// Abort a transfer that has run longer than this (`None` = wait
+    /// forever, the original behaviour).
+    deadline: Option<Duration>,
     tracer: Tracer,
 }
 
@@ -76,9 +119,21 @@ impl MigrationManager {
             tcp: TcpChannel::new(signal, wan_latency, rng),
             active: None,
             completed: 0,
+            timed_out: 0,
             segment_bytes: 1400, // one MTU-ish segment
+            deadline: None,
             tracer: Tracer::default(),
         }
+    }
+
+    /// Abort transfers that run longer than `deadline`.
+    pub fn set_deadline(&mut self, deadline: Duration) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Install scripted fault windows on the reliable channel.
+    pub fn set_faults(&mut self, schedule: lgv_net::FaultSchedule) {
+        self.tcp.set_faults(schedule);
     }
 
     /// Route the reliable channel's send/loss/deliver events to
@@ -94,18 +149,24 @@ impl MigrationManager {
         self.active.is_some()
     }
 
-    /// Begin migrating the state of `nodes` at `now`. Returns `None`
-    /// (and does nothing) if a transfer is already running — the
-    /// Controller's dwell time makes back-to-back switches rare, and
-    /// the newest placement wins once the current transfer lands.
+    /// Begin migrating the state of `nodes` at `now`. Refuses (and
+    /// does nothing) with a typed reason if a transfer is already
+    /// running — the Controller's dwell time makes back-to-back
+    /// switches rare, and the newest placement wins once the current
+    /// transfer resolves — or if there is no state to move.
     pub fn begin(
         &mut self,
         now: SimTime,
         nodes: NodeSet,
         slam_particles: usize,
-    ) -> Option<MigrationTicket> {
-        if self.active.is_some() || nodes.is_empty() {
-            return None;
+    ) -> Result<MigrationTicket, BeginError> {
+        // An empty node set is a caller bug and never becomes valid,
+        // so it outranks the (retryable) busy refusal.
+        if nodes.is_empty() {
+            return Err(BeginError::EmptyNodeSet);
+        }
+        if self.active.is_some() {
+            return Err(BeginError::Busy);
         }
         let bytes: usize = nodes.iter().map(|k| state_size_bytes(k, slam_particles)).sum();
         let ticket = MigrationTicket { nodes, started: now, bytes };
@@ -117,19 +178,26 @@ impl MigrationManager {
             last_seq = self.tcp.send_tagged(now, bytes::Bytes::from(vec![0u8; len]), msg);
         }
         self.active = Some((ticket, last_seq));
-        Some(ticket)
+        Ok(ticket)
     }
 
     /// Abandon the in-flight transfer (the destination will rebuild
     /// state from fresh sensor data instead — the paper's "restart
-    /// mission without state migration" fallback).
-    pub fn abort(&mut self) {
+    /// mission without state migration" fallback). Also cancels every
+    /// queued and in-flight segment on the reliable channel, so a
+    /// stale transfer cannot keep retransmitting under (and competing
+    /// with) whatever the link does next. Returns the number of
+    /// segments flushed.
+    pub fn abort(&mut self) -> usize {
         self.active = None;
+        self.tcp.cancel_pending()
     }
 
-    /// Advance the transfer; returns the completion record when the
-    /// last segment has been delivered.
-    pub fn tick(&mut self, now: SimTime, robot: Point2) -> Option<MigrationDone> {
+    /// Advance the transfer; reports completion when the last segment
+    /// lands, or a timeout when the deadline expires first (the
+    /// transfer is aborted and its segments cancelled — the caller
+    /// decides what to do about the placement).
+    pub fn tick(&mut self, now: SimTime, robot: Point2) -> Option<MigrationEvent> {
         self.tcp.tick(now, robot);
         let (ticket, last_seq) = self.active?;
         let mut done = false;
@@ -138,16 +206,31 @@ impl MigrationManager {
                 done = true;
             }
         }
-        if !done {
-            return None;
+        if done {
+            self.active = None;
+            self.completed += 1;
+            return Some(MigrationEvent::Done(MigrationDone {
+                ticket,
+                elapsed: now.saturating_since(ticket.started),
+                attempts: self.tcp.stats().attempts,
+            }));
         }
-        self.active = None;
-        self.completed += 1;
-        Some(MigrationDone {
-            ticket,
-            elapsed: now.saturating_since(ticket.started),
-            attempts: self.tcp.stats().attempts,
-        })
+        let elapsed = now.saturating_since(ticket.started);
+        if let Some(deadline) = self.deadline {
+            if elapsed >= deadline {
+                self.abort();
+                self.timed_out += 1;
+                self.tracer.emit_at(
+                    now.as_nanos(),
+                    lgv_trace::TraceEvent::MigrationTimeout {
+                        elapsed_ns: elapsed.as_nanos(),
+                        bytes: ticket.bytes as u64,
+                    },
+                );
+                return Some(MigrationEvent::TimedOut { ticket, elapsed });
+            }
+        }
+        None
     }
 }
 
@@ -167,8 +250,10 @@ mod tests {
         let mut t = SimTime::EPOCH + Duration::from_millis(from_ms);
         for _ in 0..(limit_s * 100) {
             t += Duration::from_millis(10);
-            if let Some(done) = m.tick(t, pos) {
-                return Some((done, t));
+            match m.tick(t, pos) {
+                Some(MigrationEvent::Done(done)) => return Some((done, t)),
+                Some(MigrationEvent::TimedOut { .. }) => return None,
+                None => {}
             }
         }
         None
@@ -207,10 +292,10 @@ mod tests {
     #[test]
     fn slam_state_takes_longer_than_vdp_state() {
         let mut a = manager();
-        a.begin(SimTime::EPOCH, NodeSet::single(NodeKind::PathTracking), 30);
+        a.begin(SimTime::EPOCH, NodeSet::single(NodeKind::PathTracking), 30).expect("begins");
         let (fast, _) = drive(&mut a, 0, Point2::new(1.0, 0.0), 30).unwrap();
         let mut b = manager();
-        b.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30);
+        b.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30).expect("begins");
         let (slow, _) = drive(&mut b, 0, Point2::new(1.0, 0.0), 60).unwrap();
         assert!(slow.elapsed > fast.elapsed, "{} vs {}", slow.elapsed, fast.elapsed);
     }
@@ -218,7 +303,7 @@ mod tests {
     #[test]
     fn migration_survives_a_lossy_link() {
         let mut m = manager();
-        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30);
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30).expect("begins");
         // Lossy but not dead (the robot is walking back into range).
         let (done, _) = drive(&mut m, 0, Point2::new(20.0, 0.0), 120).expect("eventually lands");
         assert!(done.attempts as usize > done.ticket.bytes / 1400, "retransmissions expected");
@@ -227,8 +312,73 @@ mod tests {
     #[test]
     fn only_one_migration_at_a_time() {
         let mut m = manager();
-        assert!(m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30).is_some());
-        assert!(m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30).is_none());
-        assert!(m.begin(SimTime::EPOCH, NodeSet::EMPTY, 30).is_none());
+        assert!(m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30).is_ok());
+        // Each refusal states its reason — busy is retryable, an
+        // empty node set never will be.
+        assert_eq!(
+            m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30),
+            Err(BeginError::Busy)
+        );
+        assert_eq!(m.begin(SimTime::EPOCH, NodeSet::EMPTY, 30), Err(BeginError::EmptyNodeSet));
+        // Once the transfer resolves, busy clears but empty does not.
+        m.abort();
+        assert!(m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30).is_ok());
+        m.abort();
+        assert_eq!(m.begin(SimTime::EPOCH, NodeSet::EMPTY, 30), Err(BeginError::EmptyNodeSet));
+    }
+
+    #[test]
+    fn abort_flushes_in_flight_segments() {
+        let mut m = manager();
+        // SLAM state is many segments; none can have landed yet.
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30).expect("begins");
+        let flushed = m.abort();
+        assert!(flushed > 10, "expected many queued segments, flushed {flushed}");
+        assert!(!m.in_progress());
+        // The channel really is idle: a fresh migration starts from a
+        // clean queue and completes normally.
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::PathTracking), 30).expect("restarts");
+        let (done, _) = drive(&mut m, 0, Point2::new(1.0, 0.0), 30).expect("completes");
+        assert_eq!(done.ticket.nodes, NodeSet::single(NodeKind::PathTracking));
+        // No stale SLAM segments got delivered to the new transfer.
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn deadline_aborts_a_stalled_transfer() {
+        let mut m = manager();
+        m.set_deadline(Duration::from_secs(3));
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30).expect("begins");
+        // Far outside radio range: nothing will ever be acked.
+        let far = Point2::new(500.0, 0.0);
+        let mut t = SimTime::EPOCH;
+        let mut timed_out = None;
+        for _ in 0..1000 {
+            t += Duration::from_millis(10);
+            if let Some(MigrationEvent::TimedOut { ticket, elapsed }) = m.tick(t, far) {
+                timed_out = Some((ticket, elapsed, t));
+                break;
+            }
+        }
+        let (ticket, elapsed, at) = timed_out.expect("deadline fires");
+        assert!(elapsed >= Duration::from_secs(3));
+        assert_eq!(at.saturating_since(SimTime::EPOCH).as_nanos(), elapsed.as_nanos());
+        assert!(ticket.bytes > 0);
+        assert!(!m.in_progress());
+        assert_eq!(m.timed_out, 1);
+        assert_eq!(m.completed, 0);
+    }
+
+    #[test]
+    fn no_deadline_means_wait_forever() {
+        let mut m = manager();
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30).expect("begins");
+        let far = Point2::new(500.0, 0.0);
+        let mut t = SimTime::EPOCH;
+        for _ in 0..2000 {
+            t += Duration::from_millis(10);
+            assert_eq!(m.tick(t, far), None);
+        }
+        assert!(m.in_progress(), "without a deadline the transfer keeps trying");
     }
 }

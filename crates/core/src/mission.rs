@@ -25,12 +25,13 @@ use crate::classify::{classify, table2_with_map, table2_without_map, Classificat
 use crate::controller::{ControlInputs, Controller, ControllerConfig};
 use crate::deploy::Deployment;
 use crate::governor::{GovernorConfig, ThreadGovernor};
-use crate::migration::MigrationManager;
+use crate::migration::{MigrationEvent, MigrationManager};
 use crate::model::{Goal, TimeBreakdown, VelocityModel};
-use crate::netctl::NetDecision;
+use crate::netctl::{NetDecision, SwitchCause};
 use crate::profiler::Profiler;
 use crate::strategy::{OffloadStrategy, PinPolicy, PlacementPlan};
 use lgv_middleware::{Bus, Switcher, SwitcherConfig, TopicName};
+use lgv_net::fault::{FaultClock, FaultSchedule};
 use lgv_net::link::{DuplexLink, LinkConfig};
 use lgv_net::measure::SignalDirectionEstimator;
 use lgv_net::signal::{SignalModel, WirelessConfig};
@@ -110,6 +111,10 @@ pub struct MissionConfig {
     pub exploration_speed_cap: f64,
     /// Record per-cycle traces (velocity, network) in the report.
     pub record_traces: bool,
+    /// Scripted fault windows (blackouts, burst loss, latency spikes,
+    /// corruption, remote-host crashes), applied to every channel —
+    /// data links and the migration TCP path alike. Empty = no faults.
+    pub faults: FaultSchedule,
 }
 
 impl MissionConfig {
@@ -138,6 +143,7 @@ impl MissionConfig {
             lidar: LidarConfig::default(),
             exploration_speed_cap: 0.3,
             record_traces: true,
+            faults: FaultSchedule::none(),
         }
     }
 
@@ -235,6 +241,12 @@ pub fn run_traced(cfg: MissionConfig, tracer: Tracer) -> MissionReport {
 const CONTROL_PERIOD: Duration = Duration::from_millis(200);
 const SUBSTEP: Duration = Duration::from_millis(10);
 const GOAL_TOLERANCE: f64 = 0.35;
+/// How long freshly-invoked nodes take to rebuild equivalent state
+/// from live sensor data when migration cannot deliver it (the
+/// costmap's obstacle history ages out on this scale anyway). Doubles
+/// as the migration deadline: a transfer still in flight at this
+/// point delivers state the destination no longer needs.
+const REBUILD_HORIZON: Duration = Duration::from_secs(8);
 
 struct Engine {
     cfg: MissionConfig,
@@ -259,6 +271,9 @@ struct Engine {
     migration: Option<MigrationManager>,
     cold_state: bool,
     cold_since: SimTime,
+    /// Emits one `fault_begin`/`fault_end` pair per scripted window
+    /// (the channels apply the fault effects silently).
+    fault_clock: FaultClock,
     effective_threads: u32,
     threads_sum: f64,
     threads_n: u64,
@@ -375,7 +390,9 @@ impl Engine {
             link_cfg.wireless = cfg.wireless.clone();
             link_cfg.wan_latency = cfg.wan_latency_override;
             let link = DuplexLink::new(link_cfg, &mut rng);
-            Some(Switcher::new(link, robot_bus.clone(), remote_bus.clone(), &sw_cfg))
+            let mut sw = Switcher::new(link, robot_bus.clone(), remote_bus.clone(), &sw_cfg);
+            sw.set_faults(&cfg.faults);
+            Some(sw)
         } else {
             None
         };
@@ -441,12 +458,15 @@ impl Engine {
                     .unwrap_or_else(|| cfg.deployment.site.unwrap().wan_latency());
                 let mut mig = MigrationManager::new(sm, wan, rng.fork(0xC3));
                 mig.set_tracer(tracer.clone());
+                mig.set_faults(cfg.faults.clone());
+                mig.set_deadline(REBUILD_HORIZON);
                 Some(mig)
             } else {
                 None
             },
             cold_state: false,
             cold_since: SimTime::EPOCH,
+            fault_clock: FaultClock::new(cfg.faults.clone()),
             effective_threads: cfg.deployment.threads.max(1),
             threads_sum: 0.0,
             threads_n: 0,
@@ -683,7 +703,16 @@ impl Engine {
 
         // The runtime Controller: Algorithm 1 placement, Eq. 2c
         // velocity, actuation limits, and Algorithm 2 — all from the
-        // profiler's latest measurements.
+        // profiler's latest measurements. The liveness inputs come
+        // straight from the robot's own observables: when it last
+        // heard the remote, and what its radio diagnostics say.
+        let (since_downlink, radio_weak) = match self.switcher.as_ref() {
+            Some(sw) => (
+                sw.last_downlink_at().map(|t0| cycle_start.saturating_since(t0)),
+                sw.link().radio_weak(true_pose.position(), cycle_start),
+            ),
+            None => (None, true),
+        };
         let inputs = ControlInputs {
             local_vdp: self.estimate_vdp(true),
             cloud_vdp: self.estimate_vdp(false),
@@ -693,6 +722,8 @@ impl Engine {
             cold_state: self.cold_state,
             exploration_cap: (self.cfg.workload == Workload::Exploration)
                 .then_some(self.cfg.exploration_speed_cap),
+            since_downlink,
+            radio_weak,
         };
         let decision = self.controller.evaluate(cycle_start, &self.class, inputs);
         self.plan = decision.plan;
@@ -709,10 +740,25 @@ impl Engine {
                     cycle_start.as_nanos(),
                     TraceEvent::NetSwitch { to_remote: self.remote_enabled },
                 );
-                // Ship the switched nodes' state (paper §VI-A); they
-                // run cold until it lands.
-                if let Some(mig) = self.migration.as_mut() {
-                    if let Some(ticket) =
+                if decision.net_cause == SwitchCause::HeartbeatMiss {
+                    // The remote host is presumed dead: its state is
+                    // unreachable, so migrating it back would stall
+                    // against a crashed endpoint. Abort any transfer
+                    // in flight and rebuild cold from fresh sensor
+                    // data over the rebuild horizon instead.
+                    if let Some(mig) = self.migration.as_mut() {
+                        if mig.in_progress() {
+                            mig.abort();
+                            self.tracer
+                                .emit_at(cycle_start.as_nanos(), TraceEvent::MigrationAbort);
+                        }
+                    }
+                    self.cold_state = true;
+                    self.cold_since = cycle_start;
+                } else if let Some(mig) = self.migration.as_mut() {
+                    // Ship the switched nodes' state (paper §VI-A);
+                    // they run cold until it lands.
+                    if let Ok(ticket) =
                         mig.begin(cycle_start, self.plan.remote, self.cfg.slam_particles)
                     {
                         self.tracer.emit_at(
@@ -721,6 +767,14 @@ impl Engine {
                         );
                         self.cold_state = true;
                         self.cold_since = cycle_start;
+                    }
+                }
+                // A freshly-offloaded remote gets `heartbeat_timeout`
+                // of grace to produce its first downlink before the
+                // liveness clock can judge it.
+                if self.remote_enabled {
+                    if let Some(sw) = self.switcher.as_mut() {
+                        sw.reset_downlink_clock(cycle_start);
                     }
                 }
             }
@@ -836,6 +890,25 @@ impl Engine {
         self.tracer.set_time_ns(t.as_nanos());
         let pos = self.vehicle.true_pose().position();
 
+        // Scripted fault-window edges: exactly one begin/end pair per
+        // window, emitted here so the channels (which each hold their
+        // own injector) stay silent about scheduling.
+        for edge in self.fault_clock.poll(t) {
+            let event = if edge.begin {
+                TraceEvent::FaultBegin {
+                    fault: edge.kind.label().to_string(),
+                    window: edge.window,
+                    window_ns: edge.span.as_nanos(),
+                }
+            } else {
+                TraceEvent::FaultEnd {
+                    fault: edge.kind.label().to_string(),
+                    window: edge.window,
+                }
+            };
+            self.tracer.emit_at(t.as_nanos(), event);
+        }
+
         // Network relay.
         if let Some(sw) = self.switcher.as_mut() {
             sw.tick(t, pos);
@@ -849,26 +922,42 @@ impl Engine {
             }
         }
 
-        // State migration transfer. If the link cannot deliver the
-        // state within the rebuild horizon, abandon it: by then the
-        // destination nodes have reconstructed equivalent state from
-        // fresh sensor data (the costmap's obstacle history ages out
-        // after ~5 s anyway).
+        // State migration transfer. The manager's deadline (the
+        // rebuild horizon) bounds it: past that point the destination
+        // nodes have reconstructed equivalent state from fresh sensor
+        // data (the costmap's obstacle history ages out after ~5 s
+        // anyway), so a still-running transfer is aborted and counted
+        // as an offload failure for the re-offload backoff.
         if self.cold_state {
             if let Some(mig) = self.migration.as_mut() {
-                if let Some(done) = mig.tick(t, pos) {
-                    self.tracer.emit_at(
-                        t.as_nanos(),
-                        TraceEvent::MigrationCommit {
-                            elapsed_ns: done.elapsed.as_nanos(),
-                            attempts: done.attempts,
-                        },
-                    );
-                    self.cold_state = false;
-                } else if t.saturating_since(self.cold_since) > Duration::from_secs(8) {
-                    mig.abort();
-                    self.tracer.emit_at(t.as_nanos(), TraceEvent::MigrationAbort);
-                    self.cold_state = false;
+                match mig.tick(t, pos) {
+                    Some(MigrationEvent::Done(done)) => {
+                        self.tracer.emit_at(
+                            t.as_nanos(),
+                            TraceEvent::MigrationCommit {
+                                elapsed_ns: done.elapsed.as_nanos(),
+                                attempts: done.attempts,
+                            },
+                        );
+                        self.cold_state = false;
+                    }
+                    Some(MigrationEvent::TimedOut { .. }) => {
+                        // The manager already cancelled the segments
+                        // and emitted `migration_timeout`.
+                        self.tracer.emit_at(t.as_nanos(), TraceEvent::MigrationAbort);
+                        self.cold_state = false;
+                        self.controller.record_offload_failure(t);
+                    }
+                    None => {
+                        // Crash fallback: no transfer is running (the
+                        // remote died with the state); cold until the
+                        // nodes have rebuilt from live sensor data.
+                        if !mig.in_progress()
+                            && t.saturating_since(self.cold_since) >= REBUILD_HORIZON
+                        {
+                            self.cold_state = false;
+                        }
+                    }
                 }
             }
         }
@@ -1065,6 +1154,7 @@ mod tests {
             lidar: LidarConfig::default(),
             exploration_speed_cap: 0.3,
             record_traces: true,
+            faults: FaultSchedule::none(),
         }
     }
 

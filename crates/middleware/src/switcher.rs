@@ -108,6 +108,11 @@ pub struct Switcher {
     /// Pending processing times to piggyback on the next downlink
     /// envelopes (remote-side state).
     pending_proc: Vec<(NodeKind, Duration)>,
+    /// When the robot last heard *anything* over the downlink — data
+    /// or ack. Every downlink envelope originates at the remote host,
+    /// so silence here under a healthy radio means the host is dead
+    /// (the cloud-liveness heartbeat's input).
+    last_downlink_at: Option<SimTime>,
     /// Bytes pushed into the uplink radio (for Eq. 1b energy).
     pub uplink_bytes_sent: u64,
     stats: SwitcherStats,
@@ -134,6 +139,7 @@ impl Switcher {
             bandwidth: BandwidthMeter::new(Duration::from_secs(1)),
             remote_proc: HashMap::new(),
             pending_proc: Vec::new(),
+            last_downlink_at: None,
             uplink_bytes_sent: 0,
             stats: SwitcherStats::default(),
             tracer: Tracer::disabled(),
@@ -177,6 +183,23 @@ impl Switcher {
     /// The link (for signal/diagnostic queries).
     pub fn link(&self) -> &DuplexLink {
         &self.link
+    }
+
+    /// When the robot last received any downlink envelope (`None`
+    /// until the remote has been heard from at all).
+    pub fn last_downlink_at(&self) -> Option<SimTime> {
+        self.last_downlink_at
+    }
+
+    /// Reset the liveness clock — call when a placement switch gives
+    /// the remote a fresh grace period to produce its first downlink.
+    pub fn reset_downlink_clock(&mut self, now: SimTime) {
+        self.last_downlink_at = Some(now);
+    }
+
+    /// Install scripted fault windows on both link directions.
+    pub fn set_faults(&mut self, schedule: &lgv_net::FaultSchedule) {
+        self.link.set_faults(schedule);
     }
 
     fn envelope(&mut self, topic: TopicName, payload: &[u8], now: SimTime, msg: MsgId) -> Envelope {
@@ -267,6 +290,8 @@ impl Switcher {
         // r_t counts the VDP data stream, not control chatter).
         while let Some(pkt) = self.link.recv_at_robot() {
             let Ok(env) = from_bytes::<Envelope>(&pkt.payload) else { continue };
+            self.last_downlink_at =
+                Some(self.last_downlink_at.map_or(pkt.arrived_at, |s| s.max(pkt.arrived_at)));
             self.latest_down_stamp =
                 Some(self.latest_down_stamp.map_or(env.sent_at, |s| s.max(env.sent_at)));
             if let Some(echo) = env.echo_stamp {
@@ -395,6 +420,34 @@ mod tests {
         }
         let now = SimTime::EPOCH + Duration::from_millis(1900);
         assert!(sw.downlink_bandwidth(now) >= 4.0, "bandwidth {}", sw.downlink_bandwidth(now));
+    }
+
+    #[test]
+    fn downlink_liveness_clock_tracks_arrivals() {
+        let (mut sw, robot, remote) = make(RemoteSite::EdgeGateway);
+        assert_eq!(sw.last_downlink_at(), None, "silent until first arrival");
+        // A command arriving from the remote stamps the clock...
+        remote.publish(TopicName::CMD_VEL_NAV, &1u8).unwrap();
+        step(&mut sw, 0, near());
+        step(&mut sw, 50, near());
+        let first = sw.last_downlink_at().expect("arrival stamps the clock");
+        // ...and an ack (PROC_TIME) refreshes it too: any downlink
+        // traffic proves the remote host is alive.
+        robot.publish(TopicName::SCAN, &2u8).unwrap();
+        step(&mut sw, 1000, near());
+        step(&mut sw, 1050, near());
+        step(&mut sw, 1100, near());
+        let refreshed = sw.last_downlink_at().expect("still stamped");
+        assert!(refreshed > first, "{refreshed} should advance past {first}");
+        // Silence leaves it frozen.
+        step(&mut sw, 5000, near());
+        assert_eq!(sw.last_downlink_at(), Some(refreshed));
+        // A placement switch resets the grace period.
+        sw.reset_downlink_clock(SimTime::EPOCH + Duration::from_millis(6000));
+        assert_eq!(
+            sw.last_downlink_at(),
+            Some(SimTime::EPOCH + Duration::from_millis(6000))
+        );
     }
 
     #[test]

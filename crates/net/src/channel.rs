@@ -23,6 +23,7 @@
 //! 4. The receive side keeps a one-length queue: a newer arrival
 //!    overwrites an unread older one (freshness over completeness).
 
+use crate::fault::{FaultInjector, FaultSchedule};
 use crate::signal::SignalModel;
 use bytes::Bytes;
 use lgv_trace::{MsgId, SendKind, TraceEvent, Tracer};
@@ -78,6 +79,10 @@ pub struct ChannelStats {
     pub delivered: u64,
     /// Unread datagrams overwritten in the one-length receive queue.
     pub overwritten: u64,
+    /// Payloads corrupted in the air by an injected fault window.
+    pub corrupted: u64,
+    /// Arrivals swallowed because the remote host was crashed.
+    pub crash_swallowed: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -122,6 +127,8 @@ pub struct UdpChannel {
     tracer: Tracer,
     /// Direction label stamped on trace events (`up` / `down`).
     trace_dir: &'static str,
+    /// Scripted fault windows applied to this channel (no-op by default).
+    faults: FaultInjector,
 }
 
 impl UdpChannel {
@@ -140,7 +147,19 @@ impl UdpChannel {
             stats: ChannelStats::default(),
             tracer: Tracer::disabled(),
             trace_dir: "link",
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Install scripted fault windows. `remote_receives` marks the
+    /// channel whose destination is the remote host (the uplink):
+    /// its in-flight datagrams are swallowed during a
+    /// [`crate::fault::FaultKind::RemoteCrash`] window. The injector's
+    /// randomness is forked from this channel's own stream, so runs
+    /// stay deterministic per seed.
+    pub fn set_faults(&mut self, schedule: FaultSchedule, remote_receives: bool) {
+        self.signal.set_faults(schedule.clone());
+        self.faults = FaultInjector::new(schedule, self.rng.fork(0xFA17), remote_receives);
     }
 
     /// Route this channel's send/loss events to `tracer`, labelled
@@ -170,7 +189,7 @@ impl UdpChannel {
         pos: Point2,
     ) {
         self.stats.transmitted += 1;
-        if self.rng.chance(self.signal.loss_prob(pos)) {
+        if self.faults.drops_at_send(now) || self.rng.chance(self.signal.loss_prob_at(pos, now)) {
             self.stats.radio_losses += 1;
             self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
                 dir: self.trace_dir.to_string(),
@@ -179,8 +198,14 @@ impl UdpChannel {
             });
             return;
         }
+        let payload = if self.faults.corrupts(now) {
+            self.stats.corrupted += 1;
+            self.faults.corrupt_payload(&payload)
+        } else {
+            payload
+        };
         let jitter = self.signal.config().jitter * self.rng.uniform();
-        let arrival = now + self.signal.tx_delay(payload.len()) + self.wan_latency + jitter;
+        let arrival = now + self.signal.tx_delay_at(payload.len(), now) + self.wan_latency + jitter;
         self.in_flight
             .push(InFlight { arrival, packet: Packet { seq, sent_at, arrived_at: arrival, payload, msg } });
     }
@@ -214,7 +239,7 @@ impl UdpChannel {
             });
         };
 
-        if self.signal.is_weak(pos) {
+        if self.signal.is_weak_at(pos, now) {
             if self.kernel_buffer.is_some() {
                 self.stats.sender_discards += 1;
                 trace_send(self, SendKind::Discarded);
@@ -238,7 +263,7 @@ impl UdpChannel {
     /// held kernel buffer if the signal recovered and moves arrivals
     /// into the one-length receive queue.
     pub fn tick(&mut self, now: SimTime, pos: Point2) {
-        if !self.signal.is_weak(pos) {
+        if !self.signal.is_weak_at(pos, now) {
             if let Some((held_at, held, held_seq, held_msg)) = self.kernel_buffer.take() {
                 self.transmit(held_at, now, held, held_seq, held_msg, pos);
             }
@@ -248,6 +273,17 @@ impl UdpChannel {
                 break;
             }
             let pkt = self.in_flight.pop().unwrap().packet;
+            // A crashed remote host receives nothing: datagrams that
+            // land during the crash window vanish at the dead box.
+            if self.faults.swallows_at_delivery(pkt.arrived_at) {
+                self.stats.crash_swallowed += 1;
+                self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
+                    dir: self.trace_dir.to_string(),
+                    seq: pkt.seq,
+                    msg: pkt.msg,
+                });
+                continue;
+            }
             // Emitted at the tick that observes the arrival (keeping
             // trace timestamps non-decreasing); the true channel
             // latency rides in `latency_ns`.
@@ -441,6 +477,79 @@ mod tests {
         assert!(deliver.1 >= 3_000_000_000, "latency {} includes buffering", deliver.1);
         // Stamped at the observing tick, not the (earlier) arrival.
         assert!(deliver.2 >= t1.as_nanos());
+    }
+
+    #[test]
+    fn blackout_window_blocks_like_weak_signal() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let mut ch = channel();
+        ch.set_faults(FaultSchedule::none().with(1.0, 2.0, FaultKind::Blackout), true);
+        let t0 = SimTime::EPOCH;
+        // Strong position, no fault yet: delivers normally.
+        assert_eq!(ch.send(t0, strong_pos(), payload(8)), SendOutcome::Transmitted);
+        // Inside the blackout the driver blocks even near the WAP.
+        let t1 = t0 + Duration::from_millis(1500);
+        assert_eq!(ch.send(t1, strong_pos(), payload(8)), SendOutcome::HeldInKernelBuffer);
+        assert_eq!(ch.send(t1, strong_pos(), payload(8)), SendOutcome::DiscardedFullBuffer);
+        // After the window the held datagram flushes and arrives.
+        let t2 = t0 + Duration::from_millis(3200);
+        ch.tick(t2, strong_pos());
+        ch.tick(t2 + Duration::from_millis(50), strong_pos());
+        let p = ch.recv().expect("held packet flushes after blackout");
+        assert!(p.latency() >= Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn crashed_remote_swallows_arrivals_but_radio_stays_healthy() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let mut ch = channel();
+        ch.set_faults(FaultSchedule::none().with(0.0, 10.0, FaultKind::RemoteCrash), true);
+        let t0 = SimTime::EPOCH;
+        // The radio itself is fine: sends are accepted, not held.
+        assert_eq!(ch.send(t0, strong_pos(), payload(8)), SendOutcome::Transmitted);
+        ch.tick(t0 + Duration::from_millis(100), strong_pos());
+        assert!(ch.recv().is_none(), "dead host must not receive");
+        assert_eq!(ch.stats().delivered, 0);
+        // Downlink direction (remote sends): drops at launch instead.
+        let mut down = channel();
+        down.set_faults(FaultSchedule::none().with(0.0, 10.0, FaultKind::RemoteCrash), false);
+        down.send(t0, strong_pos(), payload(8));
+        down.tick(t0 + Duration::from_millis(100), strong_pos());
+        assert!(down.recv().is_none(), "dead host cannot send");
+        assert!(down.stats().radio_losses >= 1);
+    }
+
+    #[test]
+    fn latency_spike_inflates_delivery_time() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let cfg = WirelessConfig { jitter: Duration::ZERO, ..WirelessConfig::default() };
+        let sm = SignalModel::new(cfg, Point2::new(0.0, 0.0));
+        let mut ch = UdpChannel::new(sm, Duration::ZERO, SimRng::seed_from_u64(6));
+        ch.set_faults(
+            FaultSchedule::none()
+                .with(0.0, 1.0, FaultKind::LatencySpike { extra: Duration::from_millis(80) }),
+            true,
+        );
+        ch.send(SimTime::EPOCH, strong_pos(), payload(48));
+        ch.tick(SimTime::EPOCH + Duration::from_millis(200), strong_pos());
+        let p = ch.recv().expect("delayed but delivered");
+        assert!(p.latency() >= Duration::from_millis(80), "latency {}", p.latency());
+    }
+
+    #[test]
+    fn corruption_window_mangles_payloads() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let mut ch = channel();
+        ch.set_faults(
+            FaultSchedule::none().with(0.0, 1.0, FaultKind::Corruption { prob: 1.0 }),
+            true,
+        );
+        let orig = payload(64);
+        ch.send(SimTime::EPOCH, strong_pos(), orig.clone());
+        ch.tick(SimTime::EPOCH + Duration::from_millis(100), strong_pos());
+        let p = ch.recv().expect("corrupted packets still arrive");
+        assert_ne!(p.payload, orig);
+        assert_eq!(ch.stats().corrupted, 1);
     }
 
     #[test]

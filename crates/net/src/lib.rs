@@ -39,12 +39,14 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod channel;
+pub mod fault;
 pub mod link;
 pub mod measure;
 pub mod signal;
 pub mod tcp;
 
 pub use channel::{Packet, SendOutcome, UdpChannel};
+pub use fault::{FaultClock, FaultEdge, FaultInjector, FaultKind, FaultSchedule, FaultWindow};
 pub use link::{DuplexLink, LinkConfig, RemoteSite};
 pub use measure::{BandwidthMeter, RttTracker, SignalDirectionEstimator};
 pub use signal::{SignalModel, WirelessConfig};

@@ -6,6 +6,7 @@
 //! (paper Table III / §VIII-A).
 
 use crate::channel::{Packet, SendOutcome, UdpChannel};
+use crate::fault::FaultSchedule;
 use crate::signal::{SignalModel, WirelessConfig};
 use bytes::Bytes;
 use lgv_types::prelude::*;
@@ -80,6 +81,23 @@ impl DuplexLink {
     pub fn set_tracer(&mut self, tracer: lgv_trace::Tracer) {
         self.uplink.set_tracer(tracer.clone(), "up");
         self.downlink.set_tracer(tracer, "down");
+    }
+
+    /// Install the same scripted fault windows on both directions.
+    /// The uplink terminates at the remote host (its arrivals are
+    /// swallowed by a crash window); the downlink originates there
+    /// (its sends stop instead).
+    pub fn set_faults(&mut self, schedule: &FaultSchedule) {
+        self.uplink.set_faults(schedule.clone(), true);
+        self.downlink.set_faults(schedule.clone(), false);
+    }
+
+    /// Is the radio itself weak at the robot's position right now
+    /// (including scripted blackouts, excluding remote-host crashes)?
+    /// This is what the robot's own diagnostics can see — the signal
+    /// the liveness heartbeat uses to tell an outage from a dead host.
+    pub fn radio_weak(&self, robot: Point2, now: SimTime) -> bool {
+        self.uplink.signal().is_weak_at(robot, now)
     }
 
     /// The remote endpoint of this link.

@@ -6,6 +6,7 @@
 //! and (b) the *weak-signal* condition under which the wireless driver
 //! blocks the kernel buffer (paper Fig. 7).
 
+use crate::fault::FaultSchedule;
 use lgv_types::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -68,17 +69,33 @@ pub struct SignalModel {
     cfg: WirelessConfig,
     /// WAP position in the world frame.
     pub wap: Point2,
+    /// Scripted fault windows overlaid on the smooth path-loss model
+    /// (empty by default). Radio faults alter the time-aware queries
+    /// ([`Self::is_weak_at`], [`Self::loss_prob_at`],
+    /// [`Self::tx_delay_at`]); a remote-host crash deliberately does
+    /// *not* — the radio is healthy, only the far end is dead.
+    faults: FaultSchedule,
 }
 
 impl SignalModel {
     /// Build a model for a WAP at `wap`.
     pub fn new(cfg: WirelessConfig, wap: Point2) -> Self {
-        SignalModel { cfg, wap }
+        SignalModel { cfg, wap, faults: FaultSchedule::default() }
     }
 
     /// Radio configuration.
     pub fn config(&self) -> &WirelessConfig {
         &self.cfg
+    }
+
+    /// Overlay scripted fault windows on the radio model.
+    pub fn set_faults(&mut self, faults: FaultSchedule) {
+        self.faults = faults;
+    }
+
+    /// The scripted fault windows (empty when none were installed).
+    pub fn faults(&self) -> &FaultSchedule {
+        &self.faults
     }
 
     /// RSSI (dBm) at a robot position.
@@ -108,6 +125,27 @@ impl SignalModel {
     /// Distance from a robot position to the WAP.
     pub fn distance(&self, robot: Point2) -> f64 {
         robot.distance(self.wap)
+    }
+
+    /// Time-aware [`Self::is_weak`]: a blackout window forces the
+    /// weak-signal (buffer-blocking) regime everywhere.
+    pub fn is_weak_at(&self, robot: Point2, now: SimTime) -> bool {
+        self.faults.blackout_at(now) || self.is_weak(robot)
+    }
+
+    /// Time-aware [`Self::loss_prob`]: a blackout window loses every
+    /// packet regardless of position.
+    pub fn loss_prob_at(&self, robot: Point2, now: SimTime) -> f64 {
+        if self.faults.blackout_at(now) {
+            return 1.0;
+        }
+        self.loss_prob(robot)
+    }
+
+    /// Time-aware [`Self::tx_delay`]: latency-spike windows add their
+    /// extra one-way delay.
+    pub fn tx_delay_at(&self, bytes: usize, now: SimTime) -> Duration {
+        self.tx_delay(bytes) + self.faults.extra_latency_at(now)
     }
 }
 

@@ -14,6 +14,7 @@
 //! traffic is tiny, and the simple protocol keeps the simulation
 //! exactly analysable in tests.
 
+use crate::fault::{FaultInjector, FaultSchedule};
 use crate::signal::SignalModel;
 use bytes::Bytes;
 use lgv_trace::{MsgId, SendKind, TraceEvent, Tracer};
@@ -31,6 +32,9 @@ pub struct TcpStats {
     pub losses: u64,
     /// Segments fully delivered to the receiver.
     pub delivered: u64,
+    /// Segments flushed by [`TcpChannel::cancel_pending`] before
+    /// delivery (aborted transfers).
+    pub cancelled: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -62,6 +66,8 @@ pub struct TcpChannel {
     tracer: Tracer,
     /// Direction label stamped on trace events (`tcp` by default).
     trace_dir: &'static str,
+    /// Scripted fault windows applied to this channel (no-op by default).
+    faults: FaultInjector,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -90,7 +96,18 @@ impl TcpChannel {
             stats: TcpStats::default(),
             tracer: Tracer::disabled(),
             trace_dir: "tcp",
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Install scripted fault windows. The reliable channel always
+    /// terminates at the remote host, so a
+    /// [`crate::fault::FaultKind::RemoteCrash`] window loses every
+    /// launch (no acks from a dead box) and the retransmission timer
+    /// carries the transfer across the window.
+    pub fn set_faults(&mut self, schedule: FaultSchedule) {
+        self.signal.set_faults(schedule.clone());
+        self.faults = FaultInjector::new(schedule, self.rng.fork(0xFA17), true);
     }
 
     /// Route this channel's send/loss/deliver events to `tracer`,
@@ -134,9 +151,10 @@ impl TcpChannel {
     fn launch_head(&mut self, now: SimTime, robot: Point2) {
         let Some(head) = self.send_queue.front() else { return };
         self.stats.attempts += 1;
-        let lost = self.rng.chance(self.signal.loss_prob(robot))
-            || self.signal.is_weak(robot) && self.rng.chance(0.5);
-        let one_way = self.signal.tx_delay(head.payload.len())
+        let lost = self.faults.drops_at_send(now)
+            || self.rng.chance(self.signal.loss_prob_at(robot, now))
+            || self.signal.is_weak_at(robot, now) && self.rng.chance(0.5);
+        let one_way = self.signal.tx_delay_at(head.payload.len(), now)
             + self.wan_latency
             + self.signal.config().jitter * self.rng.uniform();
         if lost {
@@ -213,6 +231,21 @@ impl TcpChannel {
     /// Segments queued but not yet delivered.
     pub fn backlog(&self) -> usize {
         self.send_queue.len()
+    }
+
+    /// Abandon the transfer: flush every queued segment, the in-flight
+    /// copy, and any delivered-but-undrained payloads. Returns the
+    /// number of segments flushed from the send side. Without this, an
+    /// aborted transfer's segments would keep retransmitting (burning
+    /// bandwidth) and head-of-line-block the *next* transfer behind
+    /// stale traffic nobody will drain.
+    pub fn cancel_pending(&mut self) -> usize {
+        let flushed = self.send_queue.len();
+        self.stats.cancelled += flushed as u64;
+        self.send_queue.clear();
+        self.in_flight = None;
+        self.rx_queue.clear();
+        flushed
     }
 
     /// Protocol statistics.
@@ -368,6 +401,56 @@ mod tests {
             }
         }
         assert!(saw_send && saw_deliver);
+    }
+
+    #[test]
+    fn cancel_pending_flushes_queue_flight_and_rx() {
+        let mut ch = channel(0.0);
+        for i in 0..6u8 {
+            ch.send(SimTime::EPOCH, Bytes::from(vec![i]));
+        }
+        // Let a couple land (undrained) and one sit in flight.
+        let mut t = SimTime::EPOCH;
+        for _ in 0..10 {
+            t += Duration::from_millis(10);
+            ch.tick(t, near());
+        }
+        assert!(ch.stats().delivered > 0);
+        let flushed = ch.cancel_pending();
+        assert!(flushed > 0);
+        assert_eq!(ch.backlog(), 0);
+        assert!(ch.recv().is_none(), "stale deliveries flushed too");
+        assert_eq!(ch.stats().cancelled, flushed as u64);
+        // A fresh transfer is not blocked behind stale segments.
+        ch.send(t, Bytes::from_static(b"fresh"));
+        for _ in 0..50 {
+            t += Duration::from_millis(10);
+            ch.tick(t, near());
+        }
+        let (_, payload, _) = ch.recv().expect("fresh segment delivered");
+        assert_eq!(&payload[..], b"fresh");
+    }
+
+    #[test]
+    fn crash_window_stalls_transfer_until_restart() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        let mut ch = channel(0.0);
+        ch.set_faults(FaultSchedule::none().with(0.0, 5.0, FaultKind::RemoteCrash));
+        ch.send(SimTime::EPOCH, Bytes::from_static(b"state"));
+        let mut t = SimTime::EPOCH;
+        // While the host is down nothing is acknowledged…
+        for _ in 0..400 {
+            t += Duration::from_millis(10);
+            ch.tick(t, near());
+        }
+        assert_eq!(ch.stats().delivered, 0, "dead host acks nothing");
+        assert!(ch.stats().losses > 0, "every launch into the crash is lost");
+        // …and the RTO machinery completes the transfer after restart.
+        for _ in 0..200 {
+            t += Duration::from_millis(10);
+            ch.tick(t, near());
+        }
+        assert!(ch.recv().is_some(), "transfer lands once the host is back");
     }
 
     #[test]

@@ -99,13 +99,35 @@ impl Journey {
             if let Some(d) = d {
                 // Strict `>` keeps the earliest stage on ties, which
                 // is deterministic and favours upstream causes.
-                if best.map_or(true, |(_, b)| *d > b) {
+                if best.is_none_or(|(_, b)| *d > b) {
                     best = Some((i, *d));
                 }
             }
         }
         best.map(|(i, _)| i)
     }
+}
+
+/// One scripted fault window reconstructed from its
+/// `fault_begin`/`fault_end` edge events, with everything the trace
+/// blames on it: losses, discards, heartbeat misses, migration
+/// timeouts, and the speed cap the controller actually commanded
+/// while the window was open.
+#[derive(Debug, Clone)]
+struct FaultSpan {
+    window: u64,
+    fault: String,
+    begin_ns: u64,
+    /// Scheduled width as reported by the `fault_begin` event.
+    span_ns: u64,
+    /// Did a matching `fault_end` arrive before the trace ended?
+    closed: bool,
+    losses: u64,
+    discards: u64,
+    heartbeat_misses: u64,
+    migration_timeouts: u64,
+    /// `max_linear` samples from control decisions inside the window.
+    speed: Histogram,
 }
 
 /// One flagged lying-RTT window.
@@ -141,6 +163,15 @@ pub struct TraceAnalysis {
     bus_drops: BTreeMap<String, u64>,
     anomalies: Vec<Anomaly>,
     total_rtt_samples: u64,
+    /// Scripted fault windows in `fault_begin` emission order.
+    faults: Vec<FaultSpan>,
+    /// `max_linear` samples from control decisions outside every
+    /// fault window — the baseline the per-window speed compares to.
+    speed_outside: Histogram,
+    heartbeat_misses: u64,
+    migration_timeouts: u64,
+    /// Re-offload backoff events as `(t_ns, wait_ns, failures)`.
+    backoffs: Vec<(u64, u64, u64)>,
 }
 
 impl TraceAnalysis {
@@ -163,6 +194,11 @@ impl TraceAnalysis {
             bus_drops: BTreeMap::new(),
             anomalies: Vec::new(),
             total_rtt_samples: 0,
+            faults: Vec::new(),
+            speed_outside: Histogram::default(),
+            heartbeat_misses: 0,
+            migration_timeouts: 0,
+            backoffs: Vec::new(),
         };
 
         // ---- single pass: index lineage + spans + anomaly windows.
@@ -207,6 +243,11 @@ impl TraceAnalysis {
         let mut last_rtt: Option<(u64, u64)> = None; // (t_ns, rtt_ns)
         let mut window: Option<Anomaly> = None;
 
+        // Fault windows currently open: window id -> index in
+        // `a.faults`. Events between a window's begin and end edges
+        // are attributed to it.
+        let mut open_faults: BTreeMap<u64, usize> = BTreeMap::new();
+
         for rec in records {
             if !rec.span.is_none() {
                 *span_events.entry(rec.span.0).or_insert(0) += 1;
@@ -220,20 +261,16 @@ impl TraceAnalysis {
                 TraceEvent::MissionEnd { completed, reason } => {
                     a.completed = Some((*completed, reason.clone()));
                 }
-                TraceEvent::SpanBegin { name, .. } => {
-                    if name == "cycle" {
-                        a.cycles += 1;
-                    }
+                TraceEvent::SpanBegin { name, .. } if name == "cycle" => {
+                    a.cycles += 1;
                 }
-                TraceEvent::BusPublish { topic, msg, parent, .. } => {
-                    if !msg.is_none() {
-                        msgs.entry(msg.0).or_insert_with(|| {
-                            MsgInfo::new(rec.t_ns, topic.clone(), rec.span, *parent)
-                        });
-                        if !parent.is_none() {
-                            if let Some(p) = msgs.get_mut(&parent.0) {
-                                p.children.push(*msg);
-                            }
+                TraceEvent::BusPublish { topic, msg, parent, .. } if !msg.is_none() => {
+                    msgs.entry(msg.0).or_insert_with(|| {
+                        MsgInfo::new(rec.t_ns, topic.clone(), rec.span, *parent)
+                    });
+                    if !parent.is_none() {
+                        if let Some(p) = msgs.get_mut(&parent.0) {
+                            p.children.push(*msg);
                         }
                     }
                 }
@@ -249,6 +286,9 @@ impl TraceAnalysis {
                             *a.discards.entry(dir.clone()).or_insert(0) += 1;
                             if let Some(m) = msgs.get_mut(&msg.0) {
                                 m.discarded = true;
+                            }
+                            for &i in open_faults.values() {
+                                a.faults[i].discards += 1;
                             }
                             // One more silent discard: extend (or open)
                             // the current anomaly window.
@@ -291,6 +331,9 @@ impl TraceAnalysis {
                     if let Some(m) = msgs.get_mut(&msg.0) {
                         m.lost = true;
                     }
+                    for &i in open_faults.values() {
+                        a.faults[i].losses += 1;
+                    }
                 }
                 TraceEvent::ChannelDeliver { dir, msg, latency_ns, .. } => {
                     if let Some(m) = msgs.get_mut(&msg.0) {
@@ -304,16 +347,58 @@ impl TraceAnalysis {
                         }
                     }
                 }
-                TraceEvent::ProfileSample { remote, nanos, msg, .. } => {
-                    if *remote {
-                        if let Some(m) = msgs.get_mut(&msg.0) {
-                            m.compute_ns += nanos;
-                        }
+                TraceEvent::ProfileSample { remote: true, nanos, msg, .. } => {
+                    if let Some(m) = msgs.get_mut(&msg.0) {
+                        m.compute_ns += nanos;
                     }
                 }
                 TraceEvent::RttSample { rtt_ns } => {
                     a.total_rtt_samples += 1;
                     last_rtt = Some((rec.t_ns, *rtt_ns));
+                }
+                TraceEvent::ControlDecision { max_linear, .. } => {
+                    if open_faults.is_empty() {
+                        a.speed_outside.observe(*max_linear);
+                    } else {
+                        for &i in open_faults.values() {
+                            a.faults[i].speed.observe(*max_linear);
+                        }
+                    }
+                }
+                TraceEvent::FaultBegin { fault, window, window_ns } => {
+                    open_faults.insert(*window, a.faults.len());
+                    a.faults.push(FaultSpan {
+                        window: *window,
+                        fault: fault.clone(),
+                        begin_ns: rec.t_ns,
+                        span_ns: *window_ns,
+                        closed: false,
+                        losses: 0,
+                        discards: 0,
+                        heartbeat_misses: 0,
+                        migration_timeouts: 0,
+                        speed: Histogram::default(),
+                    });
+                }
+                TraceEvent::FaultEnd { window, .. } => {
+                    if let Some(i) = open_faults.remove(window) {
+                        a.faults[i].closed = true;
+                    }
+                }
+                TraceEvent::HeartbeatMiss { .. } => {
+                    a.heartbeat_misses += 1;
+                    for &i in open_faults.values() {
+                        a.faults[i].heartbeat_misses += 1;
+                    }
+                }
+                TraceEvent::MigrationTimeout { .. } => {
+                    a.migration_timeouts += 1;
+                    for &i in open_faults.values() {
+                        a.faults[i].migration_timeouts += 1;
+                    }
+                }
+                TraceEvent::ReoffloadBackoff { wait_ns, failures } => {
+                    a.backoffs.push((rec.t_ns, *wait_ns, *failures));
                 }
                 _ => {}
             }
@@ -439,6 +524,26 @@ impl TraceAnalysis {
     /// Control cycles seen (span_begin records named `cycle`).
     pub fn cycle_count(&self) -> u64 {
         self.cycles
+    }
+
+    /// Scripted fault windows seen (`fault_begin` records).
+    pub fn fault_window_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Heartbeat misses seen across the whole mission.
+    pub fn heartbeat_miss_count(&self) -> u64 {
+        self.heartbeat_misses
+    }
+
+    /// Migration deadline expiries seen across the whole mission.
+    pub fn migration_timeout_count(&self) -> u64 {
+        self.migration_timeouts
+    }
+
+    /// Re-offload backoff waits announced across the whole mission.
+    pub fn backoff_count(&self) -> usize {
+        self.backoffs.len()
     }
 
     /// Render the full deterministic text report.
@@ -588,6 +693,65 @@ impl TraceAnalysis {
                     j.fate.as_str()
                 );
             }
+        }
+
+        // ---- fault attribution.
+        let _ = writeln!(out);
+        let _ = writeln!(out, "--- fault windows (scripted faults and what the trace blames on them) ---");
+        if self.faults.is_empty() {
+            let _ = writeln!(out, "none scripted");
+        } else {
+            for w in &self.faults {
+                let t0 = w.begin_ns as f64 / 1e9;
+                let dur = w.span_ns as f64 / 1e9;
+                let _ = writeln!(
+                    out,
+                    "#{} {:<13} [{:6.1} s, {:6.1} s){}",
+                    w.window,
+                    w.fault,
+                    t0,
+                    t0 + dur,
+                    if w.closed { "" } else { "  (still open at trace end)" }
+                );
+                let _ = writeln!(
+                    out,
+                    "  inside: {} radio losses, {} sender discards, {} heartbeat misses, \
+                     {} migration timeouts",
+                    w.losses, w.discards, w.heartbeat_misses, w.migration_timeouts
+                );
+                let inside = w.speed.mean();
+                let outside = self.speed_outside.mean();
+                if w.speed.count() > 0 && self.speed_outside.count() > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  speed cap: mean {:.3} m/s inside vs {:.3} m/s outside fault windows",
+                        inside, outside
+                    );
+                }
+            }
+            let blamed: u64 = self.faults.iter().map(|w| w.losses + w.discards).sum();
+            let total: u64 = self.losses.values().sum::<u64>()
+                + self.discards.values().sum::<u64>();
+            let _ = writeln!(
+                out,
+                "{} of {} dropped/discarded datagrams fell inside a fault window",
+                blamed.min(total),
+                total
+            );
+        }
+        if !self.backoffs.is_empty() {
+            let waits = self
+                .backoffs
+                .iter()
+                .map(|(_, wait, _)| format!("{:.1} s", *wait as f64 / 1e9))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "re-offload backoffs: {} (waits {})",
+                self.backoffs.len(),
+                waits
+            );
         }
 
         // ---- anomalies.
@@ -821,6 +985,86 @@ mod tests {
         // No RTT sample at all: nothing to lie.
         let blind = vec![discard(0, 1_200, 1), discard(1, 1_210, 2), discard(2, 1_220, 3)];
         assert_eq!(TraceAnalysis::from_records(&blind).anomaly_count(), 0);
+    }
+
+    #[test]
+    fn fault_windows_attribute_losses_and_speed() {
+        let records = vec![
+            // Healthy cycle before the fault: full speed, no loss.
+            rec(
+                0,
+                0,
+                0,
+                TraceEvent::ControlDecision {
+                    local_vdp_ns: 1,
+                    cloud_vdp_ns: 1,
+                    bandwidth: 5.0,
+                    direction: 0.1,
+                    vdp_remote: true,
+                    max_linear: 0.15,
+                    net_decision: "hold".into(),
+                },
+            ),
+            rec(
+                1_000,
+                1,
+                0,
+                TraceEvent::FaultBegin { fault: "blackout".into(), window: 0, window_ns: 2_000_000_000 },
+            ),
+            rec(1_100, 2, 0, TraceEvent::ChannelLoss { dir: "up".into(), seq: 0, msg: MsgId(0) }),
+            rec(
+                1_200,
+                3,
+                0,
+                TraceEvent::ChannelSend {
+                    dir: "up".into(),
+                    seq: 1,
+                    bytes: 10,
+                    outcome: SendKind::Discarded,
+                    msg: MsgId(0),
+                },
+            ),
+            rec(1_300, 4, 0, TraceEvent::HeartbeatMiss { silence_ns: 1_600_000_000 }),
+            rec(
+                1_400,
+                5,
+                0,
+                TraceEvent::ControlDecision {
+                    local_vdp_ns: 1,
+                    cloud_vdp_ns: 1,
+                    bandwidth: 0.0,
+                    direction: 0.0,
+                    vdp_remote: false,
+                    max_linear: 0.08,
+                    net_decision: "to_local".into(),
+                },
+            ),
+            rec(3_000, 6, 0, TraceEvent::FaultEnd { fault: "blackout".into(), window: 0 }),
+            rec(3_100, 7, 0, TraceEvent::ChannelLoss { dir: "up".into(), seq: 2, msg: MsgId(0) }),
+            rec(
+                5_000,
+                8,
+                0,
+                TraceEvent::ReoffloadBackoff { wait_ns: 2_000_000_000, failures: 1 },
+            ),
+        ];
+        let a = TraceAnalysis::from_records(&records);
+        assert_eq!(a.fault_window_count(), 1);
+        assert_eq!(a.heartbeat_miss_count(), 1);
+        assert_eq!(a.backoff_count(), 1);
+        let w = &a.faults[0];
+        assert!(w.closed);
+        assert_eq!(w.losses, 1, "post-window loss must not be blamed on it");
+        assert_eq!(w.discards, 1);
+        assert_eq!(w.heartbeat_misses, 1);
+        assert_eq!(w.speed.count(), 1);
+        assert_eq!(a.speed_outside.count(), 1);
+        let report = a.render_report();
+        assert!(report.contains("#0 blackout"));
+        assert!(report.contains("1 radio losses, 1 sender discards, 1 heartbeat misses"));
+        assert!(report.contains("speed cap: mean 0.080 m/s inside vs 0.150 m/s outside"));
+        assert!(report.contains("2 of 3 dropped/discarded datagrams fell inside a fault window"));
+        assert!(report.contains("re-offload backoffs: 1 (waits 2.0 s)"));
     }
 
     #[test]

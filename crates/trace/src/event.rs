@@ -60,11 +60,13 @@ pub enum EventCategory {
     Energy,
     /// Placement switches and node-state migration transfers.
     Migration,
+    /// Injected fault windows opening and closing.
+    Fault,
 }
 
 impl EventCategory {
     /// Every category, in a fixed documentation order.
-    pub const ALL: [EventCategory; 10] = [
+    pub const ALL: [EventCategory; 11] = [
         EventCategory::Mission,
         EventCategory::Span,
         EventCategory::Bus,
@@ -75,6 +77,7 @@ impl EventCategory {
         EventCategory::Governor,
         EventCategory::Energy,
         EventCategory::Migration,
+        EventCategory::Fault,
     ];
 
     /// Stable lower-case name.
@@ -90,6 +93,7 @@ impl EventCategory {
             EventCategory::Governor => "governor",
             EventCategory::Energy => "energy",
             EventCategory::Migration => "migration",
+            EventCategory::Fault => "fault",
         }
     }
 }
@@ -275,6 +279,49 @@ pub enum TraceEvent {
     /// The in-flight migration was abandoned (state rebuilt from
     /// fresh sensor data instead).
     MigrationAbort,
+    /// A scripted fault window opened.
+    FaultBegin {
+        /// Fault kind label (`blackout` / `burst_loss` /
+        /// `latency_spike` / `corruption` / `remote_crash`).
+        fault: String,
+        /// Index of the window in the mission's fault schedule (pairs
+        /// this event with its [`TraceEvent::FaultEnd`]).
+        window: u64,
+        /// Scripted length of the window.
+        window_ns: u64,
+    },
+    /// A scripted fault window closed.
+    FaultEnd {
+        /// Fault kind label (as in [`TraceEvent::FaultBegin`]).
+        fault: String,
+        /// Index of the window in the mission's fault schedule.
+        window: u64,
+    },
+    /// The cloud-liveness heartbeat expired: downlink silence under a
+    /// healthy radio, so the remote host is presumed dead and the
+    /// Controller invokes nodes locally at once (no outage-watchdog
+    /// wait).
+    HeartbeatMiss {
+        /// How long the downlink had been silent when the heartbeat
+        /// fired.
+        silence_ns: u64,
+    },
+    /// A node-state migration overran its deadline and was aborted
+    /// (the destination rebuilds state from fresh sensor data).
+    MigrationTimeout {
+        /// How long the transfer had been running.
+        elapsed_ns: u64,
+        /// Total state bytes the transfer was shipping.
+        bytes: u64,
+    },
+    /// Algorithm 2 wanted to re-offload but the exponential backoff
+    /// after a recent offload failure suppressed the switch.
+    ReoffloadBackoff {
+        /// Time remaining until re-offload is allowed again.
+        wait_ns: u64,
+        /// Consecutive offload failures behind the current backoff.
+        failures: u64,
+    },
 }
 
 impl TraceEvent {
@@ -300,6 +347,11 @@ impl TraceEvent {
             TraceEvent::MigrationStart { .. } => "migration_start",
             TraceEvent::MigrationCommit { .. } => "migration_commit",
             TraceEvent::MigrationAbort => "migration_abort",
+            TraceEvent::FaultBegin { .. } => "fault_begin",
+            TraceEvent::FaultEnd { .. } => "fault_end",
+            TraceEvent::HeartbeatMiss { .. } => "heartbeat_miss",
+            TraceEvent::MigrationTimeout { .. } => "migration_timeout",
+            TraceEvent::ReoffloadBackoff { .. } => "reoffload_backoff",
         }
     }
 
@@ -322,7 +374,12 @@ impl TraceEvent {
             TraceEvent::NetSwitch { .. }
             | TraceEvent::MigrationStart { .. }
             | TraceEvent::MigrationCommit { .. }
-            | TraceEvent::MigrationAbort => EventCategory::Migration,
+            | TraceEvent::MigrationAbort
+            | TraceEvent::MigrationTimeout { .. } => EventCategory::Migration,
+            TraceEvent::HeartbeatMiss { .. } | TraceEvent::ReoffloadBackoff { .. } => {
+                EventCategory::Control
+            }
+            TraceEvent::FaultBegin { .. } | TraceEvent::FaultEnd { .. } => EventCategory::Fault,
         }
     }
 
@@ -428,6 +485,26 @@ impl TraceEvent {
                 field_u64(out, "attempts", *attempts);
             }
             TraceEvent::MigrationAbort => {}
+            TraceEvent::FaultBegin { fault, window, window_ns } => {
+                field_str(out, "fault", fault);
+                field_u64(out, "window", *window);
+                field_u64(out, "window_ns", *window_ns);
+            }
+            TraceEvent::FaultEnd { fault, window } => {
+                field_str(out, "fault", fault);
+                field_u64(out, "window", *window);
+            }
+            TraceEvent::HeartbeatMiss { silence_ns } => {
+                field_u64(out, "silence_ns", *silence_ns);
+            }
+            TraceEvent::MigrationTimeout { elapsed_ns, bytes } => {
+                field_u64(out, "elapsed_ns", *elapsed_ns);
+                field_u64(out, "bytes", *bytes);
+            }
+            TraceEvent::ReoffloadBackoff { wait_ns, failures } => {
+                field_u64(out, "wait_ns", *wait_ns);
+                field_u64(out, "failures", *failures);
+            }
         }
     }
 }

@@ -373,6 +373,23 @@ fn event_from(kind: &str, obj: &Obj) -> Result<TraceEvent, String> {
             attempts: obj.u64("attempts")?,
         },
         "migration_abort" => TraceEvent::MigrationAbort,
+        "fault_begin" => TraceEvent::FaultBegin {
+            fault: obj.str("fault")?,
+            window: obj.u64("window")?,
+            window_ns: obj.u64("window_ns")?,
+        },
+        "fault_end" => {
+            TraceEvent::FaultEnd { fault: obj.str("fault")?, window: obj.u64("window")? }
+        }
+        "heartbeat_miss" => TraceEvent::HeartbeatMiss { silence_ns: obj.u64("silence_ns")? },
+        "migration_timeout" => TraceEvent::MigrationTimeout {
+            elapsed_ns: obj.u64("elapsed_ns")?,
+            bytes: obj.u64("bytes")?,
+        },
+        "reoffload_backoff" => TraceEvent::ReoffloadBackoff {
+            wait_ns: obj.u64("wait_ns")?,
+            failures: obj.u64("failures")?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     })
 }
@@ -508,6 +525,15 @@ mod tests {
             TraceEvent::MigrationStart { bytes: 65_536 },
             TraceEvent::MigrationCommit { elapsed_ns: 1_000_000, attempts: 3 },
             TraceEvent::MigrationAbort,
+            TraceEvent::FaultBegin {
+                fault: "remote_crash".into(),
+                window: 0,
+                window_ns: 20_000_000_000,
+            },
+            TraceEvent::FaultEnd { fault: "remote_crash".into(), window: 0 },
+            TraceEvent::HeartbeatMiss { silence_ns: 1_600_000_000 },
+            TraceEvent::MigrationTimeout { elapsed_ns: 8_000_000_000, bytes: 81_920 },
+            TraceEvent::ReoffloadBackoff { wait_ns: 4_000_000_000, failures: 2 },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let rec = TraceRecord { t_ns: i as u64 * 10, seq: i as u64, span: SpanId(1), event };

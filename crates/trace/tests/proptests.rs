@@ -60,6 +60,11 @@ fn all_kinds(s: &str, a: u64, b: u32, f: f64, flag: bool) -> Vec<TraceEvent> {
         TraceEvent::MigrationStart { bytes: a },
         TraceEvent::MigrationCommit { elapsed_ns: a, attempts: b as u64 },
         TraceEvent::MigrationAbort,
+        TraceEvent::FaultBegin { fault: s.to_string(), window: b as u64, window_ns: a },
+        TraceEvent::FaultEnd { fault: s.to_string(), window: b as u64 },
+        TraceEvent::HeartbeatMiss { silence_ns: a },
+        TraceEvent::MigrationTimeout { elapsed_ns: a, bytes: b as u64 },
+        TraceEvent::ReoffloadBackoff { wait_ns: a, failures: b as u64 },
     ]
 }
 

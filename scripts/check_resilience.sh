@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Resilience gate: the whole workspace must be clippy-clean with
+# warnings denied, and the seeded chaos sweep must run end to end
+# (randomized fault schedules + the scripted remote-crash showcase;
+# see docs/RESILIENCE.md).
+#
+# Usage: ./scripts/check_resilience.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo clippy (warnings denied) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "== chaos smoke (quick mode, seeded) =="
+LGV_BENCH_QUICK=1 cargo run -q -p lgv-bench --bin chaos
+
+echo
+echo "resilience OK"

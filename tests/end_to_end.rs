@@ -39,6 +39,7 @@ fn mini(deployment: Deployment, workload: Workload) -> MissionConfig {
         lidar: lgv_sim::LidarConfig::default(),
         exploration_speed_cap: 0.3,
         record_traces: true,
+        faults: lgv_net::FaultSchedule::none(),
     }
 }
 

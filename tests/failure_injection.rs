@@ -40,6 +40,7 @@ fn base(deployment: Deployment) -> MissionConfig {
         lidar: LidarConfig::default(),
         exploration_speed_cap: 0.3,
         record_traces: false,
+        faults: cloud_lgv::net::FaultSchedule::none(),
     }
 }
 

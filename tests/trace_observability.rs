@@ -8,6 +8,7 @@ use cloud_lgv::offload::mission::{self, MissionConfig, Workload};
 use cloud_lgv::offload::model::{Goal, VelocityModel};
 use cloud_lgv::offload::strategy::PinPolicy;
 use cloud_lgv::net::signal::WirelessConfig;
+use cloud_lgv::net::{FaultKind, FaultSchedule};
 use cloud_lgv::sim::world::WorldBuilder;
 use cloud_lgv::sim::LidarConfig;
 use cloud_lgv::trace::{EventCategory, JsonlSink, MetricsRegistry, RingBufferSink, Tracer};
@@ -46,6 +47,13 @@ fn traced_config() -> MissionConfig {
         lidar: LidarConfig::default(),
         exploration_speed_cap: 0.3,
         record_traces: false,
+        // A mild latency spike early in the run so the `fault`
+        // category fires without changing the route.
+        faults: FaultSchedule::none().with(
+            2.0,
+            1.0,
+            FaultKind::LatencySpike { extra: Duration::from_millis(40) },
+        ),
     }
 }
 

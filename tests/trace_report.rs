@@ -46,6 +46,7 @@ fn weak_signal_config() -> MissionConfig {
         lidar: LidarConfig::default(),
         exploration_speed_cap: 0.3,
         record_traces: false,
+        faults: cloud_lgv::net::FaultSchedule::none(),
     }
 }
 
