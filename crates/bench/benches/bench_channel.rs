@@ -21,7 +21,9 @@ fn scan() -> LaserScan {
 
 fn bench_codec(c: &mut Criterion) {
     let s = scan();
-    c.bench_function("codec_encode_scan", |b| b.iter(|| black_box(to_bytes(&s).unwrap())));
+    c.bench_function("codec_encode_scan", |b| {
+        b.iter(|| black_box(to_bytes(&s).unwrap()))
+    });
     let encoded = to_bytes(&s).unwrap();
     c.bench_function("codec_decode_scan", |b| {
         b.iter(|| black_box(from_bytes::<LaserScan>(&encoded).unwrap()))

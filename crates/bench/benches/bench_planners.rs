@@ -16,10 +16,14 @@ fn bench_global_planners(c: &mut Criterion) {
     let cm = Costmap::from_map(CostmapConfig::default(), &map);
     let start = presets::intel_start().position();
     let goal = Point2::new(16.0, 2.5);
-    for (name, alg) in
-        [("astar_intel", PlannerAlgorithm::AStar), ("dijkstra_intel", PlannerAlgorithm::Dijkstra)]
-    {
-        let planner = GlobalPlanner::new(PlannerConfig { algorithm: alg, ..Default::default() });
+    for (name, alg) in [
+        ("astar_intel", PlannerAlgorithm::AStar),
+        ("dijkstra_intel", PlannerAlgorithm::Dijkstra),
+    ] {
+        let planner = GlobalPlanner::new(PlannerConfig {
+            algorithm: alg,
+            ..Default::default()
+        });
         c.bench_function(name, |b| {
             b.iter(|| black_box(planner.plan(&cm, start, goal, SimTime::EPOCH).unwrap()))
         });
@@ -32,7 +36,11 @@ fn bench_amcl_update(c: &mut Criterion) {
     let pose = presets::lab_start();
     let mut lidar = Lidar::new(LidarConfig::default(), SimRng::seed_from_u64(3));
     let scan = lidar.scan(&world, pose, SimTime::EPOCH);
-    let odom = OdometryMsg { stamp: SimTime::EPOCH, pose, twist: Twist::STOP };
+    let odom = OdometryMsg {
+        stamp: SimTime::EPOCH,
+        pose,
+        twist: Twist::STOP,
+    };
     c.bench_function("amcl_update_lab", |b| {
         let mut amcl = Amcl::new(AmclConfig::default(), &map, pose, SimRng::seed_from_u64(4));
         b.iter(|| black_box(amcl.process(&odom, &scan)));
@@ -50,11 +58,14 @@ fn bench_frontier_detection(c: &mut Criterion) {
     }
     let explorer = FrontierExplorer::new(FrontierConfig::default());
     c.bench_function("frontier_intel_half_known", |b| {
-        b.iter(|| {
-            black_box(explorer.select_goal(&map, Point2::new(1.0, 7.0), SimTime::EPOCH))
-        })
+        b.iter(|| black_box(explorer.select_goal(&map, Point2::new(1.0, 7.0), SimTime::EPOCH)))
     });
 }
 
-criterion_group!(benches, bench_global_planners, bench_amcl_update, bench_frontier_detection);
+criterion_group!(
+    benches,
+    bench_global_planners,
+    bench_amcl_update,
+    bench_frontier_detection
+);
 criterion_main!(benches);

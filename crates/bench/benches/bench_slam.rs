@@ -32,8 +32,7 @@ fn bench_scan_match_threads(c: &mut Criterion) {
                     map_dims: *world.dims(),
                     ..SlamConfig::default()
                 };
-                let mut slam =
-                    GMapping::new(cfg, presets::intel_start(), SimRng::seed_from_u64(1));
+                let mut slam = GMapping::new(cfg, presets::intel_start(), SimRng::seed_from_u64(1));
                 let mut stream = ScanStream::new(world, presets::intel_start(), 2);
                 // Prime the maps so scan matching has structure.
                 for _ in 0..3 {
@@ -65,8 +64,7 @@ fn bench_particle_counts(c: &mut Criterion) {
                     map_dims: *world.dims(),
                     ..SlamConfig::default()
                 };
-                let mut slam =
-                    GMapping::new(cfg, presets::intel_start(), SimRng::seed_from_u64(1));
+                let mut slam = GMapping::new(cfg, presets::intel_start(), SimRng::seed_from_u64(1));
                 let mut stream = ScanStream::new(world, presets::intel_start(), 2);
                 for _ in 0..3 {
                     let (odom, scan) = stream.next_pair();

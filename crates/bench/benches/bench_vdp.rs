@@ -23,7 +23,10 @@ fn setup() -> (Costmap, MapMsg, LaserScan, Pose2D, PathMsg, Point2) {
     let mut lidar = Lidar::new(LidarConfig::default(), SimRng::seed_from_u64(7));
     let scan = lidar.scan(&world, pose, SimTime::EPOCH);
     let goal = presets::lab_goal();
-    let path = PathMsg { stamp: SimTime::EPOCH, waypoints: vec![pose.position(), goal] };
+    let path = PathMsg {
+        stamp: SimTime::EPOCH,
+        waypoints: vec![pose.position(), goal],
+    };
     (cm, map, scan, pose, path, goal)
 }
 
@@ -43,10 +46,17 @@ fn bench_dwa_samples(c: &mut Criterion) {
     let mut group = c.benchmark_group("dwa_samples");
     group.sample_size(20);
     for &samples in &[100u32, 500, 1000, 2000] {
-        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &samples| {
-            let mut dwa = DwaPlanner::new(DwaConfig { samples, ..DwaConfig::default() });
-            b.iter(|| black_box(dwa.compute(&cm, pose, &path, goal)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(samples),
+            &samples,
+            |b, &samples| {
+                let mut dwa = DwaPlanner::new(DwaConfig {
+                    samples,
+                    ..DwaConfig::default()
+                });
+                b.iter(|| black_box(dwa.compute(&cm, pose, &path, goal)));
+            },
+        );
     }
     group.finish();
 }
@@ -56,14 +66,26 @@ fn bench_dwa_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("dwa_threads_2000_samples");
     group.sample_size(20);
     for &threads in &[1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let mut dwa =
-                DwaPlanner::new(DwaConfig { samples: 2000, threads, ..DwaConfig::default() });
-            b.iter(|| black_box(dwa.compute(&cm, pose, &path, goal)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mut dwa = DwaPlanner::new(DwaConfig {
+                    samples: 2000,
+                    threads,
+                    ..DwaConfig::default()
+                });
+                b.iter(|| black_box(dwa.compute(&cm, pose, &path, goal)));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_costmap_update, bench_dwa_samples, bench_dwa_threads);
+criterion_group!(
+    benches,
+    bench_costmap_update,
+    bench_dwa_samples,
+    bench_dwa_threads
+);
 criterion_main!(benches);

@@ -1,168 +1,9 @@
-//! Ablations of the paper's three optimization strategies: what
-//! breaks when each is removed (DESIGN.md §5).
-//!
-//! 1. **Cloud acceleration off** — offloaded nodes run single-threaded
-//!    (deployment `Cloud` vs `Cloud (12t)`).
-//! 2. **Latency-only network control** — replay the Fig. 11 dead-zone
-//!    trace against the naive latency-threshold controller: it never
-//!    reacts, because the only latency samples it sees are survivors.
-//! 3. **Static offloading in a dead zone** — Algorithm 2 disabled; the
-//!    mission stalls waiting for commands that never arrive.
-//! 4. **Coarse-grained migration under a degraded WAN** — Algorithm 1
-//!    with the MCT goal pulls the VDP back on-board when the network
-//!    makes the cloud VDP slower; a policy that blindly keeps
-//!    everything remote pays the latency on the critical path.
-
-use lgv_bench::banner;
-use lgv_net::signal::WirelessConfig;
-use lgv_offload::deploy::Deployment;
-use lgv_offload::mission::{self, MissionConfig, Workload};
-use lgv_offload::model::Goal;
-use lgv_offload::netctl::{LatencyOnlyControl, NetDecision};
-use lgv_sim::world::WorldBuilder;
-use lgv_types::prelude::*;
+//! Standalone entry point for the `ablations` scenario. The scenario body
+//! lives in `lgv_bench::scenarios::ablations`; this wrapper runs it against
+//! stdout with the canonical seed, honoring `LGV_BENCH_QUICK=1` and
+//! `--trace <path>`. `lgv-bench suite` runs the same job in parallel
+//! with the rest of the evaluation.
 
 fn main() {
-    ablation_parallelization();
-    ablation_latency_metric();
-    ablation_static_offload();
-    ablation_fine_grained();
-    ablation_thread_governor();
-}
-
-fn ablation_parallelization() {
-    banner(
-        "Ablation 1: cloud acceleration (parallelization) off",
-        "§V: parallel scanMatch/scoring is where the big ECN gains come from",
-    );
-    for d in [Deployment::cloud(), Deployment::cloud_12t()] {
-        let mut cfg = MissionConfig::navigation_lab(d);
-        cfg.record_traces = false;
-        let r = mission::run(cfg);
-        println!(
-            "  {:<12} time {:>6.1} s  energy {:>7.1} J  avg VDP {:>6.1} ms",
-            d.label,
-            r.time.total().as_secs_f64(),
-            r.energy.total_joules(),
-            r.avg_vdp_makespan.as_millis_f64()
-        );
-    }
-}
-
-fn ablation_latency_metric() {
-    banner(
-        "Ablation 2: latency-threshold control vs Algorithm 2",
-        "Fig. 7/11: survivor latency stays healthy while the UDP sender silently discards",
-    );
-    // Replay the starved-link condition: the only observations a
-    // latency controller gets in the dead zone are (a) stale healthy
-    // samples and (b) nothing at all.
-    let ctl = LatencyOnlyControl { latency_threshold: Duration::from_millis(100) };
-    let observations: [(Option<Duration>, &str); 4] = [
-        (Some(Duration::from_millis(28)), "healthy sample before the dead zone"),
-        (Some(Duration::from_millis(31)), "last survivor at the boundary"),
-        (None, "inside the dead zone: no packets at all"),
-        (None, "still nothing"),
-    ];
-    let mut reacted = false;
-    for (obs, label) in observations {
-        let d = ctl.decide(obs, true);
-        reacted |= d != NetDecision::Keep;
-        println!("  obs {:>8}  -> {:?}   ({label})", obs.map_or("-".into(), |o| o.to_string()), d);
-    }
-    println!(
-        "  latency-only controller reacted: {reacted} (Algorithm 2 switches on the same trace — see fig11)"
-    );
-}
-
-fn dead_zone_cfg(adaptive: bool) -> MissionConfig {
-    let world = WorldBuilder::new(20.0, 4.0, 0.05).walls().build();
-    let mut cfg = MissionConfig::navigation_lab(Deployment::cloud_12t());
-    cfg.workload = Workload::Navigation;
-    cfg.world = world;
-    cfg.start = Pose2D::new(1.0, 2.0, 0.0);
-    cfg.nav_goal = Point2::new(18.5, 2.0);
-    cfg.wap = Point2::new(1.0, 3.5);
-    cfg.wireless = WirelessConfig::default().with_weak_radius(8.0);
-    cfg.adaptive = adaptive;
-    cfg.max_time = Duration::from_secs(240);
-    cfg.record_traces = false;
-    cfg
-}
-
-fn ablation_static_offload() {
-    banner(
-        "Ablation 3: static offloading policy in a radio dead zone",
-        "§VI: without real-time adjustment the LGV 'will stop at the time of weak signal forever'",
-    );
-    for (label, adaptive) in [("static", false), ("adaptive (Alg. 2)", true)] {
-        let r = mission::run(dead_zone_cfg(adaptive));
-        println!(
-            "  {:<18} completed {:<5} time {:>6.1} s  standby {:>6.1} s  switches {}",
-            label,
-            r.completed,
-            r.time.total().as_secs_f64(),
-            r.time.standby.as_secs_f64(),
-            r.net_switches
-        );
-    }
-}
-
-fn ablation_fine_grained() {
-    banner(
-        "Ablation 4: fine-grained migration (Algorithm 1, MCT) under a degraded WAN",
-        "§IV: if Tc > Tl^v, migrate the T3 nodes back; keeping them remote puts 350 ms on the critical path",
-    );
-    for (label, goal) in
-        [("MCT (migrates T3 back)", Goal::MissionTime), ("EC (keeps VDP remote)", Goal::Energy)]
-    {
-        let mut cfg = MissionConfig::navigation_lab(Deployment::cloud_12t());
-        cfg.goal = goal;
-        cfg.adaptive = false;
-        cfg.wan_latency_override = Some(Duration::from_millis(350));
-        cfg.record_traces = false;
-        let r = mission::run(cfg);
-        println!(
-            "  {:<26} completed {:<5} time {:>6.1} s  avg VDP {:>6.0} ms  energy {:>7.1} J",
-            label,
-            r.completed,
-            r.time.total().as_secs_f64(),
-            r.avg_vdp_makespan.as_millis_f64(),
-            r.energy.total_joules()
-        );
-    }
-    println!("  (EC still wins on embedded-computer energy; MCT wins on time — the goal knob matters)");
-}
-
-fn ablation_thread_governor() {
-    banner(
-        "Ablation 5: adaptive parallelism governor (paper §VIII-E)",
-        "when obstacles bind the real velocity, reduce parallelization to save cloud \
-         resources with minimal mission impact",
-    );
-    use lgv_offload::model::VelocityModel;
-    use lgv_sim::world::presets;
-    // An over-ambitious velocity model (long stopping distance → high
-    // v_max) on the obstacle course: exactly the "higher maximum
-    // velocity, bigger gap" condition of Fig. 14 where cloud threads
-    // buy speed the environment won't let the robot use.
-    for (label, adaptive_par) in [("fixed 12 threads", false), ("governed threads", true)] {
-        let mut cfg = MissionConfig::navigation_lab(Deployment::cloud_12t());
-        cfg.world = presets::obstacle_course();
-        cfg.start = presets::course_start();
-        cfg.nav_goal = presets::course_goal();
-        cfg.wap = Point2::new(10.0, 11.0);
-        cfg.velocity = VelocityModel { stop_distance: 0.3, ..VelocityModel::default() };
-        cfg.adaptive_parallelism = adaptive_par;
-        cfg.record_traces = false;
-        cfg.max_time = Duration::from_secs(400);
-        let r = mission::run(cfg);
-        println!(
-            "  {:<18} completed {:<5} time {:>6.1} s  avg remote threads {:>5.1}",
-            label,
-            r.completed,
-            r.time.total().as_secs_f64(),
-            r.avg_threads
-        );
-    }
+    lgv_bench::suite::run_scenario_standalone("ablations");
 }

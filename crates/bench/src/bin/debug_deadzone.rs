@@ -36,11 +36,26 @@ fn main() {
         faults: lgv_net::FaultSchedule::none(),
     };
     let report = mission::run(cfg);
-    println!("completed {} ({}), switches {}", report.completed, report.reason, report.net_switches);
-    for (v, n) in report.velocity_trace.iter().zip(&report.net_trace).step_by(10) {
+    println!(
+        "completed {} ({}), switches {}",
+        report.completed, report.reason, report.net_switches
+    );
+    for (v, n) in report
+        .velocity_trace
+        .iter()
+        .zip(&report.net_trace)
+        .step_by(10)
+    {
         println!(
             "t={:6.1} pos=({:5.2},{:4.2}) v={:.3} vmax={:.3} bw={:4.1} dir={:+.2} remote={}",
-            v.t, v.position.x, v.position.y, v.actual, v.vmax, n.bandwidth, n.direction, n.remote_active
+            v.t,
+            v.position.x,
+            v.position.y,
+            v.actual,
+            v.vmax,
+            n.bandwidth,
+            n.direction,
+            n.remote_active
         );
     }
 }

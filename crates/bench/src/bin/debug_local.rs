@@ -24,9 +24,16 @@ fn main() {
     }
     let report = mission::run(cfg);
     println!("completed: {} ({})", report.completed, report.reason);
-    println!("distance: {:.2} m, time {:.0}s, standby {:.0}s",
-        report.distance, report.time.total().as_secs_f64(), report.time.standby.as_secs_f64());
+    println!(
+        "distance: {:.2} m, time {:.0}s, standby {:.0}s",
+        report.distance,
+        report.time.total().as_secs_f64(),
+        report.time.standby.as_secs_f64()
+    );
     for s in report.velocity_trace.iter().step_by(25) {
-        println!("t={:6.1}  vmax={:.3}  v={:.3}  pos=({:.2},{:.2})", s.t, s.vmax, s.actual, s.position.x, s.position.y);
+        println!(
+            "t={:6.1}  vmax={:.3}  v={:.3}  pos=({:.2},{:.2})",
+            s.t, s.vmax, s.actual, s.position.x, s.position.y
+        );
     }
 }

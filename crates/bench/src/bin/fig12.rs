@@ -1,83 +1,9 @@
-//! Figure 12 — the maximum velocity of the LGV in a navigation
-//! workload under the five deployment strategies.
-//!
-//! Runs the full lab navigation mission once per deployment and prints
-//! the Eq. 2c maximum-velocity series (1 Hz samples), plus the summary
-//! the paper highlights: offloading + parallelization raises the
-//! maximum velocity by 4–5x, and offloaded curves fluctuate with
-//! network latency while the local curve is steady.
-
-use lgv_bench::{banner, quick_mode, tracer_from_args, TablePrinter};
-use lgv_offload::deploy::Deployment;
-use lgv_offload::mission::{self, MissionConfig, Workload};
-use lgv_types::prelude::*;
+//! Standalone entry point for the `fig12` scenario. The scenario body
+//! lives in `lgv_bench::scenarios::fig12`; this wrapper runs it against
+//! stdout with the canonical seed, honoring `LGV_BENCH_QUICK=1` and
+//! `--trace <path>`. `lgv-bench suite` runs the same job in parallel
+//! with the rest of the evaluation.
 
 fn main() {
-    banner(
-        "Figure 12: maximum velocity under five deployment strategies",
-        "no offloading is slow and steady; offloading + parallelization raises \
-         max velocity 4-5x with network-induced fluctuation",
-    );
-
-    // `--trace <path>`: one JSONL stream, concatenated across the five
-    // missions (split on `mission_start`).
-    let tracer = tracer_from_args();
-
-    let deployments = Deployment::evaluation_set();
-    let mut traces: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut summary = TablePrinter::new(vec![
-        "deployment", "mean vmax (m/s)", "peak vmax", "vmax stddev", "ratio vs LGV",
-    ]);
-    let mut local_mean = 0.0f64;
-
-    for d in deployments {
-        let mut cfg = MissionConfig::navigation_lab(d);
-        cfg.workload = Workload::Navigation;
-        if quick_mode() {
-            cfg.max_time = Duration::from_secs(60);
-        }
-        let report = mission::run_traced(cfg, tracer.clone());
-        // 1 Hz samples of the in-force maximum velocity.
-        let series: Vec<f64> = report
-            .velocity_trace
-            .iter()
-            .filter(|s| (s.t.fract()).abs() < 0.11)
-            .map(|s| s.vmax)
-            .collect();
-        let n = series.len().max(1) as f64;
-        let mean = series.iter().sum::<f64>() / n;
-        let peak = series.iter().copied().fold(0.0, f64::max);
-        let var = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-        if d.label == "LGV" {
-            local_mean = mean;
-        }
-        summary.row(vec![
-            d.label.to_string(),
-            format!("{mean:.3}"),
-            format!("{peak:.3}"),
-            format!("{:.4}", var.sqrt()),
-            format!("{:.2}x", mean / local_mean.max(1e-9)),
-        ]);
-        traces.push((d.label.to_string(), series));
-    }
-
-    // Print the first 30 seconds of each series side by side.
-    let mut t = TablePrinter::new(
-        std::iter::once("t(s)".to_string())
-            .chain(traces.iter().map(|(l, _)| l.clone()))
-            .collect::<Vec<_>>(),
-    );
-    let horizon = traces.iter().map(|(_, s)| s.len()).min().unwrap_or(0).min(30);
-    for i in 0..horizon {
-        let mut row = vec![format!("{i}")];
-        for (_, s) in &traces {
-            row.push(format!("{:.3}", s[i]));
-        }
-        t.row(row);
-    }
-    t.print();
-    t.save_csv("fig12_vmax_series");
-    println!();
-    summary.print();
-    summary.save_csv("fig12_summary");
+    lgv_bench::suite::run_scenario_standalone("fig12");
 }

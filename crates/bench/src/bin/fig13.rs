@@ -1,112 +1,9 @@
-//! Figure 13 — total energy consumption (per component) and mission
-//! completion time, for (a) the with-map Navigation workload and
-//! (b) the without-map Exploration workload, across the five
-//! deployment strategies.
-//!
-//! Paper headlines: best-case total-energy reductions of 1.61x (with
-//! map) and 2.12x (without map), mission-time reductions of 2.53x and
-//! 1.6x; motor energy barely changes (it scales with distance, and a
-//! faster mission burns the same joules in less time); the embedded-
-//! computer bar is where offloading pays.
-
-use lgv_bench::{banner, quick_mode, tracer_from_args, TablePrinter};
-use lgv_offload::deploy::Deployment;
-use lgv_offload::mission::{self, MissionConfig, Workload};
-use lgv_sim::energy::Component;
-use lgv_trace::Tracer;
-use lgv_types::prelude::*;
-
-fn run_workload(
-    workload: Workload,
-    label: &str,
-    paper_energy: f64,
-    paper_time: f64,
-    tracer: &Tracer,
-) {
-    println!("({}) {:?} workload", label, workload);
-    // Exploration tours vary with frontier-selection timing, so that
-    // workload is averaged over several seeds (the paper averages over
-    // repeated physical runs).
-    let seeds: &[u64] = match workload {
-        Workload::Navigation => &[42],
-        Workload::Exploration if quick_mode() => &[42],
-        Workload::Exploration => &[42, 43, 44],
-    };
-    let mut t = TablePrinter::new(vec![
-        "deployment",
-        "sensor J",
-        "motor J",
-        "MCU J",
-        "EC J",
-        "wireless J",
-        "total J",
-        "time s",
-        "E reduction",
-        "T reduction",
-    ]);
-    let mut base: Option<(f64, f64)> = None;
-    let mut best_e = 0.0f64;
-    let mut best_t = 0.0f64;
-    for d in Deployment::evaluation_set() {
-        let mut joules = [0.0f64; 5];
-        let mut total = 0.0;
-        let mut secs = 0.0;
-        let mut all_completed = true;
-        for &seed in seeds {
-            let mut cfg = match workload {
-                Workload::Navigation => MissionConfig::navigation_lab(d),
-                Workload::Exploration => MissionConfig::exploration_lab(d),
-            };
-            cfg.seed = seed;
-            cfg.record_traces = false;
-            if quick_mode() {
-                cfg.max_time = Duration::from_secs(60);
-            }
-            let report = mission::run_traced(cfg, tracer.clone());
-            for (i, c) in Component::ALL.iter().enumerate() {
-                joules[i] += report.energy.joules(*c) / seeds.len() as f64;
-            }
-            total += report.energy.total_joules() / seeds.len() as f64;
-            secs += report.time.total().as_secs_f64() / seeds.len() as f64;
-            all_completed &= report.completed;
-        }
-        let (e0, t0) = *base.get_or_insert((total, secs));
-        let er = e0 / total;
-        let tr = t0 / secs;
-        best_e = best_e.max(er);
-        best_t = best_t.max(tr);
-        t.row(vec![
-            format!("{}{}", d.label, if all_completed { "" } else { " (!)" }),
-            format!("{:.0}", joules[0]),
-            format!("{:.0}", joules[1]),
-            format!("{:.0}", joules[2]),
-            format!("{:.0}", joules[3]),
-            format!("{:.1}", joules[4]),
-            format!("{total:.0}"),
-            format!("{secs:.0}"),
-            format!("{er:.2}x"),
-            format!("{tr:.2}x"),
-        ]);
-    }
-    t.print();
-    t.save_csv(&format!("fig13_{label}"));
-    println!(
-        "best reductions: energy {best_e:.2}x (paper {paper_energy}x), time {best_t:.2}x (paper {paper_time}x)"
-    );
-    println!();
-}
+//! Standalone entry point for the `fig13` scenario. The scenario body
+//! lives in `lgv_bench::scenarios::fig13`; this wrapper runs it against
+//! stdout with the canonical seed, honoring `LGV_BENCH_QUICK=1` and
+//! `--trace <path>`. `lgv-bench suite` runs the same job in parallel
+//! with the rest of the evaluation.
 
 fn main() {
-    banner(
-        "Figure 13: total energy consumption and mission completion time",
-        "energy reduced 1.61x (map) / 2.12x (no map); time reduced 2.53x (map) / \
-         1.6x (no map); motor energy ~unchanged; EC energy is the win",
-    );
-    // `--trace <path>`: one JSONL stream, concatenated across every
-    // mission of both workloads (split on `mission_start`); the Fig. 13
-    // bars can be recomputed from the `energy_delta` events alone (see
-    // docs/OBSERVABILITY.md).
-    let tracer = tracer_from_args();
-    run_workload(Workload::Navigation, "a", 1.61, 2.53, &tracer);
-    run_workload(Workload::Exploration, "b", 2.12, 1.6, &tracer);
+    lgv_bench::suite::run_scenario_standalone("fig13");
 }

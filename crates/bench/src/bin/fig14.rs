@@ -1,95 +1,9 @@
-//! Figure 14 — the relationship between the maximum velocity and the
-//! real velocity on a complex path (avoiding obstacles / heading
-//! straight / turning right).
-//!
-//! Runs the obstacle-course navigation mission under three velocity
-//! policies and reports, per path phase, the mean commanded maximum
-//! velocity and the mean realized velocity. The paper's observation:
-//! only on straight stretches does the real velocity reach the
-//! maximum; the higher the cap, the bigger the gap in obstacle and
-//! turning phases — so a phase-aware policy can cut cloud cost by
-//! reducing parallelization where the cap is unreachable anyway.
-
-use lgv_bench::{banner, quick_mode, TablePrinter};
-use lgv_offload::deploy::Deployment;
-use lgv_offload::mission::{self, MissionConfig, Workload};
-use lgv_offload::model::VelocityModel;
-use lgv_sim::world::presets;
-use lgv_types::prelude::*;
-
-/// Classify a trace sample into a path phase by position.
-fn phase_of(x: f64, y: f64) -> &'static str {
-    if x < 9.0 && y < 6.5 {
-        "avoiding obstacles"
-    } else if y < 6.5 {
-        "heading straight"
-    } else {
-        "turning right/north"
-    }
-}
+//! Standalone entry point for the `fig14` scenario. The scenario body
+//! lives in `lgv_bench::scenarios::fig14`; this wrapper runs it against
+//! stdout with the canonical seed, honoring `LGV_BENCH_QUICK=1` and
+//! `--trace <path>`. `lgv-bench suite` runs the same job in parallel
+//! with the rest of the evaluation.
 
 fn main() {
-    banner(
-        "Figure 14: maximum vs real velocity across path phases",
-        "real velocity only reaches v_max on straight stretches; higher caps widen \
-         the gap in obstacle/turn phases",
-    );
-
-    let policies: [(&str, VelocityModel); 3] = [
-        ("low cap (0.3 m/s)", VelocityModel { hw_cap: 0.3, ..VelocityModel::default() }),
-        ("mid cap (0.6 m/s)", VelocityModel { hw_cap: 0.6, ..VelocityModel::default() }),
-        ("adaptive (1.0 m/s)", VelocityModel::default()),
-    ];
-
-    let mut t = TablePrinter::new(vec![
-        "policy", "phase", "mean vmax", "mean real v", "gap", "gap %",
-    ]);
-
-    for (label, vm) in policies {
-        let mut cfg = MissionConfig::navigation_lab(Deployment::cloud_12t());
-        cfg.workload = Workload::Navigation;
-        cfg.world = presets::obstacle_course();
-        cfg.start = presets::course_start();
-        cfg.nav_goal = presets::course_goal();
-        cfg.wap = Point2::new(10.0, 11.0);
-        cfg.velocity = vm;
-        cfg.max_time = Duration::from_secs(if quick_mode() { 90 } else { 400 });
-        let report = mission::run(cfg.clone());
-
-        // Bucket the trace samples by the robot's true position.
-        let mut buckets: std::collections::HashMap<&'static str, (f64, f64, usize)> =
-            Default::default();
-        for sample in &report.velocity_trace {
-            let e = buckets
-                .entry(phase_of(sample.position.x, sample.position.y))
-                .or_insert((0.0, 0.0, 0));
-            e.0 += sample.vmax;
-            e.1 += sample.actual;
-            e.2 += 1;
-        }
-        for phase in ["avoiding obstacles", "heading straight", "turning right/north"] {
-            if let Some((vs, rs, n)) = buckets.get(phase) {
-                let vm_mean = vs / *n as f64;
-                let rv_mean = rs / *n as f64;
-                let gap = vm_mean - rv_mean;
-                t.row(vec![
-                    label.to_string(),
-                    phase.to_string(),
-                    format!("{vm_mean:.3}"),
-                    format!("{rv_mean:.3}"),
-                    format!("{gap:.3}"),
-                    format!("{:.0}%", gap / vm_mean.max(1e-9) * 100.0),
-                ]);
-            }
-        }
-        println!(
-            "{label}: mission {} in {:.0}s, {:.1} m",
-            if report.completed { "completed" } else { "timed out" },
-            report.time.total().as_secs_f64(),
-            report.distance
-        );
-    }
-    println!();
-    t.print();
-    t.save_csv("fig14_phases");
+    lgv_bench::suite::run_scenario_standalone("fig14");
 }

@@ -1,0 +1,179 @@
+//! `lgv-bench suite` — run every registered table/figure scenario as a
+//! seeded job fanned out across worker threads, and write the
+//! machine-readable `BENCH_suite.json` artifact.
+//!
+//! ```text
+//! suite [--threads N] [--quick] [--only NAME[,NAME...]] [--out PATH] [--list] [--print-output]
+//! ```
+//!
+//! - `--threads N` — worker threads for the fan-out (default: all
+//!   cores). Results are byte-identical for every N — the integration
+//!   tests assert it.
+//! - `--quick` — shrink sweeps (same as `LGV_BENCH_QUICK=1`).
+//! - `--only a,b` — run a subset of scenarios by name.
+//! - `--out PATH` — where to write the JSON artifact (default
+//!   `BENCH_suite.json`; `-` for stdout only).
+//! - `--list` — print the registry and exit.
+//! - `--print-output` — dump each scenario's captured text output
+//!   after the summary table.
+
+use lgv_bench::suite::{registry, run_suite, Scenario};
+use lgv_bench::TablePrinter;
+use std::process::ExitCode;
+
+struct Args {
+    threads: usize,
+    quick: bool,
+    only: Option<Vec<String>>,
+    out: String,
+    list: bool,
+    print_output: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quick: std::env::var("LGV_BENCH_QUICK").is_ok_and(|v| v == "1"),
+        only: None,
+        out: "BENCH_suite.json".to_string(),
+        list: false,
+        print_output: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                args.threads = v
+                    .parse()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+            }
+            "--quick" => args.quick = true,
+            "--only" => {
+                let v = it.next().ok_or("--only needs a value")?;
+                args.only = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--list" => args.list = true,
+            "--print-output" => args.print_output = true,
+            "--help" | "-h" => {
+                return Err("usage: suite [--threads N] [--quick] [--only NAME,...] \
+                            [--out PATH] [--list] [--print-output]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let all = registry();
+    if args.list {
+        let mut t = TablePrinter::new(vec!["name", "seed", "cost hint", "title"]);
+        for s in &all {
+            t.row(vec![
+                s.name.to_string(),
+                s.seed.to_string(),
+                s.cost_hint.to_string(),
+                s.title.to_string(),
+            ]);
+        }
+        t.print();
+        return ExitCode::SUCCESS;
+    }
+
+    let scenarios: Vec<Scenario> = match &args.only {
+        None => all,
+        Some(names) => {
+            let mut picked = Vec::new();
+            for n in names {
+                match all.iter().find(|s| s.name == *n) {
+                    Some(s) => picked.push(*s),
+                    None => {
+                        eprintln!(
+                            "unknown scenario {n:?}; known: {}",
+                            all.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            picked
+        }
+    };
+
+    eprintln!(
+        "running {} scenario(s) on {} thread(s){}...",
+        scenarios.len(),
+        args.threads,
+        if args.quick { " [quick]" } else { "" }
+    );
+    let report = run_suite(&scenarios, args.threads, args.quick);
+
+    let mut t = TablePrinter::new(vec![
+        "scenario",
+        "seed",
+        "wall ms",
+        "sim time s",
+        "events",
+        "output B",
+        "checksum",
+        "status",
+    ]);
+    let mut failed = false;
+    for r in &report.results {
+        failed |= r.error.is_some();
+        t.row(vec![
+            r.name.clone(),
+            r.seed.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.1}", r.sim_time_s),
+            r.events.to_string(),
+            r.output.len().to_string(),
+            r.checksum.clone(),
+            r.error.clone().unwrap_or_else(|| "ok".into()),
+        ]);
+    }
+    t.print();
+    println!(
+        "total wall-clock: {:.1} ms on {} thread(s)",
+        report.total_wall_ms, report.threads
+    );
+
+    if args.print_output {
+        for r in &report.results {
+            println!("\n===== {} =====", r.name);
+            print!("{}", String::from_utf8_lossy(&r.output));
+        }
+    }
+
+    let json = report.to_json();
+    if args.out == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("failed to write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    } else {
+        println!("wrote {}", args.out);
+    }
+
+    if failed {
+        eprintln!("one or more scenarios failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

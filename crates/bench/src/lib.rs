@@ -12,10 +12,16 @@
 use lgv_sim::world::World;
 use lgv_sim::{Lidar, LidarConfig};
 use lgv_types::prelude::*;
+use std::io::{self, Write};
+
+pub mod scenarios;
+pub mod suite;
 
 /// Quick mode: set `LGV_BENCH_QUICK=1` to shrink sweeps for smoke runs.
 pub fn quick_mode() -> bool {
-    std::env::var("LGV_BENCH_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("LGV_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Build a [`lgv_trace::Tracer`] from the process arguments: passing
@@ -92,7 +98,11 @@ impl ScanStream {
             self.pose = Pose2D::new(self.pose.x, self.pose.y, self.pose.theta + 0.5);
         }
         self.t += self.step;
-        let odom = OdometryMsg { stamp: self.t, pose: self.pose, twist: self.twist };
+        let odom = OdometryMsg {
+            stamp: self.t,
+            pose: self.pose,
+            twist: self.twist,
+        };
         let scan = self.lidar.scan(&self.world, self.pose, self.t);
         (odom, scan)
     }
@@ -108,16 +118,27 @@ pub struct TablePrinter {
 impl TablePrinter {
     /// Start a table with column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        TablePrinter { headers: headers.into_iter().map(|s| s.into()).collect(), rows: vec![] }
+        TablePrinter {
+            headers: headers.into_iter().map(|s| s.into()).collect(),
+            rows: vec![],
+        }
     }
 
     /// Append a row.
     pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
-        self.rows.push(cells.into_iter().map(|s| s.into()).collect());
+        self.rows
+            .push(cells.into_iter().map(|s| s.into()).collect());
     }
 
     /// Render to stdout.
     pub fn print(&self) {
+        self.write_to(&mut io::stdout())
+            .expect("stdout write failed");
+    }
+
+    /// Render into an arbitrary writer (the suite runner captures
+    /// scenario output this way to checksum it).
+    pub fn write_to(&self, out: &mut dyn Write) -> io::Result<()> {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
@@ -128,19 +149,24 @@ impl TablePrinter {
                 }
             }
         }
-        let line = |cells: &[String]| {
+        let line = |out: &mut dyn Write, cells: &[String]| -> io::Result<()> {
             let mut s = String::new();
             for (i, c) in cells.iter().enumerate() {
                 let w = widths.get(i).copied().unwrap_or(c.len());
                 s.push_str(&format!("{c:>w$}  "));
             }
-            println!("{}", s.trim_end());
+            writeln!(out, "{}", s.trim_end())
         };
-        line(&self.headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        line(out, &self.headers)?;
+        writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
-            line(row);
+            line(out, row)?;
         }
+        Ok(())
     }
 
     /// Render as CSV (RFC-4180-style quoting for commas/quotes).
@@ -153,7 +179,14 @@ impl TablePrinter {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
@@ -166,20 +199,34 @@ impl TablePrinter {
     /// prints a warning instead of failing the figure run on IO
     /// errors). Returns the path on success.
     pub fn save_csv(&self, name: &str) -> Option<std::path::PathBuf> {
+        let mut out = io::stdout();
+        self.save_csv_to(&mut out, name)
+            .expect("stdout write failed")
+    }
+
+    /// [`TablePrinter::save_csv`], but the `(csv: …)` confirmation line
+    /// goes to `out` so suite-captured scenario output stays
+    /// self-contained. Scenario names are unique, so concurrent suite
+    /// jobs never write the same CSV path.
+    pub fn save_csv_to(
+        &self,
+        out: &mut dyn Write,
+        name: &str,
+    ) -> io::Result<Option<std::path::PathBuf>> {
         let dir = std::path::Path::new("target").join("figures");
         if let Err(e) = std::fs::create_dir_all(&dir) {
             eprintln!("warning: cannot create {dir:?}: {e}");
-            return None;
+            return Ok(None);
         }
         let path = dir.join(format!("{name}.csv"));
         match std::fs::write(&path, self.to_csv()) {
             Ok(()) => {
-                println!("(csv: {})", path.display());
-                Some(path)
+                writeln!(out, "(csv: {})", path.display())?;
+                Ok(Some(path))
             }
             Err(e) => {
                 eprintln!("warning: cannot write {path:?}: {e}");
-                None
+                Ok(None)
             }
         }
     }
@@ -187,10 +234,15 @@ impl TablePrinter {
 
 /// Print a figure/table banner.
 pub fn banner(title: &str, paper_claim: &str) {
-    println!();
-    println!("==== {title} ====");
-    println!("paper: {paper_claim}");
-    println!();
+    write_banner(&mut io::stdout(), title, paper_claim).expect("stdout write failed");
+}
+
+/// [`banner`], into an arbitrary writer (suite capture).
+pub fn write_banner(out: &mut dyn Write, title: &str, paper_claim: &str) -> io::Result<()> {
+    writeln!(out)?;
+    writeln!(out, "==== {title} ====")?;
+    writeln!(out, "paper: {paper_claim}")?;
+    writeln!(out)
 }
 
 #[cfg(test)]

@@ -1,0 +1,94 @@
+//! Figure 12 — the maximum velocity of the LGV in a navigation
+//! workload under the five deployment strategies.
+//!
+//! Runs the full lab navigation mission once per deployment and prints
+//! the Eq. 2c maximum-velocity series (1 Hz samples), plus the summary
+//! the paper highlights: offloading + parallelization raises the
+//! maximum velocity by 4–5x, and offloaded curves fluctuate with
+//! network latency while the local curve is steady.
+
+use crate::suite::ScenarioCtx;
+use crate::{write_banner, TablePrinter};
+use lgv_offload::deploy::Deployment;
+use lgv_offload::mission::{self, MissionConfig, Workload};
+use lgv_types::prelude::*;
+use std::io;
+
+/// Regenerate Figure 12.
+pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
+    write_banner(
+        ctx.out,
+        "Figure 12: maximum velocity under five deployment strategies",
+        "no offloading is slow and steady; offloading + parallelization raises \
+         max velocity 4-5x with network-induced fluctuation",
+    )?;
+
+    let deployments = Deployment::evaluation_set();
+    let mut traces: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut summary = TablePrinter::new(vec![
+        "deployment",
+        "mean vmax (m/s)",
+        "peak vmax",
+        "vmax stddev",
+        "ratio vs LGV",
+    ]);
+    let mut local_mean = 0.0f64;
+
+    for d in deployments {
+        let mut cfg = MissionConfig::navigation_lab(d);
+        cfg.workload = Workload::Navigation;
+        cfg.seed = ctx.seed;
+        if ctx.quick {
+            cfg.max_time = Duration::from_secs(60);
+        }
+        let report = mission::run_traced(cfg, ctx.tracer.clone());
+        // 1 Hz samples of the in-force maximum velocity.
+        let series: Vec<f64> = report
+            .velocity_trace
+            .iter()
+            .filter(|s| (s.t.fract()).abs() < 0.11)
+            .map(|s| s.vmax)
+            .collect();
+        let n = series.len().max(1) as f64;
+        let mean = series.iter().sum::<f64>() / n;
+        let peak = series.iter().copied().fold(0.0, f64::max);
+        let var = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        if d.label == "LGV" {
+            local_mean = mean;
+        }
+        summary.row(vec![
+            d.label.to_string(),
+            format!("{mean:.3}"),
+            format!("{peak:.3}"),
+            format!("{:.4}", var.sqrt()),
+            format!("{:.2}x", mean / local_mean.max(1e-9)),
+        ]);
+        traces.push((d.label.to_string(), series));
+    }
+
+    // Print the first 30 seconds of each series side by side.
+    let mut t = TablePrinter::new(
+        std::iter::once("t(s)".to_string())
+            .chain(traces.iter().map(|(l, _)| l.clone()))
+            .collect::<Vec<_>>(),
+    );
+    let horizon = traces
+        .iter()
+        .map(|(_, s)| s.len())
+        .min()
+        .unwrap_or(0)
+        .min(30);
+    for i in 0..horizon {
+        let mut row = vec![format!("{i}")];
+        for (_, s) in &traces {
+            row.push(format!("{:.3}", s[i]));
+        }
+        t.row(row);
+    }
+    t.write_to(ctx.out)?;
+    t.save_csv_to(ctx.out, "fig12_vmax_series")?;
+    writeln!(ctx.out)?;
+    summary.write_to(ctx.out)?;
+    summary.save_csv_to(ctx.out, "fig12_summary")?;
+    Ok(())
+}

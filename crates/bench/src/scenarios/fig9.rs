@@ -1,0 +1,107 @@
+//! Figure 9 — processing time (s) of the energy-critical node (SLAM)
+//! under different numbers of threads and particles, on (a) the
+//! Turtlebot, (b) the edge gateway, (c) the cloud server.
+//!
+//! Method: run the real GMapping filter over a deterministic scan
+//! stream from the intel-like world at each particle count, average
+//! the per-scan `Work` record, then price it on each platform/thread
+//! combination with the calibrated timing model.
+
+use crate::suite::ScenarioCtx;
+use crate::{write_banner, ScanStream, TablePrinter};
+use lgv_sim::platform::Platform;
+use lgv_sim::world::presets;
+use lgv_slam::{GMapping, SlamConfig};
+use lgv_types::prelude::*;
+use std::io;
+
+fn average_slam_work(seed: u64, particles: usize, scans: usize) -> Work {
+    let world = presets::intel_like();
+    let cfg = SlamConfig {
+        num_particles: particles,
+        threads: 1,
+        map_dims: *world.dims(),
+        ..SlamConfig::default()
+    };
+    let mut slam = GMapping::new(cfg, presets::intel_start(), SimRng::seed_from_u64(seed));
+    let mut stream = ScanStream::new(world, presets::intel_start(), seed + 1);
+    let mut total = Work::ZERO;
+    for _ in 0..scans {
+        let (odom, scan) = stream.next_pair();
+        total += slam.process(&odom, &scan).work;
+    }
+    Work {
+        serial_cycles: total.serial_cycles / scans as f64,
+        parallel_cycles: total.parallel_cycles / scans as f64,
+        parallel_items: particles as u32,
+    }
+}
+
+/// Regenerate Figure 9.
+pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
+    write_banner(
+        ctx.out,
+        "Figure 9: ECN (SLAM) processing time (s) vs threads x particles",
+        "reduction up to 27.97x on the gateway and 40.84x on the cloud server; \
+         manycore wins on ECN; scaling grows with particle count",
+    )?;
+
+    let particle_counts: &[usize] = if ctx.quick {
+        &[10, 30]
+    } else {
+        &[10, 30, 50, 100]
+    };
+    let scans = if ctx.quick { 4 } else { 10 };
+    let threads = [1u32, 2, 4, 8, 12];
+
+    let works: Vec<(usize, Work)> = particle_counts
+        .iter()
+        .map(|&m| (m, average_slam_work(ctx.seed, m, scans)))
+        .collect();
+
+    let platforms = [
+        ("(a) Turtlebot3", Platform::turtlebot3()),
+        ("(b) Edge gateway", Platform::edge_gateway()),
+        ("(c) Cloud server", Platform::cloud_server()),
+    ];
+
+    let local = Platform::turtlebot3();
+    let mut best_gw = 0.0f64;
+    let mut best_cloud = 0.0f64;
+
+    for (label, platform) in &platforms {
+        writeln!(ctx.out, "{label} ({})", platform.model)?;
+        let mut t = TablePrinter::new(
+            std::iter::once("# threads".to_string())
+                .chain(works.iter().map(|(m, _)| format!("{m} particles")))
+                .collect::<Vec<_>>(),
+        );
+        for &n in &threads {
+            let mut row = vec![n.to_string()];
+            for (_, w) in &works {
+                let secs = platform.exec_time(w, n).as_secs_f64();
+                row.push(format!("{secs:.3}"));
+                let baseline = local.exec_time(w, 1).as_secs_f64();
+                let speedup = baseline / secs;
+                match platform.kind {
+                    lgv_sim::platform::PlatformKind::EdgeGateway => best_gw = best_gw.max(speedup),
+                    lgv_sim::platform::PlatformKind::CloudServer => {
+                        best_cloud = best_cloud.max(speedup)
+                    }
+                    _ => {}
+                }
+            }
+            t.row(row);
+        }
+        t.write_to(ctx.out)?;
+        t.save_csv_to(ctx.out, &format!("fig9_{:?}", platform.kind).to_lowercase())?;
+        writeln!(ctx.out)?;
+    }
+
+    writeln!(ctx.out, "max ECN speedup vs local 1-thread:")?;
+    writeln!(ctx.out, "  edge gateway : {best_gw:.2}x   (paper: 27.97x)")?;
+    writeln!(
+        ctx.out,
+        "  cloud server : {best_cloud:.2}x   (paper: 40.84x)"
+    )
+}

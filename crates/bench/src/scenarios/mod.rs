@@ -1,0 +1,30 @@
+//! Scenario implementations for every table/figure job.
+//!
+//! Each submodule exports one `run(ctx)` entry point writing the
+//! scenario's human-readable output into [`ScenarioCtx::out`]. The
+//! `src/bin/` binaries are thin standalone wrappers around these same
+//! functions (stdout + `LGV_BENCH_QUICK` + `--trace`); the
+//! [`crate::suite`] runner captures the output in memory instead and
+//! checksums it.
+//!
+//! Determinism contract: a scenario's output may depend only on
+//! [`ScenarioCtx::seed`] and [`ScenarioCtx::quick`] — never on wall
+//! clock, thread interleaving, or global state — so that parallel
+//! suite runs are byte-identical to serial ones.
+//!
+//! [`ScenarioCtx::out`]: crate::suite::ScenarioCtx
+//! [`ScenarioCtx::seed`]: crate::suite::ScenarioCtx
+//! [`ScenarioCtx::quick`]: crate::suite::ScenarioCtx
+
+pub mod ablations;
+pub mod chaos;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig7;
+pub mod fig9;
+pub mod sweep;
+pub mod table1;
+pub mod table2;

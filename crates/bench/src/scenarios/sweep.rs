@@ -1,0 +1,113 @@
+//! Campaign tool: sweep the full deployment matrix across a family of
+//! seeded procedural floorplans and aggregate the offloading benefit.
+//!
+//! This is the "does it generalize?" experiment the paper's single-lab
+//! evaluation cannot run: per-deployment mean/σ of mission time and
+//! energy over many environments, plus win rates against the local
+//! baseline.
+//!
+//! Quick mode shrinks the sweep.
+
+use crate::suite::ScenarioCtx;
+use crate::{write_banner, TablePrinter};
+use lgv_offload::deploy::Deployment;
+use lgv_offload::mission::{self, MissionConfig, Workload};
+use lgv_sim::world::generator::{generate, FloorplanConfig};
+use lgv_types::prelude::*;
+use lgv_types::stats::Summary;
+use std::io;
+
+/// Regenerate the deployment sweep.
+pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
+    write_banner(
+        ctx.out,
+        "Deployment sweep over procedural floorplans",
+        "extension: the paper evaluates one lab; this sweeps generated worlds and \
+         aggregates the offloading benefit",
+    )?;
+
+    let gen_cfg = FloorplanConfig {
+        rooms_x: 3,
+        rooms_y: 2,
+        room_size: 4.5,
+        door: 1.3,
+        ..Default::default()
+    };
+    let n_seeds: u64 = if ctx.quick { 2 } else { 6 };
+    let seeds: Vec<u64> = (ctx.seed..ctx.seed + n_seeds).collect();
+    let deployments = [
+        Deployment::local(),
+        Deployment::edge_8t(),
+        Deployment::cloud_12t(),
+    ];
+
+    let mut time_stats: Vec<Summary> = deployments.iter().map(|_| Summary::new()).collect();
+    let mut energy_stats: Vec<Summary> = deployments.iter().map(|_| Summary::new()).collect();
+    let mut completions = vec![0u32; deployments.len()];
+    let mut wins = vec![0u32; deployments.len()];
+
+    for &seed in &seeds {
+        let plan = generate(&gen_cfg, seed);
+        let mut local_time = f64::INFINITY;
+        for (di, d) in deployments.iter().enumerate() {
+            let mut cfg = MissionConfig::navigation_lab(*d);
+            cfg.workload = Workload::Navigation;
+            cfg.seed = seed;
+            cfg.world = plan.world.clone();
+            cfg.start = plan.start;
+            cfg.nav_goal = plan.goal;
+            cfg.wap = Point2::new(
+                gen_cfg.rooms_x as f64 * gen_cfg.room_size / 2.0,
+                gen_cfg.rooms_y as f64 * gen_cfg.room_size / 2.0,
+            );
+            cfg.record_traces = false;
+            cfg.max_time = Duration::from_secs(600);
+            let report = mission::run(cfg);
+            let secs = report.time.total().as_secs_f64();
+            time_stats[di].push(secs);
+            energy_stats[di].push(report.energy.total_joules());
+            if report.completed {
+                completions[di] += 1;
+            }
+            if di == 0 {
+                local_time = secs;
+            } else if report.completed && secs < local_time {
+                wins[di] += 1;
+            }
+        }
+    }
+
+    let mut t = TablePrinter::new(vec![
+        "deployment",
+        "completed",
+        "time mean (s)",
+        "time sd",
+        "energy mean (J)",
+        "energy sd",
+        "beats local",
+    ]);
+    for (di, d) in deployments.iter().enumerate() {
+        t.row(vec![
+            d.label.to_string(),
+            format!("{}/{}", completions[di], seeds.len()),
+            format!("{:.1}", time_stats[di].mean()),
+            format!("{:.1}", time_stats[di].std_dev()),
+            format!("{:.0}", energy_stats[di].mean()),
+            format!("{:.0}", energy_stats[di].std_dev()),
+            if di == 0 {
+                "-".to_string()
+            } else {
+                format!("{}/{}", wins[di], seeds.len())
+            },
+        ]);
+    }
+    t.write_to(ctx.out)?;
+    t.save_csv_to(ctx.out, "sweep_summary")?;
+    writeln!(ctx.out)?;
+    writeln!(
+        ctx.out,
+        "mean speedup edge(8t) vs local: {:.2}x   cloud(12t) vs local: {:.2}x",
+        time_stats[0].mean() / time_stats[1].mean(),
+        time_stats[0].mean() / time_stats[2].mean()
+    )
+}

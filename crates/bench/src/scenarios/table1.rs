@@ -1,0 +1,73 @@
+//! Table I — maximum power consumption of each LGV component — and
+//! Table III — computing offloading platform specifications.
+
+use crate::suite::ScenarioCtx;
+use crate::{write_banner, TablePrinter};
+use lgv_sim::platform::Platform;
+use lgv_sim::power::LgvProfile;
+use std::io;
+
+/// Regenerate Tables I and III.
+pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
+    write_banner(
+        ctx.out,
+        "Table I: maximum power consumption of each component (Watt)",
+        "Turtlebot3 = sensor 1 (6.5%), motor 6.7 (44%), MCU 1 (6.5%), EC 6.5 (43%)",
+    )?;
+    let mut t = TablePrinter::new(vec![
+        "LGV",
+        "Sensor",
+        "Motor",
+        "Microcontroller",
+        "EmbeddedComputer",
+        "Total",
+    ]);
+    for p in [
+        LgvProfile::turtlebot2(),
+        LgvProfile::turtlebot3(),
+        LgvProfile::pioneer_3dx(),
+    ] {
+        let d = p.max_power;
+        let s = d.shares();
+        t.row(vec![
+            p.name.to_string(),
+            format!("{:.2} ({:.0}%)", d.sensor, s[0]),
+            format!("{:.2} ({:.0}%)", d.motor, s[1]),
+            format!("{:.2} ({:.0}%)", d.microcontroller, s[2]),
+            format!("{:.2} ({:.0}%)", d.embedded_computer, s[3]),
+            format!("{:.2}", d.total()),
+        ]);
+    }
+    t.write_to(ctx.out)?;
+
+    write_banner(
+        ctx.out,
+        "Table III: computing offloading platform specifications",
+        "Turtlebot3 RPi 3B+ 1.4GHz/4c/1GB | gateway i7-7700K 4.2GHz/4c/16GB | cloud Xeon 6149 3.1GHz/24c/768GB",
+    )?;
+    let mut t = TablePrinter::new(vec![
+        "Platform",
+        "Model",
+        "Freq (GHz)",
+        "Cores",
+        "HW threads",
+        "Memory (GB)",
+        "Feature",
+    ]);
+    for (p, feature) in [
+        (Platform::turtlebot3(), "Low Freq"),
+        (Platform::edge_gateway(), "High Freq"),
+        (Platform::cloud_server(), "Manycore"),
+    ] {
+        t.row(vec![
+            format!("{:?}", p.kind),
+            p.model.to_string(),
+            format!("{:.1}", p.freq_hz / 1e9),
+            p.cores.to_string(),
+            p.hw_threads.to_string(),
+            format!("{:.0}", p.memory_gb),
+            feature.to_string(),
+        ]);
+    }
+    t.write_to(ctx.out)
+}

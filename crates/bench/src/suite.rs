@@ -1,0 +1,440 @@
+//! Parallel evaluation harness over every table/figure scenario.
+//!
+//! Every table and figure of the paper's evaluation (§V, Tables I–III,
+//! Figs. 7–14) plus the repo's own extension studies (ablations,
+//! sweep, chaos) is registered here as a named, seeded job (see
+//! [`registry`]). The `lgv-bench suite` binary fans the jobs out
+//! across worker threads — reusing the fork-join
+//! [`ParallelExecutor`] the parallel gmapping algorithm uses for its
+//! particles — captures each scenario's text output in memory, and
+//! emits a machine-readable `BENCH_suite.json` with per-job wall-clock
+//! and virtual-time accounting.
+//!
+//! Because each scenario runs on its own virtual clock, its own RNG
+//! seeds, and its own captured output buffer, running the suite with
+//! `--threads 8` must produce **byte-identical** scenario outputs to
+//! `--threads 1`. The integration tests assert this with the same
+//! FNV-1a output checksums that land in the JSON artifact; CI fails if
+//! parallelism ever leaks into scenario results.
+//!
+//! JSON schema (`lgv-bench-suite/v1`, one object per file):
+//!
+//! ```json
+//! {
+//!   "schema": "lgv-bench-suite/v1",
+//!   "threads": 4,
+//!   "quick": false,
+//!   "total_wall_ms": 1234.5,
+//!   "scenarios": [
+//!     {
+//!       "name": "fig9",
+//!       "seed": 11,
+//!       "wall_ms": 210.7,
+//!       "sim_time_s": 0.0,
+//!       "events": 0,
+//!       "output_bytes": 4211,
+//!       "checksum": "fnv1a:cbf29ce484222325"
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! See `docs/CI.md` for how the gate consumes this file.
+
+use lgv_slam::pool::ParallelExecutor;
+use lgv_trace::{TraceRecord, TraceSink, Tracer};
+use std::io::{self, Write};
+
+/// Everything a scenario needs to run: an output writer (captured and
+/// checksummed by the suite; stdout when run standalone), the quick
+/// flag, the scenario's base RNG seed, and a tracer whose events are
+/// tallied into the JSON artifact.
+pub struct ScenarioCtx<'a> {
+    /// Where the scenario's human-readable output goes.
+    pub out: &'a mut dyn Write,
+    /// Shrink sweeps for smoke runs (`LGV_BENCH_QUICK=1` standalone).
+    pub quick: bool,
+    /// Base RNG seed for the scenario's top-level randomness.
+    pub seed: u64,
+    /// Tracer for virtual-time event accounting. Standalone binaries
+    /// wire `--trace <path>` here; the suite attaches a counting sink.
+    pub tracer: Tracer,
+}
+
+/// A registered table/figure job.
+#[derive(Clone, Copy)]
+pub struct Scenario {
+    /// Unique job name (also the binary name for standalone runs).
+    pub name: &'static str,
+    /// One-line description of what the scenario reproduces.
+    pub title: &'static str,
+    /// Canonical base seed (forwarded as [`ScenarioCtx::seed`]).
+    pub seed: u64,
+    /// Relative cost hint for load balancing (bigger = slower).
+    pub cost_hint: u32,
+    /// Entry point.
+    pub run: fn(&mut ScenarioCtx) -> io::Result<()>,
+}
+
+/// All registered scenarios, in artifact order.
+pub fn registry() -> Vec<Scenario> {
+    use crate::scenarios::*;
+    vec![
+        Scenario {
+            name: "table1",
+            title: "Tables I & III: component power and platform specs",
+            seed: 0,
+            cost_hint: 1,
+            run: table1::run,
+        },
+        Scenario {
+            name: "table2",
+            title: "Table II: per-node cycle breakdown (Gcycles/s)",
+            seed: 42,
+            cost_hint: 30,
+            run: table2::run,
+        },
+        Scenario {
+            name: "fig7",
+            title: "Figure 7: UDP packet walk under an unstable link",
+            seed: 1,
+            cost_hint: 1,
+            run: fig7::run,
+        },
+        Scenario {
+            name: "fig9",
+            title: "Figure 9: SLAM processing time vs threads x particles",
+            seed: 11,
+            cost_hint: 25,
+            run: fig9::run,
+        },
+        Scenario {
+            name: "fig10",
+            title: "Figure 10: VDP processing time vs threads x samples",
+            seed: 5,
+            cost_hint: 2,
+            run: fig10::run,
+        },
+        Scenario {
+            name: "fig11",
+            title: "Figure 11: UDP latency/bandwidth on the A-C-A drive",
+            seed: 3,
+            cost_hint: 2,
+            run: fig11::run,
+        },
+        Scenario {
+            name: "fig12",
+            title: "Figure 12: max velocity under five deployments",
+            seed: 42,
+            cost_hint: 40,
+            run: fig12::run,
+        },
+        Scenario {
+            name: "fig13",
+            title: "Figure 13: energy and mission time per deployment",
+            seed: 42,
+            cost_hint: 100,
+            run: fig13::run,
+        },
+        Scenario {
+            name: "fig14",
+            title: "Figure 14: max vs real velocity across path phases",
+            seed: 42,
+            cost_hint: 40,
+            run: fig14::run,
+        },
+        Scenario {
+            name: "ablations",
+            title: "Ablations of the paper's optimization strategies",
+            seed: 42,
+            cost_hint: 60,
+            run: ablations::run,
+        },
+        Scenario {
+            name: "sweep",
+            title: "Deployment sweep over procedural floorplans",
+            seed: 1,
+            cost_hint: 90,
+            run: sweep::run,
+        },
+        Scenario {
+            name: "chaos",
+            title: "Chaos sweep: randomized fault schedules + crash showcase",
+            seed: 0,
+            cost_hint: 50,
+            run: chaos::run,
+        },
+    ]
+}
+
+/// Look a scenario up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// Run one scenario exactly as its standalone binary does: output to
+/// stdout, quick mode from `LGV_BENCH_QUICK`, tracer from `--trace`.
+pub fn run_scenario_standalone(name: &str) {
+    let scenario = find(name).unwrap_or_else(|| panic!("unknown scenario {name:?}"));
+    let mut out = io::stdout();
+    let mut ctx = ScenarioCtx {
+        out: &mut out,
+        quick: crate::quick_mode(),
+        seed: scenario.seed,
+        tracer: crate::tracer_from_args(),
+    };
+    (scenario.run)(&mut ctx).expect("scenario output write failed");
+    ctx.tracer.flush();
+}
+
+/// Counts records and tracks the largest virtual timestamp — the
+/// cheapest possible sink, used for the JSON accounting fields.
+#[derive(Debug, Default)]
+struct CountingSink {
+    events: u64,
+    max_t_ns: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.events += 1;
+        self.max_t_ns = self.max_t_ns.max(rec.t_ns);
+    }
+}
+
+/// 64-bit FNV-1a over the captured output bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One completed job, with its captured output.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Scenario name.
+    pub name: String,
+    /// Seed the job ran with.
+    pub seed: u64,
+    /// Wall-clock duration of the job (host time, milliseconds).
+    pub wall_ms: f64,
+    /// Largest virtual timestamp the scenario's tracer saw (seconds).
+    pub sim_time_s: f64,
+    /// Trace events emitted on the scenario's virtual clock.
+    pub events: u64,
+    /// The captured scenario output (what the standalone binary would
+    /// have printed, minus `--trace` side effects).
+    pub output: Vec<u8>,
+    /// `fnv1a:<16 hex digits>` over `output`.
+    pub checksum: String,
+    /// Error message if the scenario failed.
+    pub error: Option<String>,
+}
+
+/// Results of one full suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// Worker thread count the fan-out used.
+    pub threads: usize,
+    /// Whether quick mode was on.
+    pub quick: bool,
+    /// End-to-end wall-clock of the fan-out (milliseconds).
+    pub total_wall_ms: f64,
+    /// Per-job results, in [`registry`] order.
+    pub results: Vec<JobResult>,
+}
+
+fn run_job(scenario: &Scenario, quick: bool) -> JobResult {
+    let mut output: Vec<u8> = Vec::with_capacity(4096);
+    let tracer = Tracer::enabled();
+    let counter = tracer.attach(CountingSink::default());
+    let start = std::time::Instant::now();
+    let err = {
+        let mut ctx = ScenarioCtx {
+            out: &mut output,
+            quick,
+            seed: scenario.seed,
+            tracer,
+        };
+        (scenario.run)(&mut ctx).err()
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (events, max_t_ns) = {
+        let c = counter.lock().expect("counting sink poisoned");
+        (c.events, c.max_t_ns)
+    };
+    JobResult {
+        name: scenario.name.to_string(),
+        seed: scenario.seed,
+        wall_ms,
+        sim_time_s: max_t_ns as f64 / 1e9,
+        events,
+        checksum: format!("fnv1a:{:016x}", fnv1a(&output)),
+        output,
+        error: err.map(|e| e.to_string()),
+    }
+}
+
+/// Run `scenarios` across `threads` workers and collect results in the
+/// given order.
+///
+/// Jobs are partitioned into one bucket per worker with a greedy
+/// longest-processing-time heuristic over [`Scenario::cost_hint`],
+/// then the buckets are executed fork-join style by the same
+/// [`ParallelExecutor`] the parallel gmapping algorithm uses — one
+/// bucket per worker thread, each worker draining its bucket serially.
+pub fn run_suite(scenarios: &[Scenario], threads: usize, quick: bool) -> SuiteReport {
+    let threads = threads.max(1);
+    let start = std::time::Instant::now();
+
+    // Greedy LPT partition: heaviest job first into the lightest bucket.
+    let n = threads.min(scenarios.len()).max(1);
+    let mut order: Vec<usize> = (0..scenarios.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(scenarios[i].cost_hint));
+    let mut buckets: Vec<(u64, Vec<usize>)> = vec![(0, Vec::new()); n];
+    for i in order {
+        let lightest = buckets
+            .iter_mut()
+            .min_by_key(|(load, _)| *load)
+            .expect("at least one bucket");
+        lightest.0 += scenarios[i].cost_hint as u64;
+        lightest.1.push(i);
+    }
+    let mut work: Vec<Vec<usize>> = buckets.into_iter().map(|(_, jobs)| jobs).collect();
+
+    // Fork-join over the buckets: each worker gets exactly one.
+    let executor = ParallelExecutor::new(n);
+    let per_bucket: Vec<Vec<(usize, JobResult)>> = executor.run_chunks(&mut work, |chunk| {
+        let mut done = Vec::new();
+        for bucket in chunk.iter() {
+            for &i in bucket {
+                done.push((i, run_job(&scenarios[i], quick)));
+            }
+        }
+        done
+    });
+
+    let mut slots: Vec<Option<JobResult>> = vec![None; scenarios.len()];
+    for (i, r) in per_bucket.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    SuiteReport {
+        threads,
+        quick,
+        total_wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        results: slots
+            .into_iter()
+            .map(|r| r.expect("every job ran"))
+            .collect(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl SuiteReport {
+    /// Render the machine-readable `BENCH_suite.json` artifact.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"lgv-bench-suite/v1\",\n");
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!(
+            "  \"total_wall_ms\": {:.3},\n",
+            self.total_wall_ms
+        ));
+        s.push_str("  \"scenarios\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"name\": \"{}\", ", json_escape(&r.name)));
+            s.push_str(&format!("\"seed\": {}, ", r.seed));
+            s.push_str(&format!("\"wall_ms\": {:.3}, ", r.wall_ms));
+            s.push_str(&format!("\"sim_time_s\": {:.3}, ", r.sim_time_s));
+            s.push_str(&format!("\"events\": {}, ", r.events));
+            s.push_str(&format!("\"output_bytes\": {}, ", r.output.len()));
+            s.push_str(&format!("\"checksum\": \"{}\"", json_escape(&r.checksum)));
+            if let Some(e) = &r.error {
+                s.push_str(&format!(", \"error\": \"{}\"", json_escape(e)));
+            }
+            s.push('}');
+            s.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_nonempty() {
+        let reg = registry();
+        assert!(!reg.is_empty());
+        let mut names: Vec<&str> = reg.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), reg.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_json_is_balanced_and_tagged() {
+        let report = SuiteReport {
+            threads: 2,
+            quick: true,
+            total_wall_ms: 1.5,
+            results: vec![JobResult {
+                name: "x".into(),
+                seed: 7,
+                wall_ms: 1.0,
+                sim_time_s: 0.0,
+                events: 0,
+                output: b"hello".to_vec(),
+                checksum: format!("fnv1a:{:016x}", fnv1a(b"hello")),
+                error: None,
+            }],
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"schema\": \"lgv-bench-suite/v1\""));
+        assert!(j.contains("\"name\": \"x\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

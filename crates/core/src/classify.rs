@@ -82,23 +82,67 @@ pub fn classify(profiles: &[NodeProfile]) -> Classification {
 /// a static default before live profiling has data.
 pub fn table2_with_map() -> Vec<NodeProfile> {
     vec![
-        NodeProfile { kind: NodeKind::Localization, work: Work::serial(0.028e9 / 5.0), rate_hz: 5.0 },
-        NodeProfile { kind: NodeKind::CostmapGen, work: Work::with_parallel(0.017e9, 0.154e9, 512), rate_hz: 5.0 },
-        NodeProfile { kind: NodeKind::PathPlanning, work: Work::serial(0.055e9), rate_hz: 1.0 },
-        NodeProfile { kind: NodeKind::PathTracking, work: Work::with_parallel(0.002e9, 0.275e9, 1000), rate_hz: 5.0 },
-        NodeProfile { kind: NodeKind::VelocityMux, work: Work::serial(5.0e3), rate_hz: 5.0 },
+        NodeProfile {
+            kind: NodeKind::Localization,
+            work: Work::serial(0.028e9 / 5.0),
+            rate_hz: 5.0,
+        },
+        NodeProfile {
+            kind: NodeKind::CostmapGen,
+            work: Work::with_parallel(0.017e9, 0.154e9, 512),
+            rate_hz: 5.0,
+        },
+        NodeProfile {
+            kind: NodeKind::PathPlanning,
+            work: Work::serial(0.055e9),
+            rate_hz: 1.0,
+        },
+        NodeProfile {
+            kind: NodeKind::PathTracking,
+            work: Work::with_parallel(0.002e9, 0.275e9, 1000),
+            rate_hz: 5.0,
+        },
+        NodeProfile {
+            kind: NodeKind::VelocityMux,
+            work: Work::serial(5.0e3),
+            rate_hz: 5.0,
+        },
     ]
 }
 
 /// The Table II "without a map" profile (exploration workload).
 pub fn table2_without_map() -> Vec<NodeProfile> {
     vec![
-        NodeProfile { kind: NodeKind::Slam, work: Work::with_parallel(0.02e9, 0.645e9, 30), rate_hz: 5.0 },
-        NodeProfile { kind: NodeKind::CostmapGen, work: Work::with_parallel(0.014e9, 0.123e9, 512), rate_hz: 5.0 },
-        NodeProfile { kind: NodeKind::PathPlanning, work: Work::serial(0.052e9), rate_hz: 1.0 },
-        NodeProfile { kind: NodeKind::Exploration, work: Work::serial(0.011e9), rate_hz: 1.0 },
-        NodeProfile { kind: NodeKind::PathTracking, work: Work::with_parallel(0.002e9, 0.24e9, 1000), rate_hz: 5.0 },
-        NodeProfile { kind: NodeKind::VelocityMux, work: Work::serial(5.0e3), rate_hz: 5.0 },
+        NodeProfile {
+            kind: NodeKind::Slam,
+            work: Work::with_parallel(0.02e9, 0.645e9, 30),
+            rate_hz: 5.0,
+        },
+        NodeProfile {
+            kind: NodeKind::CostmapGen,
+            work: Work::with_parallel(0.014e9, 0.123e9, 512),
+            rate_hz: 5.0,
+        },
+        NodeProfile {
+            kind: NodeKind::PathPlanning,
+            work: Work::serial(0.052e9),
+            rate_hz: 1.0,
+        },
+        NodeProfile {
+            kind: NodeKind::Exploration,
+            work: Work::serial(0.011e9),
+            rate_hz: 1.0,
+        },
+        NodeProfile {
+            kind: NodeKind::PathTracking,
+            work: Work::with_parallel(0.002e9, 0.24e9, 1000),
+            rate_hz: 5.0,
+        },
+        NodeProfile {
+            kind: NodeKind::VelocityMux,
+            work: Work::serial(5.0e3),
+            rate_hz: 5.0,
+        },
     ]
 }
 
@@ -176,8 +220,16 @@ mod tests {
     fn rate_matters_not_just_per_activation_cost() {
         // A heavy node activated rarely is not an ECN.
         let profiles = vec![
-            NodeProfile { kind: NodeKind::PathPlanning, work: Work::serial(10e9), rate_hz: 0.001 },
-            NodeProfile { kind: NodeKind::PathTracking, work: Work::serial(0.2e9), rate_hz: 5.0 },
+            NodeProfile {
+                kind: NodeKind::PathPlanning,
+                work: Work::serial(10e9),
+                rate_hz: 0.001,
+            },
+            NodeProfile {
+                kind: NodeKind::PathTracking,
+                work: Work::serial(0.2e9),
+                rate_hz: 5.0,
+            },
         ];
         let c = classify(&profiles);
         assert!(!c.ecn.contains(NodeKind::PathPlanning));
@@ -188,11 +240,23 @@ mod tests {
     fn table2_profiles_have_expected_totals() {
         // Sanity: the static profiles reproduce the Gcycles/s of
         // Table II within rounding.
-        let total_map: f64 =
-            table2_with_map().iter().map(|p| p.cycles_per_sec()).sum::<f64>() / 1e9;
-        assert!((2.0..2.7).contains(&total_map), "with-map total {total_map}");
-        let total_nomap: f64 =
-            table2_without_map().iter().map(|p| p.cycles_per_sec()).sum::<f64>() / 1e9;
-        assert!((4.4..5.5).contains(&total_nomap), "without-map total {total_nomap}");
+        let total_map: f64 = table2_with_map()
+            .iter()
+            .map(|p| p.cycles_per_sec())
+            .sum::<f64>()
+            / 1e9;
+        assert!(
+            (2.0..2.7).contains(&total_map),
+            "with-map total {total_map}"
+        );
+        let total_nomap: f64 = table2_without_map()
+            .iter()
+            .map(|p| p.cycles_per_sec())
+            .sum::<f64>()
+            / 1e9;
+        assert!(
+            (4.4..5.5).contains(&total_nomap),
+            "without-map total {total_nomap}"
+        );
     }
 }

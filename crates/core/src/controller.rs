@@ -153,11 +153,17 @@ impl Controller {
         inputs: ControlInputs,
     ) -> ControlDecision {
         // Algorithm 1: placement plan from the two makespans.
-        let plan = self.strategy.decide(class, inputs.local_vdp, inputs.cloud_vdp);
+        let plan = self
+            .strategy
+            .decide(class, inputs.local_vdp, inputs.cloud_vdp);
         let vdp_remote = self.offloaded_deployment
             && inputs.remote_enabled
             && plan.remote.contains(NodeKind::PathTracking);
-        let makespan = if vdp_remote { inputs.cloud_vdp } else { inputs.local_vdp };
+        let makespan = if vdp_remote {
+            inputs.cloud_vdp
+        } else {
+            inputs.local_vdp
+        };
 
         // Eq. 2c velocity with the safety and cold-state caps.
         let mut max_linear = self.cfg.velocity.vmax(makespan);
@@ -197,29 +203,35 @@ impl Controller {
             let silence = inputs.since_downlink.unwrap_or(Duration::ZERO);
             self.tracer.emit_at(
                 now.as_nanos(),
-                TraceEvent::HeartbeatMiss { silence_ns: silence.as_nanos() },
+                TraceEvent::HeartbeatMiss {
+                    silence_ns: silence.as_nanos(),
+                },
             );
         }
         if let Some((wait, failures)) = verdict.backoff_armed {
             self.tracer.emit_at(
                 now.as_nanos(),
-                TraceEvent::ReoffloadBackoff { wait_ns: wait.as_nanos(), failures },
+                TraceEvent::ReoffloadBackoff {
+                    wait_ns: wait.as_nanos(),
+                    failures,
+                },
             );
         }
 
-        self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ControlDecision {
-            local_vdp_ns: inputs.local_vdp.as_nanos(),
-            cloud_vdp_ns: inputs.cloud_vdp.as_nanos(),
-            bandwidth: inputs.bandwidth,
-            direction: inputs.direction,
-            vdp_remote,
-            max_linear,
-            net_decision: match net_decision {
-                NetDecision::Keep => "keep".to_string(),
-                NetDecision::InvokeLocal => "invoke_local".to_string(),
-                NetDecision::InvokeRemote => "invoke_remote".to_string(),
-            },
-        });
+        self.tracer
+            .emit_with_at(now.as_nanos(), || TraceEvent::ControlDecision {
+                local_vdp_ns: inputs.local_vdp.as_nanos(),
+                cloud_vdp_ns: inputs.cloud_vdp.as_nanos(),
+                bandwidth: inputs.bandwidth,
+                direction: inputs.direction,
+                vdp_remote,
+                max_linear,
+                net_decision: match net_decision {
+                    NetDecision::Keep => "keep".to_string(),
+                    NetDecision::InvokeLocal => "invoke_local".to_string(),
+                    NetDecision::InvokeRemote => "invoke_remote".to_string(),
+                },
+            });
 
         ControlDecision {
             plan,

@@ -18,27 +18,47 @@ pub struct Deployment {
 impl Deployment {
     /// No offloading.
     pub fn local() -> Self {
-        Deployment { label: "LGV", site: None, threads: 1 }
+        Deployment {
+            label: "LGV",
+            site: None,
+            threads: 1,
+        }
     }
 
     /// Edge gateway, no parallel optimization.
     pub fn edge() -> Self {
-        Deployment { label: "Edge", site: Some(RemoteSite::EdgeGateway), threads: 1 }
+        Deployment {
+            label: "Edge",
+            site: Some(RemoteSite::EdgeGateway),
+            threads: 1,
+        }
     }
 
     /// Edge gateway with 8-thread parallelization.
     pub fn edge_8t() -> Self {
-        Deployment { label: "Edge (8t)", site: Some(RemoteSite::EdgeGateway), threads: 8 }
+        Deployment {
+            label: "Edge (8t)",
+            site: Some(RemoteSite::EdgeGateway),
+            threads: 8,
+        }
     }
 
     /// Cloud server, no parallel optimization.
     pub fn cloud() -> Self {
-        Deployment { label: "Cloud", site: Some(RemoteSite::CloudServer), threads: 1 }
+        Deployment {
+            label: "Cloud",
+            site: Some(RemoteSite::CloudServer),
+            threads: 1,
+        }
     }
 
     /// Cloud server with 12-thread parallelization.
     pub fn cloud_12t() -> Self {
-        Deployment { label: "Cloud (12t)", site: Some(RemoteSite::CloudServer), threads: 12 }
+        Deployment {
+            label: "Cloud (12t)",
+            site: Some(RemoteSite::CloudServer),
+            threads: 12,
+        }
     }
 
     /// The full evaluation matrix of Figs. 12–13, in figure order.
@@ -84,8 +104,17 @@ mod tests {
 
     #[test]
     fn platforms_resolve_by_site() {
-        assert_eq!(Deployment::local().remote_platform().kind, PlatformKind::Turtlebot3);
-        assert_eq!(Deployment::edge_8t().remote_platform().kind, PlatformKind::EdgeGateway);
-        assert_eq!(Deployment::cloud().remote_platform().kind, PlatformKind::CloudServer);
+        assert_eq!(
+            Deployment::local().remote_platform().kind,
+            PlatformKind::Turtlebot3
+        );
+        assert_eq!(
+            Deployment::edge_8t().remote_platform().kind,
+            PlatformKind::EdgeGateway
+        );
+        assert_eq!(
+            Deployment::cloud().remote_platform().kind,
+            PlatformKind::CloudServer
+        );
     }
 }

@@ -35,7 +35,12 @@ pub struct GovernorConfig {
 
 impl Default for GovernorConfig {
     fn default() -> Self {
-        GovernorConfig { window: 25, low_gap: 0.15, high_gap: 0.6, min_threads: 1 }
+        GovernorConfig {
+            window: 25,
+            low_gap: 0.15,
+            high_gap: 0.6,
+            min_threads: 1,
+        }
     }
 }
 
@@ -52,7 +57,12 @@ impl ThreadGovernor {
     /// Governor for a deployment allowed up to `max_threads`.
     pub fn new(cfg: GovernorConfig, max_threads: u32) -> Self {
         assert!(max_threads >= 1);
-        ThreadGovernor { cfg, max_threads, samples: VecDeque::new(), tracer: Tracer::disabled() }
+        ThreadGovernor {
+            cfg,
+            max_threads,
+            samples: VecDeque::new(),
+            tracer: Tracer::disabled(),
+        }
     }
 
     /// Route governor decisions to `tracer` (timestamps come from the

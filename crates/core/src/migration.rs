@@ -168,14 +168,23 @@ impl MigrationManager {
         if self.active.is_some() {
             return Err(BeginError::Busy);
         }
-        let bytes: usize = nodes.iter().map(|k| state_size_bytes(k, slam_particles)).sum();
-        let ticket = MigrationTicket { nodes, started: now, bytes };
+        let bytes: usize = nodes
+            .iter()
+            .map(|k| state_size_bytes(k, slam_particles))
+            .sum();
+        let ticket = MigrationTicket {
+            nodes,
+            started: now,
+            bytes,
+        };
         let segments = bytes.div_ceil(self.segment_bytes).max(1);
         let msg = self.tracer.alloc_msg();
         let mut last_seq = 0;
         for i in 0..segments {
             let len = self.segment_bytes.min(bytes - i * self.segment_bytes);
-            last_seq = self.tcp.send_tagged(now, bytes::Bytes::from(vec![0u8; len]), msg);
+            last_seq = self
+                .tcp
+                .send_tagged(now, bytes::Bytes::from(vec![0u8; len]), msg);
         }
         self.active = Some((ticket, last_seq));
         Ok(ticket)
@@ -240,13 +249,21 @@ mod tests {
     use lgv_net::signal::WirelessConfig;
 
     fn manager() -> MigrationManager {
-        let cfg = WirelessConfig { jitter: Duration::ZERO, ..WirelessConfig::default() }
-            .with_weak_radius(25.0);
+        let cfg = WirelessConfig {
+            jitter: Duration::ZERO,
+            ..WirelessConfig::default()
+        }
+        .with_weak_radius(25.0);
         let sm = SignalModel::new(cfg, Point2::new(0.0, 0.0));
         MigrationManager::new(sm, Duration::from_millis(12), SimRng::seed_from_u64(5))
     }
 
-    fn drive(m: &mut MigrationManager, from_ms: u64, pos: Point2, limit_s: u64) -> Option<(MigrationDone, SimTime)> {
+    fn drive(
+        m: &mut MigrationManager,
+        from_ms: u64,
+        pos: Point2,
+        limit_s: u64,
+    ) -> Option<(MigrationDone, SimTime)> {
         let mut t = SimTime::EPOCH + Duration::from_millis(from_ms);
         for _ in 0..(limit_s * 100) {
             t += Duration::from_millis(10);
@@ -263,7 +280,8 @@ mod tests {
     fn state_sizes_are_ordered_sensibly() {
         assert!(state_size_bytes(NodeKind::Slam, 30) > state_size_bytes(NodeKind::CostmapGen, 30));
         assert!(
-            state_size_bytes(NodeKind::CostmapGen, 30) > state_size_bytes(NodeKind::PathTracking, 30)
+            state_size_bytes(NodeKind::CostmapGen, 30)
+                > state_size_bytes(NodeKind::PathTracking, 30)
         );
         // SLAM state scales with the particle count.
         assert_eq!(
@@ -292,52 +310,78 @@ mod tests {
     #[test]
     fn slam_state_takes_longer_than_vdp_state() {
         let mut a = manager();
-        a.begin(SimTime::EPOCH, NodeSet::single(NodeKind::PathTracking), 30).expect("begins");
+        a.begin(SimTime::EPOCH, NodeSet::single(NodeKind::PathTracking), 30)
+            .expect("begins");
         let (fast, _) = drive(&mut a, 0, Point2::new(1.0, 0.0), 30).unwrap();
         let mut b = manager();
-        b.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30).expect("begins");
+        b.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30)
+            .expect("begins");
         let (slow, _) = drive(&mut b, 0, Point2::new(1.0, 0.0), 60).unwrap();
-        assert!(slow.elapsed > fast.elapsed, "{} vs {}", slow.elapsed, fast.elapsed);
+        assert!(
+            slow.elapsed > fast.elapsed,
+            "{} vs {}",
+            slow.elapsed,
+            fast.elapsed
+        );
     }
 
     #[test]
     fn migration_survives_a_lossy_link() {
         let mut m = manager();
-        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30).expect("begins");
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30)
+            .expect("begins");
         // Lossy but not dead (the robot is walking back into range).
         let (done, _) = drive(&mut m, 0, Point2::new(20.0, 0.0), 120).expect("eventually lands");
-        assert!(done.attempts as usize > done.ticket.bytes / 1400, "retransmissions expected");
+        assert!(
+            done.attempts as usize > done.ticket.bytes / 1400,
+            "retransmissions expected"
+        );
     }
 
     #[test]
     fn only_one_migration_at_a_time() {
         let mut m = manager();
-        assert!(m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30).is_ok());
+        assert!(m
+            .begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30)
+            .is_ok());
         // Each refusal states its reason — busy is retryable, an
         // empty node set never will be.
         assert_eq!(
             m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30),
             Err(BeginError::Busy)
         );
-        assert_eq!(m.begin(SimTime::EPOCH, NodeSet::EMPTY, 30), Err(BeginError::EmptyNodeSet));
+        assert_eq!(
+            m.begin(SimTime::EPOCH, NodeSet::EMPTY, 30),
+            Err(BeginError::EmptyNodeSet)
+        );
         // Once the transfer resolves, busy clears but empty does not.
         m.abort();
-        assert!(m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30).is_ok());
+        assert!(m
+            .begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30)
+            .is_ok());
         m.abort();
-        assert_eq!(m.begin(SimTime::EPOCH, NodeSet::EMPTY, 30), Err(BeginError::EmptyNodeSet));
+        assert_eq!(
+            m.begin(SimTime::EPOCH, NodeSet::EMPTY, 30),
+            Err(BeginError::EmptyNodeSet)
+        );
     }
 
     #[test]
     fn abort_flushes_in_flight_segments() {
         let mut m = manager();
         // SLAM state is many segments; none can have landed yet.
-        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30).expect("begins");
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30)
+            .expect("begins");
         let flushed = m.abort();
-        assert!(flushed > 10, "expected many queued segments, flushed {flushed}");
+        assert!(
+            flushed > 10,
+            "expected many queued segments, flushed {flushed}"
+        );
         assert!(!m.in_progress());
         // The channel really is idle: a fresh migration starts from a
         // clean queue and completes normally.
-        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::PathTracking), 30).expect("restarts");
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::PathTracking), 30)
+            .expect("restarts");
         let (done, _) = drive(&mut m, 0, Point2::new(1.0, 0.0), 30).expect("completes");
         assert_eq!(done.ticket.nodes, NodeSet::single(NodeKind::PathTracking));
         // No stale SLAM segments got delivered to the new transfer.
@@ -348,7 +392,8 @@ mod tests {
     fn deadline_aborts_a_stalled_transfer() {
         let mut m = manager();
         m.set_deadline(Duration::from_secs(3));
-        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30).expect("begins");
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30)
+            .expect("begins");
         // Far outside radio range: nothing will ever be acked.
         let far = Point2::new(500.0, 0.0);
         let mut t = SimTime::EPOCH;
@@ -362,7 +407,10 @@ mod tests {
         }
         let (ticket, elapsed, at) = timed_out.expect("deadline fires");
         assert!(elapsed >= Duration::from_secs(3));
-        assert_eq!(at.saturating_since(SimTime::EPOCH).as_nanos(), elapsed.as_nanos());
+        assert_eq!(
+            at.saturating_since(SimTime::EPOCH).as_nanos(),
+            elapsed.as_nanos()
+        );
         assert!(ticket.bytes > 0);
         assert!(!m.in_progress());
         assert_eq!(m.timed_out, 1);
@@ -372,13 +420,17 @@ mod tests {
     #[test]
     fn no_deadline_means_wait_forever() {
         let mut m = manager();
-        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30).expect("begins");
+        m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::CostmapGen), 30)
+            .expect("begins");
         let far = Point2::new(500.0, 0.0);
         let mut t = SimTime::EPOCH;
         for _ in 0..2000 {
             t += Duration::from_millis(10);
             assert_eq!(m.tick(t, far), None);
         }
-        assert!(m.in_progress(), "without a deadline the transfer keeps trying");
+        assert!(
+            m.in_progress(),
+            "without a deadline the transfer keeps trying"
+        );
     }
 }

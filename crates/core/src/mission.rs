@@ -31,16 +31,16 @@ use crate::netctl::{NetDecision, SwitchCause};
 use crate::profiler::Profiler;
 use crate::strategy::{OffloadStrategy, PinPolicy, PlacementPlan};
 use lgv_middleware::{Bus, Switcher, SwitcherConfig, TopicName};
-use lgv_net::fault::{FaultClock, FaultSchedule};
-use lgv_net::link::{DuplexLink, LinkConfig};
-use lgv_net::measure::SignalDirectionEstimator;
-use lgv_net::signal::{SignalModel, WirelessConfig};
 use lgv_nav::costmap::{Costmap, CostmapConfig};
 use lgv_nav::dwa::{DwaConfig, DwaPlanner};
 use lgv_nav::frontier::{FrontierConfig, FrontierExplorer};
 use lgv_nav::global_planner::{GlobalPlanner, PlannerConfig};
 use lgv_nav::velocity_mux::{MuxConfig, VelocityMux};
 use lgv_nav::{Amcl, AmclConfig};
+use lgv_net::fault::{FaultClock, FaultSchedule};
+use lgv_net::link::{DuplexLink, LinkConfig};
+use lgv_net::measure::SignalDirectionEstimator;
+use lgv_net::signal::{SignalModel, WirelessConfig};
 use lgv_sim::energy::{Component, EnergyLedger, EnergyReport};
 use lgv_sim::platform::Platform;
 use lgv_sim::power::{LgvProfile, TransmitModel};
@@ -220,7 +220,10 @@ pub struct MissionReport {
 impl MissionReport {
     /// Gcycles demanded by one node over the mission.
     pub fn gcycles(&self, kind: NodeKind) -> f64 {
-        self.node_gcycles.iter().find(|(k, _)| *k == kind).map_or(0.0, |(_, g)| *g)
+        self.node_gcycles
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0.0, |(_, g)| *g)
     }
 }
 
@@ -333,7 +336,10 @@ struct Engine {
 impl Engine {
     fn new(cfg: MissionConfig, tracer: Tracer) -> Self {
         let mut rng = SimRng::seed_from_u64(cfg.seed);
-        let vehicle_cfg = VehicleConfig { max_linear: cfg.velocity.hw_cap, ..VehicleConfig::default() };
+        let vehicle_cfg = VehicleConfig {
+            max_linear: cfg.velocity.hw_cap,
+            ..VehicleConfig::default()
+        };
         let vehicle = Vehicle::new(vehicle_cfg, cfg.start, rng.fork(1));
         let lidar = Lidar::new(cfg.lidar.clone(), rng.fork(2));
 
@@ -345,7 +351,14 @@ impl Engine {
                 let amcl = Amcl::new(AmclConfig::default(), &truth_map, cfg.start, rng.fork(3));
                 let costmap = Costmap::from_map(CostmapConfig::default(), &truth_map);
                 let planner = GlobalPlanner::new(PlannerConfig::default());
-                (Some(amcl), None, truth_map, costmap, planner, classify(&table2_with_map()))
+                (
+                    Some(amcl),
+                    None,
+                    truth_map,
+                    costmap,
+                    planner,
+                    classify(&table2_with_map()),
+                )
             }
             Workload::Exploration => {
                 let slam_cfg = SlamConfig {
@@ -365,7 +378,14 @@ impl Engine {
                     allow_unknown: true,
                     ..PlannerConfig::default()
                 });
-                (None, Some(slam), empty, costmap, planner, classify(&table2_without_map()))
+                (
+                    None,
+                    Some(slam),
+                    empty,
+                    costmap,
+                    planner,
+                    classify(&table2_without_map()),
+                )
             }
         };
 
@@ -413,20 +433,33 @@ impl Engine {
 
         let profile = LgvProfile::turtlebot3();
         let battery = Battery::new_wh(cfg.battery_wh.unwrap_or(profile.battery_wh));
-        let transmit = TransmitModel { power_w: profile.trans_power_w };
+        let transmit = TransmitModel {
+            power_w: profile.trans_power_w,
+        };
         let tb3 = Platform::turtlebot3();
         let remote = cfg.deployment.remote_platform();
 
-        let strategy = OffloadStrategy { goal: cfg.goal, velocity: cfg.velocity, pins: cfg.pins };
+        let strategy = OffloadStrategy {
+            goal: cfg.goal,
+            velocity: cfg.velocity,
+            pins: cfg.pins,
+        };
         let mut controller = Controller::new(
-            ControllerConfig { velocity: cfg.velocity, ..ControllerConfig::default() },
+            ControllerConfig {
+                velocity: cfg.velocity,
+                ..ControllerConfig::default()
+            },
             strategy,
             cfg.deployment.offloaded(),
             cfg.adaptive,
         );
         controller.set_tracer(tracer.clone());
         let plan = PlacementPlan {
-            remote: if cfg.deployment.offloaded() { class.ecn } else { NodeSet::EMPTY },
+            remote: if cfg.deployment.offloaded() {
+                class.ecn
+            } else {
+                NodeSet::EMPTY
+            },
             expected_vdp: Duration::from_millis(600),
             max_velocity: 0.15,
         };
@@ -488,7 +521,10 @@ impl Engine {
             pose_conf: 1.0,
             odom_at_fix: None,
             current_goal: nav_goal,
-            path: PathMsg { stamp: SimTime::EPOCH, waypoints: vec![] },
+            path: PathMsg {
+                stamp: SimTime::EPOCH,
+                waypoints: vec![],
+            },
             last_plan_at: None,
             explored_done_votes: 0,
             frontier_blacklist: Vec::new(),
@@ -520,7 +556,10 @@ impl Engine {
         if local {
             // Eq. 1c dynamic energy on the embedded computer.
             let model = self.profile.compute_model(&self.tb3);
-            self.ledger.add(Component::EmbeddedComputer, model.dynamic_energy(work.total_cycles()));
+            self.ledger.add(
+                Component::EmbeddedComputer,
+                model.dynamic_energy(work.total_cycles()),
+            );
             let t = self.tb3.exec_time(work, 1);
             self.profiler.record_local_msg(kind, t, self.trace_msg);
             t
@@ -539,12 +578,15 @@ impl Engine {
     /// processing time on the executing platform.
     fn run_vdp(&mut self, scan: &LaserScan, local: bool) -> (VelocityCmd, Duration) {
         let mut meter = WorkMeter::new();
-        self.costmap.update(&self.known_map, self.pose_est, scan, &mut meter);
+        self.costmap
+            .update(&self.known_map, self.pose_est, scan, &mut meter);
         let cm_work = meter.finish();
         let t_cm = self.charge_node(NodeKind::CostmapGen, &cm_work, local);
 
         self.dwa.set_max_linear(self.vmax_now);
-        let dwa_out = self.dwa.compute(&self.costmap, self.pose_est, &self.path, self.current_goal);
+        let dwa_out = self
+            .dwa
+            .compute(&self.costmap, self.pose_est, &self.path, self.current_goal);
         let t_pt = self.charge_node(NodeKind::PathTracking, &dwa_out.work, local);
 
         let mux_work = self.mux.work();
@@ -556,7 +598,11 @@ impl Engine {
         if self.pose_conf < 0.2 {
             twist.linear = twist.linear.min(0.08);
         }
-        let cmd = VelocityCmd { stamp: scan.stamp, twist, source: VelocitySource::Navigation };
+        let cmd = VelocityCmd {
+            stamp: scan.stamp,
+            twist,
+            source: VelocitySource::Navigation,
+        };
         (cmd, t_cm + t_pt + t_mux)
     }
 
@@ -583,8 +629,11 @@ impl Engine {
                     return;
                 }
                 let slam_remote = self.remote_enabled && self.plan.remote.contains(NodeKind::Slam);
-                let threads =
-                    if slam_remote { self.effective_threads as usize } else { 1 };
+                let threads = if slam_remote {
+                    self.effective_threads as usize
+                } else {
+                    1
+                };
                 let slam = self.slam.as_mut().unwrap();
                 slam.set_threads(threads);
                 let out = slam.process(odom, scan);
@@ -658,10 +707,14 @@ impl Engine {
                 self.now,
             )
         } else {
-            self.planner.plan(&self.costmap, self.pose_est.position(), self.current_goal, self.now)
+            self.planner.plan(
+                &self.costmap,
+                self.pose_est.position(),
+                self.current_goal,
+                self.now,
+            )
         };
-        match plan_result
-        {
+        match plan_result {
             Ok(res) => {
                 self.charge_node(NodeKind::PathPlanning, &res.work, true);
                 self.path = res.path;
@@ -708,7 +761,8 @@ impl Engine {
         // heard the remote, and what its radio diagnostics say.
         let (since_downlink, radio_weak) = match self.switcher.as_ref() {
             Some(sw) => (
-                sw.last_downlink_at().map(|t0| cycle_start.saturating_since(t0)),
+                sw.last_downlink_at()
+                    .map(|t0| cycle_start.saturating_since(t0)),
                 sw.link().radio_weak(true_pose.position(), cycle_start),
             ),
             None => (None, true),
@@ -738,7 +792,9 @@ impl Engine {
                 self.remote_enabled = d == NetDecision::InvokeRemote;
                 self.tracer.emit_at(
                     cycle_start.as_nanos(),
-                    TraceEvent::NetSwitch { to_remote: self.remote_enabled },
+                    TraceEvent::NetSwitch {
+                        to_remote: self.remote_enabled,
+                    },
                 );
                 if decision.net_cause == SwitchCause::HeartbeatMiss {
                     // The remote host is presumed dead: its state is
@@ -763,7 +819,9 @@ impl Engine {
                     {
                         self.tracer.emit_at(
                             cycle_start.as_nanos(),
-                            TraceEvent::MigrationStart { bytes: ticket.bytes as u64 },
+                            TraceEvent::MigrationStart {
+                                bytes: ticket.bytes as u64,
+                            },
                         );
                         self.cold_state = true;
                         self.cold_since = cycle_start;
@@ -783,7 +841,8 @@ impl Engine {
 
         // §VIII-E thread governor: scale remote parallelism to the
         // velocity actually achieved.
-        self.governor.observe(self.vmax_now, self.vehicle.twist().linear.abs());
+        self.governor
+            .observe(self.vmax_now, self.vehicle.twist().linear.abs());
         if self.cfg.adaptive_parallelism && self.cfg.deployment.offloaded() {
             self.effective_threads = self.governor.recommend();
         }
@@ -944,7 +1003,8 @@ impl Engine {
                     Some(MigrationEvent::TimedOut { .. }) => {
                         // The manager already cancelled the segments
                         // and emitted `migration_timeout`.
-                        self.tracer.emit_at(t.as_nanos(), TraceEvent::MigrationAbort);
+                        self.tracer
+                            .emit_at(t.as_nanos(), TraceEvent::MigrationAbort);
                         self.cold_state = false;
                         self.controller.record_offload_failure(t);
                     }
@@ -1003,14 +1063,16 @@ impl Engine {
 
         // Energy integration (Eq. 1a components).
         let dt = SUBSTEP;
-        self.ledger.add_power(Component::Sensor, self.profile.max_power.sensor, dt);
+        self.ledger
+            .add_power(Component::Sensor, self.profile.max_power.sensor, dt);
         self.ledger.add_power(
             Component::Microcontroller,
             self.profile.max_power.microcontroller,
             dt,
         );
         let ec_model = self.profile.compute_model(&self.tb3);
-        self.ledger.add_power(Component::EmbeddedComputer, ec_model.idle_w, dt);
+        self.ledger
+            .add_power(Component::EmbeddedComputer, ec_model.idle_w, dt);
         let motor = self.profile.motor_model();
         let p_motor = motor.power(applied.linear, self.vehicle.accel_demand());
         self.ledger.add_power(Component::Motor, p_motor, dt);
@@ -1043,7 +1105,9 @@ impl Engine {
         if let Some((ready, mut cmd, parent)) = self.remote_pending {
             if now >= ready {
                 cmd.stamp = ready;
-                let _ = self.remote_bus.publish_from(TopicName::CMD_VEL_NAV, &cmd, parent);
+                let _ = self
+                    .remote_bus
+                    .publish_from(TopicName::CMD_VEL_NAV, &cmd, parent);
                 self.remote_pending = None;
             }
         }
@@ -1052,7 +1116,11 @@ impl Engine {
     fn goal_reached(&self) -> bool {
         match self.cfg.workload {
             Workload::Navigation => {
-                self.vehicle.true_pose().position().distance(self.cfg.nav_goal) < GOAL_TOLERANCE
+                self.vehicle
+                    .true_pose()
+                    .position()
+                    .distance(self.cfg.nav_goal)
+                    < GOAL_TOLERANCE
             }
             Workload::Exploration => self.explored_done_votes >= 2,
         }
@@ -1076,10 +1144,7 @@ impl Engine {
             self.battery.drain(spent - self.drained_j);
             self.drained_j = spent;
             if self.battery.depleted() {
-                reason = format!(
-                    "battery depleted after {:.0}s",
-                    self.now.as_secs_f64()
-                );
+                reason = format!("battery depleted after {:.0}s", self.now.as_secs_f64());
                 break;
             }
             if self.goal_reached() {
@@ -1099,13 +1164,19 @@ impl Engine {
         self.tracer.flush();
 
         let total = self.standby + self.moving;
-        let mut node_gcycles: Vec<(NodeKind, f64)> =
-            self.node_cycles.iter().map(|(k, c)| (*k, c / 1e9)).collect();
+        let mut node_gcycles: Vec<(NodeKind, f64)> = self
+            .node_cycles
+            .iter()
+            .map(|(k, c)| (*k, c / 1e9))
+            .collect();
         node_gcycles.sort_by_key(|(k, _)| *k);
         MissionReport {
             completed,
             reason,
-            time: TimeBreakdown { standby: self.standby, moving: self.moving },
+            time: TimeBreakdown {
+                standby: self.standby,
+                moving: self.moving,
+            },
             energy: self.ledger.report(total),
             distance: self.vehicle.distance_travelled(),
             velocity_trace: self.velocity_trace,
@@ -1171,7 +1242,12 @@ mod tests {
     fn offloaded_navigation_is_faster_and_cheaper() {
         let local = run(mini_config(Deployment::local(), Workload::Navigation));
         let edge = run(mini_config(Deployment::edge_8t(), Workload::Navigation));
-        assert!(local.completed && edge.completed, "{} / {}", local.reason, edge.reason);
+        assert!(
+            local.completed && edge.completed,
+            "{} / {}",
+            local.reason,
+            edge.reason
+        );
         // The headline claims of Fig. 13, directionally.
         assert!(
             edge.time.total() < local.time.total(),
@@ -1198,10 +1274,16 @@ mod tests {
     fn offloaded_velocity_cap_is_higher() {
         let local = run(mini_config(Deployment::local(), Workload::Navigation));
         let cloud = run(mini_config(Deployment::cloud_12t(), Workload::Navigation));
-        let vmax_local: f64 =
-            local.velocity_trace.iter().map(|s| s.vmax).fold(0.0, f64::max);
-        let vmax_cloud: f64 =
-            cloud.velocity_trace.iter().map(|s| s.vmax).fold(0.0, f64::max);
+        let vmax_local: f64 = local
+            .velocity_trace
+            .iter()
+            .map(|s| s.vmax)
+            .fold(0.0, f64::max);
+        let vmax_cloud: f64 = cloud
+            .velocity_trace
+            .iter()
+            .map(|s| s.vmax)
+            .fold(0.0, f64::max);
         // The mini arena's tiny costmap keeps local VDP times short,
         // so the gap here is modest; the paper-scale 4–5× factor is
         // checked by the fig12 bench on the full lab configuration.
@@ -1217,7 +1299,10 @@ mod tests {
         cfg.max_time = Duration::from_secs(240);
         let report = run(cfg);
         assert!(report.completed, "exploration failed: {}", report.reason);
-        assert!(report.gcycles(NodeKind::Slam) > 0.0, "SLAM should account cycles");
+        assert!(
+            report.gcycles(NodeKind::Slam) > 0.0,
+            "SLAM should account cycles"
+        );
         assert!(report.gcycles(NodeKind::Exploration) > 0.0);
     }
 
@@ -1255,7 +1340,11 @@ mod tests {
         cfg.battery_wh = Some(0.02);
         let report = run(cfg);
         assert!(!report.completed);
-        assert!(report.reason.contains("battery"), "reason: {}", report.reason);
+        assert!(
+            report.reason.contains("battery"),
+            "reason: {}",
+            report.reason
+        );
         assert!(report.battery_soc <= 0.0 + 1e-9);
     }
 

@@ -52,7 +52,11 @@ impl Default for VelocityModel {
         // Tuned so a local-compute VDP time of ≈ 0.6 s yields the
         // paper's ≈ 0.18 m/s baseline and a well-offloaded ≈ 40 ms
         // pipeline reaches ≈ 0.7 m/s (the 4–5× of Fig. 12).
-        VelocityModel { a_max: 3.0, stop_distance: 0.12, hw_cap: 1.0 }
+        VelocityModel {
+            a_max: 3.0,
+            stop_distance: 0.12,
+            hw_cap: 1.0,
+        }
     }
 }
 
@@ -69,8 +73,7 @@ impl VelocityModel {
     /// assert!(fast_pipeline > 3.0 * slow_pipeline);
     /// ```
     pub fn vmax(&self, vdp_makespan: Duration) -> f64 {
-        max_velocity_oa(vdp_makespan.as_secs_f64(), self.a_max, self.stop_distance)
-            .min(self.hw_cap)
+        max_velocity_oa(vdp_makespan.as_secs_f64(), self.a_max, self.stop_distance).min(self.hw_cap)
     }
 }
 
@@ -134,14 +137,21 @@ mod tests {
         let local = m.vmax(Duration::from_millis(600));
         let offloaded = m.vmax(Duration::from_millis(40));
         assert!((0.08..0.2).contains(&local), "local vmax {local}");
-        assert!((0.5..0.8).contains(&offloaded), "offloaded vmax {offloaded}");
+        assert!(
+            (0.5..0.8).contains(&offloaded),
+            "offloaded vmax {offloaded}"
+        );
         let ratio = offloaded / local;
         assert!((3.5..6.0).contains(&ratio), "velocity ratio {ratio}");
     }
 
     #[test]
     fn hw_cap_binds() {
-        let m = VelocityModel { a_max: 100.0, stop_distance: 5.0, hw_cap: 1.0 };
+        let m = VelocityModel {
+            a_max: 100.0,
+            stop_distance: 5.0,
+            hw_cap: 1.0,
+        };
         assert_eq!(m.vmax(Duration::ZERO), 1.0);
     }
 

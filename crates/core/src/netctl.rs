@@ -317,7 +317,11 @@ impl NetControl {
             self.last_switch = Some(now);
             self.switches += 1;
         }
-        NetVerdict { decision, cause: SwitchCause::Rule, backoff_armed: None }
+        NetVerdict {
+            decision,
+            cause: SwitchCause::Rule,
+            backoff_armed: None,
+        }
     }
 
     /// Record a failed offload (remote crash, outage fallback, or a
@@ -358,9 +362,7 @@ impl LatencyOnlyControl {
     /// as "no news is good news", exactly its failure mode.
     pub fn decide(&self, observed: Option<Duration>, remote_active: bool) -> NetDecision {
         match observed {
-            Some(lat) if lat > self.latency_threshold && remote_active => {
-                NetDecision::InvokeLocal
-            }
+            Some(lat) if lat > self.latency_threshold && remote_active => NetDecision::InvokeLocal,
             _ => NetDecision::Keep,
         }
     }
@@ -400,7 +402,10 @@ mod tests {
     #[test]
     fn strong_and_approaching_goes_remote() {
         let mut c = warmed();
-        assert_eq!(c.decide(t(3000), 5.0, 0.5, false), NetDecision::InvokeRemote);
+        assert_eq!(
+            c.decide(t(3000), 5.0, 0.5, false),
+            NetDecision::InvokeRemote
+        );
     }
 
     #[test]
@@ -428,7 +433,10 @@ mod tests {
         // Immediately after, conditions say "go remote" — suppressed.
         assert_eq!(c.decide(t(3200), 5.0, 0.5, false), NetDecision::Keep);
         // After the dwell expires the switch is allowed.
-        assert_eq!(c.decide(t(5000), 5.0, 0.5, false), NetDecision::InvokeRemote);
+        assert_eq!(
+            c.decide(t(5000), 5.0, 0.5, false),
+            NetDecision::InvokeRemote
+        );
         assert_eq!(c.switches, 2);
     }
 
@@ -505,7 +513,10 @@ mod tests {
     fn heartbeat_bypasses_the_dwell() {
         let mut c = warmed();
         // A rule switch just happened...
-        assert_eq!(c.decide(t(3000), 5.0, 0.5, false), NetDecision::InvokeRemote);
+        assert_eq!(
+            c.decide(t(3000), 5.0, 0.5, false),
+            NetDecision::InvokeRemote
+        );
         // ...and 200 ms later the remote dies. The dwell must not
         // delay the fallback.
         let v = c.evaluate(t(3200), hb(1600, false));
@@ -625,10 +636,15 @@ mod tests {
 
     #[test]
     fn latency_only_controller_misses_silent_loss() {
-        let c = LatencyOnlyControl { latency_threshold: Duration::from_millis(100) };
+        let c = LatencyOnlyControl {
+            latency_threshold: Duration::from_millis(100),
+        };
         // Survivor packets look healthy → Keep, even though the link
         // is actually starving (no packets at all → also Keep).
-        assert_eq!(c.decide(Some(Duration::from_millis(8)), true), NetDecision::Keep);
+        assert_eq!(
+            c.decide(Some(Duration::from_millis(8)), true),
+            NetDecision::Keep
+        );
         assert_eq!(c.decide(None, true), NetDecision::Keep);
         // It only reacts to a latency it can *see*.
         assert_eq!(

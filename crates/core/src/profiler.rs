@@ -140,8 +140,11 @@ impl Profiler {
             if !kind.on_vdp() {
                 continue;
             }
-            let placement =
-                if remote.contains(kind) { Placement::Remote } else { Placement::Local };
+            let placement = if remote.contains(kind) {
+                Placement::Remote
+            } else {
+                Placement::Local
+            };
             if placement == Placement::Remote {
                 any_remote = true;
             }
@@ -221,8 +224,14 @@ mod tests {
         let mut p = Profiler::new();
         p.record_local(NodeKind::PathTracking, ms(400));
         p.record_remote(NodeKind::PathTracking, ms(15));
-        assert_eq!(p.node_time(NodeKind::PathTracking, Placement::Local), Some(ms(400)));
-        assert_eq!(p.node_time(NodeKind::PathTracking, Placement::Remote), Some(ms(15)));
+        assert_eq!(
+            p.node_time(NodeKind::PathTracking, Placement::Local),
+            Some(ms(400))
+        );
+        assert_eq!(
+            p.node_time(NodeKind::PathTracking, Placement::Remote),
+            Some(ms(15))
+        );
         // MCT comparison: the same node, both worlds.
         assert!(p.cloud_vdp_time(vdp_remote()) < p.local_vdp_time());
     }

@@ -98,7 +98,11 @@ impl OffloadStrategy {
     /// assert!(!plan.remote.contains(NodeKind::PathTracking));
     /// ```
     pub fn new(goal: Goal) -> Self {
-        OffloadStrategy { goal, velocity: VelocityModel::default(), pins: PinPolicy::none() }
+        OffloadStrategy {
+            goal,
+            velocity: VelocityModel::default(),
+            pins: PinPolicy::none(),
+        }
     }
 
     /// Evaluate Algorithm 1.

@@ -14,7 +14,11 @@ fn arbitrary_profiles() -> impl Strategy<Value = Vec<NodeProfile>> {
         NodeKind::ALL
             .iter()
             .zip(cycles)
-            .map(|(&kind, c)| NodeProfile { kind, work: Work::serial(c), rate_hz: 5.0 })
+            .map(|(&kind, c)| NodeProfile {
+                kind,
+                work: Work::serial(c),
+                rate_hz: 5.0,
+            })
             .collect()
     })
 }

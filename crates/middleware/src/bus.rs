@@ -69,7 +69,10 @@ impl Bus {
 
     /// Create a publisher handle for a topic.
     pub fn publisher(&self, topic: TopicName) -> Publisher {
-        Publisher { bus: self.clone(), topic }
+        Publisher {
+            bus: self.clone(),
+            topic,
+        }
     }
 
     /// Subscribe to a topic with a bounded queue of `cap` messages.
@@ -80,7 +83,13 @@ impl Bus {
             queue: Mutex::new(VecDeque::with_capacity(cap)),
             dropped: Mutex::new(0),
         });
-        self.inner.lock().topics.entry(topic).or_default().subs.push(q.clone());
+        self.inner
+            .lock()
+            .topics
+            .entry(topic)
+            .or_default()
+            .subs
+            .push(q.clone());
         Subscriber { queue: q, topic }
     }
 
@@ -150,7 +159,11 @@ impl Bus {
     /// The most recently published bytes on a topic ("latched" read,
     /// like a ROS latched topic), regardless of subscriptions.
     pub fn latest_bytes(&self, topic: TopicName) -> Option<Bytes> {
-        self.inner.lock().topics.get(&topic).and_then(|t| t.latest.clone())
+        self.inner
+            .lock()
+            .topics
+            .get(&topic)
+            .and_then(|t| t.latest.clone())
     }
 
     /// Decode the most recent message on a topic.
@@ -160,7 +173,11 @@ impl Bus {
 
     /// Total messages ever published on a topic.
     pub fn publish_count(&self, topic: TopicName) -> u64 {
-        self.inner.lock().topics.get(&topic).map_or(0, |t| t.publish_count)
+        self.inner
+            .lock()
+            .topics
+            .get(&topic)
+            .map_or(0, |t| t.publish_count)
     }
 }
 
@@ -260,7 +277,8 @@ mod tests {
     fn pub_sub_roundtrip() {
         let bus = Bus::new();
         let sub = bus.subscribe(TopicName::CMD_VEL, 4);
-        bus.publish(TopicName::CMD_VEL, &Twist::new(0.1, 0.2)).unwrap();
+        bus.publish(TopicName::CMD_VEL, &Twist::new(0.1, 0.2))
+            .unwrap();
         let t: Twist = sub.recv().unwrap().expect("message queued");
         assert_eq!(t, Twist::new(0.1, 0.2));
         assert!(sub.recv::<Twist>().unwrap().is_none());

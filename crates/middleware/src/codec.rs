@@ -56,7 +56,9 @@ impl de::Error for CodecError {
 /// assert_eq!(back, cmd);
 /// ```
 pub fn to_bytes<T: Serialize>(value: &T) -> Result<Bytes, CodecError> {
-    let mut ser = BinSerializer { out: BytesMut::with_capacity(128) };
+    let mut ser = BinSerializer {
+        out: BytesMut::with_capacity(128),
+    };
     value.serialize(&mut ser)?;
     Ok(ser.out.freeze())
 }
@@ -295,7 +297,10 @@ struct BinDeserializer<'de> {
 impl<'de> BinDeserializer<'de> {
     fn need(&self, n: usize) -> Result<(), CodecError> {
         if self.input.remaining() < n {
-            Err(CodecError(format!("unexpected EOF: need {n}, have {}", self.input.len())))
+            Err(CodecError(format!(
+                "unexpected EOF: need {n}, have {}",
+                self.input.len()
+            )))
         } else {
             Ok(())
         }
@@ -408,7 +413,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let n = self.take_len()?;
-        visitor.visit_seq(CountedSeq { de: self, remaining: n })
+        visitor.visit_seq(CountedSeq {
+            de: self,
+            remaining: n,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -416,7 +424,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(CountedSeq { de: self, remaining: len })
+        visitor.visit_seq(CountedSeq {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -430,7 +441,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let n = self.take_len()?;
-        visitor.visit_map(CountedMap { de: self, remaining: n })
+        visitor.visit_map(CountedMap {
+            de: self,
+            remaining: n,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -456,7 +470,9 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
     }
 
     fn deserialize_ignored_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, CodecError> {
-        Err(CodecError("cannot skip values in a non-self-describing format".into()))
+        Err(CodecError(
+            "cannot skip values in a non-self-describing format".into(),
+        ))
     }
 
     fn is_human_readable(&self) -> bool {
@@ -543,7 +559,11 @@ impl<'a, 'de> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
     ) -> Result<T::Value, CodecError> {
         seed.deserialize(self.de)
     }
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
         de::Deserializer::deserialize_tuple(self.de, len, visitor)
     }
     fn struct_variant<V: Visitor<'de>>(
@@ -604,7 +624,10 @@ mod tests {
         roundtrip(&TestEnum::Unit);
         roundtrip(&TestEnum::Newtype(9));
         roundtrip(&TestEnum::Tuple(1, 2));
-        roundtrip(&TestEnum::Struct { a: 1.5, b: "x".into() });
+        roundtrip(&TestEnum::Struct {
+            a: 1.5,
+            b: "x".into(),
+        });
     }
 
     #[test]

@@ -63,8 +63,11 @@ impl<Req: DeserializeOwned, Resp: Serialize> ServiceServer<Req, Resp> {
         while let Some(bytes) = self.requests.recv_bytes() {
             let env: RequestEnvelope<Req> = crate::codec::from_bytes(&bytes)?;
             let response = handler(env.request);
-            let out =
-                ResponseEnvelope { call_id: env.call_id, client_id: env.client_id, response };
+            let out = ResponseEnvelope {
+                call_id: env.call_id,
+                client_id: env.client_id,
+                response,
+            };
             self.bus.publish(self.response_topic, &out)?;
             served += 1;
         }
@@ -108,7 +111,11 @@ impl<Req: Serialize, Resp: DeserializeOwned> ServiceClient<Req, Resp> {
     pub fn call(&mut self, request: Req) -> Result<u64, CodecError> {
         let call_id = self.next_call;
         self.next_call += 1;
-        let env = RequestEnvelope { call_id, client_id: self.client_id, request };
+        let env = RequestEnvelope {
+            call_id,
+            client_id: self.client_id,
+            request,
+        };
         self.bus.publish(self.request_topic, &env)?;
         Ok(call_id)
     }
@@ -143,7 +150,11 @@ mod tests {
     type PlanReq = (Point2, Point2);
     type PlanResp = Vec<Point2>;
 
-    fn wire() -> (Bus, ServiceServer<PlanReq, PlanResp>, ServiceClient<PlanReq, PlanResp>) {
+    fn wire() -> (
+        Bus,
+        ServiceServer<PlanReq, PlanResp>,
+        ServiceClient<PlanReq, PlanResp>,
+    ) {
         let bus = Bus::new();
         let server = ServiceServer::new(&bus, TopicName::GOAL, TopicName::PLAN);
         let client = ServiceClient::new(&bus, TopicName::GOAL, TopicName::PLAN, 1);
@@ -153,7 +164,9 @@ mod tests {
     #[test]
     fn call_serve_poll_roundtrip() {
         let (_bus, server, mut client) = wire();
-        let id = client.call((Point2::new(0.0, 0.0), Point2::new(1.0, 1.0))).unwrap();
+        let id = client
+            .call((Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)))
+            .unwrap();
         assert_eq!(client.poll(id).unwrap(), None, "not served yet");
         let served = server
             .serve(|(from, to)| vec![from, Point2::new(0.5, 0.5), to])
@@ -169,8 +182,12 @@ mod tests {
     #[test]
     fn multiple_outstanding_calls_match_by_id() {
         let (_bus, server, mut client) = wire();
-        let a = client.call((Point2::new(0.0, 0.0), Point2::new(1.0, 0.0))).unwrap();
-        let b = client.call((Point2::new(0.0, 0.0), Point2::new(2.0, 0.0))).unwrap();
+        let a = client
+            .call((Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)))
+            .unwrap();
+        let b = client
+            .call((Point2::new(0.0, 0.0), Point2::new(2.0, 0.0)))
+            .unwrap();
         server.serve(|(_, to)| vec![to]).unwrap();
         let rb = client.poll(b).unwrap().unwrap();
         let ra = client.poll(a).unwrap().unwrap();
@@ -187,8 +204,12 @@ mod tests {
             ServiceClient::new(&bus, TopicName::GOAL, TopicName::PLAN, 1);
         let mut c2: ServiceClient<PlanReq, PlanResp> =
             ServiceClient::new(&bus, TopicName::GOAL, TopicName::PLAN, 2);
-        let id1 = c1.call((Point2::new(0.0, 0.0), Point2::new(1.0, 0.0))).unwrap();
-        let id2 = c2.call((Point2::new(0.0, 0.0), Point2::new(2.0, 0.0))).unwrap();
+        let id1 = c1
+            .call((Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)))
+            .unwrap();
+        let id2 = c2
+            .call((Point2::new(0.0, 0.0), Point2::new(2.0, 0.0)))
+            .unwrap();
         server.serve(|(_, to)| vec![to]).unwrap();
         // Each client only sees its own response (same call ids would
         // otherwise collide: both are call 0 of their client).

@@ -62,7 +62,11 @@ impl SwitcherConfig {
     /// commands down, all with one-length queues for freshness.
     pub fn vdp_offload() -> Self {
         SwitcherConfig {
-            up_topics: vec![(TopicName::SCAN, 1), (TopicName::ODOM, 1), (TopicName::POSE, 1)],
+            up_topics: vec![
+                (TopicName::SCAN, 1),
+                (TopicName::ODOM, 1),
+                (TopicName::POSE, 1),
+            ],
             down_topics: vec![(TopicName::CMD_VEL_NAV, 1), (TopicName::PLAN, 1)],
         }
     }
@@ -122,10 +126,16 @@ pub struct Switcher {
 impl Switcher {
     /// Wire a switcher between two buses over a link.
     pub fn new(link: DuplexLink, robot_bus: Bus, remote_bus: Bus, cfg: &SwitcherConfig) -> Self {
-        let up_subs =
-            cfg.up_topics.iter().map(|(t, cap)| robot_bus.subscribe(*t, *cap)).collect();
-        let down_subs =
-            cfg.down_topics.iter().map(|(t, cap)| remote_bus.subscribe(*t, *cap)).collect();
+        let up_subs = cfg
+            .up_topics
+            .iter()
+            .map(|(t, cap)| robot_bus.subscribe(*t, *cap))
+            .collect();
+        let down_subs = cfg
+            .down_topics
+            .iter()
+            .map(|(t, cap)| remote_bus.subscribe(*t, *cap))
+            .collect();
         Switcher {
             link,
             robot_bus,
@@ -259,9 +269,13 @@ impl Switcher {
         // processing times.
         let mut acks: Vec<Envelope> = Vec::new();
         while let Some(pkt) = self.link.recv_at_server() {
-            let Ok(env) = from_bytes::<Envelope>(&pkt.payload) else { continue };
-            self.latest_up_stamp =
-                Some(self.latest_up_stamp.map_or(env.sent_at, |s| s.max(env.sent_at)));
+            let Ok(env) = from_bytes::<Envelope>(&pkt.payload) else {
+                continue;
+            };
+            self.latest_up_stamp = Some(
+                self.latest_up_stamp
+                    .map_or(env.sent_at, |s| s.max(env.sent_at)),
+            );
             let seq = self.seq;
             self.seq += 1;
             acks.push(Envelope {
@@ -274,7 +288,8 @@ impl Switcher {
                 payload: Vec::new(),
             });
             if let Some(topic) = TopicName::resolve(&env.topic) {
-                self.remote_bus.publish_bytes_from(topic, env.payload.into(), MsgId(env.msg));
+                self.remote_bus
+                    .publish_bytes_from(topic, env.payload.into(), MsgId(env.msg));
                 self.stats.up_delivered += 1;
             }
         }
@@ -289,16 +304,26 @@ impl Switcher {
         // envelopes feed the packet-bandwidth meter (Algorithm 2's
         // r_t counts the VDP data stream, not control chatter).
         while let Some(pkt) = self.link.recv_at_robot() {
-            let Ok(env) = from_bytes::<Envelope>(&pkt.payload) else { continue };
-            self.last_downlink_at =
-                Some(self.last_downlink_at.map_or(pkt.arrived_at, |s| s.max(pkt.arrived_at)));
-            self.latest_down_stamp =
-                Some(self.latest_down_stamp.map_or(env.sent_at, |s| s.max(env.sent_at)));
+            let Ok(env) = from_bytes::<Envelope>(&pkt.payload) else {
+                continue;
+            };
+            self.last_downlink_at = Some(
+                self.last_downlink_at
+                    .map_or(pkt.arrived_at, |s| s.max(pkt.arrived_at)),
+            );
+            self.latest_down_stamp = Some(
+                self.latest_down_stamp
+                    .map_or(env.sent_at, |s| s.max(env.sent_at)),
+            );
             if let Some(echo) = env.echo_stamp {
                 let rtt = now.saturating_since(echo);
                 self.rtt.record(rtt);
-                self.tracer
-                    .emit_at(now.as_nanos(), TraceEvent::RttSample { rtt_ns: rtt.as_nanos() });
+                self.tracer.emit_at(
+                    now.as_nanos(),
+                    TraceEvent::RttSample {
+                        rtt_ns: rtt.as_nanos(),
+                    },
+                );
             }
             for (node, t) in &env.proc_times {
                 self.remote_proc.insert(*node, *t);
@@ -308,7 +333,8 @@ impl Switcher {
             }
             self.bandwidth.record(pkt.arrived_at);
             if let Some(topic) = TopicName::resolve(&env.topic) {
-                self.robot_bus.publish_bytes_from(topic, env.payload.into(), MsgId(env.msg));
+                self.robot_bus
+                    .publish_bytes_from(topic, env.payload.into(), MsgId(env.msg));
                 self.stats.down_delivered += 1;
             }
         }
@@ -324,12 +350,20 @@ mod tests {
     fn make(site: RemoteSite) -> (Switcher, Bus, Bus) {
         let mut rng = SimRng::seed_from_u64(7);
         let mut cfg = LinkConfig::new(site, Point2::new(0.0, 0.0));
-        cfg.wireless = WirelessConfig { jitter: Duration::ZERO, ..WirelessConfig::default() }
-            .with_weak_radius(20.0);
+        cfg.wireless = WirelessConfig {
+            jitter: Duration::ZERO,
+            ..WirelessConfig::default()
+        }
+        .with_weak_radius(20.0);
         let link = DuplexLink::new(cfg, &mut rng);
         let robot = Bus::new();
         let remote = Bus::new();
-        let sw = Switcher::new(link, robot.clone(), remote.clone(), &SwitcherConfig::vdp_offload());
+        let sw = Switcher::new(
+            link,
+            robot.clone(),
+            remote.clone(),
+            &SwitcherConfig::vdp_offload(),
+        );
         (sw, robot, remote)
     }
 
@@ -354,10 +388,15 @@ mod tests {
         assert_eq!(remote_sub.recv::<u32>().unwrap(), Some(42));
 
         let robot_sub = robot.subscribe(TopicName::CMD_VEL_NAV, 2);
-        remote.publish(TopicName::CMD_VEL_NAV, &Twist::new(0.2, 0.0)).unwrap();
+        remote
+            .publish(TopicName::CMD_VEL_NAV, &Twist::new(0.2, 0.0))
+            .unwrap();
         step(&mut sw, 100, near());
         step(&mut sw, 150, near());
-        assert_eq!(robot_sub.recv::<Twist>().unwrap(), Some(Twist::new(0.2, 0.0)));
+        assert_eq!(
+            robot_sub.recv::<Twist>().unwrap(),
+            Some(Twist::new(0.2, 0.0))
+        );
         let st = sw.stats();
         assert_eq!(st.up_delivered, 1);
         assert_eq!(st.down_delivered, 1);
@@ -407,7 +446,10 @@ mod tests {
             step(&mut sw, 200 * i, far);
         }
         let now = SimTime::EPOCH + Duration::from_millis(2000);
-        assert!(sw.downlink_bandwidth(now) <= 1.0, "bandwidth should collapse");
+        assert!(
+            sw.downlink_bandwidth(now) <= 1.0,
+            "bandwidth should collapse"
+        );
         assert!(sw.stats().down_discarded > 0);
     }
 
@@ -419,7 +461,11 @@ mod tests {
             step(&mut sw, 200 * i, near());
         }
         let now = SimTime::EPOCH + Duration::from_millis(1900);
-        assert!(sw.downlink_bandwidth(now) >= 4.0, "bandwidth {}", sw.downlink_bandwidth(now));
+        assert!(
+            sw.downlink_bandwidth(now) >= 4.0,
+            "bandwidth {}",
+            sw.downlink_bandwidth(now)
+        );
     }
 
     #[test]
@@ -455,6 +501,10 @@ mod tests {
         let (mut sw, robot, _remote) = make(RemoteSite::EdgeGateway);
         robot.publish(TopicName::SCAN, &vec![0.5f64; 360]).unwrap();
         step(&mut sw, 0, near());
-        assert!(sw.uplink_bytes_sent > 2880, "bytes {}", sw.uplink_bytes_sent);
+        assert!(
+            sw.uplink_bytes_sent > 2880,
+            "bytes {}",
+            sw.uplink_bytes_sent
+        );
     }
 }

@@ -102,7 +102,15 @@ impl Amcl {
             ..ScanMatcherConfig::default()
         });
         let motion = MotionModel::new(cfg.motion);
-        Amcl { cfg, map: OccupancyGrid::from_map_msg(map), matcher, motion, particles, last_odom: None, rng }
+        Amcl {
+            cfg,
+            map: OccupancyGrid::from_map_msg(map),
+            matcher,
+            motion,
+            particles,
+            last_odom: None,
+            rng,
+        }
     }
 
     /// Current particle count.
@@ -179,7 +187,12 @@ impl Amcl {
                 p.weight = u;
             }
         }
-        let neff = 1.0 / self.particles.iter().map(|p| p.weight * p.weight).sum::<f64>();
+        let neff = 1.0
+            / self
+                .particles
+                .iter()
+                .map(|p| p.weight * p.weight)
+                .sum::<f64>();
 
         // Adaptive population sizing (the "A" in AMCL): shrink when
         // converged, grow when dispersed.
@@ -189,8 +202,7 @@ impl Amcl {
         } else {
             let t = (spread / (4.0 * self.cfg.converge_spread)).min(1.0);
             (self.cfg.min_particles as f64
-                + t * (self.cfg.max_particles - self.cfg.min_particles) as f64)
-                as usize
+                + t * (self.cfg.max_particles - self.cfg.min_particles) as f64) as usize
         };
 
         // Resample (also applies the population resize).
@@ -198,14 +210,23 @@ impl Amcl {
             let weights: Vec<f64> = self.particles.iter().map(|p| p.weight).collect();
             let picks = low_variance_resample(&mut self.rng, &weights, target);
             let u = 1.0 / target as f64;
-            self.particles =
-                picks.iter().map(|&i| AParticle { pose: self.particles[i].pose, weight: u }).collect();
+            self.particles = picks
+                .iter()
+                .map(|&i| AParticle {
+                    pose: self.particles[i].pose,
+                    weight: u,
+                })
+                .collect();
             meter.serial_ops(target as u64, 200.0);
         }
 
         let confidence = (1.0 - (spread / (4.0 * self.cfg.converge_spread)).min(1.0)).max(0.0);
         AmclOutput {
-            pose: PoseEstimate { stamp: scan.stamp, pose: self.mean_pose(), confidence },
+            pose: PoseEstimate {
+                stamp: scan.stamp,
+                pose: self.mean_pose(),
+                confidence,
+            },
             work: meter.finish(),
             particles: self.particles.len(),
             spread,
@@ -226,16 +247,20 @@ mod tests {
             for col in 0..160 {
                 let x = (col as f64 + 0.5) * 0.05;
                 let y = (row as f64 + 0.5) * 0.05;
-                let on_x_wall = ((x - 1.0).abs() < 0.05 || (x - 6.0).abs() < 0.05)
-                    && (1.5..=6.5).contains(&y);
-                let on_y_wall = ((y - 1.5).abs() < 0.05 || (y - 6.5).abs() < 0.05)
-                    && (1.0..=6.0).contains(&x);
+                let on_x_wall =
+                    ((x - 1.0).abs() < 0.05 || (x - 6.0).abs() < 0.05) && (1.5..=6.5).contains(&y);
+                let on_y_wall =
+                    ((y - 1.5).abs() < 0.05 || (y - 6.5).abs() < 0.05) && (1.0..=6.0).contains(&x);
                 if on_x_wall || on_y_wall {
                     cells[row * 160 + col] = MapMsg::OCCUPIED;
                 }
             }
         }
-        MapMsg { stamp: SimTime::EPOCH, dims, cells }
+        MapMsg {
+            stamp: SimTime::EPOCH,
+            dims,
+            cells,
+        }
     }
 
     fn room_scan(pose: Pose2D) -> LaserScan {
@@ -263,11 +288,21 @@ mod tests {
                 tx.min(ty).min(3.5)
             })
             .collect();
-        LaserScan { stamp: SimTime::EPOCH, angle_min: 0.0, angle_increment: inc, range_max: 3.5, ranges }
+        LaserScan {
+            stamp: SimTime::EPOCH,
+            angle_min: 0.0,
+            angle_increment: inc,
+            range_max: 3.5,
+            ranges,
+        }
     }
 
     fn odom(pose: Pose2D) -> OdometryMsg {
-        OdometryMsg { stamp: SimTime::EPOCH, pose, twist: Twist::STOP }
+        OdometryMsg {
+            stamp: SimTime::EPOCH,
+            pose,
+            twist: Twist::STOP,
+        }
     }
 
     #[test]
@@ -324,12 +359,20 @@ mod tests {
         let mut amcl = Amcl::new(AmclConfig::default(), &map, truth, SimRng::seed_from_u64(4));
         let mut out = amcl.process(&odom(truth), &room_scan(truth));
         // First update runs the full population — still modest.
-        assert!(out.work.total_cycles() < 6.0e7, "cycles {}", out.work.total_cycles());
+        assert!(
+            out.work.total_cycles() < 6.0e7,
+            "cycles {}",
+            out.work.total_cycles()
+        );
         // Once converged and shrunk, ≈ 0.03 Gcycles/s at 5 Hz.
         for _ in 0..10 {
             out = amcl.process(&odom(truth), &room_scan(truth));
         }
-        assert!(out.work.total_cycles() < 2.0e7, "converged cycles {}", out.work.total_cycles());
+        assert!(
+            out.work.total_cycles() < 2.0e7,
+            "converged cycles {}",
+            out.work.total_cycles()
+        );
     }
 
     #[test]
@@ -354,8 +397,7 @@ mod tests {
         let map = room_map();
         let truth = Pose2D::new(3.0, 4.0, 0.0);
         let run = || {
-            let mut amcl =
-                Amcl::new(AmclConfig::default(), &map, truth, SimRng::seed_from_u64(9));
+            let mut amcl = Amcl::new(AmclConfig::default(), &map, truth, SimRng::seed_from_u64(9));
             for _ in 0..5 {
                 amcl.process(&odom(truth), &room_scan(truth));
             }

@@ -258,8 +258,9 @@ impl Costmap {
             } else if d <= inscribed {
                 COST_INSCRIBED
             } else if d <= inflate {
-                let factor =
-                    (-(self.cfg.cost_scaling as f32) * (d - inscribed)).exp().clamp(0.0, 1.0);
+                let factor = (-(self.cfg.cost_scaling as f32) * (d - inscribed))
+                    .exp()
+                    .clamp(0.0, 1.0);
                 (factor * COST_FREE_MAX as f32) as u8
             } else if map.cells[i] == MapMsg::UNKNOWN && self.marked_at[i] == 0 {
                 COST_UNKNOWN
@@ -270,8 +271,12 @@ impl Costmap {
         // Footprint clearing around the robot.
         if let Some(p) = robot {
             let clear_r = self.cfg.inscribed_radius + 0.06;
-            let lo = self.dims.world_to_grid(Point2::new(p.x - clear_r, p.y - clear_r));
-            let hi = self.dims.world_to_grid(Point2::new(p.x + clear_r, p.y + clear_r));
+            let lo = self
+                .dims
+                .world_to_grid(Point2::new(p.x - clear_r, p.y - clear_r));
+            let hi = self
+                .dims
+                .world_to_grid(Point2::new(p.x + clear_r, p.y + clear_r));
             for row in lo.row..=hi.row {
                 for col in lo.col..=hi.col {
                     let idx = GridIndex::new(col, row);
@@ -342,7 +347,10 @@ mod tests {
         let mut prev = COST_LETHAL;
         for col in 45..55 {
             let c = cm.cost(GridIndex::new(col, 42));
-            assert!(c <= prev, "cost must not increase moving away: {c} > {prev}");
+            assert!(
+                c <= prev,
+                "cost must not increase moving away: {c} > {prev}"
+            );
             prev = c;
         }
     }
@@ -385,7 +393,10 @@ mod tests {
             range_max: 3.5,
             ranges: vec![1.0, 3.5, 3.5, 3.5],
         };
-        let clear_scan = LaserScan { ranges: vec![2.0, 3.5, 3.5, 3.5], ..hit_scan.clone() };
+        let clear_scan = LaserScan {
+            ranges: vec![2.0, 3.5, 3.5, 3.5],
+            ..hit_scan.clone()
+        };
         let mut meter = WorkMeter::new();
         cm.update(&m, pose, &hit_scan, &mut meter);
         let old_hit = cm.dims().world_to_grid(Point2::new(2.0, 2.5));

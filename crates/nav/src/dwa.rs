@@ -122,7 +122,11 @@ impl DwaPlanner {
     /// Build with config.
     pub fn new(cfg: DwaConfig) -> Self {
         let executor = ParallelExecutor::new(cfg.threads);
-        DwaPlanner { cfg, executor, last: Twist::STOP }
+        DwaPlanner {
+            cfg,
+            executor,
+            last: Twist::STOP,
+        }
     }
 
     /// Configuration.
@@ -185,7 +189,13 @@ impl DwaPlanner {
             let v = v_lo + (v_hi - v_lo) * i as f64 / (nv - 1) as f64;
             for j in 0..nw {
                 let w = w_lo + (w_hi - w_lo) * j as f64 / (nw - 1) as f64;
-                candidates.push(Candidate { v, w, score: f64::NEG_INFINITY, feasible: false, steps: 0 });
+                candidates.push(Candidate {
+                    v,
+                    w,
+                    score: f64::NEG_INFINITY,
+                    feasible: false,
+                    steps: 0,
+                });
             }
         }
 
@@ -254,7 +264,13 @@ fn score_trajectory(
         p = p.integrate(Twist::new(v, w), cfg.sim_dt);
         executed += 1;
         if cm.footprint_collides(p.position(), cfg.footprint_radius) {
-            return Candidate { v, w, score: f64::NEG_INFINITY, feasible: false, steps: executed };
+            return Candidate {
+                v,
+                w,
+                score: f64::NEG_INFINITY,
+                feasible: false,
+                steps: executed,
+            };
         }
         let c = cm.cost(cm.dims().world_to_grid(p.position()));
         min_clearance = min_clearance.min(1.0 - c.min(253) as f64 / 253.0);
@@ -266,10 +282,17 @@ fn score_trajectory(
     let start_goal_dist = pose.position().distance(goal);
     let progress = start_goal_dist - goal_dist;
 
-    let score = -cfg.w_path * path_dist + cfg.w_goal * progress
+    let score = -cfg.w_path * path_dist
+        + cfg.w_goal * progress
         + cfg.w_clear * min_clearance.clamp(0.0, 1.0)
         + cfg.w_speed * (v / cfg.max_linear.max(1e-9));
-    Candidate { v, w, score, feasible: true, steps: executed }
+    Candidate {
+        v,
+        w,
+        score,
+        feasible: true,
+        steps: executed,
+    }
 }
 
 /// A "carrot" target: project `p` onto the path, then walk
@@ -286,7 +309,11 @@ fn carrot_point(path: &PathMsg, p: Point2, lookahead: f64, fallback: Point2) -> 
         let (a, b) = (wps[i], wps[i + 1]);
         let ab = b - a;
         let denom = ab.norm_sq();
-        let t = if denom < 1e-12 { 0.0 } else { ((p - a).dot(ab) / denom).clamp(0.0, 1.0) };
+        let t = if denom < 1e-12 {
+            0.0
+        } else {
+            ((p - a).dot(ab) / denom).clamp(0.0, 1.0)
+        };
         let q = a.lerp(b, t);
         let d = p.distance(q);
         if d < best.2 {
@@ -364,8 +391,16 @@ mod tests {
         let mut dwa = DwaPlanner::new(DwaConfig::default());
         let pose = Pose2D::new(1.0, 2.0, 0.0);
         let r = dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0));
-        assert!(r.twist.linear > 0.05, "should move forward, got {:?}", r.twist);
-        assert!(r.twist.angular.abs() < 1.0, "roughly straight, got {:?}", r.twist);
+        assert!(
+            r.twist.linear > 0.05,
+            "should move forward, got {:?}",
+            r.twist
+        );
+        assert!(
+            r.twist.angular.abs() < 1.0,
+            "roughly straight, got {:?}",
+            r.twist
+        );
         assert!(r.score > f64::NEG_INFINITY);
         assert_eq!(r.discarded, 0);
     }
@@ -383,7 +418,10 @@ mod tests {
         // wall within the simulation horizon.
         let pose = Pose2D::new(1.45, 2.0, 0.0);
         let r = dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0));
-        assert!(r.discarded > 0, "straight-ahead candidates must be discarded");
+        assert!(
+            r.discarded > 0,
+            "straight-ahead candidates must be discarded"
+        );
         // The chosen command curves or slows rather than ramming.
         let end = {
             let mut p = pose;
@@ -432,7 +470,11 @@ mod tests {
         for _ in 0..5 {
             r = dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0));
         }
-        assert!(r.twist.linear <= 0.05 + 1e-9, "cap violated: {}", r.twist.linear);
+        assert!(
+            r.twist.linear <= 0.05 + 1e-9,
+            "cap violated: {}",
+            r.twist.linear
+        );
     }
 
     #[test]
@@ -450,10 +492,20 @@ mod tests {
     fn work_scales_with_samples() {
         let cm = Costmap::from_map(CostmapConfig::default(), &open_map(120, 120));
         let pose = Pose2D::new(1.0, 2.0, 0.0);
-        let mut small = DwaPlanner::new(DwaConfig { samples: 100, ..Default::default() });
-        let mut large = DwaPlanner::new(DwaConfig { samples: 2000, ..Default::default() });
-        let ws = small.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0)).work;
-        let wl = large.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0)).work;
+        let mut small = DwaPlanner::new(DwaConfig {
+            samples: 100,
+            ..Default::default()
+        });
+        let mut large = DwaPlanner::new(DwaConfig {
+            samples: 2000,
+            ..Default::default()
+        });
+        let ws = small
+            .compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0))
+            .work;
+        let wl = large
+            .compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0))
+            .work;
         let ratio = wl.parallel_cycles / ws.parallel_cycles;
         assert!(ratio > 10.0, "work should scale ≈ 20×, got {ratio}");
         assert!(wl.parallel_items >= 1500);
@@ -464,8 +516,12 @@ mod tests {
         let cm = Costmap::from_map(CostmapConfig::default(), &open_map(120, 120));
         let pose = Pose2D::new(1.0, 2.0, 0.3);
         let run = |threads: usize| {
-            let mut dwa = DwaPlanner::new(DwaConfig { threads, ..Default::default() });
-            dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.5)).twist
+            let mut dwa = DwaPlanner::new(DwaConfig {
+                threads,
+                ..Default::default()
+            });
+            dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.5))
+                .twist
         };
         assert_eq!(run(1), run(8));
     }
@@ -475,7 +531,10 @@ mod tests {
         // Default config at 5 Hz should land near 1.39 Gcycles/s
         // (Table II, PathTracking with a map): ≈ 0.28 G per activation.
         let cm = Costmap::from_map(CostmapConfig::default(), &open_map(240, 200));
-        let mut dwa = DwaPlanner::new(DwaConfig { samples: 1000, ..Default::default() });
+        let mut dwa = DwaPlanner::new(DwaConfig {
+            samples: 1000,
+            ..Default::default()
+        });
         let pose = Pose2D::new(1.0, 2.0, 0.0);
         let r = dwa.compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0));
         let g = r.work.total_cycles() / 1e9;
@@ -487,7 +546,10 @@ mod tests {
         let path = straight_path(2.0);
         assert!((nearest_path_distance(&path, Point2::new(3.0, 2.5)) - 0.5).abs() < 1e-9);
         assert!((nearest_path_distance(&path, Point2::new(0.0, 2.0)) - 1.0).abs() < 1e-9);
-        let empty = PathMsg { stamp: SimTime::EPOCH, waypoints: vec![] };
+        let empty = PathMsg {
+            stamp: SimTime::EPOCH,
+            waypoints: vec![],
+        };
         assert_eq!(nearest_path_distance(&empty, Point2::new(1.0, 1.0)), 0.0);
     }
 }

@@ -28,7 +28,10 @@ pub struct FrontierConfig {
 
 impl Default for FrontierConfig {
     fn default() -> Self {
-        FrontierConfig { min_cluster: 8, prefer_nearest: true }
+        FrontierConfig {
+            min_cluster: 8,
+            prefer_nearest: true,
+        }
     }
 }
 
@@ -88,9 +91,10 @@ impl FrontierExplorer {
                 continue;
             }
             let idx = dims.unflat(i);
-            let f = idx.neighbors4().iter().any(|nb| {
-                dims.contains(*nb) && is_unknown(dims.flat(*nb))
-            });
+            let f = idx
+                .neighbors4()
+                .iter()
+                .any(|nb| dims.contains(*nb) && is_unknown(dims.flat(*nb)));
             if f {
                 frontier[i] = true;
                 frontier_cells += 1;
@@ -131,8 +135,7 @@ impl FrontierExplorer {
                 }
             }
             if members.len() >= self.cfg.min_cluster {
-                let centroid =
-                    Point2::new(sx / members.len() as f64, sy / members.len() as f64);
+                let centroid = Point2::new(sx / members.len() as f64, sy / members.len() as f64);
                 let rep = members
                     .iter()
                     .min_by(|a, b| a.distance(centroid).total_cmp(&b.distance(centroid)))
@@ -143,9 +146,7 @@ impl FrontierExplorer {
         }
 
         // 3. Pick the target cluster (skipping blacklisted regions).
-        clusters.retain(|(c, _)| {
-            !excluded.iter().any(|e| e.distance(*c) <= excl_radius)
-        });
+        clusters.retain(|(c, _)| !excluded.iter().any(|e| e.distance(*c) <= excl_radius));
         let target = if self.cfg.prefer_nearest {
             clusters
                 .iter()
@@ -178,14 +179,22 @@ mod tests {
                 cells[row * 60 + col] = MapMsg::FREE;
             }
         }
-        MapMsg { stamp: SimTime::EPOCH, dims, cells }
+        MapMsg {
+            stamp: SimTime::EPOCH,
+            dims,
+            cells,
+        }
     }
 
     #[test]
     fn finds_boundary_frontier() {
         let e = FrontierExplorer::default();
         let out = e.select_goal(&half_known(), Point2::new(1.0, 2.0), SimTime::EPOCH);
-        assert!(out.frontier_cells >= 40, "boundary column: {}", out.frontier_cells);
+        assert!(
+            out.frontier_cells >= 40,
+            "boundary column: {}",
+            out.frontier_cells
+        );
         assert_eq!(out.clusters, 1);
         let goal = out.goal.expect("frontier goal");
         // Centroid near x = 2.95, mid-height y ≈ 2.0.
@@ -196,7 +205,11 @@ mod tests {
     #[test]
     fn fully_explored_returns_none() {
         let dims = GridDims::new(30, 30, 0.1, Point2::ORIGIN);
-        let map = MapMsg { stamp: SimTime::EPOCH, dims, cells: vec![MapMsg::FREE; dims.len()] };
+        let map = MapMsg {
+            stamp: SimTime::EPOCH,
+            dims,
+            cells: vec![MapMsg::FREE; dims.len()],
+        };
         let e = FrontierExplorer::default();
         let out = e.select_goal(&map, Point2::new(1.0, 1.0), SimTime::EPOCH);
         assert!(out.goal.is_none());
@@ -222,7 +235,11 @@ mod tests {
         // A single unknown cell in the middle: 4 frontier neighbours,
         // below the min-cluster threshold of 8.
         cells[15 * 30 + 15] = MapMsg::UNKNOWN;
-        let map = MapMsg { stamp: SimTime::EPOCH, dims, cells };
+        let map = MapMsg {
+            stamp: SimTime::EPOCH,
+            dims,
+            cells,
+        };
         let e = FrontierExplorer::default();
         let out = e.select_goal(&map, Point2::new(1.0, 1.0), SimTime::EPOCH);
         assert!(out.goal.is_none());
@@ -243,13 +260,20 @@ mod tests {
                 cells[row * 60 + col] = MapMsg::UNKNOWN;
             }
         }
-        let map = MapMsg { stamp: SimTime::EPOCH, dims, cells };
+        let map = MapMsg {
+            stamp: SimTime::EPOCH,
+            dims,
+            cells,
+        };
         let e = FrontierExplorer::default();
         let robot = Point2::new(1.5, 1.0);
         let out = e.select_goal(&map, robot, SimTime::EPOCH);
         assert_eq!(out.clusters, 2);
         let goal = out.goal.unwrap().target;
-        assert!(goal.x < 3.0, "nearest frontier is on the left, got {goal:?}");
+        assert!(
+            goal.x < 3.0,
+            "nearest frontier is on the left, got {goal:?}"
+        );
     }
 
     #[test]
@@ -257,8 +281,11 @@ mod tests {
         let e = FrontierExplorer::default();
         let small = half_known();
         let dims = GridDims::new(240, 160, 0.1, Point2::ORIGIN);
-        let large =
-            MapMsg { stamp: SimTime::EPOCH, dims, cells: vec![MapMsg::FREE; dims.len()] };
+        let large = MapMsg {
+            stamp: SimTime::EPOCH,
+            dims,
+            cells: vec![MapMsg::FREE; dims.len()],
+        };
         let ws = e.select_goal(&small, Point2::ORIGIN, SimTime::EPOCH).work;
         let wl = e.select_goal(&large, Point2::ORIGIN, SimTime::EPOCH).work;
         assert!(wl.total_cycles() > 10.0 * ws.total_cycles());

@@ -116,7 +116,9 @@ impl GlobalPlanner {
         let s = dims.clamp(dims.world_to_grid(start));
         let g = dims.clamp(dims.world_to_grid(goal));
         if !self.passable(cm, g) {
-            return Err(LgvError::NoPath { context: format!("goal {goal:?} not traversable") });
+            return Err(LgvError::NoPath {
+                context: format!("goal {goal:?} not traversable"),
+            });
         }
         // Start is where the robot is: treat as passable even if the
         // costmap momentarily inflates over it.
@@ -128,7 +130,10 @@ impl GlobalPlanner {
         let sf = dims.flat(s);
         let gf = dims.flat(g);
         best[sf] = 0.0;
-        heap.push(QueueEntry { priority: 0.0, flat: sf });
+        heap.push(QueueEntry {
+            priority: 0.0,
+            flat: sf,
+        });
 
         let heuristic = |flat: usize| -> f64 {
             match self.cfg.algorithm {
@@ -175,13 +180,15 @@ impl GlobalPlanner {
                 } else {
                     dims.resolution
                 };
-                let penalty =
-                    self.cfg.cost_weight * (cm.cost(nb) as f64 / 254.0) * dims.resolution;
+                let penalty = self.cfg.cost_weight * (cm.cost(nb) as f64 / 254.0) * dims.resolution;
                 let cand = best[flat] + step + penalty;
                 if cand < best[nf] {
                     best[nf] = cand;
                     parent[nf] = flat;
-                    heap.push(QueueEntry { priority: cand + heuristic(nf), flat: nf });
+                    heap.push(QueueEntry {
+                        priority: cand + heuristic(nf),
+                        flat: nf,
+                    });
                 }
             }
         }
@@ -200,14 +207,23 @@ impl GlobalPlanner {
             cur = parent[cur];
             cells.push(cur);
             if cells.len() > n {
-                return Err(LgvError::NoPath { context: "parent cycle".into() });
+                return Err(LgvError::NoPath {
+                    context: "parent cycle".into(),
+                });
             }
         }
         cells.reverse();
-        let raw: Vec<Point2> = cells.iter().map(|&f| dims.grid_to_world(dims.unflat(f))).collect();
+        let raw: Vec<Point2> = cells
+            .iter()
+            .map(|&f| dims.grid_to_world(dims.unflat(f)))
+            .collect();
         let waypoints = self.shortcut(cm, &raw);
 
-        Ok(PlanResult { path: PathMsg { stamp, waypoints }, expansions, work })
+        Ok(PlanResult {
+            path: PathMsg { stamp, waypoints },
+            expansions,
+            work,
+        })
     }
 
     /// Like [`GlobalPlanner::plan`], but when the exact goal cell is
@@ -303,14 +319,24 @@ mod tests {
     }
 
     fn planner(alg: PlannerAlgorithm) -> GlobalPlanner {
-        GlobalPlanner::new(PlannerConfig { algorithm: alg, ..Default::default() })
+        GlobalPlanner::new(PlannerConfig {
+            algorithm: alg,
+            ..Default::default()
+        })
     }
 
     #[test]
     fn straight_path_in_open_space() {
         let cm = Costmap::from_map(CostmapConfig::default(), &open_map(100, 100));
         let p = planner(PlannerAlgorithm::AStar);
-        let r = p.plan(&cm, Point2::new(1.0, 1.0), Point2::new(4.0, 1.0), SimTime::EPOCH).unwrap();
+        let r = p
+            .plan(
+                &cm,
+                Point2::new(1.0, 1.0),
+                Point2::new(4.0, 1.0),
+                SimTime::EPOCH,
+            )
+            .unwrap();
         let len = r.path.length();
         assert!((len - 3.0).abs() < 0.2, "length {len}");
         assert!(r.path.waypoints.len() >= 2);
@@ -320,7 +346,14 @@ mod tests {
     fn path_goes_through_the_gap() {
         let cm = Costmap::from_map(CostmapConfig::default(), &wall_map());
         let p = planner(PlannerAlgorithm::AStar);
-        let r = p.plan(&cm, Point2::new(1.0, 1.0), Point2::new(5.0, 1.0), SimTime::EPOCH).unwrap();
+        let r = p
+            .plan(
+                &cm,
+                Point2::new(1.0, 1.0),
+                Point2::new(5.0, 1.0),
+                SimTime::EPOCH,
+            )
+            .unwrap();
         // Must detour via y ≈ 3.25: length well above the straight 4 m.
         assert!(r.path.length() > 5.0, "length {}", r.path.length());
         // Every waypoint pair stays collision-free.
@@ -332,23 +365,48 @@ mod tests {
     fn dijkstra_and_astar_agree_on_length() {
         let cm = Costmap::from_map(CostmapConfig::default(), &wall_map());
         let d = planner(PlannerAlgorithm::Dijkstra)
-            .plan(&cm, Point2::new(1.0, 1.0), Point2::new(5.0, 1.0), SimTime::EPOCH)
+            .plan(
+                &cm,
+                Point2::new(1.0, 1.0),
+                Point2::new(5.0, 1.0),
+                SimTime::EPOCH,
+            )
             .unwrap();
         let a = planner(PlannerAlgorithm::AStar)
-            .plan(&cm, Point2::new(1.0, 1.0), Point2::new(5.0, 1.0), SimTime::EPOCH)
+            .plan(
+                &cm,
+                Point2::new(1.0, 1.0),
+                Point2::new(5.0, 1.0),
+                SimTime::EPOCH,
+            )
             .unwrap();
         let diff = (d.path.length() - a.path.length()).abs();
-        assert!(diff < 0.4, "Dijkstra {} vs A* {}", d.path.length(), a.path.length());
+        assert!(
+            diff < 0.4,
+            "Dijkstra {} vs A* {}",
+            d.path.length(),
+            a.path.length()
+        );
     }
 
     #[test]
     fn astar_expands_fewer_nodes() {
         let cm = Costmap::from_map(CostmapConfig::default(), &open_map(120, 120));
         let d = planner(PlannerAlgorithm::Dijkstra)
-            .plan(&cm, Point2::new(1.0, 1.0), Point2::new(5.0, 5.0), SimTime::EPOCH)
+            .plan(
+                &cm,
+                Point2::new(1.0, 1.0),
+                Point2::new(5.0, 5.0),
+                SimTime::EPOCH,
+            )
             .unwrap();
         let a = planner(PlannerAlgorithm::AStar)
-            .plan(&cm, Point2::new(1.0, 1.0), Point2::new(5.0, 5.0), SimTime::EPOCH)
+            .plan(
+                &cm,
+                Point2::new(1.0, 1.0),
+                Point2::new(5.0, 5.0),
+                SimTime::EPOCH,
+            )
             .unwrap();
         assert!(
             a.expansions * 2 < d.expansions,
@@ -368,7 +426,12 @@ mod tests {
         }
         let cm = Costmap::from_map(CostmapConfig::default(), &m);
         let p = planner(PlannerAlgorithm::AStar);
-        let r = p.plan(&cm, Point2::new(1.0, 1.0), Point2::new(4.0, 1.0), SimTime::EPOCH);
+        let r = p.plan(
+            &cm,
+            Point2::new(1.0, 1.0),
+            Point2::new(4.0, 1.0),
+            SimTime::EPOCH,
+        );
         assert!(matches!(r, Err(LgvError::NoPath { .. })));
     }
 
@@ -377,7 +440,12 @@ mod tests {
         let m = wall_map();
         let cm = Costmap::from_map(CostmapConfig::default(), &m);
         let p = planner(PlannerAlgorithm::AStar);
-        let r = p.plan(&cm, Point2::new(1.0, 1.0), Point2::new(2.52, 1.0), SimTime::EPOCH);
+        let r = p.plan(
+            &cm,
+            Point2::new(1.0, 1.0),
+            Point2::new(2.52, 1.0),
+            SimTime::EPOCH,
+        );
         assert!(r.is_err());
     }
 
@@ -393,14 +461,24 @@ mod tests {
         let cm = Costmap::from_map(CostmapConfig::default(), &m);
         let strict = planner(PlannerAlgorithm::AStar);
         assert!(strict
-            .plan(&cm, Point2::new(1.0, 1.0), Point2::new(4.0, 1.0), SimTime::EPOCH)
+            .plan(
+                &cm,
+                Point2::new(1.0, 1.0),
+                Point2::new(4.0, 1.0),
+                SimTime::EPOCH
+            )
             .is_err());
         let permissive = GlobalPlanner::new(PlannerConfig {
             allow_unknown: true,
             ..Default::default()
         });
         assert!(permissive
-            .plan(&cm, Point2::new(1.0, 1.0), Point2::new(4.0, 1.0), SimTime::EPOCH)
+            .plan(
+                &cm,
+                Point2::new(1.0, 1.0),
+                Point2::new(4.0, 1.0),
+                SimTime::EPOCH
+            )
             .is_ok());
     }
 
@@ -408,7 +486,14 @@ mod tests {
     fn path_waypoints_are_collision_free() {
         let cm = Costmap::from_map(CostmapConfig::default(), &wall_map());
         let p = planner(PlannerAlgorithm::AStar);
-        let r = p.plan(&cm, Point2::new(1.0, 1.0), Point2::new(5.0, 5.5), SimTime::EPOCH).unwrap();
+        let r = p
+            .plan(
+                &cm,
+                Point2::new(1.0, 1.0),
+                Point2::new(5.0, 5.5),
+                SimTime::EPOCH,
+            )
+            .unwrap();
         for w in &r.path.waypoints {
             let idx = cm.dims().world_to_grid(*w);
             assert!(cm.cost(idx) < COST_INSCRIBED, "waypoint {w:?} in collision");

@@ -48,6 +48,6 @@ pub mod velocity_mux;
 pub use amcl::{Amcl, AmclConfig};
 pub use costmap::{Costmap, CostmapConfig, COST_LETHAL};
 pub use dwa::{DwaConfig, DwaPlanner, DwaResult};
-pub use frontier::{FrontierExplorer, FrontierConfig};
+pub use frontier::{FrontierConfig, FrontierExplorer};
 pub use global_planner::{GlobalPlanner, PlannerAlgorithm, PlannerConfig};
-pub use velocity_mux::{VelocityMux, MuxConfig};
+pub use velocity_mux::{MuxConfig, VelocityMux};

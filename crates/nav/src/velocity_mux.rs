@@ -19,7 +19,9 @@ pub struct MuxConfig {
 
 impl Default for MuxConfig {
     fn default() -> Self {
-        MuxConfig { timeout: Duration::from_millis(600) }
+        MuxConfig {
+            timeout: Duration::from_millis(600),
+        }
     }
 }
 
@@ -33,7 +35,10 @@ pub struct VelocityMux {
 impl VelocityMux {
     /// Build with config.
     pub fn new(cfg: MuxConfig) -> Self {
-        VelocityMux { cfg, latest: HashMap::new() }
+        VelocityMux {
+            cfg,
+            latest: HashMap::new(),
+        }
     }
 
     /// Adjust the staleness timeout at runtime (the mission Controller
@@ -54,13 +59,10 @@ impl VelocityMux {
     pub fn select(&mut self, now: SimTime) -> VelocityCmd {
         // Evict expired entries.
         let timeout = self.cfg.timeout;
-        self.latest.retain(|_, c| now.saturating_since(c.stamp) <= timeout);
+        self.latest
+            .retain(|_, c| now.saturating_since(c.stamp) <= timeout);
 
-        let best = self
-            .latest
-            .values()
-            .max_by_key(|c| c.source)
-            .copied();
+        let best = self.latest.values().max_by_key(|c| c.source).copied();
         best.unwrap_or(VelocityCmd {
             stamp: now,
             twist: Twist::STOP,

@@ -25,7 +25,11 @@ fn obstacle_map(seed: u64, blocks: usize) -> MapMsg {
             }
         }
     }
-    MapMsg { stamp: SimTime::EPOCH, dims, cells }
+    MapMsg {
+        stamp: SimTime::EPOCH,
+        dims,
+        cells,
+    }
 }
 
 proptest! {

@@ -191,11 +191,12 @@ impl UdpChannel {
         self.stats.transmitted += 1;
         if self.faults.drops_at_send(now) || self.rng.chance(self.signal.loss_prob_at(pos, now)) {
             self.stats.radio_losses += 1;
-            self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
-                dir: self.trace_dir.to_string(),
-                seq,
-                msg,
-            });
+            self.tracer
+                .emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
+                    dir: self.trace_dir.to_string(),
+                    seq,
+                    msg,
+                });
             return;
         }
         let payload = if self.faults.corrupts(now) {
@@ -206,8 +207,16 @@ impl UdpChannel {
         };
         let jitter = self.signal.config().jitter * self.rng.uniform();
         let arrival = now + self.signal.tx_delay_at(payload.len(), now) + self.wan_latency + jitter;
-        self.in_flight
-            .push(InFlight { arrival, packet: Packet { seq, sent_at, arrived_at: arrival, payload, msg } });
+        self.in_flight.push(InFlight {
+            arrival,
+            packet: Packet {
+                seq,
+                sent_at,
+                arrived_at: arrival,
+                payload,
+                msg,
+            },
+        });
     }
 
     /// Send a datagram from the robot at position `pos` at time `now`.
@@ -230,13 +239,14 @@ impl UdpChannel {
         let bytes = payload.len() as u64;
 
         let trace_send = |ch: &UdpChannel, kind: SendKind| {
-            ch.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelSend {
-                dir: ch.trace_dir.to_string(),
-                seq,
-                bytes,
-                outcome: kind,
-                msg,
-            });
+            ch.tracer
+                .emit_with_at(now.as_nanos(), || TraceEvent::ChannelSend {
+                    dir: ch.trace_dir.to_string(),
+                    seq,
+                    bytes,
+                    outcome: kind,
+                    msg,
+                });
         };
 
         if self.signal.is_weak_at(pos, now) {
@@ -277,22 +287,24 @@ impl UdpChannel {
             // land during the crash window vanish at the dead box.
             if self.faults.swallows_at_delivery(pkt.arrived_at) {
                 self.stats.crash_swallowed += 1;
-                self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
-                    dir: self.trace_dir.to_string(),
-                    seq: pkt.seq,
-                    msg: pkt.msg,
-                });
+                self.tracer
+                    .emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
+                        dir: self.trace_dir.to_string(),
+                        seq: pkt.seq,
+                        msg: pkt.msg,
+                    });
                 continue;
             }
             // Emitted at the tick that observes the arrival (keeping
             // trace timestamps non-decreasing); the true channel
             // latency rides in `latency_ns`.
-            self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelDeliver {
-                dir: self.trace_dir.to_string(),
-                seq: pkt.seq,
-                msg: pkt.msg,
-                latency_ns: pkt.latency().as_nanos(),
-            });
+            self.tracer
+                .emit_with_at(now.as_nanos(), || TraceEvent::ChannelDeliver {
+                    dir: self.trace_dir.to_string(),
+                    seq: pkt.seq,
+                    msg: pkt.msg,
+                    latency_ns: pkt.latency().as_nanos(),
+                });
             if self.rx_slot.replace(pkt).is_some() {
                 self.stats.overwritten += 1;
             }
@@ -327,8 +339,11 @@ mod tests {
     }
 
     fn channel() -> UdpChannel {
-        let cfg = WirelessConfig { loss_mid_dbm: -110.0, ..WirelessConfig::default() }
-            .with_weak_radius(20.0);
+        let cfg = WirelessConfig {
+            loss_mid_dbm: -110.0,
+            ..WirelessConfig::default()
+        }
+        .with_weak_radius(20.0);
         let sm = SignalModel::new(cfg, Point2::new(0.0, 0.0));
         UdpChannel::new(sm, Duration::ZERO, SimRng::seed_from_u64(11))
     }
@@ -341,7 +356,10 @@ mod tests {
     fn strong_signal_delivers_with_latency() {
         let mut ch = channel();
         let t0 = SimTime::EPOCH;
-        assert_eq!(ch.send(t0, strong_pos(), payload(48)), SendOutcome::Transmitted);
+        assert_eq!(
+            ch.send(t0, strong_pos(), payload(48)),
+            SendOutcome::Transmitted
+        );
         ch.tick(t0 + Duration::from_millis(50), strong_pos());
         let p = ch.recv().expect("packet should arrive");
         assert_eq!(p.seq, 0);
@@ -353,11 +371,17 @@ mod tests {
     fn weak_signal_holds_then_discards() {
         let mut ch = channel();
         let t0 = SimTime::EPOCH;
-        assert_eq!(ch.send(t0, weak_pos(), payload(48)), SendOutcome::HeldInKernelBuffer);
+        assert_eq!(
+            ch.send(t0, weak_pos(), payload(48)),
+            SendOutcome::HeldInKernelBuffer
+        );
         // Next sends hit the full kernel buffer: silently dropped.
         for i in 1..5 {
             let t = t0 + Duration::from_millis(200 * i);
-            assert_eq!(ch.send(t, weak_pos(), payload(48)), SendOutcome::DiscardedFullBuffer);
+            assert_eq!(
+                ch.send(t, weak_pos(), payload(48)),
+                SendOutcome::DiscardedFullBuffer
+            );
         }
         assert_eq!(ch.stats().sender_discards, 4);
         // Nothing arrives while the buffer is blocked.
@@ -400,7 +424,9 @@ mod tests {
         assert!(delivered <= 11, "delivered {delivered}");
         // …yet every *observed* latency still looks healthy (the held
         // packet only flushes on recovery, which never happens here).
-        assert!(delivered_latencies.iter().all(|l| *l < Duration::from_millis(20)));
+        assert!(delivered_latencies
+            .iter()
+            .all(|l| *l < Duration::from_millis(20)));
     }
 
     #[test]
@@ -420,7 +446,10 @@ mod tests {
     fn radio_loss_drops_packets_far_out() {
         // Loss midpoint above the weak threshold: a band where the
         // driver does not block yet the air is already lossy.
-        let cfg = WirelessConfig { loss_mid_dbm: -66.0, ..WirelessConfig::default() };
+        let cfg = WirelessConfig {
+            loss_mid_dbm: -66.0,
+            ..WirelessConfig::default()
+        };
         let sm = SignalModel::new(cfg, Point2::new(0.0, 0.0));
         let mut ch = UdpChannel::new(sm, Duration::ZERO, SimRng::seed_from_u64(5));
         let pos = Point2::new(17.0, 0.0);
@@ -441,7 +470,10 @@ mod tests {
 
     #[test]
     fn wan_latency_adds_to_delivery() {
-        let cfg = WirelessConfig { jitter: Duration::ZERO, ..WirelessConfig::default() };
+        let cfg = WirelessConfig {
+            jitter: Duration::ZERO,
+            ..WirelessConfig::default()
+        };
         let sm = SignalModel::new(cfg, Point2::new(0.0, 0.0));
         let mut ch = UdpChannel::new(sm, Duration::from_millis(15), SimRng::seed_from_u64(6));
         ch.send(SimTime::EPOCH, strong_pos(), payload(48));
@@ -469,12 +501,18 @@ mod tests {
         let deliver = ring
             .records()
             .find_map(|r| match &r.event {
-                TraceEvent::ChannelDeliver { msg, latency_ns, .. } => Some((*msg, *latency_ns, r.t_ns)),
+                TraceEvent::ChannelDeliver {
+                    msg, latency_ns, ..
+                } => Some((*msg, *latency_ns, r.t_ns)),
                 _ => None,
             })
             .expect("deliver event emitted");
         assert_eq!(deliver.0, MsgId(7));
-        assert!(deliver.1 >= 3_000_000_000, "latency {} includes buffering", deliver.1);
+        assert!(
+            deliver.1 >= 3_000_000_000,
+            "latency {} includes buffering",
+            deliver.1
+        );
         // Stamped at the observing tick, not the (earlier) arrival.
         assert!(deliver.2 >= t1.as_nanos());
     }
@@ -483,14 +521,26 @@ mod tests {
     fn blackout_window_blocks_like_weak_signal() {
         use crate::fault::{FaultKind, FaultSchedule};
         let mut ch = channel();
-        ch.set_faults(FaultSchedule::none().with(1.0, 2.0, FaultKind::Blackout), true);
+        ch.set_faults(
+            FaultSchedule::none().with(1.0, 2.0, FaultKind::Blackout),
+            true,
+        );
         let t0 = SimTime::EPOCH;
         // Strong position, no fault yet: delivers normally.
-        assert_eq!(ch.send(t0, strong_pos(), payload(8)), SendOutcome::Transmitted);
+        assert_eq!(
+            ch.send(t0, strong_pos(), payload(8)),
+            SendOutcome::Transmitted
+        );
         // Inside the blackout the driver blocks even near the WAP.
         let t1 = t0 + Duration::from_millis(1500);
-        assert_eq!(ch.send(t1, strong_pos(), payload(8)), SendOutcome::HeldInKernelBuffer);
-        assert_eq!(ch.send(t1, strong_pos(), payload(8)), SendOutcome::DiscardedFullBuffer);
+        assert_eq!(
+            ch.send(t1, strong_pos(), payload(8)),
+            SendOutcome::HeldInKernelBuffer
+        );
+        assert_eq!(
+            ch.send(t1, strong_pos(), payload(8)),
+            SendOutcome::DiscardedFullBuffer
+        );
         // After the window the held datagram flushes and arrives.
         let t2 = t0 + Duration::from_millis(3200);
         ch.tick(t2, strong_pos());
@@ -503,16 +553,25 @@ mod tests {
     fn crashed_remote_swallows_arrivals_but_radio_stays_healthy() {
         use crate::fault::{FaultKind, FaultSchedule};
         let mut ch = channel();
-        ch.set_faults(FaultSchedule::none().with(0.0, 10.0, FaultKind::RemoteCrash), true);
+        ch.set_faults(
+            FaultSchedule::none().with(0.0, 10.0, FaultKind::RemoteCrash),
+            true,
+        );
         let t0 = SimTime::EPOCH;
         // The radio itself is fine: sends are accepted, not held.
-        assert_eq!(ch.send(t0, strong_pos(), payload(8)), SendOutcome::Transmitted);
+        assert_eq!(
+            ch.send(t0, strong_pos(), payload(8)),
+            SendOutcome::Transmitted
+        );
         ch.tick(t0 + Duration::from_millis(100), strong_pos());
         assert!(ch.recv().is_none(), "dead host must not receive");
         assert_eq!(ch.stats().delivered, 0);
         // Downlink direction (remote sends): drops at launch instead.
         let mut down = channel();
-        down.set_faults(FaultSchedule::none().with(0.0, 10.0, FaultKind::RemoteCrash), false);
+        down.set_faults(
+            FaultSchedule::none().with(0.0, 10.0, FaultKind::RemoteCrash),
+            false,
+        );
         down.send(t0, strong_pos(), payload(8));
         down.tick(t0 + Duration::from_millis(100), strong_pos());
         assert!(down.recv().is_none(), "dead host cannot send");
@@ -522,18 +581,30 @@ mod tests {
     #[test]
     fn latency_spike_inflates_delivery_time() {
         use crate::fault::{FaultKind, FaultSchedule};
-        let cfg = WirelessConfig { jitter: Duration::ZERO, ..WirelessConfig::default() };
+        let cfg = WirelessConfig {
+            jitter: Duration::ZERO,
+            ..WirelessConfig::default()
+        };
         let sm = SignalModel::new(cfg, Point2::new(0.0, 0.0));
         let mut ch = UdpChannel::new(sm, Duration::ZERO, SimRng::seed_from_u64(6));
         ch.set_faults(
-            FaultSchedule::none()
-                .with(0.0, 1.0, FaultKind::LatencySpike { extra: Duration::from_millis(80) }),
+            FaultSchedule::none().with(
+                0.0,
+                1.0,
+                FaultKind::LatencySpike {
+                    extra: Duration::from_millis(80),
+                },
+            ),
             true,
         );
         ch.send(SimTime::EPOCH, strong_pos(), payload(48));
         ch.tick(SimTime::EPOCH + Duration::from_millis(200), strong_pos());
         let p = ch.recv().expect("delayed but delivered");
-        assert!(p.latency() >= Duration::from_millis(80), "latency {}", p.latency());
+        assert!(
+            p.latency() >= Duration::from_millis(80),
+            "latency {}",
+            p.latency()
+        );
     }
 
     #[test]
@@ -556,7 +627,11 @@ mod tests {
     fn sequence_numbers_are_monotone() {
         let mut ch = channel();
         for i in 0..5 {
-            ch.send(SimTime::EPOCH + Duration::from_millis(i), strong_pos(), payload(4));
+            ch.send(
+                SimTime::EPOCH + Duration::from_millis(i),
+                strong_pos(),
+                payload(4),
+            );
         }
         ch.tick(SimTime::EPOCH + Duration::from_secs(1), strong_pos());
         // Only the freshest survives the one-length queue.

@@ -121,7 +121,11 @@ impl FaultSchedule {
     /// mission, lasting `dur_s` seconds.
     pub fn with(mut self, from_s: f64, dur_s: f64, kind: FaultKind) -> Self {
         let from = SimTime::from_secs_f64(from_s);
-        self.windows.push(FaultWindow { from, until: from + Duration::from_secs_f64(dur_s), kind });
+        self.windows.push(FaultWindow {
+            from,
+            until: from + Duration::from_secs_f64(dur_s),
+            kind,
+        });
         self
     }
 
@@ -180,9 +184,11 @@ impl FaultSchedule {
     /// (first matching window wins).
     pub fn burst_at(&self, now: SimTime) -> Option<(f64, f64, f64)> {
         self.windows.iter().find_map(|w| match w.kind {
-            FaultKind::BurstLoss { p_enter, p_exit, loss_in_burst } if w.contains(now) => {
-                Some((p_enter, p_exit, loss_in_burst))
-            }
+            FaultKind::BurstLoss {
+                p_enter,
+                p_exit,
+                loss_in_burst,
+            } if w.contains(now) => Some((p_enter, p_exit, loss_in_burst)),
             _ => None,
         })
     }
@@ -207,7 +213,9 @@ impl FaultSchedule {
                 2 => FaultKind::LatencySpike {
                     extra: Duration::from_millis(10 + rng.index(190) as u64),
                 },
-                3 => FaultKind::Corruption { prob: rng.uniform_range(0.1, 0.6) },
+                3 => FaultKind::Corruption {
+                    prob: rng.uniform_range(0.1, 0.6),
+                },
                 _ => FaultKind::RemoteCrash,
             };
             schedule = schedule.with(from_s, dur_s, kind);
@@ -238,7 +246,12 @@ impl FaultInjector {
     /// whose destination is the remote host (their in-flight frames
     /// are swallowed when a [`FaultKind::RemoteCrash`] is active).
     pub fn new(schedule: FaultSchedule, rng: SimRng, remote_receives: bool) -> Self {
-        FaultInjector { schedule, rng, in_burst: false, remote_receives }
+        FaultInjector {
+            schedule,
+            rng,
+            in_burst: false,
+            remote_receives,
+        }
     }
 
     /// A no-op injector (empty schedule) for channels built without
@@ -342,7 +355,11 @@ impl FaultClock {
     /// Clock over `schedule`, with no edges reported yet.
     pub fn new(schedule: FaultSchedule) -> Self {
         let n = schedule.windows().len();
-        FaultClock { schedule, begun: vec![false; n], ended: vec![false; n] }
+        FaultClock {
+            schedule,
+            begun: vec![false; n],
+            ended: vec![false; n],
+        }
     }
 
     /// Report every window edge crossed up to `now`, in schedule
@@ -353,11 +370,21 @@ impl FaultClock {
             let span = w.until.saturating_since(w.from);
             if !self.begun[i] && now >= w.from {
                 self.begun[i] = true;
-                edges.push(FaultEdge { window: i as u64, kind: w.kind, begin: true, span });
+                edges.push(FaultEdge {
+                    window: i as u64,
+                    kind: w.kind,
+                    begin: true,
+                    span,
+                });
             }
             if !self.ended[i] && now >= w.until {
                 self.ended[i] = true;
-                edges.push(FaultEdge { window: i as u64, kind: w.kind, begin: false, span });
+                edges.push(FaultEdge {
+                    window: i as u64,
+                    kind: w.kind,
+                    begin: false,
+                    span,
+                });
             }
         }
         edges
@@ -384,8 +411,20 @@ mod tests {
     #[test]
     fn latency_spikes_sum_when_overlapping() {
         let s = FaultSchedule::none()
-            .with(0.0, 10.0, FaultKind::LatencySpike { extra: Duration::from_millis(40) })
-            .with(5.0, 10.0, FaultKind::LatencySpike { extra: Duration::from_millis(60) });
+            .with(
+                0.0,
+                10.0,
+                FaultKind::LatencySpike {
+                    extra: Duration::from_millis(40),
+                },
+            )
+            .with(
+                5.0,
+                10.0,
+                FaultKind::LatencySpike {
+                    extra: Duration::from_millis(60),
+                },
+            );
         assert_eq!(s.extra_latency_at(t(2.0)), Duration::from_millis(40));
         assert_eq!(s.extra_latency_at(t(7.0)), Duration::from_millis(100));
         assert_eq!(s.extra_latency_at(t(16.0)), Duration::ZERO);
@@ -417,10 +456,16 @@ mod tests {
         let s = FaultSchedule::none().with(
             0.0,
             100.0,
-            FaultKind::BurstLoss { p_enter: 0.05, p_exit: 0.05, loss_in_burst: 1.0 },
+            FaultKind::BurstLoss {
+                p_enter: 0.05,
+                p_exit: 0.05,
+                loss_in_burst: 1.0,
+            },
         );
         let mut inj = FaultInjector::new(s, SimRng::seed_from_u64(7), true);
-        let drops: Vec<bool> = (0..2000).map(|i| inj.drops_at_send(t(i as f64 * 0.01))).collect();
+        let drops: Vec<bool> = (0..2000)
+            .map(|i| inj.drops_at_send(t(i as f64 * 0.01)))
+            .collect();
         let losses = drops.iter().filter(|d| **d).count();
         // The chain spends roughly half its time in each state.
         assert!(losses > 400 && losses < 1600, "losses={losses}");
@@ -429,7 +474,10 @@ mod tests {
         let pairs = drops.windows(2).filter(|w| w[0] && w[1]).count();
         let p = losses as f64 / drops.len() as f64;
         let independent = p * p * (drops.len() - 1) as f64;
-        assert!(pairs as f64 > 1.5 * independent, "pairs={pairs} vs independent {independent:.1}");
+        assert!(
+            pairs as f64 > 1.5 * independent,
+            "pairs={pairs} vs independent {independent:.1}"
+        );
     }
 
     #[test]

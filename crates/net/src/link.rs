@@ -47,7 +47,12 @@ pub struct LinkConfig {
 impl LinkConfig {
     /// Config for a link to the given site with a WAP at `wap`.
     pub fn new(site: RemoteSite, wap: Point2) -> Self {
-        LinkConfig { wireless: WirelessConfig::default(), wap, site, wan_latency: None }
+        LinkConfig {
+            wireless: WirelessConfig::default(),
+            wap,
+            site,
+            wan_latency: None,
+        }
     }
 }
 
@@ -176,8 +181,11 @@ mod tests {
     fn link(site: RemoteSite) -> DuplexLink {
         let mut rng = SimRng::seed_from_u64(3);
         let mut cfg = LinkConfig::new(site, Point2::new(0.0, 0.0));
-        cfg.wireless = WirelessConfig { jitter: Duration::ZERO, ..WirelessConfig::default() }
-            .with_weak_radius(20.0);
+        cfg.wireless = WirelessConfig {
+            jitter: Duration::ZERO,
+            ..WirelessConfig::default()
+        }
+        .with_weak_radius(20.0);
         DuplexLink::new(cfg, &mut rng)
     }
 

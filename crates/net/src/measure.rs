@@ -26,14 +26,20 @@ impl BandwidthMeter {
     /// Meter with the given sliding window (the paper uses 1 s).
     pub fn new(window: Duration) -> Self {
         assert!(window > Duration::ZERO);
-        BandwidthMeter { window, arrivals: VecDeque::new() }
+        BandwidthMeter {
+            window,
+            arrivals: VecDeque::new(),
+        }
     }
 
     /// Record a packet arrival. Arrival stamps must be non-decreasing
     /// (the simulated channel delivers in arrival order); the sliding
     /// eviction relies on it.
     pub fn record(&mut self, at: SimTime) {
-        debug_assert!(self.arrivals.back().is_none_or(|&b| b <= at), "arrivals must be monotone");
+        debug_assert!(
+            self.arrivals.back().is_none_or(|&b| b <= at),
+            "arrivals must be monotone"
+        );
         self.arrivals.push_back(at);
     }
 
@@ -76,7 +82,12 @@ pub struct SignalDirectionEstimator {
 impl SignalDirectionEstimator {
     /// Estimator for a WAP at the given position.
     pub fn new(wap: Point2) -> Self {
-        SignalDirectionEstimator { wap, last: None, smoothed: 0.0, alpha: 0.3 }
+        SignalDirectionEstimator {
+            wap,
+            last: None,
+            smoothed: 0.0,
+            alpha: 0.3,
+        }
     }
 
     /// Feed the latest robot position; returns the smoothed direction.
@@ -113,7 +124,10 @@ impl RttTracker {
     /// Tracker remembering up to `cap` recent samples.
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0);
-        RttTracker { cap, samples: VecDeque::new() }
+        RttTracker {
+            cap,
+            samples: VecDeque::new(),
+        }
     }
 
     /// Record an RTT sample.
@@ -211,13 +225,19 @@ mod tests {
         let mut i = 0u64;
         // Out for 30 steps…
         for k in 0..30 {
-            d.update(SimTime::EPOCH + Duration::from_millis(200 * i), Point2::new(k as f64, 0.0));
+            d.update(
+                SimTime::EPOCH + Duration::from_millis(200 * i),
+                Point2::new(k as f64, 0.0),
+            );
             i += 1;
         }
         assert!(d.direction() < 0.0);
         // …then back.
         for k in (0..30).rev() {
-            d.update(SimTime::EPOCH + Duration::from_millis(200 * i), Point2::new(k as f64, 0.0));
+            d.update(
+                SimTime::EPOCH + Duration::from_millis(200 * i),
+                Point2::new(k as f64, 0.0),
+            );
             i += 1;
         }
         assert!(d.direction() > 0.0);

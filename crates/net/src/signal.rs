@@ -80,7 +80,11 @@ pub struct SignalModel {
 impl SignalModel {
     /// Build a model for a WAP at `wap`.
     pub fn new(cfg: WirelessConfig, wap: Point2) -> Self {
-        SignalModel { cfg, wap, faults: FaultSchedule::default() }
+        SignalModel {
+            cfg,
+            wap,
+            faults: FaultSchedule::default(),
+        }
     }
 
     /// Radio configuration.
@@ -211,7 +215,11 @@ mod tests {
         let big = m.tx_delay(48_000);
         assert!(big > small);
         // 48 kB at 20 Mb/s ≈ 19.2 ms + 2 ms base.
-        assert!((big.as_millis_f64() - 21.2).abs() < 0.5, "{}", big.as_millis_f64());
+        assert!(
+            (big.as_millis_f64() - 21.2).abs() < 0.5,
+            "{}",
+            big.as_millis_f64()
+        );
     }
 
     #[test]

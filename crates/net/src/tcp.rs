@@ -137,19 +137,27 @@ impl TcpChannel {
         self.next_seq += 1;
         self.stats.queued += 1;
         let bytes = payload.len() as u64;
-        self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelSend {
-            dir: self.trace_dir.to_string(),
+        self.tracer
+            .emit_with_at(now.as_nanos(), || TraceEvent::ChannelSend {
+                dir: self.trace_dir.to_string(),
+                seq,
+                bytes,
+                outcome: SendKind::Transmitted,
+                msg,
+            });
+        self.send_queue.push_back(Segment {
             seq,
-            bytes,
-            outcome: SendKind::Transmitted,
+            payload,
+            queued_at: now,
             msg,
         });
-        self.send_queue.push_back(Segment { seq, payload, queued_at: now, msg });
         seq
     }
 
     fn launch_head(&mut self, now: SimTime, robot: Point2) {
-        let Some(head) = self.send_queue.front() else { return };
+        let Some(head) = self.send_queue.front() else {
+            return;
+        };
         self.stats.attempts += 1;
         let lost = self.faults.drops_at_send(now)
             || self.rng.chance(self.signal.loss_prob_at(robot, now))
@@ -160,18 +168,26 @@ impl TcpChannel {
         if lost {
             self.stats.losses += 1;
             let (seq, msg) = (head.seq, head.msg);
-            self.tracer.emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
-                dir: self.trace_dir.to_string(),
-                seq,
-                msg,
+            self.tracer
+                .emit_with_at(now.as_nanos(), || TraceEvent::ChannelLoss {
+                    dir: self.trace_dir.to_string(),
+                    seq,
+                    msg,
+                });
+            self.in_flight = Some(InFlight {
+                arrives: None,
+                acked: None,
+                rto_at: now + self.rto,
             });
-            self.in_flight = Some(InFlight { arrives: None, acked: None, rto_at: now + self.rto });
         } else {
             let arrives = now + one_way;
             // Ack is small: base latency + WAN back.
             let acked = arrives + self.signal.tx_delay(16) + self.wan_latency;
-            self.in_flight =
-                Some(InFlight { arrives: Some(arrives), acked: Some(acked), rto_at: now + self.rto });
+            self.in_flight = Some(InFlight {
+                arrives: Some(arrives),
+                acked: Some(acked),
+                rto_at: now + self.rto,
+            });
         }
     }
 
@@ -256,7 +272,9 @@ impl TcpChannel {
     /// Age of the oldest undelivered segment (how far behind the
     /// reliable stream is — the head-of-line blocking observable).
     pub fn head_age(&self, now: SimTime) -> Option<Duration> {
-        self.send_queue.front().map(|s| now.saturating_since(s.queued_at))
+        self.send_queue
+            .front()
+            .map(|s| now.saturating_since(s.queued_at))
     }
 }
 
@@ -284,7 +302,10 @@ mod tests {
     fn delivers_in_order_without_loss() {
         let mut ch = channel(0.0);
         for i in 0..5u8 {
-            ch.send(SimTime::EPOCH + Duration::from_millis(i as u64), Bytes::from(vec![i]));
+            ch.send(
+                SimTime::EPOCH + Duration::from_millis(i as u64),
+                Bytes::from(vec![i]),
+            );
         }
         let mut t = SimTime::EPOCH;
         let mut got = vec![];
@@ -343,7 +364,10 @@ mod tests {
         }
         // Unlike UDP (which would have silently dropped), the reliable
         // stream fell behind instead.
-        assert!(worst_age >= Duration::from_millis(200), "head age {worst_age}");
+        assert!(
+            worst_age >= Duration::from_millis(200),
+            "head age {worst_age}"
+        );
     }
 
     #[test]

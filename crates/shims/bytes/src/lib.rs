@@ -20,14 +20,18 @@ pub struct Bytes {
 impl Bytes {
     /// Empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     /// Buffer borrowing a static slice (copied into shared storage;
     /// the real crate keeps the pointer, which callers cannot observe
     /// through this API).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes {
+            data: Arc::from(bytes),
+        }
     }
 
     /// Length in bytes.
@@ -61,7 +65,9 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
     }
 }
 
@@ -129,7 +135,9 @@ impl BytesMut {
 
     /// Empty buffer with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Length in bytes.

@@ -109,7 +109,10 @@ fn run_benchmark(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     // Calibrate: find an iteration count taking roughly 2 ms.
     let mut iters = 1u64;
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
             break;
@@ -118,14 +121,22 @@ fn run_benchmark(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
     }
     let mut per_iter: Vec<f64> = (0..samples)
         .map(|_| {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             b.elapsed.as_secs_f64() / iters as f64
         })
         .collect();
     per_iter.sort_by(|a, b| a.total_cmp(b));
     let median = per_iter[per_iter.len() / 2];
-    println!("{name:<40} {:>12}   ({} iters x {} samples)", format_time(median), iters, samples);
+    println!(
+        "{name:<40} {:>12}   ({} iters x {} samples)",
+        format_time(median),
+        iters,
+        samples
+    );
 }
 
 fn format_time(seconds: f64) -> String {

@@ -22,7 +22,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Wrap a value in a mutex.
     pub fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the value.
@@ -52,7 +54,9 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Wrap a value in a reader-writer lock.
     pub fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the value.

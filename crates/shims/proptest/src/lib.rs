@@ -30,7 +30,10 @@ pub mod collection {
 
     /// Strategy for `Vec<T>` with length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Strategy produced by [`fn@vec`].
@@ -57,7 +60,11 @@ pub mod collection {
     where
         K::Value: Ord,
     {
-        BTreeMapStrategy { key, value, size: size.into() }
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
     }
 
     /// Strategy produced by [`btree_map`].

@@ -69,8 +69,8 @@ impl Strategy for &str {
             panic!("proptest shim: unsupported string pattern {self:?} (only `.{{min,max}}`)")
         });
         const PALETTE: &[char] = &[
-            'a', 'b', 'q', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', '.', '/', '"', '\\', '\n',
-            'é', 'ß', 'λ', 'ж', '中', '🦀',
+            'a', 'b', 'q', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', '.', '/', '"', '\\', '\n', 'é',
+            'ß', 'λ', 'ж', '中', '🦀',
         ];
         let len = rng.random_range(min..max + 1);
         (0..len)
@@ -119,12 +119,18 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { min: n, max_exclusive: n + 1 }
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
-        SizeRange { min: r.start, max_exclusive: r.end }
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
     }
 }

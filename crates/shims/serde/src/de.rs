@@ -25,12 +25,16 @@ pub trait Error: Sized + std::error::Error {
 
     /// An enum variant name/index was not recognised.
     fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
-        Self::custom(format!("unknown variant `{variant}`, expected one of {expected:?}"))
+        Self::custom(format!(
+            "unknown variant `{variant}`, expected one of {expected:?}"
+        ))
     }
 
     /// A struct field name was not recognised.
     fn unknown_field(field: &str, expected: &'static [&'static str]) -> Self {
-        Self::custom(format!("unknown field `{field}`, expected one of {expected:?}"))
+        Self::custom(format!(
+            "unknown field `{field}`, expected one of {expected:?}"
+        ))
     }
 
     /// A required struct field was absent.
@@ -225,7 +229,10 @@ pub trait Visitor<'de>: Sized {
 
     /// Input contained a string slice.
     fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
-        Err(E::invalid_type(Unexpected::Str(v), &format!("{}", Expecting(&self)).as_str()))
+        Err(E::invalid_type(
+            Unexpected::Str(v),
+            &format!("{}", Expecting(&self)).as_str(),
+        ))
     }
     /// Input contained a string borrowed from the input itself.
     fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
@@ -238,7 +245,10 @@ pub trait Visitor<'de>: Sized {
 
     /// Input contained raw bytes.
     fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
-        Err(E::invalid_type(Unexpected::Bytes(v), &format!("{}", Expecting(&self)).as_str()))
+        Err(E::invalid_type(
+            Unexpected::Bytes(v),
+            &format!("{}", Expecting(&self)).as_str(),
+        ))
     }
     /// Input contained bytes borrowed from the input itself.
     fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
@@ -251,7 +261,10 @@ pub trait Visitor<'de>: Sized {
 
     /// Input contained `None`.
     fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
-        Err(E::invalid_type(Unexpected::Option, &format!("{}", Expecting(&self)).as_str()))
+        Err(E::invalid_type(
+            Unexpected::Option,
+            &format!("{}", Expecting(&self)).as_str(),
+        ))
     }
     /// Input contained `Some(value)`.
     fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
@@ -263,7 +276,10 @@ pub trait Visitor<'de>: Sized {
     }
     /// Input contained a unit value.
     fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
-        Err(E::invalid_type(Unexpected::Unit, &format!("{}", Expecting(&self)).as_str()))
+        Err(E::invalid_type(
+            Unexpected::Unit,
+            &format!("{}", Expecting(&self)).as_str(),
+        ))
     }
     /// Input contained a newtype struct wrapping a value.
     fn visit_newtype_struct<D: Deserializer<'de>>(
@@ -279,17 +295,26 @@ pub trait Visitor<'de>: Sized {
     /// Input contained a sequence.
     fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
         let _ = seq;
-        Err(A::Error::invalid_type(Unexpected::Seq, &format!("{}", Expecting(&self)).as_str()))
+        Err(A::Error::invalid_type(
+            Unexpected::Seq,
+            &format!("{}", Expecting(&self)).as_str(),
+        ))
     }
     /// Input contained a map.
     fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
         let _ = map;
-        Err(A::Error::invalid_type(Unexpected::Map, &format!("{}", Expecting(&self)).as_str()))
+        Err(A::Error::invalid_type(
+            Unexpected::Map,
+            &format!("{}", Expecting(&self)).as_str(),
+        ))
     }
     /// Input contained an enum.
     fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
         let _ = data;
-        Err(A::Error::invalid_type(Unexpected::Enum, &format!("{}", Expecting(&self)).as_str()))
+        Err(A::Error::invalid_type(
+            Unexpected::Enum,
+            &format!("{}", Expecting(&self)).as_str(),
+        ))
     }
 }
 
@@ -383,8 +408,7 @@ pub trait Deserializer<'de>: Sized {
     /// Expect a struct field name / enum variant tag.
     fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
     /// Skip over whatever value comes next.
-    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V)
-        -> Result<V::Value, Self::Error>;
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
 
     /// Whether the format is human readable. Binary formats override
     /// this to `false`.
@@ -994,8 +1018,7 @@ where
                 f.write_str("a map")
             }
             fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
-                let mut out =
-                    std::collections::HashMap::with_capacity_and_hasher(0, S::default());
+                let mut out = std::collections::HashMap::with_capacity_and_hasher(0, S::default());
                 while let Some((k, v)) = map.next_entry()? {
                     out.insert(k, v);
                 }

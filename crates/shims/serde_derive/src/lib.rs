@@ -145,7 +145,11 @@ fn parse_item(input: TokenStream) -> Item {
         other => panic!("serde_derive shim: cannot derive for `{other}` items"),
     };
 
-    Item { name, generics, kind }
+    Item {
+        name,
+        generics,
+        kind,
+    }
 }
 
 fn parse_named_fields(stream: TokenStream) -> Vec<String> {

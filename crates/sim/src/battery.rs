@@ -18,7 +18,10 @@ impl Battery {
     /// New full battery with the given capacity in watt-hours.
     pub fn new_wh(capacity_wh: f64) -> Self {
         assert!(capacity_wh > 0.0, "battery capacity must be positive");
-        Battery { capacity_j: capacity_wh * 3600.0, consumed_j: 0.0 }
+        Battery {
+            capacity_j: capacity_wh * 3600.0,
+            consumed_j: 0.0,
+        }
     }
 
     /// Drain energy (J); draining past empty clamps at empty.

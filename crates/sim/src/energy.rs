@@ -115,7 +115,10 @@ impl EnergyLedger {
 
     /// Snapshot the ledger as a report for a mission of length `time`.
     pub fn report(&self, time: Duration) -> EnergyReport {
-        EnergyReport { joules: self.joules, mission_time: time }
+        EnergyReport {
+            joules: self.joules,
+            mission_time: time,
+        }
     }
 }
 
@@ -162,7 +165,13 @@ impl fmt::Display for EnergyReport {
         for c in Component::ALL {
             writeln!(f, "  {:<18} {:>9.1} J", c.name(), self.joules(c))?;
         }
-        write!(f, "  {:<18} {:>9.1} J ({:.3} Wh)", "TOTAL", self.total_joules(), self.total_wh())
+        write!(
+            f,
+            "  {:<18} {:>9.1} J ({:.3} Wh)",
+            "TOTAL",
+            self.total_joules(),
+            self.total_wh()
+        )
     }
 }
 

@@ -39,8 +39,11 @@ pub enum PlatformKind {
 
 impl PlatformKind {
     /// All platform tiers.
-    pub const ALL: [PlatformKind; 3] =
-        [PlatformKind::Turtlebot3, PlatformKind::EdgeGateway, PlatformKind::CloudServer];
+    pub const ALL: [PlatformKind; 3] = [
+        PlatformKind::Turtlebot3,
+        PlatformKind::EdgeGateway,
+        PlatformKind::CloudServer,
+    ];
 }
 
 /// A concrete compute platform.
@@ -190,7 +193,9 @@ impl Platform {
     pub fn best_threads(&self, work: &Work) -> u32 {
         (1..=self.hw_threads)
             .min_by(|&a, &b| {
-                self.exec_time(work, a).cmp(&self.exec_time(work, b)).then(a.cmp(&b))
+                self.exec_time(work, a)
+                    .cmp(&self.exec_time(work, b))
+                    .then(a.cmp(&b))
             })
             .unwrap_or(1)
     }
@@ -267,8 +272,13 @@ mod tests {
     #[test]
     fn ecn_anchor_cloud_about_41x() {
         // Paper Fig. 9: up to 40.84× on the cloud server.
-        let s =
-            speedup(&Platform::turtlebot3(), 1, &Platform::cloud_server(), 12, &ecn_work());
+        let s = speedup(
+            &Platform::turtlebot3(),
+            1,
+            &Platform::cloud_server(),
+            12,
+            &ecn_work(),
+        );
         assert!((35.0..48.0).contains(&s), "cloud ECN speedup {s}");
     }
 

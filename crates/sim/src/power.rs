@@ -139,11 +139,7 @@ impl LgvProfile {
     /// Compute-energy model for this vehicle's embedded computer
     /// running at the given platform's frequency.
     pub fn compute_model(&self, platform: &Platform) -> ComputeEnergyModel {
-        ComputeEnergyModel::calibrated(
-            platform,
-            self.max_power.embedded_computer,
-            self.ec_idle_w,
-        )
+        ComputeEnergyModel::calibrated(platform, self.max_power.embedded_computer, self.ec_idle_w)
     }
 }
 
@@ -189,7 +185,11 @@ impl ComputeEnergyModel {
     pub fn calibrated(platform: &Platform, max_w: f64, idle_w: f64) -> Self {
         let full_rate = platform.rate() * platform.cores as f64;
         let k = (max_w - idle_w).max(0.0) / (full_rate * platform.freq_hz * platform.freq_hz);
-        ComputeEnergyModel { k, freq_hz: platform.freq_hz, idle_w }
+        ComputeEnergyModel {
+            k,
+            freq_hz: platform.freq_hz,
+            idle_w,
+        }
     }
 
     /// Dynamic energy (J) of executing `cycles` on the vehicle.
@@ -267,7 +267,12 @@ mod tests {
 
     #[test]
     fn motor_power_saturates_at_table1_max() {
-        let m = MotorModel { loss_w: 1.0, mass_kg: 50.0, friction_mu: 1.0, max_w: 6.7 };
+        let m = MotorModel {
+            loss_w: 1.0,
+            mass_kg: 50.0,
+            friction_mu: 1.0,
+            max_w: 6.7,
+        };
         assert_eq!(m.power(5.0, 10.0), 6.7);
     }
 
@@ -279,7 +284,10 @@ mod tests {
         // One second of full-rate cycles on all cores:
         let cycles = platform.rate() * platform.cores as f64;
         let p = m.dynamic_energy(cycles) + m.idle_energy(1.0);
-        assert!((p - profile.max_power.embedded_computer).abs() < 1e-6, "p = {p}");
+        assert!(
+            (p - profile.max_power.embedded_computer).abs() < 1e-6,
+            "p = {p}"
+        );
     }
 
     #[test]
@@ -288,7 +296,11 @@ mod tests {
         let m1 = ComputeEnergyModel::calibrated(&platform, 6.5, 1.9);
         platform.freq_hz *= 2.0;
         // Same k, doubled frequency → 4× the per-cycle energy.
-        let m2 = ComputeEnergyModel { k: m1.k, freq_hz: platform.freq_hz, idle_w: m1.idle_w };
+        let m2 = ComputeEnergyModel {
+            k: m1.k,
+            freq_hz: platform.freq_hz,
+            idle_w: m1.idle_w,
+        };
         assert!((m2.dynamic_energy(1e9) / m1.dynamic_energy(1e9) - 4.0).abs() < 1e-9);
     }
 

@@ -128,7 +128,9 @@ impl Vehicle {
         if self.bumped {
             // Blocked: kill linear motion, allow rotation in place.
             self.twist.linear = 0.0;
-            let spin = self.pose.integrate(Twist::new(0.0, self.twist.angular), dt_s);
+            let spin = self
+                .pose
+                .integrate(Twist::new(0.0, self.twist.angular), dt_s);
             self.pose = Pose2D::new(self.pose.x, self.pose.y, spin.theta);
         } else {
             let moved = proposed.position().distance(self.pose.position());
@@ -139,11 +141,13 @@ impl Vehicle {
             let delta = self.pose.between(proposed);
             let nx = self.rng.gaussian(0.0, self.cfg.odom_trans_noise * moved);
             let ny = self.rng.gaussian(0.0, self.cfg.odom_trans_noise * moved);
-            let nth = self
-                .rng
-                .gaussian(0.0, self.cfg.odom_rot_noise * turned + 0.2 * self.cfg.odom_trans_noise * moved);
+            let nth = self.rng.gaussian(
+                0.0,
+                self.cfg.odom_rot_noise * turned + 0.2 * self.cfg.odom_trans_noise * moved,
+            );
             self.odom =
-                self.odom.compose(Pose2D::new(delta.x + nx, delta.y + ny, delta.theta + nth));
+                self.odom
+                    .compose(Pose2D::new(delta.x + nx, delta.y + ny, delta.theta + nth));
             self.pose = proposed;
         }
         self.twist
@@ -151,13 +155,19 @@ impl Vehicle {
 
     /// Produce the odometry message for the current instant.
     pub fn odometry(&self, stamp: SimTime) -> OdometryMsg {
-        OdometryMsg { stamp, pose: self.odom, twist: self.twist }
+        OdometryMsg {
+            stamp,
+            pose: self.odom,
+            twist: self.twist,
+        }
     }
 
     /// Current linear acceleration demand towards the command (m/s²),
     /// used by the motor power model (Eq. 1d's `a`).
     pub fn accel_demand(&self) -> f64 {
-        (self.command.linear - self.twist.linear).abs().min(self.cfg.max_lin_accel)
+        (self.command.linear - self.twist.linear)
+            .abs()
+            .min(self.cfg.max_lin_accel)
     }
 }
 
@@ -171,7 +181,11 @@ mod tests {
     }
 
     fn vehicle_at(x: f64, y: f64, th: f64) -> Vehicle {
-        Vehicle::new(VehicleConfig::default(), Pose2D::new(x, y, th), SimRng::seed_from_u64(1))
+        Vehicle::new(
+            VehicleConfig::default(),
+            Pose2D::new(x, y, th),
+            SimRng::seed_from_u64(1),
+        )
     }
 
     #[test]

@@ -53,16 +53,85 @@ impl World {
     ///
     /// This is the ground-truth geometry the simulated lidar samples.
     pub fn raycast(&self, from: Point2, angle: f64, max_range: f64) -> f64 {
-        let to = Point2::new(from.x + max_range * angle.cos(), from.y + max_range * angle.sin());
-        for cell in GridRay::new(&self.dims, from, to) {
-            if self.occupied(cell) {
+        self.raycast_dir(from, angle.cos(), angle.sin(), max_range)
+    }
+
+    /// [`World::raycast`] with the direction given as a unit vector.
+    ///
+    /// This is the hot path of the lidar model (beams × cells per
+    /// scan), so the Amanatides–Woo traversal is inlined here with the
+    /// occupancy lookup fused in, instead of driving the generic
+    /// [`GridRay`] iterator cell by cell. The stepping math (axis
+    /// tie-break, cell budget, stop-at-end-cell) mirrors `GridRay`
+    /// exactly; callers precompute `(dir_x, dir_y)` once per beam
+    /// table instead of paying two trig calls per beam per scan.
+    pub fn raycast_dir(&self, from: Point2, dir_x: f64, dir_y: f64, max_range: f64) -> f64 {
+        let dims = &self.dims;
+        let res = dims.resolution;
+        let to = Point2::new(from.x + max_range * dir_x, from.y + max_range * dir_y);
+        let start = dims.world_to_grid(from);
+        let end = dims.world_to_grid(to);
+        let dx = to.x - from.x;
+        let dy = to.y - from.y;
+
+        let step_x: i32 = if dx > 0.0 { 1 } else { -1 };
+        let step_y: i32 = if dy > 0.0 { 1 } else { -1 };
+
+        // Parametric distance (p = from + t*dir, t ∈ [0,1]) to the
+        // first vertical / horizontal cell border.
+        let fx = (from.x - dims.origin.x) / res - start.col as f64;
+        let fy = (from.y - dims.origin.y) / res - start.row as f64;
+        let mut t_max_x = if dx.abs() < 1e-12 {
+            f64::INFINITY
+        } else if dx > 0.0 {
+            (1.0 - fx) * res / dx.abs()
+        } else {
+            fx * res / dx.abs()
+        };
+        let mut t_max_y = if dy.abs() < 1e-12 {
+            f64::INFINITY
+        } else if dy > 0.0 {
+            (1.0 - fy) * res / dy.abs()
+        } else {
+            fy * res / dy.abs()
+        };
+        let t_delta_x = if dx.abs() < 1e-12 {
+            f64::INFINITY
+        } else {
+            res / dx.abs()
+        };
+        let t_delta_y = if dy.abs() < 1e-12 {
+            f64::INFINITY
+        } else {
+            res / dy.abs()
+        };
+
+        let (w, h) = (dims.width as i32, dims.height as i32);
+        let mut remaining = (start.chebyshev(end) as u32 + 1) * 2 + 4;
+        let mut cur = start;
+        loop {
+            if remaining == 0 {
+                return max_range;
+            }
+            remaining -= 1;
+            // Out of bounds counts as occupied (walls of the universe).
+            let oob = cur.col < 0 || cur.row < 0 || cur.col >= w || cur.row >= h;
+            if oob || self.occ[cur.row as usize * w as usize + cur.col as usize] {
                 // Distance to the hit cell centre, clamped into range.
-                let hit = self.dims.grid_to_world(cell);
-                let d = from.distance(hit);
-                return d.min(max_range);
+                let hit = dims.grid_to_world(cur);
+                return from.distance(hit).min(max_range);
+            }
+            if cur == end {
+                return max_range;
+            }
+            if t_max_x < t_max_y {
+                t_max_x += t_delta_x;
+                cur.col += step_x;
+            } else {
+                t_max_y += t_delta_y;
+                cur.row += step_y;
             }
         }
-        max_range
     }
 
     /// Would a disc of radius `r` centred at `p` collide with any
@@ -118,7 +187,10 @@ impl WorldBuilder {
         let w = (width_m / resolution).round() as u32;
         let h = (height_m / resolution).round() as u32;
         let dims = GridDims::new(w, h, resolution, Point2::ORIGIN);
-        WorldBuilder { dims, occ: vec![false; dims.len()] }
+        WorldBuilder {
+            dims,
+            occ: vec![false; dims.len()],
+        }
     }
 
     /// Surround the world with solid boundary walls.
@@ -149,8 +221,12 @@ impl WorldBuilder {
 
     /// Fill a disc (world metres) with solid cells.
     pub fn disc(mut self, centre: Point2, radius: f64) -> Self {
-        let lo = self.dims.world_to_grid(Point2::new(centre.x - radius, centre.y - radius));
-        let hi = self.dims.world_to_grid(Point2::new(centre.x + radius, centre.y + radius));
+        let lo = self
+            .dims
+            .world_to_grid(Point2::new(centre.x - radius, centre.y - radius));
+        let hi = self
+            .dims
+            .world_to_grid(Point2::new(centre.x + radius, centre.y + radius));
         for row in lo.row..=hi.row {
             for col in lo.col..=hi.col {
                 let idx = GridIndex::new(col, row);
@@ -185,7 +261,10 @@ impl WorldBuilder {
 
     /// Finish building.
     pub fn build(self) -> World {
-        World { dims: self.dims, occ: self.occ }
+        World {
+            dims: self.dims,
+            occ: self.occ,
+        }
     }
 }
 
@@ -236,7 +315,9 @@ mod tests {
 
     #[test]
     fn disc_obstacle_marks_cells() {
-        let w = WorldBuilder::new(10.0, 8.0, 0.1).disc(Point2::new(5.0, 4.0), 0.5).build();
+        let w = WorldBuilder::new(10.0, 8.0, 0.1)
+            .disc(Point2::new(5.0, 4.0), 0.5)
+            .build();
         assert!(w.occupied_at(Point2::new(5.0, 4.0)));
         assert!(w.occupied_at(Point2::new(5.4, 4.0)));
         assert!(!w.occupied_at(Point2::new(5.7, 4.0)));

@@ -62,7 +62,10 @@ pub struct Floorplan {
 
 /// Generate a floorplan from a seed.
 pub fn generate(cfg: &FloorplanConfig, seed: u64) -> Floorplan {
-    assert!(cfg.rooms_x >= 1 && cfg.rooms_y >= 1, "need at least one room");
+    assert!(
+        cfg.rooms_x >= 1 && cfg.rooms_y >= 1,
+        "need at least one room"
+    );
     assert!(cfg.door < cfg.room_size, "door must fit in a wall");
     let mut rng = SimRng::seed_from_u64(seed);
     let (nx, ny) = (cfg.rooms_x as usize, cfg.rooms_y as usize);
@@ -75,11 +78,17 @@ pub fn generate(cfg: &FloorplanConfig, seed: u64) -> Floorplan {
     // Interior walls between every pair of adjacent rooms.
     for i in 1..nx {
         let x = i as f64 * cfg.room_size;
-        b = b.rect(Point2::new(x - cfg.wall / 2.0, 0.0), Point2::new(x + cfg.wall / 2.0, h_m));
+        b = b.rect(
+            Point2::new(x - cfg.wall / 2.0, 0.0),
+            Point2::new(x + cfg.wall / 2.0, h_m),
+        );
     }
     for j in 1..ny {
         let y = j as f64 * cfg.room_size;
-        b = b.rect(Point2::new(0.0, y - cfg.wall / 2.0), Point2::new(w_m, y + cfg.wall / 2.0));
+        b = b.rect(
+            Point2::new(0.0, y - cfg.wall / 2.0),
+            Point2::new(w_m, y + cfg.wall / 2.0),
+        );
     }
 
     // Spanning tree over the room grid (randomized DFS) — each tree
@@ -119,8 +128,10 @@ pub fn generate(cfg: &FloorplanConfig, seed: u64) -> Floorplan {
     for j in 0..ny {
         for i in 0..nx {
             let cur = j * nx + i;
-            for &other in &[if i + 1 < nx { Some(cur + 1) } else { None },
-                            if j + 1 < ny { Some(cur + nx) } else { None }] {
+            for &other in &[
+                if i + 1 < nx { Some(cur + 1) } else { None },
+                if j + 1 < ny { Some(cur + nx) } else { None },
+            ] {
                 if let Some(other) = other {
                     let in_tree = tree_edges
                         .iter()
@@ -141,8 +152,7 @@ pub fn generate(cfg: &FloorplanConfig, seed: u64) -> Floorplan {
         if ay == cy2 {
             // Vertical wall between horizontally adjacent rooms.
             let x = ax.max(cx2) as f64 * cfg.room_size;
-            let yc = ay as f64 * cfg.room_size
-                + rng.uniform_range(margin, cfg.room_size - margin);
+            let yc = ay as f64 * cfg.room_size + rng.uniform_range(margin, cfg.room_size - margin);
             b = b.carve(
                 Point2::new(x - cfg.wall, yc - cfg.door / 2.0),
                 Point2::new(x + cfg.wall, yc + cfg.door / 2.0),
@@ -150,8 +160,7 @@ pub fn generate(cfg: &FloorplanConfig, seed: u64) -> Floorplan {
         } else {
             // Horizontal wall between vertically adjacent rooms.
             let y = ay.max(cy2) as f64 * cfg.room_size;
-            let xc = ax as f64 * cfg.room_size
-                + rng.uniform_range(margin, cfg.room_size - margin);
+            let xc = ax as f64 * cfg.room_size + rng.uniform_range(margin, cfg.room_size - margin);
             b = b.carve(
                 Point2::new(xc - cfg.door / 2.0, y - cfg.wall),
                 Point2::new(xc + cfg.door / 2.0, y + cfg.wall),
@@ -173,19 +182,16 @@ pub fn generate(cfg: &FloorplanConfig, seed: u64) -> Floorplan {
                 let r = rng.uniform_range(0.15, 0.35);
                 // Rejection-sample a spot away from the centre and walls.
                 for _ in 0..10 {
-                    let px = (i as f64) * cfg.room_size
-                        + rng.uniform_range(0.8, cfg.room_size - 0.8);
-                    let py = (j as f64) * cfg.room_size
-                        + rng.uniform_range(0.8, cfg.room_size - 0.8);
+                    let px =
+                        (i as f64) * cfg.room_size + rng.uniform_range(0.8, cfg.room_size - 0.8);
+                    let py =
+                        (j as f64) * cfg.room_size + rng.uniform_range(0.8, cfg.room_size - 0.8);
                     let p = Point2::new(px, py);
                     if p.distance(centre) > r + 0.6 {
                         b = if rng.chance(0.5) {
                             b.disc(p, r)
                         } else {
-                            b.rect(
-                                Point2::new(p.x - r, p.y - r),
-                                Point2::new(p.x + r, p.y + r),
-                            )
+                            b.rect(Point2::new(p.x - r, p.y - r), Point2::new(p.x + r, p.y + r))
                         };
                         break;
                     }
@@ -197,7 +203,12 @@ pub fn generate(cfg: &FloorplanConfig, seed: u64) -> Floorplan {
     let world = b.build();
     let start = Pose2D::new(room_centres[0].x, room_centres[0].y, 0.0);
     let goal = room_centres[n - 1];
-    Floorplan { world, room_centres, start, goal }
+    Floorplan {
+        world,
+        room_centres,
+        start,
+        goal,
+    }
 }
 
 #[cfg(test)]
@@ -235,7 +246,10 @@ mod tests {
         let cfg = FloorplanConfig::default();
         let a = generate(&cfg, 7);
         let b = generate(&cfg, 7);
-        assert_eq!(a.world.to_map_msg(SimTime::EPOCH).cells, b.world.to_map_msg(SimTime::EPOCH).cells);
+        assert_eq!(
+            a.world.to_map_msg(SimTime::EPOCH).cells,
+            b.world.to_map_msg(SimTime::EPOCH).cells
+        );
         assert_eq!(a.room_centres, b.room_centres);
     }
 
@@ -250,7 +264,10 @@ mod tests {
     #[test]
     fn all_rooms_are_reachable() {
         // The spanning tree guarantees it; verify across seeds.
-        let cfg = FloorplanConfig { extra_door_prob: 0.0, ..Default::default() };
+        let cfg = FloorplanConfig {
+            extra_door_prob: 0.0,
+            ..Default::default()
+        };
         for seed in 0..8 {
             let f = generate(&cfg, seed);
             for centre in &f.room_centres {
@@ -267,7 +284,10 @@ mod tests {
         let cfg = FloorplanConfig::default();
         for seed in 0..8 {
             let f = generate(&cfg, seed);
-            assert!(!f.world.collides_disc(f.start.position(), 0.2), "seed {seed}");
+            assert!(
+                !f.world.collides_disc(f.start.position(), 0.2),
+                "seed {seed}"
+            );
             assert!(!f.world.collides_disc(f.goal, 0.2), "seed {seed}");
             assert!(f.start.position().distance(f.goal) > cfg.room_size);
         }
@@ -275,7 +295,11 @@ mod tests {
 
     #[test]
     fn room_count_matches_config() {
-        let cfg = FloorplanConfig { rooms_x: 4, rooms_y: 3, ..Default::default() };
+        let cfg = FloorplanConfig {
+            rooms_x: 4,
+            rooms_y: 3,
+            ..Default::default()
+        };
         let f = generate(&cfg, 3);
         assert_eq!(f.room_centres.len(), 12);
         let (w, h) = f.world.dims().world_size();
@@ -285,7 +309,11 @@ mod tests {
 
     #[test]
     fn single_room_degenerates_gracefully() {
-        let cfg = FloorplanConfig { rooms_x: 1, rooms_y: 1, ..Default::default() };
+        let cfg = FloorplanConfig {
+            rooms_x: 1,
+            rooms_y: 1,
+            ..Default::default()
+        };
         let f = generate(&cfg, 5);
         assert_eq!(f.room_centres.len(), 1);
         assert!(!f.world.collides_disc(f.start.position(), 0.2));

@@ -19,7 +19,11 @@ fn stationary_minute_is_exactly_the_hotel_load() {
     let dt = Duration::from_millis(100);
     for _ in 0..600 {
         ledger.add_power(Component::Sensor, profile.max_power.sensor, dt);
-        ledger.add_power(Component::Microcontroller, profile.max_power.microcontroller, dt);
+        ledger.add_power(
+            Component::Microcontroller,
+            profile.max_power.microcontroller,
+            dt,
+        );
         ledger.add_power(Component::EmbeddedComputer, ec.idle_w, dt);
         ledger.add_power(Component::Motor, motor.power(0.0, 0.0), dt);
     }
@@ -111,7 +115,10 @@ fn offloading_saves_exactly_the_migrated_cycles() {
     let mut local = EnergyLedger::new();
     local.add(Component::EmbeddedComputer, ec.dynamic_energy(total_cycles));
     let mut offloaded = EnergyLedger::new();
-    offloaded.add(Component::EmbeddedComputer, ec.dynamic_energy(total_cycles - migrated));
+    offloaded.add(
+        Component::EmbeddedComputer,
+        ec.dynamic_energy(total_cycles - migrated),
+    );
 
     let saved = local.total_joules() - offloaded.total_joules();
     assert!((saved - ec.dynamic_energy(migrated)).abs() < 1e-9);

@@ -32,7 +32,11 @@ pub struct OccupancyGrid {
 impl OccupancyGrid {
     /// Fresh all-unknown grid.
     pub fn new(dims: GridDims) -> Self {
-        OccupancyGrid { dims, logodds: vec![0.0; dims.len()], observed: 0 }
+        OccupancyGrid {
+            dims,
+            logodds: vec![0.0; dims.len()],
+            observed: 0,
+        }
     }
 
     /// Grid geometry.
@@ -127,7 +131,11 @@ impl OccupancyGrid {
                 }
             })
             .collect();
-        MapMsg { stamp, dims: self.dims, cells }
+        MapMsg {
+            stamp,
+            dims: self.dims,
+            cells,
+        }
     }
 
     /// Build a confident grid directly from a ground-truth map message
@@ -143,7 +151,11 @@ impl OccupancyGrid {
             })
             .collect();
         let observed = msg.cells.iter().filter(|&&c| c != MapMsg::UNKNOWN).count();
-        OccupancyGrid { dims: msg.dims, logodds, observed }
+        OccupancyGrid {
+            dims: msg.dims,
+            logodds,
+            observed,
+        }
     }
 }
 

@@ -24,7 +24,12 @@ pub struct MotionNoise {
 
 impl Default for MotionNoise {
     fn default() -> Self {
-        MotionNoise { alpha1: 0.08, alpha2: 0.02, alpha3: 0.05, alpha4: 0.02 }
+        MotionNoise {
+            alpha1: 0.08,
+            alpha2: 0.02,
+            alpha3: 0.05,
+            alpha4: 0.02,
+        }
     }
 }
 
@@ -50,16 +55,23 @@ impl MotionModel {
     pub fn sample(&self, pose: Pose2D, delta: Pose2D, rng: &mut SimRng) -> Pose2D {
         let trans = (delta.x * delta.x + delta.y * delta.y).sqrt();
         // Decompose into rot1 → trans → rot2.
-        let rot1 = if trans < 1e-6 { 0.0 } else { delta.y.atan2(delta.x) };
+        let rot1 = if trans < 1e-6 {
+            0.0
+        } else {
+            delta.y.atan2(delta.x)
+        };
         let rot2 = normalize_angle(delta.theta - rot1);
 
         let n = &self.noise;
-        let rot1_hat = rot1
-            + rng.gaussian(0.0, (n.alpha1 * rot1.abs() + n.alpha2 * trans).max(1e-9));
+        let rot1_hat =
+            rot1 + rng.gaussian(0.0, (n.alpha1 * rot1.abs() + n.alpha2 * trans).max(1e-9));
         let trans_hat = trans
-            + rng.gaussian(0.0, (n.alpha3 * trans + n.alpha4 * (rot1.abs() + rot2.abs())).max(1e-9));
-        let rot2_hat = rot2
-            + rng.gaussian(0.0, (n.alpha1 * rot2.abs() + n.alpha2 * trans).max(1e-9));
+            + rng.gaussian(
+                0.0,
+                (n.alpha3 * trans + n.alpha4 * (rot1.abs() + rot2.abs())).max(1e-9),
+            );
+        let rot2_hat =
+            rot2 + rng.gaussian(0.0, (n.alpha1 * rot2.abs() + n.alpha2 * trans).max(1e-9));
 
         let theta1 = pose.theta + rot1_hat;
         Pose2D::new(
@@ -98,7 +110,11 @@ mod tests {
             sx += q.x;
             sy += q.y;
         }
-        assert!((sx / n as f64 - 0.5).abs() < 0.01, "mean x {}", sx / n as f64);
+        assert!(
+            (sx / n as f64 - 0.5).abs() < 0.01,
+            "mean x {}",
+            sx / n as f64
+        );
         assert!((sy / n as f64).abs() < 0.05, "mean y {}", sy / n as f64);
     }
 
@@ -120,7 +136,12 @@ mod tests {
     #[test]
     fn motion_composes_in_local_frame() {
         // Facing +y, a forward delta should move the particle in +y.
-        let m = MotionModel::new(MotionNoise { alpha1: 0.0, alpha2: 0.0, alpha3: 0.0, alpha4: 0.0 });
+        let m = MotionModel::new(MotionNoise {
+            alpha1: 0.0,
+            alpha2: 0.0,
+            alpha3: 0.0,
+            alpha4: 0.0,
+        });
         let mut rng = SimRng::seed_from_u64(4);
         let p = Pose2D::new(0.0, 0.0, std::f64::consts::FRAC_PI_2);
         let q = m.sample(p, Pose2D::new(0.3, 0.0, 0.0), &mut rng);

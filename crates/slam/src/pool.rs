@@ -17,7 +17,9 @@ pub struct ParallelExecutor {
 impl ParallelExecutor {
     /// Executor using `threads` workers (≥ 1).
     pub fn new(threads: usize) -> Self {
-        ParallelExecutor { threads: threads.max(1) }
+        ParallelExecutor {
+            threads: threads.max(1),
+        }
     }
 
     /// Configured parallelism degree.
@@ -55,7 +57,10 @@ impl ParallelExecutor {
         })
         .expect("worker thread panicked");
 
-        results.into_iter().map(|r| r.expect("all chunks complete")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("all chunks complete"))
+            .collect()
     }
 
     /// Map every item to a value in parallel, preserving order.
@@ -65,7 +70,8 @@ impl ParallelExecutor {
         R: Send,
         F: Fn(&mut T) -> R + Sync,
     {
-        let per_chunk = self.run_chunks(items, |chunk| chunk.iter_mut().map(&f).collect::<Vec<R>>());
+        let per_chunk =
+            self.run_chunks(items, |chunk| chunk.iter_mut().map(&f).collect::<Vec<R>>());
         per_chunk.into_iter().flatten().collect()
     }
 }

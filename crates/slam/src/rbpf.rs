@@ -19,7 +19,7 @@
 use crate::map::OccupancyGrid;
 use crate::motion::{MotionModel, MotionNoise};
 use crate::pool::ParallelExecutor;
-use crate::scan_match::{ScanMatcher, ScanMatcherConfig};
+use crate::scan_match::{ScanCache, ScanMatcher, ScanMatcherConfig};
 use lgv_types::prelude::*;
 use lgv_types::rng::low_variance_resample;
 
@@ -194,15 +194,20 @@ impl GMapping {
         meter.serial_ops(m as u64, cost::CYCLES_PER_MOTION_SAMPLE);
 
         // 2. Parallel scanMatch + map integration (Fig. 6: each thread
-        //    handles M/N particles).
+        //    handles M/N particles). The scan-dependent part of the
+        //    matcher's inner loop (hit filtering, skip stride, beam
+        //    trig) is hoisted into a ScanCache built once per scan and
+        //    shared read-only across all particle threads.
         let matcher = &self.matcher;
+        let cache = ScanCache::new(scan, self.cfg.matcher.beam_skip);
+        let cache = &cache;
         let gain = self.cfg.score_gain;
         let chunk_stats = self.executor.run_chunks(&mut self.particles, |chunk| {
             let mut beam_evals = 0u64;
             let mut map_cycles = 0.0f64;
             let mut best_local = f64::NEG_INFINITY;
             for p in chunk.iter_mut() {
-                let r = matcher.optimize(&p.map, p.pose, scan);
+                let r = matcher.optimize_cached(&p.map, p.pose, cache);
                 p.pose = r.pose;
                 p.log_weight += r.score * gain;
                 best_local = best_local.max(r.score);
@@ -215,8 +220,11 @@ impl GMapping {
         });
         let total_evals: u64 = chunk_stats.iter().map(|c| c.0).sum();
         let total_map_cycles: f64 = chunk_stats.iter().map(|c| c.1).sum();
-        let best_score =
-            chunk_stats.iter().map(|c| c.2).fold(f64::NEG_INFINITY, f64::max).max(0.0);
+        let best_score = chunk_stats
+            .iter()
+            .map(|c| c.2)
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(0.0);
         meter.parallel_ops(total_evals, cost::CYCLES_PER_BEAM_EVAL, m as u32);
         meter.parallel_ops(1, total_map_cycles, m as u32);
 
@@ -243,7 +251,11 @@ impl GMapping {
 
         let confidence = (neff / m as f64).clamp(0.0, 1.0);
         SlamOutput {
-            pose: PoseEstimate { stamp: scan.stamp, pose: self.best_pose(), confidence },
+            pose: PoseEstimate {
+                stamp: scan.stamp,
+                pose: self.best_pose(),
+                confidence,
+            },
             work: meter.finish(),
             neff,
             resampled,
@@ -254,10 +266,16 @@ impl GMapping {
     /// Normalize log-weights into linear weights; returns the weights
     /// and the effective sample size `N_eff = 1 / Σ wᵢ²`.
     fn update_tree_weights(&mut self) -> (Vec<f64>, f64) {
-        let max_lw =
-            self.particles.iter().map(|p| p.log_weight).fold(f64::NEG_INFINITY, f64::max);
-        let mut weights: Vec<f64> =
-            self.particles.iter().map(|p| (p.log_weight - max_lw).exp()).collect();
+        let max_lw = self
+            .particles
+            .iter()
+            .map(|p| p.log_weight)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut weights: Vec<f64> = self
+            .particles
+            .iter()
+            .map(|p| (p.log_weight - max_lw).exp())
+            .collect();
         let sum: f64 = weights.iter().sum();
         if sum <= 0.0 || !sum.is_finite() {
             let u = 1.0 / weights.len() as f64;
@@ -367,8 +385,11 @@ mod tests {
 
     #[test]
     fn first_update_builds_a_map() {
-        let mut slam =
-            GMapping::new(small_cfg(5, 1), Pose2D::new(4.0, 4.0, 0.0), SimRng::seed_from_u64(1));
+        let mut slam = GMapping::new(
+            small_cfg(5, 1),
+            Pose2D::new(4.0, 4.0, 0.0),
+            SimRng::seed_from_u64(1),
+        );
         let out = slam.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0));
         assert_eq!(slam.scans_processed, 1);
         assert!(out.work.total_cycles() > 0.0);
@@ -391,8 +412,11 @@ mod tests {
     #[test]
     fn tracks_odometry_motion() {
         // The robot steps forward 5 cm per scan; SLAM should follow.
-        let mut slam =
-            GMapping::new(small_cfg(10, 1), Pose2D::new(3.0, 4.0, 0.0), SimRng::seed_from_u64(3));
+        let mut slam = GMapping::new(
+            small_cfg(10, 1),
+            Pose2D::new(3.0, 4.0, 0.0),
+            SimRng::seed_from_u64(3),
+        );
         let mut pose = Pose2D::new(3.0, 4.0, 0.0);
         for k in 0..10 {
             slam.process(&odom_at(k * 200, pose), &room_scan(k * 200, pose));
@@ -428,14 +452,22 @@ mod tests {
 
     #[test]
     fn work_scales_with_particles() {
-        let mut small =
-            GMapping::new(small_cfg(5, 1), Pose2D::new(4.0, 4.0, 0.0), SimRng::seed_from_u64(4));
-        let mut large =
-            GMapping::new(small_cfg(20, 1), Pose2D::new(4.0, 4.0, 0.0), SimRng::seed_from_u64(4));
-        let w_small =
-            small.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0)).work;
-        let w_large =
-            large.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0)).work;
+        let mut small = GMapping::new(
+            small_cfg(5, 1),
+            Pose2D::new(4.0, 4.0, 0.0),
+            SimRng::seed_from_u64(4),
+        );
+        let mut large = GMapping::new(
+            small_cfg(20, 1),
+            Pose2D::new(4.0, 4.0, 0.0),
+            SimRng::seed_from_u64(4),
+        );
+        let w_small = small
+            .process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0))
+            .work;
+        let w_large = large
+            .process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0))
+            .work;
         let ratio = w_large.parallel_cycles / w_small.parallel_cycles;
         assert!((3.0..5.5).contains(&ratio), "ratio {ratio} should be ≈ 4");
         assert_eq!(w_large.parallel_items, 20);
@@ -443,14 +475,20 @@ mod tests {
 
     #[test]
     fn neff_stays_within_bounds_and_resampling_fires_eventually() {
-        let cfg = SlamConfig { score_gain: 0.3, ..small_cfg(12, 1) };
-        let mut slam =
-            GMapping::new(cfg, Pose2D::new(3.0, 4.0, 0.0), SimRng::seed_from_u64(5));
+        let cfg = SlamConfig {
+            score_gain: 0.3,
+            ..small_cfg(12, 1)
+        };
+        let mut slam = GMapping::new(cfg, Pose2D::new(3.0, 4.0, 0.0), SimRng::seed_from_u64(5));
         let mut pose = Pose2D::new(3.0, 4.0, 0.0);
         let mut any_resample = false;
         for k in 0..30 {
             let out = slam.process(&odom_at(k * 200, pose), &room_scan(k * 200, pose));
-            assert!(out.neff >= 1.0 - 1e-9 && out.neff <= 12.0 + 1e-9, "neff {}", out.neff);
+            assert!(
+                out.neff >= 1.0 - 1e-9 && out.neff <= 12.0 + 1e-9,
+                "neff {}",
+                out.neff
+            );
             any_resample |= out.resampled;
             pose = Pose2D::new(pose.x + 0.05, pose.y, 0.0);
         }
@@ -460,16 +498,22 @@ mod tests {
 
     #[test]
     fn confidence_tracks_neff() {
-        let mut slam =
-            GMapping::new(small_cfg(10, 1), Pose2D::new(4.0, 4.0, 0.0), SimRng::seed_from_u64(6));
+        let mut slam = GMapping::new(
+            small_cfg(10, 1),
+            Pose2D::new(4.0, 4.0, 0.0),
+            SimRng::seed_from_u64(6),
+        );
         let out = slam.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0));
         assert!((0.0..=1.0).contains(&out.pose.confidence));
     }
 
     #[test]
     fn set_threads_changes_executor() {
-        let mut slam =
-            GMapping::new(small_cfg(4, 1), Pose2D::new(4.0, 4.0, 0.0), SimRng::seed_from_u64(8));
+        let mut slam = GMapping::new(
+            small_cfg(4, 1),
+            Pose2D::new(4.0, 4.0, 0.0),
+            SimRng::seed_from_u64(8),
+        );
         slam.set_threads(8);
         // Still functions after the switch.
         let out = slam.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0));

@@ -56,6 +56,45 @@ pub struct MatchResult {
     pub beam_evals: u64,
 }
 
+/// Precomputed per-scan data for the matcher's inner loop.
+///
+/// Holds the robot-frame endpoint offset `(r·cos aᵢ, r·sin aᵢ)` of
+/// every used hit beam (with `beam_skip` already applied). Scoring a
+/// candidate pose then reduces to one rotation + translation per beam
+/// — no trig, no re-walking the skip stride, no re-testing `is_hit` —
+/// which matters because `optimize` scores dozens of candidate poses
+/// against the *same* scan, and the particle filter runs that for
+/// every particle. The cache is plain data: build it once per scan and
+/// share it read-only across the scan-match worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct ScanCache {
+    /// Robot-frame endpoint offsets of the used hit beams.
+    offsets: Vec<(f64, f64)>,
+}
+
+impl ScanCache {
+    /// Extract the used hit beams of `scan` at the given skip stride.
+    pub fn new(scan: &LaserScan, beam_skip: usize) -> Self {
+        let skip = beam_skip.max(1);
+        let mut offsets = Vec::with_capacity(scan.len() / skip + 1);
+        let mut i = 0;
+        while i < scan.len() {
+            if scan.is_hit(i) {
+                let r = scan.ranges[i].min(scan.range_max);
+                let (sin_a, cos_a) = scan.beam_angle(i).sin_cos();
+                offsets.push((r * cos_a, r * sin_a));
+            }
+            i += skip;
+        }
+        ScanCache { offsets }
+    }
+
+    /// Number of beams the matcher will evaluate per score call.
+    pub fn used_beams(&self) -> u64 {
+        self.offsets.len() as u64
+    }
+}
+
 /// The matcher.
 #[derive(Debug, Clone, Default)]
 pub struct ScanMatcher {
@@ -76,31 +115,38 @@ impl ScanMatcher {
     /// Likelihood of `scan` observed from `pose` against `map`.
     /// Returns (score, beams_used).
     pub fn score(&self, map: &OccupancyGrid, pose: Pose2D, scan: &LaserScan) -> (f64, u64) {
+        self.score_cached(map, pose, &ScanCache::new(scan, self.cfg.beam_skip))
+    }
+
+    /// [`ScanMatcher::score`] against a prebuilt [`ScanCache`].
+    ///
+    /// This is the 98 %-of-SLAM-time inner loop (§V): each cached
+    /// robot-frame offset is rotated by the candidate heading (one
+    /// `sin_cos` per pose, not per beam) and looked up in the grid.
+    pub fn score_cached(&self, map: &OccupancyGrid, pose: Pose2D, cache: &ScanCache) -> (f64, u64) {
         let mut total = 0.0;
-        let mut used = 0u64;
         let dims = *map.dims();
-        let mut i = 0;
-        while i < scan.len() {
-            if scan.is_hit(i) {
-                used += 1;
-                let endpoint = scan.beam_endpoint(pose, i);
-                let c = dims.world_to_grid(endpoint);
-                if map.is_occupied(c) {
-                    total += 1.0;
-                } else {
-                    // Check the 8-neighbourhood for a near miss.
-                    let near = c.neighbors8().iter().any(|n| map.is_occupied(*n));
-                    if near {
-                        total += 0.55;
-                    } else if map.is_unknown(c) {
-                        // Unknown terrain is weak evidence either way.
-                        total += 0.05;
-                    }
+        let (sin_th, cos_th) = pose.theta.sin_cos();
+        for &(ox, oy) in &cache.offsets {
+            let endpoint = Point2::new(
+                pose.x + ox * cos_th - oy * sin_th,
+                pose.y + ox * sin_th + oy * cos_th,
+            );
+            let c = dims.world_to_grid(endpoint);
+            if map.is_occupied(c) {
+                total += 1.0;
+            } else {
+                // Check the 8-neighbourhood for a near miss.
+                let near = c.neighbors8().iter().any(|n| map.is_occupied(*n));
+                if near {
+                    total += 0.55;
+                } else if map.is_unknown(c) {
+                    // Unknown terrain is weak evidence either way.
+                    total += 0.05;
                 }
             }
-            i += self.cfg.beam_skip.max(1);
         }
-        (total, used)
+        (total, cache.used_beams())
     }
 
     /// Refine `prediction` against `map`. The returned
@@ -111,12 +157,29 @@ impl ScanMatcher {
         prediction: Pose2D,
         scan: &LaserScan,
     ) -> MatchResult {
+        self.optimize_cached(map, prediction, &ScanCache::new(scan, self.cfg.beam_skip))
+    }
+
+    /// [`ScanMatcher::optimize`] against a prebuilt [`ScanCache`] —
+    /// the form the particle filter uses so the cache is built once
+    /// per scan and shared across all particle threads.
+    pub fn optimize_cached(
+        &self,
+        map: &OccupancyGrid,
+        prediction: Pose2D,
+        cache: &ScanCache,
+    ) -> MatchResult {
         let mut evals = 0u64;
         let mut best = prediction;
-        let (mut best_score, used) = self.score(map, best, scan);
+        let (mut best_score, used) = self.score_cached(map, best, cache);
         evals += used;
         if used == 0 {
-            return MatchResult { pose: prediction, score: 0.0, converged: false, beam_evals: evals };
+            return MatchResult {
+                pose: prediction,
+                score: 0.0,
+                converged: false,
+                beam_evals: evals,
+            };
         }
 
         let mut dt = self.cfg.step_trans;
@@ -134,7 +197,7 @@ impl ScanMatcher {
                     Pose2D::new(best.x, best.y, best.theta - dr),
                 ];
                 for cand in candidates {
-                    let (s, u) = self.score(map, cand, scan);
+                    let (s, u) = self.score_cached(map, cand, cache);
                     evals += u;
                     if s > best_score {
                         best_score = s;
@@ -214,7 +277,10 @@ mod tests {
         assert!(r.converged);
         let err = r.pose.distance(pose);
         let pred_err = prediction.distance(pose);
-        assert!(err < pred_err, "optimizer should reduce error: {err} vs {pred_err}");
+        assert!(
+            err < pred_err,
+            "optimizer should reduce error: {err} vs {pred_err}"
+        );
         assert!(err < 0.06, "residual error {err}");
         assert!(r.beam_evals > 0);
     }
@@ -256,8 +322,14 @@ mod tests {
     #[test]
     fn beam_skip_reduces_evals() {
         let (map, scan, pose) = room_map_and_scan();
-        let all = ScanMatcher::new(ScanMatcherConfig { beam_skip: 1, ..Default::default() });
-        let half = ScanMatcher::new(ScanMatcherConfig { beam_skip: 2, ..Default::default() });
+        let all = ScanMatcher::new(ScanMatcherConfig {
+            beam_skip: 1,
+            ..Default::default()
+        });
+        let half = ScanMatcher::new(ScanMatcherConfig {
+            beam_skip: 2,
+            ..Default::default()
+        });
         let (_, used_all) = all.score(&map, pose, &scan);
         let (_, used_half) = half.score(&map, pose, &scan);
         assert!(used_half * 2 <= used_all + 1);

@@ -34,7 +34,13 @@ fn box_scan(pose: Pose2D, beams: usize) -> LaserScan {
             tx.min(ty).min(3.5)
         })
         .collect();
-    LaserScan { stamp: SimTime::EPOCH, angle_min: 0.0, angle_increment: inc, range_max: 3.5, ranges }
+    LaserScan {
+        stamp: SimTime::EPOCH,
+        angle_min: 0.0,
+        angle_increment: inc,
+        range_max: 3.5,
+        ranges,
+    }
 }
 
 proptest! {

@@ -69,8 +69,13 @@ impl Fate {
 
 /// The five waterfall stages of a complete offload journey, in
 /// pipeline order.
-const STAGES: [&str; 5] =
-    ["publish->uplink", "uplink air", "cloud compute", "downlink air", "delivery"];
+const STAGES: [&str; 5] = [
+    "publish->uplink",
+    "uplink air",
+    "cloud compute",
+    "downlink air",
+    "delivery",
+];
 
 /// One reconstructed lineage chain rooted at a fresh publish.
 #[derive(Debug, Clone)]
@@ -253,7 +258,11 @@ impl TraceAnalysis {
                 *span_events.entry(rec.span.0).or_insert(0) += 1;
             }
             match &rec.event {
-                TraceEvent::MissionStart { workload, deployment, seed } => {
+                TraceEvent::MissionStart {
+                    workload,
+                    deployment,
+                    seed,
+                } => {
                     a.workload = workload.clone();
                     a.deployment = deployment.clone();
                     a.seed = *seed;
@@ -264,7 +273,9 @@ impl TraceAnalysis {
                 TraceEvent::SpanBegin { name, .. } if name == "cycle" => {
                     a.cycles += 1;
                 }
-                TraceEvent::BusPublish { topic, msg, parent, .. } if !msg.is_none() => {
+                TraceEvent::BusPublish {
+                    topic, msg, parent, ..
+                } if !msg.is_none() => {
                     msgs.entry(msg.0).or_insert_with(|| {
                         MsgInfo::new(rec.t_ns, topic.clone(), rec.span, *parent)
                     });
@@ -280,7 +291,9 @@ impl TraceAnalysis {
                         m.bus_dropped = true;
                     }
                 }
-                TraceEvent::ChannelSend { dir, outcome, msg, .. } => {
+                TraceEvent::ChannelSend {
+                    dir, outcome, msg, ..
+                } => {
                     match outcome {
                         SendKind::Discarded => {
                             *a.discards.entry(dir.clone()).or_insert(0) += 1;
@@ -292,8 +305,7 @@ impl TraceAnalysis {
                             }
                             // One more silent discard: extend (or open)
                             // the current anomaly window.
-                            let w_start =
-                                rec.t_ns / ANOMALY_WINDOW_NS * ANOMALY_WINDOW_NS;
+                            let w_start = rec.t_ns / ANOMALY_WINDOW_NS * ANOMALY_WINDOW_NS;
                             let fresh = match &window {
                                 Some(w) => w.window_start_ns != w_start,
                                 None => true,
@@ -335,7 +347,12 @@ impl TraceAnalysis {
                         a.faults[i].losses += 1;
                     }
                 }
-                TraceEvent::ChannelDeliver { dir, msg, latency_ns, .. } => {
+                TraceEvent::ChannelDeliver {
+                    dir,
+                    msg,
+                    latency_ns,
+                    ..
+                } => {
                     if let Some(m) = msgs.get_mut(&msg.0) {
                         let slot = if dir == "down" {
                             &mut m.down_deliver
@@ -347,7 +364,12 @@ impl TraceAnalysis {
                         }
                     }
                 }
-                TraceEvent::ProfileSample { remote: true, nanos, msg, .. } => {
+                TraceEvent::ProfileSample {
+                    remote: true,
+                    nanos,
+                    msg,
+                    ..
+                } => {
                     if let Some(m) = msgs.get_mut(&msg.0) {
                         m.compute_ns += nanos;
                     }
@@ -365,7 +387,11 @@ impl TraceAnalysis {
                         }
                     }
                 }
-                TraceEvent::FaultBegin { fault, window, window_ns } => {
+                TraceEvent::FaultBegin {
+                    fault,
+                    window,
+                    window_ns,
+                } => {
                     open_faults.insert(*window, a.faults.len());
                     a.faults.push(FaultSpan {
                         window: *window,
@@ -427,14 +453,12 @@ impl TraceAnalysis {
             let mut chain = vec![root];
             let mut i = 0;
             while i < chain.len() {
-                let kids: Vec<u64> =
-                    msgs[&chain[i]].children.iter().map(|c| c.0).collect();
+                let kids: Vec<u64> = msgs[&chain[i]].children.iter().map(|c| c.0).collect();
                 chain.extend(kids);
                 i += 1;
             }
             let rootinfo = &msgs[&root];
-            let (t0, topic, span) =
-                (rootinfo.t_publish, rootinfo.topic.clone(), rootinfo.span);
+            let (t0, topic, span) = (rootinfo.t_publish, rootinfo.topic.clone(), rootinfo.span);
 
             let mut first_up_send = None;
             let mut up_deliver = None;
@@ -513,7 +537,10 @@ impl TraceAnalysis {
 
     /// Journeys that delivered all the way back to the robot bus.
     pub fn complete_count(&self) -> usize {
-        self.journeys.iter().filter(|j| j.fate == Fate::Delivered).count()
+        self.journeys
+            .iter()
+            .filter(|j| j.fate == Fate::Delivered)
+            .count()
     }
 
     /// Flagged lying-RTT windows.
@@ -561,7 +588,12 @@ impl TraceAnalysis {
             );
         }
         if let Some((ok, reason)) = &self.completed {
-            let _ = writeln!(out, "outcome: {} ({})", if *ok { "completed" } else { "failed" }, reason);
+            let _ = writeln!(
+                out,
+                "outcome: {} ({})",
+                if *ok { "completed" } else { "failed" },
+                reason
+            );
         }
         let _ = writeln!(
             out,
@@ -586,9 +618,15 @@ impl TraceAnalysis {
 
         // ---- waterfall.
         let _ = writeln!(out);
-        let _ = writeln!(out, "--- latency waterfall ({complete} delivered journeys) ---");
+        let _ = writeln!(
+            out,
+            "--- latency waterfall ({complete} delivered journeys) ---"
+        );
         if complete == 0 {
-            let _ = writeln!(out, "(no journey delivered end-to-end; nothing to decompose)");
+            let _ = writeln!(
+                out,
+                "(no journey delivered end-to-end; nothing to decompose)"
+            );
         } else {
             let mut hists: Vec<Histogram> = vec![Histogram::default(); STAGES.len() + 1];
             for j in &self.journeys {
@@ -626,7 +664,10 @@ impl TraceAnalysis {
 
         // ---- critical path.
         let _ = writeln!(out);
-        let _ = writeln!(out, "--- critical path (which stage dominated each delivered journey) ---");
+        let _ = writeln!(
+            out,
+            "--- critical path (which stage dominated each delivered journey) ---"
+        );
         if complete == 0 {
             let _ = writeln!(out, "(no delivered journeys)");
         } else {
@@ -644,8 +685,7 @@ impl TraceAnalysis {
                 } else {
                     dominated[i] as f64 * 100.0 / total as f64
                 };
-                let _ =
-                    writeln!(out, "{:<16} {:>9} {:>6.1}%", name, dominated[i], share);
+                let _ = writeln!(out, "{:<16} {:>9} {:>6.1}%", name, dominated[i], share);
             }
         }
 
@@ -697,7 +737,10 @@ impl TraceAnalysis {
 
         // ---- fault attribution.
         let _ = writeln!(out);
-        let _ = writeln!(out, "--- fault windows (scripted faults and what the trace blames on them) ---");
+        let _ = writeln!(
+            out,
+            "--- fault windows (scripted faults and what the trace blames on them) ---"
+        );
         if self.faults.is_empty() {
             let _ = writeln!(out, "none scripted");
         } else {
@@ -711,7 +754,11 @@ impl TraceAnalysis {
                     w.fault,
                     t0,
                     t0 + dur,
-                    if w.closed { "" } else { "  (still open at trace end)" }
+                    if w.closed {
+                        ""
+                    } else {
+                        "  (still open at trace end)"
+                    }
                 );
                 let _ = writeln!(
                     out,
@@ -730,8 +777,8 @@ impl TraceAnalysis {
                 }
             }
             let blamed: u64 = self.faults.iter().map(|w| w.losses + w.discards).sum();
-            let total: u64 = self.losses.values().sum::<u64>()
-                + self.discards.values().sum::<u64>();
+            let total: u64 =
+                self.losses.values().sum::<u64>() + self.discards.values().sum::<u64>();
             let _ = writeln!(
                 out,
                 "{} of {} dropped/discarded datagrams fell inside a fault window",
@@ -756,7 +803,10 @@ impl TraceAnalysis {
 
         // ---- anomalies.
         let _ = writeln!(out);
-        let _ = writeln!(out, "--- anomalies: lying-RTT windows (rtt healthy while sender discards) ---");
+        let _ = writeln!(
+            out,
+            "--- anomalies: lying-RTT windows (rtt healthy while sender discards) ---"
+        );
         if self.anomalies.is_empty() {
             let _ = writeln!(out, "none detected");
         } else {
@@ -789,7 +839,12 @@ mod tests {
     use super::*;
 
     fn rec(t_ms: u64, seq: u64, span: u64, event: TraceEvent) -> TraceRecord {
-        TraceRecord { t_ns: t_ms * 1_000_000, seq, span: SpanId(span), event }
+        TraceRecord {
+            t_ns: t_ms * 1_000_000,
+            seq,
+            span: SpanId(span),
+            event,
+        }
     }
 
     fn publish(topic: &str, msg: u64, parent: u64) -> TraceEvent {
@@ -807,7 +862,16 @@ mod tests {
     /// robot republish.
     fn complete_journey() -> Vec<TraceRecord> {
         vec![
-            rec(0, 0, 1, TraceEvent::SpanBegin { span: SpanId(1), name: "cycle".into(), index: 0 }),
+            rec(
+                0,
+                0,
+                1,
+                TraceEvent::SpanBegin {
+                    span: SpanId(1),
+                    name: "cycle".into(),
+                    index: 0,
+                },
+            ),
             rec(0, 1, 1, publish("scan", 1, 0)),
             rec(
                 1,
@@ -922,7 +986,16 @@ mod tests {
                     msg: MsgId(2),
                 },
             ),
-            rec(12, 4, 0, TraceEvent::ChannelLoss { dir: "up".into(), seq: 1, msg: MsgId(2) }),
+            rec(
+                12,
+                4,
+                0,
+                TraceEvent::ChannelLoss {
+                    dir: "up".into(),
+                    seq: 1,
+                    msg: MsgId(2),
+                },
+            ),
             rec(20, 5, 0, publish("scan", 3, 0)),
         ];
         records.sort_by_key(|r| r.seq);
@@ -974,7 +1047,14 @@ mod tests {
 
         // Unhealthy RTT (the monitor already sees trouble): not lying.
         let honest = vec![
-            rec(100, 0, 0, TraceEvent::RttSample { rtt_ns: 900_000_000 }),
+            rec(
+                100,
+                0,
+                0,
+                TraceEvent::RttSample {
+                    rtt_ns: 900_000_000,
+                },
+            ),
             discard(1, 1_200, 1),
             discard(2, 1_210, 2),
             discard(3, 1_220, 3),
@@ -983,7 +1063,11 @@ mod tests {
         assert_eq!(TraceAnalysis::from_records(&honest).anomaly_count(), 0);
 
         // No RTT sample at all: nothing to lie.
-        let blind = vec![discard(0, 1_200, 1), discard(1, 1_210, 2), discard(2, 1_220, 3)];
+        let blind = vec![
+            discard(0, 1_200, 1),
+            discard(1, 1_210, 2),
+            discard(2, 1_220, 3),
+        ];
         assert_eq!(TraceAnalysis::from_records(&blind).anomaly_count(), 0);
     }
 
@@ -1009,9 +1093,22 @@ mod tests {
                 1_000,
                 1,
                 0,
-                TraceEvent::FaultBegin { fault: "blackout".into(), window: 0, window_ns: 2_000_000_000 },
+                TraceEvent::FaultBegin {
+                    fault: "blackout".into(),
+                    window: 0,
+                    window_ns: 2_000_000_000,
+                },
             ),
-            rec(1_100, 2, 0, TraceEvent::ChannelLoss { dir: "up".into(), seq: 0, msg: MsgId(0) }),
+            rec(
+                1_100,
+                2,
+                0,
+                TraceEvent::ChannelLoss {
+                    dir: "up".into(),
+                    seq: 0,
+                    msg: MsgId(0),
+                },
+            ),
             rec(
                 1_200,
                 3,
@@ -1024,7 +1121,14 @@ mod tests {
                     msg: MsgId(0),
                 },
             ),
-            rec(1_300, 4, 0, TraceEvent::HeartbeatMiss { silence_ns: 1_600_000_000 }),
+            rec(
+                1_300,
+                4,
+                0,
+                TraceEvent::HeartbeatMiss {
+                    silence_ns: 1_600_000_000,
+                },
+            ),
             rec(
                 1_400,
                 5,
@@ -1039,13 +1143,33 @@ mod tests {
                     net_decision: "to_local".into(),
                 },
             ),
-            rec(3_000, 6, 0, TraceEvent::FaultEnd { fault: "blackout".into(), window: 0 }),
-            rec(3_100, 7, 0, TraceEvent::ChannelLoss { dir: "up".into(), seq: 2, msg: MsgId(0) }),
+            rec(
+                3_000,
+                6,
+                0,
+                TraceEvent::FaultEnd {
+                    fault: "blackout".into(),
+                    window: 0,
+                },
+            ),
+            rec(
+                3_100,
+                7,
+                0,
+                TraceEvent::ChannelLoss {
+                    dir: "up".into(),
+                    seq: 2,
+                    msg: MsgId(0),
+                },
+            ),
             rec(
                 5_000,
                 8,
                 0,
-                TraceEvent::ReoffloadBackoff { wait_ns: 2_000_000_000, failures: 1 },
+                TraceEvent::ReoffloadBackoff {
+                    wait_ns: 2_000_000_000,
+                    failures: 1,
+                },
             ),
         ];
         let a = TraceAnalysis::from_records(&records);

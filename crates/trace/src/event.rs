@@ -386,12 +386,23 @@ impl TraceEvent {
     /// Append this event's fields (past `kind`) to a JSON object body.
     fn write_fields(&self, out: &mut String) {
         match self {
-            TraceEvent::MissionStart { workload, deployment, seed } => {
+            TraceEvent::MissionStart {
+                workload,
+                deployment,
+                seed,
+            } => {
                 field_str(out, "workload", workload);
                 field_str(out, "deployment", deployment);
                 field_u64(out, "seed", *seed);
             }
-            TraceEvent::MissionProgress { x, y, goal_x, goal_y, goal_dist, battery_soc } => {
+            TraceEvent::MissionProgress {
+                x,
+                y,
+                goal_x,
+                goal_y,
+                goal_dist,
+                battery_soc,
+            } => {
                 field_f64(out, "x", *x);
                 field_f64(out, "y", *y);
                 field_f64(out, "goal_x", *goal_x);
@@ -411,7 +422,13 @@ impl TraceEvent {
             TraceEvent::SpanEnd { span } => {
                 field_u64(out, "span_id", span.0);
             }
-            TraceEvent::BusPublish { topic, bytes, fanout, msg, parent } => {
+            TraceEvent::BusPublish {
+                topic,
+                bytes,
+                fanout,
+                msg,
+                parent,
+            } => {
                 field_str(out, "topic", topic);
                 field_u64(out, "bytes", *bytes);
                 field_u64(out, "fanout", u64::from(*fanout));
@@ -422,7 +439,13 @@ impl TraceEvent {
                 field_str(out, "topic", topic);
                 field_u64(out, "msg", msg.0);
             }
-            TraceEvent::ChannelSend { dir, seq, bytes, outcome, msg } => {
+            TraceEvent::ChannelSend {
+                dir,
+                seq,
+                bytes,
+                outcome,
+                msg,
+            } => {
                 field_str(out, "dir", dir);
                 field_u64(out, "seq", *seq);
                 field_u64(out, "bytes", *bytes);
@@ -434,7 +457,12 @@ impl TraceEvent {
                 field_u64(out, "seq", *seq);
                 field_u64(out, "msg", msg.0);
             }
-            TraceEvent::ChannelDeliver { dir, seq, msg, latency_ns } => {
+            TraceEvent::ChannelDeliver {
+                dir,
+                seq,
+                msg,
+                latency_ns,
+            } => {
                 field_str(out, "dir", dir);
                 field_u64(out, "seq", *seq);
                 field_u64(out, "msg", msg.0);
@@ -443,7 +471,12 @@ impl TraceEvent {
             TraceEvent::RttSample { rtt_ns } => {
                 field_u64(out, "rtt_ns", *rtt_ns);
             }
-            TraceEvent::ProfileSample { node, remote, nanos, msg } => {
+            TraceEvent::ProfileSample {
+                node,
+                remote,
+                nanos,
+                msg,
+            } => {
                 field_str(out, "node", node);
                 field_bool(out, "remote", *remote);
                 field_u64(out, "nanos", *nanos);
@@ -480,12 +513,19 @@ impl TraceEvent {
             TraceEvent::MigrationStart { bytes } => {
                 field_u64(out, "bytes", *bytes);
             }
-            TraceEvent::MigrationCommit { elapsed_ns, attempts } => {
+            TraceEvent::MigrationCommit {
+                elapsed_ns,
+                attempts,
+            } => {
                 field_u64(out, "elapsed_ns", *elapsed_ns);
                 field_u64(out, "attempts", *attempts);
             }
             TraceEvent::MigrationAbort => {}
-            TraceEvent::FaultBegin { fault, window, window_ns } => {
+            TraceEvent::FaultBegin {
+                fault,
+                window,
+                window_ns,
+            } => {
                 field_str(out, "fault", fault);
                 field_u64(out, "window", *window);
                 field_u64(out, "window_ns", *window_ns);
@@ -544,7 +584,11 @@ impl TraceRecord {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(96);
         out.push('{');
-        let _ = write!(out, "\"t_ns\":{},\"seq\":{},\"span\":{}", self.t_ns, self.seq, self.span.0);
+        let _ = write!(
+            out,
+            "\"t_ns\":{},\"seq\":{},\"span\":{}",
+            self.t_ns, self.seq, self.span.0
+        );
         field_str(&mut out, "kind", self.event.kind());
         self.event.write_fields(&mut out);
         out.push('}');
@@ -601,7 +645,11 @@ mod tests {
                 deployment: "edge-8t".into(),
                 seed: 42,
             },
-            TraceEvent::SpanBegin { span: SpanId(1), name: "cycle".into(), index: 0 },
+            TraceEvent::SpanBegin {
+                span: SpanId(1),
+                name: "cycle".into(),
+                index: 0,
+            },
             TraceEvent::SpanEnd { span: SpanId(1) },
             TraceEvent::BusPublish {
                 topic: "scan".into(),
@@ -617,9 +665,19 @@ mod tests {
                 outcome: SendKind::Transmitted,
                 msg: MsgId(1),
             },
-            TraceEvent::ChannelDeliver { dir: "up".into(), seq: 0, msg: MsgId(1), latency_ns: 5 },
+            TraceEvent::ChannelDeliver {
+                dir: "up".into(),
+                seq: 0,
+                msg: MsgId(1),
+                latency_ns: 5,
+            },
             TraceEvent::RttSample { rtt_ns: 1 },
-            TraceEvent::ProfileSample { node: "Slam".into(), remote: true, nanos: 7, msg: MsgId(1) },
+            TraceEvent::ProfileSample {
+                node: "Slam".into(),
+                remote: true,
+                nanos: 7,
+                msg: MsgId(1),
+            },
             TraceEvent::ControlDecision {
                 local_vdp_ns: 1,
                 cloud_vdp_ns: 2,
@@ -629,8 +687,14 @@ mod tests {
                 max_linear: 0.6,
                 net_decision: "keep".into(),
             },
-            TraceEvent::GovernorDecision { mean_gap: 0.2, threads: 8 },
-            TraceEvent::EnergyDelta { component: "motor".into(), joules: 0.5 },
+            TraceEvent::GovernorDecision {
+                mean_gap: 0.2,
+                threads: 8,
+            },
+            TraceEvent::EnergyDelta {
+                component: "motor".into(),
+                joules: 0.5,
+            },
             TraceEvent::MigrationAbort,
         ];
         for e in &events {
@@ -662,22 +726,35 @@ mod tests {
             t_ns: 1,
             seq: 2,
             span: SpanId::NONE,
-            event: TraceEvent::EnergyDelta { component: "motor".into(), joules: 0.1 },
+            event: TraceEvent::EnergyDelta {
+                component: "motor".into(),
+                joules: 0.1,
+            },
         };
         assert!(rec.to_json().contains("\"joules\":0.1"));
         let bad = TraceRecord {
             t_ns: 1,
             seq: 3,
             span: SpanId::NONE,
-            event: TraceEvent::EnergyDelta { component: "motor".into(), joules: f64::NAN },
+            event: TraceEvent::EnergyDelta {
+                component: "motor".into(),
+                joules: f64::NAN,
+            },
         };
         assert!(bad.to_json().contains("\"joules\":null"));
     }
 
     #[test]
     fn unit_variant_encodes_without_fields() {
-        let rec =
-            TraceRecord { t_ns: 9, seq: 1, span: SpanId(2), event: TraceEvent::MigrationAbort };
-        assert_eq!(rec.to_json(), r#"{"t_ns":9,"seq":1,"span":2,"kind":"migration_abort"}"#);
+        let rec = TraceRecord {
+            t_ns: 9,
+            seq: 1,
+            span: SpanId(2),
+            event: TraceEvent::MigrationAbort,
+        };
+        assert_eq!(
+            rec.to_json(),
+            r#"{"t_ns":9,"seq":1,"span":2,"kind":"migration_abort"}"#
+        );
     }
 }

@@ -162,7 +162,9 @@ impl Tracer {
 
     /// The current virtual time (0 when disabled).
     pub fn time_ns(&self) -> u64 {
-        self.inner.as_ref().map_or(0, |i| i.clock_ns.load(Ordering::Relaxed))
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.clock_ns.load(Ordering::Relaxed))
     }
 
     /// Emit an event stamped with the shared clock.
@@ -201,7 +203,12 @@ impl Tracer {
         let inner = self.inner.as_ref().expect("checked by callers");
         let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
         let span = SpanId(inner.current_span.load(Ordering::Relaxed));
-        let rec = TraceRecord { t_ns, seq, span, event };
+        let rec = TraceRecord {
+            t_ns,
+            seq,
+            span,
+            event,
+        };
         for sink in inner.sinks.lock().unwrap().iter() {
             sink.lock().unwrap().record(&rec);
         }
@@ -225,7 +232,11 @@ impl Tracer {
             Some(inner) => {
                 let span = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
                 inner.current_span.store(span.0, Ordering::Relaxed);
-                self.emit(TraceEvent::SpanBegin { span, name: name.to_string(), index });
+                self.emit(TraceEvent::SpanBegin {
+                    span,
+                    name: name.to_string(),
+                    index,
+                });
                 span
             }
             None => SpanId::NONE,
@@ -244,7 +255,9 @@ impl Tracer {
 
     /// The span currently open ([`SpanId::NONE`] when none/disabled).
     pub fn current_span(&self) -> SpanId {
-        self.inner.as_ref().map_or(SpanId::NONE, |i| SpanId(i.current_span.load(Ordering::Relaxed)))
+        self.inner.as_ref().map_or(SpanId::NONE, |i| {
+            SpanId(i.current_span.load(Ordering::Relaxed))
+        })
     }
 
     /// Flush every attached sink.
@@ -314,7 +327,10 @@ mod tests {
         t.emit(TraceEvent::MigrationAbort); // outside again
         let ring = ring.lock().unwrap();
         let spans: Vec<_> = ring.records().map(|r| r.span).collect();
-        assert_eq!(spans, vec![SpanId(0), SpanId(1), SpanId(1), SpanId(1), SpanId(0)]);
+        assert_eq!(
+            spans,
+            vec![SpanId(0), SpanId(1), SpanId(1), SpanId(1), SpanId(0)]
+        );
 
         let off = Tracer::disabled();
         assert_eq!(off.alloc_msg(), MsgId::NONE);

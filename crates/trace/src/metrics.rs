@@ -156,7 +156,10 @@ impl MetricsRegistry {
 
     /// Fold a value into a histogram.
     pub fn observe(&mut self, name: &str, v: f64) {
-        self.histograms.entry(name.to_string()).or_default().observe(v);
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
     }
 
     /// Current counter value (0 if never incremented).
@@ -216,7 +219,9 @@ impl TraceSink for MetricsRegistry {
             TraceEvent::ChannelLoss { dir, .. } => {
                 self.inc_by(&format!("channel.{dir}.radio_loss"), 1)
             }
-            TraceEvent::ChannelDeliver { dir, latency_ns, .. } => {
+            TraceEvent::ChannelDeliver {
+                dir, latency_ns, ..
+            } => {
                 self.inc_by(&format!("channel.{dir}.delivered"), 1);
                 self.observe(&format!("latency_ms.{dir}"), *latency_ns as f64 / 1e6);
             }
@@ -226,7 +231,11 @@ impl TraceSink for MetricsRegistry {
             TraceEvent::ProfileSample { node, nanos, .. } => {
                 self.observe(&format!("proc_ms.{node}"), *nanos as f64 / 1e6);
             }
-            TraceEvent::ControlDecision { bandwidth, max_linear, .. } => {
+            TraceEvent::ControlDecision {
+                bandwidth,
+                max_linear,
+                ..
+            } => {
                 self.set_gauge("control.bandwidth", *bandwidth);
                 self.set_gauge("control.max_linear", *max_linear);
             }
@@ -301,7 +310,12 @@ mod tests {
         use crate::event::SendKind;
         use crate::span::{MsgId, SpanId};
         let mut m = MetricsRegistry::new();
-        let mk = |seq, event| TraceRecord { t_ns: 0, seq, span: SpanId::NONE, event };
+        let mk = |seq, event| TraceRecord {
+            t_ns: 0,
+            seq,
+            span: SpanId::NONE,
+            event,
+        };
         m.record(&mk(0, TraceEvent::RttSample { rtt_ns: 2_000_000 }));
         m.record(&mk(
             1,
@@ -313,10 +327,21 @@ mod tests {
                 msg: MsgId(1),
             },
         ));
-        m.record(&mk(2, TraceEvent::BusDrop { topic: "scan".into(), msg: MsgId(1) }));
+        m.record(&mk(
+            2,
+            TraceEvent::BusDrop {
+                topic: "scan".into(),
+                msg: MsgId(1),
+            },
+        ));
         m.record(&mk(
             3,
-            TraceEvent::ChannelDeliver { dir: "up".into(), seq: 1, msg: MsgId(2), latency_ns: 3_000_000 },
+            TraceEvent::ChannelDeliver {
+                dir: "up".into(),
+                seq: 1,
+                msg: MsgId(2),
+                latency_ns: 3_000_000,
+            },
         ));
         assert_eq!(m.counter("events.rtt_sample"), 1);
         assert_eq!(m.counter("channel.up.discarded"), 1);

@@ -42,7 +42,11 @@ impl fmt::Display for ParseError {
         if self.line_no == 0 {
             write!(f, "trace parse error: {}", self.msg)
         } else {
-            write!(f, "trace parse error at line {}: {}", self.line_no, self.msg)
+            write!(
+                f,
+                "trace parse error at line {}: {}",
+                self.line_no, self.msg
+            )
         }
     }
 }
@@ -78,7 +82,10 @@ impl Obj {
             .iter()
             .position(|(k, _)| k == "kind")
             .ok_or_else(|| "missing field `kind`".to_string())?;
-        Ok(Obj { skip: at + 1, ..self })
+        Ok(Obj {
+            skip: at + 1,
+            ..self
+        })
     }
 
     fn get(&self, name: &str) -> Result<&Value, String> {
@@ -92,7 +99,9 @@ impl Obj {
     fn u64(&self, name: &str) -> Result<u64, String> {
         match self.get(name)? {
             Value::U64(v) => Ok(*v),
-            other => Err(format!("field `{name}`: expected unsigned integer, got {other:?}")),
+            other => Err(format!(
+                "field `{name}`: expected unsigned integer, got {other:?}"
+            )),
         }
     }
 
@@ -217,7 +226,9 @@ impl<'a> Scanner<'a> {
         let mut code = 0u32;
         for _ in 0..4 {
             let c = self.bump().ok_or("truncated \\u escape")?;
-            code = code * 16 + c.to_digit(16).ok_or_else(|| format!("bad hex digit `{c}`"))?;
+            code = code * 16
+                + c.to_digit(16)
+                    .ok_or_else(|| format!("bad hex digit `{c}`"))?;
         }
         Ok(code)
     }
@@ -245,9 +256,15 @@ impl<'a> Scanner<'a> {
         let (token, rest) = self.rest.split_at(len);
         self.rest = rest;
         if token.contains(['.', 'e', 'E']) || token.starts_with('-') {
-            token.parse::<f64>().map(Value::F64).map_err(|e| format!("bad number `{token}`: {e}"))
+            token
+                .parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| format!("bad number `{token}`: {e}"))
         } else {
-            token.parse::<u64>().map(Value::U64).map_err(|e| format!("bad integer `{token}`: {e}"))
+            token
+                .parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| format!("bad integer `{token}`: {e}"))
         }
     }
 
@@ -310,7 +327,9 @@ fn event_from(kind: &str, obj: &Obj) -> Result<TraceEvent, String> {
             name: obj.str("name")?,
             index: obj.u64("index")?,
         },
-        "span_end" => TraceEvent::SpanEnd { span: SpanId(obj.u64("span_id")?) },
+        "span_end" => TraceEvent::SpanEnd {
+            span: SpanId(obj.u64("span_id")?),
+        },
         "bus_publish" => TraceEvent::BusPublish {
             topic: obj.str("topic")?,
             bytes: obj.u64("bytes")?,
@@ -318,7 +337,10 @@ fn event_from(kind: &str, obj: &Obj) -> Result<TraceEvent, String> {
             msg: obj.msg("msg")?,
             parent: obj.msg("parent")?,
         },
-        "bus_drop" => TraceEvent::BusDrop { topic: obj.str("topic")?, msg: obj.msg("msg")? },
+        "bus_drop" => TraceEvent::BusDrop {
+            topic: obj.str("topic")?,
+            msg: obj.msg("msg")?,
+        },
         "channel_send" => TraceEvent::ChannelSend {
             dir: obj.str("dir")?,
             seq: obj.u64("seq")?,
@@ -342,7 +364,9 @@ fn event_from(kind: &str, obj: &Obj) -> Result<TraceEvent, String> {
             msg: obj.msg("msg")?,
             latency_ns: obj.u64("latency_ns")?,
         },
-        "rtt_sample" => TraceEvent::RttSample { rtt_ns: obj.u64("rtt_ns")? },
+        "rtt_sample" => TraceEvent::RttSample {
+            rtt_ns: obj.u64("rtt_ns")?,
+        },
         "profile_sample" => TraceEvent::ProfileSample {
             node: obj.str("node")?,
             remote: obj.bool("remote")?,
@@ -366,8 +390,12 @@ fn event_from(kind: &str, obj: &Obj) -> Result<TraceEvent, String> {
             component: obj.str("component")?,
             joules: obj.f64("joules")?,
         },
-        "net_switch" => TraceEvent::NetSwitch { to_remote: obj.bool("to_remote")? },
-        "migration_start" => TraceEvent::MigrationStart { bytes: obj.u64("bytes")? },
+        "net_switch" => TraceEvent::NetSwitch {
+            to_remote: obj.bool("to_remote")?,
+        },
+        "migration_start" => TraceEvent::MigrationStart {
+            bytes: obj.u64("bytes")?,
+        },
         "migration_commit" => TraceEvent::MigrationCommit {
             elapsed_ns: obj.u64("elapsed_ns")?,
             attempts: obj.u64("attempts")?,
@@ -378,10 +406,13 @@ fn event_from(kind: &str, obj: &Obj) -> Result<TraceEvent, String> {
             window: obj.u64("window")?,
             window_ns: obj.u64("window_ns")?,
         },
-        "fault_end" => {
-            TraceEvent::FaultEnd { fault: obj.str("fault")?, window: obj.u64("window")? }
-        }
-        "heartbeat_miss" => TraceEvent::HeartbeatMiss { silence_ns: obj.u64("silence_ns")? },
+        "fault_end" => TraceEvent::FaultEnd {
+            fault: obj.str("fault")?,
+            window: obj.u64("window")?,
+        },
+        "heartbeat_miss" => TraceEvent::HeartbeatMiss {
+            silence_ns: obj.u64("silence_ns")?,
+        },
         "migration_timeout" => TraceEvent::MigrationTimeout {
             elapsed_ns: obj.u64("elapsed_ns")?,
             bytes: obj.u64("bytes")?,
@@ -409,7 +440,12 @@ impl TraceReader {
         let span = SpanId(obj.u64("span")?);
         let kind = obj.str("kind")?;
         let obj = obj.past_kind()?;
-        Ok(TraceRecord { t_ns, seq, span, event: event_from(&kind, &obj)? })
+        Ok(TraceRecord {
+            t_ns,
+            seq,
+            span,
+            event: event_from(&kind, &obj)?,
+        })
     }
 
     /// Parse a whole trace (blank lines skipped), reporting the first
@@ -420,9 +456,10 @@ impl TraceReader {
             if line.trim().is_empty() {
                 continue;
             }
-            out.push(
-                Self::parse_line(line).map_err(|msg| ParseError { line_no: idx + 1, msg })?,
-            );
+            out.push(Self::parse_line(line).map_err(|msg| ParseError {
+                line_no: idx + 1,
+                msg,
+            })?);
         }
         Ok(out)
     }
@@ -478,8 +515,15 @@ mod tests {
                 goal_dist: 5.830951894845301,
                 battery_soc: 0.93,
             },
-            TraceEvent::MissionEnd { completed: true, reason: "goal \"reached\"\n".into() },
-            TraceEvent::SpanBegin { span: SpanId(9), name: "cycle".into(), index: 8 },
+            TraceEvent::MissionEnd {
+                completed: true,
+                reason: "goal \"reached\"\n".into(),
+            },
+            TraceEvent::SpanBegin {
+                span: SpanId(9),
+                name: "cycle".into(),
+                index: 8,
+            },
             TraceEvent::SpanEnd { span: SpanId(9) },
             TraceEvent::BusPublish {
                 topic: "scan".into(),
@@ -488,7 +532,10 @@ mod tests {
                 msg: MsgId(3),
                 parent: MsgId(1),
             },
-            TraceEvent::BusDrop { topic: "cmd_vel".into(), msg: MsgId(4) },
+            TraceEvent::BusDrop {
+                topic: "cmd_vel".into(),
+                msg: MsgId(4),
+            },
             TraceEvent::ChannelSend {
                 dir: "up".into(),
                 seq: 17,
@@ -496,7 +543,11 @@ mod tests {
                 outcome: SendKind::Held,
                 msg: MsgId(3),
             },
-            TraceEvent::ChannelLoss { dir: "down".into(), seq: 18, msg: MsgId(2) },
+            TraceEvent::ChannelLoss {
+                dir: "down".into(),
+                seq: 18,
+                msg: MsgId(2),
+            },
             TraceEvent::ChannelDeliver {
                 dir: "up".into(),
                 seq: 17,
@@ -519,24 +570,49 @@ mod tests {
                 max_linear: 0.6,
                 net_decision: "keep".into(),
             },
-            TraceEvent::GovernorDecision { mean_gap: f64::NAN, threads: 8 },
-            TraceEvent::EnergyDelta { component: "motor".into(), joules: 0.5 },
+            TraceEvent::GovernorDecision {
+                mean_gap: f64::NAN,
+                threads: 8,
+            },
+            TraceEvent::EnergyDelta {
+                component: "motor".into(),
+                joules: 0.5,
+            },
             TraceEvent::NetSwitch { to_remote: false },
             TraceEvent::MigrationStart { bytes: 65_536 },
-            TraceEvent::MigrationCommit { elapsed_ns: 1_000_000, attempts: 3 },
+            TraceEvent::MigrationCommit {
+                elapsed_ns: 1_000_000,
+                attempts: 3,
+            },
             TraceEvent::MigrationAbort,
             TraceEvent::FaultBegin {
                 fault: "remote_crash".into(),
                 window: 0,
                 window_ns: 20_000_000_000,
             },
-            TraceEvent::FaultEnd { fault: "remote_crash".into(), window: 0 },
-            TraceEvent::HeartbeatMiss { silence_ns: 1_600_000_000 },
-            TraceEvent::MigrationTimeout { elapsed_ns: 8_000_000_000, bytes: 81_920 },
-            TraceEvent::ReoffloadBackoff { wait_ns: 4_000_000_000, failures: 2 },
+            TraceEvent::FaultEnd {
+                fault: "remote_crash".into(),
+                window: 0,
+            },
+            TraceEvent::HeartbeatMiss {
+                silence_ns: 1_600_000_000,
+            },
+            TraceEvent::MigrationTimeout {
+                elapsed_ns: 8_000_000_000,
+                bytes: 81_920,
+            },
+            TraceEvent::ReoffloadBackoff {
+                wait_ns: 4_000_000_000,
+                failures: 2,
+            },
         ];
         for (i, event) in events.into_iter().enumerate() {
-            let rec = TraceRecord { t_ns: i as u64 * 10, seq: i as u64, span: SpanId(1), event };
+            let rec = TraceRecord {
+                t_ns: i as u64 * 10,
+                seq: i as u64,
+                span: SpanId(1),
+                event,
+            };
             let json = rec.to_json();
             let parsed = TraceReader::parse_line(&json)
                 .unwrap_or_else(|e| panic!("parse failed for `{json}`: {e}"));
@@ -555,9 +631,13 @@ mod tests {
     #[test]
     fn rejects_unknown_kind_and_missing_fields() {
         let unknown = r#"{"t_ns":0,"seq":0,"span":0,"kind":"mystery"}"#;
-        assert!(TraceReader::parse_line(unknown).unwrap_err().contains("unknown event kind"));
+        assert!(TraceReader::parse_line(unknown)
+            .unwrap_err()
+            .contains("unknown event kind"));
         let missing = r#"{"t_ns":0,"seq":0,"span":0,"kind":"rtt_sample"}"#;
-        assert!(TraceReader::parse_line(missing).unwrap_err().contains("rtt_ns"));
+        assert!(TraceReader::parse_line(missing)
+            .unwrap_err()
+            .contains("rtt_ns"));
     }
 
     #[test]

@@ -70,7 +70,11 @@ impl RingBufferSink {
     /// Ring holding at most `capacity` records (capacity 0 is bumped
     /// to 1).
     pub fn new(capacity: usize) -> Self {
-        RingBufferSink { capacity: capacity.max(1), records: VecDeque::new(), seen: 0 }
+        RingBufferSink {
+            capacity: capacity.max(1),
+            records: VecDeque::new(),
+            seen: 0,
+        }
     }
 
     /// The retained records, oldest first.
@@ -113,14 +117,19 @@ pub struct JsonlSink {
 
 impl std::fmt::Debug for JsonlSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("JsonlSink").field("lines", &self.lines).finish_non_exhaustive()
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines)
+            .finish_non_exhaustive()
     }
 }
 
 impl JsonlSink {
     /// Wrap an arbitrary writer.
     pub fn new(writer: Box<dyn Write + Send>) -> Self {
-        JsonlSink { out: BufWriter::new(writer), lines: 0 }
+        JsonlSink {
+            out: BufWriter::new(writer),
+            lines: 0,
+        }
     }
 
     /// Create (truncating) a JSONL file at `path`.

@@ -29,8 +29,15 @@ fn all_kinds(s: &str, a: u64, b: u32, f: f64, flag: bool) -> Vec<TraceEvent> {
             goal_dist: f.abs(),
             battery_soc: 0.5,
         },
-        TraceEvent::MissionEnd { completed: flag, reason: s.to_string() },
-        TraceEvent::SpanBegin { span: SpanId(a), name: s.to_string(), index: b as u64 },
+        TraceEvent::MissionEnd {
+            completed: flag,
+            reason: s.to_string(),
+        },
+        TraceEvent::SpanBegin {
+            span: SpanId(a),
+            name: s.to_string(),
+            index: b as u64,
+        },
         TraceEvent::SpanEnd { span: SpanId(a) },
         TraceEvent::BusPublish {
             topic: s.to_string(),
@@ -39,12 +46,35 @@ fn all_kinds(s: &str, a: u64, b: u32, f: f64, flag: bool) -> Vec<TraceEvent> {
             msg,
             parent,
         },
-        TraceEvent::BusDrop { topic: s.to_string(), msg },
-        TraceEvent::ChannelSend { dir: s.to_string(), seq: a, bytes: b as u64, outcome, msg },
-        TraceEvent::ChannelLoss { dir: s.to_string(), seq: a, msg },
-        TraceEvent::ChannelDeliver { dir: s.to_string(), seq: a, msg, latency_ns: b as u64 },
+        TraceEvent::BusDrop {
+            topic: s.to_string(),
+            msg,
+        },
+        TraceEvent::ChannelSend {
+            dir: s.to_string(),
+            seq: a,
+            bytes: b as u64,
+            outcome,
+            msg,
+        },
+        TraceEvent::ChannelLoss {
+            dir: s.to_string(),
+            seq: a,
+            msg,
+        },
+        TraceEvent::ChannelDeliver {
+            dir: s.to_string(),
+            seq: a,
+            msg,
+            latency_ns: b as u64,
+        },
         TraceEvent::RttSample { rtt_ns: a },
-        TraceEvent::ProfileSample { node: s.to_string(), remote: flag, nanos: a, msg },
+        TraceEvent::ProfileSample {
+            node: s.to_string(),
+            remote: flag,
+            nanos: a,
+            msg,
+        },
         TraceEvent::ControlDecision {
             local_vdp_ns: a,
             cloud_vdp_ns: b as u64,
@@ -54,17 +84,39 @@ fn all_kinds(s: &str, a: u64, b: u32, f: f64, flag: bool) -> Vec<TraceEvent> {
             max_linear: 0.15,
             net_decision: s.to_string(),
         },
-        TraceEvent::GovernorDecision { mean_gap: f, threads: b },
-        TraceEvent::EnergyDelta { component: s.to_string(), joules: f },
+        TraceEvent::GovernorDecision {
+            mean_gap: f,
+            threads: b,
+        },
+        TraceEvent::EnergyDelta {
+            component: s.to_string(),
+            joules: f,
+        },
         TraceEvent::NetSwitch { to_remote: flag },
         TraceEvent::MigrationStart { bytes: a },
-        TraceEvent::MigrationCommit { elapsed_ns: a, attempts: b as u64 },
+        TraceEvent::MigrationCommit {
+            elapsed_ns: a,
+            attempts: b as u64,
+        },
         TraceEvent::MigrationAbort,
-        TraceEvent::FaultBegin { fault: s.to_string(), window: b as u64, window_ns: a },
-        TraceEvent::FaultEnd { fault: s.to_string(), window: b as u64 },
+        TraceEvent::FaultBegin {
+            fault: s.to_string(),
+            window: b as u64,
+            window_ns: a,
+        },
+        TraceEvent::FaultEnd {
+            fault: s.to_string(),
+            window: b as u64,
+        },
         TraceEvent::HeartbeatMiss { silence_ns: a },
-        TraceEvent::MigrationTimeout { elapsed_ns: a, bytes: b as u64 },
-        TraceEvent::ReoffloadBackoff { wait_ns: a, failures: b as u64 },
+        TraceEvent::MigrationTimeout {
+            elapsed_ns: a,
+            bytes: b as u64,
+        },
+        TraceEvent::ReoffloadBackoff {
+            wait_ns: a,
+            failures: b as u64,
+        },
     ]
 }
 

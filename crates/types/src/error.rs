@@ -58,15 +58,21 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = LgvError::NoPath { context: "A->B".into() };
+        let e = LgvError::NoPath {
+            context: "A->B".into(),
+        };
         assert_eq!(e.to_string(), "no path found: A->B");
-        let e = LgvError::Disconnected { link: "wifi".into() };
+        let e = LgvError::Disconnected {
+            link: "wifi".into(),
+        };
         assert!(e.to_string().contains("wifi"));
     }
 
     #[test]
     fn is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
-        takes_err(&LgvError::Codec { detail: "truncated".into() });
+        takes_err(&LgvError::Codec {
+            detail: "truncated".into(),
+        });
     }
 }

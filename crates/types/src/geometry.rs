@@ -45,7 +45,10 @@ impl Point2 {
     /// Linear interpolation between two points, `t` in `[0, 1]`.
     pub fn lerp(self, other: Point2, t: f64) -> Point2 {
         let t = t.clamp(0.0, 1.0);
-        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 }
 
@@ -175,7 +178,11 @@ pub struct Pose2D {
 impl Pose2D {
     /// Construct a pose (heading is normalized).
     pub fn new(x: f64, y: f64, theta: f64) -> Self {
-        Pose2D { x, y, theta: normalize_angle(theta) }
+        Pose2D {
+            x,
+            y,
+            theta: normalize_angle(theta),
+        }
     }
 
     /// Position component.
@@ -192,7 +199,10 @@ impl Pose2D {
     /// world frame.
     pub fn transform_from_local(self, local: Point2) -> Point2 {
         let (s, c) = (self.theta.sin(), self.theta.cos());
-        Point2::new(self.x + local.x * c - local.y * s, self.y + local.x * s + local.y * c)
+        Point2::new(
+            self.x + local.x * c - local.y * s,
+            self.y + local.x * s + local.y * c,
+        )
     }
 
     /// Transform a world-frame point into this pose's local frame.
@@ -256,7 +266,10 @@ pub struct Twist {
 
 impl Twist {
     /// Stationary twist.
-    pub const STOP: Twist = Twist { linear: 0.0, angular: 0.0 };
+    pub const STOP: Twist = Twist {
+        linear: 0.0,
+        angular: 0.0,
+    };
 
     /// Construct a twist.
     pub fn new(linear: f64, angular: f64) -> Self {

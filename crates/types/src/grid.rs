@@ -24,7 +24,9 @@ impl GridIndex {
 
     /// Chebyshev (8-connected) distance to another cell.
     pub fn chebyshev(self, other: GridIndex) -> i32 {
-        (self.col - other.col).abs().max((self.row - other.row).abs())
+        (self.col - other.col)
+            .abs()
+            .max((self.row - other.row).abs())
     }
 
     /// Manhattan (4-connected) distance to another cell.
@@ -74,7 +76,12 @@ impl GridDims {
     /// Construct grid geometry.
     pub fn new(width: u32, height: u32, resolution: f64, origin: Point2) -> Self {
         assert!(resolution > 0.0, "resolution must be positive");
-        GridDims { width, height, resolution, origin }
+        GridDims {
+            width,
+            height,
+            resolution,
+            origin,
+        }
     }
 
     /// Total number of cells.
@@ -89,7 +96,10 @@ impl GridDims {
 
     /// World extent in metres (width, height).
     pub fn world_size(&self) -> (f64, f64) {
-        (self.width as f64 * self.resolution, self.height as f64 * self.resolution)
+        (
+            self.width as f64 * self.resolution,
+            self.height as f64 * self.resolution,
+        )
     }
 
     /// Does this cell lie inside the grid?
@@ -108,7 +118,10 @@ impl GridDims {
 
     /// Inverse of [`GridDims::flat`].
     pub fn unflat(&self, flat: usize) -> GridIndex {
-        GridIndex::new((flat % self.width as usize) as i32, (flat / self.width as usize) as i32)
+        GridIndex::new(
+            (flat % self.width as usize) as i32,
+            (flat / self.width as usize) as i32,
+        )
     }
 
     /// World point → containing cell (may be outside the grid).
@@ -187,8 +200,16 @@ impl GridRay {
         } else {
             fy * res / dir.y.abs()
         };
-        let t_delta_x = if dir.x.abs() < 1e-12 { f64::INFINITY } else { res / dir.x.abs() };
-        let t_delta_y = if dir.y.abs() < 1e-12 { f64::INFINITY } else { res / dir.y.abs() };
+        let t_delta_x = if dir.x.abs() < 1e-12 {
+            f64::INFINITY
+        } else {
+            res / dir.x.abs()
+        };
+        let t_delta_y = if dir.y.abs() < 1e-12 {
+            f64::INFINITY
+        } else {
+            res / dir.y.abs()
+        };
 
         let max_cells = (start.chebyshev(end) as u32 + 1) * 2 + 4;
         GridRay {
@@ -286,9 +307,18 @@ mod tests {
         assert!(!cells.is_empty());
         for w in cells.windows(2) {
             // Amanatides–Woo steps one axis at a time: 4-connected chain.
-            assert_eq!(w[0].manhattan(w[1]), 1, "gap between {:?} and {:?}", w[0], w[1]);
+            assert_eq!(
+                w[0].manhattan(w[1]),
+                1,
+                "gap between {:?} and {:?}",
+                w[0],
+                w[1]
+            );
         }
-        assert_eq!(cells.last().copied(), Some(d.world_to_grid(Point2::new(1.0, 0.7))));
+        assert_eq!(
+            cells.last().copied(),
+            Some(d.world_to_grid(Point2::new(1.0, 0.7)))
+        );
     }
 
     #[test]

@@ -231,7 +231,12 @@ mod tests {
         let m = MapMsg {
             stamp: SimTime::EPOCH,
             dims,
-            cells: vec![MapMsg::UNKNOWN, MapMsg::FREE, MapMsg::OCCUPIED, MapMsg::UNKNOWN],
+            cells: vec![
+                MapMsg::UNKNOWN,
+                MapMsg::FREE,
+                MapMsg::OCCUPIED,
+                MapMsg::UNKNOWN,
+            ],
         };
         assert_eq!(m.known_fraction(), 0.5);
     }
@@ -240,10 +245,21 @@ mod tests {
     fn path_length_sums_segments() {
         let p = PathMsg {
             stamp: SimTime::EPOCH,
-            waypoints: vec![Point2::new(0.0, 0.0), Point2::new(3.0, 0.0), Point2::new(3.0, 4.0)],
+            waypoints: vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(3.0, 0.0),
+                Point2::new(3.0, 4.0),
+            ],
         };
         assert_eq!(p.length(), 7.0);
-        assert_eq!(PathMsg { stamp: SimTime::EPOCH, waypoints: vec![] }.length(), 0.0);
+        assert_eq!(
+            PathMsg {
+                stamp: SimTime::EPOCH,
+                waypoints: vec![]
+            }
+            .length(),
+            0.0
+        );
     }
 
     #[test]

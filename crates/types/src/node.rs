@@ -60,7 +60,10 @@ impl NodeKind {
     /// total processing time of this chain bounds the maximum safe
     /// velocity via Eq. 2c.
     pub fn on_vdp(self) -> bool {
-        matches!(self, NodeKind::CostmapGen | NodeKind::PathTracking | NodeKind::VelocityMux)
+        matches!(
+            self,
+            NodeKind::CostmapGen | NodeKind::PathTracking | NodeKind::VelocityMux
+        )
     }
 
     /// Stable short name (used in reports and topic names).
@@ -211,7 +214,14 @@ mod tests {
     #[test]
     fn vdp_membership_matches_paper() {
         let vdp: Vec<_> = NodeKind::ALL.into_iter().filter(|k| k.on_vdp()).collect();
-        assert_eq!(vdp, vec![NodeKind::CostmapGen, NodeKind::PathTracking, NodeKind::VelocityMux]);
+        assert_eq!(
+            vdp,
+            vec![
+                NodeKind::CostmapGen,
+                NodeKind::PathTracking,
+                NodeKind::VelocityMux
+            ]
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct SimRng {
 impl SimRng {
     /// Create a generator from an explicit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng { inner: SmallRng::seed_from_u64(seed), spare_gaussian: None }
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            spare_gaussian: None,
+        }
     }
 
     /// Derive an independent child generator; used to give each

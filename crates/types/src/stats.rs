@@ -18,7 +18,13 @@ pub struct Summary {
 impl Summary {
     /// Fresh, empty summary.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Ingest one sample (non-finite samples are ignored).
@@ -107,7 +113,10 @@ pub fn percentile(values: &[f64], pct: f64) -> Option<f64> {
         return None;
     }
     v.sort_by(f64::total_cmp);
-    let rank = ((pct.clamp(0.0, 100.0) / 100.0) * v.len() as f64).ceil().max(1.0) as usize - 1;
+    let rank = ((pct.clamp(0.0, 100.0) / 100.0) * v.len() as f64)
+        .ceil()
+        .max(1.0) as usize
+        - 1;
     Some(v[rank.min(v.len() - 1)])
 }
 

@@ -156,7 +156,11 @@ impl SimTime {
 
     /// Span since an earlier instant (panics if `earlier` is later).
     pub fn since(self, earlier: SimTime) -> Duration {
-        Duration(self.0.checked_sub(earlier.0).expect("SimTime::since: earlier is later"))
+        Duration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: earlier is later"),
+        )
     }
 
     /// Span since an earlier instant, zero if `earlier` is later.

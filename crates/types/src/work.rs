@@ -28,16 +28,28 @@ pub struct Work {
 
 impl Work {
     /// No work.
-    pub const ZERO: Work = Work { serial_cycles: 0.0, parallel_cycles: 0.0, parallel_items: 0 };
+    pub const ZERO: Work = Work {
+        serial_cycles: 0.0,
+        parallel_cycles: 0.0,
+        parallel_items: 0,
+    };
 
     /// Entirely sequential work.
     pub fn serial(cycles: f64) -> Self {
-        Work { serial_cycles: cycles, parallel_cycles: 0.0, parallel_items: 0 }
+        Work {
+            serial_cycles: cycles,
+            parallel_cycles: 0.0,
+            parallel_items: 0,
+        }
     }
 
     /// Work with a parallel section of `items` independent pieces.
     pub fn with_parallel(serial_cycles: f64, parallel_cycles: f64, items: u32) -> Self {
-        Work { serial_cycles, parallel_cycles, parallel_items: items }
+        Work {
+            serial_cycles,
+            parallel_cycles,
+            parallel_items: items,
+        }
     }
 
     /// Total cycle count.

@@ -32,7 +32,10 @@ fn config(adaptive: bool) -> MissionConfig {
 }
 
 fn main() {
-    for (label, adaptive) in [("static offloading", false), ("adaptive (Algorithm 2)", true)] {
+    for (label, adaptive) in [
+        ("static offloading", false),
+        ("adaptive (Algorithm 2)", true),
+    ] {
         let report = mission::run(config(adaptive));
         println!("--- {label} ---");
         println!(

@@ -57,9 +57,16 @@ fn main() {
             edge.time.total().as_secs_f64(),
             speedup,
             e_ratio,
-            if local.completed && edge.completed { "" } else { "  (!)" },
+            if local.completed && edge.completed {
+                ""
+            } else {
+                "  (!)"
+            },
         );
     }
     println!();
-    println!("offloading won on {wins}/{} generated floorplans", seeds.len());
+    println!(
+        "offloading won on {wins}/{} generated floorplans",
+        seeds.len()
+    );
 }

@@ -39,7 +39,11 @@ fn main() {
         let scans = 60;
         for k in 0..scans {
             // Steer gently; bounce off obstacles.
-            let steer = if vehicle.bumped() { 1.2 } else { 0.3 * ((k as f64) * 0.15).sin() };
+            let steer = if vehicle.bumped() {
+                1.2
+            } else {
+                0.3 * ((k as f64) * 0.15).sin()
+            };
             vehicle.command(Twist::new(0.2, steer));
             for _ in 0..8 {
                 vehicle.step(&world, Duration::from_millis(25));
@@ -68,9 +72,15 @@ fn main() {
         );
         println!(
             "  priced per-scan time: Turtlebot3 {:>7.1} ms | gateway {:>6.1} ms | cloud {:>6.1} ms",
-            Platform::turtlebot3().exec_time(&per_scan, threads as u32).as_millis_f64(),
-            Platform::edge_gateway().exec_time(&per_scan, threads as u32).as_millis_f64(),
-            Platform::cloud_server().exec_time(&per_scan, threads as u32).as_millis_f64(),
+            Platform::turtlebot3()
+                .exec_time(&per_scan, threads as u32)
+                .as_millis_f64(),
+            Platform::edge_gateway()
+                .exec_time(&per_scan, threads as u32)
+                .as_millis_f64(),
+            Platform::cloud_server()
+                .exec_time(&per_scan, threads as u32)
+                .as_millis_f64(),
         );
     }
     println!();

@@ -47,12 +47,17 @@ fn main() {
         }
         None => Tracer::disabled(),
     };
-    let metrics = tracer.is_enabled().then(|| tracer.attach(MetricsRegistry::new()));
+    let metrics = tracer
+        .is_enabled()
+        .then(|| tracer.attach(MetricsRegistry::new()));
 
     // The paper's lab navigation workload, offloaded to the edge
     // gateway with 8-thread parallelization (the best Fig. 13 case).
     let config = MissionConfig::navigation_lab(Deployment::edge_8t());
-    println!("running navigation mission on deployment `{}` ...", config.deployment.label);
+    println!(
+        "running navigation mission on deployment `{}` ...",
+        config.deployment.label
+    );
 
     let report = mission::run_traced(config, tracer);
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# The unified CI gate. Runs every check the repo enforces, in the same
+# order the GitHub workflow does (.github/workflows/ci.yml invokes this
+# script verbatim), so a clean local run means a green CI run.
+#
+# Stages (see docs/CI.md for the full description):
+#   1. build        — cargo build --release, whole workspace
+#   2. tests        — cargo test -q (unit + integration, all crates)
+#   3. clippy       — warnings denied, all targets
+#   4. fmt          — rustfmt --check
+#   5. docs         — rustdoc warnings denied + doctests + trace
+#                     schema-drift check (event.rs vs OBSERVABILITY.md)
+#   6. suite gate   — release-mode quick run of the full evaluation
+#                     suite: every scenario must succeed, and the
+#                     parallel fan-out must be byte-identical to serial
+#                     (the #[ignore]d all-scenario determinism test)
+#
+# Everything is hermetic: dependencies are the in-tree shims under
+# crates/shims/, so no stage touches the network.
+#
+# Usage: ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== 1/6 cargo build --release =="
+cargo build --release --workspace
+
+echo
+echo "== 2/6 cargo test =="
+cargo test -q --workspace
+
+echo
+echo "== 3/6 cargo clippy (warnings denied) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "== 4/6 cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo
+echo "== 5/6 docs (rustdoc warnings denied, doctests, schema drift) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+cargo test --doc --workspace -q
+# Kinds the code can emit: the match arms of TraceEvent::kind().
+code_kinds=$(sed -n '/fn kind(/,/^    }$/p' crates/trace/src/event.rs \
+    | grep -oE '=> "[a-z_]+"' | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+# Kinds documented in the event-schema tables (first backticked cell
+# of each row between the Event schema and Metrics registry headings).
+doc_kinds=$(sed -n '/^## Event schema/,/^## Metrics registry/p' docs/OBSERVABILITY.md \
+    | grep -oE '^\| `[a-z_]+` \|' | grep -oE '`[a-z_]+`' | tr -d '`' | sort -u)
+if ! diff <(echo "$code_kinds") <(echo "$doc_kinds") >/dev/null; then
+    echo "event kinds out of sync (< code only, > docs only):"
+    diff <(echo "$code_kinds") <(echo "$doc_kinds") | grep '^[<>]' || true
+    exit 1
+fi
+echo "$(echo "$code_kinds" | wc -l) kinds documented, no drift"
+
+echo
+echo "== 6/6 evaluation-suite gate (quick, all scenarios) =="
+# Full fan-out in quick mode: exercises every scenario (including the
+# chaos sweep the old resilience gate ran) and writes the JSON
+# artifact. A non-zero exit means some scenario failed.
+LGV_BENCH_QUICK=1 ./target/release/suite --threads 4 --out target/BENCH_ci.json
+# Byte-identical parallel vs serial across every scenario, in release
+# mode (too slow for the default debug-mode test run, hence #[ignore]).
+cargo test --release -q -p lgv-bench --test suite -- --ignored --nocapture
+
+echo
+echo "CI gate OK"

@@ -91,8 +91,14 @@ fn randomized_fault_schedules_degrade_gracefully() {
             report.completed || !report.reason.is_empty(),
             "seed {seed}: no completion and no reason"
         );
-        assert!(report.energy.total_joules() > 0.0, "seed {seed}: empty energy report");
-        assert!(report.time.total() > Duration::from_secs(1), "seed {seed}: empty time report");
+        assert!(
+            report.energy.total_joules() > 0.0,
+            "seed {seed}: empty energy report"
+        );
+        assert!(
+            report.time.total() > Duration::from_secs(1),
+            "seed {seed}: empty time report"
+        );
 
         // The trace survives the chaos too: every line parses, the
         // typed reader round-trips byte-for-byte, and the analysis
@@ -112,7 +118,10 @@ fn randomized_fault_schedules_degrade_gracefully() {
             );
         } else {
             let rendered = analysis.render_report();
-            assert!(rendered.contains("fault windows"), "seed {seed}: report lacks fault section");
+            assert!(
+                rendered.contains("fault windows"),
+                "seed {seed}: report lacks fault section"
+            );
         }
     }
 }
@@ -132,10 +141,14 @@ fn randomized_schedules_differ_across_seeds() {
     // The generator must actually explore the fault space: across a
     // handful of seeds we see more than one schedule and more than
     // one fault kind.
-    let schedules: Vec<FaultSchedule> =
-        (0..8).map(|s| FaultSchedule::randomized(s, CHAOS_HORIZON)).collect();
+    let schedules: Vec<FaultSchedule> = (0..8)
+        .map(|s| FaultSchedule::randomized(s, CHAOS_HORIZON))
+        .collect();
     let first = &schedules[0];
-    assert!(schedules.iter().any(|s| s != first), "all seeds gave one schedule");
+    assert!(
+        schedules.iter().any(|s| s != first),
+        "all seeds gave one schedule"
+    );
     let labels: std::collections::BTreeSet<&'static str> = schedules
         .iter()
         .flat_map(|s| s.windows().iter().map(|w| w.kind.label()))

@@ -61,8 +61,8 @@ fn offloading_direction_matches_paper_headlines() {
     // energy, motor energy roughly preserved.
     assert!(best.time.total() < local.time.total());
     assert!(best.energy.total_joules() < local.energy.total_joules());
-    let motor_ratio = best.energy.joules(Component::Motor)
-        / local.energy.joules(Component::Motor).max(1e-9);
+    let motor_ratio =
+        best.energy.joules(Component::Motor) / local.energy.joules(Component::Motor).max(1e-9);
     assert!(
         (0.4..2.0).contains(&motor_ratio),
         "motor energy should be roughly preserved, ratio {motor_ratio}"
@@ -99,7 +99,11 @@ fn dead_zone_static_policy_stalls_adaptive_recovers() {
     };
     let adaptive = mission::run(base(true));
     let static_policy = mission::run(base(false));
-    assert!(adaptive.completed, "adaptive should finish: {}", adaptive.reason);
+    assert!(
+        adaptive.completed,
+        "adaptive should finish: {}",
+        adaptive.reason
+    );
     assert!(adaptive.net_switches >= 1, "Algorithm 2 should have fired");
     // The static policy either fails outright or spends far longer
     // suspended waiting for commands that never arrive.
@@ -149,11 +153,21 @@ fn safety_pinning_is_respected_in_missions() {
     assert!(report.completed, "{}", report.reason);
     // With PathTracking pinned local, the velocity cap stays at the
     // local level despite the cloud deployment.
-    let vmax: f64 = report.velocity_trace.iter().map(|s| s.vmax).fold(0.0, f64::max);
+    let vmax: f64 = report
+        .velocity_trace
+        .iter()
+        .map(|s| s.vmax)
+        .fold(0.0, f64::max);
     let unpinned = mission::run(mini(Deployment::cloud_12t(), Workload::Navigation));
-    let vmax_unpinned: f64 =
-        unpinned.velocity_trace.iter().map(|s| s.vmax).fold(0.0, f64::max);
-    assert!(vmax < vmax_unpinned, "pinned {vmax} vs unpinned {vmax_unpinned}");
+    let vmax_unpinned: f64 = unpinned
+        .velocity_trace
+        .iter()
+        .map(|s| s.vmax)
+        .fold(0.0, f64::max);
+    assert!(
+        vmax < vmax_unpinned,
+        "pinned {vmax} vs unpinned {vmax_unpinned}"
+    );
 }
 
 #[test]

@@ -49,7 +49,11 @@ fn degraded_lidar_still_navigates() {
     // 10× the range noise and 5 % beam dropout: localization gets
     // worse, the mission gets slower, but it must still complete.
     let mut cfg = base(Deployment::edge_8t());
-    cfg.lidar = LidarConfig { range_noise: 0.1, dropout: 0.05, ..LidarConfig::default() };
+    cfg.lidar = LidarConfig {
+        range_noise: 0.1,
+        dropout: 0.05,
+        ..LidarConfig::default()
+    };
     let degraded = mission::run(cfg);
     assert!(degraded.completed, "degraded lidar: {}", degraded.reason);
 
@@ -65,7 +69,10 @@ fn sparse_lidar_still_navigates() {
     // A quarter of the beams (90 instead of 360), as if mechanically
     // obstructed.
     let mut cfg = base(Deployment::edge_8t());
-    cfg.lidar = LidarConfig { beams: 90, ..LidarConfig::default() };
+    cfg.lidar = LidarConfig {
+        beams: 90,
+        ..LidarConfig::default()
+    };
     let report = mission::run(cfg);
     assert!(report.completed, "sparse lidar: {}", report.reason);
 }
@@ -84,7 +91,10 @@ fn radio_dead_from_the_start_degrades_to_local() {
     // rebuild after the abandoned migration.
     let local = mission::run(base(Deployment::local()));
     let ratio = report.time.total().as_secs_f64() / local.time.total().as_secs_f64();
-    assert!((0.5..2.5).contains(&ratio), "should run near local speed, ratio {ratio}");
+    assert!(
+        (0.5..2.5).contains(&ratio),
+        "should run near local speed, ratio {ratio}"
+    );
 }
 
 #[test]
@@ -117,10 +127,16 @@ fn garbage_on_the_wire_is_ignored() {
         link,
         robot.clone(),
         remote.clone(),
-        &SwitcherConfig { up_topics: vec![(TopicName::SCAN, 1)], down_topics: vec![] },
+        &SwitcherConfig {
+            up_topics: vec![(TopicName::SCAN, 1)],
+            down_topics: vec![],
+        },
     );
     let remote_sub = remote.subscribe(TopicName::SCAN, 1);
-    robot.publish_bytes(TopicName::SCAN, bytes::Bytes::from_static(&[0xde, 0xad, 0xbe]));
+    robot.publish_bytes(
+        TopicName::SCAN,
+        bytes::Bytes::from_static(&[0xde, 0xad, 0xbe]),
+    );
     let pos = Point2::new(2.0, 0.0);
     for k in 0..8 {
         sw.tick(SimTime::EPOCH + Duration::from_millis(25 * k), pos);

@@ -42,7 +42,10 @@ fn crash_config() -> MissionConfig {
         max_time: Duration::from_secs(240),
         dwa_samples: 600,
         slam_particles: 6,
-        velocity: VelocityModel { hw_cap: 0.22, ..VelocityModel::default() },
+        velocity: VelocityModel {
+            hw_cap: 0.22,
+            ..VelocityModel::default()
+        },
         battery_wh: None,
         lidar: LidarConfig::default(),
         exploration_speed_cap: 0.3,
@@ -74,12 +77,15 @@ fn remote_crash_triggers_heartbeat_fallback_and_backed_off_reoffload() {
     // The scripted window is on the record, bracketed begin/end.
     let begin = recs
         .iter()
-        .find(|r| matches!(&r.event, TraceEvent::FaultBegin { fault, .. } if fault == "remote_crash"))
+        .find(
+            |r| matches!(&r.event, TraceEvent::FaultBegin { fault, .. } if fault == "remote_crash"),
+        )
         .expect("fault_begin(remote_crash) traced");
     assert_eq!(begin.t_ns, crash_ns, "crash window must open on schedule");
     assert!(
-        recs.iter()
-            .any(|r| matches!(&r.event, TraceEvent::FaultEnd { fault, .. } if fault == "remote_crash")),
+        recs.iter().any(
+            |r| matches!(&r.event, TraceEvent::FaultEnd { fault, .. } if fault == "remote_crash")
+        ),
         "fault_end(remote_crash) traced"
     );
 
@@ -109,7 +115,10 @@ fn remote_crash_triggers_heartbeat_fallback_and_backed_off_reoffload() {
         "local fallback {:.2} s after the crash (budget 2 s)",
         secs(fallback.t_ns - crash_ns)
     );
-    assert!(hb.t_ns <= fallback.t_ns, "the miss precedes the switch it causes");
+    assert!(
+        hb.t_ns <= fallback.t_ns,
+        "the miss precedes the switch it causes"
+    );
 
     // The retry is backoff-gated: the suppression is traced, and the
     // first re-offload attempt waits out at least the 2 s base.
@@ -117,9 +126,15 @@ fn remote_crash_triggers_heartbeat_fallback_and_backed_off_reoffload() {
         .iter()
         .find(|r| matches!(r.event, TraceEvent::ReoffloadBackoff { .. }))
         .expect("the suppressed re-offload is traced");
-    assert!(backoff.t_ns >= fallback.t_ns, "backoff arms after the fallback");
+    assert!(
+        backoff.t_ns >= fallback.t_ns,
+        "backoff arms after the fallback"
+    );
     if let TraceEvent::ReoffloadBackoff { wait_ns, failures } = backoff.event {
-        assert!(wait_ns >= 2_000_000_000, "first wait is the 2 s base, got {wait_ns} ns");
+        assert!(
+            wait_ns >= 2_000_000_000,
+            "first wait is the 2 s base, got {wait_ns} ns"
+        );
         assert!(failures >= 1);
     }
     let reoffload = recs

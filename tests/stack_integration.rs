@@ -33,10 +33,16 @@ fn nav_stack_drives_to_goal_closed_loop() {
     let mut amcl = Amcl::new(AmclConfig::default(), &map, start, rng.fork(3));
     let mut costmap = Costmap::from_map(CostmapConfig::default(), &map);
     let planner = GlobalPlanner::new(PlannerConfig::default());
-    let mut dwa = DwaPlanner::new(DwaConfig { samples: 150, ..Default::default() });
+    let mut dwa = DwaPlanner::new(DwaConfig {
+        samples: 150,
+        ..Default::default()
+    });
 
     let mut now = SimTime::EPOCH;
-    let mut path = PathMsg { stamp: now, waypoints: vec![] };
+    let mut path = PathMsg {
+        stamp: now,
+        waypoints: vec![],
+    };
     let mut meter = WorkMeter::new();
     for cycle in 0..600 {
         let scan = lidar.scan(&world, vehicle.true_pose(), now);
@@ -83,7 +89,11 @@ fn slam_map_is_plannable() {
 
     let mut now = SimTime::EPOCH;
     for k in 0..120 {
-        let steer = if vehicle.bumped() { 1.2 } else { 0.2 * ((k as f64) * 0.11).sin() };
+        let steer = if vehicle.bumped() {
+            1.2
+        } else {
+            0.2 * ((k as f64) * 0.11).sin()
+        };
         vehicle.command(Twist::new(0.2, steer));
         for _ in 0..8 {
             vehicle.step(&world, Duration::from_millis(25));
@@ -94,14 +104,21 @@ fn slam_map_is_plannable() {
     }
 
     let map = slam.best_map(now);
-    assert!(map.known_fraction() > 0.1, "mapped {}", map.known_fraction());
+    assert!(
+        map.known_fraction() > 0.1,
+        "mapped {}",
+        map.known_fraction()
+    );
     // Pose estimate stays within a sane bound of ground truth.
     let err = slam.best_pose().distance(vehicle.true_pose());
     assert!(err < 0.6, "SLAM pose error {err} m");
 
     // The SLAM map supports planning inside the explored region.
     let costmap = Costmap::from_map(CostmapConfig::default(), &map);
-    let planner = GlobalPlanner::new(PlannerConfig { allow_unknown: true, ..Default::default() });
+    let planner = GlobalPlanner::new(PlannerConfig {
+        allow_unknown: true,
+        ..Default::default()
+    });
     let est = slam.best_pose().position();
     let nearby = Point2::new(est.x + 1.0, est.y);
     assert!(
@@ -125,7 +142,10 @@ fn scan_roundtrips_through_switcher_bit_exact() {
         link,
         robot.clone(),
         remote.clone(),
-        &SwitcherConfig { up_topics: vec![(TopicName::SCAN, 1)], down_topics: vec![] },
+        &SwitcherConfig {
+            up_topics: vec![(TopicName::SCAN, 1)],
+            down_topics: vec![],
+        },
     );
     let remote_sub = remote.subscribe(TopicName::SCAN, 1);
 
@@ -167,11 +187,18 @@ fn command_stream_freshness_over_lossy_link() {
             source: VelocitySource::Navigation,
         };
         let bytes = lgv_middleware::to_bytes(&cmd).unwrap();
-        link.send_down(SimTime::EPOCH + Duration::from_millis(i), pos, Bytes::from(bytes.to_vec()));
+        link.send_down(
+            SimTime::EPOCH + Duration::from_millis(i),
+            pos,
+            Bytes::from(bytes.to_vec()),
+        );
     }
     link.tick(SimTime::EPOCH + Duration::from_millis(200), pos);
     let pkt = link.recv_at_robot().expect("freshest command arrives");
     let cmd: VelocityCmd = lgv_middleware::from_bytes(&pkt.payload).unwrap();
-    assert_eq!(cmd.twist.linear, 0.2, "one-length queue keeps the newest command");
+    assert_eq!(
+        cmd.twist.linear, 0.2,
+        "one-length queue keeps the newest command"
+    );
     assert!(link.recv_at_robot().is_none());
 }

@@ -3,12 +3,12 @@
 //! deterministic per seed, and a short offloaded mission that crosses
 //! a dead zone emits at least one event of every category.
 
+use cloud_lgv::net::signal::WirelessConfig;
+use cloud_lgv::net::{FaultKind, FaultSchedule};
 use cloud_lgv::offload::deploy::Deployment;
 use cloud_lgv::offload::mission::{self, MissionConfig, Workload};
 use cloud_lgv::offload::model::{Goal, VelocityModel};
 use cloud_lgv::offload::strategy::PinPolicy;
-use cloud_lgv::net::signal::WirelessConfig;
-use cloud_lgv::net::{FaultKind, FaultSchedule};
 use cloud_lgv::sim::world::WorldBuilder;
 use cloud_lgv::sim::LidarConfig;
 use cloud_lgv::trace::{EventCategory, JsonlSink, MetricsRegistry, RingBufferSink, Tracer};
@@ -52,7 +52,9 @@ fn traced_config() -> MissionConfig {
         faults: FaultSchedule::none().with(
             2.0,
             1.0,
-            FaultKind::LatencySpike { extra: Duration::from_millis(40) },
+            FaultKind::LatencySpike {
+                extra: Duration::from_millis(40),
+            },
         ),
     }
 }
@@ -105,8 +107,13 @@ fn jsonl_stream_matches_the_documented_schema() {
         // seq is a gap-free emission counter; t_ns never goes backward.
         let seq_field = format!("\"seq\":{expected_seq},");
         assert!(line.contains(&seq_field), "expected {seq_field} in: {line}");
-        let t_ns: u64 = line["{\"t_ns\":".len()..line.find(',').unwrap()].parse().unwrap();
-        assert!(t_ns >= last_t, "virtual time went backward at seq {expected_seq}");
+        let t_ns: u64 = line["{\"t_ns\":".len()..line.find(',').unwrap()]
+            .parse()
+            .unwrap();
+        assert!(
+            t_ns >= last_t,
+            "virtual time went backward at seq {expected_seq}"
+        );
         last_t = t_ns;
         expected_seq += 1;
     }
@@ -135,7 +142,10 @@ fn short_mission_covers_every_event_category() {
 
     // The metrics sink aggregates the same stream.
     let dump = metrics.lock().unwrap().dump();
-    assert!(dump.contains("counter events.control_decision"), "dump:\n{dump}");
+    assert!(
+        dump.contains("counter events.control_decision"),
+        "dump:\n{dump}"
+    );
     assert!(dump.contains("hist rtt_ms"), "dump:\n{dump}");
     assert!(dump.contains("hist energy_j.motor"), "dump:\n{dump}");
 }

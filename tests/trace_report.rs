@@ -3,11 +3,11 @@
 //! report is deterministic and flags the §V "lying RTT" condition on
 //! a weak-signal mission.
 
+use cloud_lgv::net::signal::WirelessConfig;
 use cloud_lgv::offload::deploy::Deployment;
 use cloud_lgv::offload::mission::{self, MissionConfig, Workload};
 use cloud_lgv::offload::model::{Goal, VelocityModel};
 use cloud_lgv::offload::strategy::PinPolicy;
-use cloud_lgv::net::signal::WirelessConfig;
 use cloud_lgv::sim::world::WorldBuilder;
 use cloud_lgv::sim::LidarConfig;
 use cloud_lgv::trace::{JsonlSink, TraceAnalysis, TraceReader, Tracer};
@@ -100,6 +100,12 @@ fn report_is_deterministic_and_flags_lying_rtt() {
     // The weak-signal route must produce sender discards and at least
     // one window where the RTT metric lies about them (§V / Fig. 7).
     assert!(!a.contains("sender discards: none"), "no discards?\n{a}");
-    assert!(a.contains("-> RTT metric lies"), "anomaly not flagged:\n{a}");
-    assert!(!a.contains("anomalies: none"), "anomaly section empty:\n{a}");
+    assert!(
+        a.contains("-> RTT metric lies"),
+        "anomaly not flagged:\n{a}"
+    );
+    assert!(
+        !a.contains("anomalies: none"),
+        "anomaly section empty:\n{a}"
+    );
 }
