@@ -9,10 +9,14 @@
 //!
 //! A file may hold several missions back to back (each starts with a
 //! `mission_start` record); the report prints one section per mission.
+//! Fleet traces interleave N vehicles' records in one file, each
+//! stamped with its vehicle id: those are first partitioned per
+//! vehicle (id order), then split into missions within each vehicle.
 //! Output depends only on the file's bytes, so re-running on the same
 //! trace is byte-for-byte identical.
 
 use lgv_trace::{TraceEvent, TraceReader, TraceRecord};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 /// Split a record stream into missions at `mission_start` boundaries.
@@ -54,16 +58,37 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let missions = split_missions(records);
-    let many = missions.len() > 1;
-    for (i, mission) in missions.iter().enumerate() {
-        if many {
-            println!("==== mission {} of {} ====", i + 1, missions.len());
+    // Fleet traces interleave several vehicles' records; partition
+    // them per vehicle first (id 0 = untagged single-vehicle records).
+    let mut by_vehicle: BTreeMap<u64, Vec<TraceRecord>> = BTreeMap::new();
+    for rec in records {
+        by_vehicle.entry(rec.vehicle).or_default().push(rec);
+    }
+    let fleet = by_vehicle.keys().any(|&v| v != 0);
+    let groups = by_vehicle.len();
+    for (gi, (vehicle, group)) in by_vehicle.into_iter().enumerate() {
+        if fleet {
+            if vehicle == 0 {
+                println!("==== untagged records ====");
+            } else {
+                println!("==== vehicle v{vehicle} ====");
+            }
             println!();
         }
-        let analysis = lgv_trace::TraceAnalysis::from_records(mission);
-        print!("{}", analysis.render_report());
-        if many && i + 1 < missions.len() {
+        let missions = split_missions(group);
+        let many = missions.len() > 1;
+        for (i, mission) in missions.iter().enumerate() {
+            if many {
+                println!("==== mission {} of {} ====", i + 1, missions.len());
+                println!();
+            }
+            let analysis = lgv_trace::TraceAnalysis::from_records(mission);
+            print!("{}", analysis.render_report());
+            if many && i + 1 < missions.len() {
+                println!();
+            }
+        }
+        if fleet && gi + 1 < groups {
             println!();
         }
     }

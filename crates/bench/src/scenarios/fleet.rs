@@ -1,0 +1,96 @@
+//! Fleet sweep — per-vehicle mission time, energy, and shared-resource
+//! contention as the fleet grows from 1 to 32 vehicles.
+//!
+//! This is the repo's extension study beyond the paper's single-robot
+//! evaluation: every vehicle's offloaded pipeline shares one cloud box
+//! (admission queueing stretches remote processing times, which feeds
+//! the profiler and thus Algorithm 1's placement) and one access point
+//! (concurrent uplinks split airtime). The sweep shows graceful
+//! degradation: mean mission time and cloud queueing grow with fleet
+//! size while every vehicle still completes.
+//!
+//! The size-1 row doubles as a determinism gate: its report must be
+//! byte-identical (same FNV-1a fingerprint) to the single-vehicle
+//! `mission::run` on the same configuration.
+
+use crate::suite::ScenarioCtx;
+use crate::{write_banner, TablePrinter};
+use lgv_offload::deploy::Deployment;
+use lgv_offload::fleet::{run_fleet_traced, FleetConfig};
+use lgv_offload::mission::{self, MissionConfig, Workload};
+use std::io;
+
+/// Regenerate the fleet multi-tenancy sweep.
+pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
+    write_banner(
+        ctx.out,
+        "Fleet sweep: shared cloud + shared spectrum, 1..32 vehicles",
+        "per-vehicle mission time and energy degrade gracefully as tenants \
+         multiply; cloud queueing and WAP contention feed Algorithm 1",
+    )?;
+
+    let sizes: &[usize] = if ctx.quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+
+    let base_cfg = || {
+        let mut cfg = MissionConfig::compact_lab(Deployment::cloud_12t(), Workload::Navigation);
+        cfg.seed = ctx.seed;
+        cfg
+    };
+
+    // Determinism gate: a fleet of one must be byte-identical to the
+    // single-vehicle runner (the contention hooks are exact no-ops for
+    // a lone tenant).
+    let solo = mission::run(base_cfg());
+    let solo_fp = solo.fingerprint();
+
+    let mut t = TablePrinter::new(vec![
+        "fleet",
+        "done",
+        "mean t s",
+        "max t s",
+        "mean J",
+        "cloud util",
+        "queue s",
+        "delayed",
+        "wap extra s",
+        "contended",
+    ]);
+    let mut identity_ok = false;
+    for &size in sizes {
+        let report = run_fleet_traced(FleetConfig::new(base_cfg(), size), ctx.tracer.clone());
+        if size == 1 {
+            identity_ok = report.vehicles[0].fingerprint() == solo_fp;
+        }
+        let max_t = report
+            .vehicles
+            .iter()
+            .map(|v| v.time.total().as_secs_f64())
+            .fold(0.0, f64::max);
+        let cloud = report.cloud.expect("offloaded fleet tracks the cloud");
+        let uplink = report.uplink.expect("offloaded fleet tracks the WAP");
+        t.row(vec![
+            format!("{size}"),
+            format!("{}/{}", report.completed(), report.vehicles.len()),
+            format!("{:.1}", report.mean_mission_secs()),
+            format!("{max_t:.1}"),
+            format!("{:.0}", report.mean_energy_j()),
+            format!("{:.3}", cloud.utilization),
+            format!("{:.3}", cloud.total_queue_delay.as_secs_f64()),
+            format!("{}", cloud.delayed),
+            format!("{:.3}", uplink.total_extra.as_secs_f64()),
+            format!("{}", uplink.contended_sends),
+        ]);
+    }
+    t.write_to(ctx.out)?;
+    t.save_csv_to(ctx.out, "fleet")?;
+    writeln!(
+        ctx.out,
+        "fleet-of-1 report byte-identical to single-vehicle run: {identity_ok} \
+         (fnv1a:{solo_fp:016x})"
+    )?;
+    writeln!(ctx.out)
+}

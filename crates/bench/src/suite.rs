@@ -17,14 +17,19 @@
 //! FNV-1a output checksums that land in the JSON artifact; CI fails if
 //! parallelism ever leaks into scenario results.
 //!
-//! JSON schema (`lgv-bench-suite/v1`, one object per file):
+//! JSON schema (`lgv-bench-suite/v2`, one object per file). `v2` adds
+//! the run-level accounting fields `scenario_count` (number of jobs in
+//! the artifact) and `total_sim_time_s` (summed virtual time across
+//! all scenarios) next to the worker-thread count and total wall time:
 //!
 //! ```json
 //! {
-//!   "schema": "lgv-bench-suite/v1",
+//!   "schema": "lgv-bench-suite/v2",
 //!   "threads": 4,
 //!   "quick": false,
+//!   "scenario_count": 13,
 //!   "total_wall_ms": 1234.5,
+//!   "total_sim_time_s": 5678.9,
 //!   "scenarios": [
 //!     {
 //!       "name": "fig9",
@@ -163,6 +168,13 @@ pub fn registry() -> Vec<Scenario> {
             seed: 0,
             cost_hint: 50,
             run: chaos::run,
+        },
+        Scenario {
+            name: "fleet",
+            title: "Fleet sweep: shared cloud + shared spectrum, 1..32 vehicles",
+            seed: 7,
+            cost_hint: 120,
+            run: fleet::run,
         },
     ]
 }
@@ -349,16 +361,27 @@ fn json_escape(s: &str) -> String {
 }
 
 impl SuiteReport {
+    /// Summed virtual time across all scenarios (seconds) — how much
+    /// simulation the suite covered, independent of host speed.
+    pub fn total_sim_time_s(&self) -> f64 {
+        self.results.iter().map(|r| r.sim_time_s).sum()
+    }
+
     /// Render the machine-readable `BENCH_suite.json` artifact.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"lgv-bench-suite/v1\",\n");
+        s.push_str("  \"schema\": \"lgv-bench-suite/v2\",\n");
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!("  \"scenario_count\": {},\n", self.results.len()));
         s.push_str(&format!(
             "  \"total_wall_ms\": {:.3},\n",
             self.total_wall_ms
+        ));
+        s.push_str(&format!(
+            "  \"total_sim_time_s\": {:.3},\n",
+            self.total_sim_time_s()
         ));
         s.push_str("  \"scenarios\": [\n");
         for (i, r) in self.results.iter().enumerate() {
@@ -432,7 +455,9 @@ mod tests {
             }],
         };
         let j = report.to_json();
-        assert!(j.contains("\"schema\": \"lgv-bench-suite/v1\""));
+        assert!(j.contains("\"schema\": \"lgv-bench-suite/v2\""));
+        assert!(j.contains("\"scenario_count\": 1"));
+        assert!(j.contains("\"total_sim_time_s\": 0.000"));
         assert!(j.contains("\"name\": \"x\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());

@@ -68,7 +68,9 @@ fn suite_json_is_valid_and_lists_every_scenario() {
     let report = run_suite(&scenarios, 2, true);
     let json = report.to_json();
     json_validate(&json).expect("suite JSON must parse");
-    assert!(json.contains("\"schema\": \"lgv-bench-suite/v1\""));
+    assert!(json.contains("\"schema\": \"lgv-bench-suite/v2\""));
+    assert!(json.contains(&format!("\"scenario_count\": {}", scenarios.len())));
+    assert!(json.contains("\"total_sim_time_s\": "));
     for s in &scenarios {
         assert!(
             json.contains(&format!("\"name\": \"{}\"", s.name)),
@@ -86,7 +88,7 @@ fn committed_bench_artifact_matches_registry() {
     let text = std::fs::read_to_string(path)
         .expect("BENCH_suite.json missing at repo root — regenerate with `suite`");
     json_validate(&text).expect("committed BENCH_suite.json must parse");
-    assert!(text.contains("\"schema\": \"lgv-bench-suite/v1\""));
+    assert!(text.contains("\"schema\": \"lgv-bench-suite/v2\""));
     for s in registry() {
         assert!(
             text.contains(&format!("\"name\": \"{}\"", s.name)),

@@ -72,13 +72,31 @@ impl Deployment {
         ]
     }
 
+    /// The platform tier this deployment's remote site maps to (the
+    /// LGV's own tier when not offloaded).
+    pub fn platform_kind(&self) -> PlatformKind {
+        match self.site {
+            None => PlatformKind::Turtlebot3,
+            Some(RemoteSite::EdgeGateway) => PlatformKind::EdgeGateway,
+            Some(RemoteSite::CloudServer) => PlatformKind::CloudServer,
+        }
+    }
+
     /// The remote compute platform (the LGV's own when not offloaded).
     pub fn remote_platform(&self) -> Platform {
-        match self.site {
-            None => Platform::preset(PlatformKind::Turtlebot3),
-            Some(RemoteSite::EdgeGateway) => Platform::preset(PlatformKind::EdgeGateway),
-            Some(RemoteSite::CloudServer) => Platform::preset(PlatformKind::CloudServer),
-        }
+        Platform::preset(self.platform_kind())
+    }
+
+    /// The vehicle's own on-board platform (Table III tier 1).
+    pub fn local_platform() -> Platform {
+        Platform::preset(PlatformKind::Turtlebot3)
+    }
+
+    /// All three Table III platform tiers, in `PlatformKind::ALL`
+    /// order (Turtlebot3, edge gateway, cloud server) — the single
+    /// construction point for benches that sweep the tiers.
+    pub fn tiers() -> [Platform; 3] {
+        PlatformKind::ALL.map(Platform::preset)
     }
 
     /// Whether any offloading happens at all.
@@ -100,6 +118,16 @@ mod tests {
         assert_eq!(set[2].threads, 8);
         assert_eq!(set[4].threads, 12);
         assert_eq!(set[4].site, Some(RemoteSite::CloudServer));
+    }
+
+    #[test]
+    fn tiers_cover_table_three_in_order() {
+        let tiers = Deployment::tiers();
+        assert_eq!(tiers.len(), PlatformKind::ALL.len());
+        for (t, k) in tiers.iter().zip(PlatformKind::ALL) {
+            assert_eq!(t.kind, k);
+        }
+        assert_eq!(Deployment::local_platform().kind, PlatformKind::Turtlebot3);
     }
 
     #[test]

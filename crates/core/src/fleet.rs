@@ -1,0 +1,220 @@
+//! Fleet-scale multi-tenancy: N vehicles, one cloud, one access point.
+//!
+//! The paper evaluates a single LGV that has the cloud server and the
+//! wireless spectrum to itself. A warehouse does not work like that:
+//! every vehicle's offloaded pipeline lands on the **same** cloud box
+//! and every uplink crosses the **same** WAP. This module runs N
+//! [`VehicleSession`]s interleaved on one virtual clock against two
+//! shared contention resources:
+//!
+//! * a [`CloudScheduler`] multiplexing the remote platform's hardware
+//!   threads across tenants — per-tenant queueing delay inflates the
+//!   remote processing times the profiler measures, so Algorithm 1's
+//!   placement genuinely reacts to cloud saturation, and
+//! * a [`SharedMedium`] splitting uplink airtime between concurrent
+//!   senders, so a crowded WAP stretches scan delivery.
+//!
+//! **Lockstep determinism.** The driver advances every running session
+//! through control cycle `k` before any session starts cycle `k+1`.
+//! Both contention models bill window `w` against the *previous*
+//! window's census, which is final once a round begins — so results
+//! are independent of the order sessions are stepped within a round,
+//! and a fleet run is exactly reproducible from its seed.
+//!
+//! **Fleet-of-one identity.** Vehicle 1 runs the base config verbatim,
+//! [`VehicleSession::join_fleet`] draws no randomness, and a lone
+//! tenant is charged exactly zero by both models — so a size-1 fleet's
+//! [`MissionReport`] is byte-identical (same [`MissionReport::fingerprint`])
+//! to [`crate::mission::run`] on the same config.
+
+use crate::mission::{MissionConfig, MissionReport};
+use crate::session::{VehicleSession, CONTROL_PERIOD};
+use lgv_net::shared::{MediumStats, SharedMedium};
+use lgv_sim::cloud::{CloudScheduler, CloudStats};
+use lgv_trace::Tracer;
+use lgv_types::prelude::*;
+
+/// Golden-ratio mixing constant for deriving per-vehicle seeds.
+const SEED_STRIDE: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A fleet of identical missions differing only in their seeds.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The mission every vehicle runs. Vehicle 1 uses it verbatim
+    /// (including its seed); later vehicles derive their seeds.
+    pub base: MissionConfig,
+    /// Number of vehicles (clamped to ≥ 1).
+    pub size: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `size` vehicles running `base`.
+    pub fn new(base: MissionConfig, size: usize) -> Self {
+        FleetConfig { base, size }
+    }
+
+    /// The configuration vehicle `vehicle` (1-based) runs: the base
+    /// config with a seed derived by golden-ratio mixing for vehicles
+    /// past the first. Vehicle 1 gets the base verbatim, which is what
+    /// makes the size-1 fleet byte-identical to a single-vehicle run.
+    pub fn vehicle_config(&self, vehicle: u64) -> MissionConfig {
+        let mut cfg = self.base.clone();
+        if vehicle > 1 {
+            cfg.seed = self.base.seed ^ vehicle.wrapping_mul(SEED_STRIDE);
+        }
+        cfg
+    }
+}
+
+/// Outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-vehicle mission reports, in vehicle-id order (vehicle `i`
+    /// is at index `i − 1`).
+    pub vehicles: Vec<MissionReport>,
+    /// Shared cloud admission counters (None when the deployment does
+    /// not offload).
+    pub cloud: Option<CloudStats>,
+    /// Shared access-point contention counters (None when the
+    /// deployment does not offload).
+    pub uplink: Option<MediumStats>,
+    /// Lockstep rounds driven (= the slowest vehicle's cycle count).
+    pub rounds: u64,
+}
+
+impl FleetReport {
+    /// Vehicles that completed their mission.
+    pub fn completed(&self) -> usize {
+        self.vehicles.iter().filter(|v| v.completed).count()
+    }
+
+    /// Mean mission time across vehicles (seconds).
+    pub fn mean_mission_secs(&self) -> f64 {
+        let n = self.vehicles.len().max(1) as f64;
+        self.vehicles
+            .iter()
+            .map(|v| v.time.total().as_secs_f64())
+            .sum::<f64>()
+            / n
+    }
+
+    /// Mean energy across vehicles (joules).
+    pub fn mean_energy_j(&self) -> f64 {
+        let n = self.vehicles.len().max(1) as f64;
+        self.vehicles
+            .iter()
+            .map(|v| v.energy.total_joules())
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// Run a fleet without tracing.
+pub fn run_fleet(cfg: FleetConfig) -> FleetReport {
+    run_fleet_traced(cfg, Tracer::disabled())
+}
+
+/// Run a fleet with every session's events tagged by vehicle id
+/// through a [`Tracer::for_vehicle`] clone per session, all sharing
+/// `tracer`'s sink and virtual clock.
+pub fn run_fleet_traced(cfg: FleetConfig, tracer: Tracer) -> FleetReport {
+    let n = cfg.size.max(1) as u64;
+    let offloaded = cfg.base.deployment.offloaded();
+    let (cloud, medium) = if offloaded {
+        let hw = cfg.base.deployment.remote_platform().hw_threads;
+        (
+            Some(CloudScheduler::new(hw, CONTROL_PERIOD)),
+            Some(SharedMedium::new(CONTROL_PERIOD)),
+        )
+    } else {
+        (None, None)
+    };
+
+    let mut sessions: Vec<VehicleSession> = (1..=n)
+        .map(|v| {
+            let mut s = VehicleSession::new(cfg.vehicle_config(v), tracer.for_vehicle(v));
+            s.join_fleet(VehicleId(v), cloud.clone(), medium.clone());
+            s
+        })
+        .collect();
+
+    for s in sessions.iter_mut() {
+        s.begin();
+    }
+
+    // Lockstep rounds: every running session finishes cycle k before
+    // any session starts cycle k+1. Sessions drop out individually as
+    // their missions end (goal, battery, or time cap).
+    let mut running: Vec<bool> = vec![true; sessions.len()];
+    let mut rounds = 0u64;
+    while running.iter().any(|&r| r) {
+        rounds += 1;
+        for (i, s) in sessions.iter_mut().enumerate() {
+            if running[i] {
+                running[i] = s.step();
+            }
+        }
+    }
+
+    FleetReport {
+        vehicles: sessions.into_iter().map(|s| s.finish()).collect(),
+        cloud: cloud.map(|c| c.stats()),
+        uplink: medium.map(|m| m.stats()),
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::Deployment;
+    use crate::mission::Workload;
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        let cfg = FleetConfig::new(
+            MissionConfig::compact_lab(Deployment::edge(), Workload::Navigation),
+            4,
+        );
+        assert_eq!(cfg.vehicle_config(1).seed, cfg.base.seed);
+        let seeds: Vec<u64> = (1..=4).map(|v| cfg.vehicle_config(v).seed).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(
+            seeds,
+            (1..=4)
+                .map(|v| cfg.vehicle_config(v).seed)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn local_fleet_has_no_shared_resources() {
+        let base = MissionConfig::compact_lab(Deployment::local(), Workload::Navigation);
+        let report = run_fleet(FleetConfig::new(base, 2));
+        assert_eq!(report.vehicles.len(), 2);
+        assert!(report.cloud.is_none());
+        assert!(report.uplink.is_none());
+        assert!(report.rounds > 0);
+        assert_eq!(report.completed(), 2, "both local vehicles should finish");
+    }
+
+    #[test]
+    fn contention_appears_beyond_one_vehicle() {
+        let base = MissionConfig::compact_lab(Deployment::edge_8t(), Workload::Navigation);
+        let report = run_fleet(FleetConfig::new(base, 2));
+        let cloud = report.cloud.expect("offloaded fleet tracks the cloud");
+        assert!(cloud.admissions > 0);
+        assert!(
+            cloud.delayed > 0,
+            "two tenants on one edge box should queue"
+        );
+        let uplink = report.uplink.expect("offloaded fleet tracks the WAP");
+        assert!(uplink.contended_sends > 0, "two uplinks should contend");
+        assert!(report.mean_mission_secs() > 0.0);
+        assert!(report.mean_energy_j() > 0.0);
+    }
+}

@@ -24,6 +24,12 @@
 //!   wiring the whole stack together: simulated vehicle + sensors,
 //!   middleware, network, remote platforms, energy ledger, and the
 //!   runtime Controller applying both algorithms.
+//! * [`session`] — one vehicle's complete runtime wiring packaged as a
+//!   steppable [`VehicleSession`], so N instances can be interleaved
+//!   on one virtual clock.
+//! * [`fleet`] — the multi-tenant fleet driver: N sessions in lockstep
+//!   against a shared cloud admission scheduler and a shared-spectrum
+//!   access point.
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -31,21 +37,25 @@
 pub mod classify;
 pub mod controller;
 pub mod deploy;
+pub mod fleet;
 pub mod governor;
 pub mod migration;
 pub mod mission;
 pub mod model;
 pub mod netctl;
 pub mod profiler;
+pub mod session;
 pub mod strategy;
 
 pub use classify::{classify, Classification, NodeProfile};
 pub use controller::{ControlDecision, ControlInputs, Controller, ControllerConfig};
 pub use deploy::Deployment;
+pub use fleet::{run_fleet, run_fleet_traced, FleetConfig, FleetReport};
 pub use governor::{GovernorConfig, ThreadGovernor};
 pub use migration::{MigrationManager, MigrationTicket};
 pub use mission::{MissionConfig, MissionReport, Workload};
 pub use model::{max_velocity_oa, Goal, VelocityModel};
 pub use netctl::{NetControl, NetControlConfig, NetDecision};
 pub use profiler::Profiler;
+pub use session::VehicleSession;
 pub use strategy::{OffloadStrategy, PlacementPlan};

@@ -1,0 +1,74 @@
+//! Fleet determinism guarantees (the multi-tenancy refactor's safety
+//! net): a fleet of one is byte-identical to the single-vehicle
+//! runner, and fleet runs are exactly reproducible from their seed.
+
+use lgv_offload::deploy::Deployment;
+use lgv_offload::fleet::{run_fleet, FleetConfig};
+use lgv_offload::mission::{self, MissionConfig, Workload};
+
+fn base() -> MissionConfig {
+    MissionConfig::compact_lab(Deployment::edge_8t(), Workload::Navigation)
+}
+
+#[test]
+fn fleet_of_one_is_byte_identical_to_single_vehicle() {
+    let solo = mission::run(base());
+    let fleet = run_fleet(FleetConfig::new(base(), 1));
+    assert_eq!(fleet.vehicles.len(), 1);
+    // Same fingerprint = same Debug rendering = every field, every
+    // trace sample byte-identical. The fleet's contention hooks must
+    // be exact no-ops for a lone tenant.
+    assert_eq!(
+        fleet.vehicles[0].fingerprint(),
+        solo.fingerprint(),
+        "size-1 fleet diverged from mission::run: {} vs {}",
+        fleet.vehicles[0].reason,
+        solo.reason
+    );
+    // The lone tenant must never have been charged for contention.
+    let cloud = fleet.cloud.expect("offloaded fleet tracks the cloud");
+    assert_eq!(cloud.delayed, 0);
+    let uplink = fleet.uplink.expect("offloaded fleet tracks the WAP");
+    assert_eq!(uplink.contended_sends, 0);
+}
+
+#[test]
+fn fleet_runs_are_seed_stable() {
+    let a = run_fleet(FleetConfig::new(base(), 2));
+    let b = run_fleet(FleetConfig::new(base(), 2));
+    assert_eq!(a.rounds, b.rounds);
+    for (va, vb) in a.vehicles.iter().zip(&b.vehicles) {
+        assert_eq!(va.fingerprint(), vb.fingerprint());
+    }
+    let (ca, cb) = (a.cloud.unwrap(), b.cloud.unwrap());
+    assert_eq!(ca.admissions, cb.admissions);
+    assert_eq!(ca.total_queue_delay, cb.total_queue_delay);
+    assert_eq!(a.uplink.unwrap(), b.uplink.unwrap());
+}
+
+/// The CI quick gate (scripts/ci.sh stage 6): a fleet of four on one
+/// edge box, run twice, must agree on every per-vehicle fingerprint
+/// and every shared-resource counter — while actually exercising
+/// contention on both shared resources.
+#[test]
+#[ignore = "slow; run by scripts/ci.sh"]
+fn fleet_of_four_is_deterministic_under_contention() {
+    let a = run_fleet(FleetConfig::new(base(), 4));
+    let b = run_fleet(FleetConfig::new(base(), 4));
+    assert_eq!(a.vehicles.len(), 4);
+    for (va, vb) in a.vehicles.iter().zip(&b.vehicles) {
+        assert_eq!(va.fingerprint(), vb.fingerprint());
+    }
+    let (ca, cb) = (a.cloud.unwrap(), b.cloud.unwrap());
+    assert_eq!(ca.admissions, cb.admissions);
+    assert_eq!(ca.delayed, cb.delayed);
+    assert_eq!(ca.total_queue_delay, cb.total_queue_delay);
+    assert_eq!(a.uplink.unwrap(), b.uplink.unwrap());
+    // Four tenants' governor-chosen threads on an 8-thread edge box:
+    // the queueing and spectrum models must both actually bite.
+    assert!(ca.delayed > 0, "no cloud queueing with four tenants?");
+    assert!(
+        a.uplink.unwrap().contended_sends > 0,
+        "no WAP contention with four uplinks?"
+    );
+}

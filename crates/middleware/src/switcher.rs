@@ -44,6 +44,10 @@ pub struct Envelope {
     /// carried across the wire so the receiving side can chain its
     /// re-publication back to the original publish.
     pub msg: u64,
+    /// Tenant id of the vehicle this envelope belongs to (0 = the
+    /// single-vehicle sentinel, [`VehicleId::NONE`]). A shared cloud
+    /// demultiplexes fleet traffic by this field.
+    pub vehicle: u64,
     /// The serialized inner message.
     pub payload: Vec<u8>,
 }
@@ -121,6 +125,9 @@ pub struct Switcher {
     pub uplink_bytes_sent: u64,
     stats: SwitcherStats,
     tracer: Tracer,
+    /// Tenant id stamped on every envelope this switcher emits
+    /// ([`VehicleId::NONE`] outside a fleet).
+    vehicle: VehicleId,
 }
 
 impl Switcher {
@@ -153,7 +160,15 @@ impl Switcher {
             uplink_bytes_sent: 0,
             stats: SwitcherStats::default(),
             tracer: Tracer::disabled(),
+            vehicle: VehicleId::NONE,
         }
+    }
+
+    /// Stamp every envelope this switcher emits with a fleet tenant
+    /// id. Single-vehicle runs never call this and keep the 0
+    /// sentinel.
+    pub fn set_vehicle(&mut self, vehicle: VehicleId) {
+        self.vehicle = vehicle;
     }
 
     /// Route relay events (RTT samples) and the underlying link's
@@ -195,6 +210,12 @@ impl Switcher {
         &self.link
     }
 
+    /// Mutable link access, for fleet wiring (joining the shared
+    /// wireless medium).
+    pub fn link_mut(&mut self) -> &mut DuplexLink {
+        &mut self.link
+    }
+
     /// When the robot last received any downlink envelope (`None`
     /// until the remote has been heard from at all).
     pub fn last_downlink_at(&self) -> Option<SimTime> {
@@ -222,6 +243,7 @@ impl Switcher {
             echo_stamp: None,
             proc_times: Vec::new(),
             msg: msg.0,
+            vehicle: self.vehicle.raw(),
             payload: payload.to_vec(),
         }
     }
@@ -285,6 +307,7 @@ impl Switcher {
                 echo_stamp: Some(env.sent_at),
                 proc_times: std::mem::take(&mut self.pending_proc),
                 msg: 0,
+                vehicle: self.vehicle.raw(),
                 payload: Vec::new(),
             });
             if let Some(topic) = TopicName::resolve(&env.topic) {
@@ -494,6 +517,17 @@ mod tests {
             sw.last_downlink_at(),
             Some(SimTime::EPOCH + Duration::from_millis(6000))
         );
+    }
+
+    #[test]
+    fn envelopes_carry_the_tenant_id() {
+        let (mut sw, _robot, _remote) = make(RemoteSite::EdgeGateway);
+        // Default: the single-vehicle sentinel.
+        let env = sw.envelope(TopicName::SCAN, &[1, 2], SimTime::EPOCH, MsgId::NONE);
+        assert_eq!(env.vehicle, 0);
+        sw.set_vehicle(VehicleId(5));
+        let env = sw.envelope(TopicName::SCAN, &[1, 2], SimTime::EPOCH, MsgId::NONE);
+        assert_eq!(env.vehicle, 5);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //!    overwrites an unread older one (freshness over completeness).
 
 use crate::fault::{FaultInjector, FaultSchedule};
+use crate::shared::SharedMedium;
 use crate::signal::SignalModel;
 use bytes::Bytes;
 use lgv_trace::{MsgId, SendKind, TraceEvent, Tracer};
@@ -129,6 +130,10 @@ pub struct UdpChannel {
     trace_dir: &'static str,
     /// Scripted fault windows applied to this channel (no-op by default).
     faults: FaultInjector,
+    /// Shared-spectrum contention: `(medium, sender id)` once this
+    /// channel joins a fleet's access point. `None` (the default) adds
+    /// exactly zero delay, keeping single-vehicle runs byte-identical.
+    medium: Option<(SharedMedium, u64)>,
 }
 
 impl UdpChannel {
@@ -148,7 +153,15 @@ impl UdpChannel {
             tracer: Tracer::disabled(),
             trace_dir: "link",
             faults: FaultInjector::disabled(),
+            medium: None,
         }
+    }
+
+    /// Join a shared access point as `sender`: every transmission is
+    /// reported to `medium` and pays its contention delay on top of
+    /// the private-link latency.
+    pub fn join_medium(&mut self, medium: SharedMedium, sender: u64) {
+        self.medium = Some((medium, sender));
     }
 
     /// Install scripted fault windows. `remote_receives` marks the
@@ -206,7 +219,15 @@ impl UdpChannel {
             payload
         };
         let jitter = self.signal.config().jitter * self.rng.uniform();
-        let arrival = now + self.signal.tx_delay_at(payload.len(), now) + self.wan_latency + jitter;
+        let mut arrival =
+            now + self.signal.tx_delay_at(payload.len(), now) + self.wan_latency + jitter;
+        // Shared-spectrum contention stretches the airtime by the
+        // other stations' traffic; an un-joined channel (or a fleet of
+        // one) adds exactly zero here.
+        if let Some((medium, sender)) = &self.medium {
+            let airtime = self.signal.serialization_delay(payload.len());
+            arrival += medium.contend(*sender, now, airtime);
+        }
         self.in_flight.push(InFlight {
             arrival,
             packet: Packet {

@@ -15,6 +15,8 @@
 //!   segment modelling the lab→datacenter hop.
 //! * [`measure`] — the metrics Algorithm 2 consumes: packet bandwidth
 //!   (receive rate), signal direction, and RTT tracking.
+//! * [`shared`] — deterministic shared-spectrum contention for fleets:
+//!   concurrent uplinks through one WAP stretch each other's airtime.
 
 //! ## Example: the Fig. 7 failure mode in four lines
 //!
@@ -42,6 +44,7 @@ pub mod channel;
 pub mod fault;
 pub mod link;
 pub mod measure;
+pub mod shared;
 pub mod signal;
 pub mod tcp;
 
@@ -49,5 +52,6 @@ pub use channel::{Packet, SendOutcome, UdpChannel};
 pub use fault::{FaultClock, FaultEdge, FaultInjector, FaultKind, FaultSchedule, FaultWindow};
 pub use link::{DuplexLink, LinkConfig, RemoteSite};
 pub use measure::{BandwidthMeter, RttTracker, SignalDirectionEstimator};
+pub use shared::{MediumStats, SharedMedium};
 pub use signal::{SignalModel, WirelessConfig};
 pub use tcp::{TcpChannel, TcpStats};

@@ -97,6 +97,14 @@ impl DuplexLink {
         self.downlink.set_faults(schedule.clone(), false);
     }
 
+    /// Join a fleet's shared access point as `vehicle`. Only the
+    /// uplink contends: the fleet's heavy traffic is sensor uplink,
+    /// and the server-side radio serves the downlink from a wired
+    /// backbone in this model.
+    pub fn join_shared_medium(&mut self, medium: crate::shared::SharedMedium, vehicle: u64) {
+        self.uplink.join_medium(medium, vehicle);
+    }
+
     /// Is the radio itself weak at the robot's position right now
     /// (including scripted blackouts, excluding remote-host crashes)?
     /// This is what the robot's own diagnostics can see — the signal

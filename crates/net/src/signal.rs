@@ -123,7 +123,15 @@ impl SignalModel {
     /// Transmission delay for a packet of `bytes` at this position
     /// (base latency + serialization; jitter is added by the channel).
     pub fn tx_delay(&self, bytes: usize) -> Duration {
-        self.cfg.base_latency + Duration::from_secs_f64(bytes as f64 * 8.0 / self.cfg.bandwidth_bps)
+        self.cfg.base_latency + self.serialization_delay(bytes)
+    }
+
+    /// The airtime a packet of `bytes` occupies on the medium
+    /// (`bytes·8 / bandwidth`) — the unit of contention when several
+    /// senders share one access point
+    /// ([`crate::shared::SharedMedium`]).
+    pub fn serialization_delay(&self, bytes: usize) -> Duration {
+        Duration::from_secs_f64(bytes as f64 * 8.0 / self.cfg.bandwidth_bps)
     }
 
     /// Distance from a robot position to the WAP.

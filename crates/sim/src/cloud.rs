@@ -1,0 +1,266 @@
+//! Cloud-side admission control for multi-tenant offloading.
+//!
+//! The paper's cloud server runs one robot's VDP and has all 48
+//! hardware threads to itself. A fleet changes that: every vehicle's
+//! offloaded pipeline lands on the *same* box, and the governor-chosen
+//! thread counts of all tenants compete for the same cores.
+//!
+//! [`CloudScheduler`] models the resulting queueing delay
+//! deterministically:
+//!
+//! * Virtual time is divided into fixed windows (one control period by
+//!   default). Each admission records the tenant's requested thread
+//!   count in the current window.
+//! * An admission in window `w` requesting `exec` seconds of compute
+//!   is stretched by `exec × (other tenants' threads in window w−1) /
+//!   hw_threads` — the classic processor-sharing slowdown, fed by the
+//!   *previous* window so the penalty is independent of intra-round
+//!   ordering (the fleet driver runs vehicles in lockstep rounds, so
+//!   window `w−1` is final before anyone executes in `w`).
+//! * A tenant alone on the box — a fleet of one, or a session that
+//!   never attached a scheduler — pays **exactly zero**, preserving
+//!   byte-identity with single-vehicle runs.
+//!
+//! The returned queueing delay is experienced by the vehicle as longer
+//! remote processing time, so it flows into the profiler's RTT and
+//! remote-time estimates and from there into Algorithm 1's placement
+//! decisions: a saturated cloud genuinely looks slower and pushes
+//! stages back onto the robot or the edge.
+//!
+//! The handle is `Clone`; clones share state, so one scheduler is
+//! created per fleet and every vehicle session attaches to it.
+
+use lgv_types::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Aggregate counters for one shared cloud box.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CloudStats {
+    /// Total admissions processed.
+    pub admissions: u64,
+    /// Admissions that paid a non-zero queueing delay.
+    pub delayed: u64,
+    /// Total queueing delay imposed across all tenants.
+    pub total_queue_delay: Duration,
+    /// Most requested threads observed in any single window, summed
+    /// across tenants (may exceed `hw_threads` under saturation).
+    pub peak_window_threads: u64,
+    /// Mean utilization of the box over the busy interval:
+    /// thread-seconds executed / (hardware threads × elapsed time).
+    pub utilization: f64,
+}
+
+#[derive(Debug)]
+struct SchedulerInner {
+    window: Duration,
+    hw_threads: u32,
+    /// Requested threads per tenant per window index. Old windows are
+    /// pruned; only `w−1` and `w` are ever consulted.
+    requested: BTreeMap<u64, BTreeMap<u64, u64>>,
+    admissions: u64,
+    delayed: u64,
+    total_queue_delay: Duration,
+    peak_window_threads: u64,
+    /// Thread-seconds of admitted compute, for utilization.
+    thread_secs: f64,
+    first_admit: Option<SimTime>,
+    last_admit: SimTime,
+}
+
+/// One cloud server shared by several vehicle tenants.
+///
+/// Cheap to clone; clones share the same admission state.
+#[derive(Debug, Clone)]
+pub struct CloudScheduler {
+    inner: Arc<Mutex<SchedulerInner>>,
+}
+
+impl CloudScheduler {
+    /// A scheduler for a box with `hw_threads` hardware threads and
+    /// the given contention window (use the fleet's control period).
+    pub fn new(hw_threads: u32, window: Duration) -> Self {
+        CloudScheduler {
+            inner: Arc::new(Mutex::new(SchedulerInner {
+                window: if window == Duration::ZERO {
+                    Duration::from_millis(200)
+                } else {
+                    window
+                },
+                hw_threads: hw_threads.max(1),
+                requested: BTreeMap::new(),
+                admissions: 0,
+                delayed: 0,
+                total_queue_delay: Duration::ZERO,
+                peak_window_threads: 0,
+                thread_secs: 0.0,
+                first_admit: None,
+                last_admit: SimTime::EPOCH,
+            })),
+        }
+    }
+
+    /// Admit `exec` seconds of compute on `threads` threads for
+    /// `tenant` at `now`, and return the queueing delay the shared box
+    /// adds on top: `exec × (other tenants' window-`w−1` threads) /
+    /// hw_threads`. Zero when the tenant had the box to itself.
+    pub fn admit(&self, tenant: u64, now: SimTime, threads: u32, exec: Duration) -> Duration {
+        let mut inner = self.inner.lock().unwrap();
+        let w = now.as_nanos() / inner.window.as_nanos().max(1);
+
+        *inner
+            .requested
+            .entry(w)
+            .or_default()
+            .entry(tenant)
+            .or_insert(0) += threads as u64;
+        let here: u64 = inner.requested[&w].values().sum();
+        inner.peak_window_threads = inner.peak_window_threads.max(here);
+        // Keep only the windows the model can still consult.
+        inner.requested = inner.requested.split_off(&w.saturating_sub(1));
+
+        let others: u64 = inner.requested.get(&w.wrapping_sub(1)).map_or(0, |prev| {
+            prev.iter()
+                .filter(|(&t, _)| t != tenant)
+                .map(|(_, &n)| n)
+                .sum()
+        });
+
+        inner.admissions += 1;
+        inner.thread_secs += exec.as_secs_f64() * threads as f64;
+        if inner.first_admit.is_none() {
+            inner.first_admit = Some(now);
+        }
+        inner.last_admit = inner.last_admit.max(now + exec);
+
+        let delay = if others == 0 {
+            Duration::ZERO
+        } else {
+            exec * (others as f64 / inner.hw_threads as f64)
+        };
+        if delay > Duration::ZERO {
+            inner.delayed += 1;
+            inner.total_queue_delay += delay;
+        }
+        delay
+    }
+
+    /// Hardware threads of the modelled box.
+    pub fn hw_threads(&self) -> u32 {
+        self.inner.lock().unwrap().hw_threads
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> CloudStats {
+        let inner = self.inner.lock().unwrap();
+        let utilization = match inner.first_admit {
+            None => 0.0,
+            Some(first) => {
+                let elapsed = inner.last_admit.saturating_since(first).as_secs_f64();
+                if elapsed <= 0.0 {
+                    0.0
+                } else {
+                    inner.thread_secs / (inner.hw_threads as f64 * elapsed)
+                }
+            }
+        };
+        CloudStats {
+            admissions: inner.admissions,
+            delayed: inner.delayed,
+            total_queue_delay: inner.total_queue_delay,
+            peak_window_threads: inner.peak_window_threads,
+            utilization,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXEC: Duration = Duration::from_millis(40);
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::EPOCH + Duration::from_millis(ms)
+    }
+
+    fn sched() -> CloudScheduler {
+        CloudScheduler::new(48, Duration::from_millis(200))
+    }
+
+    #[test]
+    fn lone_tenant_pays_nothing_ever() {
+        let s = sched();
+        for i in 0..50 {
+            assert_eq!(s.admit(1, at(i * 200), 12, EXEC), Duration::ZERO);
+        }
+        let stats = s.stats();
+        assert_eq!(stats.delayed, 0);
+        assert_eq!(stats.total_queue_delay, Duration::ZERO);
+        assert_eq!(stats.admissions, 50);
+        assert!(stats.utilization > 0.0);
+    }
+
+    #[test]
+    fn queueing_delay_scales_with_other_tenants_threads() {
+        let s = sched();
+        // Window 0: tenants 2 and 3 request 12 threads each.
+        s.admit(2, at(0), 12, EXEC);
+        s.admit(3, at(10), 12, EXEC);
+        // Window 1: tenant 1 pays for 24 foreign threads on 48 cores.
+        let delay = s.admit(1, at(200), 12, EXEC);
+        assert_eq!(delay, EXEC * 0.5);
+        // Tenant 2 only pays for tenant 3's 12 threads.
+        assert_eq!(s.admit(2, at(210), 12, EXEC), EXEC * 0.25);
+    }
+
+    #[test]
+    fn order_within_a_round_does_not_matter() {
+        let run = |order: &[u64]| -> Vec<Duration> {
+            let s = sched();
+            for &t in order {
+                s.admit(t, at(0), 8, EXEC);
+            }
+            order
+                .iter()
+                .map(|&t| s.admit(t, at(200), 8, EXEC))
+                .collect()
+        };
+        let a = run(&[1, 2, 3]);
+        let b = run(&[3, 1, 2]);
+        assert_eq!(a, vec![EXEC * (16.0 / 48.0); 3]);
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn idle_gap_resets_the_penalty() {
+        let s = sched();
+        s.admit(1, at(0), 8, EXEC);
+        s.admit(2, at(0), 8, EXEC);
+        // Two windows later, window w−1 is empty: no charge.
+        assert_eq!(s.admit(1, at(450), 8, EXEC), Duration::ZERO);
+    }
+
+    #[test]
+    fn utilization_and_peak_reflect_load() {
+        let s = sched();
+        for t in 1..=4u64 {
+            s.admit(t, at(0), 12, EXEC);
+        }
+        let stats = s.stats();
+        assert_eq!(stats.peak_window_threads, 48);
+        // 4 tenants × 40 ms × 12 threads over a 40 ms busy interval on
+        // 48 threads = fully utilized.
+        assert!((stats.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = sched();
+        let s2 = s.clone();
+        s.admit(1, at(0), 8, EXEC);
+        s2.admit(2, at(0), 8, EXEC);
+        assert!(s.admit(1, at(200), 8, EXEC) > Duration::ZERO);
+        assert_eq!(s.stats().admissions, 3);
+    }
+}

@@ -13,11 +13,15 @@
 //!   produces the shapes of Figures 9 and 10.
 //! * [`power`], [`energy`], [`battery`] — the paper's analytical energy
 //!   model (Eq. 1a–1d, Table I constants) integrated over virtual time.
+//! * [`cloud`] — multi-tenant admission control for a shared cloud box:
+//!   deterministic queueing delay when a fleet's offloaded pipelines
+//!   compete for the same hardware threads.
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod battery;
+pub mod cloud;
 pub mod energy;
 pub mod lidar;
 pub mod platform;
@@ -26,6 +30,7 @@ pub mod vehicle;
 pub mod world;
 
 pub use battery::Battery;
+pub use cloud::{CloudScheduler, CloudStats};
 pub use energy::{Component, EnergyLedger, EnergyReport};
 pub use lidar::{Lidar, LidarConfig};
 pub use platform::{Platform, PlatformKind};

@@ -135,6 +135,19 @@ struct FaultSpan {
     speed: Histogram,
 }
 
+/// Per-vehicle aggregates for fleet traces, where records carry a
+/// non-zero envelope `vehicle` tag.
+#[derive(Debug, Clone, Default)]
+struct VehicleAgg {
+    records: u64,
+    cycles: u64,
+    journeys: u64,
+    delivered: u64,
+    discards: u64,
+    losses: u64,
+    rtt_samples: u64,
+}
+
 /// One flagged lying-RTT window.
 #[derive(Debug, Clone)]
 struct Anomaly {
@@ -177,6 +190,10 @@ pub struct TraceAnalysis {
     migration_timeouts: u64,
     /// Re-offload backoff events as `(t_ns, wait_ns, failures)`.
     backoffs: Vec<(u64, u64, u64)>,
+    /// Aggregates keyed by envelope `vehicle` tag; empty for
+    /// single-vehicle traces (tag 0 is never entered), so pre-fleet
+    /// reports render byte-identically.
+    vehicles: BTreeMap<u64, VehicleAgg>,
 }
 
 impl TraceAnalysis {
@@ -204,6 +221,7 @@ impl TraceAnalysis {
             heartbeat_misses: 0,
             migration_timeouts: 0,
             backoffs: Vec::new(),
+            vehicles: BTreeMap::new(),
         };
 
         // ---- single pass: index lineage + spans + anomaly windows.
@@ -211,6 +229,7 @@ impl TraceAnalysis {
             t_publish: u64,
             topic: String,
             span: SpanId,
+            vehicle: u64,
             parent: MsgId,
             children: Vec<MsgId>,
             first_up_send: Option<u64>,
@@ -223,11 +242,12 @@ impl TraceAnalysis {
             bus_dropped: bool,
         }
         impl MsgInfo {
-            fn new(t: u64, topic: String, span: SpanId, parent: MsgId) -> MsgInfo {
+            fn new(t: u64, topic: String, span: SpanId, vehicle: u64, parent: MsgId) -> MsgInfo {
                 MsgInfo {
                     t_publish: t,
                     topic,
                     span,
+                    vehicle,
                     parent,
                     children: Vec::new(),
                     first_up_send: None,
@@ -257,6 +277,20 @@ impl TraceAnalysis {
             if !rec.span.is_none() {
                 *span_events.entry(rec.span.0).or_insert(0) += 1;
             }
+            if rec.vehicle != 0 {
+                let v = a.vehicles.entry(rec.vehicle).or_default();
+                v.records += 1;
+                match &rec.event {
+                    TraceEvent::SpanBegin { name, .. } if name == "cycle" => v.cycles += 1,
+                    TraceEvent::ChannelSend {
+                        outcome: SendKind::Discarded,
+                        ..
+                    } => v.discards += 1,
+                    TraceEvent::ChannelLoss { .. } => v.losses += 1,
+                    TraceEvent::RttSample { .. } => v.rtt_samples += 1,
+                    _ => {}
+                }
+            }
             match &rec.event {
                 TraceEvent::MissionStart {
                     workload,
@@ -277,7 +311,7 @@ impl TraceAnalysis {
                     topic, msg, parent, ..
                 } if !msg.is_none() => {
                     msgs.entry(msg.0).or_insert_with(|| {
-                        MsgInfo::new(rec.t_ns, topic.clone(), rec.span, *parent)
+                        MsgInfo::new(rec.t_ns, topic.clone(), rec.span, rec.vehicle, *parent)
                     });
                     if !parent.is_none() {
                         if let Some(p) = msgs.get_mut(&parent.0) {
@@ -459,6 +493,7 @@ impl TraceAnalysis {
             }
             let rootinfo = &msgs[&root];
             let (t0, topic, span) = (rootinfo.t_publish, rootinfo.topic.clone(), rootinfo.span);
+            let root_vehicle = rootinfo.vehicle;
 
             let mut first_up_send = None;
             let mut up_deliver = None;
@@ -516,6 +551,13 @@ impl TraceAnalysis {
             }
             let end_to_end = complete.then(|| last_publish.saturating_sub(t0));
 
+            if root_vehicle != 0 {
+                let v = a.vehicles.entry(root_vehicle).or_default();
+                v.journeys += 1;
+                if fate == Fate::Delivered {
+                    v.delivered += 1;
+                }
+            }
             a.journeys.push(Journey {
                 root: MsgId(root),
                 topic,
@@ -573,6 +615,12 @@ impl TraceAnalysis {
         self.backoffs.len()
     }
 
+    /// Distinct non-zero envelope `vehicle` tags seen in the trace
+    /// (0 for single-vehicle traces, which never tag records).
+    pub fn vehicle_count(&self) -> usize {
+        self.vehicles.len()
+    }
+
     /// Render the full deterministic text report.
     pub fn render_report(&self) -> String {
         let mut out = String::new();
@@ -615,6 +663,40 @@ impl TraceAnalysis {
             self.journey_count(),
             complete
         );
+
+        // ---- per-vehicle attribution (fleet traces only; the map is
+        // empty for untagged traces, so pre-fleet reports are
+        // byte-identical).
+        if !self.vehicles.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "--- per-vehicle attribution ---");
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>7} {:>9} {:>10} {:>9} {:>7} {:>5}",
+                "vehicle",
+                "records",
+                "cycles",
+                "journeys",
+                "delivered",
+                "discards",
+                "losses",
+                "rtts"
+            );
+            for (id, v) in &self.vehicles {
+                let _ = writeln!(
+                    out,
+                    "v{:<7} {:>8} {:>7} {:>9} {:>10} {:>9} {:>7} {:>5}",
+                    id,
+                    v.records,
+                    v.cycles,
+                    v.journeys,
+                    v.delivered,
+                    v.discards,
+                    v.losses,
+                    v.rtt_samples
+                );
+            }
+        }
 
         // ---- waterfall.
         let _ = writeln!(out);
@@ -843,6 +925,7 @@ mod tests {
             t_ns: t_ms * 1_000_000,
             seq,
             span: SpanId(span),
+            vehicle: 0,
             event,
         }
     }
@@ -1197,5 +1280,50 @@ mod tests {
         let a = TraceAnalysis::from_records(&records).render_report();
         let b = TraceAnalysis::from_records(&records).render_report();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn untagged_traces_render_no_vehicle_section() {
+        let a = TraceAnalysis::from_records(&complete_journey());
+        assert_eq!(a.vehicle_count(), 0);
+        assert!(!a.render_report().contains("per-vehicle attribution"));
+    }
+
+    #[test]
+    fn fleet_traces_attribute_per_vehicle() {
+        // Vehicle 1 delivers a full journey; vehicle 2 only discards.
+        let mut records: Vec<TraceRecord> = complete_journey()
+            .into_iter()
+            .map(|r| TraceRecord { vehicle: 1, ..r })
+            .collect();
+        records.push(TraceRecord {
+            vehicle: 2,
+            ..rec(300, 11, 0, publish("scan", 50, 0))
+        });
+        records.push(TraceRecord {
+            vehicle: 2,
+            ..rec(
+                301,
+                12,
+                0,
+                TraceEvent::ChannelSend {
+                    dir: "up".into(),
+                    seq: 9,
+                    bytes: 100,
+                    outcome: SendKind::Discarded,
+                    msg: MsgId(50),
+                },
+            )
+        });
+        let a = TraceAnalysis::from_records(&records);
+        assert_eq!(a.vehicle_count(), 2);
+        let v1 = &a.vehicles[&1];
+        assert_eq!((v1.cycles, v1.journeys, v1.delivered), (1, 1, 1));
+        let v2 = &a.vehicles[&2];
+        assert_eq!((v2.journeys, v2.delivered, v2.discards), (1, 0, 1));
+        let report = a.render_report();
+        assert!(report.contains("per-vehicle attribution"));
+        assert!(report.contains("v1"));
+        assert!(report.contains("v2"));
     }
 }

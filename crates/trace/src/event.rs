@@ -560,6 +560,11 @@ pub struct TraceRecord {
     /// The causal span open at emission time ([`SpanId::NONE`] when
     /// the event fired outside any control cycle).
     pub span: SpanId,
+    /// Fleet vehicle (tenant) the emitting component belongs to;
+    /// `0` — the `VehicleId::NONE` sentinel — for single-vehicle runs
+    /// and fleet-level events. Encoded on the wire only when non-zero,
+    /// so pre-fleet traces stay byte-identical.
+    pub vehicle: u64,
     /// The event payload.
     pub event: TraceEvent,
 }
@@ -574,11 +579,19 @@ impl TraceRecord {
     ///     t_ns: 200_000_000,
     ///     seq: 3,
     ///     span: SpanId(1),
+    ///     vehicle: 0,
     ///     event: TraceEvent::RttSample { rtt_ns: 24_000_000 },
     /// };
     /// assert_eq!(
     ///     rec.to_json(),
     ///     r#"{"t_ns":200000000,"seq":3,"span":1,"kind":"rtt_sample","rtt_ns":24000000}"#
+    /// );
+    ///
+    /// // Fleet runs stamp the tenant into the envelope.
+    /// let tagged = TraceRecord { vehicle: 2, ..rec };
+    /// assert_eq!(
+    ///     tagged.to_json(),
+    ///     r#"{"t_ns":200000000,"seq":3,"span":1,"vehicle":2,"kind":"rtt_sample","rtt_ns":24000000}"#
     /// );
     /// ```
     pub fn to_json(&self) -> String {
@@ -589,6 +602,9 @@ impl TraceRecord {
             "\"t_ns\":{},\"seq\":{},\"span\":{}",
             self.t_ns, self.seq, self.span.0
         );
+        if self.vehicle != 0 {
+            field_u64(&mut out, "vehicle", self.vehicle);
+        }
         field_str(&mut out, "kind", self.event.kind());
         self.event.write_fields(&mut out);
         out.push('}');
@@ -709,6 +725,7 @@ mod tests {
             t_ns: 0,
             seq: 0,
             span: SpanId::NONE,
+            vehicle: 0,
             event: TraceEvent::MissionEnd {
                 completed: false,
                 reason: "a \"quoted\"\nline\\end".into(),
@@ -726,6 +743,7 @@ mod tests {
             t_ns: 1,
             seq: 2,
             span: SpanId::NONE,
+            vehicle: 0,
             event: TraceEvent::EnergyDelta {
                 component: "motor".into(),
                 joules: 0.1,
@@ -736,6 +754,7 @@ mod tests {
             t_ns: 1,
             seq: 3,
             span: SpanId::NONE,
+            vehicle: 0,
             event: TraceEvent::EnergyDelta {
                 component: "motor".into(),
                 joules: f64::NAN,
@@ -750,6 +769,7 @@ mod tests {
             t_ns: 9,
             seq: 1,
             span: SpanId(2),
+            vehicle: 0,
             event: TraceEvent::MigrationAbort,
         };
         assert_eq!(

@@ -91,6 +91,12 @@ struct TracerInner {
 #[derive(Clone, Default)]
 pub struct Tracer {
     inner: Option<Arc<TracerInner>>,
+    /// Fleet vehicle (tenant) stamped into every record this clone
+    /// emits; 0 = unattributed (single-vehicle runs, fleet-level
+    /// components). Per-clone, unlike the shared `inner` state: a
+    /// fleet driver derives one [`Tracer::for_vehicle`] clone per
+    /// session and hands it to all of that session's components.
+    vehicle: u64,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -110,7 +116,10 @@ impl Tracer {
     /// A disabled tracer: every emission is a no-op. This is the
     /// default every component starts with.
     pub fn disabled() -> Self {
-        Tracer { inner: None }
+        Tracer {
+            inner: None,
+            vehicle: 0,
+        }
     }
 
     /// An enabled tracer with an empty sink list and the clock at 0.
@@ -124,7 +133,25 @@ impl Tracer {
                 current_span: AtomicU64::new(0),
                 sinks: Mutex::new(Vec::new()),
             })),
+            vehicle: 0,
         }
+    }
+
+    /// A clone of this tracer whose emissions are attributed to fleet
+    /// vehicle `vehicle` (see [`TraceRecord::vehicle`]). The clone
+    /// shares the clock, sequence counter, and sinks with `self`, so
+    /// a fleet's per-vehicle streams interleave in one total order.
+    /// `vehicle` 0 returns an unattributed clone.
+    pub fn for_vehicle(&self, vehicle: u64) -> Self {
+        Tracer {
+            inner: self.inner.clone(),
+            vehicle,
+        }
+    }
+
+    /// The vehicle id stamped on this clone's emissions (0 = none).
+    pub fn vehicle(&self) -> u64 {
+        self.vehicle
     }
 
     /// Whether emissions go anywhere at all.
@@ -207,6 +234,7 @@ impl Tracer {
             t_ns,
             seq,
             span,
+            vehicle: self.vehicle,
             event,
         };
         for sink in inner.sinks.lock().unwrap().iter() {
@@ -335,6 +363,29 @@ mod tests {
         let off = Tracer::disabled();
         assert_eq!(off.alloc_msg(), MsgId::NONE);
         assert_eq!(off.span_begin("cycle", 0), SpanId::NONE);
+    }
+
+    #[test]
+    fn vehicle_clones_stamp_their_records() {
+        let fleet = Tracer::enabled();
+        let ring = fleet.attach(RingBufferSink::new(8));
+        let v1 = fleet.for_vehicle(1);
+        let v2 = fleet.for_vehicle(2);
+        assert_eq!(fleet.vehicle(), 0);
+        assert_eq!(v2.vehicle(), 2);
+        fleet.emit(TraceEvent::MigrationAbort);
+        v1.emit(TraceEvent::RttSample { rtt_ns: 5 });
+        v2.emit(TraceEvent::RttSample { rtt_ns: 6 });
+        let ring = ring.lock().unwrap();
+        let vehicles: Vec<u64> = ring.records().map(|r| r.vehicle).collect();
+        assert_eq!(vehicles, vec![0, 1, 2]);
+        // Clones share the sequence counter: one total order.
+        let seqs: Vec<u64> = ring.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        // The envelope field only appears when attributed.
+        let jsons: Vec<String> = ring.records().map(|r| r.to_json()).collect();
+        assert!(!jsons[0].contains("\"vehicle\""));
+        assert!(jsons[1].contains("\"vehicle\":1"));
     }
 
     #[test]

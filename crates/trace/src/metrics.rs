@@ -314,6 +314,7 @@ mod tests {
             t_ns: 0,
             seq,
             span: SpanId::NONE,
+            vehicle: 0,
             event,
         };
         m.record(&mk(0, TraceEvent::RttSample { rtt_ns: 2_000_000 }));

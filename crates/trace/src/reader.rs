@@ -105,6 +105,17 @@ impl Obj {
         }
     }
 
+    /// Optional unsigned field: absent → `None`, present with the
+    /// wrong type → error. Used for the `vehicle` envelope field,
+    /// which the encoder omits for unattributed records.
+    fn opt_u64(&self, name: &str) -> Result<Option<u64>, String> {
+        if self.fields[self.skip..].iter().any(|(k, _)| k == name) {
+            Ok(Some(self.u64(name)?))
+        } else {
+            Ok(None)
+        }
+    }
+
     fn u32(&self, name: &str) -> Result<u32, String> {
         u32::try_from(self.u64(name)?).map_err(|_| format!("field `{name}`: exceeds u32"))
     }
@@ -438,12 +449,16 @@ impl TraceReader {
         let t_ns = obj.u64("t_ns")?;
         let seq = obj.u64("seq")?;
         let span = SpanId(obj.u64("span")?);
+        // Optional tenant tag; no event kind has a field named
+        // `vehicle`, so the unscoped lookup cannot mis-resolve.
+        let vehicle = obj.opt_u64("vehicle")?.unwrap_or(0);
         let kind = obj.str("kind")?;
         let obj = obj.past_kind()?;
         Ok(TraceRecord {
             t_ns,
             seq,
             span,
+            vehicle,
             event: event_from(&kind, &obj)?,
         })
     }
@@ -611,6 +626,7 @@ mod tests {
                 t_ns: i as u64 * 10,
                 seq: i as u64,
                 span: SpanId(1),
+                vehicle: (i % 3) as u64,
                 event,
             };
             let json = rec.to_json();
@@ -618,6 +634,25 @@ mod tests {
                 .unwrap_or_else(|e| panic!("parse failed for `{json}`: {e}"));
             assert_eq!(parsed.to_json(), json);
         }
+    }
+
+    #[test]
+    fn vehicle_envelope_field_round_trips_and_defaults() {
+        // Tagged: the field sits between `span` and `kind`.
+        let tagged = r#"{"t_ns":7,"seq":2,"span":4,"vehicle":3,"kind":"rtt_sample","rtt_ns":5}"#;
+        let rec = TraceReader::parse_line(tagged).unwrap();
+        assert_eq!(rec.vehicle, 3);
+        assert_eq!(rec.to_json(), tagged);
+        // Pre-fleet lines (no field) parse to the 0 sentinel.
+        let plain = r#"{"t_ns":7,"seq":2,"span":4,"kind":"rtt_sample","rtt_ns":5}"#;
+        let rec = TraceReader::parse_line(plain).unwrap();
+        assert_eq!(rec.vehicle, 0);
+        assert_eq!(rec.to_json(), plain);
+        // Wrong type is an error, not a silent default.
+        let bad = r#"{"t_ns":7,"seq":2,"span":4,"vehicle":"x","kind":"rtt_sample","rtt_ns":5}"#;
+        assert!(TraceReader::parse_line(bad)
+            .unwrap_err()
+            .contains("vehicle"));
     }
 
     #[test]
@@ -649,6 +684,7 @@ mod tests {
             t_ns: 0,
             seq: 0,
             span: SpanId::NONE,
+            vehicle: 0,
             event: TraceEvent::MissionEnd {
                 completed: false,
                 reason: format!("ctrl{} pair\u{1F600} end", '\u{1}'),

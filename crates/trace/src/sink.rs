@@ -37,6 +37,7 @@ use std::path::Path;
 ///     t_ns: 0,
 ///     seq: 0,
 ///     span: SpanId::NONE,
+///     vehicle: 0,
 ///     event: TraceEvent::MigrationAbort,
 /// });
 /// assert_eq!(sink.0, 1);
@@ -174,6 +175,7 @@ mod tests {
             t_ns: seq * 10,
             seq,
             span: crate::span::SpanId::NONE,
+            vehicle: 0,
             event: TraceEvent::MigrationAbort,
         }
     }

@@ -134,8 +134,11 @@ proptest! {
     ) {
         // Raw bits cover NaN / ±inf / subnormals alongside normals.
         let f = f64::from_bits(bits);
-        for event in all_kinds(&s, a, b, f, flag) {
-            let rec = TraceRecord { t_ns, seq, span: SpanId(span), event };
+        for (i, event) in all_kinds(&s, a, b, f, flag).into_iter().enumerate() {
+            // Alternate tagged / untagged records so both envelope
+            // encodings (field present and omitted) round-trip.
+            let vehicle = if i % 2 == 0 { 0 } else { a % 33 };
+            let rec = TraceRecord { t_ns, seq, span: SpanId(span), vehicle, event };
             let line = rec.to_json();
             let parsed = TraceReader::parse_line(&line)
                 .unwrap_or_else(|e| panic!("parse failed for {line}: {e}"));
@@ -147,6 +150,7 @@ proptest! {
             prop_assert_eq!(parsed.t_ns, t_ns);
             prop_assert_eq!(parsed.seq, seq);
             prop_assert_eq!(parsed.span, SpanId(span));
+            prop_assert_eq!(parsed.vehicle, vehicle);
         }
     }
 
@@ -159,6 +163,7 @@ proptest! {
             t_ns: a,
             seq: 1,
             span: SpanId::NONE,
+            vehicle: 0,
             event: TraceEvent::RttSample { rtt_ns: a },
         };
         let line = rec.to_json();

@@ -21,6 +21,7 @@ pub mod node;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod vehicle;
 pub mod work;
 
 pub use angle::{normalize_angle, Angle};
@@ -34,6 +35,7 @@ pub use node::{NodeKind, NodeSet, Placement, Stage};
 pub use rng::SimRng;
 pub use stats::Summary;
 pub use time::{Duration, Rate, SimTime};
+pub use vehicle::VehicleId;
 pub use work::{Work, WorkMeter};
 
 /// Convenience prelude re-exporting the most commonly used items.
@@ -47,5 +49,6 @@ pub mod prelude {
     pub use crate::rng::SimRng;
     pub use crate::stats::Summary;
     pub use crate::time::{Duration, Rate, SimTime};
+    pub use crate::vehicle::VehicleId;
     pub use crate::work::{Work, WorkMeter};
 }

@@ -64,6 +64,11 @@ LGV_BENCH_QUICK=1 ./target/release/suite --threads 4 --out target/BENCH_ci.json
 # Byte-identical parallel vs serial across every scenario, in release
 # mode (too slow for the default debug-mode test run, hence #[ignore]).
 cargo test --release -q -p lgv-bench --test suite -- --ignored --nocapture
+# Fleet multi-tenancy determinism: a fleet of four on one shared box,
+# run twice, must agree on every per-vehicle fingerprint and every
+# shared-resource counter (and a fleet of one must stay byte-identical
+# to the single-vehicle runner — asserted by the same test file).
+cargo test --release -q -p lgv-offload --test fleet -- --include-ignored
 
 echo
 echo "CI gate OK"
