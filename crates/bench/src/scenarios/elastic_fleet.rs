@@ -1,0 +1,108 @@
+//! Elastic-cloud ablation — fixed box vs. autoscaling with and
+//! without batched admission, at one contended fleet size.
+//!
+//! Where the `fleet` scenario sweeps size, this one isolates the
+//! elasticity axis: the same fleet runs against (a) the paper's fixed
+//! cloud, (b) an autoscaling replica pool with batching disabled, and
+//! (c) the full elastic scheduler with same-stage batching. The cost
+//! ledger (replica-seconds, scale events, batch occupancy) quantifies
+//! what each latency reduction costs, and the single-replica-capped
+//! fleet-of-one gate re-asserts that elasticity never perturbs a lone
+//! tenant.
+
+use crate::suite::ScenarioCtx;
+use crate::{write_banner, TablePrinter};
+use lgv_offload::deploy::Deployment;
+use lgv_offload::fleet::{run_fleet_traced, CloudPolicy, ElasticConfig, FleetConfig};
+use lgv_offload::mission::{self, MissionConfig, Workload};
+use std::io;
+
+/// Regenerate the elastic-cloud ablation.
+pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
+    write_banner(
+        ctx.out,
+        "Elastic cloud ablation: fixed vs. autoscale vs. autoscale+batching",
+        "one contended fleet, three provisioning policies; the cost ledger \
+         prices each queueing-delay reduction in replica-seconds",
+    )?;
+
+    let size: usize = if ctx.quick { 4 } else { 16 };
+    let base_cfg = || {
+        let mut cfg = MissionConfig::compact_lab(Deployment::cloud_12t(), Workload::Navigation);
+        cfg.seed = ctx.seed;
+        cfg
+    };
+
+    let arms = [
+        ("fixed", CloudPolicy::Fixed),
+        (
+            "autoscale",
+            CloudPolicy::Elastic(ElasticConfig::balanced().without_batching()),
+        ),
+        (
+            "autoscale+batch",
+            CloudPolicy::Elastic(ElasticConfig::balanced()),
+        ),
+    ];
+
+    let mut t = TablePrinter::new(vec![
+        "cloud",
+        "done",
+        "mean t s",
+        "mean q ms",
+        "delayed",
+        "peak repl",
+        "replica-s",
+        "scale +/-",
+        "batches",
+        "occupancy",
+    ]);
+    let mut q_ms = [0.0f64; 3];
+    for (i, &(label, policy)) in arms.iter().enumerate() {
+        let report = run_fleet_traced(
+            FleetConfig::new(base_cfg(), size).with_cloud(policy),
+            ctx.tracer.clone(),
+        );
+        let cloud = report.cloud.expect("offloaded fleet tracks the cloud");
+        q_ms[i] = cloud.mean_queue_delay_secs() * 1e3;
+        t.row(vec![
+            label.to_string(),
+            format!("{}/{}", report.completed(), report.vehicles.len()),
+            format!("{:.1}", report.mean_mission_secs()),
+            format!("{:.3}", q_ms[i]),
+            format!("{}", cloud.delayed),
+            format!("{}", cloud.peak_replicas),
+            format!("{:.1}", cloud.replica_seconds),
+            format!("{}/{}", cloud.scale_ups, cloud.scale_downs),
+            format!("{}", cloud.batches),
+            format!("{:.2}", cloud.mean_batch_occupancy()),
+        ]);
+    }
+    t.write_to(ctx.out)?;
+    t.save_csv_to(ctx.out, "elastic_fleet")?;
+
+    // The elastic identity gate, at the scenario's own seed.
+    let solo_fp = mission::run(base_cfg()).fingerprint();
+    let capped = run_fleet_traced(
+        FleetConfig::new(base_cfg(), 1).with_cloud(CloudPolicy::Elastic(
+            ElasticConfig::balanced().single_replica(),
+        )),
+        ctx.tracer.clone(),
+    );
+    writeln!(
+        ctx.out,
+        "fleet-of-1 under elastic scheduler (1-replica cap) byte-identical to \
+         single-vehicle run: {} (fnv1a:{solo_fp:016x})",
+        capped.vehicles[0].fingerprint() == solo_fp
+    )?;
+    writeln!(
+        ctx.out,
+        "mean queueing delay at size {size}: fixed {:.3} ms -> autoscale {:.3} ms \
+         -> autoscale+batch {:.3} ms (batching helps: {})",
+        q_ms[0],
+        q_ms[1],
+        q_ms[2],
+        q_ms[2] <= q_ms[1] && q_ms[2] <= q_ms[0]
+    )?;
+    writeln!(ctx.out)
+}

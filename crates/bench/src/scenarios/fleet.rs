@@ -1,22 +1,27 @@
 //! Fleet sweep — per-vehicle mission time, energy, and shared-resource
-//! contention as the fleet grows from 1 to 32 vehicles.
+//! contention as the fleet grows from 1 to 32 vehicles, under both a
+//! fixed and an elastically provisioned cloud.
 //!
 //! This is the repo's extension study beyond the paper's single-robot
 //! evaluation: every vehicle's offloaded pipeline shares one cloud box
 //! (admission queueing stretches remote processing times, which feeds
 //! the profiler and thus Algorithm 1's placement) and one access point
-//! (concurrent uplinks split airtime). The sweep shows graceful
-//! degradation: mean mission time and cloud queueing grow with fleet
-//! size while every vehicle still completes.
+//! (concurrent uplinks split airtime). Each size runs twice — against
+//! the paper's fixed box and against the elastic scheduler (same-stage
+//! batching + replica autoscaling) — so the table captures the
+//! cost-vs-latency trade-off: elastic queueing delay grows far slower
+//! while the replica-seconds ledger shows what the extra capacity
+//! costs.
 //!
-//! The size-1 row doubles as a determinism gate: its report must be
-//! byte-identical (same FNV-1a fingerprint) to the single-vehicle
-//! `mission::run` on the same configuration.
+//! The size-1 rows double as determinism gates: both the fixed and the
+//! (single-replica-capped) elastic fleet-of-one must be byte-identical
+//! (same FNV-1a fingerprint) to the single-vehicle `mission::run` on
+//! the same configuration.
 
 use crate::suite::ScenarioCtx;
 use crate::{write_banner, TablePrinter};
 use lgv_offload::deploy::Deployment;
-use lgv_offload::fleet::{run_fleet_traced, FleetConfig};
+use lgv_offload::fleet::{run_fleet_traced, CloudPolicy, ElasticConfig, FleetConfig};
 use lgv_offload::mission::{self, MissionConfig, Workload};
 use std::io;
 
@@ -26,7 +31,8 @@ pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
         ctx.out,
         "Fleet sweep: shared cloud + shared spectrum, 1..32 vehicles",
         "per-vehicle mission time and energy degrade gracefully as tenants \
-         multiply; cloud queueing and WAP contention feed Algorithm 1",
+         multiply; an elastic cloud (batching + autoscaling) holds queueing \
+         delay down at a replica-seconds cost",
     )?;
 
     let sizes: &[usize] = if ctx.quick {
@@ -41,56 +47,89 @@ pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
         cfg
     };
 
-    // Determinism gate: a fleet of one must be byte-identical to the
-    // single-vehicle runner (the contention hooks are exact no-ops for
-    // a lone tenant).
+    // Determinism gates: a fleet of one must be byte-identical to the
+    // single-vehicle runner under the fixed scheduler (the contention
+    // hooks are exact no-ops for a lone tenant) AND under an elastic
+    // scheduler capped at one replica (the elastic hooks too).
     let solo = mission::run(base_cfg());
     let solo_fp = solo.fingerprint();
 
+    let policies = [
+        ("fixed", CloudPolicy::Fixed),
+        ("elastic", CloudPolicy::Elastic(ElasticConfig::balanced())),
+    ];
+
     let mut t = TablePrinter::new(vec![
         "fleet",
+        "cloud",
         "done",
         "mean t s",
-        "max t s",
         "mean J",
-        "cloud util",
-        "queue s",
+        "mean q ms",
         "delayed",
+        "replica-s",
+        "batches",
         "wap extra s",
-        "contended",
     ]);
     let mut identity_ok = false;
-    for &size in sizes {
-        let report = run_fleet_traced(FleetConfig::new(base_cfg(), size), ctx.tracer.clone());
-        if size == 1 {
-            identity_ok = report.vehicles[0].fingerprint() == solo_fp;
+    // Mean queueing delay per (size, policy), for the trade-off line.
+    let mut mean_q: Vec<[f64; 2]> = vec![[0.0; 2]; sizes.len()];
+    for (i, &size) in sizes.iter().enumerate() {
+        for (p, &(label, policy)) in policies.iter().enumerate() {
+            let report = run_fleet_traced(
+                FleetConfig::new(base_cfg(), size).with_cloud(policy),
+                ctx.tracer.clone(),
+            );
+            if size == 1 && p == 0 {
+                identity_ok = report.vehicles[0].fingerprint() == solo_fp;
+            }
+            let cloud = report.cloud.expect("offloaded fleet tracks the cloud");
+            let uplink = report.uplink.expect("offloaded fleet tracks the WAP");
+            mean_q[i][p] = cloud.mean_queue_delay_secs();
+            t.row(vec![
+                format!("{size}"),
+                label.to_string(),
+                format!("{}/{}", report.completed(), report.vehicles.len()),
+                format!("{:.1}", report.mean_mission_secs()),
+                format!("{:.0}", report.mean_energy_j()),
+                format!("{:.3}", cloud.mean_queue_delay_secs() * 1e3),
+                format!("{}", cloud.delayed),
+                format!("{:.1}", cloud.replica_seconds),
+                format!("{}", cloud.batches),
+                format!("{:.3}", uplink.total_extra.as_secs_f64()),
+            ]);
         }
-        let max_t = report
-            .vehicles
-            .iter()
-            .map(|v| v.time.total().as_secs_f64())
-            .fold(0.0, f64::max);
-        let cloud = report.cloud.expect("offloaded fleet tracks the cloud");
-        let uplink = report.uplink.expect("offloaded fleet tracks the WAP");
-        t.row(vec![
-            format!("{size}"),
-            format!("{}/{}", report.completed(), report.vehicles.len()),
-            format!("{:.1}", report.mean_mission_secs()),
-            format!("{max_t:.1}"),
-            format!("{:.0}", report.mean_energy_j()),
-            format!("{:.3}", cloud.utilization),
-            format!("{:.3}", cloud.total_queue_delay.as_secs_f64()),
-            format!("{}", cloud.delayed),
-            format!("{:.3}", uplink.total_extra.as_secs_f64()),
-            format!("{}", uplink.contended_sends),
-        ]);
     }
     t.write_to(ctx.out)?;
     t.save_csv_to(ctx.out, "fleet")?;
+
+    let elastic_solo = run_fleet_traced(
+        FleetConfig::new(base_cfg(), 1).with_cloud(CloudPolicy::Elastic(
+            ElasticConfig::balanced().single_replica(),
+        )),
+        ctx.tracer.clone(),
+    );
+    let elastic_identity_ok = elastic_solo.vehicles[0].fingerprint() == solo_fp;
+
     writeln!(
         ctx.out,
         "fleet-of-1 report byte-identical to single-vehicle run: {identity_ok} \
          (fnv1a:{solo_fp:016x})"
+    )?;
+    writeln!(
+        ctx.out,
+        "fleet-of-1 under elastic scheduler (1-replica cap) byte-identical: \
+         {elastic_identity_ok}"
+    )?;
+    let last = sizes.len() - 1;
+    writeln!(
+        ctx.out,
+        "mean cloud queueing delay at size {}: fixed {:.3} ms vs elastic {:.3} ms \
+         (elastic no worse: {})",
+        sizes[last],
+        mean_q[last][0] * 1e3,
+        mean_q[last][1] * 1e3,
+        mean_q[last][1] <= mean_q[last][0]
     )?;
     writeln!(ctx.out)
 }

@@ -173,8 +173,15 @@ pub fn registry() -> Vec<Scenario> {
             name: "fleet",
             title: "Fleet sweep: shared cloud + shared spectrum, 1..32 vehicles",
             seed: 7,
-            cost_hint: 120,
+            cost_hint: 200,
             run: fleet::run,
+        },
+        Scenario {
+            name: "elastic-fleet",
+            title: "Elastic cloud ablation: fixed vs. autoscale vs. autoscale+batching",
+            seed: 7,
+            cost_hint: 90,
+            run: elastic_fleet::run,
         },
     ]
 }

@@ -30,12 +30,25 @@
 use crate::mission::{MissionConfig, MissionReport};
 use crate::session::{VehicleSession, CONTROL_PERIOD};
 use lgv_net::shared::{MediumStats, SharedMedium};
+pub use lgv_sim::cloud::ElasticConfig;
 use lgv_sim::cloud::{CloudScheduler, CloudStats};
 use lgv_trace::Tracer;
 use lgv_types::prelude::*;
 
 /// Golden-ratio mixing constant for deriving per-vehicle seeds.
 const SEED_STRIDE: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// How the fleet's shared cloud box is provisioned.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CloudPolicy {
+    /// The paper's fixed box: one replica, every admission charged
+    /// independently.
+    #[default]
+    Fixed,
+    /// FogROS-style elastic provisioning: same-stage batching and
+    /// replica autoscaling per the given [`ElasticConfig`].
+    Elastic(ElasticConfig),
+}
 
 /// A fleet of identical missions differing only in their seeds.
 #[derive(Debug, Clone)]
@@ -45,12 +58,26 @@ pub struct FleetConfig {
     pub base: MissionConfig,
     /// Number of vehicles (clamped to ≥ 1).
     pub size: usize,
+    /// Provisioning policy for the shared cloud (ignored when the
+    /// deployment does not offload).
+    pub cloud: CloudPolicy,
 }
 
 impl FleetConfig {
-    /// A fleet of `size` vehicles running `base`.
+    /// A fleet of `size` vehicles running `base` against the fixed
+    /// (paper) cloud.
     pub fn new(base: MissionConfig, size: usize) -> Self {
-        FleetConfig { base, size }
+        FleetConfig {
+            base,
+            size,
+            cloud: CloudPolicy::Fixed,
+        }
+    }
+
+    /// The same fleet against an elastically provisioned cloud.
+    pub fn with_cloud(mut self, cloud: CloudPolicy) -> Self {
+        self.cloud = cloud;
+        self
     }
 
     /// The configuration vehicle `vehicle` (1-based) runs: the base
@@ -122,10 +149,11 @@ pub fn run_fleet_traced(cfg: FleetConfig, tracer: Tracer) -> FleetReport {
     let offloaded = cfg.base.deployment.offloaded();
     let (cloud, medium) = if offloaded {
         let hw = cfg.base.deployment.remote_platform().hw_threads;
-        (
-            Some(CloudScheduler::new(hw, CONTROL_PERIOD)),
-            Some(SharedMedium::new(CONTROL_PERIOD)),
-        )
+        let sched = match cfg.cloud {
+            CloudPolicy::Fixed => CloudScheduler::new(hw, CONTROL_PERIOD),
+            CloudPolicy::Elastic(ec) => CloudScheduler::elastic(hw, CONTROL_PERIOD, ec),
+        };
+        (Some(sched), Some(SharedMedium::new(CONTROL_PERIOD)))
     } else {
         (None, None)
     };

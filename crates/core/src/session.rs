@@ -436,8 +436,40 @@ impl VehicleSession {
             // time is what the profiler (and thus Algorithm 1's
             // placement) observes — a saturated cloud genuinely looks
             // slower. Zero when the session has the box to itself.
+            // Elastic schedulers also report batch joins and replica
+            // scaling, forwarded here to the vehicle's tracer so the
+            // events carry this session's vehicle id.
             if let Some(cloud) = self.cloud.as_ref() {
-                t += cloud.admit(self.vehicle_id.raw(), self.now, self.effective_threads, t);
+                let adm = cloud.admit(
+                    self.vehicle_id.raw(),
+                    kind,
+                    self.now,
+                    self.effective_threads,
+                    t,
+                );
+                for s in &adm.scales {
+                    self.tracer.emit_at(
+                        self.now.as_nanos(),
+                        TraceEvent::CloudScale {
+                            from_replicas: s.from,
+                            to_replicas: s.to,
+                            utilization: s.utilization,
+                            window: s.window,
+                        },
+                    );
+                }
+                if let Some(b) = adm.batch {
+                    self.tracer.emit_at(
+                        self.now.as_nanos(),
+                        TraceEvent::CloudBatch {
+                            stage: b.stage.short_name().to_string(),
+                            occupancy: b.occupancy,
+                            window: b.window,
+                            marginal_ns: b.marginal.as_nanos(),
+                        },
+                    );
+                }
+                t += adm.delay;
             }
             self.profiler.record_remote_msg(kind, t, self.trace_msg);
             if let Some(sw) = self.switcher.as_mut() {

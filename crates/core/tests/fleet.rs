@@ -3,7 +3,7 @@
 //! runner, and fleet runs are exactly reproducible from their seed.
 
 use lgv_offload::deploy::Deployment;
-use lgv_offload::fleet::{run_fleet, FleetConfig};
+use lgv_offload::fleet::{run_fleet, CloudPolicy, ElasticConfig, FleetConfig};
 use lgv_offload::mission::{self, MissionConfig, Workload};
 
 fn base() -> MissionConfig {
@@ -70,5 +70,54 @@ fn fleet_of_four_is_deterministic_under_contention() {
     assert!(
         a.uplink.unwrap().contended_sends > 0,
         "no WAP contention with four uplinks?"
+    );
+}
+
+/// The elastic identity gate: a fleet of one under an elastic
+/// scheduler capped at one replica must be byte-identical to both the
+/// fixed-cloud fleet and the single-vehicle runner — the elastic
+/// hooks, like the contention hooks, are exact no-ops for a lone
+/// tenant.
+#[test]
+fn elastic_fleet_of_one_is_byte_identical_to_fixed() {
+    let solo = mission::run(base());
+    let elastic = run_fleet(FleetConfig::new(base(), 1).with_cloud(CloudPolicy::Elastic(
+        ElasticConfig::balanced().single_replica(),
+    )));
+    assert_eq!(
+        elastic.vehicles[0].fingerprint(),
+        solo.fingerprint(),
+        "size-1 elastic fleet diverged from mission::run"
+    );
+    let cloud = elastic.cloud.expect("offloaded fleet tracks the cloud");
+    assert_eq!(cloud.delayed, 0);
+    assert_eq!(cloud.batches, 0, "a lone tenant has no one to batch with");
+    assert_eq!(cloud.scale_ups + cloud.scale_downs, 0, "one-replica cap");
+    assert!(cloud.replica_seconds > 0.0, "the ledger still accrues cost");
+}
+
+/// The elastic CI gate (scripts/ci.sh stage 6): an elastic fleet of
+/// four is exactly reproducible, actually batches same-stage work,
+/// and its mean queueing delay does not exceed the fixed scheduler's.
+#[test]
+#[ignore = "slow; run by scripts/ci.sh"]
+fn elastic_fleet_is_deterministic_and_cheaper_than_fixed() {
+    let policy = CloudPolicy::Elastic(ElasticConfig::balanced());
+    let a = run_fleet(FleetConfig::new(base(), 4).with_cloud(policy));
+    let b = run_fleet(FleetConfig::new(base(), 4).with_cloud(policy));
+    for (va, vb) in a.vehicles.iter().zip(&b.vehicles) {
+        assert_eq!(va.fingerprint(), vb.fingerprint());
+    }
+    let (ca, cb) = (a.cloud.unwrap(), b.cloud.unwrap());
+    assert_eq!(ca, cb, "elastic ledger must be deterministic");
+    assert!(ca.batches > 0, "four tenants in lockstep must batch");
+    assert!(ca.replica_seconds > 0.0);
+
+    let fixed = run_fleet(FleetConfig::new(base(), 4)).cloud.unwrap();
+    assert!(
+        ca.mean_queue_delay_secs() <= fixed.mean_queue_delay_secs(),
+        "elastic ({:.6}s) must not queue worse than fixed ({:.6}s)",
+        ca.mean_queue_delay_secs(),
+        fixed.mean_queue_delay_secs()
     );
 }

@@ -13,13 +13,50 @@
 //!   count in the current window.
 //! * An admission in window `w` requesting `exec` seconds of compute
 //!   is stretched by `exec × (other tenants' threads in window w−1) /
-//!   hw_threads` — the classic processor-sharing slowdown, fed by the
+//!   capacity` — the classic processor-sharing slowdown, fed by the
 //!   *previous* window so the penalty is independent of intra-round
 //!   ordering (the fleet driver runs vehicles in lockstep rounds, so
 //!   window `w−1` is final before anyone executes in `w`).
 //! * A tenant alone on the box — a fleet of one, or a session that
 //!   never attached a scheduler — pays **exactly zero**, preserving
 //!   byte-identity with single-vehicle runs.
+//!
+//! # Elastic mode
+//!
+//! [`CloudScheduler::new`] builds the paper's *fixed* box: one
+//! replica, every admission charged independently. An **elastic**
+//! scheduler ([`CloudScheduler::elastic`], configured by
+//! [`ElasticConfig`]) adds the two levers that make cloud robotics
+//! practical at fleet scale (FogROS-style adaptive provisioning):
+//!
+//! * **Batched admission.** Same-stage requests from *different*
+//!   tenants inside one contention window coalesce into a single
+//!   batched execution: the first request pays full price, each
+//!   co-tenant's same-stage contribution is charged at the configured
+//!   per-item marginal cost instead of a full independent execution
+//!   (one SLAM batch instead of N independent SLAM charges). The
+//!   *charge* still reads the final window-`w−1` census so order
+//!   independence holds; batch *formation* (who joined which batch,
+//!   reported via [`Admission::batch`]) is tracked in the current
+//!   window, where lockstep makes co-tenant admissions concurrent.
+//! * **Replica autoscaling.** A replica pool grows and shrinks at
+//!   window boundaries on hysteresis thresholds over the previous
+//!   window's utilization (`requested threads / (hw_threads ×
+//!   replicas)`): above `scale_up_util` a replica is provisioned (it
+//!   serves only after `spinup` elapses), below `scale_down_util` one
+//!   is retired — the gap between the thresholds prevents flapping.
+//!   Capacity in the delay model is `hw_threads × replicas ready at
+//!   admission time`.
+//!
+//! Every decision derives from previous-window censuses and window
+//! boundaries on the virtual clock, so elastic runs are exactly as
+//! deterministic as fixed ones, and a lone tenant still pays exactly
+//! zero — a fleet of one under an elastic scheduler is byte-identical
+//! to the fixed box.
+//!
+//! The cost side of the trade-off is a deterministic ledger in
+//! [`CloudStats`]: replica-seconds provisioned, admissions served,
+//! batches formed and their occupancy, scale events.
 //!
 //! The returned queueing delay is experienced by the vehicle as longer
 //! remote processing time, so it flows into the profiler's RTT and
@@ -34,7 +71,125 @@ use lgv_types::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-/// Aggregate counters for one shared cloud box.
+/// Elastic-provisioning policy for a [`CloudScheduler`].
+///
+/// The defaults ([`ElasticConfig::balanced`]) scale between one and
+/// four replicas with a 0.75 / 0.30 hysteresis band, two contention
+/// windows of spin-up lag, and a 15 % marginal cost per batched item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticConfig {
+    /// Coalesce same-stage requests from different tenants within a
+    /// window into one batched execution.
+    pub batching: bool,
+    /// Fraction of a full execution each batched co-tenant item costs
+    /// (0 = free riders, 1 = batching off in effect).
+    pub marginal_cost: f64,
+    /// Lower bound of the replica pool (clamped to ≥ 1).
+    pub min_replicas: u32,
+    /// Upper bound of the replica pool.
+    pub max_replicas: u32,
+    /// Scale up when previous-window utilization exceeds this.
+    pub scale_up_util: f64,
+    /// Scale down when previous-window utilization falls below this.
+    /// Must sit below `scale_up_util`; the gap is the hysteresis band.
+    pub scale_down_util: f64,
+    /// Lag between provisioning a replica and it serving capacity.
+    pub spinup: Duration,
+}
+
+impl ElasticConfig {
+    /// The default elastic policy: 1–4 replicas, scale up above 75 %
+    /// utilization, down below 30 %, 400 ms spin-up, batching on at
+    /// 15 % marginal cost.
+    pub fn balanced() -> Self {
+        ElasticConfig {
+            batching: true,
+            marginal_cost: 0.15,
+            min_replicas: 1,
+            max_replicas: 4,
+            scale_up_util: 0.75,
+            scale_down_util: 0.30,
+            spinup: Duration::from_millis(400),
+        }
+    }
+
+    /// Batching disabled, autoscaling unchanged — the ablation arm of
+    /// the elasticity axis.
+    pub fn without_batching(mut self) -> Self {
+        self.batching = false;
+        self
+    }
+
+    /// Cap the pool at exactly one replica (used by the fleet-of-one
+    /// identity gate: with one replica and a lone tenant the elastic
+    /// scheduler is bit-for-bit the fixed one).
+    pub fn single_replica(mut self) -> Self {
+        self.min_replicas = 1;
+        self.max_replicas = 1;
+        self
+    }
+
+    /// The degenerate policy [`CloudScheduler::new`] uses: one
+    /// replica, no batching — exactly the paper's fixed box.
+    fn fixed() -> Self {
+        ElasticConfig {
+            batching: false,
+            marginal_cost: 1.0,
+            min_replicas: 1,
+            max_replicas: 1,
+            scale_up_util: f64::INFINITY,
+            scale_down_util: 0.0,
+            spinup: Duration::ZERO,
+        }
+    }
+}
+
+/// One admission's outcome: the queueing delay plus the elastic
+/// signals the session forwards to the tracer (`cloud_batch` /
+/// `cloud_scale` events).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Admission {
+    /// Queueing delay the shared box adds on top of nominal execution.
+    pub delay: Duration,
+    /// Set when this admission joined (or formed) a same-stage batch
+    /// in the current window.
+    pub batch: Option<BatchJoin>,
+    /// Replica-pool transitions decided at window boundaries crossed
+    /// since the previous admission (usually empty or one entry).
+    pub scales: Vec<ScaleEvent>,
+}
+
+/// This admission coalesced into a same-stage batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchJoin {
+    /// The coalesced stage.
+    pub stage: NodeKind,
+    /// Distinct tenants sharing the batch after this join (≥ 2).
+    pub occupancy: u64,
+    /// Contention-window index the batch formed in.
+    pub window: u64,
+    /// Marginal compute this join added (`exec × marginal_cost`)
+    /// instead of a full independent execution.
+    pub marginal: Duration,
+}
+
+/// The replica pool scaled at a window boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleEvent {
+    /// Provisioned replicas before the decision.
+    pub from: u32,
+    /// Provisioned replicas after (spin-up lag still applies before
+    /// an added replica serves).
+    pub to: u32,
+    /// The previous-window utilization that triggered it.
+    pub utilization: f64,
+    /// Window index the new pool size takes effect in.
+    pub window: u64,
+}
+
+/// Aggregate counters for one shared cloud box, including the elastic
+/// cost ledger (a fixed scheduler reports one replica and no batch or
+/// scale activity).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CloudStats {
     /// Total admissions processed.
@@ -49,15 +204,65 @@ pub struct CloudStats {
     /// Mean utilization of the box over the busy interval:
     /// thread-seconds executed / (hardware threads × elapsed time).
     pub utilization: f64,
+    /// Replicas provisioned at the end of the run.
+    pub replicas: u32,
+    /// Largest pool size ever provisioned.
+    pub peak_replicas: u32,
+    /// Replica-seconds provisioned: Σ over completed contention
+    /// windows of (pool size × window length) — the cost side of the
+    /// cost-vs-latency trade-off.
+    pub replica_seconds: f64,
+    /// Scale-up decisions taken.
+    pub scale_ups: u64,
+    /// Scale-down decisions taken.
+    pub scale_downs: u64,
+    /// Same-stage batches formed (a batch exists once two distinct
+    /// tenants admit the same stage in one window).
+    pub batches: u64,
+    /// Admissions that executed inside a batch (both the batch head
+    /// and every marginal-cost join).
+    pub batched_admissions: u64,
+}
+
+impl CloudStats {
+    /// Mean queueing delay per admission, seconds.
+    pub fn mean_queue_delay_secs(&self) -> f64 {
+        if self.admissions == 0 {
+            0.0
+        } else {
+            self.total_queue_delay.as_secs_f64() / self.admissions as f64
+        }
+    }
+
+    /// Mean tenants per batch (0 when no batch ever formed).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_admissions as f64 / self.batches as f64
+        }
+    }
 }
 
 #[derive(Debug)]
 struct SchedulerInner {
     window: Duration,
     hw_threads: u32,
+    cfg: ElasticConfig,
     /// Requested threads per tenant per window index. Old windows are
     /// pruned; only `w−1` and `w` are ever consulted.
     requested: BTreeMap<u64, BTreeMap<u64, u64>>,
+    /// Requested threads per (stage, tenant) per window index, pruned
+    /// in lockstep with `requested` — the same-stage census batching
+    /// charges against, and the batch-formation record.
+    stage_req: BTreeMap<u64, BTreeMap<(NodeKind, u64), u64>>,
+    /// Ready time of every provisioned replica, non-decreasing: the
+    /// initial `min_replicas` are ready at the epoch, a scale-up
+    /// appends `boundary + spinup`, a scale-down pops the newest.
+    replicas: Vec<SimTime>,
+    /// Next window boundary the autoscaler has yet to evaluate
+    /// (`None` until the first admission anchors it).
+    eval_window: Option<u64>,
     admissions: u64,
     delayed: u64,
     total_queue_delay: Duration,
@@ -66,6 +271,68 @@ struct SchedulerInner {
     thread_secs: f64,
     first_admit: Option<SimTime>,
     last_admit: SimTime,
+    // Cost ledger.
+    replica_secs: f64,
+    peak_replicas: u32,
+    scale_ups: u64,
+    scale_downs: u64,
+    batches: u64,
+    batched_admissions: u64,
+}
+
+impl SchedulerInner {
+    /// Evaluate every window boundary between the last evaluated
+    /// window and `w`: accrue replica-seconds and apply the hysteresis
+    /// autoscaler to each completed window's utilization. Returns the
+    /// scale transitions, oldest first.
+    fn advance_to(&mut self, w: u64) -> Vec<ScaleEvent> {
+        let mut events = Vec::new();
+        let mut ew = match self.eval_window {
+            None => {
+                self.eval_window = Some(w);
+                return events;
+            }
+            Some(ew) => ew,
+        };
+        while ew < w {
+            let provisioned = self.replicas.len() as u32;
+            self.replica_secs += provisioned as f64 * self.window.as_secs_f64();
+            let total: u64 = self.requested.get(&ew).map_or(0, |m| m.values().sum());
+            let util = total as f64 / (self.hw_threads as u64 * provisioned as u64).max(1) as f64;
+            let boundary = SimTime::from_nanos((ew + 1).saturating_mul(self.window.as_nanos()));
+            if util > self.cfg.scale_up_util && provisioned < self.cfg.max_replicas {
+                self.replicas.push(boundary + self.cfg.spinup);
+                self.scale_ups += 1;
+                self.peak_replicas = self.peak_replicas.max(provisioned + 1);
+                events.push(ScaleEvent {
+                    from: provisioned,
+                    to: provisioned + 1,
+                    utilization: util,
+                    window: ew + 1,
+                });
+            } else if util < self.cfg.scale_down_util && provisioned > self.cfg.min_replicas {
+                // Retire the newest replica first (it may still be
+                // spinning up, so retiring it costs the least).
+                self.replicas.pop();
+                self.scale_downs += 1;
+                events.push(ScaleEvent {
+                    from: provisioned,
+                    to: provisioned - 1,
+                    utilization: util,
+                    window: ew + 1,
+                });
+            }
+            ew += 1;
+        }
+        self.eval_window = Some(w);
+        events
+    }
+
+    /// Replicas actually serving at `now` (provisioned minus those
+    /// still inside their spin-up lag; never below one).
+    fn ready_replicas(&self, now: SimTime) -> u32 {
+        (self.replicas.iter().filter(|&&r| r <= now).count() as u32).max(1)
+    }
 }
 
 /// One cloud server shared by several vehicle tenants.
@@ -77,9 +344,22 @@ pub struct CloudScheduler {
 }
 
 impl CloudScheduler {
-    /// A scheduler for a box with `hw_threads` hardware threads and
-    /// the given contention window (use the fleet's control period).
+    /// A fixed scheduler for a box with `hw_threads` hardware threads
+    /// and the given contention window (use the fleet's control
+    /// period): one replica, no batching — the paper's cloud.
     pub fn new(hw_threads: u32, window: Duration) -> Self {
+        Self::elastic(hw_threads, window, ElasticConfig::fixed())
+    }
+
+    /// An elastic scheduler: `cfg` governs same-stage batching and
+    /// replica autoscaling on top of the same windowed
+    /// processor-sharing model.
+    pub fn elastic(hw_threads: u32, window: Duration, cfg: ElasticConfig) -> Self {
+        let cfg = ElasticConfig {
+            min_replicas: cfg.min_replicas.max(1),
+            max_replicas: cfg.max_replicas.max(cfg.min_replicas.max(1)),
+            ..cfg
+        };
         CloudScheduler {
             inner: Arc::new(Mutex::new(SchedulerInner {
                 window: if window == Duration::ZERO {
@@ -88,7 +368,12 @@ impl CloudScheduler {
                     window
                 },
                 hw_threads: hw_threads.max(1),
+                replicas: vec![SimTime::EPOCH; cfg.min_replicas as usize],
+                peak_replicas: cfg.min_replicas,
+                cfg,
                 requested: BTreeMap::new(),
+                stage_req: BTreeMap::new(),
+                eval_window: None,
                 admissions: 0,
                 delayed: 0,
                 total_queue_delay: Duration::ZERO,
@@ -96,17 +381,43 @@ impl CloudScheduler {
                 thread_secs: 0.0,
                 first_admit: None,
                 last_admit: SimTime::EPOCH,
+                replica_secs: 0.0,
+                scale_ups: 0,
+                scale_downs: 0,
+                batches: 0,
+                batched_admissions: 0,
             })),
         }
     }
 
-    /// Admit `exec` seconds of compute on `threads` threads for
-    /// `tenant` at `now`, and return the queueing delay the shared box
-    /// adds on top: `exec × (other tenants' window-`w−1` threads) /
-    /// hw_threads`. Zero when the tenant had the box to itself.
-    pub fn admit(&self, tenant: u64, now: SimTime, threads: u32, exec: Duration) -> Duration {
+    /// Admit `exec` seconds of `stage` compute on `threads` threads
+    /// for `tenant` at `now`.
+    ///
+    /// The returned [`Admission::delay`] is the queueing delay the
+    /// shared box adds on top:
+    ///
+    /// ```text
+    /// exec × (marginal_cost × same-stage + other-stage foreign w−1 threads)
+    ///      / (hw_threads × ready replicas)
+    /// ```
+    ///
+    /// (marginal cost applies only with batching on; a fixed scheduler
+    /// reduces to `exec × foreign threads / hw_threads`). Zero when
+    /// the tenant had the box to itself — always, under any config.
+    pub fn admit(
+        &self,
+        tenant: u64,
+        stage: NodeKind,
+        now: SimTime,
+        threads: u32,
+        exec: Duration,
+    ) -> Admission {
         let mut inner = self.inner.lock().unwrap();
         let w = now.as_nanos() / inner.window.as_nanos().max(1);
+
+        // Window boundaries crossed since the last admission: accrue
+        // the ledger and run the autoscaler on each completed window.
+        let scales = inner.advance_to(w);
 
         *inner
             .requested
@@ -116,12 +427,47 @@ impl CloudScheduler {
             .or_insert(0) += threads as u64;
         let here: u64 = inner.requested[&w].values().sum();
         inner.peak_window_threads = inner.peak_window_threads.max(here);
-        // Keep only the windows the model can still consult.
-        inner.requested = inner.requested.split_off(&w.saturating_sub(1));
 
-        let others: u64 = inner.requested.get(&w.wrapping_sub(1)).map_or(0, |prev| {
-            prev.iter()
+        // Batch formation in the *current* window: lockstep makes
+        // co-tenant admissions within one window concurrent, so the
+        // first same-stage admission from a second distinct tenant
+        // forms a batch and later tenants join it.
+        let stage_slot = inner.stage_req.entry(w).or_default();
+        let first_for_tenant = !stage_slot.contains_key(&(stage, tenant));
+        *stage_slot.entry((stage, tenant)).or_insert(0) += threads as u64;
+        let occupancy = stage_slot.keys().filter(|(s, _)| *s == stage).count() as u64;
+        let batch = if inner.cfg.batching && first_for_tenant && occupancy >= 2 {
+            if occupancy == 2 {
+                inner.batches += 1;
+                inner.batched_admissions += 2;
+            } else {
+                inner.batched_admissions += 1;
+            }
+            Some(BatchJoin {
+                stage,
+                occupancy,
+                window: w,
+                marginal: exec * inner.cfg.marginal_cost,
+            })
+        } else {
+            None
+        };
+
+        // Keep only the windows the model can still consult.
+        let keep = w.saturating_sub(1);
+        inner.requested = inner.requested.split_off(&keep);
+        inner.stage_req = inner.stage_req.split_off(&keep);
+
+        let prev = w.wrapping_sub(1);
+        let others: u64 = inner.requested.get(&prev).map_or(0, |m| {
+            m.iter()
                 .filter(|(&t, _)| t != tenant)
+                .map(|(_, &n)| n)
+                .sum()
+        });
+        let same_stage: u64 = inner.stage_req.get(&prev).map_or(0, |m| {
+            m.iter()
+                .filter(|(&(s, t), _)| s == stage && t != tenant)
                 .map(|(_, &n)| n)
                 .sum()
         });
@@ -136,18 +482,34 @@ impl CloudScheduler {
         let delay = if others == 0 {
             Duration::ZERO
         } else {
-            exec * (others as f64 / inner.hw_threads as f64)
+            let foreign = if inner.cfg.batching {
+                inner.cfg.marginal_cost * same_stage as f64 + (others - same_stage) as f64
+            } else {
+                others as f64
+            };
+            let capacity =
+                (inner.hw_threads as u64 * inner.ready_replicas(now) as u64).max(1) as f64;
+            exec * (foreign / capacity)
         };
         if delay > Duration::ZERO {
             inner.delayed += 1;
             inner.total_queue_delay += delay;
         }
-        delay
+        Admission {
+            delay,
+            batch,
+            scales,
+        }
     }
 
-    /// Hardware threads of the modelled box.
+    /// Hardware threads of the modelled box (per replica).
     pub fn hw_threads(&self) -> u32 {
         self.inner.lock().unwrap().hw_threads
+    }
+
+    /// The provisioning policy in force.
+    pub fn config(&self) -> ElasticConfig {
+        self.inner.lock().unwrap().cfg
     }
 
     /// Aggregate counters so far.
@@ -170,6 +532,13 @@ impl CloudScheduler {
             total_queue_delay: inner.total_queue_delay,
             peak_window_threads: inner.peak_window_threads,
             utilization,
+            replicas: inner.replicas.len() as u32,
+            peak_replicas: inner.peak_replicas,
+            replica_seconds: inner.replica_secs,
+            scale_ups: inner.scale_ups,
+            scale_downs: inner.scale_downs,
+            batches: inner.batches,
+            batched_admissions: inner.batched_admissions,
         }
     }
 }
@@ -179,6 +548,7 @@ mod tests {
     use super::*;
 
     const EXEC: Duration = Duration::from_millis(40);
+    const VDP: NodeKind = NodeKind::CostmapGen;
 
     fn at(ms: u64) -> SimTime {
         SimTime::EPOCH + Duration::from_millis(ms)
@@ -192,26 +562,28 @@ mod tests {
     fn lone_tenant_pays_nothing_ever() {
         let s = sched();
         for i in 0..50 {
-            assert_eq!(s.admit(1, at(i * 200), 12, EXEC), Duration::ZERO);
+            assert_eq!(s.admit(1, VDP, at(i * 200), 12, EXEC).delay, Duration::ZERO);
         }
         let stats = s.stats();
         assert_eq!(stats.delayed, 0);
         assert_eq!(stats.total_queue_delay, Duration::ZERO);
         assert_eq!(stats.admissions, 50);
         assert!(stats.utilization > 0.0);
+        assert_eq!(stats.replicas, 1);
+        assert_eq!(stats.batches, 0);
     }
 
     #[test]
     fn queueing_delay_scales_with_other_tenants_threads() {
         let s = sched();
         // Window 0: tenants 2 and 3 request 12 threads each.
-        s.admit(2, at(0), 12, EXEC);
-        s.admit(3, at(10), 12, EXEC);
+        s.admit(2, VDP, at(0), 12, EXEC);
+        s.admit(3, VDP, at(10), 12, EXEC);
         // Window 1: tenant 1 pays for 24 foreign threads on 48 cores.
-        let delay = s.admit(1, at(200), 12, EXEC);
+        let delay = s.admit(1, VDP, at(200), 12, EXEC).delay;
         assert_eq!(delay, EXEC * 0.5);
         // Tenant 2 only pays for tenant 3's 12 threads.
-        assert_eq!(s.admit(2, at(210), 12, EXEC), EXEC * 0.25);
+        assert_eq!(s.admit(2, VDP, at(210), 12, EXEC).delay, EXEC * 0.25);
     }
 
     #[test]
@@ -219,11 +591,11 @@ mod tests {
         let run = |order: &[u64]| -> Vec<Duration> {
             let s = sched();
             for &t in order {
-                s.admit(t, at(0), 8, EXEC);
+                s.admit(t, VDP, at(0), 8, EXEC);
             }
             order
                 .iter()
-                .map(|&t| s.admit(t, at(200), 8, EXEC))
+                .map(|&t| s.admit(t, VDP, at(200), 8, EXEC).delay)
                 .collect()
         };
         let a = run(&[1, 2, 3]);
@@ -235,17 +607,17 @@ mod tests {
     #[test]
     fn idle_gap_resets_the_penalty() {
         let s = sched();
-        s.admit(1, at(0), 8, EXEC);
-        s.admit(2, at(0), 8, EXEC);
+        s.admit(1, VDP, at(0), 8, EXEC);
+        s.admit(2, VDP, at(0), 8, EXEC);
         // Two windows later, window w−1 is empty: no charge.
-        assert_eq!(s.admit(1, at(450), 8, EXEC), Duration::ZERO);
+        assert_eq!(s.admit(1, VDP, at(450), 8, EXEC).delay, Duration::ZERO);
     }
 
     #[test]
     fn utilization_and_peak_reflect_load() {
         let s = sched();
         for t in 1..=4u64 {
-            s.admit(t, at(0), 12, EXEC);
+            s.admit(t, VDP, at(0), 12, EXEC);
         }
         let stats = s.stats();
         assert_eq!(stats.peak_window_threads, 48);
@@ -258,9 +630,186 @@ mod tests {
     fn clones_share_state() {
         let s = sched();
         let s2 = s.clone();
-        s.admit(1, at(0), 8, EXEC);
-        s2.admit(2, at(0), 8, EXEC);
-        assert!(s.admit(1, at(200), 8, EXEC) > Duration::ZERO);
+        s.admit(1, VDP, at(0), 8, EXEC);
+        s2.admit(2, VDP, at(0), 8, EXEC);
+        assert!(s.admit(1, VDP, at(200), 8, EXEC).delay > Duration::ZERO);
         assert_eq!(s.stats().admissions, 3);
+    }
+
+    // ---- elastic mode ----
+
+    fn elastic(cfg: ElasticConfig) -> CloudScheduler {
+        CloudScheduler::elastic(48, Duration::from_millis(200), cfg)
+    }
+
+    #[test]
+    fn same_stage_admissions_coalesce_into_one_batch() {
+        let s = elastic(ElasticConfig::balanced().single_replica());
+        // Window 0: four tenants admit the same stage. The first pays
+        // full price (no batch to join yet); tenants 2..4 join the
+        // batch at marginal cost.
+        let n = 4u64;
+        for t in 1..=n {
+            let adm = s.admit(t, NodeKind::Slam, at(0), 12, EXEC);
+            match t {
+                1 => assert!(adm.batch.is_none(), "batch head pays full price"),
+                _ => {
+                    let b = adm.batch.expect("co-tenant joins the batch");
+                    assert_eq!(b.stage, NodeKind::Slam);
+                    assert_eq!(b.occupancy, t);
+                    assert_eq!(b.window, 0);
+                    assert_eq!(b.marginal, EXEC * 0.15);
+                }
+            }
+        }
+        let stats = s.stats();
+        // One batched execution, N admissions inside it: the head plus
+        // N−1 marginal charges.
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_admissions, n);
+        assert!((stats.mean_batch_occupancy() - n as f64).abs() < 1e-12);
+
+        // Window 1: the same-stage foreign census is charged at
+        // marginal cost — 3 × 12 × 0.15 threads on 48 cores — instead
+        // of the fixed scheduler's 3 × 12.
+        let delay = s.admit(1, NodeKind::Slam, at(200), 12, EXEC).delay;
+        assert_eq!(delay, EXEC * (0.15 * 36.0 / 48.0));
+        let fixed = sched();
+        for t in 1..=n {
+            fixed.admit(t, NodeKind::Slam, at(0), 12, EXEC);
+        }
+        let fixed_delay = fixed.admit(1, NodeKind::Slam, at(200), 12, EXEC).delay;
+        assert_eq!(fixed_delay, EXEC * (36.0 / 48.0));
+        assert!(delay < fixed_delay);
+    }
+
+    #[test]
+    fn repeat_admissions_by_one_tenant_do_not_batch() {
+        let s = elastic(ElasticConfig::balanced().single_replica());
+        // Sequential re-admissions by the same tenant are not
+        // concurrent work; no batch may form.
+        for _ in 0..3 {
+            assert!(s.admit(1, NodeKind::Slam, at(0), 12, EXEC).batch.is_none());
+        }
+        assert_eq!(s.stats().batches, 0);
+        // A second tenant's different stage does not batch either.
+        assert!(s
+            .admit(2, NodeKind::CostmapGen, at(0), 12, EXEC)
+            .batch
+            .is_none());
+        assert_eq!(s.stats().batches, 0);
+    }
+
+    #[test]
+    fn pool_scales_up_under_load_and_down_when_idle() {
+        let cfg = ElasticConfig {
+            spinup: Duration::from_millis(200),
+            ..ElasticConfig::balanced().without_batching()
+        };
+        let s = elastic(cfg);
+        // Saturate window 0: 8 tenants × 12 threads = 96 on 48 cores.
+        for t in 1..=8u64 {
+            s.admit(t, VDP, at(0), 12, EXEC);
+        }
+        // The boundary into window 1 sees util 2.0 > 0.75: scale to 2.
+        let adm = s.admit(1, VDP, at(200), 12, EXEC);
+        assert_eq!(adm.scales.len(), 1);
+        assert_eq!((adm.scales[0].from, adm.scales[0].to), (1, 2));
+        assert!(adm.scales[0].utilization > 1.9);
+        // The new replica is still spinning up at 200 ms + ε, so this
+        // admission is charged against 1×48 capacity...
+        assert_eq!(adm.delay, EXEC * (84.0 / 48.0));
+        // ...but once the lag passes, capacity doubles.
+        for t in 2..=8u64 {
+            s.admit(t, VDP, at(210), 12, EXEC);
+        }
+        let later = s.admit(1, VDP, at(410), 12, EXEC);
+        assert_eq!(later.delay, EXEC * (84.0 / 96.0));
+        // Long idle stretch: utilization 0 < 0.30 every window, so the
+        // pool drains back to min one step per boundary.
+        let quiet = s.admit(1, VDP, at(2_000), 12, EXEC);
+        assert!(quiet.scales.iter().any(|e| e.to < e.from));
+        let stats = s.stats();
+        assert_eq!(stats.replicas, cfg.min_replicas);
+        assert!(stats.peak_replicas >= 2);
+        assert!(stats.scale_downs >= 1);
+        assert!(stats.replica_seconds > 0.0);
+    }
+
+    #[test]
+    fn hysteresis_band_prevents_flapping() {
+        // Utilization held mid-band (0.5, between 0.30 and 0.75) for
+        // many windows: the pool must never move.
+        let s = elastic(ElasticConfig::balanced());
+        for w in 0..50u64 {
+            let adm1 = s.admit(1, VDP, at(w * 200), 12, EXEC);
+            let adm2 = s.admit(2, VDP, at(w * 200 + 10), 12, EXEC);
+            assert!(adm1.scales.is_empty() && adm2.scales.is_empty());
+        }
+        let stats = s.stats();
+        assert_eq!(stats.scale_ups, 0);
+        assert_eq!(stats.scale_downs, 0);
+        assert_eq!(stats.replicas, 1);
+
+        // Just past the up-threshold once: one scale-up, and the
+        // resulting mid-band utilization (40/96 ≈ 0.42) must not
+        // trigger the down-threshold — no flap back.
+        let s = elastic(ElasticConfig::balanced());
+        for w in 0..20u64 {
+            // 40 of 48 threads ≈ 0.83 at one replica, ≈ 0.42 at two.
+            for t in 1..=5u64 {
+                s.admit(t, VDP, at(w * 200 + t), 8, EXEC);
+            }
+        }
+        let stats = s.stats();
+        assert_eq!(stats.scale_ups, 1, "one decisive scale-up");
+        assert_eq!(stats.scale_downs, 0, "no flap at the boundary");
+        assert_eq!(stats.replicas, 2);
+    }
+
+    #[test]
+    fn elastic_single_replica_matches_fixed_byte_for_byte() {
+        // The identity gate: batching off + a one-replica cap is the
+        // fixed scheduler, bit for bit, for any admission sequence.
+        let fixed = sched();
+        let elas = elastic(
+            ElasticConfig::balanced()
+                .without_batching()
+                .single_replica(),
+        );
+        let mut fixed_delays = Vec::new();
+        let mut elastic_delays = Vec::new();
+        for w in 0..30u64 {
+            for t in 1..=(1 + w % 5) {
+                let stage = NodeKind::ALL[(t % 7) as usize];
+                let threads = 4 + (t as u32 % 9);
+                fixed_delays.push(fixed.admit(t, stage, at(w * 200 + t), threads, EXEC).delay);
+                elastic_delays.push(elas.admit(t, stage, at(w * 200 + t), threads, EXEC).delay);
+            }
+        }
+        assert_eq!(fixed_delays, elastic_delays);
+        let (f, e) = (fixed.stats(), elas.stats());
+        assert_eq!(f.admissions, e.admissions);
+        assert_eq!(f.delayed, e.delayed);
+        assert_eq!(f.total_queue_delay, e.total_queue_delay);
+        assert_eq!(e.scale_ups + e.scale_downs, 0);
+        assert_eq!(e.batches, 0);
+    }
+
+    #[test]
+    fn lone_tenant_pays_nothing_under_any_elastic_config() {
+        for cfg in [
+            ElasticConfig::balanced(),
+            ElasticConfig::balanced().without_batching(),
+            ElasticConfig::balanced().single_replica(),
+        ] {
+            let s = elastic(cfg);
+            for i in 0..50 {
+                let adm = s.admit(7, NodeKind::Slam, at(i * 200), 12, EXEC);
+                assert_eq!(adm.delay, Duration::ZERO);
+                assert!(adm.batch.is_none());
+            }
+            assert_eq!(s.stats().delayed, 0);
+        }
     }
 }

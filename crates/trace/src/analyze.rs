@@ -146,6 +146,8 @@ struct VehicleAgg {
     discards: u64,
     losses: u64,
     rtt_samples: u64,
+    /// Same-stage cloud batches this vehicle joined (elastic fleets).
+    cloud_batches: u64,
 }
 
 /// One flagged lying-RTT window.
@@ -194,6 +196,12 @@ pub struct TraceAnalysis {
     /// single-vehicle traces (tag 0 is never entered), so pre-fleet
     /// reports render byte-identically.
     vehicles: BTreeMap<u64, VehicleAgg>,
+    /// `cloud_batch` joins across the fleet (elastic cloud only).
+    cloud_batch_joins: u64,
+    /// Total marginal compute charged for batched joins.
+    cloud_marginal_ns: u64,
+    /// `cloud_scale` transitions as `(t_ns, from, to, utilization)`.
+    cloud_scales: Vec<(u64, u32, u32, f64)>,
 }
 
 impl TraceAnalysis {
@@ -222,6 +230,9 @@ impl TraceAnalysis {
             migration_timeouts: 0,
             backoffs: Vec::new(),
             vehicles: BTreeMap::new(),
+            cloud_batch_joins: 0,
+            cloud_marginal_ns: 0,
+            cloud_scales: Vec::new(),
         };
 
         // ---- single pass: index lineage + spans + anomaly windows.
@@ -288,6 +299,7 @@ impl TraceAnalysis {
                     } => v.discards += 1,
                     TraceEvent::ChannelLoss { .. } => v.losses += 1,
                     TraceEvent::RttSample { .. } => v.rtt_samples += 1,
+                    TraceEvent::CloudBatch { .. } => v.cloud_batches += 1,
                     _ => {}
                 }
             }
@@ -460,6 +472,19 @@ impl TraceAnalysis {
                 TraceEvent::ReoffloadBackoff { wait_ns, failures } => {
                     a.backoffs.push((rec.t_ns, *wait_ns, *failures));
                 }
+                TraceEvent::CloudBatch { marginal_ns, .. } => {
+                    a.cloud_batch_joins += 1;
+                    a.cloud_marginal_ns += marginal_ns;
+                }
+                TraceEvent::CloudScale {
+                    from_replicas,
+                    to_replicas,
+                    utilization,
+                    ..
+                } => {
+                    a.cloud_scales
+                        .push((rec.t_ns, *from_replicas, *to_replicas, *utilization));
+                }
                 _ => {}
             }
         }
@@ -621,6 +646,17 @@ impl TraceAnalysis {
         self.vehicles.len()
     }
 
+    /// `cloud_batch` joins seen across the fleet (0 outside elastic
+    /// fleet traces).
+    pub fn cloud_batch_join_count(&self) -> u64 {
+        self.cloud_batch_joins
+    }
+
+    /// `cloud_scale` replica transitions seen across the fleet.
+    pub fn cloud_scale_event_count(&self) -> usize {
+        self.cloud_scales.len()
+    }
+
     /// Render the full deterministic text report.
     pub fn render_report(&self) -> String {
         let mut out = String::new();
@@ -672,7 +708,7 @@ impl TraceAnalysis {
             let _ = writeln!(out, "--- per-vehicle attribution ---");
             let _ = writeln!(
                 out,
-                "{:<8} {:>8} {:>7} {:>9} {:>10} {:>9} {:>7} {:>5}",
+                "{:<8} {:>8} {:>7} {:>9} {:>10} {:>9} {:>7} {:>5} {:>7}",
                 "vehicle",
                 "records",
                 "cycles",
@@ -680,12 +716,13 @@ impl TraceAnalysis {
                 "delivered",
                 "discards",
                 "losses",
-                "rtts"
+                "rtts",
+                "batches"
             );
             for (id, v) in &self.vehicles {
                 let _ = writeln!(
                     out,
-                    "v{:<7} {:>8} {:>7} {:>9} {:>10} {:>9} {:>7} {:>5}",
+                    "v{:<7} {:>8} {:>7} {:>9} {:>10} {:>9} {:>7} {:>5} {:>7}",
                     id,
                     v.records,
                     v.cycles,
@@ -693,7 +730,32 @@ impl TraceAnalysis {
                     v.delivered,
                     v.discards,
                     v.losses,
-                    v.rtt_samples
+                    v.rtt_samples,
+                    v.cloud_batches
+                );
+            }
+        }
+
+        // ---- elastic cloud (only when batch/scale events exist, so
+        // fixed-cloud and single-vehicle reports are unchanged).
+        if self.cloud_batch_joins > 0 || !self.cloud_scales.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "--- elastic cloud ---");
+            let _ = writeln!(
+                out,
+                "batched joins: {} ({:.3} s marginal compute charged)",
+                self.cloud_batch_joins,
+                self.cloud_marginal_ns as f64 / 1e9
+            );
+            let _ = writeln!(out, "replica scale events: {}", self.cloud_scales.len());
+            for (t_ns, from, to, util) in &self.cloud_scales {
+                let _ = writeln!(
+                    out,
+                    "  t={:>8.3}s  replicas {} -> {}  (window utilization {:.2})",
+                    *t_ns as f64 / 1e9,
+                    from,
+                    to,
+                    util
                 );
             }
         }
@@ -1325,5 +1387,51 @@ mod tests {
         assert!(report.contains("per-vehicle attribution"));
         assert!(report.contains("v1"));
         assert!(report.contains("v2"));
+        // No elastic cloud events: the section must not render.
+        assert!(!report.contains("elastic cloud"));
+    }
+
+    #[test]
+    fn elastic_cloud_events_render_attributed_section() {
+        let mut records: Vec<TraceRecord> = complete_journey()
+            .into_iter()
+            .map(|r| TraceRecord { vehicle: 1, ..r })
+            .collect();
+        records.push(TraceRecord {
+            vehicle: 2,
+            ..rec(
+                400,
+                20,
+                0,
+                TraceEvent::CloudBatch {
+                    stage: "slam".into(),
+                    occupancy: 2,
+                    window: 2,
+                    marginal_ns: 6_000_000,
+                },
+            )
+        });
+        records.push(TraceRecord {
+            vehicle: 1,
+            ..rec(
+                410,
+                21,
+                0,
+                TraceEvent::CloudScale {
+                    from_replicas: 1,
+                    to_replicas: 2,
+                    utilization: 1.5,
+                    window: 3,
+                },
+            )
+        });
+        let a = TraceAnalysis::from_records(&records);
+        assert_eq!(a.cloud_batch_join_count(), 1);
+        assert_eq!(a.cloud_scale_event_count(), 1);
+        assert_eq!(a.vehicles[&2].cloud_batches, 1);
+        let report = a.render_report();
+        assert!(report.contains("--- elastic cloud ---"), "{report}");
+        assert!(report.contains("batched joins: 1"), "{report}");
+        assert!(report.contains("replicas 1 -> 2"), "{report}");
     }
 }

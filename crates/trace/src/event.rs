@@ -62,11 +62,14 @@ pub enum EventCategory {
     Migration,
     /// Injected fault windows opening and closing.
     Fault,
+    /// Elastic shared-cloud activity: batched admissions and replica
+    /// autoscaling (emitted only by fleet runs with a shared cloud).
+    Cloud,
 }
 
 impl EventCategory {
     /// Every category, in a fixed documentation order.
-    pub const ALL: [EventCategory; 11] = [
+    pub const ALL: [EventCategory; 12] = [
         EventCategory::Mission,
         EventCategory::Span,
         EventCategory::Bus,
@@ -78,6 +81,7 @@ impl EventCategory {
         EventCategory::Energy,
         EventCategory::Migration,
         EventCategory::Fault,
+        EventCategory::Cloud,
     ];
 
     /// Stable lower-case name.
@@ -94,6 +98,7 @@ impl EventCategory {
             EventCategory::Energy => "energy",
             EventCategory::Migration => "migration",
             EventCategory::Fault => "fault",
+            EventCategory::Cloud => "cloud",
         }
     }
 }
@@ -322,6 +327,34 @@ pub enum TraceEvent {
         /// Consecutive offload failures behind the current backoff.
         failures: u64,
     },
+    /// This vehicle's same-stage cloud request coalesced into a
+    /// batched execution with other tenants' requests from the same
+    /// contention window (the elastic scheduler's batched admission).
+    CloudBatch {
+        /// Coalesced stage label (`NodeKind` short name, e.g. `slam`).
+        stage: String,
+        /// Distinct tenants sharing the batch after this join (≥ 2).
+        occupancy: u64,
+        /// Contention-window index the batch formed in.
+        window: u64,
+        /// Marginal compute this join added instead of a full
+        /// independent execution.
+        marginal_ns: u64,
+    },
+    /// The elastic cloud's replica pool scaled at a contention-window
+    /// boundary (attributed to the vehicle whose admission crossed the
+    /// boundary and observed the decision).
+    CloudScale {
+        /// Provisioned replicas before the decision.
+        from_replicas: u32,
+        /// Provisioned replicas after (spin-up lag still applies
+        /// before an added replica serves).
+        to_replicas: u32,
+        /// The previous-window utilization that triggered it.
+        utilization: f64,
+        /// Window index the new pool size takes effect in.
+        window: u64,
+    },
 }
 
 impl TraceEvent {
@@ -352,6 +385,8 @@ impl TraceEvent {
             TraceEvent::HeartbeatMiss { .. } => "heartbeat_miss",
             TraceEvent::MigrationTimeout { .. } => "migration_timeout",
             TraceEvent::ReoffloadBackoff { .. } => "reoffload_backoff",
+            TraceEvent::CloudBatch { .. } => "cloud_batch",
+            TraceEvent::CloudScale { .. } => "cloud_scale",
         }
     }
 
@@ -380,6 +415,7 @@ impl TraceEvent {
                 EventCategory::Control
             }
             TraceEvent::FaultBegin { .. } | TraceEvent::FaultEnd { .. } => EventCategory::Fault,
+            TraceEvent::CloudBatch { .. } | TraceEvent::CloudScale { .. } => EventCategory::Cloud,
         }
     }
 
@@ -544,6 +580,28 @@ impl TraceEvent {
             TraceEvent::ReoffloadBackoff { wait_ns, failures } => {
                 field_u64(out, "wait_ns", *wait_ns);
                 field_u64(out, "failures", *failures);
+            }
+            TraceEvent::CloudBatch {
+                stage,
+                occupancy,
+                window,
+                marginal_ns,
+            } => {
+                field_str(out, "stage", stage);
+                field_u64(out, "occupancy", *occupancy);
+                field_u64(out, "window", *window);
+                field_u64(out, "marginal_ns", *marginal_ns);
+            }
+            TraceEvent::CloudScale {
+                from_replicas,
+                to_replicas,
+                utilization,
+                window,
+            } => {
+                field_u64(out, "from_replicas", u64::from(*from_replicas));
+                field_u64(out, "to_replicas", u64::from(*to_replicas));
+                field_f64(out, "utilization", *utilization);
+                field_u64(out, "window", *window);
             }
         }
     }
@@ -712,6 +770,18 @@ mod tests {
                 joules: 0.5,
             },
             TraceEvent::MigrationAbort,
+            TraceEvent::CloudBatch {
+                stage: "slam".into(),
+                occupancy: 3,
+                window: 12,
+                marginal_ns: 600_000,
+            },
+            TraceEvent::CloudScale {
+                from_replicas: 1,
+                to_replicas: 2,
+                utilization: 0.9,
+                window: 13,
+            },
         ];
         for e in &events {
             assert!(!e.kind().is_empty());

@@ -432,6 +432,18 @@ fn event_from(kind: &str, obj: &Obj) -> Result<TraceEvent, String> {
             wait_ns: obj.u64("wait_ns")?,
             failures: obj.u64("failures")?,
         },
+        "cloud_batch" => TraceEvent::CloudBatch {
+            stage: obj.str("stage")?,
+            occupancy: obj.u64("occupancy")?,
+            window: obj.u64("window")?,
+            marginal_ns: obj.u64("marginal_ns")?,
+        },
+        "cloud_scale" => TraceEvent::CloudScale {
+            from_replicas: obj.u32("from_replicas")?,
+            to_replicas: obj.u32("to_replicas")?,
+            utilization: obj.f64("utilization")?,
+            window: obj.u64("window")?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     })
 }
@@ -619,6 +631,18 @@ mod tests {
             TraceEvent::ReoffloadBackoff {
                 wait_ns: 4_000_000_000,
                 failures: 2,
+            },
+            TraceEvent::CloudBatch {
+                stage: "slam".to_string(),
+                occupancy: 3,
+                window: 41,
+                marginal_ns: 600_000,
+            },
+            TraceEvent::CloudScale {
+                from_replicas: 1,
+                to_replicas: 2,
+                utilization: 1.25,
+                window: 42,
             },
         ];
         for (i, event) in events.into_iter().enumerate() {

@@ -117,6 +117,18 @@ fn all_kinds(s: &str, a: u64, b: u32, f: f64, flag: bool) -> Vec<TraceEvent> {
             wait_ns: a,
             failures: b as u64,
         },
+        TraceEvent::CloudBatch {
+            stage: s.to_string(),
+            occupancy: b as u64,
+            window: a,
+            marginal_ns: a,
+        },
+        TraceEvent::CloudScale {
+            from_replicas: b,
+            to_replicas: b.wrapping_add(1),
+            utilization: f,
+            window: a,
+        },
     ]
 }
 

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Documentation gate: rustdoc warnings denied, doctests, and the trace
+# schema-drift check. Invoked by scripts/ci.sh stage 5 and runnable on
+# its own.
+#
+# The schema-drift check keeps docs/OBSERVABILITY.md honest: every
+# event kind the code can emit (the match arms of TraceEvent::kind(),
+# including `cloud_batch` / `cloud_scale` from the elastic cloud tier)
+# must appear as a row in the doc's event-schema tables, and vice
+# versa. It is generic over the kind list, so adding an event without
+# documenting it — or documenting one that does not exist — fails CI.
+#
+# Usage: ./scripts/check_docs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "-- rustdoc (warnings denied) + doctests"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+cargo test --doc --workspace -q
+
+echo "-- trace schema drift (event.rs vs docs/OBSERVABILITY.md)"
+# Kinds the code can emit: the match arms of TraceEvent::kind().
+code_kinds=$(sed -n '/fn kind(/,/^    }$/p' crates/trace/src/event.rs \
+    | grep -oE '=> "[a-z_]+"' | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
+# Kinds documented in the event-schema tables (first backticked cell
+# of each row between the Event schema and Metrics registry headings).
+doc_kinds=$(sed -n '/^## Event schema/,/^## Metrics registry/p' docs/OBSERVABILITY.md \
+    | grep -oE '^\| `[a-z_]+` \|' | grep -oE '`[a-z_]+`' | tr -d '`' | sort -u)
+if ! diff <(echo "$code_kinds") <(echo "$doc_kinds") >/dev/null; then
+    echo "event kinds out of sync (< code only, > docs only):"
+    diff <(echo "$code_kinds") <(echo "$doc_kinds") | grep '^[<>]' || true
+    exit 1
+fi
+echo "$(echo "$code_kinds" | wc -l) kinds documented, no drift"
+
+echo "-- cross-linked docs exist"
+# The navigable doc set (README -> ARCHITECTURE -> subsystem docs);
+# a missing file here means a dangling link somewhere.
+for doc in docs/ARCHITECTURE.md docs/FLEET.md docs/OBSERVABILITY.md \
+    docs/RESILIENCE.md docs/CI.md; do
+    [ -f "$doc" ] || { echo "missing $doc"; exit 1; }
+done
+grep -q 'docs/ARCHITECTURE.md' README.md \
+    || { echo "README.md does not link docs/ARCHITECTURE.md"; exit 1; }
+
+echo "docs OK"

@@ -39,21 +39,7 @@ cargo fmt --all -- --check
 
 echo
 echo "== 5/6 docs (rustdoc warnings denied, doctests, schema drift) =="
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
-cargo test --doc --workspace -q
-# Kinds the code can emit: the match arms of TraceEvent::kind().
-code_kinds=$(sed -n '/fn kind(/,/^    }$/p' crates/trace/src/event.rs \
-    | grep -oE '=> "[a-z_]+"' | grep -oE '"[a-z_]+"' | tr -d '"' | sort -u)
-# Kinds documented in the event-schema tables (first backticked cell
-# of each row between the Event schema and Metrics registry headings).
-doc_kinds=$(sed -n '/^## Event schema/,/^## Metrics registry/p' docs/OBSERVABILITY.md \
-    | grep -oE '^\| `[a-z_]+` \|' | grep -oE '`[a-z_]+`' | tr -d '`' | sort -u)
-if ! diff <(echo "$code_kinds") <(echo "$doc_kinds") >/dev/null; then
-    echo "event kinds out of sync (< code only, > docs only):"
-    diff <(echo "$code_kinds") <(echo "$doc_kinds") | grep '^[<>]' || true
-    exit 1
-fi
-echo "$(echo "$code_kinds" | wc -l) kinds documented, no drift"
+./scripts/check_docs.sh
 
 echo
 echo "== 6/6 evaluation-suite gate (quick, all scenarios) =="
@@ -67,8 +53,20 @@ cargo test --release -q -p lgv-bench --test suite -- --ignored --nocapture
 # Fleet multi-tenancy determinism: a fleet of four on one shared box,
 # run twice, must agree on every per-vehicle fingerprint and every
 # shared-resource counter (and a fleet of one must stay byte-identical
-# to the single-vehicle runner — asserted by the same test file).
+# to the single-vehicle runner — asserted by the same test file). The
+# same run covers the elastic-cloud gates: elastic fleets are
+# reproducible, batch same-stage work, and queue no worse than fixed.
 cargo test --release -q -p lgv-offload --test fleet -- --include-ignored
+# Elastic-fleet quick job: the elasticity ablation on its own, so a
+# regression in the elastic scheduler fails fast with readable output.
+LGV_BENCH_QUICK=1 ./target/release/suite --threads 2 --only elastic-fleet \
+    --out target/BENCH_elastic.json
+# Artifact freshness: the committed BENCH_suite.json must already list
+# the elastic-fleet scenario (regenerate it after registry changes —
+# the suite test `committed_bench_artifact_matches_registry` checks
+# every scenario; this is the fast, explicit guard for the newest one).
+grep -q '"name": "elastic-fleet"' BENCH_suite.json \
+    || { echo "BENCH_suite.json is stale: missing elastic-fleet"; exit 1; }
 
 echo
 echo "CI gate OK"

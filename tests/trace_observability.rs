@@ -130,6 +130,12 @@ fn short_mission_covers_every_event_category() {
     let ring = ring.lock().unwrap();
     let mut missing: Vec<&'static str> = Vec::new();
     for cat in EventCategory::ALL {
+        // `cloud` events only exist with a shared elastic cloud, i.e.
+        // fleet runs — covered by `elastic_fleet_trace_covers_cloud_
+        // category` below.
+        if cat == EventCategory::Cloud {
+            continue;
+        }
         if !ring.records().any(|r| r.event.category() == cat) {
             missing.push(cat.as_str());
         }
@@ -148,4 +154,38 @@ fn short_mission_covers_every_event_category() {
     );
     assert!(dump.contains("hist rtt_ms"), "dump:\n{dump}");
     assert!(dump.contains("hist energy_j.motor"), "dump:\n{dump}");
+}
+
+/// The `cloud` category needs a shared elastic cloud to fire: a
+/// two-vehicle fleet on one edge box batches same-stage admissions
+/// and autoscales, and every event carries its vehicle's tag.
+#[test]
+fn elastic_fleet_trace_covers_cloud_category() {
+    use cloud_lgv::offload::fleet::{run_fleet_traced, CloudPolicy, ElasticConfig, FleetConfig};
+
+    let tracer = Tracer::enabled();
+    let ring = tracer.attach(RingBufferSink::new(4_000_000));
+    let base = MissionConfig::compact_lab(Deployment::edge_8t(), Workload::Navigation);
+    run_fleet_traced(
+        FleetConfig::new(base, 2).with_cloud(CloudPolicy::Elastic(ElasticConfig::balanced())),
+        tracer,
+    );
+
+    let ring = ring.lock().unwrap();
+    let cloud: Vec<_> = ring
+        .records()
+        .filter(|r| r.event.category() == EventCategory::Cloud)
+        .collect();
+    assert!(
+        cloud.iter().any(|r| r.event.kind() == "cloud_batch"),
+        "two lockstep tenants must coalesce same-stage admissions"
+    );
+    assert!(
+        cloud.iter().any(|r| r.event.kind() == "cloud_scale"),
+        "two tenants on an 8-thread box must trip the autoscaler"
+    );
+    assert!(
+        cloud.iter().all(|r| r.vehicle != 0),
+        "cloud events must be attributed to a vehicle"
+    );
 }
