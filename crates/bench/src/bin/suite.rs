@@ -3,7 +3,9 @@
 //! machine-readable `BENCH_suite.json` artifact.
 //!
 //! ```text
-//! suite [--threads N] [--quick] [--only NAME[,NAME...]] [--out PATH] [--list] [--print-output]
+//! suite [--threads N] [--quick] [--only NAME[,NAME...]] [--out PATH]
+//!       [--profile] [--profile-out PATH] [--no-history] [--history-out PATH]
+//!       [--list] [--print-output]
 //! ```
 //!
 //! - `--threads N` — worker threads for the fan-out (default: all
@@ -13,12 +15,22 @@
 //! - `--only a,b` — run a subset of scenarios by name.
 //! - `--out PATH` — where to write the JSON artifact (default
 //!   `BENCH_suite.json`; `-` for stdout only).
+//! - `--profile` — collect wall-clock scope profiles and write the
+//!   `lgv-bench-profile/v1` artifact (default `BENCH_profile.json`).
+//!   Requires the `prof` feature (on by default); exits non-zero if
+//!   the profiler is compiled out.
+//! - `--profile-out PATH` — where the profile artifact goes (`-` for
+//!   stdout; implies `--profile`).
+//! - `--no-history` — skip appending this run to the perf-history log.
+//! - `--history-out PATH` — where the history log lives (default
+//!   `BENCH_history.jsonl`).
 //! - `--list` — print the registry and exit.
 //! - `--print-output` — dump each scenario's captured text output
 //!   after the summary table.
 
 use lgv_bench::suite::{registry, run_suite, Scenario};
 use lgv_bench::TablePrinter;
+use std::io::Write as _;
 use std::process::ExitCode;
 
 struct Args {
@@ -26,6 +38,10 @@ struct Args {
     quick: bool,
     only: Option<Vec<String>>,
     out: String,
+    profile: bool,
+    profile_out: String,
+    history: bool,
+    history_out: String,
     list: bool,
     print_output: bool,
 }
@@ -38,6 +54,10 @@ fn parse_args() -> Result<Args, String> {
         quick: std::env::var("LGV_BENCH_QUICK").is_ok_and(|v| v == "1"),
         only: None,
         out: "BENCH_suite.json".to_string(),
+        profile: false,
+        profile_out: "BENCH_profile.json".to_string(),
+        history: true,
+        history_out: "BENCH_history.jsonl".to_string(),
         list: false,
         print_output: false,
     };
@@ -59,11 +79,19 @@ fn parse_args() -> Result<Args, String> {
                 args.only = Some(v.split(',').map(|s| s.trim().to_string()).collect());
             }
             "--out" => args.out = it.next().ok_or("--out needs a value")?,
+            "--profile" => args.profile = true,
+            "--profile-out" => {
+                args.profile_out = it.next().ok_or("--profile-out needs a value")?;
+                args.profile = true;
+            }
+            "--no-history" => args.history = false,
+            "--history-out" => args.history_out = it.next().ok_or("--history-out needs a value")?,
             "--list" => args.list = true,
             "--print-output" => args.print_output = true,
             "--help" | "-h" => {
                 return Err("usage: suite [--threads N] [--quick] [--only NAME,...] \
-                            [--out PATH] [--list] [--print-output]"
+                            [--out PATH] [--profile] [--profile-out PATH] \
+                            [--no-history] [--history-out PATH] [--list] [--print-output]"
                     .into())
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
@@ -80,6 +108,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.profile && !lgv_trace::prof::is_available() {
+        eprintln!("--profile requires the `prof` feature (rebuild without --no-default-features)");
+        return ExitCode::FAILURE;
+    }
 
     let all = registry();
     if args.list {
@@ -117,12 +150,13 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "running {} scenario(s) on {} thread(s){}...",
+        "running {} scenario(s) on {} thread(s){}{}...",
         scenarios.len(),
         args.threads,
-        if args.quick { " [quick]" } else { "" }
+        if args.quick { " [quick]" } else { "" },
+        if args.profile { " [profile]" } else { "" }
     );
-    let report = run_suite(&scenarios, args.threads, args.quick);
+    let report = run_suite(&scenarios, args.threads, args.quick, args.profile);
 
     let mut t = TablePrinter::new(vec![
         "scenario",
@@ -141,8 +175,16 @@ fn main() -> ExitCode {
             r.name.clone(),
             r.seed.to_string(),
             format!("{:.1}", r.wall_ms),
-            format!("{:.1}", r.sim_time_s),
-            r.events.to_string(),
+            if r.events == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", r.sim_time_s)
+            },
+            if r.events == 0 {
+                "-".to_string()
+            } else {
+                r.events.to_string()
+            },
             r.output.len().to_string(),
             r.checksum.clone(),
             r.error.clone().unwrap_or_else(|| "ok".into()),
@@ -169,6 +211,33 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     } else {
         println!("wrote {}", args.out);
+    }
+
+    if args.profile {
+        let pjson = report.profile_json();
+        if args.profile_out == "-" {
+            print!("{pjson}");
+        } else if let Err(e) = std::fs::write(&args.profile_out, &pjson) {
+            eprintln!("failed to write {}: {e}", args.profile_out);
+            return ExitCode::FAILURE;
+        } else {
+            println!("wrote {}", args.profile_out);
+        }
+    }
+
+    if args.history {
+        let line = report.history_line();
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&args.history_out)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        match appended {
+            Ok(()) => println!("appended run record to {}", args.history_out),
+            // History is telemetry, not a gate: a read-only checkout
+            // shouldn't fail the run.
+            Err(e) => eprintln!("warning: could not append {}: {e}", args.history_out),
+        }
     }
 
     if failed {

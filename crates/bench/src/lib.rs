@@ -14,6 +14,7 @@ use lgv_sim::{Lidar, LidarConfig};
 use lgv_types::prelude::*;
 use std::io::{self, Write};
 
+pub mod json;
 pub mod scenarios;
 pub mod suite;
 

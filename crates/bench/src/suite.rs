@@ -17,14 +17,17 @@
 //! FNV-1a output checksums that land in the JSON artifact; CI fails if
 //! parallelism ever leaks into scenario results.
 //!
-//! JSON schema (`lgv-bench-suite/v2`, one object per file). `v2` adds
+//! JSON schema (`lgv-bench-suite/v3`, one object per file). `v2` added
 //! the run-level accounting fields `scenario_count` (number of jobs in
 //! the artifact) and `total_sim_time_s` (summed virtual time across
-//! all scenarios) next to the worker-thread count and total wall time:
+//! all scenarios) next to the worker-thread count and total wall time;
+//! `v3` serializes `sim_time_s`/`events` as `null` for scenarios that
+//! emit no trace events (they used to read `0.000`/`0`, implying a
+//! measured zero rather than "not traced"):
 //!
 //! ```json
 //! {
-//!   "schema": "lgv-bench-suite/v2",
+//!   "schema": "lgv-bench-suite/v3",
 //!   "threads": 4,
 //!   "quick": false,
 //!   "scenario_count": 13,
@@ -35,8 +38,8 @@
 //!       "name": "fig9",
 //!       "seed": 11,
 //!       "wall_ms": 210.7,
-//!       "sim_time_s": 0.0,
-//!       "events": 0,
+//!       "sim_time_s": null,
+//!       "events": null,
 //!       "output_bytes": 4211,
 //!       "checksum": "fnv1a:cbf29ce484222325"
 //!     }
@@ -44,9 +47,17 @@
 //! }
 //! ```
 //!
-//! See `docs/CI.md` for how the gate consumes this file.
+//! With `--profile`, the suite additionally collects each job's
+//! wall-clock scope tree (`lgv_trace::prof`) and renders it as a
+//! `BENCH_profile.json` (schema `lgv-bench-profile/v1`) via
+//! [`SuiteReport::profile_json`] — per-scenario self-time attribution
+//! over the instrumented kernels, the substrate of the "make fig13
+//! fast" work.
+//!
+//! See `docs/CI.md` for how the gate consumes these files.
 
 use lgv_slam::pool::ParallelExecutor;
+use lgv_trace::prof::{self, ProfileTree};
 use lgv_trace::{TraceRecord, TraceSink, Tracer};
 use std::io::{self, Write};
 
@@ -251,6 +262,9 @@ pub struct JobResult {
     pub checksum: String,
     /// Error message if the scenario failed.
     pub error: Option<String>,
+    /// Wall-clock scope tree harvested from the job's thread (empty
+    /// unless the suite ran with profiling on).
+    pub profile: ProfileTree,
 }
 
 /// Results of one full suite run.
@@ -260,6 +274,8 @@ pub struct SuiteReport {
     pub threads: usize,
     /// Whether quick mode was on.
     pub quick: bool,
+    /// Whether wall-clock profiling was collecting during the run.
+    pub profiled: bool,
     /// End-to-end wall-clock of the fan-out (milliseconds).
     pub total_wall_ms: f64,
     /// Per-job results, in [`registry`] order.
@@ -270,6 +286,11 @@ fn run_job(scenario: &Scenario, quick: bool) -> JobResult {
     let mut output: Vec<u8> = Vec::with_capacity(4096);
     let tracer = Tracer::enabled();
     let counter = tracer.attach(CountingSink::default());
+    // Drop any profile residue from a previous job on this worker, and
+    // root this job's scopes under a node named after the scenario (a
+    // no-op unless profiling is collecting).
+    let _ = prof::take_thread();
+    let prof_root = prof::scope(scenario.name);
     let start = std::time::Instant::now();
     let err = {
         let mut ctx = ScenarioCtx {
@@ -281,6 +302,8 @@ fn run_job(scenario: &Scenario, quick: bool) -> JobResult {
         (scenario.run)(&mut ctx).err()
     };
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    drop(prof_root);
+    let profile = prof::take_thread();
     let (events, max_t_ns) = {
         let c = counter.lock().expect("counting sink poisoned");
         (c.events, c.max_t_ns)
@@ -294,6 +317,7 @@ fn run_job(scenario: &Scenario, quick: bool) -> JobResult {
         checksum: format!("fnv1a:{:016x}", fnv1a(&output)),
         output,
         error: err.map(|e| e.to_string()),
+        profile,
     }
 }
 
@@ -305,8 +329,23 @@ fn run_job(scenario: &Scenario, quick: bool) -> JobResult {
 /// then the buckets are executed fork-join style by the same
 /// [`ParallelExecutor`] the parallel gmapping algorithm uses — one
 /// bucket per worker thread, each worker draining its bucket serially.
-pub fn run_suite(scenarios: &[Scenario], threads: usize, quick: bool) -> SuiteReport {
+///
+/// With `profile` on (and the `prof` feature compiled in), wall-clock
+/// scope collection is enabled for the duration of the run and each
+/// job's scope tree lands in [`JobResult::profile`]. Profiling cannot
+/// change scenario outputs — the determinism tests run with it both on
+/// and off.
+pub fn run_suite(
+    scenarios: &[Scenario],
+    threads: usize,
+    quick: bool,
+    profile: bool,
+) -> SuiteReport {
     let threads = threads.max(1);
+    let profiled = profile && prof::is_available();
+    if profiled {
+        prof::set_enabled(true);
+    }
     let start = std::time::Instant::now();
 
     // Greedy LPT partition: heaviest job first into the lightest bucket.
@@ -340,10 +379,18 @@ pub fn run_suite(scenarios: &[Scenario], threads: usize, quick: bool) -> SuiteRe
     for (i, r) in per_bucket.into_iter().flatten() {
         slots[i] = Some(r);
     }
+    let total_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    if profiled {
+        prof::set_enabled(false);
+        // Discard the residue the fan-out harvest grafted onto this
+        // thread (jobs drain their own trees; only scraps remain).
+        let _ = prof::take_thread();
+    }
     SuiteReport {
         threads,
         quick,
-        total_wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        profiled,
+        total_wall_ms,
         results: slots
             .into_iter()
             .map(|r| r.expect("every job ran"))
@@ -374,11 +421,14 @@ impl SuiteReport {
         self.results.iter().map(|r| r.sim_time_s).sum()
     }
 
-    /// Render the machine-readable `BENCH_suite.json` artifact.
+    /// Render the machine-readable `BENCH_suite.json` artifact
+    /// (schema `lgv-bench-suite/v3`). Scenarios that emitted no trace
+    /// events report `sim_time_s`/`events` as `null` — "not traced",
+    /// not "measured zero".
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024);
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"lgv-bench-suite/v2\",\n");
+        s.push_str("  \"schema\": \"lgv-bench-suite/v3\",\n");
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str(&format!("  \"scenario_count\": {},\n", self.results.len()));
@@ -396,8 +446,13 @@ impl SuiteReport {
             s.push_str(&format!("\"name\": \"{}\", ", json_escape(&r.name)));
             s.push_str(&format!("\"seed\": {}, ", r.seed));
             s.push_str(&format!("\"wall_ms\": {:.3}, ", r.wall_ms));
-            s.push_str(&format!("\"sim_time_s\": {:.3}, ", r.sim_time_s));
-            s.push_str(&format!("\"events\": {}, ", r.events));
+            if r.events == 0 {
+                s.push_str("\"sim_time_s\": null, ");
+                s.push_str("\"events\": null, ");
+            } else {
+                s.push_str(&format!("\"sim_time_s\": {:.3}, ", r.sim_time_s));
+                s.push_str(&format!("\"events\": {}, ", r.events));
+            }
             s.push_str(&format!("\"output_bytes\": {}, ", r.output.len()));
             s.push_str(&format!("\"checksum\": \"{}\"", json_escape(&r.checksum)));
             if let Some(e) = &r.error {
@@ -412,6 +467,144 @@ impl SuiteReport {
         }
         s.push_str("  ]\n");
         s.push_str("}\n");
+        s
+    }
+
+    /// Render the `BENCH_profile.json` artifact (schema
+    /// `lgv-bench-profile/v1`): per-scenario wall-clock attribution
+    /// over the instrumented scopes.
+    ///
+    /// Per scenario: `wall_ms` is the job's measured wall time,
+    /// `profiled_ms` the summed totals of its top-level scopes,
+    /// `coverage` their ratio, and `unattributed_ms` the remainder
+    /// (scenario code outside any named scope). Each scope row carries
+    /// its call path **relative to the scenario root** plus exact
+    /// nanosecond aggregates, so a flamegraph's folded input is
+    /// reconstructible from the artifact (`path self_ns` per row —
+    /// see `trace_report --prof`). Scope rows are in canonical
+    /// depth-first name-sorted order; values are host wall-clock and
+    /// machine-dependent by nature.
+    pub fn profile_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"lgv-bench-profile/v1\",\n");
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!("  \"profiled\": {},\n", self.profiled));
+        s.push_str("  \"scenarios\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            // The job's scopes hang under a root node named after the
+            // scenario (created by the suite harness itself).
+            let root = r
+                .profile
+                .children_sorted(0)
+                .into_iter()
+                .find(|&n| r.profile.nodes()[n].name == r.name);
+            let profiled_ns: u64 = root.map_or(0, |n| {
+                r.profile.nodes()[n]
+                    .children
+                    .iter()
+                    .map(|&c| r.profile.nodes()[c].total_ns)
+                    .sum()
+            });
+            let unattributed_ns = root.map_or(0, |n| r.profile.self_ns(n));
+            let coverage = if r.wall_ms > 0.0 {
+                (profiled_ns as f64 / 1e6) / r.wall_ms
+            } else {
+                0.0
+            };
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&r.name)));
+            s.push_str(&format!("      \"wall_ms\": {:.3},\n", r.wall_ms));
+            s.push_str(&format!(
+                "      \"profiled_ms\": {:.3},\n",
+                profiled_ns as f64 / 1e6
+            ));
+            s.push_str(&format!(
+                "      \"unattributed_ms\": {:.3},\n",
+                unattributed_ns as f64 / 1e6
+            ));
+            s.push_str(&format!("      \"coverage\": {coverage:.4},\n"));
+            s.push_str("      \"scopes\": [\n");
+            let rows: Vec<(usize, usize)> = match root {
+                Some(root) => {
+                    // Depth-first canonical walk of the subtree below
+                    // the scenario root.
+                    let mut rows = Vec::new();
+                    let mut stack: Vec<(usize, usize)> = r
+                        .profile
+                        .children_sorted(root)
+                        .into_iter()
+                        .rev()
+                        .map(|c| (c, 1))
+                        .collect();
+                    while let Some((n, d)) = stack.pop() {
+                        rows.push((n, d));
+                        for c in r.profile.children_sorted(n).into_iter().rev() {
+                            stack.push((c, d + 1));
+                        }
+                    }
+                    rows
+                }
+                None => Vec::new(),
+            };
+            for (j, &(n, depth)) in rows.iter().enumerate() {
+                let node = &r.profile.nodes()[n];
+                // Path relative to the scenario root: strip the
+                // leading "<scenario>;".
+                let full = r.profile.path(n);
+                let rel = full.split_once(';').map_or(full.as_str(), |(_, p)| p);
+                s.push_str("        {");
+                s.push_str(&format!(
+                    "\"path\": \"{}\", ",
+                    json_escape(&rel.replace(' ', "_"))
+                ));
+                s.push_str(&format!("\"depth\": {depth}, "));
+                s.push_str(&format!("\"count\": {}, ", node.count));
+                s.push_str(&format!("\"total_ns\": {}, ", node.total_ns));
+                s.push_str(&format!("\"self_ns\": {}, ", r.profile.self_ns(n)));
+                s.push_str(&format!("\"min_ns\": {}, ", node.min_ns));
+                s.push_str(&format!("\"max_ns\": {}", node.max_ns));
+                s.push('}');
+                s.push_str(if j + 1 < rows.len() { ",\n" } else { "\n" });
+            }
+            s.push_str("      ]\n");
+            s.push_str("    }");
+            s.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// One compact perf-history record (schema `lgv-bench-history/v1`)
+    /// — a single JSONL line the `suite` binary appends to
+    /// `BENCH_history.jsonl` after every run, so wall-time trends are
+    /// queryable across commits without re-running anything.
+    pub fn history_line(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\"schema\": \"lgv-bench-history/v1\", ");
+        s.push_str(&format!("\"threads\": {}, ", self.threads));
+        s.push_str(&format!("\"quick\": {}, ", self.quick));
+        s.push_str(&format!("\"profiled\": {}, ", self.profiled));
+        s.push_str(&format!("\"total_wall_ms\": {:.3}, ", self.total_wall_ms));
+        s.push_str("\"scenarios\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "{{\"name\": \"{}\", \"wall_ms\": {:.3}, \"checksum\": \"{}\"}}",
+                json_escape(&r.name),
+                r.wall_ms,
+                json_escape(&r.checksum)
+            ));
+            if i + 1 < self.results.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push_str("]}");
         s
     }
 }
@@ -444,29 +637,100 @@ mod tests {
         assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
+    fn job(name: &str, events: u64, sim_time_s: f64) -> JobResult {
+        JobResult {
+            name: name.into(),
+            seed: 7,
+            wall_ms: 1.0,
+            sim_time_s,
+            events,
+            output: b"hello".to_vec(),
+            checksum: format!("fnv1a:{:016x}", fnv1a(b"hello")),
+            error: None,
+            profile: ProfileTree::new(),
+        }
+    }
+
     #[test]
     fn report_json_is_balanced_and_tagged() {
         let report = SuiteReport {
             threads: 2,
             quick: true,
+            profiled: false,
             total_wall_ms: 1.5,
-            results: vec![JobResult {
-                name: "x".into(),
-                seed: 7,
-                wall_ms: 1.0,
-                sim_time_s: 0.0,
-                events: 0,
-                output: b"hello".to_vec(),
-                checksum: format!("fnv1a:{:016x}", fnv1a(b"hello")),
-                error: None,
-            }],
+            results: vec![job("x", 0, 0.0)],
         };
         let j = report.to_json();
-        assert!(j.contains("\"schema\": \"lgv-bench-suite/v2\""));
+        assert!(j.contains("\"schema\": \"lgv-bench-suite/v3\""));
         assert!(j.contains("\"scenario_count\": 1"));
         assert!(j.contains("\"total_sim_time_s\": 0.000"));
         assert!(j.contains("\"name\": \"x\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn untraced_scenarios_serialize_null_sim_fields() {
+        let report = SuiteReport {
+            threads: 1,
+            quick: true,
+            profiled: false,
+            total_wall_ms: 2.0,
+            results: vec![job("untraced", 0, 0.0), job("traced", 12, 3.5)],
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"name\": \"untraced\", \"seed\": 7, \"wall_ms\": 1.000, \"sim_time_s\": null, \"events\": null,"));
+        assert!(j.contains("\"name\": \"traced\", \"seed\": 7, \"wall_ms\": 1.000, \"sim_time_s\": 3.500, \"events\": 12,"));
+        // The run-level sum only counts traced scenarios (untraced
+        // contribute 0 by construction).
+        assert!(j.contains("\"total_sim_time_s\": 3.500"));
+    }
+
+    #[test]
+    fn profile_json_attributes_scopes_below_the_scenario_root() {
+        // Hand-build a job tree: root -> "x" -> {kernel_a, kernel_a;sub, kernel_b}.
+        let folded = "x 200\nx;kernel_a 500\nx;kernel_a;sub 300\nx;kernel_b 100\n";
+        let tree = ProfileTree::from_folded(folded).expect("valid folded");
+        let mut r = job("x", 0, 0.0);
+        r.wall_ms = 0.0012; // 1200 ns measured: 900 ns profiled + residue
+        r.profile = tree;
+        let report = SuiteReport {
+            threads: 1,
+            quick: false,
+            profiled: true,
+            total_wall_ms: 1.0,
+            results: vec![r],
+        };
+        let j = report.profile_json();
+        assert!(j.contains("\"schema\": \"lgv-bench-profile/v1\""));
+        // profiled = kernel_a (800 total) + kernel_b (100) = 900 ns;
+        // unattributed = x's self time, 200 ns.
+        assert!(j.contains("\"profiled_ms\": 0.001"), "{j}");
+        assert!(j.contains("\"unattributed_ms\": 0.000"), "{j}");
+        // Paths are relative to the scenario root, canonical order.
+        let a = j.find("\"path\": \"kernel_a\", \"depth\": 1").unwrap();
+        let sub = j.find("\"path\": \"kernel_a;sub\", \"depth\": 2").unwrap();
+        let b = j.find("\"path\": \"kernel_b\", \"depth\": 1").unwrap();
+        assert!(a < sub && sub < b);
+        assert!(j.contains("\"total_ns\": 800, \"self_ns\": 500"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn history_line_is_one_compact_record() {
+        let report = SuiteReport {
+            threads: 4,
+            quick: true,
+            profiled: false,
+            total_wall_ms: 9.5,
+            results: vec![job("x", 0, 0.0), job("y", 3, 1.0)],
+        };
+        let line = report.history_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"schema\": \"lgv-bench-history/v1\""));
+        assert!(line.contains("\"name\": \"x\""));
+        assert!(line.contains("\"name\": \"y\""));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
     }
 }

@@ -13,6 +13,11 @@
 
 use lgv_bench::suite::{registry, run_suite, Scenario};
 
+/// Profiled and unprofiled suite runs share one process-wide collection
+/// flag; tests that turn it on (or assert it stayed off) must not
+/// overlap.
+static PROF_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Scenarios cheap enough to run twice in a debug-mode test.
 fn fast_scenarios() -> Vec<Scenario> {
     let fast = ["table1", "fig7", "fig10", "fig11"];
@@ -23,8 +28,11 @@ fn fast_scenarios() -> Vec<Scenario> {
 }
 
 fn assert_identical_runs(scenarios: &[Scenario], quick: bool) {
-    let serial = run_suite(scenarios, 1, quick);
-    let parallel = run_suite(scenarios, 4, quick);
+    let _guard = PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Profile one of the two runs: wall-clock profiling must never
+    // leak into scenario outputs either.
+    let serial = run_suite(scenarios, 1, quick, false);
+    let parallel = run_suite(scenarios, 4, quick, true);
     assert_eq!(serial.results.len(), parallel.results.len());
     for (s, p) in serial.results.iter().zip(&parallel.results) {
         assert_eq!(s.name, p.name, "result order must match registry order");
@@ -65,10 +73,10 @@ fn all_scenarios_parallel_matches_serial() {
 #[test]
 fn suite_json_is_valid_and_lists_every_scenario() {
     let scenarios = fast_scenarios();
-    let report = run_suite(&scenarios, 2, true);
+    let report = run_suite(&scenarios, 2, true, false);
     let json = report.to_json();
     json_validate(&json).expect("suite JSON must parse");
-    assert!(json.contains("\"schema\": \"lgv-bench-suite/v2\""));
+    assert!(json.contains("\"schema\": \"lgv-bench-suite/v3\""));
     assert!(json.contains(&format!("\"scenario_count\": {}", scenarios.len())));
     assert!(json.contains("\"total_sim_time_s\": "));
     for s in &scenarios {
@@ -78,6 +86,135 @@ fn suite_json_is_valid_and_lists_every_scenario() {
             s.name
         );
     }
+    // fig7 and fig10 emit no trace events: the artifact must say
+    // "not traced", not "zero seconds of simulation".
+    for line in json.lines() {
+        if line.contains("\"name\": \"fig7\"") || line.contains("\"name\": \"fig10\"") {
+            assert!(
+                line.contains("\"sim_time_s\": null, \"events\": null"),
+                "untraced scenario should serialize null sim fields: {line}"
+            );
+        }
+        if line.contains("\"name\": \"fig11\"") {
+            assert!(
+                !line.contains("null"),
+                "traced scenario lost its sim-time fields: {line}"
+            );
+        }
+    }
+}
+
+/// `--profile` must produce a parseable `lgv-bench-profile/v1`
+/// artifact whose scope attribution covers the instrumented scenarios,
+/// with named kernels (not unattributed residue) on top.
+#[test]
+fn profile_json_is_valid_and_attributes_named_kernels() {
+    if !lgv_trace::prof::is_available() {
+        eprintln!("prof feature compiled out; skipping");
+        return;
+    }
+    let _guard = PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scenarios: Vec<Scenario> = registry()
+        .into_iter()
+        .filter(|s| s.name == "fig11")
+        .collect();
+    let report = run_suite(&scenarios, 1, true, true);
+    assert!(report.profiled);
+    let json = report.profile_json();
+    json_validate(&json).expect("profile JSON must parse");
+    assert!(json.contains("\"schema\": \"lgv-bench-profile/v1\""));
+    assert!(json.contains("\"name\": \"fig11\""));
+    // fig11 drives the UDP channel directly (no mission engine), so
+    // its profile is the channel-delivery kernel.
+    assert!(
+        json.contains("\"path\": \"net/channel_tick\""),
+        "missing net/channel_tick in:\n{json}"
+    );
+    let r = &report.results[0];
+    let root = r
+        .profile
+        .children_sorted(0)
+        .into_iter()
+        .find(|&n| r.profile.nodes()[n].name == "fig11")
+        .expect("job root scope");
+    assert!(r.profile.nodes()[root].count == 1);
+    assert!(!r.profile.nodes()[root].children.is_empty());
+}
+
+/// The headline acceptance property, on the dominant scenario: with
+/// profiling on, fig13's instrumented scopes account for most of its
+/// wall time and the top self-time scope is a named kernel, not
+/// unattributed residue. Release-only (a debug fig13 run is minutes);
+/// `scripts/ci.sh` runs it via the `--ignored` release pass.
+#[test]
+#[ignore = "runs fig13; ci.sh runs this in release mode"]
+fn profiled_fig13_covers_its_wall_time_with_named_kernels() {
+    if !lgv_trace::prof::is_available() {
+        eprintln!("prof feature compiled out; skipping");
+        return;
+    }
+    let _guard = PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scenarios: Vec<Scenario> = registry()
+        .into_iter()
+        .filter(|s| s.name == "fig13")
+        .collect();
+    let report = run_suite(&scenarios, 1, true, true);
+    let r = &report.results[0];
+    assert!(r.error.is_none(), "{:?}", r.error);
+    let root = r
+        .profile
+        .children_sorted(0)
+        .into_iter()
+        .find(|&n| r.profile.nodes()[n].name == "fig13")
+        .expect("job root scope");
+    let profiled_ns: u64 = r.profile.nodes()[root]
+        .children
+        .iter()
+        .map(|&c| r.profile.nodes()[c].total_ns)
+        .sum();
+    let coverage = (profiled_ns as f64 / 1e6) / r.wall_ms;
+    assert!(
+        coverage >= 0.8,
+        "profiled scopes cover {:.1}% of fig13's wall time (need >= 80%)",
+        coverage * 100.0
+    );
+    // Top self-time scope below the root must be a named kernel.
+    let (top, _) = r
+        .profile
+        .walk()
+        .into_iter()
+        .filter(|&(n, _)| n != root)
+        .max_by_key(|&(n, _)| r.profile.self_ns(n))
+        .expect("at least one scope");
+    let name = &r.profile.nodes()[top].name;
+    assert!(
+        name.contains('/'),
+        "top self-time scope {name:?} is not a subsystem/kernel name"
+    );
+    assert!(
+        r.profile.self_ns(top) > r.profile.self_ns(root),
+        "unattributed residue ({} ns) outweighs the top kernel {name:?} ({} ns)",
+        r.profile.self_ns(root),
+        r.profile.self_ns(top)
+    );
+}
+
+/// A run without `--profile` must carry no profile data (and still
+/// render a valid, explicitly-unprofiled artifact).
+#[test]
+fn unprofiled_run_has_empty_trees() {
+    let _guard = PROF_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let scenarios: Vec<Scenario> = registry()
+        .into_iter()
+        .filter(|s| s.name == "table1")
+        .collect();
+    let report = run_suite(&scenarios, 1, true, false);
+    assert!(!report.profiled);
+    assert!(report.results[0].profile.is_empty());
+    let json = report.profile_json();
+    json_validate(&json).expect("even an empty profile renders valid JSON");
+    assert!(json.contains("\"profiled\": false"));
+    assert!(json.contains("\"coverage\": 0.0000"));
 }
 
 /// The committed artifact must stay in sync with the registry: valid
@@ -88,7 +225,7 @@ fn committed_bench_artifact_matches_registry() {
     let text = std::fs::read_to_string(path)
         .expect("BENCH_suite.json missing at repo root — regenerate with `suite`");
     json_validate(&text).expect("committed BENCH_suite.json must parse");
-    assert!(text.contains("\"schema\": \"lgv-bench-suite/v2\""));
+    assert!(text.contains("\"schema\": \"lgv-bench-suite/v3\""));
     for s in registry() {
         assert!(
             text.contains(&format!("\"name\": \"{}\"", s.name)),

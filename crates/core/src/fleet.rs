@@ -176,6 +176,7 @@ pub fn run_fleet_traced(cfg: FleetConfig, tracer: Tracer) -> FleetReport {
     let mut running: Vec<bool> = vec![true; sessions.len()];
     let mut rounds = 0u64;
     while running.iter().any(|&r| r) {
+        let _prof = lgv_trace::prof::scope("fleet/round");
         rounds += 1;
         for (i, s) in sessions.iter_mut().enumerate() {
             if running[i] {

@@ -483,16 +483,22 @@ impl VehicleSession {
     /// given scan; returns the velocity command and its total
     /// processing time on the executing platform.
     fn run_vdp(&mut self, scan: &LaserScan, local: bool) -> (VelocityCmd, Duration) {
+        let _prof = lgv_trace::prof::scope("mission/vdp");
         let mut meter = WorkMeter::new();
-        self.costmap
-            .update(&self.known_map, self.pose_est, scan, &mut meter);
+        {
+            let _prof = lgv_trace::prof::scope("nav/costmap_update");
+            self.costmap
+                .update(&self.known_map, self.pose_est, scan, &mut meter);
+        }
         let cm_work = meter.finish();
         let t_cm = self.charge_node(NodeKind::CostmapGen, &cm_work, local);
 
         self.dwa.set_max_linear(self.vmax_now);
-        let dwa_out = self
-            .dwa
-            .compute(&self.costmap, self.pose_est, &self.path, self.current_goal);
+        let dwa_out = {
+            let _prof = lgv_trace::prof::scope("nav/dwa");
+            self.dwa
+                .compute(&self.costmap, self.pose_est, &self.path, self.current_goal)
+        };
         let t_pt = self.charge_node(NodeKind::PathTracking, &dwa_out.work, local);
 
         let mux_work = self.mux.work();
@@ -515,7 +521,10 @@ impl VehicleSession {
     fn run_localization(&mut self, odom: &OdometryMsg, scan: &LaserScan) {
         match self.cfg.workload {
             Workload::Navigation => {
-                let out = self.amcl.as_mut().unwrap().process(odom, scan);
+                let out = {
+                    let _prof = lgv_trace::prof::scope("nav/amcl");
+                    self.amcl.as_mut().unwrap().process(odom, scan)
+                };
                 self.charge_node(NodeKind::Localization, &out.work, true);
                 self.pose_est = out.pose.pose;
                 self.pose_conf = out.pose.confidence;
@@ -645,6 +654,7 @@ impl VehicleSession {
 
     /// One 200 ms control cycle.
     fn cycle(&mut self) {
+        let _prof = lgv_trace::prof::scope("mission/cycle");
         let cycle_start = self.now;
         self.tracer.set_time_ns(cycle_start.as_nanos());
         let span = self.tracer.span_begin("cycle", self.cycle_index);
@@ -653,10 +663,14 @@ impl VehicleSession {
         let scan = self.lidar.scan(&self.cfg.world, true_pose, cycle_start);
         let odom = self.vehicle.odometry(cycle_start);
 
-        self.run_localization(&odom, &scan);
+        {
+            let _prof = lgv_trace::prof::scope("mission/localization");
+            self.run_localization(&odom, &scan);
+        }
 
         // 1 Hz planning.
         if (cycle_start.as_nanos() / CONTROL_PERIOD.as_nanos()).is_multiple_of(5) {
+            let _prof = lgv_trace::prof::scope("mission/planning");
             self.run_planning();
         }
 
@@ -770,9 +784,12 @@ impl VehicleSession {
         // else: local platform busy → this scan is dropped (1-queue).
 
         // Substep loop: network, deliveries, actuation, energy.
-        let substeps = (CONTROL_PERIOD.as_nanos() / SUBSTEP.as_nanos()) as u32;
-        for _ in 0..substeps {
-            self.substep(vdp_remote);
+        {
+            let _prof = lgv_trace::prof::scope("mission/substeps");
+            let substeps = (CONTROL_PERIOD.as_nanos() / SUBSTEP.as_nanos()) as u32;
+            for _ in 0..substeps {
+                self.substep(vdp_remote);
+            }
         }
         self.tracer.set_time_ns(self.now.as_nanos());
 

@@ -294,6 +294,7 @@ impl UdpChannel {
     /// held kernel buffer if the signal recovered and moves arrivals
     /// into the one-length receive queue.
     pub fn tick(&mut self, now: SimTime, pos: Point2) {
+        let _prof = lgv_trace::prof::scope("net/channel_tick");
         if !self.signal.is_weak_at(pos, now) {
             if let Some((held_at, held, held_seq, held_msg)) = self.kernel_buffer.take() {
                 self.transmit(held_at, now, held, held_seq, held_msg, pos);

@@ -76,6 +76,9 @@ impl Lidar {
 
     /// Produce one full sweep from the given sensor pose.
     pub fn scan(&mut self, world: &World, pose: Pose2D, stamp: SimTime) -> LaserScan {
+        // One scope for the whole sweep: per-beam scopes would cost
+        // two clock reads per DDA walk and drown the kernel.
+        let _prof = lgv_trace::prof::scope("sim/raycast");
         let inc = 2.0 * PI / self.cfg.beams as f64;
         let origin = pose.position();
         // One sin/cos for the whole sweep: each precomputed beam

@@ -7,6 +7,15 @@
 //! Thread count 1 short-circuits to inline execution so the
 //! single-thread baseline pays no dispatch cost (mirroring the
 //! platform timing model in `lgv-sim`).
+//!
+//! The executor is also the profiler's fork-join seam: when wall-clock
+//! profiling is collecting (`lgv_trace::prof`), each worker's scope
+//! tree is harvested after its chunk completes and grafted under the
+//! *calling* thread's current scope in chunk order — so parallel
+//! kernels are attributed to the call path that forked them, and the
+//! merged tree is identical for any thread count.
+
+use lgv_trace::prof;
 
 /// A fork-join executor with a fixed parallelism degree.
 #[derive(Debug, Clone)]
@@ -44,14 +53,17 @@ impl ParallelExecutor {
             return vec![f(items)];
         }
         let chunk = items.len().div_ceil(n);
-        let mut results: Vec<Option<R>> = Vec::new();
+        let mut results: Vec<Option<(R, prof::ProfileTree)>> = Vec::new();
         results.resize_with(items.len().div_ceil(chunk), || None);
 
         crossbeam::thread::scope(|scope| {
             for (slot, part) in results.iter_mut().zip(items.chunks_mut(chunk)) {
                 let f = &f;
                 scope.spawn(move |_| {
-                    *slot = Some(f(part));
+                    let r = f(part);
+                    // Harvest this worker's profile alongside its
+                    // result (an empty tree when not collecting).
+                    *slot = Some((r, prof::take_thread()));
                 });
             }
         })
@@ -59,7 +71,13 @@ impl ParallelExecutor {
 
         results
             .into_iter()
-            .map(|r| r.expect("all chunks complete"))
+            .map(|r| {
+                let (r, tree) = r.expect("all chunks complete");
+                // Graft in deterministic chunk order under the caller's
+                // current scope (no-op for empty trees).
+                prof::absorb(&tree);
+                r
+            })
             .collect()
     }
 
@@ -131,6 +149,35 @@ mod tests {
         let mut v: Vec<u8> = vec![];
         let r: Vec<u8> = ex.map(&mut v, |x| *x);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn worker_profiles_merge_under_caller_scope() {
+        // Only meaningful when the profiler is compiled in (workspace
+        // builds get it via lgv-bench's default features).
+        if !prof::is_available() {
+            return;
+        }
+        let _ = prof::take_thread();
+        prof::set_enabled(true);
+        let ex = ParallelExecutor::new(4);
+        let mut v: Vec<u64> = (0..64).collect();
+        {
+            let _job = prof::scope("job");
+            ex.run_chunks(&mut v, |c| {
+                let _k = prof::scope("kernel");
+                c.iter().sum::<u64>()
+            });
+        }
+        prof::set_enabled(false);
+        let tree = prof::take_thread();
+        // Expect job -> kernel with one kernel visit per chunk,
+        // regardless of which worker ran which chunk.
+        let job = tree.children_sorted(0)[0];
+        assert_eq!(tree.nodes()[job].name, "job");
+        let kernel = tree.nodes()[job].children[0];
+        assert_eq!(tree.path(kernel), "job;kernel");
+        assert_eq!(tree.nodes()[kernel].count, 4, "one visit per chunk");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::map::OccupancyGrid;
 use crate::motion::{MotionModel, MotionNoise};
 use crate::pool::ParallelExecutor;
 use crate::scan_match::{ScanCache, ScanMatcher, ScanMatcherConfig};
+use lgv_trace::prof;
 use lgv_types::prelude::*;
 use lgv_types::rng::low_variance_resample;
 
@@ -188,8 +189,11 @@ impl GMapping {
         let mut meter = WorkMeter::new();
 
         // 1. Propagate (serial).
-        for p in &mut self.particles {
-            p.pose = self.motion.sample(p.pose, delta, &mut p.rng);
+        {
+            let _prof = prof::scope("slam/propagate");
+            for p in &mut self.particles {
+                p.pose = self.motion.sample(p.pose, delta, &mut p.rng);
+            }
         }
         meter.serial_ops(m as u64, cost::CYCLES_PER_MOTION_SAMPLE);
 
@@ -199,25 +203,36 @@ impl GMapping {
         //    trig) is hoisted into a ScanCache built once per scan and
         //    shared read-only across all particle threads.
         let matcher = &self.matcher;
-        let cache = ScanCache::new(scan, self.cfg.matcher.beam_skip);
+        let cache = {
+            let _prof = prof::scope("slam/scan_cache");
+            ScanCache::new(scan, self.cfg.matcher.beam_skip)
+        };
         let cache = &cache;
         let gain = self.cfg.score_gain;
+        let _prof_match = prof::scope("slam/scan_match");
         let chunk_stats = self.executor.run_chunks(&mut self.particles, |chunk| {
             let mut beam_evals = 0u64;
             let mut map_cycles = 0.0f64;
             let mut best_local = f64::NEG_INFINITY;
             for p in chunk.iter_mut() {
-                let r = matcher.optimize_cached(&p.map, p.pose, cache);
+                let r = {
+                    let _prof = prof::scope("slam/particle_score");
+                    matcher.optimize_cached(&p.map, p.pose, cache)
+                };
                 p.pose = r.pose;
                 p.log_weight += r.score * gain;
                 best_local = best_local.max(r.score);
                 beam_evals += r.beam_evals;
                 let mut local = WorkMeter::new();
-                p.map.integrate_scan(p.pose, scan, &mut local);
+                {
+                    let _prof = prof::scope("slam/map_integrate");
+                    p.map.integrate_scan(p.pose, scan, &mut local);
+                }
                 map_cycles += local.finish().total_cycles();
             }
             (beam_evals, map_cycles, best_local)
         });
+        drop(_prof_match);
         let total_evals: u64 = chunk_stats.iter().map(|c| c.0).sum();
         let total_map_cycles: f64 = chunk_stats.iter().map(|c| c.1).sum();
         let best_score = chunk_stats
@@ -229,12 +244,16 @@ impl GMapping {
         meter.parallel_ops(1, total_map_cycles, m as u32);
 
         // 3. updateTreeWeights (serial, main thread).
-        let (weights, neff) = self.update_tree_weights();
+        let (weights, neff) = {
+            let _prof = prof::scope("slam/weights");
+            self.update_tree_weights()
+        };
         meter.serial_ops(m as u64, cost::CYCLES_PER_WEIGHT_UPDATE);
 
         // 4. Resample (serial, main thread).
         let resampled = neff < self.cfg.resample_neff_frac * m as f64;
         if resampled {
+            let _prof = prof::scope("slam/resample");
             let copied_cells = self.resample(&weights);
             self.resample_count += 1;
             meter.serial_ops(copied_cells, cost::CYCLES_PER_CELL_COPY);

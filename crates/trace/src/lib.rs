@@ -50,13 +50,14 @@
 mod analyze;
 mod event;
 mod metrics;
+pub mod prof;
 mod reader;
 mod sink;
 mod span;
 
 pub use analyze::TraceAnalysis;
 pub use event::{EventCategory, SendKind, TraceEvent, TraceRecord};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{Histogram, MetricsRegistry, StreamingHistogram};
 pub use reader::{ParseError, TraceReader};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, TraceSink};
 pub use span::{MsgId, SpanId};

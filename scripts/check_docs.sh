@@ -33,6 +33,20 @@ if ! diff <(echo "$code_kinds") <(echo "$doc_kinds") >/dev/null; then
 fi
 echo "$(echo "$code_kinds" | wc -l) kinds documented, no drift"
 
+echo "-- bench artifact schema drift (suite.rs vs docs/CI.md)"
+# Every schema tag the suite serializers emit (lgv-bench-suite/vN,
+# lgv-bench-profile/vN, lgv-bench-history/vN) must be the version
+# documented in docs/CI.md, and vice versa — bumping a serializer
+# without touching the docs (or the other way round) fails CI.
+code_schemas=$(grep -oE 'lgv-bench-[a-z]+/v[0-9]+' crates/bench/src/suite.rs | sort -u)
+doc_schemas=$(grep -oE 'lgv-bench-[a-z]+/v[0-9]+' docs/CI.md | sort -u)
+if ! diff <(echo "$code_schemas") <(echo "$doc_schemas") >/dev/null; then
+    echo "bench artifact schemas out of sync (< code only, > docs only):"
+    diff <(echo "$code_schemas") <(echo "$doc_schemas") | grep '^[<>]' || true
+    exit 1
+fi
+echo "$(echo "$code_schemas" | wc -l) artifact schemas documented, no drift"
+
 echo "-- cross-linked docs exist"
 # The navigable doc set (README -> ARCHITECTURE -> subsystem docs);
 # a missing file here means a dangling link somewhere.

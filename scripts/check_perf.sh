@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Perf-regression gate: diff the latest quick-mode suite artifact
+# against the committed baseline (BENCH_baseline_quick.json) and fail
+# when any scenario's wall time regressed by more than the tolerance.
+# Invoked by scripts/ci.sh stage 7 after the stage-6 quick run has
+# written target/BENCH_ci.json, and runnable on its own.
+#
+# What it checks, per scenario present in BOTH files:
+#   - checksum equality (quick vs quick): a checksum change is NOT a
+#     perf regression — it means outputs drifted, and the baseline must
+#     be regenerated deliberately. Hard failure.
+#   - wall_ms ratio: current > baseline * (1 + tolerance) fails, but
+#     only for scenarios above the absolute floor — sub-100ms jobs are
+#     dominated by noise, not by the kernels we track.
+# Scenarios only in one file are reported (registry drift) but do not
+# fail the gate; the suite's own artifact-freshness test owns that.
+#
+# Tunables (environment):
+#   LGV_PERF_TOLERANCE  fractional regression allowed (default 0.15)
+#   LGV_PERF_FLOOR_MS   ignore scenarios under this baseline wall time
+#                       (default 100)
+#   LGV_PERF_SKIP=1     skip the gate entirely (e.g. on a machine
+#                       known to be slower than the baseline's)
+#
+# Wall time is machine-dependent: the committed baseline is only
+# meaningful against comparable hardware. Regenerate it (and commit)
+# with:
+#   LGV_BENCH_QUICK=1 ./target/release/suite --threads 4 \
+#       --out BENCH_baseline_quick.json --no-history
+#
+# Usage: ./scripts/check_perf.sh [current.json] [baseline.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+current="${1:-target/BENCH_ci.json}"
+baseline="${2:-BENCH_baseline_quick.json}"
+tolerance="${LGV_PERF_TOLERANCE:-0.15}"
+floor_ms="${LGV_PERF_FLOOR_MS:-100}"
+
+if [ "${LGV_PERF_SKIP:-0}" = "1" ]; then
+    echo "perf gate skipped (LGV_PERF_SKIP=1)"
+    exit 0
+fi
+[ -f "$current" ] || { echo "missing current artifact $current (run the quick suite first)"; exit 1; }
+[ -f "$baseline" ] || { echo "missing committed baseline $baseline"; exit 1; }
+
+for f in "$current" "$baseline"; do
+    grep -q '"schema": "lgv-bench-suite/v3"' "$f" \
+        || { echo "$f: not a lgv-bench-suite/v3 artifact"; exit 1; }
+    grep -q '"quick": true' "$f" \
+        || { echo "$f: perf gate compares quick runs only"; exit 1; }
+done
+
+# The artifact serializes one scenario object per line with fixed key
+# order (to_json in crates/bench/src/suite.rs), so field extraction is
+# a matter of matching `"key": value` pairs on scenario lines.
+extract() {
+    grep -oE '\{"name": "[^"]+", "seed": [0-9]+, "wall_ms": [0-9.]+, .*"checksum": "[^"]+"' "$1" \
+        | sed -E 's/\{"name": "([^"]+)", "seed": [0-9]+, "wall_ms": ([0-9.]+), .*"checksum": "([^"]+)"/\1 \2 \3/'
+}
+
+extract "$current"  > target/perf_current.tsv
+extract "$baseline" > target/perf_baseline.tsv
+[ -s target/perf_current.tsv ] || { echo "$current: no scenario rows parsed"; exit 1; }
+[ -s target/perf_baseline.tsv ] || { echo "$baseline: no scenario rows parsed"; exit 1; }
+
+awk -v tol="$tolerance" -v floor="$floor_ms" '
+    NR == FNR { base_ms[$1] = $2; base_ck[$1] = $3; next }
+    {
+        name = $1; ms = $2; ck = $3; seen[name] = 1
+        if (!(name in base_ms)) {
+            printf "  new scenario (not in baseline):   %-15s %10.1f ms\n", name, ms
+            next
+        }
+        if (ck != base_ck[name]) {
+            printf "  CHECKSUM DRIFT:                   %-15s %s -> %s\n", name, base_ck[name], ck
+            printf "    (outputs changed; regenerate BENCH_baseline_quick.json deliberately)\n"
+            bad = 1
+            next
+        }
+        ratio = base_ms[name] > 0 ? ms / base_ms[name] : 1
+        if (base_ms[name] >= floor && ratio > 1 + tol) {
+            printf "  PERF REGRESSION:                  %-15s %10.1f ms -> %10.1f ms (%+.0f%%, tol %.0f%%)\n", \
+                name, base_ms[name], ms, (ratio - 1) * 100, tol * 100
+            bad = 1
+        } else {
+            printf "  ok: %-31s %10.1f ms -> %10.1f ms (%+.0f%%)\n", \
+                name, base_ms[name], ms, (ratio - 1) * 100
+        }
+    }
+    END {
+        for (name in base_ms) if (!(name in seen))
+            printf "  scenario dropped from current run: %s\n", name
+        exit bad ? 1 : 0
+    }
+' target/perf_baseline.tsv target/perf_current.tsv \
+    || { echo "perf gate FAILED (baseline $baseline, tolerance ${tolerance})"; exit 1; }
+
+echo "perf gate OK (tolerance ${tolerance}, floor ${floor_ms} ms)"

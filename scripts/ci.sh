@@ -14,6 +14,10 @@
 #                     suite: every scenario must succeed, and the
 #                     parallel fan-out must be byte-identical to serial
 #                     (the #[ignore]d all-scenario determinism test)
+#   7. perf gate    — scripts/check_perf.sh: the stage-6 artifact vs
+#                     the committed BENCH_baseline_quick.json — fails
+#                     on >15% per-scenario wall-time regressions and
+#                     on checksum drift
 #
 # Everything is hermetic: dependencies are the in-tree shims under
 # crates/shims/, so no stage touches the network.
@@ -22,27 +26,27 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/6 cargo build --release =="
+echo "== 1/7 cargo build --release =="
 cargo build --release --workspace
 
 echo
-echo "== 2/6 cargo test =="
+echo "== 2/7 cargo test =="
 cargo test -q --workspace
 
 echo
-echo "== 3/6 cargo clippy (warnings denied) =="
+echo "== 3/7 cargo clippy (warnings denied) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo
-echo "== 4/6 cargo fmt --check =="
+echo "== 4/7 cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo
-echo "== 5/6 docs (rustdoc warnings denied, doctests, schema drift) =="
+echo "== 5/7 docs (rustdoc warnings denied, doctests, schema drift) =="
 ./scripts/check_docs.sh
 
 echo
-echo "== 6/6 evaluation-suite gate (quick, all scenarios) =="
+echo "== 6/7 evaluation-suite gate (quick, all scenarios) =="
 # Full fan-out in quick mode: exercises every scenario (including the
 # chaos sweep the old resilience gate ran) and writes the JSON
 # artifact. A non-zero exit means some scenario failed.
@@ -67,6 +71,13 @@ LGV_BENCH_QUICK=1 ./target/release/suite --threads 2 --only elastic-fleet \
 # every scenario; this is the fast, explicit guard for the newest one).
 grep -q '"name": "elastic-fleet"' BENCH_suite.json \
     || { echo "BENCH_suite.json is stale: missing elastic-fleet"; exit 1; }
+
+echo
+echo "== 7/7 perf-regression gate (vs committed quick baseline) =="
+# Diffs the stage-6 quick artifact against BENCH_baseline_quick.json:
+# >15% per-scenario wall-time regression or any checksum drift fails.
+# Set LGV_PERF_SKIP=1 on hardware slower than the baseline machine.
+./scripts/check_perf.sh target/BENCH_ci.json BENCH_baseline_quick.json
 
 echo
 echo "CI gate OK"

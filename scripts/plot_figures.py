@@ -7,12 +7,19 @@ Usage:
     # 2. plot everything found
     python3 scripts/plot_figures.py [target/figures] [out_dir]
 
+Profile mode plots the wall-clock profile artifact instead (one
+horizontal self-time bar chart per scenario, plus a coverage chart):
+
+    cargo run --release -p lgv-bench --bin suite -- --quick --profile
+    python3 scripts/plot_figures.py --profile BENCH_profile.json [out_dir]
+
 Requires matplotlib (`pip install matplotlib`). The Rust side never
 depends on this script — it is a convenience for eyeballing the shapes
 against the paper's figures.
 """
 
 import csv
+import json
 import pathlib
 import sys
 
@@ -57,7 +64,69 @@ def plot_trace(ax, header, rows, title, x_col, y_cols):
     ax.legend(fontsize=7)
 
 
+def plot_profile(path, out, plt):
+    """BENCH_profile.json -> per-scenario self-time bars + coverage."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "lgv-bench-profile/v1":
+        sys.exit(f"{path}: not a lgv-bench-profile/v1 artifact")
+    made = []
+
+    # Coverage overview: how much of each scenario's wall time the
+    # instrumented scopes account for.
+    scenarios = doc.get("scenarios", [])
+    with_scopes = [s for s in scenarios if s.get("scopes")]
+    fig, ax = plt.subplots(figsize=(7, 4), dpi=120)
+    names = [s["name"] for s in scenarios]
+    ax.bar(names, [100.0 * s.get("coverage", 0.0) for s in scenarios])
+    ax.axhline(80, linestyle="--", linewidth=1, color="gray")
+    ax.set_ylabel("profiled coverage (% of wall time)")
+    ax.set_title("profile coverage per scenario (dashed: 80% target)")
+    ax.tick_params(axis="x", rotation=45, labelsize=7)
+    fig.tight_layout()
+    target = out / "profile_coverage.png"
+    fig.savefig(target)
+    plt.close(fig)
+    made.append(target)
+
+    # Per-scenario self-time breakdown: horizontal bars, hottest scope
+    # at the top, path labels as emitted (relative to the scenario).
+    for s in with_scopes:
+        rows = sorted(s["scopes"], key=lambda r: -r["self_ns"])[:12]
+        fig, ax = plt.subplots(figsize=(7, 0.4 * len(rows) + 1.5), dpi=120)
+        paths = [r["path"] for r in rows][::-1]
+        ms = [r["self_ns"] / 1e6 for r in rows][::-1]
+        ax.barh(paths, ms)
+        ax.set_xlabel("self time (ms)")
+        ax.set_title(f"{s['name']}: wall {s['wall_ms']:.1f} ms, "
+                     f"coverage {100.0 * s.get('coverage', 0.0):.1f}%")
+        ax.tick_params(axis="y", labelsize=7)
+        fig.tight_layout()
+        target = out / f"profile_{s['name']}.png"
+        fig.savefig(target)
+        plt.close(fig)
+        made.append(target)
+    return made
+
+
 def main():
+    if len(sys.argv) > 1 and sys.argv[1] == "--profile":
+        if len(sys.argv) < 3:
+            sys.exit("usage: plot_figures.py --profile BENCH_profile.json [out_dir]")
+        prof = pathlib.Path(sys.argv[2])
+        out = pathlib.Path(sys.argv[3] if len(sys.argv) > 3 else "target/figures")
+        out.mkdir(parents=True, exist_ok=True)
+        try:
+            import matplotlib
+
+            matplotlib.use("Agg")
+            import matplotlib.pyplot as plt
+        except ImportError:
+            sys.exit("matplotlib is required: pip install matplotlib")
+        for p in plot_profile(prof, out, plt):
+            print(p)
+        return
+
     src = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "target/figures")
     out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else src)
     if not src.is_dir():
