@@ -34,6 +34,7 @@ fn main() {
         exploration_speed_cap: 0.3,
         record_traces: true,
         faults: lgv_net::FaultSchedule::none(),
+        recovery: lgv_offload::recovery::RecoveryConfig::default(),
     };
     let report = mission::run(cfg);
     println!(

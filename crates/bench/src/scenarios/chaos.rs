@@ -13,6 +13,7 @@ use lgv_net::{FaultKind, FaultSchedule};
 use lgv_offload::deploy::Deployment;
 use lgv_offload::mission::{self, MissionConfig, MissionReport, Workload};
 use lgv_offload::model::{Goal, VelocityModel};
+use lgv_offload::recovery::RecoveryConfig;
 use lgv_offload::strategy::PinPolicy;
 use lgv_sim::world::WorldBuilder;
 use lgv_sim::LidarConfig;
@@ -74,6 +75,7 @@ fn chaos_config(seed: u64) -> MissionConfig {
         exploration_speed_cap: 0.3,
         record_traces: false,
         faults: FaultSchedule::randomized(seed, Duration::from_secs(20)),
+        recovery: RecoveryConfig::default(),
     }
 }
 
@@ -157,6 +159,7 @@ fn crash_showcase(ctx: &mut ScenarioCtx) -> io::Result<()> {
         exploration_speed_cap: 0.3,
         record_traces: false,
         faults: FaultSchedule::none().with(30.0, 20.0, FaultKind::RemoteCrash),
+        recovery: RecoveryConfig::default(),
     };
     let (report, analysis) = run_analyzed(cfg);
     writeln!(

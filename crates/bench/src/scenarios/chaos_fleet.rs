@@ -1,0 +1,245 @@
+//! Chaos-fleet: the recovery stack under scripted and randomized
+//! failures, with recovery-SLO accounting.
+//!
+//! Six arms pit two recovery postures (the historical defaults vs the
+//! full resilient posture: 2 s checkpoints + degraded-mode autonomy)
+//! against three failure families:
+//!
+//! * a scripted **remote crash** mid-mission — cold rebuild vs
+//!   checkpointed re-offload,
+//! * a sustained **radio blackout** — rigid full-fidelity pipeline vs
+//!   reduced-fidelity degraded mode, and
+//! * **cloud-tier chaos** (replica crashes, stragglers, failed
+//!   scale-ups) against the elastic scheduler, with the waste priced
+//!   in the cost ledger.
+//!
+//! Every arm prints one machine-greppable
+//! `SLO arm=<name> ttr_s=<x> degraded_frac=<x> missed=<n>` line —
+//! `scripts/check_recovery.sh` diffs these against the committed
+//! `BENCH_recovery_baseline.txt` so recovery-SLO regressions fail CI
+//! the same way perf regressions do.
+
+use crate::suite::ScenarioCtx;
+use crate::{write_banner, TablePrinter};
+use lgv_net::fault::{CloudFaultKind, CloudFaultSchedule};
+use lgv_net::{FaultKind, FaultSchedule};
+use lgv_offload::deploy::Deployment;
+use lgv_offload::fleet::{run_fleet_traced, CloudPolicy, ElasticConfig, FleetConfig, FleetReport};
+use lgv_offload::mission::{MissionConfig, Workload};
+use lgv_offload::model::VelocityModel;
+use lgv_offload::recovery::{DegradedConfig, RecoveryConfig};
+use lgv_sim::world::WorldBuilder;
+use lgv_trace::{JsonlSink, TraceAnalysis, TraceReader, Tracer};
+use lgv_types::prelude::*;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One experimental arm: a failure script plus a recovery posture.
+struct Arm {
+    name: &'static str,
+    faults: FaultSchedule,
+    cloud_faults: CloudFaultSchedule,
+    recovery: RecoveryConfig,
+    policy: CloudPolicy,
+}
+
+fn arms(seed: u64) -> Vec<Arm> {
+    let crash = || FaultSchedule::none().with(8.0, 10.0, FaultKind::RemoteCrash);
+    let blackout = || FaultSchedule::none().with(8.0, 12.0, FaultKind::Blackout);
+    let cloud_chaos = || {
+        CloudFaultSchedule::none()
+            .with(5.0, 10.0, CloudFaultKind::ReplicaCrash { replicas: 1 })
+            .with(12.0, 8.0, CloudFaultKind::Straggler { factor: 2.5 })
+            .with(5.0, 12.0, CloudFaultKind::FailedScaleUp)
+    };
+    vec![
+        Arm {
+            name: "crash-cold",
+            faults: crash(),
+            cloud_faults: CloudFaultSchedule::none(),
+            recovery: RecoveryConfig::default(),
+            policy: CloudPolicy::Fixed,
+        },
+        Arm {
+            name: "crash-ckpt",
+            faults: crash(),
+            cloud_faults: CloudFaultSchedule::none(),
+            recovery: RecoveryConfig::default().with_checkpoints(Duration::from_secs(2)),
+            policy: CloudPolicy::Fixed,
+        },
+        Arm {
+            name: "blackout-rigid",
+            faults: blackout(),
+            cloud_faults: CloudFaultSchedule::none(),
+            recovery: RecoveryConfig::default(),
+            policy: CloudPolicy::Fixed,
+        },
+        Arm {
+            name: "blackout-degraded",
+            faults: blackout(),
+            cloud_faults: CloudFaultSchedule::none(),
+            recovery: RecoveryConfig::default().with_degraded(DegradedConfig::default()),
+            policy: CloudPolicy::Fixed,
+        },
+        Arm {
+            name: "cloud-chaos",
+            faults: FaultSchedule::none(),
+            cloud_faults: cloud_chaos(),
+            recovery: RecoveryConfig::default(),
+            policy: CloudPolicy::Elastic(ElasticConfig::balanced()),
+        },
+        Arm {
+            name: "compound-resilient",
+            faults: FaultSchedule::randomized(seed, Duration::from_secs(20)),
+            cloud_faults: CloudFaultSchedule::randomized(seed, Duration::from_secs(20)),
+            recovery: RecoveryConfig::resilient(),
+            policy: CloudPolicy::Elastic(ElasticConfig::balanced()),
+        },
+    ]
+}
+
+/// The arm's mission: a 14 m corridor drive slow enough (~45 s of
+/// virtual time per vehicle) that the scripted failures land
+/// mid-flight and the full recovery arc — detect, fall local, back
+/// off, re-offload — fits before the goal.
+fn corridor_mission(seed: u64) -> MissionConfig {
+    let world = WorldBuilder::new(16.0, 4.0, 0.05).walls().build();
+    let mut base = MissionConfig::compact_lab(Deployment::edge_8t(), Workload::Navigation);
+    base.world = world;
+    base.start = Pose2D::new(1.0, 2.0, 0.0);
+    base.nav_goal = Point2::new(14.5, 2.0);
+    base.wap = Point2::new(14.5, 2.0);
+    base.max_time = Duration::from_secs(240);
+    base.velocity = VelocityModel {
+        hw_cap: 0.35,
+        ..VelocityModel::default()
+    };
+    base.seed = seed;
+    base
+}
+
+/// Run one arm's fleet with an in-memory trace and analyze it.
+fn run_arm(arm: &Arm, seed: u64, size: usize) -> (FleetReport, TraceAnalysis) {
+    let mut base = corridor_mission(seed);
+    base.faults = arm.faults.clone();
+    base.recovery = arm.recovery;
+    let buf = SharedBuf::default();
+    let tracer = Tracer::enabled();
+    tracer.attach(JsonlSink::new(Box::new(buf.clone())));
+    let report = run_fleet_traced(
+        FleetConfig::new(base, size)
+            .with_cloud(arm.policy)
+            .with_cloud_faults(arm.cloud_faults.clone()),
+        tracer,
+    );
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("trace is UTF-8");
+    let records = TraceReader::parse_str(&text).expect("trace parses");
+    (report, TraceAnalysis::from_records(&records))
+}
+
+/// Regenerate the chaos-fleet recovery-SLO study.
+pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
+    write_banner(
+        ctx.out,
+        "Chaos-fleet: recovery SLOs under crash, blackout, and cloud chaos",
+        "two recovery postures vs three failure families; SLO lines feed \
+         scripts/check_recovery.sh",
+    )?;
+    let size: usize = if ctx.quick { 2 } else { 3 };
+
+    let mut table = TablePrinter::new(vec![
+        "arm",
+        "done",
+        "mean t s",
+        "hb miss",
+        "ckpts",
+        "degraded s",
+        "missed",
+        "ttr s",
+        "wasted repl-s",
+    ]);
+    let mut slo_lines = Vec::new();
+    let mut mission_secs = Vec::new();
+    for arm in arms(ctx.seed) {
+        let (report, analysis) = run_arm(&arm, ctx.seed, size);
+        mission_secs.push((arm.name, report.mean_mission_secs()));
+        let recovery = analysis.recovery_report();
+        let (degraded_s, degraded_frac, missed, ckpts) =
+            recovery.as_ref().map_or((0.0, 0.0, 0, 0), |r| {
+                (
+                    r.degraded_ns as f64 / 1e9,
+                    r.degraded_fraction,
+                    r.missed_cycles,
+                    r.checkpoints,
+                )
+            });
+        let ttr = analysis
+            .mean_reoffload_latency_ns()
+            .map_or("n/a".to_string(), |ns| format!("{:.3}", ns as f64 / 1e9));
+        let wasted = report
+            .cloud
+            .as_ref()
+            .map_or(0.0, |c| c.wasted_replica_seconds);
+        table.row(vec![
+            arm.name.to_string(),
+            format!("{}/{}", report.completed(), report.vehicles.len()),
+            format!("{:.1}", report.mean_mission_secs()),
+            analysis.heartbeat_miss_count().to_string(),
+            ckpts.to_string(),
+            format!("{degraded_s:.1}"),
+            missed.to_string(),
+            ttr.clone(),
+            format!("{wasted:.1}"),
+        ]);
+        slo_lines.push(format!(
+            "SLO arm={} ttr_s={} degraded_frac={:.4} missed={}",
+            arm.name, ttr, degraded_frac, missed
+        ));
+    }
+    table.write_to(ctx.out)?;
+    table.save_csv_to(ctx.out, "chaos_fleet")?;
+
+    for line in &slo_lines {
+        writeln!(ctx.out, "{line}")?;
+    }
+
+    // The two headline claims, stated over the arm results.
+    let t_of = |name: &str| {
+        mission_secs
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, t)| *t)
+            .unwrap_or(0.0)
+    };
+    writeln!(
+        ctx.out,
+        "checkpointed re-offload no slower than cold rebuild: {} \
+         (cold {:.1} s vs ckpt {:.1} s mean mission)",
+        t_of("crash-ckpt") <= t_of("crash-cold"),
+        t_of("crash-cold"),
+        t_of("crash-ckpt"),
+    )?;
+    writeln!(
+        ctx.out,
+        "degraded mode no slower than rigid under blackout: {} \
+         (rigid {:.1} s vs degraded {:.1} s mean mission)",
+        t_of("blackout-degraded") <= t_of("blackout-rigid"),
+        t_of("blackout-rigid"),
+        t_of("blackout-degraded"),
+    )?;
+    writeln!(ctx.out)
+}

@@ -18,6 +18,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod chaos_fleet;
 pub mod elastic_fleet;
 pub mod fig10;
 pub mod fig11;

@@ -194,6 +194,13 @@ pub fn registry() -> Vec<Scenario> {
             cost_hint: 90,
             run: elastic_fleet::run,
         },
+        Scenario {
+            name: "chaos-fleet",
+            title: "Chaos-fleet: recovery SLOs under crash, blackout, and cloud chaos",
+            seed: 13,
+            cost_hint: 120,
+            run: chaos_fleet::run,
+        },
     ]
 }
 

@@ -138,6 +138,13 @@ impl Controller {
         self.netctl.switches
     }
 
+    /// Consecutive failed offload attempts currently backing off
+    /// (resets to zero once a re-offload sticks). The session's
+    /// degraded-mode trigger reads this to detect exhausted backoff.
+    pub fn offload_failures(&self) -> u64 {
+        self.netctl.failure_count()
+    }
+
     /// Record a failed offload the network controller cannot observe
     /// itself (e.g. a migration deadline expiry): the next re-offload
     /// is gated behind an exponential backoff.

@@ -29,6 +29,7 @@
 
 use crate::mission::{MissionConfig, MissionReport};
 use crate::session::{VehicleSession, CONTROL_PERIOD};
+use lgv_net::fault::CloudFaultSchedule;
 use lgv_net::shared::{MediumStats, SharedMedium};
 pub use lgv_sim::cloud::ElasticConfig;
 use lgv_sim::cloud::{CloudScheduler, CloudStats};
@@ -61,6 +62,10 @@ pub struct FleetConfig {
     /// Provisioning policy for the shared cloud (ignored when the
     /// deployment does not offload).
     pub cloud: CloudPolicy,
+    /// Deterministic cloud-tier fault schedule (replica crashes,
+    /// stragglers, failed scale-ups). Empty by default, which leaves
+    /// the scheduler's fast path untouched.
+    pub cloud_faults: CloudFaultSchedule,
 }
 
 impl FleetConfig {
@@ -71,12 +76,20 @@ impl FleetConfig {
             base,
             size,
             cloud: CloudPolicy::Fixed,
+            cloud_faults: CloudFaultSchedule::none(),
         }
     }
 
     /// The same fleet against an elastically provisioned cloud.
     pub fn with_cloud(mut self, cloud: CloudPolicy) -> Self {
         self.cloud = cloud;
+        self
+    }
+
+    /// The same fleet with a cloud-tier fault schedule injected into
+    /// the shared scheduler.
+    pub fn with_cloud_faults(mut self, faults: CloudFaultSchedule) -> Self {
+        self.cloud_faults = faults;
         self
     }
 
@@ -153,6 +166,7 @@ pub fn run_fleet_traced(cfg: FleetConfig, tracer: Tracer) -> FleetReport {
             CloudPolicy::Fixed => CloudScheduler::new(hw, CONTROL_PERIOD),
             CloudPolicy::Elastic(ec) => CloudScheduler::elastic(hw, CONTROL_PERIOD, ec),
         };
+        sched.set_faults(cfg.cloud_faults.clone());
         (Some(sched), Some(SharedMedium::new(CONTROL_PERIOD)))
     } else {
         (None, None)

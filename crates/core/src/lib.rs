@@ -19,6 +19,9 @@
 //!   times, RTT, and the VDP makespan.
 //! * [`deploy`] — the five evaluation deployments of §VIII (local /
 //!   gateway / gateway+8T / cloud / cloud+12T).
+//! * [`recovery`] — the failure-recovery policy: rebuild horizon,
+//!   heartbeat timeout, re-offload backoff, checkpoint cadence, and
+//!   degraded-mode fidelity, all in one [`RecoveryConfig`].
 //! * [`mission`] — end-to-end virtual-time mission runner for the two
 //!   standard workloads (Navigation with a map, Exploration without),
 //!   wiring the whole stack together: simulated vehicle + sensors,
@@ -44,6 +47,7 @@ pub mod mission;
 pub mod model;
 pub mod netctl;
 pub mod profiler;
+pub mod recovery;
 pub mod session;
 pub mod strategy;
 
@@ -57,5 +61,6 @@ pub use mission::{MissionConfig, MissionReport, Workload};
 pub use model::{max_velocity_oa, Goal, VelocityModel};
 pub use netctl::{NetControl, NetControlConfig, NetDecision};
 pub use profiler::Profiler;
+pub use recovery::{DegradedConfig, RecoveryConfig};
 pub use session::VehicleSession;
 pub use strategy::{OffloadStrategy, PlacementPlan};

@@ -84,6 +84,9 @@ impl std::fmt::Display for BeginError {
 pub enum MigrationEvent {
     /// The last segment landed; state is live at the destination.
     Done(MigrationDone),
+    /// A checkpoint snapshot landed: crash recovery can now resume
+    /// from `ticket.started` instead of rebuilding cold.
+    CheckpointDone(MigrationDone),
     /// The transfer blew its deadline and was aborted — all queued
     /// and in-flight segments were cancelled. The destination must
     /// rebuild state cold.
@@ -95,15 +98,32 @@ pub enum MigrationEvent {
     },
 }
 
+/// What an in-flight transfer is carrying: a placement switch's full
+/// state, or a periodic checkpoint snapshot. Checkpoints are
+/// best-effort — a deadline expiry drops them quietly instead of
+/// raising the migration-timeout alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransferKind {
+    Migration,
+    Checkpoint,
+}
+
 /// Ships node state over a reliable channel during placement switches.
 #[derive(Debug)]
 pub struct MigrationManager {
     tcp: TcpChannel,
-    active: Option<(MigrationTicket, u64)>,
+    active: Option<(MigrationTicket, u64, TransferKind)>,
     /// Completed migrations (diagnostics).
     pub completed: u64,
     /// Deadline-aborted migrations (diagnostics).
     pub timed_out: u64,
+    /// Completed checkpoint snapshots (diagnostics).
+    pub checkpoints: u64,
+    /// Checkpoint transfers dropped by the deadline (diagnostics).
+    pub checkpoint_timeouts: u64,
+    /// Start instant of the most recent *completed* checkpoint: the
+    /// point crash recovery can resume from.
+    last_checkpoint: Option<SimTime>,
     segment_bytes: usize,
     /// Abort a transfer that has run longer than this (`None` = wait
     /// forever, the original behaviour).
@@ -120,6 +140,9 @@ impl MigrationManager {
             active: None,
             completed: 0,
             timed_out: 0,
+            checkpoints: 0,
+            checkpoint_timeouts: 0,
+            last_checkpoint: None,
             segment_bytes: 1400, // one MTU-ish segment
             deadline: None,
             tracer: Tracer::default(),
@@ -172,6 +195,42 @@ impl MigrationManager {
             .iter()
             .map(|k| state_size_bytes(k, slam_particles))
             .sum();
+        Ok(self.start_transfer(now, nodes, bytes, TransferKind::Migration))
+    }
+
+    /// Begin shipping a periodic checkpoint snapshot of the offloaded
+    /// `nodes`' state: `fraction` of the full migration size (an
+    /// incremental delta, not a cold transfer). Refuses while any
+    /// transfer is in flight — checkpoints are best-effort and simply
+    /// wait for the next cadence tick.
+    pub fn begin_checkpoint(
+        &mut self,
+        now: SimTime,
+        nodes: NodeSet,
+        slam_particles: usize,
+        fraction: f64,
+    ) -> Result<MigrationTicket, BeginError> {
+        if nodes.is_empty() {
+            return Err(BeginError::EmptyNodeSet);
+        }
+        if self.active.is_some() {
+            return Err(BeginError::Busy);
+        }
+        let full: usize = nodes
+            .iter()
+            .map(|k| state_size_bytes(k, slam_particles))
+            .sum();
+        let bytes = ((full as f64 * fraction.clamp(0.0, 1.0)) as usize).max(64);
+        Ok(self.start_transfer(now, nodes, bytes, TransferKind::Checkpoint))
+    }
+
+    fn start_transfer(
+        &mut self,
+        now: SimTime,
+        nodes: NodeSet,
+        bytes: usize,
+        kind: TransferKind,
+    ) -> MigrationTicket {
         let ticket = MigrationTicket {
             nodes,
             started: now,
@@ -186,8 +245,32 @@ impl MigrationManager {
                 .tcp
                 .send_tagged(now, bytes::Bytes::from(vec![0u8; len]), msg);
         }
-        self.active = Some((ticket, last_seq));
-        Ok(ticket)
+        self.active = Some((ticket, last_seq, kind));
+        ticket
+    }
+
+    /// Abort the in-flight transfer only if it is a checkpoint; a real
+    /// migration is left alone. Used when a placement switch needs the
+    /// channel a checkpoint is occupying. Returns whether a checkpoint
+    /// was cancelled.
+    pub fn abort_checkpoint(&mut self) -> bool {
+        if matches!(self.active, Some((_, _, TransferKind::Checkpoint))) {
+            self.abort();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Start instant of the most recent completed checkpoint.
+    pub fn last_checkpoint(&self) -> Option<SimTime> {
+        self.last_checkpoint
+    }
+
+    /// Consume the most recent completed checkpoint (crash recovery
+    /// uses it once, then starts accumulating fresh state).
+    pub fn take_checkpoint(&mut self) -> Option<SimTime> {
+        self.last_checkpoint.take()
     }
 
     /// Abandon the in-flight transfer (the destination will rebuild
@@ -208,7 +291,7 @@ impl MigrationManager {
     /// decides what to do about the placement).
     pub fn tick(&mut self, now: SimTime, robot: Point2) -> Option<MigrationEvent> {
         self.tcp.tick(now, robot);
-        let (ticket, last_seq) = self.active?;
+        let (ticket, last_seq, kind) = self.active?;
         let mut done = false;
         while let Some((seq, _, _)) = self.tcp.recv() {
             if seq == last_seq {
@@ -217,17 +300,34 @@ impl MigrationManager {
         }
         if done {
             self.active = None;
-            self.completed += 1;
-            return Some(MigrationEvent::Done(MigrationDone {
+            let outcome = MigrationDone {
                 ticket,
                 elapsed: now.saturating_since(ticket.started),
                 attempts: self.tcp.stats().attempts,
-            }));
+            };
+            return Some(match kind {
+                TransferKind::Migration => {
+                    self.completed += 1;
+                    MigrationEvent::Done(outcome)
+                }
+                TransferKind::Checkpoint => {
+                    self.checkpoints += 1;
+                    self.last_checkpoint = Some(ticket.started);
+                    MigrationEvent::CheckpointDone(outcome)
+                }
+            });
         }
         let elapsed = now.saturating_since(ticket.started);
         if let Some(deadline) = self.deadline {
             if elapsed >= deadline {
                 self.abort();
+                if kind == TransferKind::Checkpoint {
+                    // Best-effort snapshot: drop it quietly and let the
+                    // next cadence tick try again — no alarm, no
+                    // timed-out accounting.
+                    self.checkpoint_timeouts += 1;
+                    return None;
+                }
                 self.timed_out += 1;
                 self.tracer.emit_at(
                     now.as_nanos(),
@@ -270,7 +370,7 @@ mod tests {
             match m.tick(t, pos) {
                 Some(MigrationEvent::Done(done)) => return Some((done, t)),
                 Some(MigrationEvent::TimedOut { .. }) => return None,
-                None => {}
+                Some(MigrationEvent::CheckpointDone(_)) | None => {}
             }
         }
         None
@@ -415,6 +515,88 @@ mod tests {
         assert!(!m.in_progress());
         assert_eq!(m.timed_out, 1);
         assert_eq!(m.completed, 0);
+    }
+
+    #[test]
+    fn checkpoint_completes_and_records_the_resume_point() {
+        let mut m = manager();
+        let nodes = NodeSet::from_iter([NodeKind::CostmapGen, NodeKind::PathTracking]);
+        let full: usize = nodes.iter().map(|k| state_size_bytes(k, 30)).sum();
+        let started = SimTime::EPOCH + Duration::from_secs(3);
+        let ticket = m
+            .begin_checkpoint(started, nodes, 30, 0.25)
+            .expect("begins");
+        assert_eq!(ticket.bytes, full / 4);
+        assert!(ticket.bytes < full, "checkpoints are incremental");
+        assert!(m.last_checkpoint().is_none(), "not landed yet");
+        let mut t = started;
+        let mut landed = None;
+        for _ in 0..3000 {
+            t += Duration::from_millis(10);
+            match m.tick(t, Point2::new(1.0, 0.0)) {
+                Some(MigrationEvent::CheckpointDone(done)) => {
+                    landed = Some(done);
+                    break;
+                }
+                Some(other) => panic!("unexpected event {other:?}"),
+                None => {}
+            }
+        }
+        let done = landed.expect("checkpoint lands");
+        assert_eq!(done.ticket.started, started);
+        assert_eq!(m.checkpoints, 1);
+        assert_eq!(m.completed, 0, "checkpoints are not migrations");
+        assert_eq!(m.last_checkpoint(), Some(started));
+        // Recovery consumes it once.
+        assert_eq!(m.take_checkpoint(), Some(started));
+        assert_eq!(m.last_checkpoint(), None);
+    }
+
+    #[test]
+    fn checkpoint_yields_the_channel_to_a_real_migration() {
+        let mut m = manager();
+        m.begin_checkpoint(
+            SimTime::EPOCH,
+            NodeSet::single(NodeKind::CostmapGen),
+            30,
+            0.25,
+        )
+        .expect("begins");
+        assert_eq!(
+            m.begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30),
+            Err(BeginError::Busy)
+        );
+        assert!(m.abort_checkpoint(), "checkpoint steps aside");
+        assert!(m
+            .begin(SimTime::EPOCH, NodeSet::single(NodeKind::Slam), 30)
+            .is_ok());
+        // A real migration never steps aside.
+        assert!(!m.abort_checkpoint());
+        assert!(m.in_progress());
+    }
+
+    #[test]
+    fn checkpoint_deadline_expiry_is_quiet() {
+        let mut m = manager();
+        m.set_deadline(Duration::from_secs(3));
+        m.begin_checkpoint(
+            SimTime::EPOCH,
+            NodeSet::single(NodeKind::CostmapGen),
+            30,
+            0.25,
+        )
+        .expect("begins");
+        let far = Point2::new(500.0, 0.0);
+        let mut t = SimTime::EPOCH;
+        for _ in 0..1000 {
+            t += Duration::from_millis(10);
+            // No TimedOut event ever surfaces for a checkpoint.
+            assert_eq!(m.tick(t, far), None);
+        }
+        assert!(!m.in_progress(), "the deadline still cancels the transfer");
+        assert_eq!(m.checkpoint_timeouts, 1);
+        assert_eq!(m.timed_out, 0, "no migration-timeout alarm");
+        assert_eq!(m.last_checkpoint(), None);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use crate::deploy::Deployment;
 use crate::model::{Goal, TimeBreakdown, VelocityModel};
+use crate::recovery::RecoveryConfig;
 use crate::session::VehicleSession;
 use crate::strategy::PinPolicy;
 use lgv_net::fault::FaultSchedule;
@@ -95,6 +96,11 @@ pub struct MissionConfig {
     /// corruption, remote-host crashes), applied to every channel —
     /// data links and the migration TCP path alike. Empty = no faults.
     pub faults: FaultSchedule,
+    /// Failure-recovery policy: rebuild horizon, heartbeat timeout,
+    /// re-offload backoff, checkpoint cadence, degraded-mode fidelity.
+    /// The default reproduces the historical hardcoded constants with
+    /// checkpointing and degraded mode off.
+    pub recovery: RecoveryConfig,
 }
 
 impl MissionConfig {
@@ -124,6 +130,7 @@ impl MissionConfig {
             exploration_speed_cap: 0.3,
             record_traces: true,
             faults: FaultSchedule::none(),
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -169,6 +176,7 @@ impl MissionConfig {
             exploration_speed_cap: 0.3,
             record_traces: true,
             faults: FaultSchedule::none(),
+            recovery: RecoveryConfig::default(),
         }
     }
 }

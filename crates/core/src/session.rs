@@ -28,7 +28,7 @@ use crate::governor::{GovernorConfig, ThreadGovernor};
 use crate::migration::{MigrationEvent, MigrationManager};
 use crate::mission::{MissionConfig, MissionReport, NetSample, VelocitySample, Workload};
 use crate::model::TimeBreakdown;
-use crate::netctl::{NetDecision, SwitchCause};
+use crate::netctl::{NetControlConfig, NetDecision, SwitchCause};
 use crate::profiler::Profiler;
 use crate::strategy::{OffloadStrategy, PlacementPlan};
 use lgv_middleware::{Bus, Switcher, SwitcherConfig, TopicName};
@@ -38,7 +38,7 @@ use lgv_nav::frontier::{FrontierConfig, FrontierExplorer};
 use lgv_nav::global_planner::{GlobalPlanner, PlannerConfig};
 use lgv_nav::velocity_mux::{MuxConfig, VelocityMux};
 use lgv_nav::{Amcl, AmclConfig};
-use lgv_net::fault::FaultClock;
+use lgv_net::fault::{CloudFaultKind, FaultClock};
 use lgv_net::link::{DuplexLink, LinkConfig};
 use lgv_net::measure::SignalDirectionEstimator;
 use lgv_net::shared::SharedMedium;
@@ -93,6 +93,24 @@ pub struct VehicleSession {
     migration: Option<MigrationManager>,
     cold_state: bool,
     cold_since: SimTime,
+    /// How long the current cold stretch must last before the nodes
+    /// are considered rebuilt. Starts at the configured rebuild
+    /// horizon; a completed checkpoint shrinks the next crash's
+    /// rebuild to the time since that snapshot.
+    rebuild_need: Duration,
+    /// When the last checkpoint transfer was attempted (cadence gate).
+    last_ckpt_attempt: SimTime,
+    /// Degraded-mode state machine (active only when
+    /// `cfg.recovery.degraded` is set).
+    degraded: bool,
+    /// First cycle of the current continuous-stress stretch.
+    stress_since: Option<SimTime>,
+    /// First cycle of the current continuous-health stretch.
+    healthy_since: Option<SimTime>,
+    degrade_entered_at: SimTime,
+    /// Control cycles whose scan was dropped while degraded (the
+    /// deadline-miss count the degraded mode exists to zero out).
+    missed_cycles_degraded: u64,
     /// Emits one `fault_begin`/`fault_end` pair per scripted window
     /// (the channels apply the fault effects silently).
     fault_clock: FaultClock,
@@ -274,6 +292,12 @@ impl VehicleSession {
         let mut controller = Controller::new(
             ControllerConfig {
                 velocity: cfg.velocity,
+                netctl: NetControlConfig {
+                    heartbeat_timeout: cfg.recovery.heartbeat_timeout,
+                    backoff_base: cfg.recovery.backoff_base,
+                    backoff_cap: cfg.recovery.backoff_cap,
+                    ..NetControlConfig::default()
+                },
                 ..ControllerConfig::default()
             },
             strategy,
@@ -319,13 +343,20 @@ impl VehicleSession {
                 let mut mig = MigrationManager::new(sm, wan, rng.fork(0xC3));
                 mig.set_tracer(tracer.clone());
                 mig.set_faults(cfg.faults.clone());
-                mig.set_deadline(REBUILD_HORIZON);
+                mig.set_deadline(cfg.recovery.rebuild_horizon);
                 Some(mig)
             } else {
                 None
             },
             cold_state: false,
             cold_since: SimTime::EPOCH,
+            rebuild_need: cfg.recovery.rebuild_horizon,
+            last_ckpt_attempt: SimTime::EPOCH,
+            degraded: false,
+            stress_since: None,
+            healthy_since: None,
+            degrade_entered_at: SimTime::EPOCH,
+            missed_cycles_degraded: 0,
             fault_clock: FaultClock::new(cfg.faults.clone()),
             effective_threads: cfg.deployment.threads.max(1),
             threads_sum: 0.0,
@@ -468,6 +499,25 @@ impl VehicleSession {
                             marginal_ns: b.marginal.as_nanos(),
                         },
                     );
+                }
+                // Cloud fault windows the scheduler first observed on
+                // this admission (begin edges, exactly once per
+                // window). Failed scale-ups stay ledger-only.
+                for f in &adm.faults {
+                    let event = match f.kind {
+                        CloudFaultKind::ReplicaCrash { replicas } => TraceEvent::ReplicaCrash {
+                            replicas: u64::from(replicas),
+                            window: f.index,
+                            window_ns: f.span.as_nanos(),
+                        },
+                        CloudFaultKind::Straggler { factor } => TraceEvent::ReplicaStraggle {
+                            factor,
+                            window: f.index,
+                            window_ns: f.span.as_nanos(),
+                        },
+                        CloudFaultKind::FailedScaleUp => continue,
+                    };
+                    self.tracer.emit_at(self.now.as_nanos(), event);
                 }
                 t += adm.delay;
             }
@@ -721,19 +771,28 @@ impl VehicleSession {
                     // unreachable, so migrating it back would stall
                     // against a crashed endpoint. Abort any transfer
                     // in flight and rebuild cold from fresh sensor
-                    // data over the rebuild horizon instead.
+                    // data instead — only as far back as the last
+                    // completed checkpoint reaches.
                     if let Some(mig) = self.migration.as_mut() {
-                        if mig.in_progress() {
+                        if !mig.abort_checkpoint() && mig.in_progress() {
                             mig.abort();
                             self.tracer
                                 .emit_at(cycle_start.as_nanos(), TraceEvent::MigrationAbort);
                         }
+                        self.rebuild_need = match mig.take_checkpoint() {
+                            Some(at) => cycle_start
+                                .saturating_since(at)
+                                .min(self.cfg.recovery.rebuild_horizon),
+                            None => self.cfg.recovery.rebuild_horizon,
+                        };
                     }
                     self.cold_state = true;
                     self.cold_since = cycle_start;
                 } else if let Some(mig) = self.migration.as_mut() {
                     // Ship the switched nodes' state (paper §VI-A);
-                    // they run cold until it lands.
+                    // they run cold until it lands. An in-flight
+                    // checkpoint stream yields the channel.
+                    mig.abort_checkpoint();
                     if let Ok(ticket) =
                         mig.begin(cycle_start, self.plan.remote, self.cfg.slam_particles)
                     {
@@ -759,6 +818,80 @@ impl VehicleSession {
             NetDecision::Keep => {}
         }
 
+        // Checkpointed re-offload: while nodes run remotely and the
+        // migration channel is idle, periodically stream a compact
+        // snapshot of the offloaded state so a later crash rebuilds
+        // from the snapshot's age instead of the full horizon.
+        if let Some(interval) = self.cfg.recovery.checkpoint_interval {
+            if let Some(mig) = self.migration.as_mut() {
+                if self.remote_enabled
+                    && !self.cold_state
+                    && !mig.in_progress()
+                    && !self.plan.remote.is_empty()
+                    && cycle_start.saturating_since(self.last_ckpt_attempt) >= interval
+                {
+                    self.last_ckpt_attempt = cycle_start;
+                    let _ = mig.begin_checkpoint(
+                        cycle_start,
+                        self.plan.remote,
+                        self.cfg.slam_particles,
+                        self.cfg.recovery.checkpoint_fraction,
+                    );
+                }
+            }
+        }
+
+        // Degraded-mode autonomy: under sustained stress (blackout or
+        // a re-offload backoff that keeps failing while the pipeline
+        // runs locally), drop SLAM/DWA fidelity so the 200 ms deadline
+        // keeps being met on vehicle silicon; restore — with
+        // hysteresis — once the link is healthy again.
+        if let Some(dcfg) = self.cfg.recovery.degraded {
+            let stressed = self.cfg.deployment.offloaded()
+                && !self.remote_enabled
+                && (radio_weak || self.controller.offload_failures() >= 2);
+            if stressed {
+                self.healthy_since = None;
+                let since = *self.stress_since.get_or_insert(cycle_start);
+                if !self.degraded && cycle_start.saturating_since(since) >= dcfg.trigger_after {
+                    self.degraded = true;
+                    self.degrade_entered_at = cycle_start;
+                    self.missed_cycles_degraded = 0;
+                    if let Some(slam) = self.slam.as_mut() {
+                        slam.set_active_particles(dcfg.slam_particles);
+                    }
+                    self.dwa.set_samples(dcfg.dwa_samples);
+                    self.tracer.emit_at(
+                        cycle_start.as_nanos(),
+                        TraceEvent::DegradeEnter {
+                            cause: if radio_weak { "blackout" } else { "backoff" }.to_string(),
+                            slam_particles: dcfg.slam_particles as u64,
+                            dwa_samples: u64::from(dcfg.dwa_samples),
+                        },
+                    );
+                }
+            } else {
+                self.stress_since = None;
+                let since = *self.healthy_since.get_or_insert(cycle_start);
+                if self.degraded && cycle_start.saturating_since(since) >= dcfg.restore_hold {
+                    self.degraded = false;
+                    if let Some(slam) = self.slam.as_mut() {
+                        slam.set_active_particles(self.cfg.slam_particles);
+                    }
+                    self.dwa.set_samples(self.cfg.dwa_samples);
+                    self.tracer.emit_at(
+                        cycle_start.as_nanos(),
+                        TraceEvent::DegradeExit {
+                            held_ns: cycle_start
+                                .saturating_since(self.degrade_entered_at)
+                                .as_nanos(),
+                            missed_cycles: self.missed_cycles_degraded,
+                        },
+                    );
+                }
+            }
+        }
+
         // §VIII-E thread governor: scale remote parallelism to the
         // velocity actually achieved.
         self.governor
@@ -780,6 +913,12 @@ impl VehicleSession {
             let (cmd, t) = self.run_vdp(&scan, true);
             self.local_busy_until = cycle_start + t;
             self.local_pending = Some((cycle_start + t, cmd));
+        } else if self.degraded {
+            // Local platform still busy → this scan is dropped
+            // (1-queue): a missed control deadline. Counting these
+            // while degraded is the SLO the reduced fidelity exists
+            // to drive to zero.
+            self.missed_cycles_degraded += 1;
         }
         // else: local platform busy → this scan is dropped (1-queue).
 
@@ -904,13 +1043,15 @@ impl VehicleSession {
             }
         }
 
-        // State migration transfer. The manager's deadline (the
-        // rebuild horizon) bounds it: past that point the destination
-        // nodes have reconstructed equivalent state from fresh sensor
-        // data (the costmap's obstacle history ages out after ~5 s
-        // anyway), so a still-running transfer is aborted and counted
-        // as an offload failure for the re-offload backoff.
-        if self.cold_state {
+        // State migration / checkpoint transfer. The manager's
+        // deadline (the rebuild horizon) bounds it: past that point
+        // the destination nodes have reconstructed equivalent state
+        // from fresh sensor data (the costmap's obstacle history ages
+        // out after ~5 s anyway), so a still-running transfer is
+        // aborted and counted as an offload failure for the
+        // re-offload backoff. Checkpoint streams tick here too, while
+        // the session is warm.
+        if self.cold_state || self.migration.as_ref().is_some_and(|m| m.in_progress()) {
             if let Some(mig) = self.migration.as_mut() {
                 match mig.tick(t, pos) {
                     Some(MigrationEvent::Done(done)) => {
@@ -923,6 +1064,15 @@ impl VehicleSession {
                         );
                         self.cold_state = false;
                     }
+                    Some(MigrationEvent::CheckpointDone(done)) => {
+                        self.tracer.emit_at(
+                            t.as_nanos(),
+                            TraceEvent::Checkpoint {
+                                bytes: done.ticket.bytes as u64,
+                                elapsed_ns: done.elapsed.as_nanos(),
+                            },
+                        );
+                    }
                     Some(MigrationEvent::TimedOut { .. }) => {
                         // The manager already cancelled the segments
                         // and emitted `migration_timeout`.
@@ -934,9 +1084,12 @@ impl VehicleSession {
                     None => {
                         // Crash fallback: no transfer is running (the
                         // remote died with the state); cold until the
-                        // nodes have rebuilt from live sensor data.
-                        if !mig.in_progress()
-                            && t.saturating_since(self.cold_since) >= REBUILD_HORIZON
+                        // nodes have rebuilt from live sensor data —
+                        // or from the last checkpoint, which shrinks
+                        // `rebuild_need` below the full horizon.
+                        if self.cold_state
+                            && !mig.in_progress()
+                            && t.saturating_since(self.cold_since) >= self.rebuild_need
                         {
                             self.cold_state = false;
                         }
@@ -1100,6 +1253,17 @@ impl VehicleSession {
             .unwrap_or_else(|| (false, format!("time cap {} expired", self.cfg.max_time)));
         self.tracer.set_time_ns(self.now.as_nanos());
         self.ledger.trace_flush();
+        if self.degraded {
+            // The mission ended still degraded: close the span so the
+            // analyzer's degraded-time accounting balances.
+            self.tracer.emit_with(|| TraceEvent::DegradeExit {
+                held_ns: self
+                    .now
+                    .saturating_since(self.degrade_entered_at)
+                    .as_nanos(),
+                missed_cycles: self.missed_cycles_degraded,
+            });
+        }
         self.tracer.emit_with(|| TraceEvent::MissionEnd {
             completed,
             reason: reason.clone(),

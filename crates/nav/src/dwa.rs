@@ -155,6 +155,15 @@ impl DwaPlanner {
         self.cfg.max_angular = w.max(0.1);
     }
 
+    /// Set the trajectory-sample budget `M` (clamped to ≥ 12 so the
+    /// sample grid keeps both axes). Degraded-mode autonomy lowers
+    /// this to keep the local pipeline inside the control deadline;
+    /// the config value is read fresh each [`DwaPlanner::compute`], so
+    /// the change takes effect on the next activation.
+    pub fn set_samples(&mut self, samples: u32) {
+        self.cfg.samples = samples.max(12);
+    }
+
     /// Reset the dynamic-window centre (e.g. after a teleport or when
     /// tracking restarts).
     pub fn reset(&mut self) {
@@ -509,6 +518,30 @@ mod tests {
         let ratio = wl.parallel_cycles / ws.parallel_cycles;
         assert!(ratio > 10.0, "work should scale ≈ 20×, got {ratio}");
         assert!(wl.parallel_items >= 1500);
+    }
+
+    #[test]
+    fn set_samples_shrinks_work_on_the_next_activation() {
+        let cm = Costmap::from_map(CostmapConfig::default(), &open_map(120, 120));
+        let pose = Pose2D::new(1.0, 2.0, 0.0);
+        let mut dwa = DwaPlanner::new(DwaConfig::default());
+        let full = dwa
+            .compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0))
+            .work;
+        dwa.set_samples(60);
+        let degraded = dwa
+            .compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0))
+            .work;
+        assert!(degraded.parallel_items < full.parallel_items / 3);
+        // Restore to the configured default.
+        dwa.set_samples(400);
+        let restored = dwa
+            .compute(&cm, pose, &straight_path(2.0), Point2::new(5.0, 2.0))
+            .work;
+        assert_eq!(restored.parallel_items, full.parallel_items);
+        // Floor keeps both sample axes alive.
+        dwa.set_samples(1);
+        assert_eq!(dwa.config().samples, 12);
     }
 
     #[test]

@@ -224,6 +224,157 @@ impl FaultSchedule {
     }
 }
 
+/// One kind of injected **cloud-tier** failure — the shared box's own
+/// failure modes, distinct from the radio faults in [`FaultKind`]: the
+/// link stays perfectly healthy while the replica pool misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CloudFaultKind {
+    /// `replicas` provisioned replicas are dead for the window: they
+    /// keep accruing cost (the bill does not know they crashed) but
+    /// serve no capacity, so every admission queues against a smaller
+    /// pool.
+    ReplicaCrash {
+        /// How many replicas are down (clamped to the pool size).
+        replicas: u32,
+    },
+    /// The pool contains a straggler: executions scheduled in the
+    /// window run `factor` times slower end to end (the load balancer
+    /// cannot route around it).
+    Straggler {
+        /// End-to-end slowdown factor (> 1).
+        factor: f64,
+    },
+    /// Scale-up decisions taken during the window fail to provision:
+    /// the spin-up is paid for but no replica ever joins the pool.
+    FailedScaleUp,
+}
+
+impl CloudFaultKind {
+    /// Stable label used in `replica_crash` / `replica_straggle`
+    /// trace events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CloudFaultKind::ReplicaCrash { .. } => "replica_crash",
+            CloudFaultKind::Straggler { .. } => "replica_straggle",
+            CloudFaultKind::FailedScaleUp => "failed_scale_up",
+        }
+    }
+}
+
+/// A half-open window `[from, until)` during which one
+/// [`CloudFaultKind`] afflicts the shared cloud box.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CloudFaultWindow {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// What goes wrong while the window is active.
+    pub kind: CloudFaultKind,
+}
+
+impl CloudFaultWindow {
+    /// Is `now` inside the window?
+    pub fn contains(&self, now: SimTime) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// An ordered list of scripted [`CloudFaultWindow`]s, the cloud-tier
+/// sibling of [`FaultSchedule`]. Consumed by `lgv-sim`'s
+/// `CloudScheduler`; an empty schedule is a structural no-op there.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CloudFaultSchedule {
+    windows: Vec<CloudFaultWindow>,
+}
+
+impl CloudFaultSchedule {
+    /// A schedule with no cloud faults.
+    pub fn none() -> Self {
+        CloudFaultSchedule::default()
+    }
+
+    /// Builder: add a window starting `from_s` seconds in, lasting
+    /// `dur_s` seconds.
+    pub fn with(mut self, from_s: f64, dur_s: f64, kind: CloudFaultKind) -> Self {
+        let from = SimTime::from_secs_f64(from_s);
+        self.windows.push(CloudFaultWindow {
+            from,
+            until: from + Duration::from_secs_f64(dur_s),
+            kind,
+        });
+        self
+    }
+
+    /// The scripted windows, in insertion order.
+    pub fn windows(&self) -> &[CloudFaultWindow] {
+        &self.windows
+    }
+
+    /// True when nothing is scheduled (the common, fault-free case).
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Total replicas dead at `now` (summed across overlapping crash
+    /// windows).
+    pub fn crashed_at(&self, now: SimTime) -> u32 {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(now))
+            .map(|w| match w.kind {
+                CloudFaultKind::ReplicaCrash { replicas } => replicas,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The end-to-end slowdown factor at `now` (overlapping straggler
+    /// windows compound; 1.0 if none is active).
+    pub fn straggle_factor_at(&self, now: SimTime) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(now))
+            .filter_map(|w| match w.kind {
+                CloudFaultKind::Straggler { factor } => Some(factor.max(1.0)),
+                _ => None,
+            })
+            .product::<f64>()
+            .max(1.0)
+    }
+
+    /// Does a scale-up decided at `now` fail to provision?
+    pub fn scale_up_fails_at(&self, now: SimTime) -> bool {
+        self.windows
+            .iter()
+            .any(|w| matches!(w.kind, CloudFaultKind::FailedScaleUp) && w.contains(now))
+    }
+
+    /// A seeded random schedule for chaos testing: one to three
+    /// windows of random kind, start, and duration inside `horizon`.
+    /// The same seed always yields the same schedule.
+    pub fn randomized(seed: u64, horizon: Duration) -> Self {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xC1_0D_FA);
+        let mut schedule = CloudFaultSchedule::none();
+        let span = horizon.as_secs_f64();
+        for _ in 0..(1 + rng.index(3)) {
+            let from_s = rng.uniform_range(0.05 * span, 0.6 * span);
+            let dur_s = rng.uniform_range(2.0, 15.0);
+            let kind = match rng.index(3) {
+                0 => CloudFaultKind::ReplicaCrash {
+                    replicas: 1 + rng.index(2) as u32,
+                },
+                1 => CloudFaultKind::Straggler {
+                    factor: rng.uniform_range(1.5, 4.0),
+                },
+                _ => CloudFaultKind::FailedScaleUp,
+            };
+            schedule = schedule.with(from_s, dur_s, kind);
+        }
+        schedule
+    }
+}
+
 /// Applies a [`FaultSchedule`] inside one channel.
 ///
 /// Each channel owns its own injector with an [`SimRng`] forked from
@@ -502,6 +653,45 @@ mod tests {
             assert!(w.from >= SimTime::EPOCH && w.until <= SimTime::EPOCH + horizon);
         }
         assert_ne!(a, FaultSchedule::randomized(10, horizon));
+    }
+
+    #[test]
+    fn cloud_schedule_queries_compose_over_overlaps() {
+        let s = CloudFaultSchedule::none()
+            .with(1.0, 4.0, CloudFaultKind::ReplicaCrash { replicas: 1 })
+            .with(3.0, 4.0, CloudFaultKind::ReplicaCrash { replicas: 2 })
+            .with(2.0, 2.0, CloudFaultKind::Straggler { factor: 2.0 })
+            .with(3.0, 2.0, CloudFaultKind::Straggler { factor: 1.5 })
+            .with(6.0, 1.0, CloudFaultKind::FailedScaleUp);
+        assert_eq!(s.crashed_at(t(0.5)), 0);
+        assert_eq!(s.crashed_at(t(1.0)), 1);
+        assert_eq!(s.crashed_at(t(3.5)), 3, "overlapping crashes sum");
+        assert_eq!(s.crashed_at(t(5.5)), 2);
+        assert_eq!(s.straggle_factor_at(t(1.0)), 1.0);
+        assert_eq!(s.straggle_factor_at(t(2.5)), 2.0);
+        assert_eq!(s.straggle_factor_at(t(3.5)), 3.0, "stragglers compound");
+        assert!(!s.scale_up_fails_at(t(5.5)));
+        assert!(s.scale_up_fails_at(t(6.0)));
+        assert!(!s.scale_up_fails_at(t(7.0)));
+    }
+
+    #[test]
+    fn cloud_randomized_schedules_are_reproducible_and_bounded() {
+        let horizon = Duration::from_secs(120);
+        let a = CloudFaultSchedule::randomized(9, horizon);
+        let b = CloudFaultSchedule::randomized(9, horizon);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.windows().len() <= 3);
+        for w in a.windows() {
+            assert!(w.from >= SimTime::EPOCH && w.until <= SimTime::EPOCH + horizon);
+        }
+        assert_ne!(a, CloudFaultSchedule::randomized(10, horizon));
+        // Cloud and channel schedules draw from distinct streams, so
+        // pairing them under one seed does not correlate their windows.
+        assert_ne!(
+            format!("{:?}", CloudFaultSchedule::randomized(9, horizon)),
+            format!("{:?}", FaultSchedule::randomized(9, horizon))
+        );
     }
 
     #[test]

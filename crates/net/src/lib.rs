@@ -49,7 +49,10 @@ pub mod signal;
 pub mod tcp;
 
 pub use channel::{Packet, SendOutcome, UdpChannel};
-pub use fault::{FaultClock, FaultEdge, FaultInjector, FaultKind, FaultSchedule, FaultWindow};
+pub use fault::{
+    CloudFaultKind, CloudFaultSchedule, CloudFaultWindow, FaultClock, FaultEdge, FaultInjector,
+    FaultKind, FaultSchedule, FaultWindow,
+};
 pub use link::{DuplexLink, LinkConfig, RemoteSite};
 pub use measure::{BandwidthMeter, RttTracker, SignalDirectionEstimator};
 pub use shared::{MediumStats, SharedMedium};

@@ -66,10 +66,32 @@
 //!
 //! The handle is `Clone`; clones share state, so one scheduler is
 //! created per fleet and every vehicle session attaches to it.
+//!
+//! # Fault injection
+//!
+//! [`CloudScheduler::set_faults`] attaches a deterministic
+//! [`CloudFaultSchedule`] (`lgv-net`'s cloud-tier counterpart to the
+//! channel fault windows):
+//!
+//! * **Replica crashes** remove serving capacity while the window is
+//!   open — admissions land on the surviving replicas and pay the
+//!   correspondingly larger processor-sharing delay — but the dead
+//!   replicas keep accruing replica-seconds, ledgered separately as
+//!   [`CloudStats::wasted_replica_seconds`].
+//! * **Stragglers** stretch every overlapping admission end to end:
+//!   `delay → delay × factor + exec × (factor − 1)`, i.e. the whole
+//!   remote execution runs `factor×` slow, not just the queueing part.
+//! * **Failed scale-ups** let the autoscaler decide to grow the pool
+//!   and pay the spin-up, but the replica never provisions
+//!   ([`CloudStats::failed_scale_ups`]).
+//!
+//! An empty schedule (the default) leaves every arithmetic path
+//! byte-identical to a scheduler with no faults attached.
 
+use lgv_net::fault::{CloudFaultKind, CloudFaultSchedule};
 use lgv_types::prelude::*;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Elastic-provisioning policy for a [`CloudScheduler`].
 ///
@@ -157,6 +179,22 @@ pub struct Admission {
     /// Replica-pool transitions decided at window boundaries crossed
     /// since the previous admission (usually empty or one entry).
     pub scales: Vec<ScaleEvent>,
+    /// Cloud-fault windows first observed open by this admission
+    /// (each window is reported exactly once, by whichever tenant's
+    /// admission crosses into it first — deterministic under the
+    /// fleet's lockstep round order).
+    pub faults: Vec<CloudFaultEdge>,
+}
+
+/// A cloud-fault window observed opening at admission time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudFaultEdge {
+    /// What failed.
+    pub kind: CloudFaultKind,
+    /// Ordinal of the window in the attached schedule.
+    pub index: u64,
+    /// Total span of the fault window.
+    pub span: Duration,
 }
 
 /// This admission coalesced into a same-stage batch.
@@ -222,6 +260,20 @@ pub struct CloudStats {
     /// Admissions that executed inside a batch (both the batch head
     /// and every marginal-cost join).
     pub batched_admissions: u64,
+    /// Replica-crash fault windows observed open.
+    pub replica_crash_windows: u64,
+    /// Admissions stretched by an open straggler window.
+    pub straggled_admissions: u64,
+    /// Total extra delay imposed by straggler windows, over and above
+    /// the fault-free processor-sharing delay.
+    pub straggler_extra_delay: Duration,
+    /// Scale-up decisions whose replica never provisioned because a
+    /// failed-scale-up fault window covered the boundary.
+    pub failed_scale_ups: u64,
+    /// Replica-seconds paid for capacity that served nothing: dead
+    /// replicas inside crash windows plus the spin-up of every failed
+    /// scale-up.
+    pub wasted_replica_seconds: f64,
 }
 
 impl CloudStats {
@@ -278,6 +330,16 @@ struct SchedulerInner {
     scale_downs: u64,
     batches: u64,
     batched_admissions: u64,
+    // Fault injection.
+    faults: CloudFaultSchedule,
+    /// One flag per schedule window: has its opening been reported
+    /// through [`Admission::faults`] yet?
+    fault_reported: Vec<bool>,
+    replica_crash_windows: u64,
+    straggled_admissions: u64,
+    straggler_extra_delay: Duration,
+    failed_scale_ups: u64,
+    wasted_replica_secs: f64,
 }
 
 impl SchedulerInner {
@@ -297,19 +359,33 @@ impl SchedulerInner {
         while ew < w {
             let provisioned = self.replicas.len() as u32;
             self.replica_secs += provisioned as f64 * self.window.as_secs_f64();
+            // Dead replicas (crash window open at the window's start)
+            // are still provisioned and still billed; ledger the
+            // serving-nothing fraction as waste.
+            let start = SimTime::from_nanos(ew.saturating_mul(self.window.as_nanos()));
+            let dead = self.faults.crashed_at(start).min(provisioned);
+            self.wasted_replica_secs += dead as f64 * self.window.as_secs_f64();
             let total: u64 = self.requested.get(&ew).map_or(0, |m| m.values().sum());
             let util = total as f64 / (self.hw_threads as u64 * provisioned as u64).max(1) as f64;
             let boundary = SimTime::from_nanos((ew + 1).saturating_mul(self.window.as_nanos()));
             if util > self.cfg.scale_up_util && provisioned < self.cfg.max_replicas {
-                self.replicas.push(boundary + self.cfg.spinup);
-                self.scale_ups += 1;
-                self.peak_replicas = self.peak_replicas.max(provisioned + 1);
-                events.push(ScaleEvent {
-                    from: provisioned,
-                    to: provisioned + 1,
-                    utilization: util,
-                    window: ew + 1,
-                });
+                if self.faults.scale_up_fails_at(boundary) {
+                    // The autoscaler commits and pays the spin-up, but
+                    // the replica never comes: no capacity, no
+                    // ScaleEvent, just priced waste.
+                    self.failed_scale_ups += 1;
+                    self.wasted_replica_secs += self.cfg.spinup.as_secs_f64();
+                } else {
+                    self.replicas.push(boundary + self.cfg.spinup);
+                    self.scale_ups += 1;
+                    self.peak_replicas = self.peak_replicas.max(provisioned + 1);
+                    events.push(ScaleEvent {
+                        from: provisioned,
+                        to: provisioned + 1,
+                        utilization: util,
+                        window: ew + 1,
+                    });
+                }
             } else if util < self.cfg.scale_down_util && provisioned > self.cfg.min_replicas {
                 // Retire the newest replica first (it may still be
                 // spinning up, so retiring it costs the least).
@@ -332,6 +408,38 @@ impl SchedulerInner {
     /// still inside their spin-up lag; never below one).
     fn ready_replicas(&self, now: SimTime) -> u32 {
         (self.replicas.iter().filter(|&&r| r <= now).count() as u32).max(1)
+    }
+
+    /// Ready replicas minus those dead in an open crash window, never
+    /// below one — the capacity admissions are actually served by.
+    /// With an empty schedule this is exactly [`Self::ready_replicas`].
+    fn serving_replicas(&self, now: SimTime) -> u32 {
+        self.ready_replicas(now)
+            .saturating_sub(self.faults.crashed_at(now))
+            .max(1)
+    }
+
+    /// Report every schedule window whose opening `now` has reached
+    /// and that has not been reported yet (exactly-once per window).
+    fn observe_fault_edges(&mut self, now: SimTime) -> Vec<CloudFaultEdge> {
+        if self.faults.is_empty() {
+            return Vec::new();
+        }
+        let mut edges = Vec::new();
+        for (i, w) in self.faults.windows().iter().enumerate() {
+            if !self.fault_reported[i] && now >= w.from {
+                self.fault_reported[i] = true;
+                if matches!(w.kind, CloudFaultKind::ReplicaCrash { .. }) {
+                    self.replica_crash_windows += 1;
+                }
+                edges.push(CloudFaultEdge {
+                    kind: w.kind,
+                    index: i as u64,
+                    span: w.until.saturating_since(w.from),
+                });
+            }
+        }
+        edges
     }
 }
 
@@ -386,8 +494,34 @@ impl CloudScheduler {
                 scale_downs: 0,
                 batches: 0,
                 batched_admissions: 0,
+                faults: CloudFaultSchedule::none(),
+                fault_reported: Vec::new(),
+                replica_crash_windows: 0,
+                straggled_admissions: 0,
+                straggler_extra_delay: Duration::ZERO,
+                failed_scale_ups: 0,
+                wasted_replica_secs: 0.0,
             })),
         }
+    }
+
+    /// Lock the shared state, recovering from a poisoned mutex: every
+    /// mutation the scheduler performs is a plain counter or map
+    /// update with no multi-step invariants, so state observed after
+    /// a panicking holder is still consistent — injected cloud faults
+    /// must never cascade into a simulator abort.
+    fn lock(&self) -> MutexGuard<'_, SchedulerInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Attach a deterministic cloud-tier fault schedule. Replaces any
+    /// previously attached schedule and resets the exactly-once
+    /// window-edge reporting. An empty schedule restores fault-free
+    /// behavior, byte for byte.
+    pub fn set_faults(&self, faults: CloudFaultSchedule) {
+        let mut inner = self.lock();
+        inner.fault_reported = vec![false; faults.windows().len()];
+        inner.faults = faults;
     }
 
     /// Admit `exec` seconds of `stage` compute on `threads` threads
@@ -412,12 +546,13 @@ impl CloudScheduler {
         threads: u32,
         exec: Duration,
     ) -> Admission {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         let w = now.as_nanos() / inner.window.as_nanos().max(1);
 
         // Window boundaries crossed since the last admission: accrue
         // the ledger and run the autoscaler on each completed window.
         let scales = inner.advance_to(w);
+        let faults = inner.observe_fault_edges(now);
 
         *inner
             .requested
@@ -479,7 +614,7 @@ impl CloudScheduler {
         }
         inner.last_admit = inner.last_admit.max(now + exec);
 
-        let delay = if others == 0 {
+        let mut delay = if others == 0 {
             Duration::ZERO
         } else {
             let foreign = if inner.cfg.batching {
@@ -487,10 +622,22 @@ impl CloudScheduler {
             } else {
                 others as f64
             };
+            // Crashed replicas serve nothing: the survivors absorb the
+            // whole census.
             let capacity =
-                (inner.hw_threads as u64 * inner.ready_replicas(now) as u64).max(1) as f64;
+                (inner.hw_threads as u64 * inner.serving_replicas(now) as u64).max(1) as f64;
             exec * (foreign / capacity)
         };
+        // A straggler window slows the whole remote execution, not
+        // just the queueing part: the nominal exec runs factor× slow
+        // and the queueing delay stretches with it.
+        let factor = inner.faults.straggle_factor_at(now);
+        if factor > 1.0 {
+            let slowed = delay * factor + exec * (factor - 1.0);
+            inner.straggled_admissions += 1;
+            inner.straggler_extra_delay += slowed.saturating_sub(delay);
+            delay = slowed;
+        }
         if delay > Duration::ZERO {
             inner.delayed += 1;
             inner.total_queue_delay += delay;
@@ -499,22 +646,23 @@ impl CloudScheduler {
             delay,
             batch,
             scales,
+            faults,
         }
     }
 
     /// Hardware threads of the modelled box (per replica).
     pub fn hw_threads(&self) -> u32 {
-        self.inner.lock().unwrap().hw_threads
+        self.lock().hw_threads
     }
 
     /// The provisioning policy in force.
     pub fn config(&self) -> ElasticConfig {
-        self.inner.lock().unwrap().cfg
+        self.lock().cfg
     }
 
     /// Aggregate counters so far.
     pub fn stats(&self) -> CloudStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         let utilization = match inner.first_admit {
             None => 0.0,
             Some(first) => {
@@ -539,6 +687,11 @@ impl CloudScheduler {
             scale_downs: inner.scale_downs,
             batches: inner.batches,
             batched_admissions: inner.batched_admissions,
+            replica_crash_windows: inner.replica_crash_windows,
+            straggled_admissions: inner.straggled_admissions,
+            straggler_extra_delay: inner.straggler_extra_delay,
+            failed_scale_ups: inner.failed_scale_ups,
+            wasted_replica_seconds: inner.wasted_replica_secs,
         }
     }
 }
@@ -794,6 +947,172 @@ mod tests {
         assert_eq!(f.total_queue_delay, e.total_queue_delay);
         assert_eq!(e.scale_ups + e.scale_downs, 0);
         assert_eq!(e.batches, 0);
+    }
+
+    // ---- cloud-tier fault injection ----
+
+    fn two_replica_pool() -> CloudScheduler {
+        // A fixed two-replica pool (hysteresis pinned so it never
+        // moves): ready capacity 96 threads from the epoch.
+        elastic(ElasticConfig {
+            min_replicas: 2,
+            max_replicas: 2,
+            ..ElasticConfig::balanced().without_batching()
+        })
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_byte_identical_to_none_attached() {
+        let bare = sched();
+        let faulted = sched();
+        faulted.set_faults(CloudFaultSchedule::none());
+        for w in 0..20u64 {
+            for t in 1..=3u64 {
+                let a = bare.admit(t, VDP, at(w * 200 + t), 8, EXEC);
+                let b = faulted.admit(t, VDP, at(w * 200 + t), 8, EXEC);
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(bare.stats(), faulted.stats());
+        let s = faulted.stats();
+        assert_eq!(s.replica_crash_windows, 0);
+        assert_eq!(s.straggled_admissions, 0);
+        assert_eq!(s.wasted_replica_seconds, 0.0);
+    }
+
+    #[test]
+    fn crashed_replica_halves_capacity_and_ledgers_waste() {
+        let healthy = two_replica_pool();
+        let crashed = two_replica_pool();
+        crashed.set_faults(CloudFaultSchedule::none().with(
+            0.0,
+            1.0,
+            CloudFaultKind::ReplicaCrash { replicas: 1 },
+        ));
+        for s in [&healthy, &crashed] {
+            s.admit(2, VDP, at(0), 12, EXEC);
+        }
+        // Window 1: 12 foreign threads on 96 threads healthy, but on
+        // 48 when one of the two replicas is dead.
+        assert_eq!(
+            healthy.admit(1, VDP, at(200), 12, EXEC).delay,
+            EXEC * (12.0 / 96.0)
+        );
+        let adm = crashed.admit(1, VDP, at(200), 12, EXEC);
+        assert_eq!(adm.delay, EXEC * (12.0 / 48.0));
+        // The crash window is reported exactly once, by the first
+        // admission that observes it open.
+        assert!(
+            adm.faults.is_empty(),
+            "window 0 admission already reported it"
+        );
+        let stats = crashed.stats();
+        assert_eq!(stats.replica_crash_windows, 1);
+        // The dead replica was provisioned (and billed) through the
+        // completed window: 1 replica × 0.2 s.
+        assert!((stats.wasted_replica_seconds - 0.2).abs() < 1e-9);
+        // After the window closes, capacity is whole again.
+        crashed.admit(2, VDP, at(1_000), 12, EXEC);
+        assert_eq!(
+            crashed.admit(1, VDP, at(1_200), 12, EXEC).delay,
+            EXEC * (12.0 / 96.0)
+        );
+    }
+
+    #[test]
+    fn crash_edges_are_reported_once_with_kind_and_span() {
+        let s = two_replica_pool();
+        s.set_faults(
+            CloudFaultSchedule::none()
+                .with(0.5, 2.0, CloudFaultKind::ReplicaCrash { replicas: 1 })
+                .with(1.0, 1.0, CloudFaultKind::Straggler { factor: 2.0 }),
+        );
+        assert!(s.admit(1, VDP, at(0), 8, EXEC).faults.is_empty());
+        let adm = s.admit(1, VDP, at(600), 8, EXEC);
+        assert_eq!(adm.faults.len(), 1);
+        assert_eq!(
+            adm.faults[0].kind,
+            CloudFaultKind::ReplicaCrash { replicas: 1 }
+        );
+        assert_eq!(adm.faults[0].index, 0);
+        assert_eq!(adm.faults[0].span, Duration::from_secs(2));
+        let adm = s.admit(2, VDP, at(1_100), 8, EXEC);
+        assert_eq!(adm.faults.len(), 1);
+        assert_eq!(
+            adm.faults[0].kind,
+            CloudFaultKind::Straggler { factor: 2.0 }
+        );
+        // No window reports twice.
+        assert!(s.admit(1, VDP, at(1_200), 8, EXEC).faults.is_empty());
+    }
+
+    #[test]
+    fn straggler_window_slows_the_whole_execution() {
+        let s = sched();
+        s.set_faults(CloudFaultSchedule::none().with(
+            1.0,
+            1.0,
+            CloudFaultKind::Straggler { factor: 3.0 },
+        ));
+        // Outside the window: untouched.
+        assert_eq!(s.admit(1, VDP, at(0), 8, EXEC).delay, Duration::ZERO);
+        // Inside: even a lone tenant pays exec × (factor − 1) — the
+        // remote box itself is slow.
+        assert_eq!(s.admit(1, VDP, at(1_000), 8, EXEC).delay, EXEC * 2.0);
+        // With contention the queueing delay stretches too:
+        // base = EXEC × 8/48, slowed = base × 3 + EXEC × 2.
+        s.admit(2, VDP, at(1_200), 8, EXEC);
+        let base = EXEC * (8.0 / 48.0);
+        assert_eq!(
+            s.admit(1, VDP, at(1_400), 8, EXEC).delay,
+            base * 3.0 + EXEC * 2.0
+        );
+        let stats = s.stats();
+        // Straggled: the lone admission at 1.0 s plus the two
+        // contended ones at 1.2 s and 1.4 s.
+        assert_eq!(stats.straggled_admissions, 3);
+        let contended = base * 3.0 + EXEC * 2.0;
+        assert_eq!(
+            stats.straggler_extra_delay,
+            EXEC * 2.0 + (contended - base) * 2.0
+        );
+        // Past the window: back to the fault-free price.
+        s.admit(2, VDP, at(2_000), 8, EXEC);
+        assert_eq!(s.admit(1, VDP, at(2_200), 8, EXEC).delay, base);
+    }
+
+    #[test]
+    fn failed_scale_up_leaves_pool_size_but_prices_the_spinup() {
+        let cfg = ElasticConfig {
+            spinup: Duration::from_millis(200),
+            ..ElasticConfig::balanced().without_batching()
+        };
+        let sabotaged = elastic(cfg);
+        sabotaged.set_faults(CloudFaultSchedule::none().with(
+            0.0,
+            1.0,
+            CloudFaultKind::FailedScaleUp,
+        ));
+        // Saturate window 0 exactly as pool_scales_up_under_load does.
+        for t in 1..=8u64 {
+            sabotaged.admit(t, VDP, at(0), 12, EXEC);
+        }
+        let adm = sabotaged.admit(1, VDP, at(200), 12, EXEC);
+        assert!(adm.scales.is_empty(), "the scale-up never lands");
+        // Deep into what would have been the doubled-capacity era the
+        // pool is still one replica wide.
+        for t in 2..=8u64 {
+            sabotaged.admit(t, VDP, at(210), 12, EXEC);
+        }
+        assert_eq!(
+            sabotaged.admit(1, VDP, at(410), 12, EXEC).delay,
+            EXEC * (84.0 / 48.0)
+        );
+        let stats = sabotaged.stats();
+        assert!(stats.failed_scale_ups >= 1);
+        assert_eq!(stats.scale_ups, 0);
+        assert_eq!(stats.replicas, 1);
+        assert!(stats.wasted_replica_seconds >= 0.2 * stats.failed_scale_ups as f64);
     }
 
     #[test]

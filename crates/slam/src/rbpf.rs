@@ -109,6 +109,11 @@ struct Particle {
 pub struct GMapping {
     cfg: SlamConfig,
     particles: Vec<Particle>,
+    /// Particles currently participating in the filter (a prefix of
+    /// `particles`). Equal to the configured count at full fidelity;
+    /// degraded-mode autonomy lowers it via
+    /// [`GMapping::set_active_particles`].
+    active: usize,
     matcher: ScanMatcher,
     motion: MotionModel,
     executor: ParallelExecutor,
@@ -136,9 +141,11 @@ impl GMapping {
         let matcher = ScanMatcher::new(cfg.matcher.clone());
         let motion = MotionModel::new(cfg.motion);
         let executor = ParallelExecutor::new(cfg.threads);
+        let active = cfg.num_particles;
         GMapping {
             cfg,
             particles,
+            active,
             matcher,
             motion,
             executor,
@@ -153,6 +160,39 @@ impl GMapping {
     /// Particle count.
     pub fn num_particles(&self) -> usize {
         self.particles.len()
+    }
+
+    /// Particles currently participating in the filter.
+    pub fn active_particles(&self) -> usize {
+        self.active
+    }
+
+    /// Set the fidelity knob: run the filter over the first `k`
+    /// particles only (clamped to `1..=num_particles`). Shrinking
+    /// keeps the best particle; growing back re-seeds the reactivated
+    /// slots from the current best particle (their own state is stale)
+    /// with re-forked RNGs so they diverge again. At `k ==
+    /// num_particles` from construction the filter is untouched.
+    pub fn set_active_particles(&mut self, k: usize) {
+        let k = k.clamp(1, self.particles.len());
+        if k == self.active {
+            return;
+        }
+        if k < self.active {
+            if self.best >= k {
+                self.particles.swap(0, self.best);
+                self.best = 0;
+            }
+        } else {
+            let best = self.particles[self.best].clone();
+            for slot in self.active..k {
+                let mut p = best.clone();
+                p.log_weight = 0.0;
+                p.rng = self.rng.fork(slot as u64);
+                self.particles[slot] = p;
+            }
+        }
+        self.active = k;
     }
 
     /// Change the parallelism degree at runtime (the Controller does
@@ -185,13 +225,13 @@ impl GMapping {
         self.last_odom = Some(odom.pose);
         self.scans_processed += 1;
 
-        let m = self.particles.len();
+        let m = self.active;
         let mut meter = WorkMeter::new();
 
         // 1. Propagate (serial).
         {
             let _prof = prof::scope("slam/propagate");
-            for p in &mut self.particles {
+            for p in &mut self.particles[..m] {
                 p.pose = self.motion.sample(p.pose, delta, &mut p.rng);
             }
         }
@@ -210,7 +250,7 @@ impl GMapping {
         let cache = &cache;
         let gain = self.cfg.score_gain;
         let _prof_match = prof::scope("slam/scan_match");
-        let chunk_stats = self.executor.run_chunks(&mut self.particles, |chunk| {
+        let chunk_stats = self.executor.run_chunks(&mut self.particles[..m], |chunk| {
             let mut beam_evals = 0u64;
             let mut map_cycles = 0.0f64;
             let mut best_local = f64::NEG_INFINITY;
@@ -259,9 +299,8 @@ impl GMapping {
             meter.serial_ops(copied_cells, cost::CYCLES_PER_CELL_COPY);
         }
 
-        // Best particle by weight.
-        self.best = self
-            .particles
+        // Best particle by weight (among the active prefix).
+        self.best = self.particles[..m]
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.log_weight.total_cmp(&b.1.log_weight))
@@ -285,13 +324,12 @@ impl GMapping {
     /// Normalize log-weights into linear weights; returns the weights
     /// and the effective sample size `N_eff = 1 / Σ wᵢ²`.
     fn update_tree_weights(&mut self) -> (Vec<f64>, f64) {
-        let max_lw = self
-            .particles
+        let active = &self.particles[..self.active];
+        let max_lw = active
             .iter()
             .map(|p| p.log_weight)
             .fold(f64::NEG_INFINITY, f64::max);
-        let mut weights: Vec<f64> = self
-            .particles
+        let mut weights: Vec<f64> = active
             .iter()
             .map(|p| (p.log_weight - max_lw).exp())
             .collect();
@@ -309,10 +347,12 @@ impl GMapping {
     /// Low-variance resampling; returns the number of map cells copied
     /// (the dominant resampling cost in real gmapping).
     fn resample(&mut self, weights: &[f64]) -> u64 {
-        let m = self.particles.len();
+        let m = self.active;
+        // Inactive particles sit out the resample untouched.
+        let tail = self.particles.split_off(m);
         let picks = low_variance_resample(&mut self.rng, weights, m);
         let mut copied = 0u64;
-        let new_particles: Vec<Particle> = picks
+        let mut new_particles: Vec<Particle> = picks
             .iter()
             .enumerate()
             .map(|(slot, &i)| {
@@ -324,6 +364,7 @@ impl GMapping {
                 p
             })
             .collect();
+        new_particles.extend(tail);
         self.particles = new_particles;
         copied
     }
@@ -524,6 +565,54 @@ mod tests {
         );
         let out = slam.process(&odom_at(0, Pose2D::new(4.0, 4.0, 0.0)), &scan_at(0, 2.0));
         assert!((0.0..=1.0).contains(&out.pose.confidence));
+    }
+
+    #[test]
+    fn fidelity_knob_shrinks_work_and_preserves_best_pose() {
+        let start = Pose2D::new(4.0, 4.0, 0.0);
+        let mut slam = GMapping::new(small_cfg(10, 1), start, SimRng::seed_from_u64(9));
+        for k in 0..4 {
+            slam.process(&odom_at(k * 200, start), &scan_at(k * 200, 2.0));
+        }
+        let full_pose = slam.best_pose();
+        slam.set_active_particles(2);
+        assert_eq!(slam.active_particles(), 2);
+        assert_eq!(
+            slam.best_pose(),
+            full_pose,
+            "shrink keeps the best particle"
+        );
+        let degraded = slam.process(&odom_at(800, start), &scan_at(800, 2.0));
+        assert_eq!(degraded.work.parallel_items, 2);
+        // Restore: all ten slots participate again and the filter
+        // still tracks.
+        slam.set_active_particles(10);
+        let restored = slam.process(&odom_at(1_000, start), &scan_at(1_000, 2.0));
+        assert_eq!(restored.work.parallel_items, 10);
+        assert!(slam.best_pose().distance(start) < 0.2);
+        // Clamped at both ends.
+        slam.set_active_particles(0);
+        assert_eq!(slam.active_particles(), 1);
+        slam.set_active_particles(99);
+        assert_eq!(slam.active_particles(), 10);
+    }
+
+    #[test]
+    fn full_fidelity_knob_is_a_noop() {
+        let start = Pose2D::new(4.0, 4.0, 0.0);
+        let run = |touch: bool| {
+            let mut slam = GMapping::new(small_cfg(8, 1), start, SimRng::seed_from_u64(11));
+            if touch {
+                slam.set_active_particles(8);
+            }
+            let mut pose = start;
+            for k in 0..6 {
+                slam.process(&odom_at(k * 200, pose), &room_scan(k * 200, pose));
+                pose = Pose2D::new(pose.x + 0.05, pose.y, 0.0);
+            }
+            slam.best_pose()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -202,6 +202,55 @@ pub struct TraceAnalysis {
     cloud_marginal_ns: u64,
     /// `cloud_scale` transitions as `(t_ns, from, to, utilization)`.
     cloud_scales: Vec<(u64, u32, u32, f64)>,
+    /// Completed checkpoint transfers as `(t_ns, bytes)`.
+    checkpoints: Vec<(u64, u64)>,
+    /// `degrade_enter` events as `(t_ns, cause)`.
+    degrade_enters: Vec<(u64, String)>,
+    /// `degrade_exit` events as `(held_ns, missed_cycles)`.
+    degrade_exits: Vec<(u64, u64)>,
+    /// `replica_crash` window-begin edges (t_ns).
+    replica_crashes: Vec<u64>,
+    /// `replica_straggle` window-begin edges (t_ns).
+    replica_straggles: Vec<u64>,
+    /// Heartbeat-miss emission times, for detect/recover pairing.
+    heartbeat_times: Vec<u64>,
+    /// `net_switch` to-remote times — the re-offload moments a
+    /// recovery completes at.
+    reoffload_times: Vec<u64>,
+}
+
+/// Recovery-SLO summary computed from the resilience trace kinds
+/// (`checkpoint`, `degrade_enter`/`degrade_exit`, `replica_crash`,
+/// `replica_straggle`). [`TraceAnalysis::recovery_report`] returns
+/// `None` unless the trace contains at least one of those kinds, so
+/// pre-resilience traces render byte-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Completed checkpoint transfers.
+    pub checkpoints: u64,
+    /// Total snapshot bytes streamed by those checkpoints.
+    pub checkpoint_bytes: u64,
+    /// Times the pipeline dropped to reduced fidelity.
+    pub degrade_entries: u64,
+    /// Total virtual time spent degraded (sum of exit `held_ns`).
+    pub degraded_ns: u64,
+    /// `degraded_ns` over the trace's virtual-time span.
+    pub degraded_fraction: f64,
+    /// Control cycles that missed their deadline while degraded.
+    pub missed_cycles: u64,
+    /// Scripted replica-crash windows observed.
+    pub replica_crash_windows: u64,
+    /// Scripted straggler windows observed.
+    pub replica_straggle_windows: u64,
+    /// Mean replica-crash-begin → first-heartbeat-miss gap; `None`
+    /// when no crash window was followed by a heartbeat miss.
+    pub mean_time_to_detect_ns: Option<u64>,
+    /// Mean heartbeat-miss → next-re-offload gap; `None` when no
+    /// heartbeat miss was followed by a re-offload.
+    pub mean_time_to_recover_ns: Option<u64>,
+    /// Heartbeat misses never followed by a re-offload (the outage
+    /// outlived the trace).
+    pub unrecovered_outages: u64,
 }
 
 impl TraceAnalysis {
@@ -233,6 +282,13 @@ impl TraceAnalysis {
             cloud_batch_joins: 0,
             cloud_marginal_ns: 0,
             cloud_scales: Vec::new(),
+            checkpoints: Vec::new(),
+            degrade_enters: Vec::new(),
+            degrade_exits: Vec::new(),
+            replica_crashes: Vec::new(),
+            replica_straggles: Vec::new(),
+            heartbeat_times: Vec::new(),
+            reoffload_times: Vec::new(),
         };
 
         // ---- single pass: index lineage + spans + anomaly windows.
@@ -459,9 +515,13 @@ impl TraceAnalysis {
                 }
                 TraceEvent::HeartbeatMiss { .. } => {
                     a.heartbeat_misses += 1;
+                    a.heartbeat_times.push(rec.t_ns);
                     for &i in open_faults.values() {
                         a.faults[i].heartbeat_misses += 1;
                     }
+                }
+                TraceEvent::NetSwitch { to_remote: true } => {
+                    a.reoffload_times.push(rec.t_ns);
                 }
                 TraceEvent::MigrationTimeout { .. } => {
                     a.migration_timeouts += 1;
@@ -484,6 +544,24 @@ impl TraceAnalysis {
                 } => {
                     a.cloud_scales
                         .push((rec.t_ns, *from_replicas, *to_replicas, *utilization));
+                }
+                TraceEvent::Checkpoint { bytes, .. } => {
+                    a.checkpoints.push((rec.t_ns, *bytes));
+                }
+                TraceEvent::DegradeEnter { cause, .. } => {
+                    a.degrade_enters.push((rec.t_ns, cause.clone()));
+                }
+                TraceEvent::DegradeExit {
+                    held_ns,
+                    missed_cycles,
+                } => {
+                    a.degrade_exits.push((*held_ns, *missed_cycles));
+                }
+                TraceEvent::ReplicaCrash { .. } => {
+                    a.replica_crashes.push(rec.t_ns);
+                }
+                TraceEvent::ReplicaStraggle { .. } => {
+                    a.replica_straggles.push(rec.t_ns);
                 }
                 _ => {}
             }
@@ -655,6 +733,80 @@ impl TraceAnalysis {
     /// `cloud_scale` replica transitions seen across the fleet.
     pub fn cloud_scale_event_count(&self) -> usize {
         self.cloud_scales.len()
+    }
+
+    /// Per-outage recovery latencies (each heartbeat miss to the next
+    /// `net_switch` back to remote) plus the count of misses never
+    /// followed by a re-offload. Available for any trace with the old
+    /// kinds — unlike [`TraceAnalysis::recovery_report`], which gates
+    /// on the resilience kinds.
+    fn reoffload_latencies(&self) -> (Vec<u64>, u64) {
+        let mut recover = Vec::new();
+        let mut unrecovered = 0u64;
+        for &m in &self.heartbeat_times {
+            match self.reoffload_times.iter().find(|&&r| r >= m) {
+                Some(&r) => recover.push(r - m),
+                None => unrecovered += 1,
+            }
+        }
+        (recover, unrecovered)
+    }
+
+    /// Mean latency from a heartbeat miss to the next successful
+    /// re-offload, or `None` when no miss was ever followed by one.
+    pub fn mean_reoffload_latency_ns(&self) -> Option<u64> {
+        let (recover, _) = self.reoffload_latencies();
+        (!recover.is_empty()).then(|| recover.iter().sum::<u64>() / recover.len() as u64)
+    }
+
+    /// Recovery-SLO summary, or `None` when the trace carries none of
+    /// the resilience kinds (`checkpoint`, `degrade_*`, `replica_*`).
+    ///
+    /// The gate deliberately ignores `heartbeat_miss`/`net_switch` —
+    /// plenty of pre-resilience traces have those, and their reports
+    /// must not change.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        if self.checkpoints.is_empty()
+            && self.degrade_enters.is_empty()
+            && self.degrade_exits.is_empty()
+            && self.replica_crashes.is_empty()
+            && self.replica_straggles.is_empty()
+        {
+            return None;
+        }
+        let degraded_ns: u64 = self.degrade_exits.iter().map(|(h, _)| h).sum();
+        let missed_cycles: u64 = self.degrade_exits.iter().map(|(_, m)| m).sum();
+        let span = self.last_t_ns.saturating_sub(self.first_t_ns);
+        let degraded_fraction = if span == 0 {
+            0.0
+        } else {
+            degraded_ns as f64 / span as f64
+        };
+        // Time-to-detect: each replica-crash window begin to the first
+        // heartbeat miss at or after it (both streams are in emission
+        // order).
+        let mut detect = Vec::new();
+        for &t in &self.replica_crashes {
+            if let Some(&m) = self.heartbeat_times.iter().find(|&&m| m >= t) {
+                detect.push(m - t);
+            }
+        }
+        // Time-to-recover: each heartbeat miss to the next re-offload.
+        let (recover, unrecovered) = self.reoffload_latencies();
+        let mean = |v: &[u64]| (!v.is_empty()).then(|| v.iter().sum::<u64>() / v.len() as u64);
+        Some(RecoveryReport {
+            checkpoints: self.checkpoints.len() as u64,
+            checkpoint_bytes: self.checkpoints.iter().map(|(_, b)| b).sum(),
+            degrade_entries: self.degrade_enters.len() as u64,
+            degraded_ns,
+            degraded_fraction,
+            missed_cycles,
+            replica_crash_windows: self.replica_crashes.len() as u64,
+            replica_straggle_windows: self.replica_straggles.len() as u64,
+            mean_time_to_detect_ns: mean(&detect),
+            mean_time_to_recover_ns: mean(&recover),
+            unrecovered_outages: unrecovered,
+        })
     }
 
     /// Render the full deterministic text report.
@@ -973,6 +1125,71 @@ impl TraceAnalysis {
                 self.anomalies.len(),
                 self.total_rtt_samples
             );
+        }
+
+        // ---- recovery SLOs (only when the resilience kinds are
+        // present, so earlier traces render byte-identically).
+        if let Some(r) = self.recovery_report() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "--- recovery SLOs ---");
+            let _ = writeln!(
+                out,
+                "checkpoints: {} completed ({} snapshot bytes streamed)",
+                r.checkpoints, r.checkpoint_bytes
+            );
+            let _ = writeln!(
+                out,
+                "replica fault windows: {} crash, {} straggle",
+                r.replica_crash_windows, r.replica_straggle_windows
+            );
+            let _ = writeln!(
+                out,
+                "degraded mode: {} entries, {:.3} s held ({:.1}% of trace), {} missed cycles",
+                r.degrade_entries,
+                r.degraded_ns as f64 / 1e9,
+                r.degraded_fraction * 100.0,
+                r.missed_cycles
+            );
+            for (t_ns, cause) in &self.degrade_enters {
+                let _ = writeln!(
+                    out,
+                    "  entered at {:.3} s (cause: {cause})",
+                    *t_ns as f64 / 1e9
+                );
+            }
+            match r.mean_time_to_detect_ns {
+                Some(d) => {
+                    let _ = writeln!(
+                        out,
+                        "time-to-detect: mean {:.3} s (replica crash -> heartbeat miss)",
+                        d as f64 / 1e9
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "time-to-detect: n/a (no heartbeat miss followed a replica crash)"
+                    );
+                }
+            }
+            match r.mean_time_to_recover_ns {
+                Some(d) => {
+                    let _ = writeln!(
+                        out,
+                        "time-to-recover: mean {:.3} s (heartbeat miss -> re-offload), \
+                         {} outage(s) unrecovered at trace end",
+                        d as f64 / 1e9,
+                        r.unrecovered_outages
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "time-to-recover: n/a ({} outage(s) unrecovered at trace end)",
+                        r.unrecovered_outages
+                    );
+                }
+            }
         }
         out
     }
@@ -1389,6 +1606,123 @@ mod tests {
         assert!(report.contains("v2"));
         // No elastic cloud events: the section must not render.
         assert!(!report.contains("elastic cloud"));
+    }
+
+    #[test]
+    fn recovery_report_requires_a_resilience_kind() {
+        // heartbeat_miss + net_switch alone (the pre-resilience chaos
+        // vocabulary) must not trigger the section.
+        let legacy = vec![
+            rec(
+                1_000,
+                0,
+                0,
+                TraceEvent::HeartbeatMiss {
+                    silence_ns: 1_600_000_000,
+                },
+            ),
+            rec(5_000, 1, 0, TraceEvent::NetSwitch { to_remote: true }),
+        ];
+        let a = TraceAnalysis::from_records(&legacy);
+        assert!(a.recovery_report().is_none());
+        assert!(!a.render_report().contains("recovery SLOs"));
+    }
+
+    #[test]
+    fn recovery_report_computes_the_slos() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                0,
+                TraceEvent::Checkpoint {
+                    bytes: 5184,
+                    elapsed_ns: 40_000_000,
+                },
+            ),
+            rec(
+                2_000,
+                1,
+                0,
+                TraceEvent::ReplicaCrash {
+                    replicas: 1,
+                    window: 0,
+                    window_ns: 4_000_000_000,
+                },
+            ),
+            rec(
+                3_000,
+                2,
+                0,
+                TraceEvent::HeartbeatMiss {
+                    silence_ns: 1_600_000_000,
+                },
+            ),
+            rec(
+                4_000,
+                3,
+                0,
+                TraceEvent::DegradeEnter {
+                    cause: "blackout".into(),
+                    slam_particles: 4,
+                    dwa_samples: 100,
+                },
+            ),
+            rec(
+                9_000,
+                4,
+                0,
+                TraceEvent::DegradeExit {
+                    held_ns: 5_000_000_000,
+                    missed_cycles: 0,
+                },
+            ),
+            rec(10_000, 5, 0, TraceEvent::NetSwitch { to_remote: true }),
+            rec(
+                12_000,
+                6,
+                0,
+                TraceEvent::ReplicaStraggle {
+                    factor: 2.5,
+                    window: 1,
+                    window_ns: 2_000_000_000,
+                },
+            ),
+            rec(
+                13_000,
+                7,
+                0,
+                TraceEvent::HeartbeatMiss {
+                    silence_ns: 1_600_000_000,
+                },
+            ),
+        ];
+        let a = TraceAnalysis::from_records(&records);
+        let r = a.recovery_report().expect("resilience kinds present");
+        assert_eq!((r.checkpoints, r.checkpoint_bytes), (1, 5184));
+        assert_eq!(r.degrade_entries, 1);
+        assert_eq!(r.degraded_ns, 5_000_000_000);
+        assert_eq!(r.missed_cycles, 0);
+        assert_eq!(r.replica_crash_windows, 1);
+        assert_eq!(r.replica_straggle_windows, 1);
+        // Crash at 2 s, first miss at 3 s: 1 s to detect.
+        assert_eq!(r.mean_time_to_detect_ns, Some(1_000_000_000));
+        // Miss at 3 s recovers at the 10 s re-offload (7 s); the 13 s
+        // miss never recovers.
+        assert_eq!(r.mean_time_to_recover_ns, Some(7_000_000_000));
+        assert_eq!(r.unrecovered_outages, 1);
+        // Degraded fraction over the 13 s trace span.
+        assert!((r.degraded_fraction - 5.0 / 13.0).abs() < 1e-9);
+        let report = a.render_report();
+        assert!(report.contains("--- recovery SLOs ---"), "{report}");
+        assert!(
+            report.contains("checkpoints: 1 completed (5184"),
+            "{report}"
+        );
+        assert!(report.contains("1 crash, 1 straggle"), "{report}");
+        assert!(report.contains("time-to-detect: mean 1.000 s"), "{report}");
+        assert!(report.contains("time-to-recover: mean 7.000 s"), "{report}");
+        assert!(report.contains("1 outage(s) unrecovered"), "{report}");
     }
 
     #[test]

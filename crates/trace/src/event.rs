@@ -355,6 +355,53 @@ pub enum TraceEvent {
         /// Window index the new pool size takes effect in.
         window: u64,
     },
+    /// A checkpoint transfer of offloaded node state completed: crash
+    /// recovery can now resume from this snapshot instead of a cold
+    /// rebuild.
+    Checkpoint {
+        /// Snapshot size shipped over the migration TCP path.
+        bytes: u64,
+        /// Transfer duration.
+        elapsed_ns: u64,
+    },
+    /// Sustained stress (blackout or exhausted re-offload backoff)
+    /// dropped the local pipeline to reduced fidelity so the control
+    /// deadline keeps being met on vehicle silicon.
+    DegradeEnter {
+        /// What tripped the trigger (`blackout` / `backoff`).
+        cause: String,
+        /// SLAM particle count in force while degraded.
+        slam_particles: u64,
+        /// DWA trajectory-sample budget in force while degraded.
+        dwa_samples: u64,
+    },
+    /// Sustained health restored full pipeline fidelity.
+    DegradeExit {
+        /// How long the degraded mode was held.
+        held_ns: u64,
+        /// Control cycles that missed their deadline while degraded.
+        missed_cycles: u64,
+    },
+    /// A scripted cloud-replica crash window opened: the affected
+    /// replicas stop serving (capacity shrinks) but keep billing.
+    ReplicaCrash {
+        /// Replicas taken down by this window.
+        replicas: u64,
+        /// Index of the window in the cloud fault schedule.
+        window: u64,
+        /// Scripted length of the window.
+        window_ns: u64,
+    },
+    /// A scripted straggler window opened: admissions land on a slow
+    /// replica and their queueing + execution stretch by `factor`.
+    ReplicaStraggle {
+        /// Service-time multiplier while the window is open (> 1).
+        factor: f64,
+        /// Index of the window in the cloud fault schedule.
+        window: u64,
+        /// Scripted length of the window.
+        window_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -387,6 +434,11 @@ impl TraceEvent {
             TraceEvent::ReoffloadBackoff { .. } => "reoffload_backoff",
             TraceEvent::CloudBatch { .. } => "cloud_batch",
             TraceEvent::CloudScale { .. } => "cloud_scale",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::DegradeEnter { .. } => "degrade_enter",
+            TraceEvent::DegradeExit { .. } => "degrade_exit",
+            TraceEvent::ReplicaCrash { .. } => "replica_crash",
+            TraceEvent::ReplicaStraggle { .. } => "replica_straggle",
         }
     }
 
@@ -410,12 +462,17 @@ impl TraceEvent {
             | TraceEvent::MigrationStart { .. }
             | TraceEvent::MigrationCommit { .. }
             | TraceEvent::MigrationAbort
-            | TraceEvent::MigrationTimeout { .. } => EventCategory::Migration,
-            TraceEvent::HeartbeatMiss { .. } | TraceEvent::ReoffloadBackoff { .. } => {
-                EventCategory::Control
-            }
+            | TraceEvent::MigrationTimeout { .. }
+            | TraceEvent::Checkpoint { .. } => EventCategory::Migration,
+            TraceEvent::HeartbeatMiss { .. }
+            | TraceEvent::ReoffloadBackoff { .. }
+            | TraceEvent::DegradeEnter { .. }
+            | TraceEvent::DegradeExit { .. } => EventCategory::Control,
             TraceEvent::FaultBegin { .. } | TraceEvent::FaultEnd { .. } => EventCategory::Fault,
-            TraceEvent::CloudBatch { .. } | TraceEvent::CloudScale { .. } => EventCategory::Cloud,
+            TraceEvent::CloudBatch { .. }
+            | TraceEvent::CloudScale { .. }
+            | TraceEvent::ReplicaCrash { .. }
+            | TraceEvent::ReplicaStraggle { .. } => EventCategory::Cloud,
         }
     }
 
@@ -603,6 +660,44 @@ impl TraceEvent {
                 field_f64(out, "utilization", *utilization);
                 field_u64(out, "window", *window);
             }
+            TraceEvent::Checkpoint { bytes, elapsed_ns } => {
+                field_u64(out, "bytes", *bytes);
+                field_u64(out, "elapsed_ns", *elapsed_ns);
+            }
+            TraceEvent::DegradeEnter {
+                cause,
+                slam_particles,
+                dwa_samples,
+            } => {
+                field_str(out, "cause", cause);
+                field_u64(out, "slam_particles", *slam_particles);
+                field_u64(out, "dwa_samples", *dwa_samples);
+            }
+            TraceEvent::DegradeExit {
+                held_ns,
+                missed_cycles,
+            } => {
+                field_u64(out, "held_ns", *held_ns);
+                field_u64(out, "missed_cycles", *missed_cycles);
+            }
+            TraceEvent::ReplicaCrash {
+                replicas,
+                window,
+                window_ns,
+            } => {
+                field_u64(out, "replicas", *replicas);
+                field_u64(out, "window", *window);
+                field_u64(out, "window_ns", *window_ns);
+            }
+            TraceEvent::ReplicaStraggle {
+                factor,
+                window,
+                window_ns,
+            } => {
+                field_f64(out, "factor", *factor);
+                field_u64(out, "window", *window);
+                field_u64(out, "window_ns", *window_ns);
+            }
         }
     }
 }
@@ -781,6 +876,29 @@ mod tests {
                 to_replicas: 2,
                 utilization: 0.9,
                 window: 13,
+            },
+            TraceEvent::Checkpoint {
+                bytes: 5184,
+                elapsed_ns: 40_000_000,
+            },
+            TraceEvent::DegradeEnter {
+                cause: "blackout".into(),
+                slam_particles: 4,
+                dwa_samples: 100,
+            },
+            TraceEvent::DegradeExit {
+                held_ns: 6_000_000_000,
+                missed_cycles: 0,
+            },
+            TraceEvent::ReplicaCrash {
+                replicas: 1,
+                window: 0,
+                window_ns: 4_000_000_000,
+            },
+            TraceEvent::ReplicaStraggle {
+                factor: 2.5,
+                window: 1,
+                window_ns: 3_000_000_000,
             },
         ];
         for e in &events {

@@ -55,7 +55,7 @@ mod reader;
 mod sink;
 mod span;
 
-pub use analyze::TraceAnalysis;
+pub use analyze::{RecoveryReport, TraceAnalysis};
 pub use event::{EventCategory, SendKind, TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricsRegistry, StreamingHistogram};
 pub use reader::{ParseError, TraceReader};

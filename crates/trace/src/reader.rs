@@ -444,6 +444,29 @@ fn event_from(kind: &str, obj: &Obj) -> Result<TraceEvent, String> {
             utilization: obj.f64("utilization")?,
             window: obj.u64("window")?,
         },
+        "checkpoint" => TraceEvent::Checkpoint {
+            bytes: obj.u64("bytes")?,
+            elapsed_ns: obj.u64("elapsed_ns")?,
+        },
+        "degrade_enter" => TraceEvent::DegradeEnter {
+            cause: obj.str("cause")?,
+            slam_particles: obj.u64("slam_particles")?,
+            dwa_samples: obj.u64("dwa_samples")?,
+        },
+        "degrade_exit" => TraceEvent::DegradeExit {
+            held_ns: obj.u64("held_ns")?,
+            missed_cycles: obj.u64("missed_cycles")?,
+        },
+        "replica_crash" => TraceEvent::ReplicaCrash {
+            replicas: obj.u64("replicas")?,
+            window: obj.u64("window")?,
+            window_ns: obj.u64("window_ns")?,
+        },
+        "replica_straggle" => TraceEvent::ReplicaStraggle {
+            factor: obj.f64("factor")?,
+            window: obj.u64("window")?,
+            window_ns: obj.u64("window_ns")?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     })
 }
@@ -643,6 +666,29 @@ mod tests {
                 to_replicas: 2,
                 utilization: 1.25,
                 window: 42,
+            },
+            TraceEvent::Checkpoint {
+                bytes: 5184,
+                elapsed_ns: 37_000_000,
+            },
+            TraceEvent::DegradeEnter {
+                cause: "backoff".into(),
+                slam_particles: 4,
+                dwa_samples: 100,
+            },
+            TraceEvent::DegradeExit {
+                held_ns: 6_200_000_000,
+                missed_cycles: 1,
+            },
+            TraceEvent::ReplicaCrash {
+                replicas: 2,
+                window: 0,
+                window_ns: 4_000_000_000,
+            },
+            TraceEvent::ReplicaStraggle {
+                factor: 3.25,
+                window: 1,
+                window_ns: 2_500_000_000,
             },
         ];
         for (i, event) in events.into_iter().enumerate() {

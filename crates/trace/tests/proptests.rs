@@ -129,6 +129,29 @@ fn all_kinds(s: &str, a: u64, b: u32, f: f64, flag: bool) -> Vec<TraceEvent> {
             utilization: f,
             window: a,
         },
+        TraceEvent::Checkpoint {
+            bytes: a,
+            elapsed_ns: b as u64,
+        },
+        TraceEvent::DegradeEnter {
+            cause: s.to_string(),
+            slam_particles: b as u64,
+            dwa_samples: a % 512,
+        },
+        TraceEvent::DegradeExit {
+            held_ns: a,
+            missed_cycles: b as u64,
+        },
+        TraceEvent::ReplicaCrash {
+            replicas: b as u64,
+            window: a,
+            window_ns: a,
+        },
+        TraceEvent::ReplicaStraggle {
+            factor: f,
+            window: a,
+            window_ns: a,
+        },
     ]
 }
 

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Recovery-SLO gate: diff the SLO lines of a quick-mode chaos-fleet
+# run against the committed baseline (BENCH_recovery_baseline.txt) and
+# fail when any arm's recovery SLO regressed. Invoked by
+# scripts/ci.sh stage 6 after the quick chaos-fleet run has written
+# target/BENCH_recovery.txt, and runnable on its own.
+#
+# The chaos-fleet scenario prints one machine-greppable line per arm:
+#
+#   SLO arm=<name> ttr_s=<secs|n/a> degraded_frac=<frac> missed=<n>
+#
+# All three values are measured on the virtual clock, so they are
+# machine-independent and exactly reproducible; the tolerance exists
+# to absorb deliberate small tuning changes, not hardware noise.
+#
+# What it checks, per arm present in BOTH files:
+#   - ttr_s (mean heartbeat-miss -> re-offload latency): regressing
+#     beyond the tolerance fails; so does an arm losing its measurement
+#     (numeric in the baseline, n/a now) or gaining one unexpectedly.
+#   - degraded_frac (fraction of the trace spent at reduced fidelity):
+#     regressing beyond the tolerance fails.
+#   - missed (control cycles dropped while degraded): any increase
+#     fails — degraded mode exists precisely to keep this at zero.
+# Arms only in one file are reported (registry drift) but do not fail
+# the gate; the suite's own artifact-freshness test owns that.
+#
+# Tunables (environment):
+#   LGV_RECOVERY_TOLERANCE  fractional regression allowed (default 0.10)
+#   LGV_RECOVERY_SKIP=1     skip the gate entirely
+#
+# Regenerate the baseline (and commit) after deliberate changes with:
+#   LGV_BENCH_QUICK=1 ./target/release/chaos_fleet \
+#       | grep '^SLO ' > BENCH_recovery_baseline.txt
+#
+# Usage: ./scripts/check_recovery.sh [current.txt] [baseline.txt]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+current="${1:-target/BENCH_recovery.txt}"
+baseline="${2:-BENCH_recovery_baseline.txt}"
+tolerance="${LGV_RECOVERY_TOLERANCE:-0.10}"
+
+if [ "${LGV_RECOVERY_SKIP:-0}" = "1" ]; then
+    echo "recovery gate skipped (LGV_RECOVERY_SKIP=1)"
+    exit 0
+fi
+[ -f "$current" ] || { echo "missing current output $current (run the quick chaos-fleet first)"; exit 1; }
+[ -f "$baseline" ] || { echo "missing committed baseline $baseline"; exit 1; }
+
+extract() {
+    grep -E '^SLO arm=' "$1" \
+        | sed -E 's/^SLO arm=([^ ]+) ttr_s=([^ ]+) degraded_frac=([^ ]+) missed=([0-9]+)$/\1 \2 \3 \4/'
+}
+
+mkdir -p target
+extract "$current"  > target/recovery_current.tsv
+extract "$baseline" > target/recovery_baseline.tsv
+[ -s target/recovery_current.tsv ] || { echo "$current: no SLO lines parsed"; exit 1; }
+[ -s target/recovery_baseline.tsv ] || { echo "$baseline: no SLO lines parsed"; exit 1; }
+
+awk -v tol="$tolerance" '
+    NR == FNR { base_ttr[$1] = $2; base_frac[$1] = $3; base_miss[$1] = $4; next }
+    {
+        name = $1; ttr = $2; frac = $3; miss = $4; seen[name] = 1
+        if (!(name in base_ttr)) {
+            printf "  new arm (not in baseline):  %s\n", name
+            next
+        }
+        if (ttr == "n/a" && base_ttr[name] != "n/a") {
+            printf "  SLO REGRESSION:  %-20s lost its ttr measurement (was %s s)\n", name, base_ttr[name]
+            bad = 1; bad_for_name[name] = 1
+        } else if (ttr != "n/a" && base_ttr[name] == "n/a") {
+            printf "  SLO DRIFT:       %-20s gained a ttr measurement (%s s); regenerate the baseline\n", name, ttr
+            bad = 1; bad_for_name[name] = 1
+        } else if (ttr != "n/a" && ttr + 0 > (base_ttr[name] + 0) * (1 + tol)) {
+            printf "  SLO REGRESSION:  %-20s ttr %s s -> %s s (tol %.0f%%)\n", name, base_ttr[name], ttr, tol * 100
+            bad = 1; bad_for_name[name] = 1
+        }
+        if (frac + 0 > (base_frac[name] + 0) * (1 + tol) + 0.01) {
+            printf "  SLO REGRESSION:  %-20s degraded_frac %s -> %s (tol %.0f%%)\n", name, base_frac[name], frac, tol * 100
+            bad = 1; bad_for_name[name] = 1
+        }
+        if (miss + 0 > base_miss[name] + 0) {
+            printf "  SLO REGRESSION:  %-20s missed cycles %s -> %s (zero tolerance)\n", name, base_miss[name], miss
+            bad = 1; bad_for_name[name] = 1
+        }
+        if (!bad_for_name[name]) printf "  ok: %-20s ttr %s s, degraded %s, missed %s\n", name, ttr, frac, miss
+    }
+    END {
+        for (name in base_ttr) if (!(name in seen))
+            printf "  arm dropped from current run: %s\n", name
+        exit bad ? 1 : 0
+    }
+' target/recovery_baseline.tsv target/recovery_current.tsv \
+    || { echo "recovery gate FAILED (baseline $baseline, tolerance ${tolerance})"; exit 1; }
+
+echo "recovery gate OK (tolerance ${tolerance})"

@@ -13,7 +13,9 @@
 #   6. suite gate   — release-mode quick run of the full evaluation
 #                     suite: every scenario must succeed, and the
 #                     parallel fan-out must be byte-identical to serial
-#                     (the #[ignore]d all-scenario determinism test)
+#                     (the #[ignore]d all-scenario determinism test);
+#                     plus the recovery-SLO gate: a quick chaos-fleet
+#                     run vs the committed BENCH_recovery_baseline.txt
 #   7. perf gate    — scripts/check_perf.sh: the stage-6 artifact vs
 #                     the committed BENCH_baseline_quick.json — fails
 #                     on >15% per-scenario wall-time regressions and
@@ -65,12 +67,20 @@ cargo test --release -q -p lgv-offload --test fleet -- --include-ignored
 # regression in the elastic scheduler fails fast with readable output.
 LGV_BENCH_QUICK=1 ./target/release/suite --threads 2 --only elastic-fleet \
     --out target/BENCH_elastic.json
+# Chaos-fleet quick job + recovery-SLO gate: the SLO lines from a
+# quick chaos-fleet run (time-to-recover, degraded fraction, missed
+# cycles — all virtual-clock, machine-independent) are diffed against
+# the committed baseline. Set LGV_RECOVERY_SKIP=1 to bypass.
+LGV_BENCH_QUICK=1 ./target/release/chaos_fleet > target/BENCH_recovery.txt
+./scripts/check_recovery.sh target/BENCH_recovery.txt BENCH_recovery_baseline.txt
 # Artifact freshness: the committed BENCH_suite.json must already list
-# the elastic-fleet scenario (regenerate it after registry changes —
-# the suite test `committed_bench_artifact_matches_registry` checks
-# every scenario; this is the fast, explicit guard for the newest one).
+# the newest scenarios (regenerate it after registry changes — the
+# suite test `committed_bench_artifact_matches_registry` checks every
+# scenario; this is the fast, explicit guard for the newest ones).
 grep -q '"name": "elastic-fleet"' BENCH_suite.json \
     || { echo "BENCH_suite.json is stale: missing elastic-fleet"; exit 1; }
+grep -q '"name": "chaos-fleet"' BENCH_suite.json \
+    || { echo "BENCH_suite.json is stale: missing chaos-fleet"; exit 1; }
 
 echo
 echo "== 7/7 perf-regression gate (vs committed quick baseline) =="

@@ -53,6 +53,7 @@ fn chaos_config(seed: u64) -> MissionConfig {
         exploration_speed_cap: 0.3,
         record_traces: false,
         faults: FaultSchedule::randomized(seed, CHAOS_HORIZON),
+        recovery: cloud_lgv::offload::recovery::RecoveryConfig::default(),
     }
 }
 

@@ -40,6 +40,7 @@ fn mini(deployment: Deployment, workload: Workload) -> MissionConfig {
         exploration_speed_cap: 0.3,
         record_traces: true,
         faults: lgv_net::FaultSchedule::none(),
+        recovery: cloud_lgv::offload::recovery::RecoveryConfig::default(),
     }
 }
 

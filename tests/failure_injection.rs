@@ -41,6 +41,7 @@ fn base(deployment: Deployment) -> MissionConfig {
         exploration_speed_cap: 0.3,
         record_traces: false,
         faults: cloud_lgv::net::FaultSchedule::none(),
+        recovery: cloud_lgv::offload::recovery::RecoveryConfig::default(),
     }
 }
 

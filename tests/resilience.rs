@@ -51,6 +51,7 @@ fn crash_config() -> MissionConfig {
         exploration_speed_cap: 0.3,
         record_traces: false,
         faults: FaultSchedule::none().with(CRASH_FROM_S, CRASH_DUR_S, FaultKind::RemoteCrash),
+        recovery: cloud_lgv::offload::recovery::RecoveryConfig::default(),
     }
 }
 

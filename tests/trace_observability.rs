@@ -56,6 +56,7 @@ fn traced_config() -> MissionConfig {
                 extra: Duration::from_millis(40),
             },
         ),
+        recovery: cloud_lgv::offload::recovery::RecoveryConfig::default(),
     }
 }
 

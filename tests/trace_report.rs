@@ -47,6 +47,7 @@ fn weak_signal_config() -> MissionConfig {
         exploration_speed_cap: 0.3,
         record_traces: false,
         faults: cloud_lgv::net::FaultSchedule::none(),
+        recovery: cloud_lgv::offload::recovery::RecoveryConfig::default(),
     }
 }
 
