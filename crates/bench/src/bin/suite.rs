@@ -25,6 +25,9 @@
 //! - `--history-out PATH` — where the history log lives (default
 //!   `BENCH_history.jsonl`).
 //! - `--list` — print the registry and exit.
+//! - `--list-names` — print the registered scenario names, one per
+//!   line, and exit (machine-readable; CI diffs this against the
+//!   committed artifact's scenario set).
 //! - `--print-output` — dump each scenario's captured text output
 //!   after the summary table.
 
@@ -43,6 +46,7 @@ struct Args {
     history: bool,
     history_out: String,
     list: bool,
+    list_names: bool,
     print_output: bool,
 }
 
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         history: true,
         history_out: "BENCH_history.jsonl".to_string(),
         list: false,
+        list_names: false,
         print_output: false,
     };
     let mut it = std::env::args().skip(1);
@@ -87,11 +92,13 @@ fn parse_args() -> Result<Args, String> {
             "--no-history" => args.history = false,
             "--history-out" => args.history_out = it.next().ok_or("--history-out needs a value")?,
             "--list" => args.list = true,
+            "--list-names" => args.list_names = true,
             "--print-output" => args.print_output = true,
             "--help" | "-h" => {
                 return Err("usage: suite [--threads N] [--quick] [--only NAME,...] \
                             [--out PATH] [--profile] [--profile-out PATH] \
-                            [--no-history] [--history-out PATH] [--list] [--print-output]"
+                            [--no-history] [--history-out PATH] [--list] \
+                            [--list-names] [--print-output]"
                     .into())
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
@@ -115,6 +122,12 @@ fn main() -> ExitCode {
     }
 
     let all = registry();
+    if args.list_names {
+        for s in &all {
+            println!("{}", s.name);
+        }
+        return ExitCode::SUCCESS;
+    }
     if args.list {
         let mut t = TablePrinter::new(vec!["name", "seed", "cost hint", "title"]);
         for s in &all {

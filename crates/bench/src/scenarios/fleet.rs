@@ -1,6 +1,7 @@
 //! Fleet sweep — per-vehicle mission time, energy, and shared-resource
-//! contention as the fleet grows from 1 to 32 vehicles, under both a
-//! fixed and an elastically provisioned cloud.
+//! contention as the fleet grows from 1 to 32 vehicles unsharded, then
+//! from 1 to 1024 vehicles under regional sharding, under both a fixed
+//! and an elastically provisioned cloud.
 //!
 //! This is the repo's extension study beyond the paper's single-robot
 //! evaluation: every vehicle's offloaded pipeline shares one cloud box
@@ -17,11 +18,21 @@
 //! (single-replica-capped) elastic fleet-of-one must be byte-identical
 //! (same FNV-1a fingerprint) to the single-vehicle `mission::run` on
 //! the same configuration.
+//!
+//! The second half sweeps a *regionally sharded* fleet to 1024
+//! vehicles: the floorplan is striped into regions (one WAP each),
+//! served by half as many cloud scheduler pools, so half the regions
+//! pay a deterministic WAN hop per admission. Regions fan out across
+//! two worker threads — the report is byte-identical at any thread
+//! count, which the 1-region gate row cross-checks against the
+//! unsharded driver.
 
 use crate::suite::ScenarioCtx;
 use crate::{write_banner, TablePrinter};
 use lgv_offload::deploy::Deployment;
-use lgv_offload::fleet::{run_fleet_traced, CloudPolicy, ElasticConfig, FleetConfig};
+use lgv_offload::fleet::{
+    run_fleet_traced, CloudPolicy, ElasticConfig, FleetConfig, RegionTopology,
+};
 use lgv_offload::mission::{self, MissionConfig, Workload};
 use std::io;
 
@@ -29,10 +40,11 @@ use std::io;
 pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
     write_banner(
         ctx.out,
-        "Fleet sweep: shared cloud + shared spectrum, 1..32 vehicles",
+        "Fleet sweep: shared cloud + shared spectrum, 1..1024 vehicles",
         "per-vehicle mission time and energy degrade gracefully as tenants \
          multiply; an elastic cloud (batching + autoscaling) holds queueing \
-         delay down at a replica-seconds cost",
+         delay down at a replica-seconds cost; regional sharding carries the \
+         sweep to 1024 vehicles",
     )?;
 
     let sizes: &[usize] = if ctx.quick {
@@ -41,9 +53,10 @@ pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
         &[1, 2, 4, 8, 16, 32]
     };
 
-    let base_cfg = || {
+    let seed = ctx.seed;
+    let base_cfg = move || {
         let mut cfg = MissionConfig::compact_lab(Deployment::cloud_12t(), Workload::Navigation);
-        cfg.seed = ctx.seed;
+        cfg.seed = seed;
         cfg
     };
 
@@ -130,6 +143,144 @@ pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
         mean_q[last][0] * 1e3,
         mean_q[last][1] * 1e3,
         mean_q[last][1] <= mean_q[last][0]
+    )?;
+    writeln!(ctx.out)?;
+
+    regional_sweep(ctx, base_cfg)
+}
+
+/// Vehicles per region stripe in the sharded sweep (a region's WAP
+/// and its share of a pool stay sane up to this density).
+const REGION_STRIDE: usize = 32;
+const REGION_STRIDE_QUICK: usize = 8;
+
+/// Part two: regional sharding to 1024 vehicles. Each size runs the
+/// elastic cloud policy over a topology of `size / stride` regions
+/// served by half as many pools, stepped by two worker threads.
+fn regional_sweep(ctx: &mut ScenarioCtx, base_cfg: impl Fn() -> MissionConfig) -> io::Result<()> {
+    writeln!(ctx.out, "== regional sharding: 1..1024 vehicles ==")?;
+    let (sizes, stride): (&[usize], usize) = if ctx.quick {
+        (&[1, 8, 32], REGION_STRIDE_QUICK)
+    } else {
+        (&[1, 4, 16, 64, 256, 1024], REGION_STRIDE)
+    };
+
+    let topo_for = |size: usize| {
+        let regions = (size / stride).max(1) as u32;
+        RegionTopology::sharded(regions).with_cloud_pools((regions / 2).max(1))
+    };
+    let policy = CloudPolicy::Elastic(ElasticConfig::balanced());
+
+    let mut t = TablePrinter::new(vec![
+        "fleet",
+        "regions",
+        "pools",
+        "done",
+        "mean t s",
+        "mean J",
+        "mean q ms",
+        "wan x",
+        "wan s",
+        "stretch ms",
+        "replica-s",
+    ]);
+    let mut largest = None;
+    for &size in sizes {
+        let topo = topo_for(size);
+        let report = run_fleet_traced(
+            FleetConfig::new(base_cfg(), size)
+                .with_cloud(policy)
+                .with_topology(topo)
+                .with_threads(2),
+            ctx.tracer.clone(),
+        );
+        let cloud = report.cloud.expect("offloaded fleet tracks the cloud");
+        let uplink = report.uplink.expect("offloaded fleet tracks the WAP");
+        let wan_extra: f64 = report
+            .regions
+            .iter()
+            .map(|r| r.wan_extra.as_secs_f64())
+            .sum();
+        t.row(vec![
+            format!("{size}"),
+            format!("{}", report.regions.len()),
+            format!("{}", topo.cloud_pools.min(report.regions.len() as u32)),
+            format!("{}/{}", report.completed(), report.vehicles.len()),
+            format!("{:.1}", report.mean_mission_secs()),
+            format!("{:.0}", report.mean_energy_j()),
+            format!("{:.3}", cloud.mean_queue_delay_secs() * 1e3),
+            format!("{}", report.wan_crossings()),
+            format!("{:.3}", wan_extra),
+            format!("{:.3}", uplink.mean_extra_secs() * 1e3),
+            format!("{:.1}", cloud.replica_seconds),
+        ]);
+        largest = Some(report);
+    }
+    t.write_to(ctx.out)?;
+    t.save_csv_to(ctx.out, "fleet_regional")?;
+
+    // Per-region breakdown at the largest size: airtime stretch and
+    // WAN charging are per-stripe phenomena the aggregates hide.
+    if let Some(report) = &largest {
+        let mut rt = TablePrinter::new(vec![
+            "region",
+            "vehicles",
+            "pool",
+            "home",
+            "wan x",
+            "wan s",
+            "stretch ms",
+            "pool delayed",
+            "pool replica-s",
+        ]);
+        for r in &report.regions {
+            rt.row(vec![
+                format!("r{}", r.region),
+                format!("{}", r.vehicles),
+                format!("p{}", r.cloud_pool),
+                format!("{}", !r.remote_pool),
+                format!("{}", r.wan_crossings),
+                format!("{:.3}", r.wan_extra.as_secs_f64()),
+                format!("{:.3}", r.uplink.map_or(0.0, |u| u.mean_extra_secs()) * 1e3),
+                r.cloud.map_or("-".into(), |c| format!("{}", c.delayed)),
+                r.cloud
+                    .map_or("-".into(), |c| format!("{:.1}", c.replica_seconds)),
+            ]);
+        }
+        writeln!(
+            ctx.out,
+            "per-region stats at size {}:",
+            report.vehicles.len()
+        )?;
+        rt.write_to(ctx.out)?;
+        rt.save_csv_to(ctx.out, "fleet_regions")?;
+    }
+
+    // Identity gate: a 1-region sharded fleet (parallel driver) must
+    // be byte-identical, vehicle by vehicle, to the unsharded driver.
+    let gate_size = if ctx.quick { 4 } else { 8 };
+    let unsharded = run_fleet_traced(
+        FleetConfig::new(base_cfg(), gate_size).with_cloud(policy),
+        ctx.tracer.clone(),
+    );
+    let sharded = run_fleet_traced(
+        FleetConfig::new(base_cfg(), gate_size)
+            .with_cloud(policy)
+            .with_topology(RegionTopology::sharded(1))
+            .with_threads(2),
+        ctx.tracer.clone(),
+    );
+    let identical = unsharded
+        .vehicles
+        .iter()
+        .zip(&sharded.vehicles)
+        .all(|(u, s)| u.fingerprint() == s.fingerprint())
+        && unsharded.cloud == sharded.cloud
+        && unsharded.uplink == sharded.uplink;
+    writeln!(
+        ctx.out,
+        "1-region sharded fleet (threads=2) byte-identical to unsharded \
+         driver at size {gate_size}: {identical}"
     )?;
     writeln!(ctx.out)
 }

@@ -182,9 +182,9 @@ pub fn registry() -> Vec<Scenario> {
         },
         Scenario {
             name: "fleet",
-            title: "Fleet sweep: shared cloud + shared spectrum, 1..32 vehicles",
+            title: "Fleet sweep: shared cloud + shared spectrum, 1..1024 vehicles",
             seed: 7,
-            cost_hint: 200,
+            cost_hint: 500,
             run: fleet::run,
         },
         Scenario {

@@ -122,6 +122,14 @@ pub struct VehicleSession {
     // Fleet membership (absent for a standalone single-vehicle run).
     vehicle_id: VehicleId,
     cloud: Option<CloudScheduler>,
+    /// Deterministic per-admission WAN surcharge when this vehicle's
+    /// serving cloud pool is homed in another region: `(from_region,
+    /// to_region, hop)`. `None` for unsharded and pool-home vehicles,
+    /// so the pre-regional path charges exactly nothing.
+    wan_hop: Option<(u32, u32, Duration)>,
+    /// Cross-region admissions charged and their summed surcharge.
+    wan_crossings: u64,
+    wan_extra: Duration,
     // Middleware (present when the deployment offloads).
     switcher: Option<Switcher>,
     robot_bus: Bus,
@@ -365,6 +373,9 @@ impl VehicleSession {
             class,
             vehicle_id: VehicleId::NONE,
             cloud: None,
+            wan_hop: None,
+            wan_crossings: 0,
+            wan_extra: Duration::ZERO,
             switcher,
             robot_bus,
             remote_bus,
@@ -436,6 +447,24 @@ impl VehicleSession {
     /// The fleet id of this session (`VehicleId::NONE` standalone).
     pub fn vehicle(&self) -> VehicleId {
         self.vehicle_id
+    }
+
+    /// Charge every remote admission a deterministic WAN hop because
+    /// this vehicle's serving cloud pool (homed in `to_region`) is not
+    /// colocated with its radio region (`from_region`). Draws no
+    /// randomness; a zero `hop` is ignored so the pre-regional path
+    /// stays byte-identical.
+    pub fn set_wan_hop(&mut self, from_region: u32, to_region: u32, hop: Duration) {
+        if hop > Duration::ZERO {
+            self.wan_hop = Some((from_region, to_region, hop));
+        }
+    }
+
+    /// Cross-region admissions charged so far and their total WAN
+    /// surcharge (both zero unless [`VehicleSession::set_wan_hop`] was
+    /// armed). Read by the fleet driver for per-region stats.
+    pub fn wan_stats(&self) -> (u64, Duration) {
+        (self.wan_crossings, self.wan_extra)
     }
 
     /// Current virtual time of this session's clock.
@@ -520,6 +549,25 @@ impl VehicleSession {
                     self.tracer.emit_at(self.now.as_nanos(), event);
                 }
                 t += adm.delay;
+                // Regional sharding: a vehicle whose serving pool is
+                // homed in another region pays the deterministic WAN
+                // hop on every admission. Like the queueing delay, the
+                // surcharge lands in the remote processing time the
+                // profiler sees, so Algorithm 1 genuinely prices the
+                // cross-region route.
+                if let Some((from, to, hop)) = self.wan_hop {
+                    t += hop;
+                    self.wan_crossings += 1;
+                    self.wan_extra += hop;
+                    self.tracer.emit_at(
+                        self.now.as_nanos(),
+                        TraceEvent::WanHop {
+                            from_region: from,
+                            to_region: to,
+                            delay_ns: hop.as_nanos(),
+                        },
+                    );
+                }
             }
             self.profiler.record_remote_msg(kind, t, self.trace_msg);
             if let Some(sw) = self.switcher.as_mut() {

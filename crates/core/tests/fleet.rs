@@ -3,8 +3,23 @@
 //! runner, and fleet runs are exactly reproducible from their seed.
 
 use lgv_offload::deploy::Deployment;
-use lgv_offload::fleet::{run_fleet, CloudPolicy, ElasticConfig, FleetConfig};
+use lgv_offload::fleet::{run_fleet, CloudPolicy, ElasticConfig, FleetConfig, RegionTopology};
 use lgv_offload::mission::{self, MissionConfig, Workload};
+
+/// Every byte the fleet driver controls, flattened for equality
+/// checks: per-vehicle fingerprints plus the Debug rendering of the
+/// aggregate and per-region stats.
+fn fleet_digest(report: &lgv_offload::fleet::FleetReport) -> String {
+    let mut s = String::new();
+    for v in &report.vehicles {
+        s.push_str(&format!("{:016x}\n", v.fingerprint()));
+    }
+    s.push_str(&format!(
+        "cloud={:?}\nuplink={:?}\nregions={:?}\nrounds={}\n",
+        report.cloud, report.uplink, report.regions, report.rounds
+    ));
+    s
+}
 
 fn base() -> MissionConfig {
     MissionConfig::compact_lab(Deployment::edge_8t(), Workload::Navigation)
@@ -94,6 +109,126 @@ fn elastic_fleet_of_one_is_byte_identical_to_fixed() {
     assert_eq!(cloud.batches, 0, "a lone tenant has no one to batch with");
     assert_eq!(cloud.scale_ups + cloud.scale_downs, 0, "one-replica cap");
     assert!(cloud.replica_seconds > 0.0, "the ledger still accrues cost");
+}
+
+/// The sharded-determinism gate: a regionally sharded fleet must
+/// produce byte-identical reports at any thread count — the pool
+/// groups share no mutable state and the round barrier makes
+/// intra-round order immaterial.
+#[test]
+fn sharded_fleet_is_byte_identical_across_thread_counts() {
+    let topo = RegionTopology::sharded(3).with_cloud_pools(2);
+    let run = |threads: usize| {
+        run_fleet(
+            FleetConfig::new(base(), 6)
+                .with_topology(topo)
+                .with_threads(threads),
+        )
+    };
+    let serial = run(1);
+    assert_eq!(serial.regions.len(), 3);
+    assert!(
+        serial.wan_crossings() > 0,
+        "region 2 is served by pool 0 and must pay WAN hops"
+    );
+    let d1 = fleet_digest(&serial);
+    assert_eq!(d1, fleet_digest(&run(2)), "threads=2 diverged from serial");
+    assert_eq!(d1, fleet_digest(&run(8)), "threads=8 diverged from serial");
+}
+
+/// The 1-region identity gate: sharding with a single region (even
+/// stepped by several threads) must be byte-identical to the plain
+/// unsharded fleet — per-vehicle fingerprints (FNV-1a) and aggregate
+/// counters alike.
+#[test]
+fn one_region_fleet_is_identical_to_unsharded() {
+    let unsharded = run_fleet(FleetConfig::new(base(), 3));
+    let sharded = run_fleet(
+        FleetConfig::new(base(), 3)
+            .with_topology(RegionTopology::sharded(1))
+            .with_threads(2),
+    );
+    for (u, s) in unsharded.vehicles.iter().zip(&sharded.vehicles) {
+        assert_eq!(u.fingerprint(), s.fingerprint());
+    }
+    assert_eq!(unsharded.cloud.unwrap(), sharded.cloud.unwrap());
+    assert_eq!(unsharded.uplink.unwrap(), sharded.uplink.unwrap());
+    assert_eq!(unsharded.rounds, sharded.rounds);
+    assert_eq!(sharded.regions.len(), 1);
+    assert_eq!(sharded.wan_crossings(), 0);
+}
+
+/// Cross-region admissions pay the configured WAN hop: with two
+/// regions on one pool, region 1's vehicles cross on every admission
+/// and their missions stretch relative to the hop-free topology.
+#[test]
+fn wan_hop_charges_cross_region_admissions() {
+    use lgv_types::prelude::Duration;
+    let hop = Duration::from_millis(10);
+    let crossed = run_fleet(
+        FleetConfig::new(base(), 4).with_topology(
+            RegionTopology::sharded(2)
+                .with_cloud_pools(1)
+                .with_wan_hop(hop),
+        ),
+    );
+    let free = run_fleet(
+        FleetConfig::new(base(), 4).with_topology(
+            RegionTopology::sharded(2)
+                .with_cloud_pools(1)
+                .with_wan_hop(Duration::ZERO),
+        ),
+    );
+    assert!(crossed.wan_crossings() > 0);
+    assert_eq!(free.wan_crossings(), 0);
+    // Only region 1 (served by pool 0, homed in region 0) crosses.
+    assert_eq!(crossed.regions[0].wan_crossings, 0);
+    assert!(crossed.regions[1].wan_crossings > 0);
+    assert!(crossed.regions[1].remote_pool);
+    let expected = Duration::from_nanos(hop.as_nanos() * crossed.regions[1].wan_crossings);
+    assert_eq!(
+        crossed.regions[1].wan_extra, expected,
+        "surcharge must be exactly crossings × hop"
+    );
+    // The stretched region's vehicles take at least as long as in the
+    // hop-free run (identical seeds, strictly added latency).
+    let t_crossed: f64 = crossed.vehicles[2..]
+        .iter()
+        .map(|v| v.time.total().as_secs_f64())
+        .sum();
+    let t_free: f64 = free.vehicles[2..]
+        .iter()
+        .map(|v| v.time.total().as_secs_f64())
+        .sum();
+    assert!(
+        t_crossed >= t_free,
+        "WAN-charged vehicles finished faster ({t_crossed:.3}s) than hop-free ({t_free:.3}s)"
+    );
+}
+
+/// The sharded CI gate (scripts/ci.sh stage 6): a 12-vehicle fleet
+/// over 4 regions and 2 pools, stepped at three thread counts, must
+/// agree byte-for-byte — determinism at fleet scale, under genuine
+/// multi-region contention and WAN charging.
+#[test]
+#[ignore = "slow; run by scripts/ci.sh"]
+fn sharded_fleet_scale_gate_is_thread_invariant() {
+    let topo = RegionTopology::sharded(4).with_cloud_pools(2);
+    let run = |threads: usize| {
+        run_fleet(
+            FleetConfig::new(base(), 12)
+                .with_topology(topo)
+                .with_threads(threads),
+        )
+    };
+    let serial = run(1);
+    assert_eq!(serial.completed(), 12);
+    assert!(serial.wan_crossings() > 0);
+    let cloud = serial.cloud.unwrap();
+    assert!(cloud.delayed > 0, "12 tenants on 2 pools must queue");
+    let d1 = fleet_digest(&serial);
+    assert_eq!(d1, fleet_digest(&run(2)), "threads=2 diverged");
+    assert_eq!(d1, fleet_digest(&run(8)), "threads=8 diverged");
 }
 
 /// The elastic CI gate (scripts/ci.sh stage 6): an elastic fleet of

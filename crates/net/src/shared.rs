@@ -47,6 +47,38 @@ pub struct MediumStats {
     pub peak_senders: u64,
 }
 
+impl MediumStats {
+    /// Fraction of transmissions that paid a non-zero contention
+    /// delay (0.0 on an idle medium).
+    pub fn contended_fraction(&self) -> f64 {
+        if self.sends == 0 {
+            0.0
+        } else {
+            self.contended_sends as f64 / self.sends as f64
+        }
+    }
+
+    /// Mean extra serialization delay per transmission, seconds — the
+    /// airtime-stretch metric the regional fleet tables report.
+    pub fn mean_extra_secs(&self) -> f64 {
+        if self.sends == 0 {
+            0.0
+        } else {
+            self.total_extra.as_secs_f64() / self.sends as f64
+        }
+    }
+
+    /// Fold another medium's counters into this one (counter sums,
+    /// peak max) — used to aggregate per-region WAPs into a fleet
+    /// total. Exact: every field is integer arithmetic.
+    pub fn absorb(&mut self, other: &MediumStats) {
+        self.sends += other.sends;
+        self.contended_sends += other.contended_sends;
+        self.total_extra += other.total_extra;
+        self.peak_senders = self.peak_senders.max(other.peak_senders);
+    }
+}
+
 #[derive(Debug)]
 struct MediumInner {
     window: Duration,
@@ -176,6 +208,26 @@ mod tests {
         };
         assert_eq!(run(&[1, 2, 3]), vec![scale(AIR, 2); 3]);
         assert_eq!(run(&[3, 1, 2]), vec![scale(AIR, 2); 3]);
+    }
+
+    #[test]
+    fn stats_absorb_sums_counters_and_maxes_peak() {
+        let a = SharedMedium::new(Duration::from_millis(200));
+        a.contend(1, at(0), AIR);
+        a.contend(2, at(0), AIR);
+        a.contend(1, at(200), AIR);
+        let b = SharedMedium::new(Duration::from_millis(200));
+        b.contend(7, at(0), AIR);
+        let mut total = a.stats();
+        total.absorb(&b.stats());
+        assert_eq!(total.sends, 4);
+        assert_eq!(total.contended_sends, 1);
+        assert_eq!(total.total_extra, AIR);
+        assert_eq!(total.peak_senders, 2);
+        assert!((total.contended_fraction() - 0.25).abs() < 1e-12);
+        assert!(total.mean_extra_secs() > 0.0);
+        assert_eq!(MediumStats::default().contended_fraction(), 0.0);
+        assert_eq!(MediumStats::default().mean_extra_secs(), 0.0);
     }
 
     #[test]

@@ -294,6 +294,44 @@ impl CloudStats {
             self.batched_admissions as f64 / self.batches as f64
         }
     }
+
+    /// Fold several pools' ledgers into one fleet-wide view: counter
+    /// and duration fields sum, `peak_*` fields take the max, pool
+    /// sizes (`replicas`) sum, and `utilization` becomes the
+    /// admissions-weighted mean. A one-element slice returns that
+    /// element verbatim (no float arithmetic), so a single-pool fleet
+    /// report is bit-identical to the pool's own stats.
+    pub fn merged(pools: &[CloudStats]) -> CloudStats {
+        if pools.len() == 1 {
+            return pools[0];
+        }
+        let mut total = CloudStats::default();
+        let mut util_weight = 0u64;
+        for p in pools {
+            total.admissions += p.admissions;
+            total.delayed += p.delayed;
+            total.total_queue_delay += p.total_queue_delay;
+            total.peak_window_threads = total.peak_window_threads.max(p.peak_window_threads);
+            total.replicas += p.replicas;
+            total.peak_replicas = total.peak_replicas.max(p.peak_replicas);
+            total.replica_seconds += p.replica_seconds;
+            total.scale_ups += p.scale_ups;
+            total.scale_downs += p.scale_downs;
+            total.batches += p.batches;
+            total.batched_admissions += p.batched_admissions;
+            total.replica_crash_windows += p.replica_crash_windows;
+            total.straggled_admissions += p.straggled_admissions;
+            total.straggler_extra_delay += p.straggler_extra_delay;
+            total.failed_scale_ups += p.failed_scale_ups;
+            total.wasted_replica_seconds += p.wasted_replica_seconds;
+            total.utilization += p.utilization * p.admissions as f64;
+            util_weight += p.admissions;
+        }
+        if util_weight > 0 {
+            total.utilization /= util_weight as f64;
+        }
+        total
+    }
 }
 
 #[derive(Debug)]

@@ -27,7 +27,7 @@
 use crate::event::{SendKind, TraceEvent, TraceRecord};
 use crate::metrics::Histogram;
 use crate::span::{MsgId, SpanId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// Virtual-time window width for the lying-RTT detector (1 s).
@@ -217,6 +217,17 @@ pub struct TraceAnalysis {
     /// `net_switch` to-remote times — the re-offload moments a
     /// recovery completes at.
     reoffload_times: Vec<u64>,
+    /// Vehicles per radio region from `region_assign` (sharded fleet
+    /// traces only; empty otherwise, so unsharded reports render
+    /// byte-identically).
+    region_vehicles: BTreeMap<u32, u64>,
+    /// `region_assign` events whose serving pool is homed elsewhere.
+    wan_assigned: u64,
+    /// `wan_hop` admissions observed and their total surcharge.
+    wan_hops: u64,
+    wan_delay_ns: u64,
+    /// Distinct `(from_region, to_region)` WAN routes observed.
+    wan_routes: BTreeSet<(u32, u32)>,
 }
 
 /// Recovery-SLO summary computed from the resilience trace kinds
@@ -289,6 +300,11 @@ impl TraceAnalysis {
             replica_straggles: Vec::new(),
             heartbeat_times: Vec::new(),
             reoffload_times: Vec::new(),
+            region_vehicles: BTreeMap::new(),
+            wan_assigned: 0,
+            wan_hops: 0,
+            wan_delay_ns: 0,
+            wan_routes: BTreeSet::new(),
         };
 
         // ---- single pass: index lineage + spans + anomaly windows.
@@ -563,6 +579,21 @@ impl TraceAnalysis {
                 TraceEvent::ReplicaStraggle { .. } => {
                     a.replica_straggles.push(rec.t_ns);
                 }
+                TraceEvent::RegionAssign { region, wan, .. } => {
+                    *a.region_vehicles.entry(*region).or_insert(0) += 1;
+                    if *wan {
+                        a.wan_assigned += 1;
+                    }
+                }
+                TraceEvent::WanHop {
+                    from_region,
+                    to_region,
+                    delay_ns,
+                } => {
+                    a.wan_hops += 1;
+                    a.wan_delay_ns += delay_ns;
+                    a.wan_routes.insert((*from_region, *to_region));
+                }
                 _ => {}
             }
         }
@@ -733,6 +764,22 @@ impl TraceAnalysis {
     /// `cloud_scale` replica transitions seen across the fleet.
     pub fn cloud_scale_event_count(&self) -> usize {
         self.cloud_scales.len()
+    }
+
+    /// Distinct radio regions that assigned at least one vehicle
+    /// (0 outside sharded fleet traces).
+    pub fn region_count(&self) -> usize {
+        self.region_vehicles.len()
+    }
+
+    /// Cross-region admissions that paid the deterministic WAN hop.
+    pub fn wan_hop_count(&self) -> u64 {
+        self.wan_hops
+    }
+
+    /// Total WAN-hop surcharge paid across the fleet (virtual ns).
+    pub fn wan_delay_ns(&self) -> u64 {
+        self.wan_delay_ns
     }
 
     /// Per-outage recovery latencies (each heartbeat miss to the next
@@ -909,6 +956,33 @@ impl TraceAnalysis {
                     to,
                     util
                 );
+            }
+        }
+
+        // ---- regional sharding (only when region_assign/wan_hop
+        // events exist, so unsharded fleet reports are unchanged).
+        if !self.region_vehicles.is_empty() || self.wan_hops > 0 {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "--- regional sharding ---");
+            let _ = writeln!(
+                out,
+                "regions: {} ({} vehicles assigned, {} served by a remote pool)",
+                self.region_vehicles.len(),
+                self.region_vehicles.values().sum::<u64>(),
+                self.wan_assigned
+            );
+            for (region, vehicles) in &self.region_vehicles {
+                let _ = writeln!(out, "  region r{region}: {vehicles} vehicle(s)");
+            }
+            let _ = writeln!(
+                out,
+                "wan hops: {} admissions, {:.3} s total surcharge, {} route(s)",
+                self.wan_hops,
+                self.wan_delay_ns as f64 / 1e9,
+                self.wan_routes.len()
+            );
+            for (from, to) in &self.wan_routes {
+                let _ = writeln!(out, "  route r{from} -> r{to}");
             }
         }
 
@@ -1606,6 +1680,65 @@ mod tests {
         assert!(report.contains("v2"));
         // No elastic cloud events: the section must not render.
         assert!(!report.contains("elastic cloud"));
+        // No region events either: the sharding section must not
+        // render for unsharded fleet traces.
+        assert!(!report.contains("regional sharding"));
+        assert_eq!(a.region_count(), 0);
+    }
+
+    #[test]
+    fn sharded_traces_report_regions_and_wan_hops() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                0,
+                TraceEvent::RegionAssign {
+                    region: 0,
+                    cloud_pool: 0,
+                    wan: false,
+                },
+            ),
+            rec(
+                1,
+                1,
+                0,
+                TraceEvent::RegionAssign {
+                    region: 1,
+                    cloud_pool: 0,
+                    wan: true,
+                },
+            ),
+            rec(
+                200_000_000,
+                2,
+                0,
+                TraceEvent::WanHop {
+                    from_region: 1,
+                    to_region: 0,
+                    delay_ns: 10_000_000,
+                },
+            ),
+            rec(
+                400_000_000,
+                3,
+                0,
+                TraceEvent::WanHop {
+                    from_region: 1,
+                    to_region: 0,
+                    delay_ns: 10_000_000,
+                },
+            ),
+        ];
+        let a = TraceAnalysis::from_records(&records);
+        assert_eq!(a.region_count(), 2);
+        assert_eq!(a.wan_hop_count(), 2);
+        assert_eq!(a.wan_delay_ns(), 20_000_000);
+        let report = a.render_report();
+        assert!(report.contains("regional sharding"));
+        assert!(report.contains("region r1: 1 vehicle(s)"));
+        assert!(report.contains("route r1 -> r0"));
+        assert!(report.contains("1 served by a remote pool"));
     }
 
     #[test]

@@ -65,11 +65,14 @@ pub enum EventCategory {
     /// Elastic shared-cloud activity: batched admissions and replica
     /// autoscaling (emitted only by fleet runs with a shared cloud).
     Cloud,
+    /// Regional fleet sharding: vehicle→region placement and
+    /// cross-region WAN hops (emitted only by sharded fleet runs).
+    Region,
 }
 
 impl EventCategory {
     /// Every category, in a fixed documentation order.
-    pub const ALL: [EventCategory; 12] = [
+    pub const ALL: [EventCategory; 13] = [
         EventCategory::Mission,
         EventCategory::Span,
         EventCategory::Bus,
@@ -82,6 +85,7 @@ impl EventCategory {
         EventCategory::Migration,
         EventCategory::Fault,
         EventCategory::Cloud,
+        EventCategory::Region,
     ];
 
     /// Stable lower-case name.
@@ -99,6 +103,7 @@ impl EventCategory {
             EventCategory::Migration => "migration",
             EventCategory::Fault => "fault",
             EventCategory::Cloud => "cloud",
+            EventCategory::Region => "region",
         }
     }
 }
@@ -402,6 +407,29 @@ pub enum TraceEvent {
         /// Scripted length of the window.
         window_ns: u64,
     },
+    /// A sharded fleet placed this vehicle: its floorplan stall falls
+    /// in `region` (which owns the WAP it uplinks through) and its
+    /// offloaded stages are served by scheduler pool `cloud_pool`.
+    RegionAssign {
+        /// Radio region (floorplan stripe) the vehicle parks in.
+        region: u32,
+        /// Cloud scheduler pool serving the region (`region %
+        /// cloud_pools`).
+        cloud_pool: u32,
+        /// Whether the pool is homed in another region, so every
+        /// admission pays the deterministic WAN hop.
+        wan: bool,
+    },
+    /// A remote admission from a vehicle whose serving cloud pool is
+    /// homed in another region paid the deterministic WAN hop.
+    WanHop {
+        /// Region the vehicle (and its WAP) lives in.
+        from_region: u32,
+        /// Region the serving scheduler pool is homed in.
+        to_region: u32,
+        /// The hop surcharge added to the remote processing time.
+        delay_ns: u64,
+    },
 }
 
 impl TraceEvent {
@@ -439,6 +467,8 @@ impl TraceEvent {
             TraceEvent::DegradeExit { .. } => "degrade_exit",
             TraceEvent::ReplicaCrash { .. } => "replica_crash",
             TraceEvent::ReplicaStraggle { .. } => "replica_straggle",
+            TraceEvent::RegionAssign { .. } => "region_assign",
+            TraceEvent::WanHop { .. } => "wan_hop",
         }
     }
 
@@ -473,6 +503,7 @@ impl TraceEvent {
             | TraceEvent::CloudScale { .. }
             | TraceEvent::ReplicaCrash { .. }
             | TraceEvent::ReplicaStraggle { .. } => EventCategory::Cloud,
+            TraceEvent::RegionAssign { .. } | TraceEvent::WanHop { .. } => EventCategory::Region,
         }
     }
 
@@ -698,6 +729,24 @@ impl TraceEvent {
                 field_u64(out, "window", *window);
                 field_u64(out, "window_ns", *window_ns);
             }
+            TraceEvent::RegionAssign {
+                region,
+                cloud_pool,
+                wan,
+            } => {
+                field_u64(out, "region", u64::from(*region));
+                field_u64(out, "cloud_pool", u64::from(*cloud_pool));
+                field_bool(out, "wan", *wan);
+            }
+            TraceEvent::WanHop {
+                from_region,
+                to_region,
+                delay_ns,
+            } => {
+                field_u64(out, "from_region", u64::from(*from_region));
+                field_u64(out, "to_region", u64::from(*to_region));
+                field_u64(out, "delay_ns", *delay_ns);
+            }
         }
     }
 }
@@ -899,6 +948,16 @@ mod tests {
                 factor: 2.5,
                 window: 1,
                 window_ns: 3_000_000_000,
+            },
+            TraceEvent::RegionAssign {
+                region: 3,
+                cloud_pool: 1,
+                wan: true,
+            },
+            TraceEvent::WanHop {
+                from_region: 3,
+                to_region: 1,
+                delay_ns: 10_000_000,
             },
         ];
         for e in &events {

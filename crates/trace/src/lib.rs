@@ -8,14 +8,18 @@
 //! ## Design
 //!
 //! The central handle is the [`Tracer`]: a cheap, cloneable object
-//! every instrumented component holds. All clones share
-//!
-//! * one **virtual clock** (nanoseconds, set by whoever advances
-//!   simulation time — the mission engine in practice), so components
-//!   whose APIs carry no time parameter (e.g. the bus publish path)
-//!   still emit correctly-timestamped events, and
-//! * one **sink list**, so a single JSONL file or metrics registry
-//!   sees the interleaved stream of the whole stack in emission order.
+//! every instrumented component holds. All clones share one **sink
+//! list** (a single JSONL file or metrics registry sees the
+//! interleaved stream of the whole stack) and one **emission
+//! counter** (`seq`, a total order over the run). The **virtual
+//! clock**, the **current-span register**, and the **span/msg id
+//! allocators** live one level down, in a *family* shared by plain
+//! clones but forked by [`Tracer::for_vehicle`]: every fleet vehicle
+//! gets its own clock and id space, so sessions stepped on different
+//! worker threads can never race each other's timestamps or span
+//! attribution. Components whose APIs carry no time parameter (e.g.
+//! the bus publish path) still emit correctly-timestamped events —
+//! they hold a clone from their own session's family.
 //!
 //! A disabled tracer (the [`Tracer::default`]) is a no-op: emission
 //! sites pay one `Option` check and, via [`Tracer::emit_with`], build
@@ -28,6 +32,12 @@
 //! round-trip floats — so for a fixed mission seed the JSONL output is
 //! **byte-for-byte identical** across runs. See `docs/OBSERVABILITY.md`
 //! for the schema and the replay workflow built on that guarantee.
+//! For fleets stepped by several worker threads the guarantee is
+//! per-vehicle: each vehicle's record subsequence (its timestamps,
+//! span/msg ids, and relative order) is byte-identical across runs
+//! and thread counts, while the global `seq` interleaving between
+//! vehicles follows the OS schedule — sort by `(vehicle, seq)` and
+//! drop `seq` to compare threaded fleet traces.
 //!
 //! ```
 //! use lgv_trace::{RingBufferSink, TraceEvent, Tracer};
@@ -69,19 +79,53 @@ use std::sync::{Arc, Mutex};
 /// after the run.
 pub type SharedSink = Arc<Mutex<dyn TraceSink + Send>>;
 
+/// State shared by *every* clone of a tracer, whatever its vehicle:
+/// the sink list and the global emission counter.
 struct TracerInner {
-    /// Virtual time in nanoseconds, shared by every clone.
-    clock_ns: AtomicU64,
     /// Emission counter (total order over the whole run).
     seq: AtomicU64,
-    /// Next message-lineage id (ids start at 1; 0 is [`MsgId::NONE`]).
+    sinks: Mutex<Vec<SharedSink>>,
+}
+
+/// Per-vehicle-family registers. Plain clones share their family;
+/// [`Tracer::for_vehicle`] forks a fresh one, so fleet sessions
+/// stepped by different worker threads cannot race each other's
+/// clock, span attribution, or id allocation.
+struct FamilyCells {
+    /// Virtual time in nanoseconds for this family.
+    clock_ns: AtomicU64,
+    /// Next message-lineage id (local ids start at 1; 0 is
+    /// [`MsgId::NONE`]; emitted ids carry the vehicle in high bits).
     next_msg: AtomicU64,
-    /// Next span id (ids start at 1; 0 is [`SpanId::NONE`]).
+    /// Next span id (same scheme as `next_msg`).
     next_span: AtomicU64,
-    /// The span currently open (0 when none). The mission loop is
+    /// The span currently open (0 when none). A session's loop is
     /// single-threaded, so a single cell — not a stack — suffices.
     current_span: AtomicU64,
-    sinks: Mutex<Vec<SharedSink>>,
+}
+
+impl FamilyCells {
+    fn new(clock_ns: u64) -> Self {
+        FamilyCells {
+            clock_ns: AtomicU64::new(clock_ns),
+            next_msg: AtomicU64::new(1),
+            next_span: AtomicU64::new(1),
+            current_span: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bit position of the vehicle tag in span/msg ids: each family
+/// allocates locally (no cross-thread contention, deterministic per
+/// vehicle) and ids stay globally unique because the vehicle id is
+/// folded into the high bits. Vehicle 0 — single-vehicle runs — keeps
+/// plain small ids, so solo traces are unchanged.
+const VEHICLE_ID_SHIFT: u32 = 40;
+
+#[derive(Clone)]
+struct Enabled {
+    shared: Arc<TracerInner>,
+    cells: Arc<FamilyCells>,
 }
 
 /// The cloneable tracing handle held by every instrumented component.
@@ -91,22 +135,23 @@ struct TracerInner {
 /// turns tracing on.
 #[derive(Clone, Default)]
 pub struct Tracer {
-    inner: Option<Arc<TracerInner>>,
+    inner: Option<Enabled>,
     /// Fleet vehicle (tenant) stamped into every record this clone
     /// emits; 0 = unattributed (single-vehicle runs, fleet-level
-    /// components). Per-clone, unlike the shared `inner` state: a
-    /// fleet driver derives one [`Tracer::for_vehicle`] clone per
-    /// session and hands it to all of that session's components.
+    /// components). Per-clone, like the family cells and unlike the
+    /// shared sink/seq state: a fleet driver derives one
+    /// [`Tracer::for_vehicle`] clone per session and hands it to all
+    /// of that session's components.
     vehicle: u64,
 }
 
 impl std::fmt::Debug for Tracer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.inner {
-            Some(inner) => f
+            Some(e) => f
                 .debug_struct("Tracer")
-                .field("time_ns", &inner.clock_ns.load(Ordering::Relaxed))
-                .field("events", &inner.seq.load(Ordering::Relaxed))
+                .field("time_ns", &e.cells.clock_ns.load(Ordering::Relaxed))
+                .field("events", &e.shared.seq.load(Ordering::Relaxed))
                 .finish(),
             None => write!(f, "Tracer(disabled)"),
         }
@@ -126,28 +171,43 @@ impl Tracer {
     /// An enabled tracer with an empty sink list and the clock at 0.
     pub fn enabled() -> Self {
         Tracer {
-            inner: Some(Arc::new(TracerInner {
-                clock_ns: AtomicU64::new(0),
-                seq: AtomicU64::new(0),
-                next_msg: AtomicU64::new(1),
-                next_span: AtomicU64::new(1),
-                current_span: AtomicU64::new(0),
-                sinks: Mutex::new(Vec::new()),
-            })),
+            inner: Some(Enabled {
+                shared: Arc::new(TracerInner {
+                    seq: AtomicU64::new(0),
+                    sinks: Mutex::new(Vec::new()),
+                }),
+                cells: Arc::new(FamilyCells::new(0)),
+            }),
             vehicle: 0,
         }
     }
 
     /// A clone of this tracer whose emissions are attributed to fleet
     /// vehicle `vehicle` (see [`TraceRecord::vehicle`]). The clone
-    /// shares the clock, sequence counter, and sinks with `self`, so
-    /// a fleet's per-vehicle streams interleave in one total order.
-    /// `vehicle` 0 returns an unattributed clone.
+    /// shares the sequence counter and sinks with `self`, so a
+    /// fleet's per-vehicle streams interleave in one total order —
+    /// but owns a fresh clock, span register, and span/msg id space
+    /// (seeded from `self`'s clock), so sessions stepped on different
+    /// worker threads stay per-vehicle deterministic. Asking for the
+    /// vehicle `self` already carries returns a plain clone.
     pub fn for_vehicle(&self, vehicle: u64) -> Self {
-        Tracer {
-            inner: self.inner.clone(),
-            vehicle,
-        }
+        let inner = self.inner.as_ref().map(|e| {
+            if vehicle == self.vehicle {
+                e.clone()
+            } else {
+                Enabled {
+                    shared: e.shared.clone(),
+                    cells: Arc::new(FamilyCells::new(e.cells.clock_ns.load(Ordering::Relaxed))),
+                }
+            }
+        });
+        Tracer { inner, vehicle }
+    }
+
+    /// Fold this clone's vehicle into a family-local id so ids stay
+    /// globally unique without cross-family coordination.
+    fn tag_id(&self, local: u64) -> u64 {
+        (self.vehicle << VEHICLE_ID_SHIFT) | local
     }
 
     /// The vehicle id stamped on this clone's emissions (0 = none).
@@ -173,8 +233,8 @@ impl Tracer {
 
     /// Attach an already-shared sink.
     pub fn add_sink(&self, sink: SharedSink) {
-        if let Some(inner) = &self.inner {
-            inner.sinks.lock().unwrap().push(sink);
+        if let Some(e) = &self.inner {
+            e.shared.sinks.lock().unwrap().push(sink);
         }
     }
 
@@ -183,8 +243,8 @@ impl Tracer {
     /// engine — so that emission sites without a time parameter stamp
     /// correctly.
     pub fn set_time_ns(&self, ns: u64) {
-        if let Some(inner) = &self.inner {
-            inner.clock_ns.store(ns, Ordering::Relaxed);
+        if let Some(e) = &self.inner {
+            e.cells.clock_ns.store(ns, Ordering::Relaxed);
         }
     }
 
@@ -192,7 +252,7 @@ impl Tracer {
     pub fn time_ns(&self) -> u64 {
         self.inner
             .as_ref()
-            .map_or(0, |i| i.clock_ns.load(Ordering::Relaxed))
+            .map_or(0, |e| e.cells.clock_ns.load(Ordering::Relaxed))
     }
 
     /// Emit an event stamped with the shared clock.
@@ -228,9 +288,9 @@ impl Tracer {
     }
 
     fn emit_record(&self, t_ns: u64, event: TraceEvent) {
-        let inner = self.inner.as_ref().expect("checked by callers");
-        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-        let span = SpanId(inner.current_span.load(Ordering::Relaxed));
+        let e = self.inner.as_ref().expect("checked by callers");
+        let seq = e.shared.seq.fetch_add(1, Ordering::Relaxed);
+        let span = SpanId(e.cells.current_span.load(Ordering::Relaxed));
         let rec = TraceRecord {
             t_ns,
             seq,
@@ -238,7 +298,7 @@ impl Tracer {
             vehicle: self.vehicle,
             event,
         };
-        for sink in inner.sinks.lock().unwrap().iter() {
+        for sink in e.shared.sinks.lock().unwrap().iter() {
             sink.lock().unwrap().record(&rec);
         }
     }
@@ -247,7 +307,7 @@ impl Tracer {
     /// disabled, so untraced runs carry no ids and pay one load).
     pub fn alloc_msg(&self) -> MsgId {
         match &self.inner {
-            Some(inner) => MsgId(inner.next_msg.fetch_add(1, Ordering::Relaxed)),
+            Some(e) => MsgId(self.tag_id(e.cells.next_msg.fetch_add(1, Ordering::Relaxed))),
             None => MsgId::NONE,
         }
     }
@@ -258,9 +318,9 @@ impl Tracer {
     /// id, so the begin record nests under its own span.
     pub fn span_begin(&self, name: &str, index: u64) -> SpanId {
         match &self.inner {
-            Some(inner) => {
-                let span = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
-                inner.current_span.store(span.0, Ordering::Relaxed);
+            Some(e) => {
+                let span = SpanId(self.tag_id(e.cells.next_span.fetch_add(1, Ordering::Relaxed)));
+                e.cells.current_span.store(span.0, Ordering::Relaxed);
                 self.emit(TraceEvent::SpanBegin {
                     span,
                     name: name.to_string(),
@@ -276,23 +336,23 @@ impl Tracer {
     /// the span, so the end record nests under it too) and clears the
     /// current span.
     pub fn span_end(&self, span: SpanId) {
-        if let Some(inner) = &self.inner {
+        if let Some(e) = &self.inner {
             self.emit(TraceEvent::SpanEnd { span });
-            inner.current_span.store(0, Ordering::Relaxed);
+            e.cells.current_span.store(0, Ordering::Relaxed);
         }
     }
 
     /// The span currently open ([`SpanId::NONE`] when none/disabled).
     pub fn current_span(&self) -> SpanId {
-        self.inner.as_ref().map_or(SpanId::NONE, |i| {
-            SpanId(i.current_span.load(Ordering::Relaxed))
+        self.inner.as_ref().map_or(SpanId::NONE, |e| {
+            SpanId(e.cells.current_span.load(Ordering::Relaxed))
         })
     }
 
     /// Flush every attached sink.
     pub fn flush(&self) {
-        if let Some(inner) = &self.inner {
-            for sink in inner.sinks.lock().unwrap().iter() {
+        if let Some(e) = &self.inner {
+            for sink in e.shared.sinks.lock().unwrap().iter() {
                 sink.lock().unwrap().flush();
             }
         }
@@ -387,6 +447,51 @@ mod tests {
         let jsons: Vec<String> = ring.records().map(|r| r.to_json()).collect();
         assert!(!jsons[0].contains("\"vehicle\""));
         assert!(jsons[1].contains("\"vehicle\":1"));
+    }
+
+    #[test]
+    fn vehicle_families_have_independent_clocks_spans_and_ids() {
+        let fleet = Tracer::enabled();
+        let ring = fleet.attach(RingBufferSink::new(16));
+        fleet.set_time_ns(50);
+        // Forked families start at the parent's clock, then diverge.
+        let v1 = fleet.for_vehicle(1);
+        let v2 = fleet.for_vehicle(2);
+        assert_eq!(v1.time_ns(), 50);
+        v1.set_time_ns(100);
+        v2.set_time_ns(999);
+        assert_eq!(v1.time_ns(), 100, "v2's clock write must not leak into v1");
+        assert_eq!(fleet.time_ns(), 50, "the root clock is its own family");
+
+        // Id spaces are family-local, namespaced by the vehicle tag.
+        assert_eq!(v1.alloc_msg(), MsgId((1 << VEHICLE_ID_SHIFT) | 1));
+        assert_eq!(v2.alloc_msg(), MsgId((2 << VEHICLE_ID_SHIFT) | 1));
+        assert_eq!(fleet.alloc_msg(), MsgId(1));
+
+        // An open span on one vehicle never stamps another's records.
+        let s1 = v1.span_begin("cycle", 0);
+        assert_eq!(s1, SpanId((1 << VEHICLE_ID_SHIFT) | 1));
+        v2.emit(TraceEvent::RttSample { rtt_ns: 6 });
+        v1.emit(TraceEvent::RttSample { rtt_ns: 5 });
+        v1.span_end(s1);
+        assert_eq!(v2.current_span(), SpanId::NONE);
+        let ring = ring.lock().unwrap();
+        let recs: Vec<_> = ring.records().collect();
+        let v2_rec = recs.iter().find(|r| r.vehicle == 2).unwrap();
+        assert_eq!(v2_rec.span, SpanId::NONE);
+        assert_eq!(v2_rec.t_ns, 999);
+        let v1_rtt = recs
+            .iter()
+            .find(|r| r.vehicle == 1 && r.event.kind() == "rtt_sample")
+            .unwrap();
+        assert_eq!(v1_rtt.span, s1);
+        assert_eq!(v1_rtt.t_ns, 100);
+
+        // Re-asking for the vehicle a clone already carries shares the
+        // family (the session hands clones to its own components).
+        let v1b = v1.for_vehicle(1);
+        v1b.set_time_ns(123);
+        assert_eq!(v1.time_ns(), 123);
     }
 
     #[test]

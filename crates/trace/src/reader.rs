@@ -467,6 +467,16 @@ fn event_from(kind: &str, obj: &Obj) -> Result<TraceEvent, String> {
             window: obj.u64("window")?,
             window_ns: obj.u64("window_ns")?,
         },
+        "region_assign" => TraceEvent::RegionAssign {
+            region: obj.u32("region")?,
+            cloud_pool: obj.u32("cloud_pool")?,
+            wan: obj.bool("wan")?,
+        },
+        "wan_hop" => TraceEvent::WanHop {
+            from_region: obj.u32("from_region")?,
+            to_region: obj.u32("to_region")?,
+            delay_ns: obj.u64("delay_ns")?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     })
 }

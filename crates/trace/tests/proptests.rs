@@ -152,6 +152,16 @@ fn all_kinds(s: &str, a: u64, b: u32, f: f64, flag: bool) -> Vec<TraceEvent> {
             window: a,
             window_ns: a,
         },
+        TraceEvent::RegionAssign {
+            region: b,
+            cloud_pool: b / 2,
+            wan: flag,
+        },
+        TraceEvent::WanHop {
+            from_region: b,
+            to_region: b / 2,
+            delay_ns: a,
+        },
     ]
 }
 

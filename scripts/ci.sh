@@ -1,25 +1,34 @@
 #!/usr/bin/env bash
-# The unified CI gate. Runs every check the repo enforces, in the same
-# order the GitHub workflow does (.github/workflows/ci.yml invokes this
-# script verbatim), so a clean local run means a green CI run.
+# The unified CI gate. Runs every check the repo enforces; the GitHub
+# workflow (.github/workflows/ci.yml) runs the same stages split across
+# parallel jobs via LGV_CI_STAGES, so a clean local run of the full
+# script means a green CI run.
 #
 # Stages (see docs/CI.md for the full description):
-#   1. build        — cargo build --release, whole workspace
-#   2. tests        — cargo test -q (unit + integration, all crates)
-#   3. clippy       — warnings denied, all targets
-#   4. fmt          — rustfmt --check
-#   5. docs         — rustdoc warnings denied + doctests + trace
-#                     schema-drift check (event.rs vs OBSERVABILITY.md)
-#   6. suite gate   — release-mode quick run of the full evaluation
-#                     suite: every scenario must succeed, and the
-#                     parallel fan-out must be byte-identical to serial
-#                     (the #[ignore]d all-scenario determinism test);
-#                     plus the recovery-SLO gate: a quick chaos-fleet
-#                     run vs the committed BENCH_recovery_baseline.txt
-#   7. perf gate    — scripts/check_perf.sh: the stage-6 artifact vs
-#                     the committed BENCH_baseline_quick.json — fails
-#                     on >15% per-scenario wall-time regressions and
-#                     on checksum drift
+#   build   — cargo build --release, whole workspace
+#   tests   — cargo test -q (unit + integration, all crates)
+#   clippy  — warnings denied, all targets
+#   fmt     — rustfmt --check
+#   docs    — rustdoc warnings denied + doctests + trace schema-drift
+#             check (event.rs vs OBSERVABILITY.md)
+#   suite   — release-mode quick run of the full evaluation suite
+#             (every scenario must succeed; writes BENCH_ci.json and
+#             the wall-clock profile BENCH_profile.json), the
+#             parallel-vs-serial and sharded-fleet determinism gates,
+#             the elastic-fleet and chaos-fleet quick jobs, and the
+#             registry-driven artifact-freshness check
+#   perf    — scripts/check_perf.sh: the suite-stage artifact vs the
+#             committed BENCH_baseline_quick.json — fails on >15%
+#             per-scenario wall-time regressions and checksum drift
+#   noprof  — rebuild the suite with the profiler compiled out
+#             (--no-default-features) and verify quick-run checksums
+#             still match the committed baseline: tracing must be
+#             observability, never physics
+#
+# Stage selection: set LGV_CI_STAGES to a comma- or space-separated
+# subset (e.g. LGV_CI_STAGES=clippy,fmt,docs ./scripts/ci.sh). Stages
+# always run in the canonical order above regardless of the order
+# named. Per-stage wall-clock timings are printed at the end.
 #
 # Everything is hermetic: dependencies are the in-tree shims under
 # crates/shims/, so no stage touches the network.
@@ -28,66 +37,129 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== 1/7 cargo build --release =="
-cargo build --release --workspace
+ALL_STAGES="build tests clippy fmt docs suite perf noprof"
+SELECT="${LGV_CI_STAGES:-$ALL_STAGES}"
+SELECT="${SELECT//,/ }"
+for s in $SELECT; do
+    case " $ALL_STAGES " in
+        *" $s "*) ;;
+        *) echo "unknown stage '$s' in LGV_CI_STAGES (known: $ALL_STAGES)"; exit 1 ;;
+    esac
+done
+
+stage_enabled() {
+    local s
+    for s in $SELECT; do [ "$s" = "$1" ] && return 0; done
+    return 1
+}
+
+TIMINGS=""
+run_stage() { # run_stage <name> <description>
+    local name="$1" desc="$2" t0 t1
+    stage_enabled "$name" || return 0
+    echo
+    echo "== $name: $desc =="
+    t0=$SECONDS
+    "stage_$name"
+    t1=$SECONDS
+    TIMINGS="$TIMINGS$(printf '  %-8s %5ds' "$name" "$((t1 - t0))")"$'\n'
+}
+
+stage_build() {
+    cargo build --release --workspace
+}
+
+stage_tests() {
+    cargo test -q --workspace
+}
+
+stage_clippy() {
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+stage_fmt() {
+    cargo fmt --all -- --check
+}
+
+stage_docs() {
+    ./scripts/check_docs.sh
+}
+
+stage_suite() {
+    # Full fan-out in quick mode: exercises every scenario (including
+    # the chaos sweep the old resilience gate ran) and writes the JSON
+    # artifact plus the wall-clock scope profile. A non-zero exit
+    # means some scenario failed.
+    LGV_BENCH_QUICK=1 ./target/release/suite --threads 4 \
+        --out target/BENCH_ci.json \
+        --profile --profile-out target/BENCH_profile.json
+    # Byte-identical parallel vs serial across every scenario, in
+    # release mode (too slow for the default debug-mode test run,
+    # hence #[ignore]).
+    cargo test --release -q -p lgv-bench --test suite -- --ignored --nocapture
+    # Fleet multi-tenancy determinism: a fleet of four on one shared
+    # box, run twice, must agree on every per-vehicle fingerprint and
+    # every shared-resource counter (and a fleet of one must stay
+    # byte-identical to the single-vehicle runner). The same run
+    # covers the elastic-cloud gates and the regional-sharding gates:
+    # a sharded fleet's report is byte-identical at thread counts
+    # 1/2/8, and a 1-region topology matches the unsharded driver.
+    cargo test --release -q -p lgv-offload --test fleet -- --include-ignored
+    # Elastic-fleet quick job: the elasticity ablation on its own, so
+    # a regression in the elastic scheduler fails fast with readable
+    # output.
+    LGV_BENCH_QUICK=1 ./target/release/suite --threads 2 --only elastic-fleet \
+        --out target/BENCH_elastic.json
+    # Chaos-fleet quick job + recovery-SLO gate: the SLO lines from a
+    # quick chaos-fleet run (time-to-recover, degraded fraction,
+    # missed cycles — all virtual-clock, machine-independent) are
+    # diffed against the committed baseline. LGV_RECOVERY_SKIP=1
+    # bypasses.
+    LGV_BENCH_QUICK=1 ./target/release/chaos_fleet > target/BENCH_recovery.txt
+    ./scripts/check_recovery.sh target/BENCH_recovery.txt BENCH_recovery_baseline.txt
+    # Artifact freshness: the committed BENCH_suite.json must list
+    # exactly the registered scenario set — no stale names, no missing
+    # ones. Registry-driven, so adding a scenario without regenerating
+    # the artifact fails here without any script edit.
+    diff <(./target/release/suite --list-names | sort) \
+         <(grep -oE '"name": "[^"]+"' BENCH_suite.json \
+               | sed -E 's/"name": "([^"]+)"/\1/' | sort) \
+        || { echo "BENCH_suite.json is stale: scenario set differs from the registry (regenerate with ./target/release/suite --out BENCH_suite.json)"; exit 1; }
+}
+
+stage_perf() {
+    # Diffs the suite-stage quick artifact against the committed
+    # baseline: >15% per-scenario wall-time regression or any checksum
+    # drift fails. Set LGV_PERF_SKIP=1 on hardware slower than the
+    # baseline machine.
+    ./scripts/check_perf.sh target/BENCH_ci.json BENCH_baseline_quick.json
+}
+
+stage_noprof() {
+    # Profiler-off control build in its own target dir (keeps the
+    # default build's cache intact), then a checksum-only comparison
+    # against the committed baseline: an effectively infinite wall
+    # tolerance leaves checksum drift as the only failure mode, so
+    # this gate proves compiling the profiler out changes no output
+    # byte.
+    CARGO_TARGET_DIR=target/noprof cargo build --release -p lgv-bench \
+        --no-default-features --bin suite
+    LGV_BENCH_QUICK=1 ./target/noprof/release/suite --threads 4 \
+        --no-history --out target/BENCH_noprof.json
+    LGV_PERF_TOLERANCE=1000 ./scripts/check_perf.sh \
+        target/BENCH_noprof.json BENCH_baseline_quick.json
+}
+
+run_stage build  "cargo build --release"
+run_stage tests  "cargo test"
+run_stage clippy "cargo clippy (warnings denied)"
+run_stage fmt    "cargo fmt --check"
+run_stage docs   "docs (rustdoc warnings denied, doctests, schema drift)"
+run_stage suite  "evaluation-suite gate (quick, all scenarios)"
+run_stage perf   "perf-regression gate (vs committed quick baseline)"
+run_stage noprof "no-prof control build (checksum identity)"
 
 echo
-echo "== 2/7 cargo test =="
-cargo test -q --workspace
-
-echo
-echo "== 3/7 cargo clippy (warnings denied) =="
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo
-echo "== 4/7 cargo fmt --check =="
-cargo fmt --all -- --check
-
-echo
-echo "== 5/7 docs (rustdoc warnings denied, doctests, schema drift) =="
-./scripts/check_docs.sh
-
-echo
-echo "== 6/7 evaluation-suite gate (quick, all scenarios) =="
-# Full fan-out in quick mode: exercises every scenario (including the
-# chaos sweep the old resilience gate ran) and writes the JSON
-# artifact. A non-zero exit means some scenario failed.
-LGV_BENCH_QUICK=1 ./target/release/suite --threads 4 --out target/BENCH_ci.json
-# Byte-identical parallel vs serial across every scenario, in release
-# mode (too slow for the default debug-mode test run, hence #[ignore]).
-cargo test --release -q -p lgv-bench --test suite -- --ignored --nocapture
-# Fleet multi-tenancy determinism: a fleet of four on one shared box,
-# run twice, must agree on every per-vehicle fingerprint and every
-# shared-resource counter (and a fleet of one must stay byte-identical
-# to the single-vehicle runner — asserted by the same test file). The
-# same run covers the elastic-cloud gates: elastic fleets are
-# reproducible, batch same-stage work, and queue no worse than fixed.
-cargo test --release -q -p lgv-offload --test fleet -- --include-ignored
-# Elastic-fleet quick job: the elasticity ablation on its own, so a
-# regression in the elastic scheduler fails fast with readable output.
-LGV_BENCH_QUICK=1 ./target/release/suite --threads 2 --only elastic-fleet \
-    --out target/BENCH_elastic.json
-# Chaos-fleet quick job + recovery-SLO gate: the SLO lines from a
-# quick chaos-fleet run (time-to-recover, degraded fraction, missed
-# cycles — all virtual-clock, machine-independent) are diffed against
-# the committed baseline. Set LGV_RECOVERY_SKIP=1 to bypass.
-LGV_BENCH_QUICK=1 ./target/release/chaos_fleet > target/BENCH_recovery.txt
-./scripts/check_recovery.sh target/BENCH_recovery.txt BENCH_recovery_baseline.txt
-# Artifact freshness: the committed BENCH_suite.json must already list
-# the newest scenarios (regenerate it after registry changes — the
-# suite test `committed_bench_artifact_matches_registry` checks every
-# scenario; this is the fast, explicit guard for the newest ones).
-grep -q '"name": "elastic-fleet"' BENCH_suite.json \
-    || { echo "BENCH_suite.json is stale: missing elastic-fleet"; exit 1; }
-grep -q '"name": "chaos-fleet"' BENCH_suite.json \
-    || { echo "BENCH_suite.json is stale: missing chaos-fleet"; exit 1; }
-
-echo
-echo "== 7/7 perf-regression gate (vs committed quick baseline) =="
-# Diffs the stage-6 quick artifact against BENCH_baseline_quick.json:
-# >15% per-scenario wall-time regression or any checksum drift fails.
-# Set LGV_PERF_SKIP=1 on hardware slower than the baseline machine.
-./scripts/check_perf.sh target/BENCH_ci.json BENCH_baseline_quick.json
-
-echo
-echo "CI gate OK"
+echo "stage timings:"
+printf '%s' "$TIMINGS"
+echo "CI gate OK ($(echo "$SELECT" | wc -w | tr -d ' ') stage(s))"

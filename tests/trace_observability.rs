@@ -131,10 +131,11 @@ fn short_mission_covers_every_event_category() {
     let ring = ring.lock().unwrap();
     let mut missing: Vec<&'static str> = Vec::new();
     for cat in EventCategory::ALL {
-        // `cloud` events only exist with a shared elastic cloud, i.e.
-        // fleet runs — covered by `elastic_fleet_trace_covers_cloud_
-        // category` below.
-        if cat == EventCategory::Cloud {
+        // `cloud` events only exist with a shared elastic cloud and
+        // `region` events only in multi-region fleets — covered by
+        // `elastic_fleet_trace_covers_cloud_category` and
+        // `sharded_fleet_trace_covers_region_category` below.
+        if cat == EventCategory::Cloud || cat == EventCategory::Region {
             continue;
         }
         if !ring.records().any(|r| r.event.category() == cat) {
@@ -188,5 +189,44 @@ fn elastic_fleet_trace_covers_cloud_category() {
     assert!(
         cloud.iter().all(|r| r.vehicle != 0),
         "cloud events must be attributed to a vehicle"
+    );
+}
+
+/// The `region` category needs a multi-region topology to fire: a
+/// four-vehicle fleet striped over two regions on one scheduler pool
+/// assigns every vehicle a region at t=0, and region 1's admissions
+/// each pay (and trace) a WAN hop.
+#[test]
+fn sharded_fleet_trace_covers_region_category() {
+    use cloud_lgv::offload::fleet::{run_fleet_traced, FleetConfig, RegionTopology};
+
+    let tracer = Tracer::enabled();
+    let ring = tracer.attach(RingBufferSink::new(4_000_000));
+    let base = MissionConfig::compact_lab(Deployment::edge_8t(), Workload::Navigation);
+    run_fleet_traced(
+        FleetConfig::new(base, 4).with_topology(RegionTopology::sharded(2).with_cloud_pools(1)),
+        tracer,
+    );
+
+    let ring = ring.lock().unwrap();
+    let region: Vec<_> = ring
+        .records()
+        .filter(|r| r.event.category() == EventCategory::Region)
+        .collect();
+    assert_eq!(
+        region
+            .iter()
+            .filter(|r| r.event.kind() == "region_assign")
+            .count(),
+        4,
+        "every vehicle gets exactly one assignment at t=0"
+    );
+    assert!(
+        region.iter().any(|r| r.event.kind() == "wan_hop"),
+        "region 1 shares pool 0 and must pay traced WAN hops"
+    );
+    assert!(
+        region.iter().all(|r| r.vehicle != 0),
+        "region events must be attributed to a vehicle"
     );
 }
