@@ -5,6 +5,7 @@ use lgv_net::signal::WirelessConfig;
 use lgv_offload::deploy::Deployment;
 use lgv_offload::mission::{self, MissionConfig, Workload};
 use lgv_offload::model::{Goal, VelocityModel};
+use lgv_offload::policy::PolicyKind;
 use lgv_offload::strategy::PinPolicy;
 use lgv_sim::world::WorldBuilder;
 use lgv_types::prelude::*;
@@ -15,6 +16,7 @@ fn main() {
         workload: Workload::Navigation,
         deployment: Deployment::cloud_12t(),
         goal: Goal::MissionTime,
+        policy: PolicyKind::Algorithm1,
         adaptive: true,
         adaptive_parallelism: false,
         pins: PinPolicy::none(),

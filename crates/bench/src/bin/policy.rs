@@ -1,0 +1,9 @@
+//! Standalone entry point for the `policy` scenario. The scenario body
+//! lives in `lgv_bench::scenarios::policy`; this wrapper runs it
+//! against stdout with the canonical seed, honoring `LGV_BENCH_QUICK=1`
+//! and `--trace <path>`. `lgv-bench suite` runs the same job in
+//! parallel with the rest of the evaluation.
+
+fn main() {
+    lgv_bench::suite::run_scenario_standalone("policy");
+}

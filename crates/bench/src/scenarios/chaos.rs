@@ -13,6 +13,7 @@ use lgv_net::{FaultKind, FaultSchedule};
 use lgv_offload::deploy::Deployment;
 use lgv_offload::mission::{self, MissionConfig, MissionReport, Workload};
 use lgv_offload::model::{Goal, VelocityModel};
+use lgv_offload::policy::PolicyKind;
 use lgv_offload::recovery::RecoveryConfig;
 use lgv_offload::strategy::PinPolicy;
 use lgv_sim::world::WorldBuilder;
@@ -56,6 +57,7 @@ fn chaos_config(seed: u64) -> MissionConfig {
         workload: Workload::Navigation,
         deployment: Deployment::edge_8t(),
         goal: Goal::MissionTime,
+        policy: PolicyKind::Algorithm1,
         adaptive: true,
         adaptive_parallelism: false,
         pins: PinPolicy::none(),
@@ -137,6 +139,7 @@ fn crash_showcase(ctx: &mut ScenarioCtx) -> io::Result<()> {
         workload: Workload::Navigation,
         deployment: Deployment::edge_8t(),
         goal: Goal::MissionTime,
+        policy: PolicyKind::Algorithm1,
         adaptive: true,
         adaptive_parallelism: false,
         pins: PinPolicy::none(),

@@ -28,6 +28,7 @@ pub mod fig14;
 pub mod fig7;
 pub mod fig9;
 pub mod fleet;
+pub mod policy;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,183 @@
+//! Policy race — the three offload deciders head-to-head on identical
+//! missions across three axes.
+//!
+//! The pluggable decision layer (`lgv_offload::policy`) makes the
+//! comparison the ROADMAP asked for actually runnable: Algorithm 1
+//! (the paper), greedy global placement (muPlacer-style search over
+//! the node→tier vector), and the tabular contextual bandit
+//! (Chinchali et al.'s sequential-decision framing) each drive the
+//! same seeded missions, and the table reports per-policy cycle time,
+//! energy, migration churn, and — on the fleet arm — shared-cloud
+//! queueing.
+//!
+//! Three arms:
+//!
+//! * **sweep** — procedural floorplans on the edge deployment: the
+//!   generalization axis;
+//! * **chaos** — randomized fault schedules: the resilience axis,
+//!   where Algorithm 2's verdict (visible to every policy through the
+//!   context) and recovery churn dominate;
+//! * **fleet** — N vehicles against one shared cloud: the contention
+//!   axis, where admission queueing feeds back into every policy's
+//!   remote-time estimates.
+//!
+//! Quick mode shrinks every arm.
+
+use crate::suite::ScenarioCtx;
+use crate::{write_banner, TablePrinter};
+use lgv_net::FaultSchedule;
+use lgv_offload::deploy::Deployment;
+use lgv_offload::fleet::{run_fleet, FleetConfig};
+use lgv_offload::mission::{self, MissionConfig, MissionReport, Workload};
+use lgv_offload::policy::PolicyKind;
+use lgv_sim::world::generator::{generate, FloorplanConfig};
+use lgv_types::prelude::*;
+use lgv_types::stats::Summary;
+use std::io;
+
+/// Per-policy aggregates over one arm's missions.
+#[derive(Default)]
+struct Tally {
+    completed: u32,
+    runs: u32,
+    time: Summary,
+    cycle_ms: Summary,
+    energy: Summary,
+    migrations: u64,
+}
+
+impl Tally {
+    fn push(&mut self, report: &MissionReport) {
+        self.runs += 1;
+        if report.completed {
+            self.completed += 1;
+        }
+        self.time.push(report.time.total().as_secs_f64());
+        self.cycle_ms
+            .push(report.avg_vdp_makespan.as_secs_f64() * 1e3);
+        self.energy.push(report.energy.total_joules());
+        self.migrations += report.net_switches;
+    }
+
+    fn row(&self, policy: PolicyKind) -> Vec<String> {
+        vec![
+            policy.label().to_string(),
+            format!("{}/{}", self.completed, self.runs),
+            format!("{:.1}", self.time.mean()),
+            format!("{:.1}", self.cycle_ms.mean()),
+            format!("{:.0}", self.energy.mean()),
+            self.migrations.to_string(),
+        ]
+    }
+}
+
+fn arm_table() -> TablePrinter {
+    TablePrinter::new(vec![
+        "policy",
+        "done",
+        "time mean (s)",
+        "cycle mean (ms)",
+        "energy mean (J)",
+        "migrations",
+    ])
+}
+
+/// Regenerate the three-way policy race.
+pub fn run(ctx: &mut ScenarioCtx) -> io::Result<()> {
+    write_banner(
+        ctx.out,
+        "Policy race: Algorithm 1 vs global placement vs contextual bandit",
+        "extension: the decision layer is pluggable; the three deciders run the \
+         same seeded missions across sweep, chaos, and fleet axes",
+    )?;
+
+    // ---- arm 1: procedural-floorplan sweep -------------------------
+    writeln!(ctx.out)?;
+    writeln!(ctx.out, "== arm 1: floorplan sweep (edge 8T) ==")?;
+    let gen_cfg = FloorplanConfig {
+        rooms_x: 3,
+        rooms_y: 2,
+        room_size: 4.5,
+        door: 1.3,
+        ..Default::default()
+    };
+    let n_seeds: u64 = if ctx.quick { 2 } else { 4 };
+    let mut table = arm_table();
+    for policy in PolicyKind::ALL {
+        let mut tally = Tally::default();
+        for seed in ctx.seed..ctx.seed + n_seeds {
+            let plan = generate(&gen_cfg, seed);
+            let mut cfg = MissionConfig::navigation_lab(Deployment::edge_8t());
+            cfg.policy = policy;
+            cfg.seed = seed;
+            cfg.world = plan.world.clone();
+            cfg.start = plan.start;
+            cfg.nav_goal = plan.goal;
+            cfg.wap = Point2::new(
+                gen_cfg.rooms_x as f64 * gen_cfg.room_size / 2.0,
+                gen_cfg.rooms_y as f64 * gen_cfg.room_size / 2.0,
+            );
+            cfg.record_traces = false;
+            cfg.max_time = Duration::from_secs(600);
+            tally.push(&mission::run(cfg));
+        }
+        table.row(tally.row(policy));
+    }
+    table.write_to(ctx.out)?;
+
+    // ---- arm 2: chaos ----------------------------------------------
+    writeln!(ctx.out)?;
+    writeln!(ctx.out, "== arm 2: randomized fault schedules ==")?;
+    let n_chaos: u64 = if ctx.quick { 2 } else { 4 };
+    let mut table = arm_table();
+    for policy in PolicyKind::ALL {
+        let mut tally = Tally::default();
+        for seed in ctx.seed..ctx.seed + n_chaos {
+            let mut cfg = MissionConfig::compact_lab(Deployment::edge_8t(), Workload::Navigation);
+            cfg.policy = policy;
+            cfg.seed = seed;
+            cfg.record_traces = false;
+            cfg.max_time = Duration::from_secs(180);
+            cfg.faults = FaultSchedule::randomized(seed, Duration::from_secs(20));
+            tally.push(&mission::run(cfg));
+        }
+        table.row(tally.row(policy));
+    }
+    table.write_to(ctx.out)?;
+
+    // ---- arm 3: fleet contention -----------------------------------
+    writeln!(ctx.out)?;
+    writeln!(ctx.out, "== arm 3: shared-cloud fleet ==")?;
+    let fleet_size: usize = if ctx.quick { 2 } else { 4 };
+    let mut table = TablePrinter::new(vec![
+        "policy",
+        "done",
+        "time mean (s)",
+        "cycle mean (ms)",
+        "energy mean (J)",
+        "migrations",
+        "queue mean (ms)",
+    ]);
+    for policy in PolicyKind::ALL {
+        let mut cfg = MissionConfig::compact_lab(Deployment::cloud_12t(), Workload::Navigation);
+        cfg.seed = ctx.seed;
+        cfg.record_traces = false;
+        let report = run_fleet(FleetConfig::new(cfg, fleet_size).with_policy(policy));
+        let mut tally = Tally::default();
+        for v in &report.vehicles {
+            tally.push(v);
+        }
+        let cloud = report.cloud.expect("offloaded fleet tracks the cloud");
+        let mut row = tally.row(policy);
+        row.push(format!("{:.3}", cloud.mean_queue_delay_secs() * 1e3));
+        table.row(row);
+    }
+    table.write_to(ctx.out)?;
+
+    writeln!(ctx.out)?;
+    writeln!(
+        ctx.out,
+        "all three policies ran every arm on identical seeds; see docs/POLICY.md \
+         for the trait contract and how to add a fourth"
+    )
+}

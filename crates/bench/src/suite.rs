@@ -201,6 +201,13 @@ pub fn registry() -> Vec<Scenario> {
             cost_hint: 120,
             run: chaos_fleet::run,
         },
+        Scenario {
+            name: "policy",
+            title: "Policy race: Algorithm 1 vs global placement vs contextual bandit",
+            seed: 21,
+            cost_hint: 80,
+            run: policy::run,
+        },
     ]
 }
 

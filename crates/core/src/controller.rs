@@ -6,16 +6,24 @@
 //! adjustment … and uses profiling data to make corresponding actions
 //! based on our strategies."
 //!
-//! [`Controller`] composes Algorithm 1 ([`OffloadStrategy`]),
-//! Algorithm 2 ([`NetControl`]), and the derived actuation limits into
-//! one evaluation per control cycle. The mission engine drives it; a
+//! [`Controller`] composes the pluggable decision layer (an
+//! [`OffloadPolicy`] — Algorithm 1 by default), Algorithm 2
+//! ([`NetControl`]), and the derived actuation limits into one
+//! evaluation per control cycle. The mission engine drives it; a
 //! library user embedding the framework on their own robot stack calls
 //! exactly the same API.
+//!
+//! Per cycle the Controller evaluates Algorithm 2 first, packages the
+//! verdict together with the profiler features into a
+//! [`PolicyContext`], and hands the whole context to the policy — so
+//! the network controller's invoke-local override is *visible to* the
+//! decision layer instead of silently bypassing it.
 
 use crate::classify::Classification;
 use crate::model::VelocityModel;
 use crate::netctl::{NetControl, NetControlConfig, NetDecision, NetInputs, SwitchCause};
-use crate::strategy::{OffloadStrategy, PlacementPlan};
+use crate::policy::{EnergyParams, NodeEstimates, OffloadPolicy, PolicyContext};
+use crate::strategy::PlacementPlan;
 use lgv_trace::{TraceEvent, Tracer};
 use lgv_types::prelude::*;
 
@@ -45,6 +53,14 @@ pub struct ControlInputs {
     /// blackout right now. Suppresses the heartbeat (a silent
     /// downlink behind a weak radio is an outage, not a crash).
     pub radio_weak: bool,
+    /// Latest RTT measurement (the profiler's static WAN prior until
+    /// the first echo returns).
+    pub rtt: Duration,
+    /// Per-node local/remote processing-time and demand estimates for
+    /// whole-graph placement scoring.
+    pub nodes: NodeEstimates,
+    /// Energy-model parameters for placement scoring.
+    pub energy: EnergyParams,
 }
 
 /// The Controller's per-cycle outputs: what to configure where.
@@ -99,7 +115,7 @@ impl Default for ControllerConfig {
 #[derive(Debug, Clone)]
 pub struct Controller {
     cfg: ControllerConfig,
-    strategy: OffloadStrategy,
+    policy: Box<dyn OffloadPolicy>,
     netctl: NetControl,
     offloaded_deployment: bool,
     adaptive: bool,
@@ -107,25 +123,33 @@ pub struct Controller {
 }
 
 impl Controller {
-    /// Build a Controller around an Algorithm 1 strategy.
+    /// Build a Controller around an offload-decision policy (use
+    /// [`crate::policy::build`] or [`crate::policy::for_mission`] to
+    /// construct one).
     ///
     /// * `offloaded` — whether the deployment has a remote host at all;
     /// * `adaptive` — whether Algorithm 2 may switch placements.
     pub fn new(
         cfg: ControllerConfig,
-        strategy: OffloadStrategy,
+        policy: Box<dyn OffloadPolicy>,
         offloaded: bool,
         adaptive: bool,
     ) -> Self {
         let netctl = NetControl::new(cfg.netctl);
         Controller {
             cfg,
-            strategy,
+            policy,
             netctl,
             offloaded_deployment: offloaded,
             adaptive,
             tracer: Tracer::disabled(),
         }
+    }
+
+    /// The active policy's stable name (`algorithm1` / `global` /
+    /// `bandit` / a user-defined one).
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// Route per-cycle control decisions to `tracer`.
@@ -159,10 +183,47 @@ impl Controller {
         class: &Classification,
         inputs: ControlInputs,
     ) -> ControlDecision {
-        // Algorithm 1: placement plan from the two makespans.
-        let plan = self
-            .strategy
-            .decide(class, inputs.local_vdp, inputs.cloud_vdp);
+        // Algorithm 2 + liveness heartbeat + re-offload backoff,
+        // evaluated first so the verdict is part of the decision
+        // context every policy sees. (Algorithm 2 reads only the
+        // network inputs, so evaluating it before the placement
+        // decision changes nothing for Algorithm 1.)
+        let verdict = if self.adaptive && self.offloaded_deployment {
+            self.netctl.evaluate(
+                now,
+                NetInputs {
+                    bandwidth: inputs.bandwidth,
+                    direction: inputs.direction,
+                    remote_active: inputs.remote_enabled,
+                    since_downlink: inputs.since_downlink,
+                    radio_weak: inputs.radio_weak,
+                },
+            )
+        } else {
+            crate::netctl::NetVerdict {
+                decision: NetDecision::Keep,
+                cause: SwitchCause::Rule,
+                backoff_armed: None,
+            }
+        };
+        let net_decision = verdict.decision;
+
+        // The decision layer: one placement plan from the full context.
+        let ctx = PolicyContext {
+            class,
+            local_vdp: inputs.local_vdp,
+            cloud_vdp: inputs.cloud_vdp,
+            rtt: inputs.rtt,
+            bandwidth: inputs.bandwidth,
+            direction: inputs.direction,
+            remote_enabled: inputs.remote_enabled,
+            cold_state: inputs.cold_state,
+            offload_failures: self.netctl.failure_count(),
+            net: verdict,
+            nodes: inputs.nodes,
+            energy: inputs.energy,
+        };
+        let plan = self.policy.decide(now, &ctx);
         let vdp_remote = self.offloaded_deployment
             && inputs.remote_enabled
             && plan.remote.contains(NodeKind::PathTracking);
@@ -185,27 +246,6 @@ impl Controller {
         let max_angular =
             (self.cfg.heading_budget / makespan.as_secs_f64().max(0.05)).clamp(0.4, 2.84);
         let mux_timeout = Duration::from_millis(600).max(makespan * 2.5);
-
-        // Algorithm 2 + liveness heartbeat + re-offload backoff.
-        let verdict = if self.adaptive && self.offloaded_deployment {
-            self.netctl.evaluate(
-                now,
-                NetInputs {
-                    bandwidth: inputs.bandwidth,
-                    direction: inputs.direction,
-                    remote_active: inputs.remote_enabled,
-                    since_downlink: inputs.since_downlink,
-                    radio_weak: inputs.radio_weak,
-                },
-            )
-        } else {
-            crate::netctl::NetVerdict {
-                decision: NetDecision::Keep,
-                cause: SwitchCause::Rule,
-                backoff_armed: None,
-            }
-        };
-        let net_decision = verdict.decision;
         if verdict.cause == SwitchCause::HeartbeatMiss {
             let silence = inputs.since_downlink.unwrap_or(Duration::ZERO);
             self.tracer.emit_at(
@@ -225,6 +265,21 @@ impl Controller {
             );
         }
 
+        self.tracer
+            .emit_with_at(now.as_nanos(), || TraceEvent::PolicyDecide {
+                policy: self.policy.name().to_string(),
+                remote: if plan.remote.is_empty() {
+                    "-".to_string()
+                } else {
+                    plan.remote
+                        .iter()
+                        .map(NodeKind::short_name)
+                        .collect::<Vec<_>>()
+                        .join("+")
+                },
+                expected_vdp_ns: plan.expected_vdp.as_nanos(),
+                max_velocity: plan.max_velocity,
+            });
         self.tracer
             .emit_with_at(now.as_nanos(), || TraceEvent::ControlDecision {
                 local_vdp_ns: inputs.local_vdp.as_nanos(),
@@ -258,11 +313,19 @@ mod tests {
     use super::*;
     use crate::classify::{classify, table2_with_map};
     use crate::model::Goal;
+    use crate::policy::{build, PolicyKind};
+    use crate::strategy::PinPolicy;
 
     fn controller(adaptive: bool) -> Controller {
         Controller::new(
             ControllerConfig::default(),
-            OffloadStrategy::new(Goal::MissionTime),
+            build(
+                PolicyKind::Algorithm1,
+                Goal::MissionTime,
+                VelocityModel::default(),
+                PinPolicy::none(),
+                0,
+            ),
             true,
             adaptive,
         )
@@ -279,6 +342,9 @@ mod tests {
             exploration_cap: None,
             since_downlink: None,
             radio_weak: false,
+            rtt: Duration::from_millis(20),
+            nodes: NodeEstimates::default(),
+            energy: EnergyParams::default(),
         }
     }
 

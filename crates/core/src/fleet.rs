@@ -227,6 +227,14 @@ impl FleetConfig {
         self
     }
 
+    /// The same fleet with every vehicle running `policy` as its
+    /// offload decider (see [`crate::policy`]). Per-vehicle seeds
+    /// still stride, so learned policies explore independently.
+    pub fn with_policy(mut self, policy: crate::policy::PolicyKind) -> Self {
+        self.base.policy = policy;
+        self
+    }
+
     /// The configuration vehicle `vehicle` (1-based) runs: the base
     /// config with a seed derived by golden-ratio mixing for vehicles
     /// past the first. Vehicle 1 gets the base verbatim, which is what

@@ -12,6 +12,10 @@
 //! * [`strategy`] — Algorithm 1: the fine-grained migration policy for
 //!   the EC (energy) and MCT (mission-completion-time) goals, with the
 //!   safety-critical pinning extension of §IX.
+//! * [`policy`] — the pluggable decision layer: the [`policy::OffloadPolicy`]
+//!   trait plus three raced implementations (Algorithm 1 behind the
+//!   trait, greedy global placement search, tabular contextual
+//!   bandit). See `docs/POLICY.md`.
 //! * [`netctl`] — Algorithm 2: offload network-quality control from
 //!   packet bandwidth + signal direction (and the latency-only
 //!   baseline it replaces, for the ablation).
@@ -46,6 +50,7 @@ pub mod migration;
 pub mod mission;
 pub mod model;
 pub mod netctl;
+pub mod policy;
 pub mod profiler;
 pub mod recovery;
 pub mod session;
@@ -60,6 +65,10 @@ pub use migration::{MigrationManager, MigrationTicket};
 pub use mission::{MissionConfig, MissionReport, Workload};
 pub use model::{max_velocity_oa, Goal, VelocityModel};
 pub use netctl::{NetControl, NetControlConfig, NetDecision};
+pub use policy::{
+    Algorithm1Policy, BanditPolicy, EnergyParams, GlobalPlacementPolicy, NodeEstimates,
+    OffloadPolicy, PolicyContext, PolicyKind,
+};
 pub use profiler::Profiler;
 pub use recovery::{DegradedConfig, RecoveryConfig};
 pub use session::VehicleSession;

@@ -21,6 +21,7 @@
 
 use crate::deploy::Deployment;
 use crate::model::{Goal, TimeBreakdown, VelocityModel};
+use crate::policy::PolicyKind;
 use crate::recovery::RecoveryConfig;
 use crate::session::VehicleSession;
 use crate::strategy::PinPolicy;
@@ -50,6 +51,10 @@ pub struct MissionConfig {
     pub deployment: Deployment,
     /// Algorithm 1 optimization goal.
     pub goal: Goal,
+    /// Which offload-decision policy drives the placement each tick
+    /// (Algorithm 1 behind the trait is the default; see
+    /// [`crate::policy`]).
+    pub policy: PolicyKind,
     /// Whether Algorithm 2 (real-time adjustment) is active.
     pub adaptive: bool,
     /// Whether the §VIII-E thread governor is active: scale remote
@@ -110,6 +115,7 @@ impl MissionConfig {
             workload: Workload::Navigation,
             deployment,
             goal: Goal::MissionTime,
+            policy: PolicyKind::Algorithm1,
             adaptive: true,
             adaptive_parallelism: false,
             pins: PinPolicy::none(),
@@ -157,6 +163,7 @@ impl MissionConfig {
             workload,
             deployment,
             goal: Goal::MissionTime,
+            policy: PolicyKind::Algorithm1,
             adaptive: true,
             adaptive_parallelism: false,
             pins: PinPolicy::none(),

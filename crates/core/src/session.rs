@@ -29,8 +29,9 @@ use crate::migration::{MigrationEvent, MigrationManager};
 use crate::mission::{MissionConfig, MissionReport, NetSample, VelocitySample, Workload};
 use crate::model::TimeBreakdown;
 use crate::netctl::{NetControlConfig, NetDecision, SwitchCause};
+use crate::policy::{self, EnergyParams, NodeEstimates};
 use crate::profiler::Profiler;
-use crate::strategy::{OffloadStrategy, PlacementPlan};
+use crate::strategy::PlacementPlan;
 use lgv_middleware::{Bus, Switcher, SwitcherConfig, TopicName};
 use lgv_nav::costmap::{Costmap, CostmapConfig};
 use lgv_nav::dwa::{DwaConfig, DwaPlanner};
@@ -292,11 +293,10 @@ impl VehicleSession {
         let tb3 = Deployment::local_platform();
         let remote = cfg.deployment.remote_platform();
 
-        let strategy = OffloadStrategy {
-            goal: cfg.goal,
-            velocity: cfg.velocity,
-            pins: cfg.pins,
-        };
+        // The decision layer: one factory path builds the configured
+        // policy (Algorithm 1 by default) and the startup plan, so
+        // solo missions and fleet tenants construct their decisions
+        // identically.
         let mut controller = Controller::new(
             ControllerConfig {
                 velocity: cfg.velocity,
@@ -308,20 +308,12 @@ impl VehicleSession {
                 },
                 ..ControllerConfig::default()
             },
-            strategy,
+            policy::for_mission(&cfg),
             cfg.deployment.offloaded(),
             cfg.adaptive,
         );
         controller.set_tracer(tracer.clone());
-        let plan = PlacementPlan {
-            remote: if cfg.deployment.offloaded() {
-                class.ecn
-            } else {
-                NodeSet::EMPTY
-            },
-            expected_vdp: Duration::from_millis(600),
-            max_velocity: 0.15,
-        };
+        let plan = policy::initial_plan(&class, cfg.deployment.offloaded());
 
         let start = cfg.start;
         let nav_goal = cfg.nav_goal;
@@ -796,6 +788,21 @@ impl VehicleSession {
                 .then_some(self.cfg.exploration_speed_cap),
             since_downlink,
             radio_weak,
+            rtt: {
+                let measured = self.profiler.rtt();
+                if measured > Duration::ZERO {
+                    measured
+                } else {
+                    // The same static WAN prior the cold-start
+                    // makespan estimate uses.
+                    Duration::from_millis(20)
+                }
+            },
+            nodes: self.node_estimates(),
+            energy: EnergyParams {
+                local_j_per_gcycle: self.profile.compute_model(&self.tb3).dynamic_energy(1e9),
+                tx_power_w: self.transmit.power_w,
+            },
         };
         let decision = self.controller.evaluate(cycle_start, &self.class, inputs);
         self.plan = decision.plan;
@@ -1052,6 +1059,35 @@ impl VehicleSession {
             total += Duration::from_millis(20);
         }
         total
+    }
+
+    /// Per-node local/remote processing-time and demand estimates for
+    /// the decision layer: the profiler's live measurements where they
+    /// exist, the static Table II profile priced on the platform
+    /// models otherwise (the same cold-start fallback as
+    /// [`Self::estimate_vdp`]).
+    fn node_estimates(&self) -> NodeEstimates {
+        let profiles = match self.cfg.workload {
+            Workload::Navigation => table2_with_map(),
+            Workload::Exploration => table2_without_map(),
+        };
+        let mut nodes = NodeEstimates::default();
+        for p in &profiles {
+            nodes.set_demand(p.kind, p.cycles_per_sec() / 1e9);
+            nodes.set_local(
+                p.kind,
+                self.profiler
+                    .node_time(p.kind, Placement::Local)
+                    .unwrap_or_else(|| self.tb3.exec_time(&p.work, 1)),
+            );
+            nodes.set_remote(
+                p.kind,
+                self.profiler
+                    .node_time(p.kind, Placement::Remote)
+                    .unwrap_or_else(|| self.remote.exec_time(&p.work, self.effective_threads)),
+            );
+        }
+        nodes
     }
 
     fn substep(&mut self, vdp_remote: bool) {

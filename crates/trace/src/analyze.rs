@@ -150,6 +150,23 @@ struct VehicleAgg {
     cloud_batches: u64,
 }
 
+/// Per-policy aggregates from `policy_decide` events (the pluggable
+/// offload-decision layer). One entry per policy name seen.
+#[derive(Debug, Clone, Default)]
+struct PolicyAgg {
+    /// Decision ticks this policy produced.
+    decisions: u64,
+    /// Ticks whose plan proposed a non-empty remote set.
+    remote_decisions: u64,
+    /// Ticks whose proposed remote set differed from the same
+    /// (policy, vehicle) stream's previous tick — placement churn.
+    flips: u64,
+    /// Sum of expected VDP makespans (ns), for the mean.
+    expected_vdp_sum_ns: u64,
+    /// Sum of advisory Eq. 2c velocities, for the mean.
+    vmax_sum: f64,
+}
+
 /// One flagged lying-RTT window.
 #[derive(Debug, Clone)]
 struct Anomaly {
@@ -228,6 +245,10 @@ pub struct TraceAnalysis {
     wan_delay_ns: u64,
     /// Distinct `(from_region, to_region)` WAN routes observed.
     wan_routes: BTreeSet<(u32, u32)>,
+    /// Per-policy decision aggregates from `policy_decide` events;
+    /// empty for traces predating the decision layer, so their
+    /// reports render byte-identically.
+    policies: BTreeMap<String, PolicyAgg>,
 }
 
 /// Recovery-SLO summary computed from the resilience trace kinds
@@ -305,6 +326,7 @@ impl TraceAnalysis {
             wan_hops: 0,
             wan_delay_ns: 0,
             wan_routes: BTreeSet::new(),
+            policies: BTreeMap::new(),
         };
 
         // ---- single pass: index lineage + spans + anomaly windows.
@@ -355,6 +377,10 @@ impl TraceAnalysis {
         // `a.faults`. Events between a window's begin and end edges
         // are attributed to it.
         let mut open_faults: BTreeMap<u64, usize> = BTreeMap::new();
+
+        // Last proposed remote set per (policy, vehicle) decision
+        // stream, for counting placement flips.
+        let mut last_policy_remote: BTreeMap<(String, u64), String> = BTreeMap::new();
 
         for rec in records {
             if !rec.span.is_none() {
@@ -504,6 +530,28 @@ impl TraceAnalysis {
                             a.faults[i].speed.observe(*max_linear);
                         }
                     }
+                }
+                TraceEvent::PolicyDecide {
+                    policy,
+                    remote,
+                    expected_vdp_ns,
+                    max_velocity,
+                } => {
+                    let agg = a.policies.entry(policy.clone()).or_default();
+                    agg.decisions += 1;
+                    if remote != "-" {
+                        agg.remote_decisions += 1;
+                    }
+                    agg.expected_vdp_sum_ns += expected_vdp_ns;
+                    agg.vmax_sum += max_velocity;
+                    let key = (policy.clone(), rec.vehicle);
+                    match last_policy_remote.get(&key) {
+                        Some(prev) if prev != remote => {
+                            a.policies.get_mut(policy).expect("just entered").flips += 1;
+                        }
+                        _ => {}
+                    }
+                    last_policy_remote.insert(key, remote.clone());
                 }
                 TraceEvent::FaultBegin {
                     fault,
@@ -755,6 +803,24 @@ impl TraceAnalysis {
         self.vehicles.len()
     }
 
+    /// `policy_decide` ticks seen across the whole trace (0 for
+    /// traces predating the pluggable decision layer).
+    pub fn policy_decision_count(&self) -> u64 {
+        self.policies.values().map(|p| p.decisions).sum()
+    }
+
+    /// Distinct offload-policy names that produced decisions in this
+    /// trace, sorted.
+    pub fn policy_names(&self) -> Vec<&str> {
+        self.policies.keys().map(String::as_str).collect()
+    }
+
+    /// Placement flips (consecutive `policy_decide` ticks of one
+    /// (policy, vehicle) stream proposing different remote sets).
+    pub fn policy_flip_count(&self) -> u64 {
+        self.policies.values().map(|p| p.flips).sum()
+    }
+
     /// `cloud_batch` joins seen across the fleet (0 outside elastic
     /// fleet traces).
     pub fn cloud_batch_join_count(&self) -> u64 {
@@ -983,6 +1049,31 @@ impl TraceAnalysis {
             );
             for (from, to) in &self.wan_routes {
                 let _ = writeln!(out, "  route r{from} -> r{to}");
+            }
+        }
+
+        // ---- decision layer (only when policy_decide events exist,
+        // so traces predating the pluggable policies are unchanged).
+        if !self.policies.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "--- policy decisions ---");
+            let _ = writeln!(
+                out,
+                "{:<12} {:>9} {:>9} {:>7} {:>13} {:>10}",
+                "policy", "decisions", "remote", "flips", "mean_vdp_ms", "mean_vmax"
+            );
+            for (name, p) in &self.policies {
+                let n = p.decisions.max(1) as f64;
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>9} {:>9} {:>7} {:>13.3} {:>10.3}",
+                    name,
+                    p.decisions,
+                    p.remote_decisions,
+                    p.flips,
+                    p.expected_vdp_sum_ns as f64 / n / 1e6,
+                    p.vmax_sum / n
+                );
             }
         }
 
@@ -1739,6 +1830,43 @@ mod tests {
         assert!(report.contains("region r1: 1 vehicle(s)"));
         assert!(report.contains("route r1 -> r0"));
         assert!(report.contains("1 served by a remote pool"));
+    }
+
+    #[test]
+    fn policy_section_requires_policy_decide_events() {
+        // A pre-decision-layer trace must render without the section
+        // and count zero decisions.
+        let legacy = vec![rec(5_000, 1, 0, TraceEvent::NetSwitch { to_remote: true })];
+        let a = TraceAnalysis::from_records(&legacy);
+        assert_eq!(a.policy_decision_count(), 0);
+        assert!(a.policy_names().is_empty());
+        assert!(!a.render_report().contains("policy decisions"));
+    }
+
+    #[test]
+    fn policy_section_aggregates_decisions_and_flips() {
+        let decide = |policy: &str, remote: &str| TraceEvent::PolicyDecide {
+            policy: policy.into(),
+            remote: remote.into(),
+            expected_vdp_ns: 100_000_000,
+            max_velocity: 0.5,
+        };
+        let records = vec![
+            rec(200, 0, 0, decide("algorithm1", "costmap_gen+path_tracking")),
+            rec(400, 1, 0, decide("algorithm1", "costmap_gen+path_tracking")),
+            rec(600, 2, 0, decide("algorithm1", "-")),
+            rec(800, 3, 0, decide("bandit", "-")),
+        ];
+        let a = TraceAnalysis::from_records(&records);
+        assert_eq!(a.policy_decision_count(), 4);
+        assert_eq!(a.policy_names(), vec!["algorithm1", "bandit"]);
+        // algorithm1 flipped once (remote -> local); the bandit's
+        // single tick has no predecessor, so no flip.
+        assert_eq!(a.policy_flip_count(), 1);
+        let rendered = a.render_report();
+        assert!(rendered.contains("policy decisions"));
+        assert!(rendered.contains("algorithm1"));
+        assert!(rendered.contains("bandit"));
     }
 
     #[test]

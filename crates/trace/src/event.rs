@@ -255,6 +255,22 @@ pub enum TraceEvent {
         /// `invoke_remote`).
         net_decision: String,
     },
+    /// One offload-policy decision tick: which `OffloadPolicy`
+    /// implementation produced this cycle's placement plan and what it
+    /// chose (the decision-layer counterpart of
+    /// [`TraceEvent::ControlDecision`], which records the applied
+    /// actuation outputs).
+    PolicyDecide {
+        /// Policy name (`algorithm1` / `global` / `bandit`).
+        policy: String,
+        /// Chosen remote node set (`+`-joined short names, `-` when
+        /// everything stays on the vehicle).
+        remote: String,
+        /// The plan's expected VDP makespan.
+        expected_vdp_ns: u64,
+        /// The plan's advisory Eq. 2c velocity.
+        max_velocity: f64,
+    },
     /// A thread-governor recommendation (§VIII-E).
     GovernorDecision {
         /// Mean velocity-gap ratio over the window.
@@ -449,6 +465,7 @@ impl TraceEvent {
             TraceEvent::RttSample { .. } => "rtt_sample",
             TraceEvent::ProfileSample { .. } => "profile_sample",
             TraceEvent::ControlDecision { .. } => "control_decision",
+            TraceEvent::PolicyDecide { .. } => "policy_decide",
             TraceEvent::GovernorDecision { .. } => "governor_decision",
             TraceEvent::EnergyDelta { .. } => "energy_delta",
             TraceEvent::NetSwitch { .. } => "net_switch",
@@ -485,7 +502,9 @@ impl TraceEvent {
             | TraceEvent::ChannelDeliver { .. } => EventCategory::Channel,
             TraceEvent::RttSample { .. } => EventCategory::Rtt,
             TraceEvent::ProfileSample { .. } => EventCategory::Profile,
-            TraceEvent::ControlDecision { .. } => EventCategory::Control,
+            TraceEvent::ControlDecision { .. } | TraceEvent::PolicyDecide { .. } => {
+                EventCategory::Control
+            }
             TraceEvent::GovernorDecision { .. } => EventCategory::Governor,
             TraceEvent::EnergyDelta { .. } => EventCategory::Energy,
             TraceEvent::NetSwitch { .. }
@@ -622,6 +641,17 @@ impl TraceEvent {
                 field_bool(out, "vdp_remote", *vdp_remote);
                 field_f64(out, "max_linear", *max_linear);
                 field_str(out, "net_decision", net_decision);
+            }
+            TraceEvent::PolicyDecide {
+                policy,
+                remote,
+                expected_vdp_ns,
+                max_velocity,
+            } => {
+                field_str(out, "policy", policy);
+                field_str(out, "remote", remote);
+                field_u64(out, "expected_vdp_ns", *expected_vdp_ns);
+                field_f64(out, "max_velocity", *max_velocity);
             }
             TraceEvent::GovernorDecision { mean_gap, threads } => {
                 field_f64(out, "mean_gap", *mean_gap);
@@ -904,6 +934,12 @@ mod tests {
                 vdp_remote: true,
                 max_linear: 0.6,
                 net_decision: "keep".into(),
+            },
+            TraceEvent::PolicyDecide {
+                policy: "algorithm1".into(),
+                remote: "costmap_gen+path_tracking".into(),
+                expected_vdp_ns: 60_000_000,
+                max_velocity: 0.6,
             },
             TraceEvent::GovernorDecision {
                 mean_gap: 0.2,

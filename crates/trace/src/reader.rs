@@ -393,6 +393,12 @@ fn event_from(kind: &str, obj: &Obj) -> Result<TraceEvent, String> {
             max_linear: obj.f64("max_linear")?,
             net_decision: obj.str("net_decision")?,
         },
+        "policy_decide" => TraceEvent::PolicyDecide {
+            policy: obj.str("policy")?,
+            remote: obj.str("remote")?,
+            expected_vdp_ns: obj.u64("expected_vdp_ns")?,
+            max_velocity: obj.f64("max_velocity")?,
+        },
         "governor_decision" => TraceEvent::GovernorDecision {
             mean_gap: obj.f64("mean_gap")?,
             threads: obj.u32("threads")?,
@@ -629,6 +635,12 @@ mod tests {
                 vdp_remote: true,
                 max_linear: 0.6,
                 net_decision: "keep".into(),
+            },
+            TraceEvent::PolicyDecide {
+                policy: "bandit".into(),
+                remote: "-".into(),
+                expected_vdp_ns: 120_000_000,
+                max_velocity: 0.31,
             },
             TraceEvent::GovernorDecision {
                 mean_gap: f64::NAN,

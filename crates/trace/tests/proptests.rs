@@ -84,6 +84,12 @@ fn all_kinds(s: &str, a: u64, b: u32, f: f64, flag: bool) -> Vec<TraceEvent> {
             max_linear: 0.15,
             net_decision: s.to_string(),
         },
+        TraceEvent::PolicyDecide {
+            policy: s.to_string(),
+            remote: s.to_string(),
+            expected_vdp_ns: a,
+            max_velocity: f,
+        },
         TraceEvent::GovernorDecision {
             mean_gap: f,
             threads: b,

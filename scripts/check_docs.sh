@@ -51,7 +51,7 @@ echo "-- cross-linked docs exist"
 # The navigable doc set (README -> ARCHITECTURE -> subsystem docs);
 # a missing file here means a dangling link somewhere.
 for doc in docs/ARCHITECTURE.md docs/FLEET.md docs/OBSERVABILITY.md \
-    docs/RESILIENCE.md docs/CI.md; do
+    docs/RESILIENCE.md docs/POLICY.md docs/CI.md; do
     [ -f "$doc" ] || { echo "missing $doc"; exit 1; }
 done
 grep -q 'docs/ARCHITECTURE.md' README.md \

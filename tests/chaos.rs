@@ -34,6 +34,7 @@ fn chaos_config(seed: u64) -> MissionConfig {
         workload: Workload::Navigation,
         deployment: Deployment::edge_8t(),
         goal: Goal::MissionTime,
+        policy: cloud_lgv::offload::policy::PolicyKind::Algorithm1,
         adaptive: true,
         adaptive_parallelism: false,
         pins: PinPolicy::none(),

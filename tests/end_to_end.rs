@@ -6,6 +6,7 @@ use cloud_lgv::offload::classify::{classify, table2_with_map, table2_without_map
 use cloud_lgv::offload::deploy::Deployment;
 use cloud_lgv::offload::mission::{self, MissionConfig, Workload};
 use cloud_lgv::offload::model::{Goal, VelocityModel};
+use cloud_lgv::offload::policy::PolicyKind;
 use cloud_lgv::offload::strategy::{OffloadStrategy, PinPolicy};
 use cloud_lgv::prelude::*;
 use cloud_lgv::sim::energy::Component;
@@ -21,6 +22,7 @@ fn mini(deployment: Deployment, workload: Workload) -> MissionConfig {
         workload,
         deployment,
         goal: Goal::MissionTime,
+        policy: PolicyKind::Algorithm1,
         adaptive: true,
         adaptive_parallelism: false,
         pins: PinPolicy::none(),

@@ -8,6 +8,7 @@ use cloud_lgv::net::signal::WirelessConfig;
 use cloud_lgv::offload::deploy::Deployment;
 use cloud_lgv::offload::mission::{self, MissionConfig, Workload};
 use cloud_lgv::offload::model::{Goal, VelocityModel};
+use cloud_lgv::offload::policy::PolicyKind;
 use cloud_lgv::offload::strategy::PinPolicy;
 use cloud_lgv::prelude::*;
 use cloud_lgv::sim::world::WorldBuilder;
@@ -22,6 +23,7 @@ fn base(deployment: Deployment) -> MissionConfig {
         workload: Workload::Navigation,
         deployment,
         goal: Goal::MissionTime,
+        policy: PolicyKind::Algorithm1,
         adaptive: true,
         adaptive_parallelism: false,
         pins: PinPolicy::none(),

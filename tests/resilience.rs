@@ -10,6 +10,7 @@ use cloud_lgv::net::{FaultKind, FaultSchedule};
 use cloud_lgv::offload::deploy::Deployment;
 use cloud_lgv::offload::mission::{self, MissionConfig, Workload};
 use cloud_lgv::offload::model::{Goal, VelocityModel};
+use cloud_lgv::offload::policy::PolicyKind;
 use cloud_lgv::offload::strategy::PinPolicy;
 use cloud_lgv::sim::world::WorldBuilder;
 use cloud_lgv::sim::LidarConfig;
@@ -29,6 +30,7 @@ fn crash_config() -> MissionConfig {
         workload: Workload::Navigation,
         deployment: Deployment::edge_8t(),
         goal: Goal::MissionTime,
+        policy: PolicyKind::Algorithm1,
         adaptive: true,
         adaptive_parallelism: false,
         pins: PinPolicy::none(),

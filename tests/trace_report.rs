@@ -7,6 +7,7 @@ use cloud_lgv::net::signal::WirelessConfig;
 use cloud_lgv::offload::deploy::Deployment;
 use cloud_lgv::offload::mission::{self, MissionConfig, Workload};
 use cloud_lgv::offload::model::{Goal, VelocityModel};
+use cloud_lgv::offload::policy::PolicyKind;
 use cloud_lgv::offload::strategy::PinPolicy;
 use cloud_lgv::sim::world::WorldBuilder;
 use cloud_lgv::sim::LidarConfig;
@@ -28,6 +29,7 @@ fn weak_signal_config() -> MissionConfig {
         workload: Workload::Navigation,
         deployment: Deployment::edge_8t(),
         goal: Goal::MissionTime,
+        policy: PolicyKind::Algorithm1,
         adaptive: true,
         adaptive_parallelism: true,
         pins: PinPolicy::none(),
